@@ -1,0 +1,40 @@
+//! Criterion: Andersen solver throughput over the evaluation targets'
+//! modules (the dominant offline cost of the Full-AA heuristic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmalias::{AliasAnalysis, PmMarking};
+use std::hint::black_box;
+
+fn bench_alias(c: &mut Criterion) {
+    let redis = pmapps::redis::build(pmapps::redis::RedisBuild::PmPort).unwrap();
+    let mc = pmapps::memcached::build_correct().unwrap();
+    let pmdk = minipmdk::build_correct().unwrap();
+
+    let mut g = c.benchmark_group("alias_solver");
+    g.bench_function("redis_analyze", |b| {
+        b.iter(|| AliasAnalysis::analyze(black_box(&redis)))
+    });
+    g.bench_function("memcached_analyze", |b| {
+        b.iter(|| AliasAnalysis::analyze(black_box(&mc)))
+    });
+    g.bench_function("pmdk_analyze", |b| {
+        b.iter(|| AliasAnalysis::analyze(black_box(&pmdk)))
+    });
+
+    let aa = AliasAnalysis::analyze(&redis);
+    let marking = PmMarking::full(&aa);
+    let ptrs: Vec<_> = aa.pointer_values().collect();
+    g.bench_function("redis_score_all_pointers", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(f, v) in &ptrs {
+                acc += marking.score(&aa, f, v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alias);
+criterion_main!(benches);

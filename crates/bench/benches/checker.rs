@@ -1,0 +1,41 @@
+//! Criterion: durability-checker throughput over recorded traces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmcheck::check_trace;
+use pmvm::{Vm, VmOptions};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mc = pmapps::memcached::build_correct().unwrap();
+    let trace = Vm::new(VmOptions::default())
+        .run(&mc, pmapps::memcached::ENTRY)
+        .unwrap()
+        .trace
+        .unwrap();
+    let buggy = pmapps::memcached::build_buggy("mm-2").unwrap();
+    let buggy_trace = Vm::new(VmOptions::default())
+        .run(&buggy, pmapps::memcached::ENTRY)
+        .unwrap()
+        .trace
+        .unwrap();
+
+    let mut g = c.benchmark_group("checker");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("clean_trace", |b| {
+        b.iter(|| check_trace(black_box(&trace)))
+    });
+    g.throughput(Throughput::Elements(buggy_trace.len() as u64));
+    g.bench_function("buggy_trace", |b| {
+        b.iter(|| check_trace(black_box(&buggy_trace)))
+    });
+    g.bench_function("trace_json_roundtrip", |b| {
+        b.iter(|| {
+            let json = black_box(&trace).to_json().unwrap();
+            pmtrace::Trace::from_json(&json).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

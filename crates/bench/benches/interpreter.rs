@@ -1,0 +1,52 @@
+//! Criterion: interpreter dispatch throughput (steps/second) on the
+//! evaluation applications.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmvm::{Vm, VmOptions};
+use std::hint::black_box;
+
+fn bench_interp(c: &mut Criterion) {
+    let pclht = pmapps::pclht::build_correct().unwrap();
+    let mc = pmapps::memcached::build_correct().unwrap();
+
+    // Measure once to learn the step counts for throughput reporting.
+    let steps_pclht = Vm::new(VmOptions::bench())
+        .run(&pclht, pmapps::pclht::ENTRY)
+        .unwrap()
+        .steps;
+    let steps_mc = Vm::new(VmOptions::bench())
+        .run(&mc, pmapps::memcached::ENTRY)
+        .unwrap()
+        .steps;
+
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(steps_pclht));
+    g.bench_function("pclht_main", |b| {
+        b.iter(|| {
+            Vm::new(VmOptions::bench())
+                .run(black_box(&pclht), pmapps::pclht::ENTRY)
+                .unwrap()
+        })
+    });
+    g.throughput(Throughput::Elements(steps_mc));
+    g.bench_function("memcached_main", |b| {
+        b.iter(|| {
+            Vm::new(VmOptions::bench())
+                .run(black_box(&mc), pmapps::memcached::ENTRY)
+                .unwrap()
+        })
+    });
+    // Tracing overhead: the same run with the pmemcheck trace enabled.
+    g.throughput(Throughput::Elements(steps_mc));
+    g.bench_function("memcached_main_traced", |b| {
+        b.iter(|| {
+            Vm::new(VmOptions::default())
+                .run(black_box(&mc), pmapps::memcached::ENTRY)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

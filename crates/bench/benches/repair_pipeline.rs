@@ -1,0 +1,46 @@
+//! Criterion: the full detect→fix→verify pipeline per corpus target (the
+//! Fig. 5 "offline overhead" as a steady-state measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hippocrates::{Hippocrates, RepairOptions};
+use std::hint::black_box;
+
+fn bench_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair_pipeline");
+    g.sample_size(20);
+    g.bench_function("pmdk_452_intraproc", |b| {
+        b.iter(|| {
+            let mut m = minipmdk::build_buggy("pmdk-452").unwrap();
+            let outcome = Hippocrates::new(RepairOptions::default())
+                .repair_until_clean(&mut m, &minipmdk::entry_for("pmdk-452"))
+                .unwrap();
+            black_box(outcome.fixes.len())
+        })
+    });
+    g.bench_function("pmdk_447_interproc", |b| {
+        b.iter(|| {
+            let mut m = minipmdk::build_buggy("pmdk-447").unwrap();
+            let outcome = Hippocrates::new(RepairOptions::default())
+                .repair_until_clean(&mut m, &minipmdk::entry_for("pmdk-447"))
+                .unwrap();
+            black_box(outcome.fixes.len())
+        })
+    });
+    g.bench_function("pclht_both_bugs", |b| {
+        b.iter(|| {
+            let mut m = minipmdk::library_compiler()
+                .source("pclht.pmc", pmapps::pclht::SRC)
+                .elide_tags(pmapps::pclht::BUG_IDS)
+                .compile()
+                .unwrap();
+            let outcome = Hippocrates::new(RepairOptions::default())
+                .repair_until_clean(&mut m, pmapps::pclht::ENTRY)
+                .unwrap();
+            black_box(outcome.fixes.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: host-side wall-clock of one simulated YCSB batch per Redis
+//! variant (how fast the Fig. 4 experiment itself runs).
+
+use bench::redisx::{build_redis_variants, to_redis_ops};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmapps::redis::attach_workload;
+use pmvm::{Vm, VmOptions};
+use std::hint::black_box;
+use ycsb::{Generator, Workload};
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut v = build_redis_variants();
+    let g = Generator::new(200, 200, 1024, 1);
+    let mut ops = to_redis_ops(&g.load_ops(), 1024);
+    ops.extend(to_redis_ops(&g.run_ops(Workload::A), 1024));
+    let e_pm = attach_workload(&mut v.pm, "bench", &ops);
+    let e_full = attach_workload(&mut v.hfull, "bench", &ops);
+    let e_intra = attach_workload(&mut v.hintra, "bench", &ops);
+
+    let mut grp = c.benchmark_group("ycsb_redis_workload_a");
+    grp.sample_size(20);
+    for (name, module, entry) in [
+        ("redis_pm", &v.pm, &e_pm),
+        ("redis_h_full", &v.hfull, &e_full),
+        ("redis_h_intra", &v.hintra, &e_intra),
+    ] {
+        grp.bench_function(name, |b| {
+            b.iter(|| {
+                Vm::new(VmOptions::bench())
+                    .run(black_box(module), entry)
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_ycsb);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates **§6.1 (effectiveness)**: all 23 corpus bugs are found by
+//! the bug finder, repaired by Hippocrates, and re-verified clean; and the
+//! Full-AA and Trace-AA heuristics produce identical fixes and identical
+//! end binaries.
+
+use bench::Table;
+use bugdb::{corpus, Target};
+use hippocrates::{Hippocrates, MarkingMode, RepairOptions};
+use pmir::Module;
+
+fn build(id: &str, target: Target) -> (Module, String) {
+    match target {
+        Target::Pmdk => (
+            minipmdk::build_buggy(id).expect("pmdk corpus builds"),
+            minipmdk::entry_for(id),
+        ),
+        Target::Pclht => (
+            pmapps::pclht::build_buggy(id).expect("pclht builds"),
+            pmapps::pclht::ENTRY.to_string(),
+        ),
+        Target::Memcached => (
+            pmapps::memcached::build_buggy(id).expect("memcached builds"),
+            pmapps::memcached::ENTRY.to_string(),
+        ),
+    }
+}
+
+fn main() {
+    println!("§6.1 — Effectiveness: detect -> repair -> re-verify for all 23 corpus bugs\n");
+    let mut t = Table::new([
+        "Bug",
+        "Target",
+        "Reported",
+        "Fixes",
+        "Interproc",
+        "Clean after repair",
+        "Full-AA == Trace-AA",
+    ]);
+    let mut all_clean = true;
+    let mut all_identical = true;
+    for bug in corpus() {
+        let (mut m, entry) = build(bug.id, bug.target);
+        let pre = pmcheck::run_and_check(&m, &entry, pmvm::VmOptions::default())
+            .expect("buggy build runs");
+        let reported = pre.report.deduped_bugs().len();
+        assert!(reported > 0, "{}: not detected", bug.id);
+
+        let outcome = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, &entry)
+            .expect("repair succeeds");
+        all_clean &= outcome.clean;
+
+        // Trace-AA comparison on a fresh copy.
+        let (mut m2, _) = build(bug.id, bug.target);
+        let outcome2 = Hippocrates::new(RepairOptions {
+            marking: MarkingMode::TraceAa,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m2, &entry)
+        .expect("trace-AA repair succeeds");
+        let identical = pmir::display::print_module(&m) == pmir::display::print_module(&m2)
+            && outcome.fixes.len() == outcome2.fixes.len();
+        all_identical &= identical;
+
+        t.row([
+            bug.id.to_string(),
+            bug.target.label().to_string(),
+            reported.to_string(),
+            outcome.fixes.len().to_string(),
+            outcome.interprocedural_count().to_string(),
+            if outcome.clean { "yes".into() } else { "NO".to_string() },
+            if identical { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "paper: Hippocrates automatically repairs all 23 bugs; both heuristics \
+         produce identical end binaries"
+    );
+    assert!(all_clean, "some repair left bugs behind");
+    assert!(all_identical, "Full-AA and Trace-AA diverged");
+    println!("reproduced: all 23 repaired and re-verified clean; heuristics identical");
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Fig. 5** (§6.4): Hippocrates's offline overhead — target
+//! size (kilo-lines of IR, the KLOC analog), repair wall-clock time, and
+//! peak process memory — for the four evaluation targets with *all* of
+//! their bugs seeded at once.
+
+use bench::{vm_hwm_kb, Table};
+use hippocrates::{Hippocrates, RepairOptions};
+use pmapps::redis::{attach_workload, build, RedisBuild};
+use pmir::ModuleMetrics;
+use std::time::Instant;
+
+fn main() {
+    println!("Fig. 5 — Offline overhead of Hippocrates (all bugs per target at once)\n");
+    let mut t = Table::new(["", "PMDK (unit tests)", "P-CLHT (RECIPE)", "memcached-pm", "Redis-pmem"]);
+
+    let mut kloc = vec![];
+    let mut time = vec![];
+    let mut mem = vec![];
+
+    // PMDK: every issue seeded, checked through the run-everything entry.
+    let mut pmdk = minipmdk::library_compiler()
+        .source("unit_tests.pmc", minipmdk::UNIT_TESTS_SRC)
+        .elide_tags(minipmdk::PMDK_BUG_IDS)
+        .compile()
+        .expect("pmdk all-bugs build");
+    run_target(&mut pmdk, "pmdk_check_all", &mut kloc, &mut time, &mut mem);
+
+    // P-CLHT: both bugs.
+    let mut pclht = minipmdk::library_compiler()
+        .source("pclht.pmc", pmapps::pclht::SRC)
+        .elide_tags(pmapps::pclht::BUG_IDS)
+        .compile()
+        .expect("pclht all-bugs build");
+    run_target(&mut pclht, pmapps::pclht::ENTRY, &mut kloc, &mut time, &mut mem);
+
+    // memcached: all ten.
+    let mut mc = minipmdk::library_compiler()
+        .source("memcached.pmc", pmapps::memcached::SRC)
+        .elide_tags(pmapps::memcached::BUG_IDS)
+        .compile()
+        .expect("memcached all-bugs build");
+    run_target(&mut mc, pmapps::memcached::ENTRY, &mut kloc, &mut time, &mut mem);
+
+    // Redis: the flush-free build under the calibration workload.
+    let mut redis = build(RedisBuild::FlushFree).expect("flush-free builds");
+    let entry = attach_workload(&mut redis, "cal", &bench::redisx::calibration_ops());
+    run_target(&mut redis, &entry, &mut kloc, &mut time, &mut mem);
+
+    t.row(
+        std::iter::once("IR KLOC".to_string())
+            .chain(kloc.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    t.row(
+        std::iter::once("Time".to_string())
+            .chain(time.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    t.row(
+        std::iter::once("Memory (peak RSS)".to_string())
+            .chain(mem.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    println!("{t}");
+    println!(
+        "paper: at most ~5 minutes and <1 GB for the largest target — low \
+         enough to sit in a developer workflow"
+    );
+}
+
+fn run_target(
+    m: &mut pmir::Module,
+    entry: &str,
+    kloc: &mut Vec<String>,
+    time: &mut Vec<String>,
+    mem: &mut Vec<String>,
+) {
+    let lines = ModuleMetrics::measure(m).ir_lines;
+    kloc.push(format!("{:.1}", lines as f64 / 1000.0));
+    let before_mem = vm_hwm_kb().unwrap_or(0);
+    let start = Instant::now();
+    let outcome = Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(m, entry)
+        .expect("repair succeeds");
+    let elapsed = start.elapsed();
+    assert!(outcome.clean);
+    time.push(format!("{:.2?}", elapsed));
+    let after_mem = vm_hwm_kb().unwrap_or(0);
+    mem.push(format!("{} MB", after_mem.max(before_mem) / 1024));
+}

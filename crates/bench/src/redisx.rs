@@ -1,0 +1,165 @@
+//! The Redis case-study driver (Fig. 4, §6.3): builds the three server
+//! variants and measures YCSB phases on the simulated clock.
+
+use hippocrates::{Hippocrates, RepairOptions, RepairOutcome};
+use pmapps::redis::{attach_workload, build, RedisBuild, RedisOp};
+use pmir::Module;
+use pmvm::{Vm, VmOptions};
+use ycsb::{KvOp, OpKind};
+
+/// The three Fig. 4 variants plus their repair outcomes.
+pub struct RedisVariants {
+    /// Redis-pm: the developer port (manual flushes).
+    pub pm: Module,
+    /// RedisH-full: flush-free Redis repaired with the full heuristic.
+    pub hfull: Module,
+    /// RedisH-intra: flush-free Redis repaired intraprocedurally only.
+    pub hintra: Module,
+    /// Repair outcome for RedisH-full (fix mix, hoist levels).
+    pub hfull_outcome: RepairOutcome,
+    /// Repair outcome for RedisH-intra.
+    pub hintra_outcome: RepairOutcome,
+}
+
+/// The calibration workload used to drive pmemcheck during repair: it
+/// covers every server code path (fresh set, in-place overwrite, get,
+/// delete, scan, read-modify-write).
+pub fn calibration_ops() -> Vec<RedisOp> {
+    let mut ops = vec![];
+    for k in 1..=8 {
+        ops.push(RedisOp::set(k, 64));
+    }
+    ops.push(RedisOp::set(1, 64)); // overwrite in place
+    ops.push(RedisOp::set(2, 64));
+    ops.push(RedisOp::get(1));
+    ops.push(RedisOp::get(99)); // miss
+    ops.push(RedisOp::del(3));
+    ops.push(RedisOp::del(99)); // miss
+    ops.push(RedisOp::scan(1, 8));
+    ops.push(RedisOp::rmw(4, 64));
+    ops
+}
+
+/// Builds Redis-pm, RedisH-full, and RedisH-intra exactly as §6.3
+/// prescribes: take the developer port, remove all flushes (keeping
+/// fences), run the bug finder, and let Hippocrates regenerate the
+/// persistence — with and without the hoisting heuristic.
+///
+/// # Panics
+///
+/// Panics if any build or repair fails (the corpus tests guarantee they
+/// succeed).
+pub fn build_redis_variants() -> RedisVariants {
+    let pm = build(RedisBuild::PmPort).expect("pm port builds");
+
+    let mut hfull = build(RedisBuild::FlushFree).expect("flush-free builds");
+    let entry = attach_workload(&mut hfull, "calibration", &calibration_ops());
+    let hfull_outcome = Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(&mut hfull, &entry)
+        .expect("full repair succeeds");
+    assert!(hfull_outcome.clean);
+
+    let mut hintra = build(RedisBuild::FlushFree).expect("flush-free builds");
+    let entry = attach_workload(&mut hintra, "calibration", &calibration_ops());
+    let hintra_outcome = Hippocrates::new(RepairOptions::intraprocedural_only())
+        .repair_until_clean(&mut hintra, &entry)
+        .expect("intra repair succeeds");
+    assert!(hintra_outcome.clean);
+
+    RedisVariants {
+        pm,
+        hfull,
+        hintra,
+        hfull_outcome,
+        hintra_outcome,
+    }
+}
+
+/// Converts YCSB operations to the Redis op encoding with a fixed value
+/// length.
+pub fn to_redis_ops(ops: &[KvOp], value_len: i64) -> Vec<RedisOp> {
+    ops.iter()
+        .map(|op| match op.kind {
+            OpKind::Insert | OpKind::Update => RedisOp::set(op.key as i64, value_len),
+            OpKind::Read => RedisOp::get(op.key as i64),
+            OpKind::Scan(n) => RedisOp::scan(op.key as i64, n as i64),
+            OpKind::ReadModifyWrite => RedisOp::rmw(op.key as i64, value_len),
+        })
+        .collect()
+}
+
+/// One measured phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadResult {
+    /// Simulated cycles of the load phase alone.
+    pub load_cycles: u64,
+    /// Simulated cycles of the run phase (total minus load).
+    pub run_cycles: u64,
+    /// The observable output of the combined run (for cross-variant
+    /// equivalence checks).
+    pub output: i64,
+}
+
+/// Measures `load` followed by `run` on `module`: two executions (load
+/// alone, then load+run in one process) give exact per-phase cycles on the
+/// deterministic simulator.
+///
+/// # Panics
+///
+/// Panics if execution traps.
+pub fn measure_workload(
+    module: &mut Module,
+    tag: &str,
+    load: &[RedisOp],
+    run: &[RedisOp],
+) -> WorkloadResult {
+    let entry_load = attach_workload(module, &format!("{tag}_load"), load);
+    let mut combined: Vec<RedisOp> = load.to_vec();
+    combined.extend_from_slice(run);
+    let entry_full = attach_workload(module, &format!("{tag}_all"), &combined);
+
+    let opts = VmOptions::bench();
+    let r_load = Vm::new(opts.clone())
+        .run(module, &entry_load)
+        .expect("load runs");
+    let r_full = Vm::new(opts).run(module, &entry_full).expect("run runs");
+    WorkloadResult {
+        load_cycles: r_load.stats.cycles,
+        run_cycles: r_full.stats.cycles.saturating_sub(r_load.stats.cycles),
+        output: r_full.output.first().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_build_and_behave_identically() {
+        let mut v = build_redis_variants();
+        let g = ycsb::Generator::new(50, 50, 64, 1);
+        let load = to_redis_ops(&g.load_ops(), 64);
+        let run = to_redis_ops(&g.run_ops(ycsb::Workload::A), 64);
+        let pm = measure_workload(&mut v.pm, "t", &load, &run);
+        let full = measure_workload(&mut v.hfull, "t", &load, &run);
+        let intra = measure_workload(&mut v.hintra, "t", &load, &run);
+        // Do no harm: identical observable outputs across variants.
+        assert_eq!(pm.output, full.output);
+        assert_eq!(pm.output, intra.output);
+        // And the performance ordering of Fig. 4.
+        assert!(
+            intra.run_cycles > full.run_cycles,
+            "intra {} vs full {}",
+            intra.run_cycles,
+            full.run_cycles
+        );
+    }
+
+    #[test]
+    fn hfull_uses_interprocedural_fixes() {
+        let v = build_redis_variants();
+        assert!(v.hfull_outcome.interprocedural_count() > 0);
+        assert_eq!(v.hintra_outcome.interprocedural_count(), 0);
+        assert!(v.hfull_outcome.fixes.len() >= 10, "fix count: {}", v.hfull_outcome.fixes.len());
+    }
+}

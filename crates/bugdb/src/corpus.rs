@@ -1,0 +1,163 @@
+//! The 23-bug reproduction corpus index (§6.1): 11 PMDK issues, 2 P-CLHT
+//! bugs, 10 memcached-pm bugs, with the Fig. 3 comparison metadata for the
+//! PMDK subset.
+
+use serde::{Deserialize, Serialize};
+
+/// The system a corpus bug lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// minipmdk unit tests.
+    Pmdk,
+    /// The P-CLHT index.
+    Pclht,
+    /// mini-memcached.
+    Memcached,
+}
+
+impl Target {
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::Pmdk => "PMDK (unit tests)",
+            Target::Pclht => "P-CLHT (RECIPE)",
+            Target::Memcached => "memcached-pm",
+        }
+    }
+}
+
+/// The fix shape Hippocrates is expected to produce (Fig. 3; recorded for
+/// the PMDK issues only, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectedFix {
+    /// A direct `CLWB` next to the store.
+    IntraproceduralFlush,
+    /// A persistent-subprogram transformation with a call-site fence.
+    InterproceduralFlushFence,
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CorpusBug {
+    /// Stable id; also the `pmlang` `#[tag(…)]` name that seeds the bug.
+    pub id: &'static str,
+    /// The containing system.
+    pub target: Target,
+    /// What the missing persistence operation protects.
+    pub description: &'static str,
+    /// The expected Hippocrates fix shape (PMDK issues only).
+    pub expected_fix: Option<ExpectedFix>,
+    /// The developer's fix, as recorded in the issue tracker (PMDK only).
+    pub developer_fix: Option<&'static str>,
+    /// Fig. 3's qualitative comparison verdict (PMDK only).
+    pub comparison: Option<&'static str>,
+}
+
+const IDENTICAL: &str = "Functionally identical";
+const EQUIVALENT: &str = "Functionally equivalent; PMDK's fix is more portable";
+const DEV_INTER: &str = "Interprocedural flush+fence (pmem_persist at the call site)";
+const DEV_PORTABLE: &str = "Interprocedural flush (runtime-dispatched libpmem flush)";
+
+/// The full 23-bug corpus, in evaluation order.
+pub fn corpus() -> Vec<CorpusBug> {
+    let mut v = vec![];
+    // The eight interprocedural PMDK issues.
+    for (id, description) in [
+        ("pmdk-447", "header block write after pmem_memcpy-style copy"),
+        ("pmdk-458", "heap-header cursor update"),
+        ("pmdk-459", "root-object installation (offset + size)"),
+        ("pmdk-460", "intrusive list push (head + node link)"),
+        ("pmdk-461", "checksum field update"),
+        ("pmdk-585", "large buffer initialization (multi-line memset)"),
+        ("pmdk-942", "free-list push"),
+        ("pmdk-945", "redo-log append (cursor + payload)"),
+    ] {
+        v.push(CorpusBug {
+            id,
+            target: Target::Pmdk,
+            description,
+            expected_fix: Some(ExpectedFix::InterproceduralFlushFence),
+            developer_fix: Some(DEV_INTER),
+            comparison: Some(IDENTICAL),
+        });
+    }
+    // The three intraprocedural PMDK issues.
+    for (id, description) in [
+        ("pmdk-452", "single-line object field store before fence"),
+        ("pmdk-940", "root fields written by a unit test"),
+        ("pmdk-943", "two sub-word fields in one cache line"),
+    ] {
+        v.push(CorpusBug {
+            id,
+            target: Target::Pmdk,
+            description,
+            expected_fix: Some(ExpectedFix::IntraproceduralFlush),
+            developer_fix: Some(DEV_PORTABLE),
+            comparison: Some(EQUIVALENT),
+        });
+    }
+    // P-CLHT.
+    v.push(CorpusBug {
+        id: "pclht-1",
+        target: Target::Pclht,
+        description: "newly written key/value pair not persisted",
+        expected_fix: None,
+        developer_fix: None,
+        comparison: None,
+    });
+    v.push(CorpusBug {
+        id: "pclht-2",
+        target: Target::Pclht,
+        description: "overflow-bucket link flush not fenced",
+        expected_fix: None,
+        developer_fix: None,
+        comparison: None,
+    });
+    // memcached-pm.
+    for (id, description) in [
+        ("mm-1", "item header fields not persisted after allocation"),
+        ("mm-2", "item value bytes not persisted after copy"),
+        ("mm-3", "item hash-chain pointer not persisted"),
+        ("mm-4", "hash bucket head not persisted"),
+        ("mm-5", "LRU head pointer not persisted"),
+        ("mm-6", "item LRU links not persisted"),
+        ("mm-7", "stats counter flush missing (fence present)"),
+        ("mm-8", "item expiry update not persisted"),
+        ("mm-9", "CAS flush not fenced before the crash point"),
+        ("mm-10", "bucket-chain unlink not persisted"),
+    ] {
+        v.push(CorpusBug {
+            id,
+            target: Target::Memcached,
+            description,
+            expected_fix: None,
+            developer_fix: None,
+            comparison: None,
+        });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Target::Pmdk.label(), "PMDK (unit tests)");
+        assert_eq!(Target::Pclht.label(), "P-CLHT (RECIPE)");
+    }
+
+    #[test]
+    fn pmdk_entries_have_fig3_metadata() {
+        for b in corpus() {
+            if b.target == Target::Pmdk {
+                assert!(b.expected_fix.is_some(), "{}", b.id);
+                assert!(b.developer_fix.is_some(), "{}", b.id);
+                assert!(b.comparison.is_some(), "{}", b.id);
+            } else {
+                assert!(b.expected_fix.is_none(), "{}", b.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `bugdb` — the paper's bug-study dataset (Fig. 1), the 23-bug reproduction
+//! corpus index (§6.1), and the developer-fix metadata behind the Fig. 3
+//! accuracy comparison.
+
+pub mod corpus;
+pub mod study;
+
+pub use corpus::{corpus, CorpusBug, ExpectedFix, Target};
+pub use study::{study_rows, study_summary, IssueGroup, StudySummary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_23_bugs() {
+        let c = corpus();
+        assert_eq!(c.len(), 23);
+        assert_eq!(c.iter().filter(|b| b.target == Target::Pmdk).count(), 11);
+        assert_eq!(c.iter().filter(|b| b.target == Target::Pclht).count(), 2);
+        assert_eq!(
+            c.iter().filter(|b| b.target == Target::Memcached).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn fig3_expectations_match_the_paper() {
+        let c = corpus();
+        let intraproc: Vec<&str> = c
+            .iter()
+            .filter(|b| b.expected_fix == Some(ExpectedFix::IntraproceduralFlush))
+            .map(|b| b.id)
+            .collect();
+        assert_eq!(intraproc, vec!["pmdk-452", "pmdk-940", "pmdk-943"]);
+        let interproc = c
+            .iter()
+            .filter(|b| b.expected_fix == Some(ExpectedFix::InterproceduralFlushFence))
+            .count();
+        assert_eq!(interproc, 8);
+    }
+
+    #[test]
+    fn study_summary_matches_fig1_bottom_row() {
+        let s = study_summary();
+        assert_eq!(s.total_issues, 26);
+        assert_eq!(s.avg_commits, 13);
+        assert_eq!(s.avg_days, 28);
+        assert_eq!(s.max_days, 66);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c = corpus();
+        let mut ids: Vec<&str> = c.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 23);
+    }
+}

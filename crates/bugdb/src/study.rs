@@ -1,0 +1,126 @@
+//! The Fig. 1 bug-study dataset: 26 PMDK issues found with pmemcheck and
+//! fixed by developers, grouped as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Fig. 1: a group of issues with shared provenance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IssueGroup {
+    /// The PMDK issue-tracker numbers.
+    pub issues: &'static [u32],
+    /// Average commits to a passing build, when the tracker recorded it.
+    pub avg_commits: Option<u32>,
+    /// Average days from open to close.
+    pub avg_days: Option<u32>,
+    /// Maximum days from open to close.
+    pub max_days: Option<u32>,
+    /// "Core library/tool bug" or "API Misuse".
+    pub kind: &'static str,
+}
+
+/// The bottom "Average" row of Fig. 1, computed from the groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudySummary {
+    /// Total issues across groups.
+    pub total_issues: usize,
+    /// Weighted average commits over groups with data.
+    pub avg_commits: u32,
+    /// Weighted average days over groups with data.
+    pub avg_days: u32,
+    /// Maximum days across groups.
+    pub max_days: u32,
+}
+
+/// The four groups of Fig. 1.
+pub fn study_rows() -> Vec<IssueGroup> {
+    vec![
+        IssueGroup {
+            issues: &[440, 441, 444],
+            avg_commits: None,
+            avg_days: None,
+            max_days: None,
+            kind: "Core library/tool bug",
+        },
+        IssueGroup {
+            issues: &[
+                442, 446, 447, 448, 449, 450, 452, 458, 459, 460, 461, 463, 465, 466,
+            ],
+            avg_commits: Some(17),
+            avg_days: Some(33),
+            max_days: Some(66),
+            kind: "Core library/tool bug",
+        },
+        IssueGroup {
+            issues: &[940, 942, 943, 945],
+            avg_commits: None,
+            avg_days: None,
+            max_days: None,
+            kind: "API Misuse",
+        },
+        IssueGroup {
+            issues: &[535, 585, 949, 1103, 1118],
+            avg_commits: Some(2),
+            avg_days: Some(15),
+            max_days: Some(38),
+            kind: "API Misuse",
+        },
+    ]
+}
+
+/// Recomputes the Fig. 1 "Average" row from the group data (issue-weighted
+/// over the groups that recorded commit/day data).
+pub fn study_summary() -> StudySummary {
+    let rows = study_rows();
+    let total_issues: usize = rows.iter().map(|r| r.issues.len()).sum();
+    let mut commits_num = 0u64;
+    let mut commits_den = 0u64;
+    let mut days_num = 0u64;
+    let mut days_den = 0u64;
+    let mut max_days = 0u32;
+    for r in &rows {
+        let n = r.issues.len() as u64;
+        if let Some(c) = r.avg_commits {
+            commits_num += u64::from(c) * n;
+            commits_den += n;
+        }
+        if let Some(d) = r.avg_days {
+            days_num += u64::from(d) * n;
+            days_den += n;
+        }
+        if let Some(m) = r.max_days {
+            max_days = max_days.max(m);
+        }
+    }
+    StudySummary {
+        total_issues,
+        avg_commits: (commits_num / commits_den.max(1)) as u32,
+        avg_days: (days_num / days_den.max(1)) as u32,
+        max_days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_groups_26_issues() {
+        let rows = study_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.iter().map(|r| r.issues.len()).sum::<usize>(), 26);
+    }
+
+    #[test]
+    fn core_vs_misuse_counts_match_section_3_1() {
+        // "17 have their root cause within the core PMDK libraries … the
+        // remaining 9 bugs are caused by the misuse of PMDK's API."
+        let rows = study_rows();
+        let core: usize = rows
+            .iter()
+            .filter(|r| r.kind.starts_with("Core"))
+            .map(|r| r.issues.len())
+            .sum();
+        assert_eq!(core, 17);
+        assert_eq!(26 - core, 9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Subcommand parsing and execution.
+
+use hippocrates::{Hippocrates, MarkingMode, RepairOptions};
+use pmcheck::run_and_check;
+use pmir::Module;
+use pmvm::{Vm, VmOptions};
+use std::fmt::Write as _;
+
+/// Top-level dispatch.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for usage problems, compile
+/// errors, traps, and failed repairs.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "compile" => compile_cmd(rest),
+        "run" => run_cmd(rest),
+        "trace" => trace_cmd(rest),
+        "check" => check_cmd(rest),
+        "fix" => fix_cmd(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::from("usage:\n");
+    for line in [
+        "hippoctl compile <src>...                        emit textual IR",
+        "hippoctl run     <src>... [--entry NAME]         execute and print output",
+        "hippoctl trace   <src>... [--entry NAME]         emit the PM trace as JSON",
+        "hippoctl check   <src>... [--entry NAME]         durability-bug report",
+        "hippoctl fix     <src>... [--entry NAME] [-o F]  repair; write fixed IR",
+        "                 [--intra-only] [--trace-aa] [--portable]",
+    ] {
+        let _ = writeln!(s, "  {line}");
+    }
+    s
+}
+
+/// Parsed common flags.
+struct Opts {
+    sources: Vec<String>,
+    entry: String,
+    out: Option<String>,
+    intra_only: bool,
+    trace_aa: bool,
+    portable: bool,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        sources: vec![],
+        entry: "main".to_string(),
+        out: None,
+        intra_only: false,
+        trace_aa: false,
+        portable: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => {
+                o.entry = it.next().ok_or("--entry needs a value")?.clone();
+            }
+            "-o" | "--out" => {
+                o.out = Some(it.next().ok_or("-o needs a value")?.clone());
+            }
+            "--intra-only" => o.intra_only = true,
+            "--trace-aa" => o.trace_aa = true,
+            "--portable" => o.portable = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            src => o.sources.push(src.to_string()),
+        }
+    }
+    if o.sources.is_empty() {
+        return Err("no source files given".to_string());
+    }
+    Ok(o)
+}
+
+/// Loads and links the given sources: `.ir` files parse as textual pmir
+/// (at most one, alone); anything else compiles as pmlang.
+fn load(sources: &[String]) -> Result<Module, String> {
+    if sources.iter().any(|s| s.ends_with(".ir")) {
+        if sources.len() != 1 {
+            return Err("an .ir module must be loaded alone".to_string());
+        }
+        let text = std::fs::read_to_string(&sources[0])
+            .map_err(|e| format!("{}: {e}", sources[0]))?;
+        let m = pmir::parse::parse_module(&text).map_err(|e| e.to_string())?;
+        pmir::verify::verify_module(&m).map_err(|e| e.to_string())?;
+        return Ok(m);
+    }
+    let mut c = pmlang::Compiler::new();
+    for s in sources {
+        let text = std::fs::read_to_string(s).map_err(|e| format!("{s}: {e}"))?;
+        c = c.source(s.clone(), text);
+    }
+    c.compile().map_err(|e| e.to_string())
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let m = load(&o.sources)?;
+    let text = pmir::display::print_module(&m);
+    emit(&o.out, &text)
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let m = load(&o.sources)?;
+    let r = Vm::new(VmOptions::bench())
+        .run(&m, &o.entry)
+        .map_err(|e| e.to_string())?;
+    for v in &r.output {
+        println!("{v}");
+    }
+    eprintln!(
+        "-- {:?} after {} steps, {} simulated cycles ({} PM stores, {} flushes, {} fences)",
+        r.ended,
+        r.steps,
+        r.stats.cycles,
+        r.stats.pm_stores,
+        r.stats.total_flushes(),
+        r.stats.fences
+    );
+    Ok(())
+}
+
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let m = load(&o.sources)?;
+    let checked = run_and_check(&m, &o.entry, VmOptions::default()).map_err(|e| e.to_string())?;
+    let json = checked.trace.to_json().map_err(|e| e.to_string())?;
+    emit(&o.out, &json)
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let m = load(&o.sources)?;
+    let checked = run_and_check(&m, &o.entry, VmOptions::default()).map_err(|e| e.to_string())?;
+    print!("{}", checked.report.render());
+    if checked.report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} durability bug(s) found",
+            checked.report.deduped_bugs().len()
+        ))
+    }
+}
+
+fn fix_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let mut m = load(&o.sources)?;
+    let opts = RepairOptions {
+        hoisting: !o.intra_only,
+        marking: if o.trace_aa {
+            MarkingMode::TraceAa
+        } else {
+            MarkingMode::FullAa
+        },
+        portable_fixes: o.portable,
+        ..RepairOptions::default()
+    };
+    let outcome = Hippocrates::new(opts)
+        .repair_until_clean(&mut m, &o.entry)
+        .map_err(|e| e.to_string())?;
+    for fix in &outcome.fixes {
+        eprintln!("applied: {fix}");
+    }
+    eprintln!(
+        "-- {} fix(es), {} interprocedural, {} iteration(s); report clean",
+        outcome.fixes.len(),
+        outcome.interprocedural_count(),
+        outcome.iterations
+    );
+    let text = pmir::display::print_module(&m);
+    emit(&o.out, &text)
+}
+
+fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let args: Vec<String> = ["a.pmc", "--entry", "go", "-o", "out.ir", "--intra-only"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.sources, vec!["a.pmc"]);
+        assert_eq!(o.entry, "go");
+        assert_eq!(o.out.as_deref(), Some("out.ir"));
+        assert!(o.intra_only);
+        assert!(!o.trace_aa);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_empty() {
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&["frobnicate".to_string()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! `hippoctl` — the command-line driver for the Hippocrates pipeline,
+//! mirroring the original artifact's scripts.
+//!
+//! ```text
+//! hippoctl compile  app.pmc [lib.pmc ...]      # emit textual IR
+//! hippoctl run      app.pmc --entry main       # execute, print output/stats
+//! hippoctl trace    app.pmc --entry main       # emit the pmemcheck-style trace (JSON)
+//! hippoctl check    app.pmc --entry main       # durability report
+//! hippoctl fix      app.pmc --entry main -o fixed.ir [--intra-only] [--trace-aa]
+//! ```
+//!
+//! Sources ending in `.ir` are parsed as textual `pmir`; everything else is
+//! compiled as `pmlang`. Multiple sources are linked into one module.
+
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hippoctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The repair engine: one pass (`repair_once`) and the detect→fix→verify
+//! loop (`repair_until_clean`).
+
+use crate::heuristic::{apply_hoist, choose_fix_site, CloneState};
+use crate::locate::{locate, BugSite, LocateError};
+use crate::options::{MarkingMode, RepairOptions};
+use crate::plan::{apply_intra_fix, plan_intra_fixes, pm_store_refs};
+use crate::summary::{AppliedFix, FixKind, RepairOutcome, RepairSummary};
+use pmalias::{AliasAnalysis, PmMarking};
+use pmcheck::{run_and_check, Bug, CheckReport, Checkpoint};
+use pmir::Module;
+use pmtrace::{EventKind, Trace};
+use pmvm::{VmError, VmOptions};
+use std::fmt;
+
+/// The Hippocrates repair engine. See the [crate docs](crate) for the
+/// pipeline description.
+#[derive(Debug, Clone)]
+pub struct Hippocrates {
+    opts: RepairOptions,
+}
+
+/// A repair failure.
+#[derive(Debug)]
+pub enum RepairError {
+    /// A bug could not be mapped back to the IR.
+    Locate(LocateError),
+    /// The program trapped during a verification run.
+    Vm(VmError),
+    /// The module failed verification after a rewrite (an engine bug).
+    Verify(pmir::verify::VerifyError),
+    /// A repair pass applied no fixes while bugs remain.
+    NoProgress {
+        /// Bugs still outstanding.
+        remaining: usize,
+    },
+    /// The iteration budget was exhausted before the report came back clean.
+    IterationBudget {
+        /// The configured maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Locate(e) => write!(f, "{e}"),
+            RepairError::Vm(e) => write!(f, "verification run failed: {e}"),
+            RepairError::Verify(e) => write!(f, "rewritten module is malformed: {e}"),
+            RepairError::NoProgress { remaining } => {
+                write!(f, "no fixes applied with {remaining} bug(s) remaining")
+            }
+            RepairError::IterationBudget { max } => {
+                write!(f, "not clean after {max} repair iteration(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<LocateError> for RepairError {
+    fn from(e: LocateError) -> Self {
+        RepairError::Locate(e)
+    }
+}
+
+impl From<VmError> for RepairError {
+    fn from(e: VmError) -> Self {
+        RepairError::Vm(e)
+    }
+}
+
+impl Hippocrates {
+    /// Creates an engine.
+    pub fn new(opts: RepairOptions) -> Self {
+        Hippocrates { opts }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &RepairOptions {
+        &self.opts
+    }
+
+    /// One repair pass over an existing bug report: locate → plan intra →
+    /// reduce → hoist → apply. The module is modified in place and
+    /// re-verified structurally.
+    ///
+    /// # Errors
+    ///
+    /// Fails if localization fails or (which would indicate an engine bug)
+    /// the rewritten module does not verify.
+    pub fn repair_once(
+        &self,
+        m: &mut Module,
+        trace: &Trace,
+        report: &CheckReport,
+    ) -> Result<RepairSummary, RepairError> {
+        // Locate deduped bugs, tagging each site with I's function.
+        let mut located: Vec<(Bug, BugSite)> = vec![];
+        for bug in report.deduped_bugs() {
+            let mut site = locate(m, bug)?;
+            site.i_func = i_function(m, trace, bug);
+            located.push((bug.clone(), site));
+        }
+
+        // Phase 1+2: plan intraprocedural fixes with reduction.
+        let fixes = plan_intra_fixes(m, trace, &located);
+
+        // Phase 3: hoisting decisions (only for flush-bearing fixes).
+        let analysis = self.opts.hoisting.then(|| {
+            let aa = AliasAnalysis::analyze(m);
+            let marking = match self.opts.marking {
+                MarkingMode::FullAa => PmMarking::full(&aa),
+                MarkingMode::TraceAa => PmMarking::from_trace(m, &aa, trace),
+            };
+            (aa, marking)
+        });
+        let pm_stores = pm_store_refs(m, trace);
+        // Reuse persistent clones created by earlier iterations (§4.2.4).
+        let mut state = if self.opts.reuse_subprograms {
+            CloneState::discover(m)
+        } else {
+            CloneState::default()
+        };
+        let mut summary = RepairSummary::default();
+
+        for fix in &fixes {
+            let store_function = m.function(fix.func).name().to_string();
+            let store_loc = fix
+                .sites
+                .first()
+                .and_then(|s| m.function(s.func).inst(s.store).loc)
+                .map(|l| pmtrace::TraceLoc {
+                    file: m.file_name(l.file).to_string(),
+                    line: l.line,
+                    col: l.col,
+                });
+            let bug_kinds: Vec<String> = fix.kinds.iter().map(|k| k.to_string()).collect();
+
+            // A fix is hoistable when it inserts a flush and has a caller.
+            let decision = match (&analysis, fix.insert_flush) {
+                (Some((aa, marking)), true) => fix
+                    .sites
+                    .iter()
+                    .find(|s| !s.call_path.is_empty())
+                    .map(|site| (site, choose_fix_site(m, aa, marking, site))),
+                _ => None,
+            };
+
+            match decision {
+                Some((site, d)) if d.depth > 0 => {
+                    let site = site.clone();
+                    let applied =
+                        apply_hoist(m, &site, d.depth, &pm_stores, &mut state, &self.opts);
+                    summary.clones_created += applied.clones_created;
+                    summary.fixes.push(AppliedFix {
+                        kind: FixKind::Interproc {
+                            levels: applied.levels,
+                            root_clone: applied.root_clone,
+                        },
+                        store_function,
+                        store_loc,
+                        bug_kinds,
+                    });
+                }
+                _ => {
+                    apply_intra_fix(m, fix, &self.opts);
+                    let kind = match (fix.insert_flush, fix.insert_fence) {
+                        (true, true) => FixKind::IntraFlushFence,
+                        (true, false) => FixKind::IntraFlush,
+                        _ => FixKind::IntraFence,
+                    };
+                    summary.fixes.push(AppliedFix {
+                        kind,
+                        store_function,
+                        store_loc,
+                        bug_kinds,
+                    });
+                }
+            }
+        }
+
+        pmir::verify::verify_module(m).map_err(RepairError::Verify)?;
+        Ok(summary)
+    }
+
+    /// The full loop: run the bug finder, repair, and re-verify until the
+    /// report is clean (paper Fig. 2 plus the §6.1 validation step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RepairError`]; notably [`RepairError::IterationBudget`]
+    /// when the program is still buggy after `max_iterations`.
+    pub fn repair_until_clean(
+        &self,
+        m: &mut Module,
+        entry: &str,
+    ) -> Result<RepairOutcome, RepairError> {
+        let vm_opts = VmOptions {
+            max_steps: self.opts.max_steps,
+            ..VmOptions::default()
+        };
+        let mut fixes = vec![];
+        let mut clones = 0usize;
+        for iter in 0..self.opts.max_iterations {
+            let checked = run_and_check(m, entry, vm_opts.clone())?;
+            if checked.report.is_clean() {
+                return Ok(RepairOutcome {
+                    clean: true,
+                    fixes,
+                    iterations: iter,
+                    final_report: checked.report,
+                    clones_created: clones,
+                });
+            }
+            let summary = self.repair_once(m, &checked.trace, &checked.report)?;
+            if summary.fixes.is_empty() {
+                return Err(RepairError::NoProgress {
+                    remaining: checked.report.deduped_bugs().len(),
+                });
+            }
+            fixes.extend(summary.fixes);
+            clones += summary.clones_created;
+        }
+        Err(RepairError::IterationBudget {
+            max: self.opts.max_iterations,
+        })
+    }
+}
+
+/// The paper's §7 "automatically providing durability": given a program in
+/// which the developer wrote *only* the ordering points (memory fences) and
+/// no flushes at all, Hippocrates regenerates every flush — this is exactly
+/// how the §6.3 Redis port was produced. A thin, intention-revealing
+/// wrapper over [`Hippocrates::repair_until_clean`].
+///
+/// # Errors
+///
+/// Propagates [`RepairError`] from the underlying loop.
+pub fn provide_durability(
+    module: &mut Module,
+    entry: &str,
+) -> Result<RepairOutcome, RepairError> {
+    Hippocrates::new(RepairOptions::default()).repair_until_clean(module, entry)
+}
+
+/// Determines the function containing the durability requirement `I` for a
+/// bug: the innermost frame of the matching crash point, or the outermost
+/// frame of the store's stack for program-end checkpoints.
+fn i_function(m: &Module, trace: &Trace, bug: &Bug) -> Option<pmir::FuncId> {
+    match bug.checkpoint {
+        Checkpoint::CrashPoint(n) => {
+            let mut seen = 0u64;
+            for e in &trace.events {
+                if matches!(e.kind, EventKind::CrashPoint) {
+                    seen += 1;
+                    if seen == n {
+                        return e
+                            .stack
+                            .first()
+                            .and_then(|f| m.function_by_name(&f.function));
+                    }
+                }
+            }
+            None
+        }
+        Checkpoint::ProgramEnd => bug
+            .stack
+            .last()
+            .and_then(|f| m.function_by_name(&f.function)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repair(src: &str) -> (Module, RepairOutcome) {
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, "main")
+            .unwrap();
+        (m, outcome)
+    }
+
+    #[test]
+    fn fixes_missing_flush_fence() {
+        let (_, outcome) =
+            repair("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }");
+        assert!(outcome.clean);
+        assert_eq!(outcome.fixes.len(), 1);
+        assert_eq!(outcome.fixes[0].kind, FixKind::IntraFlushFence);
+    }
+
+    #[test]
+    fn fixes_missing_fence_at_flush() {
+        let (_, outcome) = repair(
+            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); clwb(p); }",
+        );
+        assert!(outcome.clean);
+        assert_eq!(outcome.fixes.len(), 1);
+        assert_eq!(outcome.fixes[0].kind, FixKind::IntraFence);
+    }
+
+    #[test]
+    fn fixes_missing_flush_before_existing_fence() {
+        let (_, outcome) = repair(
+            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); sfence(); }",
+        );
+        assert!(outcome.clean);
+        // An intra flush suffices: the downstream fence orders it. The
+        // engine may still add its own fence if the checker classifies the
+        // final store state conservatively; what matters is cleanliness and
+        // that a flush was added.
+        assert!(outcome.fixes.iter().any(|f| matches!(
+            f.kind,
+            FixKind::IntraFlush | FixKind::IntraFlushFence
+        )));
+    }
+
+    #[test]
+    fn hoists_shared_helper() {
+        let src = r#"
+            fn update(addr: ptr, idx: int, val: int) { store1(addr, idx, val); }
+            fn modify(addr: ptr) { update(addr, 0, 1); }
+            fn main() {
+                var vol: ptr = alloc(4096);
+                var pm: ptr = pmem_map(0, 4096);
+                var i: int = 0;
+                while (i < 20) { modify(vol); i = i + 1; }
+                modify(pm);
+            }
+        "#;
+        let (m, outcome) = repair(src);
+        assert!(outcome.clean);
+        assert_eq!(outcome.interprocedural_count(), 1);
+        assert!(m.function_by_name("modify_PM").is_some());
+        assert!(m.function_by_name("update_PM").is_some());
+        assert_eq!(outcome.hoist_level_histogram().get(&2), Some(&1));
+    }
+
+    #[test]
+    fn intra_only_mode_never_hoists() {
+        let src = r#"
+            fn update(addr: ptr, idx: int, val: int) { store1(addr, idx, val); }
+            fn main() {
+                var pm: ptr = pmem_map(0, 4096);
+                update(pm, 0, 1);
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions::intraprocedural_only())
+            .repair_until_clean(&mut m, "main")
+            .unwrap();
+        assert!(outcome.clean);
+        assert_eq!(outcome.interprocedural_count(), 0);
+        assert!(m.function_by_name("update_PM").is_none());
+    }
+
+    #[test]
+    fn trace_aa_gives_same_fixes_as_full_aa() {
+        let src = r#"
+            fn update(addr: ptr, idx: int, val: int) { store1(addr, idx, val); }
+            fn modify(addr: ptr) { update(addr, 0, 1); }
+            fn main() {
+                var vol: ptr = alloc(4096);
+                var pm: ptr = pmem_map(0, 4096);
+                modify(vol);
+                modify(pm);
+            }
+        "#;
+        let mut m1 = pmlang::compile_one("t.pmc", src).unwrap();
+        let o1 = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m1, "main")
+            .unwrap();
+        let mut m2 = pmlang::compile_one("t.pmc", src).unwrap();
+        let o2 = Hippocrates::new(RepairOptions {
+            marking: MarkingMode::TraceAa,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m2, "main")
+        .unwrap();
+        assert!(o1.clean && o2.clean);
+        let kinds1: Vec<_> = o1.fixes.iter().map(|f| f.kind.clone()).collect();
+        let kinds2: Vec<_> = o2.fixes.iter().map(|f| f.kind.clone()).collect();
+        assert_eq!(kinds1, kinds2);
+        assert_eq!(
+            pmir::display::print_module(&m1),
+            pmir::display::print_module(&m2),
+            "identical end binaries (§6.1)"
+        );
+    }
+
+    #[test]
+    fn do_no_harm_output_equivalence() {
+        let src = r#"
+            fn update(addr: ptr, idx: int, val: int) { store1(addr, idx, val); }
+            fn main() {
+                var vol: ptr = alloc(64);
+                var pm: ptr = pmem_map(0, 4096);
+                update(vol, 0, 3);
+                update(pm, 0, 5);
+                print(load1(vol, 0));
+                print(load1(pm, 0));
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let before = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, "main")
+            .unwrap();
+        let after = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert_eq!(before.output, after.output, "fixes do not change behavior");
+    }
+
+    #[test]
+    fn already_clean_program_untouched() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let text_before = pmir::display::print_module(&m);
+        let outcome = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, "main")
+            .unwrap();
+        assert!(outcome.clean);
+        assert!(outcome.fixes.is_empty());
+        assert_eq!(outcome.iterations, 0);
+        assert_eq!(pmir::display::print_module(&m), text_before);
+    }
+
+    #[test]
+    fn crash_point_bugs_fixed() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                crashpoint();
+                store8(p, 8, 2);
+            }
+        "#;
+        let (_, outcome) = repair(src);
+        assert!(outcome.clean);
+        assert!(outcome.fixes.len() >= 2);
+    }
+
+    #[test]
+    fn provide_durability_regenerates_all_flushes() {
+        // Fences only — the developer marked ordering points; Hippocrates
+        // supplies every flush (§7).
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                store8(p, 64, 2);
+                sfence();
+                store8(p, 128, 3);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = crate::engine::provide_durability(&mut m, "main").unwrap();
+        assert!(outcome.clean);
+        let run = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert_eq!(run.stats.pm_flushes, 3);
+        // No extra fences were needed: the developer's ordering points
+        // suffice.
+        assert_eq!(run.stats.fences, 2);
+    }
+
+    #[test]
+    fn multiple_paths_fixed_over_iterations() {
+        // The same helper reached from two call sites on PM paths: the
+        // engine may need more than one iteration to cover both.
+        let src = r#"
+            fn update(addr: ptr, v: int) { store8(addr, 0, v); }
+            fn path_a(p: ptr) { update(p, 1); }
+            fn path_b(p: ptr) { update(p + 64, 2); }
+            fn main() {
+                var pm: ptr = pmem_map(0, 4096);
+                path_a(pm);
+                path_b(pm);
+            }
+        "#;
+        let (m, outcome) = repair(src);
+        assert!(outcome.clean, "{}", outcome.final_report.render());
+        let run = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert_eq!(run.stats.pm_stores, 2);
+    }
+}

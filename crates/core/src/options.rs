@@ -1,0 +1,82 @@
+//! Repair-engine configuration.
+
+use pmir::{FenceKind, FlushKind};
+
+/// Which PM-marking mode feeds the hoisting heuristic (paper §6.1 compares
+/// the two and finds they produce identical fixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarkingMode {
+    /// Whole-program alias analysis: every static `pmemmap` site is PM.
+    #[default]
+    FullAa,
+    /// Trace-seeded: only pools observed by the bug finder are PM.
+    TraceAa,
+}
+
+/// Options for [`crate::Hippocrates`].
+#[derive(Debug, Clone)]
+pub struct RepairOptions {
+    /// Enable the interprocedural hoisting heuristic. Disabling it yields
+    /// intraprocedural-only repair — the paper's RedisH-intra ablation.
+    pub hoisting: bool,
+    /// PM-marking mode for the heuristic.
+    pub marking: MarkingMode,
+    /// Flush instruction inserted by fixes (the paper's artifact inserts
+    /// `CLWB`).
+    pub flush_kind: FlushKind,
+    /// Fence instruction inserted by fixes.
+    pub fence_kind: FenceKind,
+    /// Reuse persistent subprograms across fixes (§4.2.4). Disabling this is
+    /// the code-bloat ablation for §6.4.
+    pub reuse_subprograms: bool,
+    /// Insert machine-portable range-flush *calls* instead of raw `CLWB`
+    /// instructions — the §6.2 extension the paper suggests ("Hippocrates
+    /// could be modified to insert more generic fixes"), matching the PMDK
+    /// developers' runtime-dispatched flush style.
+    pub portable_fixes: bool,
+    /// Maximum detect→fix→re-verify iterations in
+    /// [`crate::Hippocrates::repair_until_clean`].
+    pub max_iterations: u32,
+    /// VM step budget per verification run.
+    pub max_steps: u64,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            hoisting: true,
+            marking: MarkingMode::FullAa,
+            flush_kind: FlushKind::Clwb,
+            fence_kind: FenceKind::Sfence,
+            reuse_subprograms: true,
+            portable_fixes: false,
+            max_iterations: 8,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+impl RepairOptions {
+    /// The intraprocedural-only configuration (RedisH-intra).
+    pub fn intraprocedural_only() -> Self {
+        RepairOptions {
+            hoisting: false,
+            ..RepairOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = RepairOptions::default();
+        assert!(o.hoisting);
+        assert!(!o.portable_fixes);
+        assert_eq!(o.marking, MarkingMode::FullAa);
+        assert_eq!(o.flush_kind, FlushKind::Clwb);
+        assert!(!RepairOptions::intraprocedural_only().hoisting);
+    }
+}

@@ -1,0 +1,232 @@
+//! The one performance-bug fix the paper deems safely automatable (§7):
+//! removing *redundant flush instructions in the same basic block*.
+//!
+//! The paper explains why general performance-bug fixing is off-limits — a
+//! flush extraneous on one path may be required on another, and no bug
+//! finder can enumerate all paths. The sole exception it names is a flush
+//! of the same location repeated within one basic block with nothing in
+//! between that could re-dirty the line or consume the ordering: removing
+//! the duplicate cannot change durability on *any* path, because the two
+//! flushes are totally ordered and no intervening event distinguishes them.
+//!
+//! The pass is deliberately ultra-conservative: the second flush is removed
+//! only when both flushes use the *same address operand* and *same kind*,
+//! and no store-like, call, or fence instruction sits between them.
+
+use pmir::{rewrite, FuncId, InstId, Module, Op};
+
+/// A removed duplicate, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedFlush {
+    /// Containing function name.
+    pub function: String,
+    /// The unlinked instruction.
+    pub inst: InstId,
+}
+
+/// Removes same-block duplicate flushes module-wide; returns the removals.
+pub fn remove_redundant_flushes(m: &mut Module) -> Vec<RemovedFlush> {
+    let mut removed = vec![];
+    let func_ids: Vec<FuncId> = m.func_ids().collect();
+    for fid in func_ids {
+        let victims = find_redundant_in_function(m, fid);
+        for v in victims {
+            rewrite::unlink(m.function_mut(fid), v);
+            removed.push(RemovedFlush {
+                function: m.function(fid).name().to_string(),
+                inst: v,
+            });
+        }
+    }
+    removed
+}
+
+/// A provenance key for address operands: two operands with equal keys
+/// denote the same address *within a window that contains no store-like,
+/// call, or fence instruction* (unoptimized lowering reloads variables from
+/// their stack slots, so plain operand identity would never match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AddrKey {
+    /// An argument or an opaque definition (alloca, heapalloc, …).
+    Value(pmir::ValueId),
+    /// A load through the given address key — stable while nothing stores.
+    LoadOf(Box<AddrKey>),
+    /// Pointer arithmetic with a constant offset.
+    Gep(Box<AddrKey>, i64),
+    /// An integer or null constant.
+    Const(i64),
+}
+
+fn addr_key(f: &pmir::Function, op: pmir::Operand) -> AddrKey {
+    match op {
+        pmir::Operand::Const(c) => AddrKey::Const(c),
+        pmir::Operand::Null => AddrKey::Const(0),
+        pmir::Operand::Value(v) => match f.value(v).kind {
+            pmir::ValueKind::Arg(_) => AddrKey::Value(v),
+            pmir::ValueKind::Inst(def) => match &f.inst(def).op {
+                Op::Load { addr, .. } => AddrKey::LoadOf(Box::new(addr_key(f, *addr))),
+                Op::Gep {
+                    base,
+                    offset: pmir::Operand::Const(c),
+                } => AddrKey::Gep(Box::new(addr_key(f, *base)), *c),
+                _ => AddrKey::Value(v),
+            },
+        },
+    }
+}
+
+fn find_redundant_in_function(m: &Module, fid: FuncId) -> Vec<InstId> {
+    let f = m.function(fid);
+    let mut victims = vec![];
+    for b in f.block_ids() {
+        // Flushes seen since the last window-clearing instruction, keyed by
+        // kind + address provenance.
+        let mut window: Vec<(pmir::FlushKind, AddrKey)> = vec![];
+        for &i in &f.block(b).insts {
+            match &f.inst(i).op {
+                Op::Flush { kind, addr } => {
+                    let key = (*kind, addr_key(f, *addr));
+                    if window.contains(&key) {
+                        victims.push(i);
+                    } else {
+                        window.push(key);
+                    }
+                }
+                // Anything that could re-dirty memory or consume the
+                // ordering clears the window.
+                op if op.is_pm_storeish() => window.clear(),
+                Op::Call { .. } | Op::Fence { .. } | Op::CrashPoint => window.clear(),
+                _ => {}
+            }
+        }
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcheck::run_and_check;
+    use pmvm::{Vm, VmOptions};
+
+    fn flush_count(m: &Module) -> usize {
+        pmir::ModuleMetrics::measure(m).flushes
+    }
+
+    #[test]
+    fn duplicate_flush_in_block_removed() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                clwb(p);
+                sfence();
+                print(load8(p, 0));
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let before = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert_eq!(flush_count(&m), 2);
+        let removed = remove_redundant_flushes(&mut m);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(flush_count(&m), 1);
+        pmir::verify::verify_module(&m).unwrap();
+        // Do no harm, both directions: output unchanged and still clean.
+        let after = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert_eq!(before.output, after.run.output);
+        assert!(after.report.is_clean(), "{}", after.report.render());
+    }
+
+    #[test]
+    fn intervening_store_blocks_removal() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                store8(p, 0, 2);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        assert!(remove_redundant_flushes(&mut m).is_empty());
+        let c = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(c.report.is_clean());
+    }
+
+    #[test]
+    fn intervening_fence_blocks_removal() {
+        // After a fence, a re-flush is not redundant in the pass's
+        // conservative model (the line may be re-dirtied by unanalyzed
+        // effects); the dynamic checker would flag it, but the static pass
+        // must not touch it.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        assert!(remove_redundant_flushes(&mut m).is_empty());
+    }
+
+    #[test]
+    fn intervening_call_blocks_removal() {
+        let src = r#"
+            fn touch(p: ptr) { store8(p, 0, 9); }
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                touch(p);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        assert!(remove_redundant_flushes(&mut m).is_empty());
+        let c = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(c.report.is_clean(), "{}", c.report.render());
+    }
+
+    #[test]
+    fn different_addresses_not_confused() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                store8(p, 64, 2);
+                var a: ptr = p + 0;
+                var b: ptr = p + 64;
+                clwb(a);
+                clwb(b);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        assert!(remove_redundant_flushes(&mut m).is_empty());
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                clwb(p);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        assert_eq!(remove_redundant_flushes(&mut m).len(), 2);
+        assert!(remove_redundant_flushes(&mut m).is_empty());
+    }
+}

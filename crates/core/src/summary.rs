@@ -1,0 +1,160 @@
+//! Repair reporting: what was fixed and how (feeds the paper's Fig. 3
+//! accuracy comparison and §6.3 fix-mix statistics).
+
+use pmcheck::CheckReport;
+use pmtrace::TraceLoc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of an applied fix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FixKind {
+    /// Intraprocedural flush insertion (§4.2.2).
+    IntraFlush,
+    /// Intraprocedural fence insertion (§4.2.1).
+    IntraFence,
+    /// Intraprocedural flush + fence (§4.2.3).
+    IntraFlushFence,
+    /// Persistent-subprogram transformation (§4.2.4).
+    Interproc {
+        /// Frames above the store the fix landed.
+        levels: usize,
+        /// Name of the persistent clone rooting the subprogram.
+        root_clone: String,
+    },
+}
+
+impl FixKind {
+    /// Whether the fix is interprocedural.
+    pub fn is_interprocedural(&self) -> bool {
+        matches!(self, FixKind::Interproc { .. })
+    }
+}
+
+impl fmt::Display for FixKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixKind::IntraFlush => write!(f, "intraprocedural flush"),
+            FixKind::IntraFence => write!(f, "intraprocedural fence"),
+            FixKind::IntraFlushFence => write!(f, "intraprocedural flush+fence"),
+            FixKind::Interproc { levels, root_clone } => {
+                write!(f, "interprocedural flush+fence ({levels} level(s) up, via {root_clone})")
+            }
+        }
+    }
+}
+
+/// One applied fix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppliedFix {
+    /// The fix shape.
+    pub kind: FixKind,
+    /// Function containing the offending store.
+    pub store_function: String,
+    /// Source location of the store, when known.
+    pub store_loc: Option<TraceLoc>,
+    /// The bug kinds this fix addresses (post-reduction, possibly several).
+    pub bug_kinds: Vec<String>,
+}
+
+impl fmt::Display for AppliedFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} for store in `{}`", self.kind, self.store_function)?;
+        if let Some(l) = &self.store_loc {
+            write!(f, " ({l})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of one repair pass ([`crate::Hippocrates::repair_once`]).
+#[derive(Debug, Clone, Default)]
+pub struct RepairSummary {
+    /// Applied fixes, in application order.
+    pub fixes: Vec<AppliedFix>,
+    /// Persistent clones created during this pass.
+    pub clones_created: usize,
+}
+
+impl RepairSummary {
+    /// Count of interprocedural fixes.
+    pub fn interprocedural_count(&self) -> usize {
+        self.fixes.iter().filter(|f| f.kind.is_interprocedural()).count()
+    }
+}
+
+/// The result of the full detect→fix→verify loop
+/// ([`crate::Hippocrates::repair_until_clean`]).
+#[derive(Debug)]
+pub struct RepairOutcome {
+    /// Whether the final verification pass was clean.
+    pub clean: bool,
+    /// All fixes applied across iterations.
+    pub fixes: Vec<AppliedFix>,
+    /// Number of detect→fix iterations executed.
+    pub iterations: u32,
+    /// The final durability report.
+    pub final_report: CheckReport,
+    /// Total persistent clones created.
+    pub clones_created: usize,
+}
+
+impl RepairOutcome {
+    /// Count of interprocedural fixes across all iterations.
+    pub fn interprocedural_count(&self) -> usize {
+        self.fixes.iter().filter(|f| f.kind.is_interprocedural()).count()
+    }
+
+    /// Distribution of interprocedural hoist levels (level → count), for the
+    /// §6.3 statistic ("10 are implemented 1 function above … 2 are 2
+    /// functions above").
+    pub fn hoist_level_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for f in &self.fixes {
+            if let FixKind::Interproc { levels, .. } = &f.kind {
+                *h.entry(*levels).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_counts() {
+        let fix = AppliedFix {
+            kind: FixKind::Interproc {
+                levels: 2,
+                root_clone: "modify_PM".into(),
+            },
+            store_function: "update".into(),
+            store_loc: None,
+            bug_kinds: vec!["missing-flush&fence".into()],
+        };
+        assert!(fix.to_string().contains("modify_PM"));
+        let summary = RepairSummary {
+            fixes: vec![
+                fix.clone(),
+                AppliedFix {
+                    kind: FixKind::IntraFlush,
+                    store_function: "f".into(),
+                    store_loc: None,
+                    bug_kinds: vec![],
+                },
+            ],
+            clones_created: 2,
+        };
+        assert_eq!(summary.interprocedural_count(), 1);
+        let outcome = RepairOutcome {
+            clean: true,
+            fixes: summary.fixes,
+            iterations: 1,
+            final_report: CheckReport::default(),
+            clones_created: 2,
+        };
+        assert_eq!(outcome.hoist_level_histogram().get(&2), Some(&1));
+    }
+}

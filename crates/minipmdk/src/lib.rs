@@ -1,0 +1,181 @@
+//! `minipmdk` — a miniature PMDK analog written in `pmlang`, plus the
+//! reproduced 11-issue bug corpus from the paper's study (§3, §6.1, §6.2).
+//!
+//! The crate ships three `pmlang` sources:
+//!
+//! * `libpmem.pmc` — `pmem_flush` / `pmem_drain` / `pmem_persist` /
+//!   `pmem_memcpy_persist`;
+//! * `pobj.pmc` — a persistent object pool (magic, bump allocator, root);
+//! * `unit_tests.pmc` — one unit test per reproduced PMDK issue, with the
+//!   correct persistence statement tagged `#[tag("pmdk-NNN")]` so a buggy
+//!   build can elide it, and the recorded developer fix gated behind
+//!   `#[when("dev-NNN")]`.
+//!
+//! # Example
+//!
+//! ```
+//! // Build the issue-452 bug, confirm pmemcheck-style detection.
+//! let m = minipmdk::build_buggy("pmdk-452").unwrap();
+//! let checked = pmcheck::run_and_check(
+//!     &m, &minipmdk::entry_for("pmdk-452"), pmvm::VmOptions::default()).unwrap();
+//! assert!(!checked.report.is_clean());
+//! ```
+
+use pmir::Module;
+use pmlang::{Compiler, LangError};
+
+/// The libpmem analog source.
+pub const LIBPMEM_SRC: &str = include_str!("../pmc/libpmem.pmc");
+/// The libpmemobj analog source.
+pub const POBJ_SRC: &str = include_str!("../pmc/pobj.pmc");
+/// The unit tests with seeded issues.
+pub const UNIT_TESTS_SRC: &str = include_str!("../pmc/unit_tests.pmc");
+
+/// The 11 reproduced PMDK issues, in the paper's Fig. 3 order.
+pub const PMDK_BUG_IDS: [&str; 11] = [
+    "pmdk-447",
+    "pmdk-458",
+    "pmdk-459",
+    "pmdk-460",
+    "pmdk-461",
+    "pmdk-585",
+    "pmdk-942",
+    "pmdk-945",
+    "pmdk-452",
+    "pmdk-940",
+    "pmdk-943",
+];
+
+/// The unit-test entry point for an issue id (`"pmdk-452"` →
+/// `"test_pmdk_452"`).
+pub fn entry_for(id: &str) -> String {
+    format!("test_{}", id.replace('-', "_"))
+}
+
+/// A compiler pre-loaded with the library sources (used by dependent
+/// applications to link against minipmdk).
+pub fn library_compiler() -> Compiler {
+    Compiler::new()
+        .source("libpmem.pmc", LIBPMEM_SRC)
+        .source("pobj.pmc", POBJ_SRC)
+}
+
+fn unit_test_compiler() -> Compiler {
+    library_compiler().source("unit_tests.pmc", UNIT_TESTS_SRC)
+}
+
+/// Builds the correct (bug-free) library + unit tests.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics (which would indicate a corrupted
+/// source).
+pub fn build_correct() -> Result<Module, LangError> {
+    unit_test_compiler().compile()
+}
+
+/// Builds the corpus variant with `id`'s persistence statement removed —
+/// the reproduced bug.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_buggy(id: &str) -> Result<Module, LangError> {
+    unit_test_compiler().elide_tag(id).compile()
+}
+
+/// Builds the buggy variant plus the recorded developer fix — the baseline
+/// for the Fig. 3 accuracy comparison.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_developer_fixed(id: &str) -> Result<Module, LangError> {
+    unit_test_compiler()
+        .elide_tag(id)
+        .feature(format!("dev-{}", id.trim_start_matches("pmdk-")))
+        .compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcheck::run_and_check;
+    use pmvm::VmOptions;
+
+    #[test]
+    fn correct_build_is_clean_everywhere() {
+        let m = build_correct().unwrap();
+        for id in PMDK_BUG_IDS {
+            let c = run_and_check(&m, &entry_for(id), VmOptions::default()).unwrap();
+            assert!(c.report.is_clean(), "{id}: {}", c.report.render());
+        }
+        // And the run-everything entry.
+        let c = run_and_check(&m, "pmdk_check_all", VmOptions::default()).unwrap();
+        assert!(c.report.is_clean());
+    }
+
+    #[test]
+    fn every_buggy_build_is_detected() {
+        for id in PMDK_BUG_IDS {
+            let m = build_buggy(id).unwrap();
+            let c = run_and_check(&m, &entry_for(id), VmOptions::default()).unwrap();
+            assert!(
+                !c.report.is_clean(),
+                "{id}: bug not detected by the checker"
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_builds_only_affect_their_own_test() {
+        // Eliding issue 452's statement must not break issue 458's test.
+        let m = build_buggy("pmdk-452").unwrap();
+        let c = run_and_check(&m, &entry_for("pmdk-458"), VmOptions::default()).unwrap();
+        assert!(c.report.is_clean(), "{}", c.report.render());
+    }
+
+    #[test]
+    fn developer_fixes_are_clean() {
+        for id in PMDK_BUG_IDS {
+            let m = build_developer_fixed(id).unwrap();
+            let c = run_and_check(&m, &entry_for(id), VmOptions::default()).unwrap();
+            assert!(c.report.is_clean(), "{id}: developer fix not clean");
+        }
+    }
+
+    #[test]
+    fn outputs_match_across_variants() {
+        // Do-no-harm ground truth: correct, buggy, and developer-fixed
+        // builds all print the same values (the bug only affects crash
+        // durability, not in-run behavior).
+        for id in PMDK_BUG_IDS {
+            let entry = entry_for(id);
+            let run = |m: &Module| {
+                pmvm::Vm::new(VmOptions::default())
+                    .run(m, &entry)
+                    .unwrap()
+                    .output
+            };
+            let correct = run(&build_correct().unwrap());
+            let buggy = run(&build_buggy(id).unwrap());
+            let devfix = run(&build_developer_fixed(id).unwrap());
+            assert_eq!(correct, buggy, "{id}");
+            assert_eq!(correct, devfix, "{id}");
+        }
+    }
+
+    #[test]
+    fn pool_reuse_is_crash_consistent() {
+        // Run the correct 452 test, detach the medium, re-run against it:
+        // pobj_init must see the magic and keep contents.
+        let m = build_correct().unwrap();
+        let r1 = pmvm::Vm::new(VmOptions::default())
+            .run(&m, "test_pmdk_452")
+            .unwrap();
+        let media = r1.machine.into_media();
+        let opts = VmOptions::default().with_media(media);
+        let r2 = pmvm::Vm::new(opts).run(&m, "test_pmdk_452").unwrap();
+        assert_eq!(r2.output, vec![452]);
+    }
+}

@@ -1,0 +1,270 @@
+//! `pmalias` — inclusion-based (Andersen-style) points-to analysis over
+//! `pmir`, plus the PM/not-PM pointer marking and alias-count scoring that
+//! drive Hippocrates's interprocedural-fix heuristic (paper §4.3).
+//!
+//! The analysis is flow- and context-insensitive and field-insensitive, one
+//! abstract object per allocation site (`alloca`, `heapalloc`, `pmemmap`,
+//! global) — the same design point as the Andersen implementation the paper
+//! uses.
+//!
+//! Two PM-marking modes mirror the paper's §6.1 heuristics:
+//!
+//! * **Full-AA** ([`PmMarking::full`]): an object is PM iff its allocation
+//!   site is a `pmemmap`.
+//! * **Trace-AA** ([`PmMarking::from_trace`]): an object is PM iff the bug
+//!   finder actually observed its pool registration in the trace.
+//!
+//! A pointer value is *marked PM* when it may point to a PM object and
+//! *marked not-PM* when it may point to a volatile object (both can hold).
+//! The heuristic score of a pointer is `#PM-only aliases − #notPM-only
+//! aliases` over its may-alias set — exactly the Listing 6 calculation,
+//! which is reproduced in this crate's tests.
+
+pub mod marking;
+pub mod solver;
+
+pub use marking::{Mark, PmMarking};
+pub use solver::{AliasAnalysis, ObjId, ObjKind, Object};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmir::Module;
+
+    fn compile(src: &str) -> Module {
+        pmlang::compile_one("t.pmc", src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Find the pointer value that is the address operand of the first
+    /// store-like instruction in `func` that stores to a non-slot address
+    /// (i.e. a `gep` result or parameter, not a local variable slot).
+    fn store_addr_value(
+        m: &Module,
+        func: &str,
+    ) -> (pmir::FuncId, pmir::ValueId) {
+        let fid = m.function_by_name(func).unwrap();
+        let f = m.function(fid);
+        for (_, i) in f.linked_insts() {
+            if let pmir::Op::Store {
+                addr: pmir::Operand::Value(v),
+                ..
+            } = &f.inst(i).op
+            {
+                // Skip stores into alloca slots (variable bookkeeping).
+                let is_slot = matches!(
+                    f.value(*v).kind,
+                    pmir::ValueKind::Inst(def)
+                        if matches!(f.inst(def).op, pmir::Op::Alloca { .. })
+                );
+                if is_slot {
+                    continue;
+                }
+                return (fid, *v);
+            }
+        }
+        panic!("no non-slot store in {func}");
+    }
+
+    #[test]
+    fn distinguishes_heap_and_pm() {
+        let src = r#"
+            fn main() {
+                var h: ptr = alloc(64);
+                var p: ptr = pmem_map(0, 4096);
+                store8(h, 0, 1);
+                store8(p, 0, 2);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+        let fid = m.function_by_name("main").unwrap();
+        let f = m.function(fid);
+        // Find the values loaded from the h and p slots by their defining
+        // loads: the store8 address operands.
+        let mut marks = vec![];
+        for (_, i) in f.linked_insts() {
+            if let pmir::Op::Store { addr: pmir::Operand::Value(v), ty, .. } = &f.inst(i).op {
+                if ty.is_int() && !aa.points_to(fid, *v).is_empty() {
+                    marks.push(marking.mark(&aa, fid, *v));
+                }
+            }
+        }
+        // One store through a heap-only pointer, one through a PM-only one.
+        assert!(marks.iter().any(|m| m.pm && !m.non_pm));
+        assert!(marks.iter().any(|m| !m.pm && m.non_pm));
+    }
+
+    #[test]
+    fn flows_through_calls_and_memory() {
+        let src = r#"
+            fn write(dst: ptr) { store8(dst, 0, 1); }
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var holder: ptr = alloc(8);
+                storep(holder, 0, p);
+                var q: ptr = loadp(holder, 0);
+                write(q);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+        // The `dst` parameter inside `write` must be marked PM via
+        // holder-mediated flow.
+        let (fid, v) = store_addr_value(&m, "write");
+        let mark = marking.mark(&aa, fid, v);
+        assert!(mark.pm, "dst should reach the PM object through memory");
+        assert!(!mark.non_pm);
+    }
+
+    /// The paper's Listing 6 example, scores included.
+    #[test]
+    fn listing6_scores() {
+        let src = r#"
+            fn update(addr: ptr, idx: int, val: int) {
+                store1(addr, idx, val);
+            }
+            fn modify(addr: ptr) {
+                update(addr, 0, 1);
+            }
+            fn main() {
+                var vol_addr: ptr = alloc(4096);
+                var pm_addr: ptr = pmem_map(0, 4096);
+                var i: int = 0;
+                while (i < 100) {
+                    modify(vol_addr);
+                    i = i + 1;
+                }
+                modify(pm_addr);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+
+        // Score at the store inside `update` (its address pointer).
+        let (upd_f, upd_addr) = store_addr_value(&m, "update");
+        assert_eq!(marking.score(&aa, upd_f, upd_addr), 0, "line 3 score");
+
+        // Score of `addr` as passed by modify -> update.
+        let mod_f = m.function_by_name("modify").unwrap();
+        let addr_param_flow = {
+            // The argument operand of the call inside modify.
+            let f = m.function(mod_f);
+            f.linked_insts()
+                .find_map(|(_, i)| match &f.inst(i).op {
+                    pmir::Op::Call { args, .. } => args.iter().find_map(|a| a.as_value()),
+                    _ => None,
+                })
+                .expect("call with value arg in modify")
+        };
+        assert_eq!(marking.score(&aa, mod_f, addr_param_flow), 0, "line 7 score");
+
+        // Score of `pm_addr` at the `modify(pm_addr)` call site: +1.
+        let main_f = m.function_by_name("main").unwrap();
+        let f = m.function(main_f);
+        let mut call_arg_scores = vec![];
+        for (_, i) in f.linked_insts() {
+            if let pmir::Op::Call { callee, args } = &f.inst(i).op {
+                if m.function(*callee).name() == "modify" {
+                    let v = args[0].as_value().unwrap();
+                    call_arg_scores.push(marking.score(&aa, main_f, v));
+                }
+            }
+        }
+        call_arg_scores.sort_unstable();
+        assert_eq!(call_arg_scores, vec![-1, 1], "vol call scores -1, pm call scores +1");
+    }
+
+    #[test]
+    fn trace_aa_matches_full_aa_when_all_pools_observed() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let run = pmvm::Vm::new(pmvm::VmOptions::default()).run(&m, "main").unwrap();
+        let trace = run.trace.unwrap();
+        let full = PmMarking::full(&aa);
+        let traced = PmMarking::from_trace(&m, &aa, &trace);
+        let (fid, v) = store_addr_value(&m, "main");
+        assert_eq!(full.mark(&aa, fid, v), traced.mark(&aa, fid, v));
+        assert_eq!(full.score(&aa, fid, v), traced.score(&aa, fid, v));
+    }
+
+    #[test]
+    fn unobserved_pool_is_unmarked_in_trace_aa() {
+        let src = r#"
+            fn main() {
+                var flag: int = 0;
+                var p: ptr = alloc(8);
+                if (flag) { p = pmem_map(0, 4096); }
+                store8(p, 0, 1);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let run = pmvm::Vm::new(pmvm::VmOptions::default()).run(&m, "main").unwrap();
+        let traced = PmMarking::from_trace(&m, &aa, &run.trace.unwrap());
+        let (fid, v) = store_addr_value(&m, "main");
+        // Full-AA sees potential PM flow; Trace-AA never saw the pool map.
+        let full = PmMarking::full(&aa);
+        assert!(full.mark(&aa, fid, v).pm);
+        assert!(!traced.mark(&aa, fid, v).pm);
+    }
+
+    #[test]
+    fn globals_are_volatile_objects() {
+        let src = r#"
+            fn main() {
+                var s: ptr = bytes("xyz");
+                store1(s, 0, 65);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+        let (fid, v) = store_addr_value(&m, "main");
+        let mark = marking.mark(&aa, fid, v);
+        assert!(!mark.pm);
+        assert!(mark.non_pm);
+    }
+
+    #[test]
+    fn gep_preserves_target() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var q: ptr = p + 128;
+                store8(q, 0, 1);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+        let (fid, v) = store_addr_value(&m, "main");
+        assert!(marking.mark(&aa, fid, v).pm);
+    }
+
+    #[test]
+    fn return_values_flow_back() {
+        let src = r#"
+            fn get_pool() -> ptr { return pmem_map(0, 4096); }
+            fn main() {
+                var p: ptr = get_pool();
+                store8(p, 0, 1);
+            }
+        "#;
+        let m = compile(src);
+        let aa = AliasAnalysis::analyze(&m);
+        let marking = PmMarking::full(&aa);
+        let (fid, v) = store_addr_value(&m, "main");
+        assert!(marking.mark(&aa, fid, v).pm);
+    }
+}

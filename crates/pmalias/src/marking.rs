@@ -1,0 +1,151 @@
+//! PM / not-PM pointer marking and the heuristic alias-count score
+//! (paper §4.3).
+
+use crate::solver::{AliasAnalysis, ObjId, ObjKind};
+use pmir::{FuncId, InstId, Module, ValueId};
+use pmtrace::{EventKind, Trace};
+use std::collections::HashSet;
+
+/// The PM-ness of a pointer value. Both flags may hold (a pointer that may
+/// target either kind of memory — like `memcpy`'s `dst`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mark {
+    /// May point to persistent memory.
+    pub pm: bool,
+    /// May point to volatile memory.
+    pub non_pm: bool,
+}
+
+impl Mark {
+    /// The score contribution of one alias class with this mark: `+1` for
+    /// PM-only, `-1` for volatile-only, `0` for mixed or unknown.
+    pub fn score(self) -> i64 {
+        match (self.pm, self.non_pm) {
+            (true, false) => 1,
+            (false, true) => -1,
+            _ => 0,
+        }
+    }
+}
+
+/// A set of objects considered persistent, with mode-specific construction.
+#[derive(Debug, Clone)]
+pub struct PmMarking {
+    pm_objs: HashSet<ObjId>,
+}
+
+impl PmMarking {
+    /// **Full-AA**: every static `pmemmap` site is PM.
+    pub fn full(aa: &AliasAnalysis) -> Self {
+        let pm_objs = aa
+            .objects()
+            .filter(|(_, o)| o.kind == ObjKind::Pm)
+            .map(|(id, _)| id)
+            .collect();
+        PmMarking { pm_objs }
+    }
+
+    /// **Trace-AA**: only pools whose registration the bug finder observed
+    /// are PM (the `RegisterPool` events' IR references are matched against
+    /// `pmemmap` allocation sites).
+    pub fn from_trace(m: &Module, aa: &AliasAnalysis, trace: &Trace) -> Self {
+        let mut observed: HashSet<(FuncId, InstId)> = HashSet::new();
+        for e in &trace.events {
+            if matches!(e.kind, EventKind::RegisterPool { .. }) {
+                if let Some(at) = &e.at {
+                    if let Some(fid) = m.function_by_name(&at.function) {
+                        observed.insert((fid, InstId(at.inst)));
+                    }
+                }
+            }
+        }
+        let pm_objs = aa
+            .objects()
+            .filter(|(_, o)| {
+                o.kind == ObjKind::Pm
+                    && matches!((o.func, o.inst), (Some(f), Some(i)) if observed.contains(&(f, i)))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        PmMarking { pm_objs }
+    }
+
+    /// The PM objects in this marking.
+    pub fn pm_objects(&self) -> &HashSet<ObjId> {
+        &self.pm_objs
+    }
+
+    fn mark_set<'a>(&self, aa: &AliasAnalysis, objs: impl Iterator<Item = &'a ObjId>) -> Mark {
+        let mut mark = Mark::default();
+        for &o in objs {
+            if self.pm_objs.contains(&o) {
+                mark.pm = true;
+            } else if aa.object(o).kind != ObjKind::Pm {
+                mark.non_pm = true;
+            }
+            // Pm-kind objects *not* in pm_objs (unobserved pools under
+            // Trace-AA) stay unknown: they contribute to neither flag.
+        }
+        mark
+    }
+
+    /// Marks a pointer value PM / not-PM by its points-to set.
+    pub fn mark(&self, aa: &AliasAnalysis, f: FuncId, v: ValueId) -> Mark {
+        self.mark_set(aa, aa.points_to(f, v).iter())
+    }
+
+    /// The heuristic score of a pointer (paper §4.3, Listing 6): the sum of
+    /// per-alias-class scores over every alias class that may alias `v`,
+    /// including `v`'s own class. Alias classes are distinct points-to
+    /// signatures, which matches the paper's variable-level counting
+    /// independent of how many times a variable is reloaded.
+    pub fn score(&self, aa: &AliasAnalysis, f: FuncId, v: ValueId) -> i64 {
+        let pv = aa.points_to(f, v);
+        if pv.is_empty() {
+            return 0;
+        }
+        let mut total = 0;
+        for sig in aa.signatures() {
+            if sig.iter().any(|o| pv.contains(o)) {
+                total += self.mark_set(aa, sig.iter()).score();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmir::{FunctionBuilder, Type};
+
+    #[test]
+    fn mark_score_values() {
+        assert_eq!(Mark { pm: true, non_pm: false }.score(), 1);
+        assert_eq!(Mark { pm: false, non_pm: true }.score(), -1);
+        assert_eq!(Mark { pm: true, non_pm: true }.score(), 0);
+        assert_eq!(Mark::default().score(), 0);
+    }
+
+    #[test]
+    fn full_marking_finds_pm_sites() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.pmem_map(4096i64, 0);
+        let h = b.heap_alloc(8i64);
+        b.store(Type::int(8), p, 1i64);
+        b.store(Type::int(8), h, 1i64);
+        b.ret(None);
+        b.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        let mk = PmMarking::full(&aa);
+        assert_eq!(mk.pm_objects().len(), 1);
+        assert_eq!(mk.mark(&aa, f, p), Mark { pm: true, non_pm: false });
+        assert_eq!(mk.mark(&aa, f, h), Mark { pm: false, non_pm: true });
+        assert_eq!(mk.score(&aa, f, p), 1);
+        assert_eq!(mk.score(&aa, f, h), -1);
+    }
+}

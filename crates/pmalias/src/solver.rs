@@ -1,0 +1,487 @@
+//! Constraint generation and the inclusion-constraint solver.
+
+use pmir::{FuncId, GlobalId, InstId, Module, Op, Operand, Type, ValueId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifies an abstract memory object (an allocation site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// What kind of memory an abstract object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// `alloca` site.
+    Stack,
+    /// `heapalloc` site.
+    Heap,
+    /// `pmemmap` site — persistent memory.
+    Pm,
+    /// A module global.
+    Global,
+}
+
+/// An abstract object: one per allocation site, context-insensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Memory kind.
+    pub kind: ObjKind,
+    /// The allocating function, for site-based objects.
+    pub func: Option<FuncId>,
+    /// The allocating instruction, for site-based objects.
+    pub inst: Option<InstId>,
+    /// The global, for [`ObjKind::Global`] objects.
+    pub global: Option<GlobalId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Complex {
+    /// `*addr ⊇ value`
+    StoreInto { addr: usize, value: usize },
+    /// `result ⊇ *addr`
+    LoadFrom { addr: usize, result: usize },
+    /// `**dst ⊇ **src` (memcpy may move pointers)
+    ContentCopy { dst: usize, src: usize },
+}
+
+/// The solved points-to relation over a module.
+#[derive(Debug)]
+pub struct AliasAnalysis {
+    objects: Vec<Object>,
+    val_index: HashMap<(FuncId, ValueId), usize>,
+    val_list: Vec<(FuncId, ValueId)>,
+    /// Per node (pointer values, then object contents): the set of objects
+    /// it may point to.
+    pts: Vec<BTreeSet<ObjId>>,
+    /// Distinct nonempty points-to signatures over pointer *values* — the
+    /// paper's "aliases" are counted per signature (alias class).
+    signatures: Vec<BTreeSet<ObjId>>,
+    empty: BTreeSet<ObjId>,
+}
+
+impl AliasAnalysis {
+    /// Runs the analysis over a module to a fixpoint.
+    pub fn analyze(m: &Module) -> Self {
+        Builder::new(m).solve()
+    }
+
+    /// Number of abstract objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The object table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn object(&self, o: ObjId) -> &Object {
+        &self.objects[o.0 as usize]
+    }
+
+    /// Iterates over `(id, object)` pairs.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjId, &Object)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// The points-to set of a pointer value (empty for untracked values).
+    pub fn points_to(&self, f: FuncId, v: ValueId) -> &BTreeSet<ObjId> {
+        match self.val_index.get(&(f, v)) {
+            Some(&n) => &self.pts[n],
+            None => &self.empty,
+        }
+    }
+
+    /// Whether two pointer values may alias (their points-to sets
+    /// intersect). Values with empty sets alias nothing.
+    pub fn may_alias(&self, a: (FuncId, ValueId), b: (FuncId, ValueId)) -> bool {
+        let pa = self.points_to(a.0, a.1);
+        let pb = self.points_to(b.0, b.1);
+        pa.iter().any(|o| pb.contains(o))
+    }
+
+    /// All tracked pointer values.
+    pub fn pointer_values(&self) -> impl Iterator<Item = (FuncId, ValueId)> + '_ {
+        self.val_list.iter().copied()
+    }
+
+    /// The distinct nonempty points-to signatures across all pointer values
+    /// (alias classes).
+    pub fn signatures(&self) -> &[BTreeSet<ObjId>] {
+        &self.signatures
+    }
+}
+
+struct Builder<'m> {
+    m: &'m Module,
+    objects: Vec<Object>,
+    val_index: HashMap<(FuncId, ValueId), usize>,
+    val_list: Vec<(FuncId, ValueId)>,
+    /// node id -> points-to set; value nodes first, then object contents.
+    pts: Vec<BTreeSet<ObjId>>,
+    edges: Vec<(usize, usize)>,
+    complex: Vec<Complex>,
+    /// pointer-typed return values per function.
+    rets: HashMap<FuncId, Vec<usize>>,
+}
+
+impl<'m> Builder<'m> {
+    fn new(m: &'m Module) -> Self {
+        Builder {
+            m,
+            objects: vec![],
+            val_index: HashMap::new(),
+            val_list: vec![],
+            pts: vec![],
+            edges: vec![],
+            complex: vec![],
+            rets: HashMap::new(),
+        }
+    }
+
+    fn val_node(&mut self, f: FuncId, v: ValueId) -> usize {
+        if let Some(&n) = self.val_index.get(&(f, v)) {
+            return n;
+        }
+        let n = self.val_list.len();
+        self.val_index.insert((f, v), n);
+        self.val_list.push((f, v));
+        n
+    }
+
+    fn operand_node(&mut self, f: FuncId, op: Operand) -> Option<usize> {
+        match op {
+            Operand::Value(v) if self.m.function(f).value(v).ty.is_ptr() => {
+                Some(self.val_node(f, v))
+            }
+            _ => None,
+        }
+    }
+
+    fn add_object(&mut self, obj: Object) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(obj);
+        id
+    }
+
+    fn solve(mut self) -> AliasAnalysis {
+        // Pass 0: register all pointer-typed values so node ids are dense
+        // before object-content nodes are appended.
+        for (fid, f) in self.m.functions() {
+            for v in f.value_ids() {
+                if f.value(v).ty.is_ptr() {
+                    self.val_node(fid, v);
+                }
+            }
+        }
+
+        // Global objects.
+        let mut global_objs = HashMap::new();
+        for (gid, _) in self.m.globals() {
+            let o = self.add_object(Object {
+                kind: ObjKind::Global,
+                func: None,
+                inst: None,
+                global: Some(gid),
+            });
+            global_objs.insert(gid, o);
+        }
+
+        // Base constraints per instruction.
+        #[derive(Debug)]
+        enum Seed {
+            Base { node: usize, obj: ObjId },
+        }
+        let mut seeds: Vec<Seed> = vec![];
+        for (fid, f) in self.m.functions() {
+            for (_, i) in f.linked_insts() {
+                let inst = f.inst(i);
+                match &inst.op {
+                    Op::Alloca { .. } | Op::HeapAlloc { .. } | Op::PmemMap { .. } => {
+                        let kind = match inst.op {
+                            Op::Alloca { .. } => ObjKind::Stack,
+                            Op::HeapAlloc { .. } => ObjKind::Heap,
+                            _ => ObjKind::Pm,
+                        };
+                        let obj = self.add_object(Object {
+                            kind,
+                            func: Some(fid),
+                            inst: Some(i),
+                            global: None,
+                        });
+                        let r = inst.result.expect("allocations produce a value");
+                        let node = self.val_node(fid, r);
+                        seeds.push(Seed::Base { node, obj });
+                    }
+                    Op::GlobalAddr { global } => {
+                        let r = inst.result.expect("globaladdr produces a value");
+                        let node = self.val_node(fid, r);
+                        seeds.push(Seed::Base {
+                            node,
+                            obj: global_objs[global],
+                        });
+                    }
+                    Op::Gep { base, .. } => {
+                        if let Some(b) = self.operand_node(fid, *base) {
+                            let r = inst.result.expect("gep produces a value");
+                            let rn = self.val_node(fid, r);
+                            self.edges.push((b, rn));
+                        }
+                    }
+                    Op::Load { ty, addr } if ty.is_ptr() => {
+                        if let Some(a) = self.operand_node(fid, *addr) {
+                            let r = inst.result.expect("load produces a value");
+                            let rn = self.val_node(fid, r);
+                            self.complex.push(Complex::LoadFrom { addr: a, result: rn });
+                        }
+                    }
+                    Op::Store { ty, addr, value } if ty.is_ptr() => {
+                        if let (Some(a), Some(v)) = (
+                            self.operand_node(fid, *addr),
+                            self.operand_node(fid, *value),
+                        ) {
+                            self.complex.push(Complex::StoreInto { addr: a, value: v });
+                        }
+                    }
+                    Op::Memcpy { dst, src, .. } => {
+                        if let (Some(d), Some(s)) = (
+                            self.operand_node(fid, *dst),
+                            self.operand_node(fid, *src),
+                        ) {
+                            self.complex.push(Complex::ContentCopy { dst: d, src: s });
+                        }
+                    }
+                    Op::Call { callee, args } => {
+                        let callee_f = self.m.function(*callee);
+                        let params: Vec<Type> = callee_f.params().to_vec();
+                        for (idx, (&arg, &pty)) in args.iter().zip(&params).enumerate() {
+                            if pty.is_ptr() {
+                                if let Some(an) = self.operand_node(fid, arg) {
+                                    let pn = self.val_node(*callee, ValueId(idx as u32));
+                                    self.edges.push((an, pn));
+                                }
+                            }
+                        }
+                        if callee_f.ret_type().is_ptr() {
+                            if let Some(r) = inst.result {
+                                let rn = self.val_node(fid, r);
+                                // Connected after return collection below via
+                                // rets; record a pending edge using a marker.
+                                self.rets.entry(*callee).or_default();
+                                // Store as a special edge from each return
+                                // value (added later once rets are known).
+                                self.edges.push((RET_EDGE_BASE + callee.0 as usize, rn));
+                            }
+                        }
+                    }
+                    Op::Ret { value: Some(v) }
+                        if self.m.function(fid).ret_type().is_ptr() => {
+                            if let Some(vn) = self.operand_node(fid, *v) {
+                                self.rets.entry(fid).or_default().push(vn);
+                            }
+                        }
+                    _ => {}
+                }
+            }
+        }
+
+        // Expand virtual return-edges into concrete value edges.
+        const RET_EDGE_BASE: usize = usize::MAX / 2;
+        let mut concrete_edges: Vec<(usize, usize)> = vec![];
+        for (from, to) in std::mem::take(&mut self.edges) {
+            if from >= RET_EDGE_BASE {
+                let callee = FuncId((from - RET_EDGE_BASE) as u32);
+                for &rn in self.rets.get(&callee).into_iter().flatten() {
+                    concrete_edges.push((rn, to));
+                }
+            } else {
+                concrete_edges.push((from, to));
+            }
+        }
+        self.edges = concrete_edges;
+
+        // Allocate pts sets: one per value node, one per object content.
+        let nvals = self.val_list.len();
+        let nobjs = self.objects.len();
+        self.pts = vec![BTreeSet::new(); nvals + nobjs];
+        for s in &seeds {
+            let Seed::Base { node, obj } = s;
+            self.pts[*node].insert(*obj);
+        }
+
+        let content = |o: ObjId| nvals + o.0 as usize;
+
+        // Fixpoint iteration.
+        loop {
+            let mut changed = false;
+            for &(from, to) in &self.edges {
+                changed |= union_into(&mut self.pts, from, to);
+            }
+            for c in self.complex.clone() {
+                match c {
+                    Complex::StoreInto { addr, value } => {
+                        let objs: Vec<ObjId> = self.pts[addr].iter().copied().collect();
+                        for o in objs {
+                            changed |= union_into(&mut self.pts, value, content(o));
+                        }
+                    }
+                    Complex::LoadFrom { addr, result } => {
+                        let objs: Vec<ObjId> = self.pts[addr].iter().copied().collect();
+                        for o in objs {
+                            changed |= union_into(&mut self.pts, content(o), result);
+                        }
+                    }
+                    Complex::ContentCopy { dst, src } => {
+                        let ds: Vec<ObjId> = self.pts[dst].iter().copied().collect();
+                        let ss: Vec<ObjId> = self.pts[src].iter().copied().collect();
+                        for &d in &ds {
+                            for &s in &ss {
+                                changed |= union_into(&mut self.pts, content(s), content(d));
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Collect distinct nonempty signatures over value nodes.
+        let mut sigs: Vec<BTreeSet<ObjId>> = vec![];
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..nvals {
+            if self.pts[n].is_empty() {
+                continue;
+            }
+            let key: Vec<ObjId> = self.pts[n].iter().copied().collect();
+            if seen.insert(key) {
+                sigs.push(self.pts[n].clone());
+            }
+        }
+
+        AliasAnalysis {
+            objects: self.objects,
+            val_index: self.val_index,
+            val_list: self.val_list,
+            pts: self.pts,
+            signatures: sigs,
+            empty: BTreeSet::new(),
+        }
+    }
+}
+
+fn union_into(pts: &mut [BTreeSet<ObjId>], from: usize, to: usize) -> bool {
+    if from == to {
+        return false;
+    }
+    let add: Vec<ObjId> = pts[from].difference(&pts[to]).copied().collect();
+    if add.is_empty() {
+        return false;
+    }
+    pts[to].extend(add);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn basic_seed_and_gep() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], pmir::Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let h = b.heap_alloc(64i64);
+        let g = b.gep(h, 8i64);
+        let p = b.pmem_map(4096i64, 0);
+        b.store(pmir::Type::int(8), g, 1i64);
+        b.store(pmir::Type::int(8), p, 1i64);
+        b.ret(None);
+        b.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        assert_eq!(aa.object_count(), 2);
+        assert!(aa.may_alias((f, h), (f, g)));
+        assert!(!aa.may_alias((f, h), (f, p)));
+        // Two distinct signatures: {heap} and {pm}.
+        assert_eq!(aa.signatures().len(), 2);
+    }
+
+    #[test]
+    fn store_load_through_memory() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], pmir::Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let slot = b.alloca(8);
+        let p = b.pmem_map(4096i64, 0);
+        b.store(pmir::Type::Ptr, slot, p);
+        let q = b.load(pmir::Type::Ptr, slot);
+        b.store(pmir::Type::int(8), q, 1i64);
+        b.ret(None);
+        b.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        assert!(aa.may_alias((f, p), (f, q)));
+        let pm_objs: Vec<_> = aa
+            .points_to(f, q)
+            .iter()
+            .filter(|&&o| aa.object(o).kind == ObjKind::Pm)
+            .collect();
+        assert_eq!(pm_objs.len(), 1);
+    }
+
+    #[test]
+    fn call_params_and_returns() {
+        let mut m = Module::new();
+        let id_fn = m.declare_function("id", vec![pmir::Type::Ptr], pmir::Type::Ptr);
+        {
+            let mut b = FunctionBuilder::new(&mut m, id_fn);
+            let e = b.entry_block();
+            b.switch_to(e);
+            let a = b.arg(0);
+            b.ret(Some(Operand::Value(a)));
+            b.finish();
+        }
+        let f = m.declare_function("f", vec![], pmir::Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.pmem_map(4096i64, 0);
+        let q = b.call(id_fn, vec![Operand::Value(p)]).unwrap();
+        b.store(pmir::Type::int(8), q, 1i64);
+        b.ret(None);
+        b.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        // Param of id aliases p; call result aliases p.
+        let param = m.function(id_fn).arg(0);
+        assert!(aa.may_alias((id_fn, param), (f, p)));
+        assert!(aa.may_alias((f, q), (f, p)));
+    }
+
+    #[test]
+    fn memcpy_moves_pointers() {
+        // store p into a; memcpy a -> b; load from b aliases p.
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], pmir::Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let a = b.heap_alloc(8i64);
+        let bb = b.heap_alloc(8i64);
+        let p = b.pmem_map(4096i64, 0);
+        b.store(pmir::Type::Ptr, a, p);
+        b.memcpy(bb, a, 8i64);
+        let q = b.load(pmir::Type::Ptr, bb);
+        b.store(pmir::Type::int(8), q, 1i64);
+        b.ret(None);
+        b.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        assert!(aa.may_alias((f, q), (f, p)));
+    }
+}

@@ -1,0 +1,152 @@
+//! `pmapps` — the PM applications the paper evaluates on: P-CLHT (RECIPE),
+//! mini-memcached (memcached-pm), and mini-Redis (Redis-pmem), all written
+//! in `pmlang` against the `minipmdk` library.
+//!
+//! Each application exists in several build variants driven by `pmlang`
+//! statement attributes:
+//!
+//! * the **correct** build (all persistence statements present);
+//! * per-bug **buggy** builds (one `#[tag(…)]` persistence statement
+//!   elided) — the §6.1 corpus;
+//! * for Redis, the **developer port** (`pmport` feature; all flushes) and
+//!   the **flush-free** build (fences only) that Hippocrates re-persists in
+//!   the §6.3 case study.
+
+pub mod memcached;
+pub mod pclht;
+pub mod redis;
+
+#[cfg(test)]
+mod tests {
+    use pmcheck::run_and_check;
+    use pmvm::VmOptions;
+
+    #[test]
+    fn pclht_correct_is_clean_and_deterministic() {
+        let m = crate::pclht::build_correct().unwrap();
+        let c = run_and_check(&m, crate::pclht::ENTRY, VmOptions::default()).unwrap();
+        assert!(c.report.is_clean(), "{}", c.report.render());
+        assert_eq!(c.run.output.len(), 1);
+    }
+
+    #[test]
+    fn pclht_bugs_detected() {
+        for id in crate::pclht::BUG_IDS {
+            let m = crate::pclht::build_buggy(id).unwrap();
+            let c = run_and_check(&m, crate::pclht::ENTRY, VmOptions::default()).unwrap();
+            assert!(!c.report.is_clean(), "{id} undetected");
+        }
+    }
+
+    #[test]
+    fn pclht_overflow_and_delete_work() {
+        let m = crate::pclht::build_correct().unwrap();
+        let r = pmvm::Vm::new(VmOptions::default())
+            .run(&m, crate::pclht::ENTRY)
+            .unwrap();
+        // sum over keys: 1..=128 -> *9 (minus deleted), 129..=256 -> *7.
+        // Deleted keys: 1,5,9,...,61 (step 4, 16 keys).
+        let deleted: i64 = (1..=61).step_by(4).map(|k| k * 9).sum();
+        let expect: i64 = (1..=128).map(|k| k * 9).sum::<i64>() - deleted
+            + (129..=256).map(|k| k * 7).sum::<i64>();
+        assert_eq!(r.output, vec![expect]);
+    }
+
+    #[test]
+    fn memcached_correct_is_clean() {
+        let m = crate::memcached::build_correct().unwrap();
+        let c = run_and_check(&m, crate::memcached::ENTRY, VmOptions::default()).unwrap();
+        assert!(c.report.is_clean(), "{}", c.report.render());
+    }
+
+    #[test]
+    fn memcached_bugs_detected() {
+        for id in crate::memcached::BUG_IDS {
+            let m = crate::memcached::build_buggy(id).unwrap();
+            let c = run_and_check(&m, crate::memcached::ENTRY, VmOptions::default()).unwrap();
+            assert!(!c.report.is_clean(), "{id} undetected");
+        }
+    }
+
+    #[test]
+    fn memcached_buggy_outputs_match_correct() {
+        let correct = {
+            let m = crate::memcached::build_correct().unwrap();
+            pmvm::Vm::new(VmOptions::default())
+                .run(&m, crate::memcached::ENTRY)
+                .unwrap()
+                .output
+        };
+        for id in crate::memcached::BUG_IDS {
+            let m = crate::memcached::build_buggy(id).unwrap();
+            let out = pmvm::Vm::new(VmOptions::default())
+                .run(&m, crate::memcached::ENTRY)
+                .unwrap()
+                .output;
+            assert_eq!(out, correct, "{id}");
+        }
+    }
+
+    #[test]
+    fn redis_pm_port_is_clean_under_ycsb_like_load() {
+        let ops: Vec<crate::redis::RedisOp> = (1..=50)
+            .map(|k| crate::redis::RedisOp::set(k, 64))
+            .chain((1..=50).map(crate::redis::RedisOp::get))
+            .collect();
+        let mut m = crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap();
+        let entry = crate::redis::attach_workload(&mut m, "bench", &ops);
+        let c = run_and_check(&m, &entry, VmOptions::default()).unwrap();
+        assert!(c.report.is_clean(), "{}", c.report.render());
+        assert_eq!(c.run.output.len(), 1);
+        assert_ne!(c.run.output[0], 0);
+    }
+
+    #[test]
+    fn redis_flush_free_is_buggy_but_behaves_identically() {
+        let ops: Vec<crate::redis::RedisOp> = (1..=30)
+            .map(|k| crate::redis::RedisOp::set(k, 64))
+            .chain((1..=30).map(crate::redis::RedisOp::get))
+            .collect();
+        let mut pm = crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap();
+        let e1 = crate::redis::attach_workload(&mut pm, "bench", &ops);
+        let mut ff = crate::redis::build(crate::redis::RedisBuild::FlushFree).unwrap();
+        let e2 = crate::redis::attach_workload(&mut ff, "bench", &ops);
+
+        let c = run_and_check(&ff, &e2, VmOptions::default()).unwrap();
+        assert!(!c.report.is_clean(), "flush-free must report bugs");
+
+        let out_pm = pmvm::Vm::new(VmOptions::default()).run(&pm, &e1).unwrap().output;
+        let out_ff = pmvm::Vm::new(VmOptions::default()).run(&ff, &e2).unwrap().output;
+        assert_eq!(out_pm, out_ff);
+    }
+
+    #[test]
+    fn redis_ops_roundtrip_values() {
+        // SET then GET returns a nonzero checksum; DEL makes GET return 0.
+        let ops = vec![
+            crate::redis::RedisOp::set(7, 64),
+            crate::redis::RedisOp::get(7),
+            crate::redis::RedisOp::del(7),
+            crate::redis::RedisOp::get(7),
+        ];
+        let mut m = crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap();
+        let entry = crate::redis::attach_workload(&mut m, "t", &ops);
+        let r = pmvm::Vm::new(VmOptions::default()).run(&m, &entry).unwrap();
+        // acc = get(7) checksum + del(7) (=1) + get(7) (=0).
+        assert!(r.output[0] > 1);
+    }
+
+    #[test]
+    fn redis_scan_and_rmw_execute() {
+        let ops = vec![
+            crate::redis::RedisOp::set(1, 64),
+            crate::redis::RedisOp::set(2, 64),
+            crate::redis::RedisOp::scan(1, 16),
+            crate::redis::RedisOp::rmw(1, 64),
+        ];
+        let mut m = crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap();
+        let entry = crate::redis::attach_workload(&mut m, "t", &ops);
+        let r = pmvm::Vm::new(VmOptions::default()).run(&m, &entry).unwrap();
+        assert!(r.output[0] != 0);
+    }
+}

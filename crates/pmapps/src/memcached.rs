@@ -1,0 +1,38 @@
+//! mini-memcached build variants (the memcached-pm analog).
+
+use pmir::Module;
+use pmlang::LangError;
+
+/// The mini-memcached source.
+pub const SRC: &str = include_str!("../pmc/memcached.pmc");
+
+/// The driver entry point.
+pub const ENTRY: &str = "memcached_main";
+
+/// The ten previously-undocumented bugs the paper reports in memcached-pm
+/// (§6.1).
+pub const BUG_IDS: [&str; 10] = [
+    "mm-1", "mm-2", "mm-3", "mm-4", "mm-5", "mm-6", "mm-7", "mm-8", "mm-9", "mm-10",
+];
+
+fn compiler() -> pmlang::Compiler {
+    minipmdk::library_compiler().source("memcached.pmc", SRC)
+}
+
+/// The correct build.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_correct() -> Result<Module, LangError> {
+    compiler().compile()
+}
+
+/// The build with bug `id` seeded.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_buggy(id: &str) -> Result<Module, LangError> {
+    compiler().elide_tag(id).compile()
+}

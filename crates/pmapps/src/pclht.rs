@@ -1,0 +1,36 @@
+//! P-CLHT build variants (RECIPE's persistent cache-line hash table).
+
+use pmir::Module;
+use pmlang::LangError;
+
+/// The P-CLHT source.
+pub const SRC: &str = include_str!("../pmc/pclht.pmc");
+
+/// The example-application entry point (insert/delete/lookup, as in
+/// RECIPE's evaluation).
+pub const ENTRY: &str = "pclht_main";
+
+/// The two previously-undocumented bugs the paper reports in P-CLHT (§6.1).
+pub const BUG_IDS: [&str; 2] = ["pclht-1", "pclht-2"];
+
+fn compiler() -> pmlang::Compiler {
+    minipmdk::library_compiler().source("pclht.pmc", SRC)
+}
+
+/// The correct build.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_correct() -> Result<Module, LangError> {
+    compiler().compile()
+}
+
+/// The build with bug `id` seeded.
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build_buggy(id: &str) -> Result<Module, LangError> {
+    compiler().elide_tag(id).compile()
+}

@@ -1,0 +1,145 @@
+//! mini-Redis build variants and workload attachment (the Redis-pmem
+//! analog, §6.3).
+
+use pmir::{FunctionBuilder, Module, Operand, Type};
+use pmlang::LangError;
+
+/// The mini-Redis source.
+pub const SRC: &str = include_str!("../pmc/redis.pmc");
+
+/// Which Redis variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisBuild {
+    /// The developer port: every flush present (plus the port's conservative
+    /// extra header persist). The paper's Redis-pmem baseline.
+    PmPort,
+    /// All flushes removed, fences retained — the input Hippocrates
+    /// re-persists (the paper's §6.3 methodology).
+    FlushFree,
+}
+
+/// One key-value operation for the encoded workload stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedisOp {
+    /// 1=SET 2=GET 3=DEL 4=SCAN 5=RMW (read-modify-write).
+    pub code: u8,
+    /// The key.
+    pub key: i64,
+    /// Value length (SET/RMW) or scan count (SCAN); ignored otherwise.
+    pub len: i64,
+}
+
+impl RedisOp {
+    /// A SET of `len` value bytes.
+    pub fn set(key: i64, len: i64) -> Self {
+        RedisOp { code: 1, key, len }
+    }
+
+    /// A GET.
+    pub fn get(key: i64) -> Self {
+        RedisOp { code: 2, key, len: 0 }
+    }
+
+    /// A DEL.
+    pub fn del(key: i64) -> Self {
+        RedisOp { code: 3, key, len: 0 }
+    }
+
+    /// A SCAN of `count` buckets starting at `key`'s bucket.
+    pub fn scan(key: i64, count: i64) -> Self {
+        RedisOp { code: 4, key, len: count }
+    }
+
+    /// A read-modify-write of `len` value bytes.
+    pub fn rmw(key: i64, len: i64) -> Self {
+        RedisOp { code: 5, key, len }
+    }
+}
+
+/// Builds the requested Redis variant (library + application, no workload
+/// entry yet).
+///
+/// # Errors
+///
+/// Propagates compiler diagnostics.
+pub fn build(build: RedisBuild) -> Result<Module, LangError> {
+    let c = minipmdk::library_compiler().source("redis.pmc", SRC);
+    let c = match build {
+        RedisBuild::PmPort => c.feature("pmport"),
+        RedisBuild::FlushFree => c,
+    };
+    c.compile()
+}
+
+/// Encodes `ops` into the module as a global blob and synthesizes a
+/// zero-argument entry function that opens the store, allocates the
+/// volatile request buffers, runs the stream, and prints the response
+/// checksum. Returns the entry function's name (`"run_<name>"`).
+///
+/// # Panics
+///
+/// Panics if `name` collides with an existing function or the Redis API
+/// functions are missing from the module.
+pub fn attach_workload(m: &mut Module, name: &str, ops: &[RedisOp]) -> String {
+    let mut blob = Vec::with_capacity(ops.len() * 24);
+    for op in ops {
+        blob.extend_from_slice(&i64::from(op.code).to_le_bytes());
+        blob.extend_from_slice(&op.key.to_le_bytes());
+        blob.extend_from_slice(&op.len.to_le_bytes());
+    }
+    let gid = m.add_global(format!("ops_{name}"), blob.len().max(8) as u64, blob);
+
+    let open = m.function_by_name("redis_open").expect("redis_open");
+    let run = m.function_by_name("redis_run").expect("redis_run");
+    let entry_name = format!("run_{name}");
+    let f = m.declare_function(&entry_name, vec![], Type::Void);
+    let mut b = FunctionBuilder::new(m, f);
+    let e = b.entry_block();
+    b.switch_to(e);
+    let pool = b.call(open, vec![]).expect("redis_open returns the pool");
+    let cmdbuf = b.heap_alloc(8192i64);
+    let argbuf = b.heap_alloc(4096i64);
+    let response = b.heap_alloc(4096i64);
+    let opsp = b.global_addr(gid);
+    let acc = b
+        .call(
+            run,
+            vec![
+                Operand::Value(pool),
+                Operand::Value(opsp),
+                Operand::Const(ops.len() as i64),
+                Operand::Value(cmdbuf),
+                Operand::Value(argbuf),
+                Operand::Value(response),
+            ],
+        )
+        .expect("redis_run returns the accumulator");
+    b.print(acc);
+    b.ret(None);
+    b.finish();
+    pmir::verify::verify_function(m, f).expect("workload entry verifies");
+    entry_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        assert_eq!(RedisOp::set(1, 64).code, 1);
+        assert_eq!(RedisOp::get(1).code, 2);
+        assert_eq!(RedisOp::del(1).code, 3);
+        assert_eq!(RedisOp::scan(1, 8).len, 8);
+        assert_eq!(RedisOp::rmw(1, 64).code, 5);
+    }
+
+    #[test]
+    fn attach_two_workloads_to_one_module() {
+        let mut m = build(RedisBuild::PmPort).unwrap();
+        let a = attach_workload(&mut m, "load", &[RedisOp::set(1, 64)]);
+        let b = attach_workload(&mut m, "run", &[RedisOp::get(1)]);
+        assert_ne!(a, b);
+        pmir::verify::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,216 @@
+//! Bug reports.
+
+use pmtrace::{Frame, IrRef, TraceLoc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The durability-bug taxonomy of paper §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// The store was never (fully) flushed, though a later fence exists; an
+    /// intraprocedural flush suffices to fix it.
+    MissingFlush,
+    /// The store was flushed but no fence ordered the flush before the
+    /// checkpoint.
+    MissingFence,
+    /// Neither flushed nor fenced.
+    MissingFlushFence,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::MissingFlush => "missing-flush",
+            BugKind::MissingFence => "missing-fence",
+            BugKind::MissingFlushFence => "missing-flush&fence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where the durability requirement was audited — the `I` of the paper's
+/// `X -> F(X) -> M -> I` ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Checkpoint {
+    /// An explicit `crashpoint` instruction (1-based occurrence index).
+    CrashPoint(u64),
+    /// Orderly program end.
+    ProgramEnd,
+}
+
+/// One durability bug: a PM store that was not durable by a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bug {
+    /// Classification.
+    pub kind: BugKind,
+    /// Start address of the non-durable PM range.
+    pub addr: u64,
+    /// Length of the range in bytes.
+    pub len: u64,
+    /// The IR instruction of the offending store, when the trace carried it.
+    pub store_at: Option<IrRef>,
+    /// Source location of the store.
+    pub store_loc: Option<TraceLoc>,
+    /// Call stack at the store, innermost first.
+    pub stack: Vec<Frame>,
+    /// Trace sequence number of the store event.
+    pub store_seq: u64,
+    /// The checkpoint at which the bug was detected.
+    pub checkpoint: Checkpoint,
+    /// Cache lines of the store still unflushed at the checkpoint (empty for
+    /// pure missing-fence bugs).
+    pub unflushed_lines: Vec<u64>,
+}
+
+impl Bug {
+    /// A stable identity for deduplication across checkpoints: the same
+    /// store reported at several checkpoints is one bug to fix.
+    pub fn dedup_key(&self) -> (Option<IrRef>, BugKind) {
+        (self.store_at.clone(), self.kind)
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bug: store of {} bytes at {:#x}", self.kind, self.len, self.addr)?;
+        if let Some(loc) = &self.store_loc {
+            write!(f, " ({loc})")?;
+        }
+        if let Some(at) = &self.store_at {
+            write!(f, " in @{}", at.function)?;
+        }
+        Ok(())
+    }
+}
+
+/// A redundant (clean-line) flush — a *performance* diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedundantFlush {
+    /// The flushed address.
+    pub addr: u64,
+    /// The flush's IR instruction.
+    pub at: Option<IrRef>,
+    /// Source location.
+    pub loc: Option<TraceLoc>,
+    /// Trace sequence number.
+    pub seq: u64,
+}
+
+/// The checker's output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// All bugs, in detection order (possibly the same store at several
+    /// checkpoints; see [`CheckReport::deduped_bugs`]).
+    pub bugs: Vec<Bug>,
+    /// Redundant flushes observed (performance diagnostics, not fixed).
+    pub redundant_flushes: Vec<RedundantFlush>,
+    /// Number of PM store events examined.
+    pub stores_checked: u64,
+    /// Number of flush events examined.
+    pub flushes_seen: u64,
+    /// Number of fence events examined.
+    pub fences_seen: u64,
+}
+
+impl CheckReport {
+    /// Whether the program is durability-clean.
+    pub fn is_clean(&self) -> bool {
+        self.bugs.is_empty()
+    }
+
+    /// Bugs deduplicated by store identity and kind (one entry per fix the
+    /// repair engine must compute).
+    pub fn deduped_bugs(&self) -> Vec<&Bug> {
+        let mut seen = std::collections::HashSet::new();
+        self.bugs
+            .iter()
+            .filter(|b| seen.insert(b.dedup_key()))
+            .collect()
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pmcheck: {} stores, {} flushes, {} fences",
+            self.stores_checked, self.flushes_seen, self.fences_seen
+        );
+        if self.is_clean() {
+            let _ = writeln!(out, "no durability bugs found");
+        } else {
+            let _ = writeln!(out, "{} durability bug report(s):", self.bugs.len());
+            for b in &self.bugs {
+                let _ = writeln!(out, "  {b}");
+                for fr in b.stack.iter().skip(1) {
+                    let loc = fr
+                        .loc
+                        .as_ref()
+                        .map(|l| format!(" at {l}"))
+                        .unwrap_or_default();
+                    let _ = writeln!(out, "      by {}{}", fr.function, loc);
+                }
+            }
+        }
+        if !self.redundant_flushes.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} redundant flush(es) (performance diagnostics)",
+                self.redundant_flushes.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bug(kind: BugKind, func: &str, inst: u32, cp: Checkpoint) -> Bug {
+        Bug {
+            kind,
+            addr: 0x3000_0000_0000,
+            len: 8,
+            store_at: Some(IrRef {
+                function: func.into(),
+                inst,
+            }),
+            store_loc: None,
+            stack: vec![],
+            store_seq: 1,
+            checkpoint: cp,
+            unflushed_lines: vec![],
+        }
+    }
+
+    #[test]
+    fn dedup_merges_same_store_across_checkpoints() {
+        let report = CheckReport {
+            bugs: vec![
+                bug(BugKind::MissingFlush, "f", 3, Checkpoint::CrashPoint(1)),
+                bug(BugKind::MissingFlush, "f", 3, Checkpoint::ProgramEnd),
+                bug(BugKind::MissingFence, "g", 4, Checkpoint::ProgramEnd),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.deduped_bugs().len(), 2);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn render_mentions_kinds() {
+        let report = CheckReport {
+            bugs: vec![bug(
+                BugKind::MissingFlushFence,
+                "f",
+                0,
+                Checkpoint::ProgramEnd,
+            )],
+            ..Default::default()
+        };
+        let text = report.render();
+        assert!(text.contains("missing-flush&fence"), "{text}");
+    }
+}

@@ -1,0 +1,493 @@
+//! The store-state machine over traces.
+
+use crate::bug::{Bug, BugKind, CheckReport, Checkpoint, RedundantFlush};
+use pmtrace::{Event, EventKind, Trace};
+use std::collections::BTreeSet;
+
+const CACHE_LINE: u64 = 64;
+
+fn lines_of(addr: u64, len: u64) -> BTreeSet<u64> {
+    let mut lines = BTreeSet::new();
+    let mut line = addr & !(CACHE_LINE - 1);
+    while line < addr + len.max(1) {
+        lines.insert(line);
+        line += CACHE_LINE;
+    }
+    lines
+}
+
+/// One tracked (not yet durable) store.
+#[derive(Debug)]
+struct StoreRecord {
+    event: Event,
+    addr: u64,
+    len: u64,
+    /// Lines not yet covered by any flush.
+    unflushed: BTreeSet<u64>,
+    /// Lines flushed weakly, awaiting a fence.
+    pending: BTreeSet<u64>,
+    /// Whether any flush ever touched this store.
+    saw_flush: bool,
+}
+
+impl StoreRecord {
+    fn is_durable(&self) -> bool {
+        self.unflushed.is_empty() && self.pending.is_empty()
+    }
+}
+
+/// Runs the durability state machine over a complete trace and reports
+/// every non-durable store at every checkpoint. See the
+/// [crate docs](crate) for the classification rules.
+///
+/// Equivalent to feeding every event into an [`OnlineChecker`] and calling
+/// [`OnlineChecker::finish`].
+pub fn check_trace(trace: &Trace) -> CheckReport {
+    let mut c = OnlineChecker::new();
+    for e in &trace.events {
+        c.feed(e);
+    }
+    c.finish()
+}
+
+/// The streaming form of the checker: feed events as they happen (e.g.
+/// attached live to a VM run), keeping memory proportional to the number of
+/// *non-durable* stores rather than the trace length — how the real
+/// pmemcheck instrumentations operate.
+///
+/// # Example
+///
+/// ```
+/// use pmcheck::OnlineChecker;
+/// use pmtrace::{Event, EventKind};
+///
+/// let mut checker = OnlineChecker::new();
+/// checker.feed(&Event {
+///     seq: 0,
+///     kind: EventKind::Store { addr: 0x3000_0000_0000, len: 8 },
+///     at: None,
+///     loc: None,
+///     stack: vec![],
+/// });
+/// checker.feed(&Event {
+///     seq: 1, kind: EventKind::ProgramEnd, at: None, loc: None, stack: vec![],
+/// });
+/// let report = checker.finish();
+/// assert_eq!(report.bugs.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineChecker {
+    report: CheckReport,
+    live: Vec<StoreRecord>,
+    last_fence_seq: Option<u64>,
+    crash_points: u64,
+}
+
+impl OnlineChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        OnlineChecker::default()
+    }
+
+    /// Number of stores currently tracked as non-durable (the checker's
+    /// working-set size).
+    pub fn live_stores(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Processes one event.
+    pub fn feed(&mut self, e: &Event) {
+        match &e.kind {
+            EventKind::Store { addr, len } => {
+                self.report.stores_checked += 1;
+                let all = lines_of(*addr, *len);
+                self.live.push(StoreRecord {
+                    event: e.clone(),
+                    addr: *addr,
+                    len: *len,
+                    unflushed: all,
+                    pending: BTreeSet::new(),
+                    saw_flush: false,
+                });
+            }
+            EventKind::Flush { kind, addr } => {
+                self.report.flushes_seen += 1;
+                let line = addr & !(CACHE_LINE - 1);
+                let mut hit = false;
+                for rec in self.live.iter_mut() {
+                    if rec.unflushed.remove(&line) {
+                        hit = true;
+                        rec.saw_flush = true;
+                        if kind.is_weakly_ordered() {
+                            rec.pending.insert(line);
+                        }
+                        // A strong flush (CLFLUSH) makes the line durable
+                        // immediately: nothing is added to `pending`.
+                    } else if rec.pending.contains(&line) {
+                        // Re-flushing a pending line is allowed; a strong
+                        // flush upgrades it to durable.
+                        hit = true;
+                        if !kind.is_weakly_ordered() {
+                            rec.pending.remove(&line);
+                        }
+                    }
+                }
+                if !hit {
+                    self.report.redundant_flushes.push(RedundantFlush {
+                        addr: *addr,
+                        at: e.at.clone(),
+                        loc: e.loc.clone(),
+                        seq: e.seq,
+                    });
+                }
+                self.live.retain(|r| !r.is_durable());
+            }
+            EventKind::Fence { .. } => {
+                self.report.fences_seen += 1;
+                self.last_fence_seq = Some(e.seq);
+                for rec in self.live.iter_mut() {
+                    rec.pending.clear();
+                }
+                self.live.retain(|r| !r.is_durable());
+            }
+            EventKind::CrashPoint => {
+                self.crash_points += 1;
+                audit(
+                    &self.live,
+                    Checkpoint::CrashPoint(self.crash_points),
+                    self.last_fence_seq,
+                    &mut self.report,
+                );
+            }
+            EventKind::ProgramEnd => {
+                audit(
+                    &self.live,
+                    Checkpoint::ProgramEnd,
+                    self.last_fence_seq,
+                    &mut self.report,
+                );
+            }
+            EventKind::RegisterPool { .. } => {}
+        }
+    }
+
+    /// Consumes the checker and returns the accumulated report.
+    pub fn finish(self) -> CheckReport {
+        self.report
+    }
+}
+
+fn audit(
+    live: &[StoreRecord],
+    checkpoint: Checkpoint,
+    last_fence_seq: Option<u64>,
+    report: &mut CheckReport,
+) {
+    for rec in live {
+        debug_assert!(!rec.is_durable());
+        let fence_after_store = last_fence_seq.is_some_and(|f| f > rec.event.seq);
+        let kind = if rec.unflushed.is_empty() {
+            // Fully flushed, but some lines still awaiting a fence.
+            BugKind::MissingFence
+        } else if fence_after_store {
+            // A fence exists downstream of the store; only flushes are
+            // missing (inserting flushes before that fence would have
+            // sufficed). This mirrors pmemcheck's "not flushed" report.
+            BugKind::MissingFlush
+        } else {
+            BugKind::MissingFlushFence
+        };
+        report.bugs.push(Bug {
+            kind,
+            addr: rec.addr,
+            len: rec.len,
+            store_at: rec.event.at.clone(),
+            store_loc: rec.event.loc.clone(),
+            stack: rec.event.stack.clone(),
+            store_seq: rec.event.seq,
+            checkpoint,
+            unflushed_lines: rec.unflushed.iter().copied().collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmtrace::{FenceKind, FlushKind};
+
+    const PM: u64 = 0x3000_0000_0000;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            kind,
+            at: None,
+            loc: None,
+            stack: vec![],
+        }
+    }
+
+    fn store(seq: u64, addr: u64, len: u64) -> Event {
+        ev(seq, EventKind::Store { addr, len })
+    }
+
+    fn flush(seq: u64, addr: u64) -> Event {
+        ev(
+            seq,
+            EventKind::Flush {
+                kind: FlushKind::Clwb,
+                addr,
+            },
+        )
+    }
+
+    fn fence(seq: u64) -> Event {
+        ev(
+            seq,
+            EventKind::Fence {
+                kind: FenceKind::Sfence,
+            },
+        )
+    }
+
+    fn end(seq: u64) -> Event {
+        ev(seq, EventKind::ProgramEnd)
+    }
+
+    #[test]
+    fn clean_program() {
+        let t: Trace = vec![store(0, PM, 8), flush(1, PM), fence(2), end(3)]
+            .into_iter()
+            .collect();
+        let r = check_trace(&t);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn missing_flush_and_fence() {
+        let t: Trace = vec![store(0, PM, 8), end(1)].into_iter().collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFlushFence);
+        assert_eq!(r.bugs[0].unflushed_lines, vec![PM]);
+    }
+
+    #[test]
+    fn missing_fence_only() {
+        let t: Trace = vec![store(0, PM, 8), flush(1, PM), end(2)].into_iter().collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFence);
+        assert!(r.bugs[0].unflushed_lines.is_empty());
+    }
+
+    #[test]
+    fn missing_flush_with_downstream_fence() {
+        let t: Trace = vec![store(0, PM, 8), fence(1), end(2)].into_iter().collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFlush);
+    }
+
+    #[test]
+    fn clflush_is_durable_without_fence() {
+        let t: Trace = vec![
+            store(0, PM, 8),
+            ev(
+                1,
+                EventKind::Flush {
+                    kind: FlushKind::Clflush,
+                    addr: PM,
+                },
+            ),
+            end(2),
+        ]
+        .into_iter()
+        .collect();
+        let r = check_trace(&t);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn multi_line_store_needs_every_line_flushed() {
+        // A 100-byte store spans two lines; only the first is flushed.
+        let t: Trace = vec![store(0, PM, 100), flush(1, PM), fence(2), end(3)]
+            .into_iter()
+            .collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFlush);
+        assert_eq!(r.bugs[0].unflushed_lines, vec![PM + 64]);
+
+        // Flushing both lines fixes it.
+        let t: Trace = vec![
+            store(0, PM, 100),
+            flush(1, PM),
+            flush(2, PM + 64),
+            fence(3),
+            end(4),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&t).is_clean());
+    }
+
+    #[test]
+    fn fence_before_flush_does_not_help() {
+        let t: Trace = vec![store(0, PM, 8), fence(1), flush(2, PM), end(3)]
+            .into_iter()
+            .collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFence);
+    }
+
+    #[test]
+    fn crash_point_audits_midway() {
+        // Store is durable by the end, but not by the crash point.
+        let t: Trace = vec![
+            store(0, PM, 8),
+            ev(1, EventKind::CrashPoint),
+            flush(2, PM),
+            fence(3),
+            end(4),
+        ]
+        .into_iter()
+        .collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].checkpoint, Checkpoint::CrashPoint(1));
+    }
+
+    #[test]
+    fn same_bug_at_two_checkpoints_dedupes() {
+        let t: Trace = vec![
+            store(0, PM, 8),
+            ev(1, EventKind::CrashPoint),
+            ev(2, EventKind::CrashPoint),
+            end(3),
+        ]
+        .into_iter()
+        .collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 3);
+        assert_eq!(r.deduped_bugs().len(), 1);
+    }
+
+    #[test]
+    fn redundant_flush_detected() {
+        let t: Trace = vec![
+            store(0, PM, 8),
+            flush(1, PM),
+            fence(2),
+            flush(3, PM), // line already durable
+            end(4),
+        ]
+        .into_iter()
+        .collect();
+        let r = check_trace(&t);
+        assert!(r.is_clean());
+        assert_eq!(r.redundant_flushes.len(), 1);
+        assert_eq!(r.redundant_flushes[0].seq, 3);
+    }
+
+    #[test]
+    fn two_stores_same_line_one_flush() {
+        // Both stores' line is covered by one flush; both become durable.
+        let t: Trace = vec![
+            store(0, PM, 8),
+            store(1, PM + 8, 8),
+            flush(2, PM + 4),
+            fence(3),
+            end(4),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&t).is_clean());
+    }
+
+    #[test]
+    fn flush_before_store_does_not_cover_it() {
+        let t: Trace = vec![flush(0, PM), store(1, PM, 8), fence(2), end(3)]
+            .into_iter()
+            .collect();
+        let r = check_trace(&t);
+        assert_eq!(r.bugs.len(), 1);
+        assert_eq!(r.bugs[0].kind, BugKind::MissingFlush);
+        // And the early flush was redundant.
+        assert_eq!(r.redundant_flushes.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod online_tests {
+    use super::*;
+    use pmtrace::{FenceKind, FlushKind};
+
+    const PM: u64 = 0x3000_0000_0000;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            kind,
+            at: None,
+            loc: None,
+            stack: vec![],
+        }
+    }
+
+    #[test]
+    fn working_set_shrinks_as_stores_become_durable() {
+        let mut c = OnlineChecker::new();
+        for i in 0..16u64 {
+            c.feed(&ev(i, EventKind::Store { addr: PM + i * 64, len: 8 }));
+        }
+        assert_eq!(c.live_stores(), 16);
+        for i in 0..16u64 {
+            c.feed(&ev(
+                100 + i,
+                EventKind::Flush {
+                    kind: FlushKind::Clwb,
+                    addr: PM + i * 64,
+                },
+            ));
+        }
+        assert_eq!(c.live_stores(), 16, "weak flushes keep stores pending");
+        c.feed(&ev(
+            200,
+            EventKind::Fence {
+                kind: FenceKind::Sfence,
+            },
+        ));
+        assert_eq!(c.live_stores(), 0, "the fence retires everything");
+        c.feed(&ev(201, EventKind::ProgramEnd));
+        assert!(c.finish().is_clean());
+    }
+
+    #[test]
+    fn online_matches_batch_on_real_trace() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                store8(p, 64, 2);
+                crashpoint();
+                sfence();
+            }
+        "#;
+        let m = pmlang::compile_one("t.pmc", src).unwrap();
+        let trace = pmvm::Vm::new(pmvm::VmOptions::default())
+            .run(&m, "main")
+            .unwrap()
+            .trace
+            .unwrap();
+        let batch = check_trace(&trace);
+        let mut online = OnlineChecker::new();
+        for e in &trace.events {
+            online.feed(e);
+        }
+        assert_eq!(batch, online.finish());
+    }
+}

@@ -1,0 +1,168 @@
+//! Differential property test: the production checker agrees with an
+//! independent, naive reference implementation of the durability state
+//! machine on random event streams.
+
+use pmcheck::{check_trace, BugKind};
+use pmtrace::{Event, EventKind, FenceKind, FlushKind, Trace};
+use proptest::prelude::*;
+
+const PM: u64 = 0x3000_0000_0000;
+
+#[derive(Debug, Clone)]
+enum TOp {
+    Store { line: u8, len: u8 },
+    Flush { line: u8, strong: bool },
+    Fence,
+    CrashPoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = TOp> {
+    prop_oneof![
+        4 => (0u8..8, 1u8..72).prop_map(|(line, len)| TOp::Store { line, len }),
+        3 => (0u8..8, any::<bool>()).prop_map(|(line, strong)| TOp::Flush { line, strong }),
+        2 => Just(TOp::Fence),
+        1 => Just(TOp::CrashPoint),
+    ]
+}
+
+fn to_trace(ops: &[TOp]) -> Trace {
+    let mut t = Trace::new();
+    let mut seq = 0;
+    let mut push = |kind| {
+        t.push(Event {
+            seq,
+            kind,
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        seq += 1;
+    };
+    for op in ops {
+        match *op {
+            TOp::Store { line, len } => push(EventKind::Store {
+                addr: PM + u64::from(line) * 64,
+                len: u64::from(len),
+            }),
+            TOp::Flush { line, strong } => push(EventKind::Flush {
+                kind: if strong {
+                    FlushKind::Clflush
+                } else {
+                    FlushKind::Clwb
+                },
+                addr: PM + u64::from(line) * 64,
+            }),
+            TOp::Fence => push(EventKind::Fence {
+                kind: FenceKind::Sfence,
+            }),
+            TOp::CrashPoint => push(EventKind::CrashPoint),
+        }
+    }
+    push(EventKind::ProgramEnd);
+    t
+}
+
+/// The reference: simulate per-store line sets with no cleverness at all.
+/// Returns `(bug_count, kinds)` over all checkpoints.
+fn reference(ops: &[TOp]) -> Vec<BugKind> {
+    #[derive(Clone)]
+    struct St {
+        seq: usize,
+        unflushed: Vec<u64>,
+        pending: Vec<u64>,
+    }
+    let mut live: Vec<St> = vec![];
+    let mut bugs = vec![];
+    let mut last_fence: Option<usize> = None;
+    let audit = |live: &[St], last_fence: Option<usize>, bugs: &mut Vec<BugKind>| {
+        for st in live {
+            if st.unflushed.is_empty() && st.pending.is_empty() {
+                continue;
+            }
+            let kind = if st.unflushed.is_empty() {
+                BugKind::MissingFence
+            } else if last_fence.map(|f| f > st.seq).unwrap_or(false) {
+                BugKind::MissingFlush
+            } else {
+                BugKind::MissingFlushFence
+            };
+            bugs.push(kind);
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            TOp::Store { line, len } => {
+                let start = u64::from(line) * 64;
+                let end = start + u64::from(len);
+                let mut lines = vec![];
+                let mut l = start / 64 * 64;
+                while l < end {
+                    lines.push(l);
+                    l += 64;
+                }
+                live.push(St {
+                    seq: i,
+                    unflushed: lines,
+                    pending: vec![],
+                });
+            }
+            TOp::Flush { line, strong } => {
+                let l = u64::from(line) * 64;
+                for st in &mut live {
+                    if let Some(pos) = st.unflushed.iter().position(|&x| x == l) {
+                        st.unflushed.remove(pos);
+                        if !strong {
+                            st.pending.push(l);
+                        }
+                    } else if strong {
+                        if let Some(pos) = st.pending.iter().position(|&x| x == l) {
+                            st.pending.remove(pos);
+                        }
+                    }
+                }
+            }
+            TOp::Fence => {
+                last_fence = Some(i);
+                for st in &mut live {
+                    st.pending.clear();
+                }
+            }
+            TOp::CrashPoint => audit(&live, last_fence, &mut bugs),
+        }
+    }
+    audit(&live, last_fence, &mut bugs);
+    bugs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn checker_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let trace = to_trace(&ops);
+        let report = check_trace(&trace);
+        let got: Vec<BugKind> = report.bugs.iter().map(|b| b.kind).collect();
+        let want = reference(&ops);
+        prop_assert_eq!(got, want, "ops: {:?}", ops);
+    }
+
+    /// Appending a full persist (flush every line + fence) before program
+    /// end removes every program-end report.
+    #[test]
+    fn trailing_persist_silences_end_reports(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut fixed = ops.clone();
+        for line in 0..10u8 {
+            fixed.push(TOp::Flush { line, strong: false });
+        }
+        fixed.push(TOp::Fence);
+        let report = check_trace(&to_trace(&fixed));
+        let end_bugs = report
+            .bugs
+            .iter()
+            .filter(|b| matches!(b.checkpoint, pmcheck::Checkpoint::ProgramEnd))
+            .count();
+        prop_assert_eq!(end_bugs, 0, "{}", report.render());
+    }
+}

@@ -1,0 +1,106 @@
+//! The simulated cycle-cost model.
+//!
+//! The absolute values are calibration constants, not measurements; what the
+//! Fig. 4 reproduction relies on is the *relative* structure reported for
+//! Optane platforms: PM loads are 2–3× DRAM loads (paper §1), flush
+//! instructions are cheap to issue, and the expensive event is the fence
+//! *drain* — each pending line write-back stalls for roughly a PM write
+//! latency (hundreds of cycles).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation cycle costs charged by [`crate::Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// A cached load/store from DRAM (stack/heap/global), per access.
+    pub dram_access: u64,
+    /// A load from PM (2–3× DRAM per the paper).
+    pub pm_load: u64,
+    /// A store to PM (into the cache; write latency is paid at drain).
+    pub pm_store: u64,
+    /// Issue cost of `CLWB`/`CLFLUSHOPT`/`CLFLUSH`.
+    pub flush_issue: u64,
+    /// Write-back of one dirty line to the PM medium (paid at the fence for
+    /// weak flushes, synchronously for `CLFLUSH`).
+    pub pm_writeback: u64,
+    /// Write-back of one line to DRAM (flushes on volatile data still drain;
+    /// ~70 ns of DRAM write latency at 2.1 GHz).
+    pub dram_writeback: u64,
+    /// Base cost of `SFENCE`.
+    pub sfence_base: u64,
+    /// Base cost of `MFENCE`.
+    pub mfence_base: u64,
+    /// Cost per 16 copied bytes of `memcpy`/`memset` bulk work (wide-move
+    /// hardware copies ~16 B per cycle).
+    pub bulk_byte: u64,
+    /// Fixed overhead per executed instruction (dispatch, ALU).
+    pub inst_base: u64,
+    /// Cost of a call/return pair.
+    pub call: u64,
+}
+
+impl CostModel {
+    /// The default calibration (see module docs).
+    pub fn optane_like() -> Self {
+        CostModel {
+            dram_access: 1,
+            pm_load: 3,
+            pm_store: 2,
+            flush_issue: 6,
+            pm_writeback: 300,
+            dram_writeback: 150,
+            sfence_base: 30,
+            mfence_base: 45,
+            bulk_byte: 1,
+            inst_base: 1,
+            call: 5,
+        }
+    }
+
+    /// A cost model where every operation costs one cycle — useful for
+    /// instruction-count-style measurements in tests.
+    pub fn unit() -> Self {
+        CostModel {
+            dram_access: 1,
+            pm_load: 1,
+            pm_store: 1,
+            flush_issue: 1,
+            pm_writeback: 1,
+            dram_writeback: 1,
+            sfence_base: 1,
+            mfence_base: 1,
+            bulk_byte: 0,
+            inst_base: 1,
+            call: 1,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::optane_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_paper_shape() {
+        let c = CostModel::default();
+        // PM loads are 2-3x DRAM.
+        assert!(c.pm_load >= 2 * c.dram_access && c.pm_load <= 3 * c.dram_access);
+        // The drain dominates the issue cost by orders of magnitude.
+        assert!(c.pm_writeback > 10 * c.flush_issue);
+        // PM write-back costs more than DRAM write-back.
+        assert!(c.pm_writeback > c.dram_writeback);
+    }
+
+    #[test]
+    fn unit_model_counts_operations() {
+        let c = CostModel::unit();
+        assert_eq!(c.pm_writeback, 1);
+        assert_eq!(c.bulk_byte, 0);
+    }
+}

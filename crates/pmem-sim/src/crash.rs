@@ -1,0 +1,107 @@
+//! Crash images: the durable state an observer finds after a failure.
+
+use crate::media::PmMedia;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A snapshot of every pool's durable bytes at a crash.
+///
+/// Crash-consistency tests compare images (did the update become durable?)
+/// or boot a fresh [`crate::Machine`] from one to run recovery code.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashImage {
+    pools: BTreeMap<u64, Vec<u8>>,
+    bases: BTreeMap<u64, u64>,
+}
+
+impl CrashImage {
+    /// Snapshots a medium.
+    pub(crate) fn of_media(media: &PmMedia) -> Self {
+        let mut pools = BTreeMap::new();
+        let mut bases = BTreeMap::new();
+        for (hint, p) in media.iter() {
+            pools.insert(hint, p.bytes.clone());
+            bases.insert(hint, p.base);
+        }
+        CrashImage { pools, bases }
+    }
+
+    /// The durable bytes of pool `hint`, if it exists.
+    pub fn pool_bytes(&self, hint: u64) -> Option<&[u8]> {
+        self.pools.get(&hint).map(Vec::as_slice)
+    }
+
+    /// The base address pool `hint` was mapped at.
+    pub fn pool_base(&self, hint: u64) -> Option<u64> {
+        self.bases.get(&hint).copied()
+    }
+
+    /// Number of pools captured.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Reads a little-endian zero-extended integer from an absolute PM
+    /// address in the image.
+    pub fn read_int(&self, addr: u64, len: u8) -> Option<i64> {
+        for (hint, &base) in &self.bases {
+            let bytes = &self.pools[hint];
+            if addr >= base && addr + u64::from(len) <= base + bytes.len() as u64 {
+                let off = (addr - base) as usize;
+                let mut buf = [0u8; 8];
+                buf[..len as usize].copy_from_slice(&bytes[off..off + len as usize]);
+                return Some(i64::from_le_bytes(buf));
+            }
+        }
+        None
+    }
+
+    /// Converts the image back into a medium for recovery runs.
+    pub fn into_media(self) -> PmMedia {
+        let mut media = PmMedia::new();
+        for (hint, bytes) in self.pools {
+            let base = self.bases[&hint];
+            media.insert(hint, base, bytes.len() as u64);
+            media.pool_mut(hint).expect("just inserted").bytes = bytes;
+        }
+        media
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::machine::Machine;
+    use crate::{FenceKind, FlushKind};
+
+    #[test]
+    fn read_int_across_pools() {
+        let mut m = Machine::default();
+        let a = m.map_pool(0, 128).unwrap();
+        let b = m.map_pool(1, 128).unwrap();
+        m.store_int(a, 8, 11).unwrap();
+        m.store_int(b + 16, 4, 22).unwrap();
+        m.flush(FlushKind::Clwb, a).unwrap();
+        m.flush(FlushKind::Clwb, b + 16).unwrap();
+        m.fence(FenceKind::Sfence);
+        let img = m.crash_image();
+        assert_eq!(img.pool_count(), 2);
+        assert_eq!(img.read_int(a, 8), Some(11));
+        assert_eq!(img.read_int(b + 16, 4), Some(22));
+        assert_eq!(img.read_int(0xdead, 8), None);
+    }
+
+    #[test]
+    fn image_roundtrips_to_media() {
+        let mut m = Machine::default();
+        let p = m.map_pool(3, 64).unwrap();
+        m.store_int(p, 8, 99).unwrap();
+        m.flush(FlushKind::Clwb, p).unwrap();
+        m.fence(FenceKind::Sfence);
+        let img = m.crash_image();
+        let mut m2 = Machine::with_media(img.into_media(), Default::default());
+        let p2 = m2.map_pool(3, 64).unwrap();
+        assert_eq!(p2, p);
+        assert_eq!(m2.load_int(p2, 8).unwrap(), 99);
+    }
+}

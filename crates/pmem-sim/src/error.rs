@@ -1,0 +1,77 @@
+//! Memory-access errors ("machine traps").
+
+use std::fmt;
+
+/// A memory fault raised by the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to an address outside every region (e.g. a null dereference).
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Access beyond an allocation or region limit.
+    OutOfBounds {
+        /// The faulting address.
+        addr: u64,
+        /// The access length in bytes.
+        len: u64,
+    },
+    /// Access to heap memory that was freed.
+    UseAfterFree {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// `heap_free` of a pointer that is not a live allocation base.
+    InvalidFree {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// A region allocator ran out of space.
+    OutOfMemory {
+        /// The region that was exhausted.
+        what: &'static str,
+    },
+    /// Re-mapping a pool with a different size than it was created with.
+    PoolSizeMismatch {
+        /// The pool hint.
+        pool: u64,
+        /// The existing size.
+        have: u64,
+        /// The requested size.
+        want: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::OutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds access of {len} bytes at {addr:#x}")
+            }
+            MemError::UseAfterFree { addr } => write!(f, "use after free at {addr:#x}"),
+            MemError::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            MemError::OutOfMemory { what } => write!(f, "out of {what} memory"),
+            MemError::PoolSizeMismatch { pool, have, want } => write!(
+                f,
+                "pool {pool} exists with size {have}, remapped with size {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = MemError::Unmapped { addr: 0 };
+        assert_eq!(e.to_string(), "unmapped address 0x0");
+        let e = MemError::OutOfBounds { addr: 16, len: 8 };
+        assert!(e.to_string().contains("8 bytes"));
+    }
+}

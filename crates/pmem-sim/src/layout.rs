@@ -1,0 +1,99 @@
+//! The simulated 64-bit address space.
+//!
+//! Each memory kind lives in its own high-bits-tagged region so a raw `u64`
+//! address is self-describing. The bases are shared knowledge between the
+//! machine, the interpreter, and the durability checker (which must decide
+//! whether a store targets PM).
+
+/// Cache-line size in bytes, matching x86.
+pub const CACHE_LINE: u64 = 64;
+
+/// Base of the stack region.
+pub const STACK_BASE: u64 = 0x1000_0000_0000;
+/// Base of the volatile heap region.
+pub const HEAP_BASE: u64 = 0x2000_0000_0000;
+/// Base of the persistent-memory region.
+pub const PM_BASE: u64 = 0x3000_0000_0000;
+/// Base of the globals region.
+pub const GLOBAL_BASE: u64 = 0x4000_0000_0000;
+/// Size of each region's address window.
+pub const REGION_SPAN: u64 = 0x1000_0000_0000;
+
+/// The memory kind an address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Per-frame stack storage (volatile).
+    Stack,
+    /// Heap storage (volatile, "DRAM").
+    Heap,
+    /// Persistent memory.
+    Pm,
+    /// Module globals (volatile).
+    Global,
+}
+
+impl Region {
+    /// Classifies an address, or `None` if it falls outside every region
+    /// (e.g. null or a stray integer).
+    pub fn of(addr: u64) -> Option<Region> {
+        match addr {
+            a if (STACK_BASE..STACK_BASE + REGION_SPAN).contains(&a) => Some(Region::Stack),
+            a if (HEAP_BASE..HEAP_BASE + REGION_SPAN).contains(&a) => Some(Region::Heap),
+            a if (PM_BASE..PM_BASE + REGION_SPAN).contains(&a) => Some(Region::Pm),
+            a if (GLOBAL_BASE..GLOBAL_BASE + REGION_SPAN).contains(&a) => Some(Region::Global),
+            _ => None,
+        }
+    }
+
+    /// Whether the region is persistent.
+    pub fn is_pm(self) -> bool {
+        matches!(self, Region::Pm)
+    }
+
+    /// Whether the region is volatile (everything but PM).
+    pub fn is_volatile(self) -> bool {
+        !self.is_pm()
+    }
+}
+
+/// The base address of the cache line containing `addr`.
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(CACHE_LINE - 1)
+}
+
+/// Whether an address is in persistent memory.
+pub fn is_pm_addr(addr: u64) -> bool {
+    Region::of(addr) == Some(Region::Pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(Region::of(0), None);
+        assert_eq!(Region::of(STACK_BASE), Some(Region::Stack));
+        assert_eq!(Region::of(HEAP_BASE + 5), Some(Region::Heap));
+        assert_eq!(Region::of(PM_BASE + REGION_SPAN - 1), Some(Region::Pm));
+        assert_eq!(Region::of(GLOBAL_BASE), Some(Region::Global));
+        assert_eq!(Region::of(GLOBAL_BASE + REGION_SPAN), None);
+    }
+
+    #[test]
+    fn pm_predicates() {
+        assert!(Region::Pm.is_pm());
+        assert!(!Region::Pm.is_volatile());
+        assert!(Region::Heap.is_volatile());
+        assert!(is_pm_addr(PM_BASE + 100));
+        assert!(!is_pm_addr(HEAP_BASE + 100));
+    }
+
+    #[test]
+    fn line_rounding() {
+        assert_eq!(line_of(PM_BASE), PM_BASE);
+        assert_eq!(line_of(PM_BASE + 63), PM_BASE);
+        assert_eq!(line_of(PM_BASE + 64), PM_BASE + 64);
+        assert_eq!(line_of(PM_BASE + 130), PM_BASE + 128);
+    }
+}

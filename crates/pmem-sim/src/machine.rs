@@ -1,0 +1,828 @@
+//! The simulated machine: all address spaces, the PM cache model, and cycle
+//! accounting.
+
+use crate::cost::CostModel;
+use crate::crash::CrashImage;
+use crate::error::MemError;
+use crate::layout::{
+    line_of, Region, CACHE_LINE, GLOBAL_BASE, HEAP_BASE, PM_BASE, REGION_SPAN, STACK_BASE,
+};
+use crate::media::PmMedia;
+use crate::stats::MachineStats;
+use crate::{FenceKind, FlushKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A heap allocation record.
+#[derive(Debug, Clone, Copy)]
+struct HeapAlloc {
+    size: u64,
+    live: bool,
+}
+
+/// One mapped PM pool's volatile view (the cache-visible bytes).
+#[derive(Debug, Clone)]
+struct PoolCache {
+    hint: u64,
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+/// The machine. See the [crate docs](crate) for the model.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cost: CostModel,
+    stats: MachineStats,
+
+    // Volatile regions.
+    stack: Vec<u8>,
+    stack_top: u64, // offset from STACK_BASE of the next free byte
+    frames: Vec<u64>,
+    heap: Vec<u8>,
+    heap_top: u64,
+    heap_allocs: BTreeMap<u64, HeapAlloc>, // keyed by absolute base address
+    globals: Vec<u8>,
+    globals_top: u64,
+
+    // Persistent region.
+    media: PmMedia,
+    pools: Vec<PoolCache>, // sorted by base
+    dirty_lines: BTreeSet<u64>,
+    pending_pm_lines: BTreeSet<u64>,
+    pending_volatile_lines: BTreeSet<u64>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new(CostModel::default())
+    }
+}
+
+impl Machine {
+    /// A fresh machine (empty medium) with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Machine::with_media(PmMedia::new(), cost)
+    }
+
+    /// A machine booted against an existing persistent medium (a "restart").
+    pub fn with_media(media: PmMedia, cost: CostModel) -> Self {
+        Machine {
+            cost,
+            stats: MachineStats::default(),
+            stack: vec![],
+            stack_top: 0,
+            frames: vec![],
+            heap: vec![],
+            heap_top: 0,
+            heap_allocs: BTreeMap::new(),
+            globals: vec![],
+            globals_top: 0,
+            media,
+            pools: vec![],
+            dirty_lines: BTreeSet::new(),
+            pending_pm_lines: BTreeSet::new(),
+            pending_volatile_lines: BTreeSet::new(),
+        }
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Charges `c` cycles (used by the interpreter for instruction dispatch).
+    pub fn charge(&mut self, c: u64) {
+        self.stats.cycles += c;
+    }
+
+    /// Charges the fixed per-instruction dispatch cost.
+    pub fn charge_inst(&mut self) {
+        self.stats.cycles += self.cost.inst_base;
+    }
+
+    /// Charges a call/return pair.
+    pub fn charge_call(&mut self) {
+        self.stats.cycles += self.cost.call;
+    }
+
+    // ----- volatile allocators ---------------------------------------------
+
+    /// Pushes a stack frame; pair with [`Machine::pop_frame`].
+    pub fn push_frame(&mut self) {
+        self.frames.push(self.stack_top);
+    }
+
+    /// Pops the current frame, releasing its allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active.
+    pub fn pop_frame(&mut self) {
+        self.stack_top = self.frames.pop().expect("pop_frame with no active frame");
+    }
+
+    /// Allocates `size` bytes (8-aligned) in the current stack frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::OutOfMemory`] if the stack window is exhausted.
+    pub fn stack_alloc(&mut self, size: u64) -> Result<u64, MemError> {
+        let size = align8(size);
+        if self.stack_top + size > REGION_SPAN {
+            return Err(MemError::OutOfMemory { what: "stack" });
+        }
+        let addr = STACK_BASE + self.stack_top;
+        self.stack_top += size;
+        if self.stack.len() < self.stack_top as usize {
+            self.stack.resize(self.stack_top as usize, 0);
+        }
+        Ok(addr)
+    }
+
+    /// Allocates `size` bytes of heap ("DRAM").
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::OutOfMemory`] if the heap window is exhausted.
+    pub fn heap_alloc(&mut self, size: u64) -> Result<u64, MemError> {
+        let size = align8(size.max(1));
+        if self.heap_top + size > REGION_SPAN {
+            return Err(MemError::OutOfMemory { what: "heap" });
+        }
+        let addr = HEAP_BASE + self.heap_top;
+        self.heap_top += size;
+        if self.heap.len() < self.heap_top as usize {
+            self.heap.resize(self.heap_top as usize, 0);
+        }
+        self.heap_allocs.insert(addr, HeapAlloc { size, live: true });
+        self.stats.heap_live_bytes += size;
+        self.stats.heap_peak_bytes = self.stats.heap_peak_bytes.max(self.stats.heap_live_bytes);
+        Ok(addr)
+    }
+
+    /// Frees a heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::InvalidFree`] if `addr` is not the base of a
+    /// live allocation.
+    pub fn heap_free(&mut self, addr: u64) -> Result<(), MemError> {
+        match self.heap_allocs.get_mut(&addr) {
+            Some(a) if a.live => {
+                a.live = false;
+                self.stats.heap_live_bytes -= a.size;
+                Ok(())
+            }
+            _ => Err(MemError::InvalidFree { addr }),
+        }
+    }
+
+    /// Installs a global of `size` bytes with initial contents `init`
+    /// (zero-extended); returns its address.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::OutOfMemory`] if the globals window is
+    /// exhausted.
+    pub fn add_global(&mut self, size: u64, init: &[u8]) -> Result<u64, MemError> {
+        let size = align8(size.max(init.len() as u64));
+        if self.globals_top + size > REGION_SPAN {
+            return Err(MemError::OutOfMemory { what: "globals" });
+        }
+        let addr = GLOBAL_BASE + self.globals_top;
+        self.globals_top += size;
+        self.globals.resize(self.globals_top as usize, 0);
+        let off = (addr - GLOBAL_BASE) as usize;
+        self.globals[off..off + init.len()].copy_from_slice(init);
+        Ok(addr)
+    }
+
+    // ----- PM pools ---------------------------------------------------------
+
+    /// Maps the pool identified by `hint`, creating it on the medium if it
+    /// does not exist. Remapping an existing pool returns the same base and
+    /// *reads the cache view back from the durable medium* — exactly what a
+    /// process restart observes.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::PoolSizeMismatch`] if the pool exists with a
+    /// different size, or [`MemError::OutOfMemory`] if the PM window is full.
+    pub fn map_pool(&mut self, hint: u64, size: u64) -> Result<u64, MemError> {
+        if let Some(p) = self.pools.iter().find(|p| p.hint == hint) {
+            let have = p.bytes.len() as u64;
+            if have != size {
+                return Err(MemError::PoolSizeMismatch {
+                    pool: hint,
+                    have,
+                    want: size,
+                });
+            }
+            return Ok(p.base);
+        }
+        let size = align_up(size.max(1), CACHE_LINE);
+        let (base, fresh) = match self.media.pool(hint) {
+            Some(pm) => {
+                let have = pm.bytes.len() as u64;
+                if have != size {
+                    return Err(MemError::PoolSizeMismatch {
+                        pool: hint,
+                        have,
+                        want: size,
+                    });
+                }
+                (pm.base, false)
+            }
+            None => {
+                let base = align_up(self.media.high_water().unwrap_or(PM_BASE), 4096);
+                if base + size > PM_BASE + REGION_SPAN {
+                    return Err(MemError::OutOfMemory { what: "pm" });
+                }
+                self.media.insert(hint, base, size);
+                (base, true)
+            }
+        };
+        let bytes = if fresh {
+            vec![0; size as usize]
+        } else {
+            self.media.pool(hint).expect("pool exists").bytes.clone()
+        };
+        self.pools.push(PoolCache { hint, base, bytes });
+        self.pools.sort_by_key(|p| p.base);
+        Ok(base)
+    }
+
+    fn pool_index_of(&self, addr: u64) -> Option<usize> {
+        self.pools
+            .iter()
+            .position(|p| addr >= p.base && addr < p.base + p.bytes.len() as u64)
+    }
+
+    // ----- access checking ---------------------------------------------------
+
+    fn check_range(&self, addr: u64, len: u64) -> Result<Region, MemError> {
+        if len == 0 {
+            return Region::of(addr).ok_or(MemError::Unmapped { addr });
+        }
+        let region = Region::of(addr).ok_or(MemError::Unmapped { addr })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(MemError::OutOfBounds { addr, len })?;
+        let oob = MemError::OutOfBounds { addr, len };
+        match region {
+            Region::Stack => {
+                if end <= STACK_BASE + self.stack_top {
+                    Ok(region)
+                } else {
+                    Err(oob)
+                }
+            }
+            Region::Heap => {
+                let (base, alloc) = self
+                    .heap_allocs
+                    .range(..=addr)
+                    .next_back()
+                    .ok_or(MemError::Unmapped { addr })?;
+                if !alloc.live {
+                    return Err(MemError::UseAfterFree { addr });
+                }
+                if end <= base + alloc.size {
+                    Ok(region)
+                } else {
+                    Err(oob)
+                }
+            }
+            Region::Global => {
+                if end <= GLOBAL_BASE + self.globals_top {
+                    Ok(region)
+                } else {
+                    Err(oob)
+                }
+            }
+            Region::Pm => {
+                let i = self.pool_index_of(addr).ok_or(MemError::Unmapped { addr })?;
+                let p = &self.pools[i];
+                if end <= p.base + p.bytes.len() as u64 {
+                    Ok(region)
+                } else {
+                    Err(oob)
+                }
+            }
+        }
+    }
+
+    fn raw_slice_mut(&mut self, region: Region, addr: u64, len: u64) -> &mut [u8] {
+        let (buf, base): (&mut Vec<u8>, u64) = match region {
+            Region::Stack => (&mut self.stack, STACK_BASE),
+            Region::Heap => (&mut self.heap, HEAP_BASE),
+            Region::Global => (&mut self.globals, GLOBAL_BASE),
+            Region::Pm => {
+                let i = self.pool_index_of(addr).expect("checked");
+                let p = &mut self.pools[i];
+                let off = (addr - p.base) as usize;
+                return &mut p.bytes[off..off + len as usize];
+            }
+        };
+        let off = (addr - base) as usize;
+        &mut buf[off..off + len as usize]
+    }
+
+    fn raw_slice(&self, region: Region, addr: u64, len: u64) -> &[u8] {
+        let (buf, base): (&Vec<u8>, u64) = match region {
+            Region::Stack => (&self.stack, STACK_BASE),
+            Region::Heap => (&self.heap, HEAP_BASE),
+            Region::Global => (&self.globals, GLOBAL_BASE),
+            Region::Pm => {
+                let i = self.pool_index_of(addr).expect("checked");
+                let p = &self.pools[i];
+                let off = (addr - p.base) as usize;
+                return &p.bytes[off..off + len as usize];
+            }
+        };
+        let off = (addr - base) as usize;
+        &buf[off..off + len as usize]
+    }
+
+    // ----- loads and stores ---------------------------------------------------
+
+    /// Stores `bytes` at `addr`, dirtying the covered PM cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn store(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
+        let len = bytes.len() as u64;
+        let region = self.check_range(addr, len)?;
+        self.raw_slice_mut(region, addr, len).copy_from_slice(bytes);
+        if region.is_pm() {
+            self.stats.pm_stores += 1;
+            self.stats.cycles += self.cost.pm_store;
+            let mut line = line_of(addr);
+            while line < addr + len {
+                self.dirty_lines.insert(line);
+                line += CACHE_LINE;
+            }
+        } else {
+            self.stats.volatile_stores += 1;
+            self.stats.cycles += self.cost.dram_access;
+        }
+        Ok(())
+    }
+
+    /// Loads `out.len()` bytes from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn load(&mut self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
+        let len = out.len() as u64;
+        let region = self.check_range(addr, len)?;
+        out.copy_from_slice(self.raw_slice(region, addr, len));
+        if region.is_pm() {
+            self.stats.pm_loads += 1;
+            self.stats.cycles += self.cost.pm_load;
+        } else {
+            self.stats.volatile_loads += 1;
+            self.stats.cycles += self.cost.dram_access;
+        }
+        Ok(())
+    }
+
+    /// Loads a little-endian zero-extended integer of `len` bytes (1/2/4/8).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn load_int(&mut self, addr: u64, len: u8) -> Result<i64, MemError> {
+        let mut buf = [0u8; 8];
+        self.load(addr, &mut buf[..len as usize])?;
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    /// Stores the low `len` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn store_int(&mut self, addr: u64, len: u8, value: i64) -> Result<(), MemError> {
+        let bytes = value.to_le_bytes();
+        self.store(addr, &bytes[..len as usize])
+    }
+
+    /// `memcpy(dst, src, len)`. Regions may differ; overlap is not supported
+    /// and yields the source snapshot semantics (a temporary buffer is used).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let src_region = self.check_range(src, len)?;
+        let dst_region = self.check_range(dst, len)?;
+        let tmp = self.raw_slice(src_region, src, len).to_vec();
+        self.raw_slice_mut(dst_region, dst, len).copy_from_slice(&tmp);
+        self.account_bulk_write(dst_region, dst, len);
+        self.stats.cycles += self.cost.bulk_byte * len.div_ceil(16);
+        if src_region.is_pm() {
+            self.stats.pm_loads += len.div_ceil(8);
+        } else {
+            self.stats.volatile_loads += len.div_ceil(8);
+        }
+        Ok(())
+    }
+
+    /// `memset(dst, val, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid access.
+    pub fn memset(&mut self, dst: u64, val: u8, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let region = self.check_range(dst, len)?;
+        self.raw_slice_mut(region, dst, len).fill(val);
+        self.account_bulk_write(region, dst, len);
+        self.stats.cycles += self.cost.bulk_byte * len.div_ceil(16);
+        Ok(())
+    }
+
+    fn account_bulk_write(&mut self, region: Region, dst: u64, len: u64) {
+        let words = len.div_ceil(16);
+        if region.is_pm() {
+            self.stats.pm_stores += words;
+            self.stats.cycles += self.cost.pm_store * words;
+            let mut line = line_of(dst);
+            while line < dst + len {
+                self.dirty_lines.insert(line);
+                line += CACHE_LINE;
+            }
+        } else {
+            self.stats.volatile_stores += words;
+            self.stats.cycles += self.cost.dram_access * words;
+        }
+    }
+
+    // ----- persistence operations ----------------------------------------------
+
+    /// Executes a cache-line flush of the line containing `addr`.
+    ///
+    /// Weak flushes only schedule the write-back (completed at the next
+    /// fence); `CLFLUSH` writes back synchronously. Flushing a volatile line
+    /// is legal and costs real time — this is the waste the paper's
+    /// interprocedural fixes avoid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if `addr` is not a mapped address.
+    pub fn flush(&mut self, kind: FlushKind, addr: u64) -> Result<(), MemError> {
+        let region = self.check_range(addr, 1)?;
+        self.stats.cycles += self.cost.flush_issue;
+        let line = line_of(addr);
+        if region.is_pm() {
+            self.stats.pm_flushes += 1;
+            if !self.dirty_lines.contains(&line) {
+                self.stats.redundant_flushes += 1;
+                return Ok(());
+            }
+            if kind.is_weakly_ordered() {
+                self.pending_pm_lines.insert(line);
+            } else {
+                self.write_back_line(line);
+                self.stats.pm_lines_drained += 1;
+                self.stats.cycles += self.cost.pm_writeback;
+            }
+        } else {
+            // A flush of volatile data starts its DRAM write-back
+            // immediately (the bandwidth is consumed whether or not a fence
+            // ever waits on it) — this is the §3.2 cost of intraprocedural
+            // fixes landing in helpers that also run on DRAM.
+            self.stats.volatile_flushes += 1;
+            self.stats.volatile_lines_drained += 1;
+            self.stats.cycles += self.cost.dram_writeback;
+        }
+        Ok(())
+    }
+
+    /// Executes a memory fence, draining all pending write-backs.
+    pub fn fence(&mut self, kind: FenceKind) {
+        self.stats.fences += 1;
+        self.stats.cycles += match kind {
+            FenceKind::Sfence => self.cost.sfence_base,
+            FenceKind::Mfence => self.cost.mfence_base,
+        };
+        let pm: Vec<u64> = std::mem::take(&mut self.pending_pm_lines).into_iter().collect();
+        for line in pm {
+            self.write_back_line(line);
+            self.stats.pm_lines_drained += 1;
+            self.stats.cycles += self.cost.pm_writeback;
+        }
+        // Volatile write-backs were charged at issue; the fence only
+        // orders them.
+        self.pending_volatile_lines.clear();
+    }
+
+    /// Spontaneously evicts the (PM) cache line containing `addr`, writing it
+    /// back if dirty. Models cache pressure; used by the do-no-harm property
+    /// tests, which rely on eviction being *possible* at any time (paper
+    /// Lemma 2).
+    pub fn evict(&mut self, addr: u64) {
+        let line = line_of(addr);
+        if self.dirty_lines.contains(&line) {
+            self.write_back_line(line);
+            self.pending_pm_lines.remove(&line);
+        }
+    }
+
+    fn write_back_line(&mut self, line: u64) {
+        let Some(i) = self.pool_index_of(line) else {
+            return;
+        };
+        let p = &self.pools[i];
+        let off = (line - p.base) as usize;
+        let end = (off + CACHE_LINE as usize).min(p.bytes.len());
+        let bytes = p.bytes[off..end].to_vec();
+        let hint = p.hint;
+        let pm = self.media.pool_mut(hint).expect("mapped pool has media");
+        pm.bytes[off..end].copy_from_slice(&bytes);
+        self.dirty_lines.remove(&line);
+    }
+
+    // ----- crash simulation -----------------------------------------------------
+
+    /// The durable state if the machine crashed right now (cache contents
+    /// lost, pending write-backs *not* completed — the adversarial case).
+    pub fn crash_image(&self) -> CrashImage {
+        CrashImage::of_media(&self.media)
+    }
+
+    /// The durable state if the machine crashed right now *and* the pending
+    /// write-backs in `completed` raced to the medium first. Line addresses
+    /// not actually pending are ignored.
+    pub fn crash_image_flushing(&self, completed: &[u64]) -> CrashImage {
+        let mut media = self.media.clone();
+        for &line in completed {
+            if !self.pending_pm_lines.contains(&line) {
+                continue;
+            }
+            if let Some(i) = self.pool_index_of(line) {
+                let p = &self.pools[i];
+                let off = (line - p.base) as usize;
+                let end = (off + CACHE_LINE as usize).min(p.bytes.len());
+                let pm = media.pool_mut(p.hint).expect("media");
+                pm.bytes[off..end].copy_from_slice(&p.bytes[off..end]);
+            }
+        }
+        CrashImage::of_media(&media)
+    }
+
+    /// Lines with a scheduled-but-undrained write-back, in address order.
+    pub fn pending_pm_lines(&self) -> Vec<u64> {
+        self.pending_pm_lines.iter().copied().collect()
+    }
+
+    /// Dirty (unflushed or undrained) PM lines, in address order.
+    pub fn dirty_pm_lines(&self) -> Vec<u64> {
+        self.dirty_lines.iter().copied().collect()
+    }
+
+    /// Whether the PM line containing `addr` is dirty.
+    pub fn is_line_dirty(&self, addr: u64) -> bool {
+        self.dirty_lines.contains(&line_of(addr))
+    }
+
+    /// Consumes the machine, returning the durable medium (for restart
+    /// simulations). Equivalent to an orderly power-off *without* extra
+    /// flushing: whatever was not drained is lost.
+    pub fn into_media(self) -> PmMedia {
+        self.media
+    }
+
+    /// Reads bytes without cost accounting or cache effects (debugger view).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] on an invalid range.
+    pub fn peek(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemError> {
+        let region = self.check_range(addr, len)?;
+        Ok(self.raw_slice(region, addr, len).to_vec())
+    }
+}
+
+fn align8(n: u64) -> u64 {
+    align_up(n, 8)
+}
+
+fn align_up(n: u64, to: u64) -> u64 {
+    n.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_frames_release() {
+        let mut m = Machine::default();
+        m.push_frame();
+        let a = m.stack_alloc(16).unwrap();
+        m.push_frame();
+        let b = m.stack_alloc(16).unwrap();
+        assert!(b > a);
+        m.pop_frame();
+        let c = m.stack_alloc(16).unwrap();
+        assert_eq!(b, c, "frame memory is reused after pop");
+        m.pop_frame();
+    }
+
+    #[test]
+    fn heap_use_after_free_detected() {
+        let mut m = Machine::default();
+        let p = m.heap_alloc(32).unwrap();
+        m.store(p, &[1, 2, 3]).unwrap();
+        m.heap_free(p).unwrap();
+        assert_eq!(m.store(p, &[4]), Err(MemError::UseAfterFree { addr: p }));
+        assert_eq!(m.heap_free(p), Err(MemError::InvalidFree { addr: p }));
+    }
+
+    #[test]
+    fn heap_out_of_bounds_detected() {
+        let mut m = Machine::default();
+        let p = m.heap_alloc(8).unwrap();
+        assert!(m.store(p, &[0; 8]).is_ok());
+        assert!(matches!(
+            m.store(p + 4, &[0; 8]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn null_deref_is_unmapped() {
+        let mut m = Machine::default();
+        assert_eq!(m.load_int(0, 8), Err(MemError::Unmapped { addr: 0 }));
+    }
+
+    #[test]
+    fn store_without_flush_is_not_durable() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 128).unwrap();
+        m.store_int(p, 8, 7).unwrap();
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 0);
+        assert!(m.is_line_dirty(p));
+    }
+
+    #[test]
+    fn weak_flush_needs_fence() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 128).unwrap();
+        m.store_int(p, 8, 7).unwrap();
+        m.flush(FlushKind::Clwb, p).unwrap();
+        // Still racing: the adversarial crash image lacks the update.
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 0);
+        // But the optimistic image (write-back won the race) has it.
+        let img = m.crash_image_flushing(&m.pending_pm_lines());
+        assert_eq!(img.pool_bytes(0).unwrap()[0], 7);
+        m.fence(FenceKind::Sfence);
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 7);
+        assert!(!m.is_line_dirty(p));
+    }
+
+    #[test]
+    fn clflush_is_synchronous() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 128).unwrap();
+        m.store_int(p, 8, 9).unwrap();
+        m.flush(FlushKind::Clflush, p).unwrap();
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn redundant_flush_counted() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 128).unwrap();
+        m.store_int(p, 8, 1).unwrap();
+        m.flush(FlushKind::Clwb, p).unwrap();
+        m.fence(FenceKind::Sfence);
+        m.flush(FlushKind::Clwb, p).unwrap();
+        assert_eq!(m.stats().redundant_flushes, 1);
+    }
+
+    #[test]
+    fn volatile_flush_costs_drain_time() {
+        let mut m = Machine::default();
+        let p = m.heap_alloc(64).unwrap();
+        m.store_int(p, 8, 1).unwrap();
+        let before = m.stats().cycles;
+        m.flush(FlushKind::Clwb, p).unwrap();
+        m.fence(FenceKind::Sfence);
+        let spent = m.stats().cycles - before;
+        let c = m.cost_model();
+        assert_eq!(
+            spent,
+            c.flush_issue + c.sfence_base + c.dram_writeback,
+            "volatile flush pays issue + drain"
+        );
+        assert_eq!(m.stats().volatile_flushes, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 128).unwrap();
+        m.store_int(p, 8, 3).unwrap();
+        m.evict(p);
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 3);
+        assert!(!m.is_line_dirty(p));
+    }
+
+    #[test]
+    fn restart_reattaches_pool() {
+        let mut m = Machine::default();
+        let p = m.map_pool(42, 256).unwrap();
+        m.store_int(p + 8, 8, 77).unwrap();
+        m.flush(FlushKind::Clwb, p + 8).unwrap();
+        m.fence(FenceKind::Sfence);
+        let media = m.into_media();
+        let mut m2 = Machine::with_media(media, CostModel::default());
+        let p2 = m2.map_pool(42, 256).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(m2.load_int(p2 + 8, 8).unwrap(), 77);
+    }
+
+    #[test]
+    fn restart_loses_undrained_stores() {
+        let mut m = Machine::default();
+        let p = m.map_pool(42, 256).unwrap();
+        m.store_int(p, 8, 1).unwrap();
+        m.flush(FlushKind::Clwb, p).unwrap(); // no fence!
+        let media = m.into_media();
+        let mut m2 = Machine::with_media(media, CostModel::default());
+        let p2 = m2.map_pool(42, 256).unwrap();
+        assert_eq!(m2.load_int(p2, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn pool_size_mismatch_rejected() {
+        let mut m = Machine::default();
+        m.map_pool(0, 128).unwrap();
+        assert!(matches!(
+            m.map_pool(0, 256),
+            Err(MemError::PoolSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memcpy_across_regions_dirties_pm() {
+        let mut m = Machine::default();
+        let pm = m.map_pool(0, 256).unwrap();
+        let heap = m.heap_alloc(256).unwrap();
+        m.store(heap, b"abcdefgh").unwrap();
+        m.memcpy(pm, heap, 8).unwrap();
+        assert!(m.is_line_dirty(pm));
+        assert_eq!(m.peek(pm, 8).unwrap(), b"abcdefgh");
+        // Crash image lacks it until flushed+fenced.
+        assert_eq!(&m.crash_image().pool_bytes(0).unwrap()[..8], &[0; 8]);
+    }
+
+    #[test]
+    fn multi_line_store_dirties_every_line() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 256).unwrap();
+        m.memset(p + 60, 0xaa, 10).unwrap(); // spans two lines
+        assert_eq!(m.dirty_pm_lines().len(), 2);
+    }
+
+    #[test]
+    fn load_int_zero_extends() {
+        let mut m = Machine::default();
+        let p = m.heap_alloc(8).unwrap();
+        m.store(p, &[0xff]).unwrap();
+        assert_eq!(m.load_int(p, 1).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn global_init_visible() {
+        let mut m = Machine::default();
+        let g = m.add_global(16, b"hi").unwrap();
+        assert_eq!(m.load_int(g, 1).unwrap(), i64::from(b'h'));
+        assert_eq!(m.load_int(g + 2, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn stack_oob_detected() {
+        let mut m = Machine::default();
+        m.push_frame();
+        let a = m.stack_alloc(8).unwrap();
+        assert!(matches!(
+            m.store(a + 8, &[1]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        m.pop_frame();
+    }
+}

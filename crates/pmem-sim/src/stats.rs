@@ -1,0 +1,99 @@
+//! Execution counters reported by the machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a run; all monotonically increasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Simulated cycles (per the machine's [`crate::CostModel`]).
+    pub cycles: u64,
+    /// Stores whose target is PM.
+    pub pm_stores: u64,
+    /// Stores whose target is volatile memory.
+    pub volatile_stores: u64,
+    /// Loads from PM.
+    pub pm_loads: u64,
+    /// Loads from volatile memory.
+    pub volatile_loads: u64,
+    /// Flush instructions executed on PM lines.
+    pub pm_flushes: u64,
+    /// Flush instructions executed on volatile lines — the wasted work that
+    /// interprocedural fixes exist to avoid (paper §3.2).
+    pub volatile_flushes: u64,
+    /// Flushes of PM lines that were already clean (redundant).
+    pub redundant_flushes: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Dirty PM lines written back at fences or by `CLFLUSH`.
+    pub pm_lines_drained: u64,
+    /// Volatile lines written back at fences (flushed volatile data).
+    pub volatile_lines_drained: u64,
+    /// Heap bytes currently live.
+    pub heap_live_bytes: u64,
+    /// Peak heap bytes live at any point.
+    pub heap_peak_bytes: u64,
+}
+
+impl MachineStats {
+    /// Total store count.
+    pub fn total_stores(&self) -> u64 {
+        self.pm_stores + self.volatile_stores
+    }
+
+    /// Total flush count.
+    pub fn total_flushes(&self) -> u64 {
+        self.pm_flushes + self.volatile_flushes
+    }
+
+    /// Difference `after - self`, counter-wise. Useful for windowed
+    /// measurements (e.g. per-YCSB-phase deltas).
+    pub fn delta(&self, after: &MachineStats) -> MachineStats {
+        MachineStats {
+            cycles: after.cycles - self.cycles,
+            pm_stores: after.pm_stores - self.pm_stores,
+            volatile_stores: after.volatile_stores - self.volatile_stores,
+            pm_loads: after.pm_loads - self.pm_loads,
+            volatile_loads: after.volatile_loads - self.volatile_loads,
+            pm_flushes: after.pm_flushes - self.pm_flushes,
+            volatile_flushes: after.volatile_flushes - self.volatile_flushes,
+            redundant_flushes: after.redundant_flushes - self.redundant_flushes,
+            fences: after.fences - self.fences,
+            pm_lines_drained: after.pm_lines_drained - self.pm_lines_drained,
+            volatile_lines_drained: after.volatile_lines_drained - self.volatile_lines_drained,
+            heap_live_bytes: after.heap_live_bytes,
+            heap_peak_bytes: after.heap_peak_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_delta() {
+        let a = MachineStats {
+            cycles: 100,
+            pm_stores: 5,
+            volatile_stores: 10,
+            pm_flushes: 3,
+            volatile_flushes: 1,
+            ..Default::default()
+        };
+        let b = MachineStats {
+            cycles: 250,
+            pm_stores: 8,
+            volatile_stores: 12,
+            pm_flushes: 6,
+            volatile_flushes: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.total_stores(), 15);
+        assert_eq!(a.total_flushes(), 4);
+        let d = a.delta(&b);
+        assert_eq!(d.cycles, 150);
+        assert_eq!(d.pm_stores, 3);
+        assert_eq!(d.pm_flushes, 3);
+        assert_eq!(d.volatile_flushes, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests of the machine model: the §4 event algebra holds on
+//! random operation sequences.
+
+use pmem_sim::{layout, FenceKind, FlushKind, Machine, PmMedia};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MOp {
+    Store { off: u16, val: u8 },
+    Flush { off: u16, kind: u8 },
+    Fence { strong: bool },
+    Evict { off: u16 },
+}
+
+const POOL: u64 = 0;
+const POOL_SIZE: u64 = 4096;
+
+fn op_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        4 => (0u16..POOL_SIZE as u16 - 8, any::<u8>()).prop_map(|(off, val)| MOp::Store { off, val }),
+        3 => (0u16..POOL_SIZE as u16 - 8, 0u8..3).prop_map(|(off, kind)| MOp::Flush { off, kind }),
+        2 => any::<bool>().prop_map(|strong| MOp::Fence { strong }),
+        1 => (0u16..POOL_SIZE as u16 - 8).prop_map(|off| MOp::Evict { off }),
+    ]
+}
+
+fn flush_kind(k: u8) -> FlushKind {
+    [FlushKind::Clwb, FlushKind::ClflushOpt, FlushKind::Clflush][k as usize % 3]
+}
+
+/// A byte-level reference model of the durability semantics: the medium
+/// view tracks, per byte, the value guaranteed durable.
+struct Reference {
+    cache: Vec<u8>,
+    media: Vec<u8>,
+    dirty: std::collections::BTreeSet<u64>,
+    pending: std::collections::BTreeSet<u64>,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Reference {
+            cache: vec![0; POOL_SIZE as usize],
+            media: vec![0; POOL_SIZE as usize],
+            dirty: Default::default(),
+            pending: Default::default(),
+        }
+    }
+
+    fn line(off: u64) -> u64 {
+        off & !63
+    }
+
+    fn writeback(&mut self, line: u64) {
+        let s = line as usize;
+        let e = (line + 64).min(POOL_SIZE) as usize;
+        self.media[s..e].copy_from_slice(&self.cache[s..e]);
+        self.dirty.remove(&line);
+        self.pending.remove(&line);
+    }
+
+    fn apply(&mut self, op: &MOp) {
+        match *op {
+            MOp::Store { off, val } => {
+                self.cache[off as usize] = val;
+                self.dirty.insert(Self::line(u64::from(off)));
+            }
+            MOp::Flush { off, kind } => {
+                let line = Self::line(u64::from(off));
+                if self.dirty.contains(&line) {
+                    if flush_kind(kind).is_weakly_ordered() {
+                        self.pending.insert(line);
+                    } else {
+                        self.writeback(line);
+                    }
+                }
+            }
+            MOp::Fence { .. } => {
+                for line in std::mem::take(&mut self.pending) {
+                    self.writeback(line);
+                }
+            }
+            MOp::Evict { off } => {
+                let line = Self::line(u64::from(off));
+                if self.dirty.contains(&line) {
+                    self.writeback(line);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The machine's crash image matches a byte-level reference model after
+    /// any operation sequence.
+    #[test]
+    fn crash_image_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut m = Machine::default();
+        let base = m.map_pool(POOL, POOL_SIZE).unwrap();
+        let mut r = Reference::new();
+        for op in &ops {
+            match *op {
+                MOp::Store { off, val } => {
+                    m.store(base + u64::from(off), &[val]).unwrap();
+                }
+                MOp::Flush { off, kind } => {
+                    m.flush(flush_kind(kind), base + u64::from(off)).unwrap();
+                }
+                MOp::Fence { strong } => {
+                    m.fence(if strong { FenceKind::Mfence } else { FenceKind::Sfence });
+                }
+                MOp::Evict { off } => m.evict(base + u64::from(off)),
+            }
+            r.apply(op);
+        }
+        let img = m.crash_image();
+        prop_assert_eq!(img.pool_bytes(POOL).unwrap(), &r.media[..]);
+        // The cache view matches too.
+        prop_assert_eq!(m.peek(base, POOL_SIZE).unwrap(), r.cache.clone());
+        // Dirty/pending bookkeeping agrees.
+        let machine_dirty: Vec<u64> =
+            m.dirty_pm_lines().iter().map(|l| l - base).collect();
+        let ref_dirty: Vec<u64> = r.dirty.iter().copied().collect();
+        prop_assert_eq!(machine_dirty, ref_dirty);
+    }
+
+    /// Restart semantics: re-attaching the medium shows exactly the crash
+    /// image, and all cache state is gone.
+    #[test]
+    fn restart_equals_crash_image(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut m = Machine::default();
+        let base = m.map_pool(POOL, POOL_SIZE).unwrap();
+        for op in &ops {
+            match *op {
+                MOp::Store { off, val } => {
+                    m.store(base + u64::from(off), &[val]).unwrap();
+                }
+                MOp::Flush { off, kind } => {
+                    m.flush(flush_kind(kind), base + u64::from(off)).unwrap();
+                }
+                MOp::Fence { strong } => {
+                    m.fence(if strong { FenceKind::Mfence } else { FenceKind::Sfence });
+                }
+                MOp::Evict { off } => m.evict(base + u64::from(off)),
+            }
+        }
+        let img = m.crash_image();
+        let media: PmMedia = m.into_media();
+        let mut m2 = Machine::with_media(media, Default::default());
+        let base2 = m2.map_pool(POOL, POOL_SIZE).unwrap();
+        prop_assert_eq!(base2, base);
+        prop_assert_eq!(m2.peek(base2, POOL_SIZE).unwrap(), img.pool_bytes(POOL).unwrap());
+        prop_assert!(m2.dirty_pm_lines().is_empty());
+    }
+
+    /// Monotonicity of durability: adding a trailing flush+fence to any
+    /// sequence makes every line's durable content equal the cache content
+    /// (full drain), and never changes the *cache* view.
+    #[test]
+    fn trailing_persist_drains_everything(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut m = Machine::default();
+        let base = m.map_pool(POOL, POOL_SIZE).unwrap();
+        for op in &ops {
+            match *op {
+                MOp::Store { off, val } => {
+                    m.store(base + u64::from(off), &[val]).unwrap();
+                }
+                MOp::Flush { off, kind } => {
+                    m.flush(flush_kind(kind), base + u64::from(off)).unwrap();
+                }
+                MOp::Fence { strong } => {
+                    m.fence(if strong { FenceKind::Mfence } else { FenceKind::Sfence });
+                }
+                MOp::Evict { off } => m.evict(base + u64::from(off)),
+            }
+        }
+        let cache_before = m.peek(base, POOL_SIZE).unwrap();
+        let mut line = base;
+        while line < base + POOL_SIZE {
+            m.flush(FlushKind::Clwb, line).unwrap();
+            line += layout::CACHE_LINE;
+        }
+        m.fence(FenceKind::Sfence);
+        prop_assert_eq!(&m.peek(base, POOL_SIZE).unwrap(), &cache_before);
+        let img = m.crash_image();
+        prop_assert_eq!(img.pool_bytes(POOL).unwrap(), &cache_before[..]);
+        prop_assert!(m.dirty_pm_lines().is_empty());
+    }
+
+    /// Volatile memory is never captured by crash images.
+    #[test]
+    fn volatile_state_never_durable(vals in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mut m = Machine::default();
+        m.map_pool(POOL, POOL_SIZE).unwrap();
+        let buf = m.heap_alloc(64).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            m.store(buf + (i as u64 % 56), &[*v]).unwrap();
+            m.flush(FlushKind::Clwb, buf).unwrap();
+        }
+        m.fence(FenceKind::Sfence);
+        let img = m.crash_image();
+        prop_assert_eq!(img.pool_count(), 1);
+        prop_assert!(img.pool_bytes(POOL).unwrap().iter().all(|&b| b == 0));
+    }
+}

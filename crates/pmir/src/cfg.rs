@@ -1,0 +1,271 @@
+//! Control-flow-graph utilities: predecessors, reverse postorder, and
+//! dominators (used by the [verifier](crate::verify)).
+
+use crate::function::{BlockId, Function};
+use std::collections::HashMap;
+
+/// Predecessor/successor maps for a function's CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    succs: HashMap<BlockId, Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`. Unreachable blocks do not appear in the
+    /// reverse postorder but still have (empty) predecessor entries.
+    pub fn of(f: &Function) -> Self {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for b in f.block_ids() {
+            preds.entry(b).or_default();
+            let s: Vec<BlockId> = f
+                .block(b)
+                .insts
+                .last()
+                .map(|&i| f.inst(i).op.successors())
+                .unwrap_or_default();
+            for &t in &s {
+                preds.entry(t).or_default().push(b);
+            }
+            succs.insert(b, s);
+        }
+        let rpo = reverse_postorder(f.entry(), &succs);
+        Cfg { preds, succs, rpo }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        self.preds.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        self.succs.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Blocks reachable from entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+}
+
+fn reverse_postorder(entry: BlockId, succs: &HashMap<BlockId, Vec<BlockId>>) -> Vec<BlockId> {
+    let mut visited = std::collections::HashSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack = vec![(entry, 0usize)];
+    visited.insert(entry);
+    while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+        let ss = succs.get(&b).map(Vec::as_slice).unwrap_or(&[]);
+        if *idx < ss.len() {
+            let next = ss[*idx];
+            *idx += 1;
+            if visited.insert(next) {
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate-dominator tree computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: HashMap<BlockId, BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`, rooted at `entry`.
+    pub fn compute(cfg: &Cfg, entry: BlockId) -> Self {
+        let rpo = cfg.reverse_postorder();
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if !idom.contains_key(&p) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (`entry` for the entry block itself);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(&b).copied()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.idom.contains_key(&b) || !self.idom.contains_key(&a) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[&cur];
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+
+    /// Position of `b` in reverse postorder, if reachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index.get(&b).copied()
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+    use crate::module::Module;
+    use crate::ops::CmpPred;
+    use crate::types::Type;
+
+    /// Builds a diamond: entry -> (a | b) -> join -> ret.
+    fn diamond() -> (Module, crate::module::FuncId, [BlockId; 4]) {
+        let mut m = Module::new();
+        let f = m.declare_function("d", vec![Type::int(8)], Type::Void);
+        let mut bld = FunctionBuilder::new(&mut m, f);
+        let entry = bld.entry_block();
+        let a = bld.new_block("a");
+        let b = bld.new_block("b");
+        let join = bld.new_block("join");
+        bld.switch_to(entry);
+        let x = bld.arg(0);
+        let c = bld.cmp(CmpPred::SGt, x, 0i64);
+        bld.cond_br(c, a, b);
+        bld.switch_to(a);
+        bld.br(join);
+        bld.switch_to(b);
+        bld.br(join);
+        bld.switch_to(join);
+        bld.ret(None);
+        bld.finish();
+        (m, f, [entry, a, b, join])
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let (m, f, [entry, a, b, join]) = diamond();
+        let cfg = Cfg::of(m.function(f));
+        assert_eq!(cfg.succs(entry), &[a, b]);
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert_eq!(cfg.reverse_postorder()[0], entry);
+        assert!(cfg.is_reachable(join));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (m, f, [entry, a, b, join]) = diamond();
+        let cfg = Cfg::of(m.function(f));
+        let dom = Dominators::compute(&cfg, entry);
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(a), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(a, join));
+        assert!(dom.dominates(join, join));
+        assert!(!dom.dominates(a, b));
+    }
+
+    #[test]
+    fn unreachable_block_not_in_rpo() {
+        let mut m = Module::new();
+        let f = m.declare_function("u", vec![], Type::Void);
+        let mut bld = FunctionBuilder::new(&mut m, f);
+        let entry = bld.entry_block();
+        let dead = bld.new_block("dead");
+        bld.switch_to(entry);
+        bld.ret(None);
+        bld.switch_to(dead);
+        bld.ret(None);
+        bld.finish();
+        let cfg = Cfg::of(m.function(f));
+        assert!(!cfg.is_reachable(dead));
+        let dom = Dominators::compute(&cfg, entry);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.dominates(entry, dead));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header <-> body, header -> exit
+        let mut m = Module::new();
+        let f = m.declare_function("l", vec![Type::int(8)], Type::Void);
+        let mut bld = FunctionBuilder::new(&mut m, f);
+        let entry = bld.entry_block();
+        let header = bld.new_block("header");
+        let body = bld.new_block("body");
+        let exit = bld.new_block("exit");
+        bld.switch_to(entry);
+        bld.br(header);
+        bld.switch_to(header);
+        let x = bld.arg(0);
+        bld.cond_br(Operand::Value(x), body, exit);
+        bld.switch_to(body);
+        bld.br(header);
+        bld.switch_to(exit);
+        bld.ret(None);
+        bld.finish();
+        let cfg = Cfg::of(m.function(f));
+        let dom = Dominators::compute(&cfg, entry);
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, exit));
+    }
+}

@@ -1,0 +1,209 @@
+//! Textual printing of modules. The format round-trips through
+//! [`crate::parse`].
+
+use crate::function::{BlockId, Function, ValueId};
+use crate::inst::{Op, Operand};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Prints a whole module in the textual IR format.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, file) in m.files().iter().enumerate() {
+        let _ = writeln!(out, "file {i} {file:?}");
+    }
+    for (_, g) in m.globals() {
+        let _ = writeln!(
+            out,
+            "global @{} size {} init {:?}",
+            g.name, g.size, g.init
+        );
+    }
+    for (_, f) in m.functions() {
+        out.push('\n');
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+/// Prints one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("%v{i}: {t}"))
+        .collect();
+    let _ = write!(out, "func @{}({})", f.name(), params.join(", "));
+    let _ = writeln!(out, " -> {} {{", f.ret_type());
+    for b in f.block_ids() {
+        // Block names are builder conveniences and intentionally do not
+        // survive printing; labels are canonical so print→parse→print is a
+        // fixed point.
+        let _ = writeln!(out, "{}:", block_label(b));
+        for &i in &f.block(b).insts {
+            let inst = f.inst(i);
+            let mut line = String::from("  ");
+            if let Some(r) = inst.result {
+                let _ = write!(line, "{} = ", val(r));
+            }
+            line.push_str(&op_text(m, &inst.op));
+            if let Some(loc) = inst.loc {
+                let _ = write!(line, " !loc {}:{}:{}", loc.file.0, loc.line, loc.col);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn block_label(b: BlockId) -> String {
+    format!("bb{}", b.0)
+}
+
+fn val(v: ValueId) -> String {
+    format!("%v{}", v.0)
+}
+
+fn opnd(o: Operand) -> String {
+    match o {
+        Operand::Value(v) => val(v),
+        Operand::Const(c) => c.to_string(),
+        Operand::Null => "null".to_string(),
+    }
+}
+
+fn op_text(m: &Module, op: &Op) -> String {
+    match op {
+        Op::Bin { op, a, b } => format!("{} {}, {}", op.mnemonic(), opnd(*a), opnd(*b)),
+        Op::Cmp { pred, a, b } => format!("cmp {} {}, {}", pred.mnemonic(), opnd(*a), opnd(*b)),
+        Op::Alloca { size } => format!("alloca {size}"),
+        Op::HeapAlloc { size } => format!("heapalloc {}", opnd(*size)),
+        Op::HeapFree { ptr } => format!("heapfree {}", opnd(*ptr)),
+        Op::PmemMap { size, pool_hint } => {
+            format!("pmemmap {}, pool {}", opnd(*size), pool_hint)
+        }
+        Op::Gep { base, offset } => format!("gep {}, {}", opnd(*base), opnd(*offset)),
+        Op::Load { ty, addr } => format!("load.{ty} {}", opnd(*addr)),
+        Op::Store { ty, addr, value } => {
+            format!("store.{ty} {}, {}", opnd(*addr), opnd(*value))
+        }
+        Op::Memcpy { dst, src, len } => {
+            format!("memcpy {}, {}, {}", opnd(*dst), opnd(*src), opnd(*len))
+        }
+        Op::Memset { dst, val: v, len } => {
+            format!("memset {}, {}, {}", opnd(*dst), opnd(*v), opnd(*len))
+        }
+        Op::Flush { kind, addr } => format!("{} {}", kind.mnemonic(), opnd(*addr)),
+        Op::Fence { kind } => kind.mnemonic().to_string(),
+        Op::Call { callee, args } => {
+            let name = m.function(*callee).name();
+            let args: Vec<String> = args.iter().map(|&a| opnd(a)).collect();
+            format!("call @{name}({})", args.join(", "))
+        }
+        Op::Ret { value } => match value {
+            Some(v) => format!("ret {}", opnd(*v)),
+            None => "ret".to_string(),
+        },
+        Op::Br { target } => format!("br {}", block_label(*target)),
+        Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
+            "condbr {}, {}, {}",
+            opnd(*cond),
+            block_label(*then_bb),
+            block_label(*else_bb)
+        ),
+        Op::GlobalAddr { global } => format!("globaladdr @{}", m.global(*global).name),
+        Op::Print { value } => format!("print {}", opnd(*value)),
+        Op::CrashPoint => "crashpoint".to_string(),
+        Op::Abort { code } => format!("abort {code}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ops::{BinOp, CmpPred, FenceKind, FlushKind};
+    use crate::srcloc::SrcLoc;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_all_constructs() {
+        let mut m = Module::new();
+        let file = m.intern_file("x.pmc");
+        let g = m.add_global("tbl", 16, vec![0xff]);
+        let callee = m.declare_function("callee", vec![Type::Ptr], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, callee);
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.ret(None);
+            b.finish();
+        }
+        let f = m.declare_function("main", vec![], Type::int(8));
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        let exit = b.new_block("exit");
+        b.switch_to(e);
+        b.set_loc(SrcLoc::line(file, 3));
+        let pm = b.pmem_map(4096i64, 1);
+        let heap = b.heap_alloc(64i64);
+        let stack = b.alloca(8);
+        let sum = b.bin(BinOp::Add, 1i64, 2i64);
+        b.store(Type::int(8), stack, sum);
+        let ld = b.load(Type::int(8), stack);
+        let gp = b.gep(pm, 8i64);
+        b.store(Type::Ptr, gp, heap);
+        b.memcpy(pm, heap, 16i64);
+        b.memset(heap, 0i64, 16i64);
+        b.flush(FlushKind::Clwb, pm);
+        b.fence(FenceKind::Sfence);
+        b.call(callee, vec![Operand::Value(pm)]);
+        let ga = b.global_addr(g);
+        b.print(ld);
+        b.crash_point();
+        b.heap_free(heap);
+        let c = b.cmp(CmpPred::Eq, ld, 3i64);
+        let _ = ga;
+        b.cond_br(c, exit, exit);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Const(0)));
+        b.finish();
+
+        let text = print_module(&m);
+        for needle in [
+            "file 0 \"x.pmc\"",
+            "global @tbl size 16",
+            "func @main() -> i64 {",
+            "pmemmap 4096, pool 1",
+            "heapalloc 64",
+            "alloca 8",
+            "add 1, 2",
+            "store.i64",
+            "load.i64",
+            "gep %v",
+            "store.ptr",
+            "memcpy",
+            "memset",
+            "clwb",
+            "sfence",
+            "call @callee(",
+            "globaladdr @tbl",
+            "print",
+            "crashpoint",
+            "heapfree",
+            "cmp eq",
+            "condbr",
+            "!loc 0:3:0",
+            "ret 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Instructions and operands.
+
+use crate::function::{BlockId, ValueId};
+use crate::module::{FuncId, GlobalId};
+use crate::ops::{BinOp, CmpPred, FenceKind, FlushKind};
+use crate::srcloc::SrcLoc;
+use crate::types::Type;
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual value: a function argument or the result of an instruction.
+    Value(ValueId),
+    /// A 64-bit integer constant.
+    Const(i64),
+    /// The null pointer constant.
+    Null,
+}
+
+impl Operand {
+    /// The value id if this operand is a value.
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// The operation performed by an [`Inst`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Binary arithmetic on 64-bit integers.
+    Bin { op: BinOp, a: Operand, b: Operand },
+    /// Integer comparison producing 0 or 1.
+    Cmp {
+        pred: CmpPred,
+        a: Operand,
+        b: Operand,
+    },
+    /// Reserve `size` bytes of stack storage in the current frame; yields a
+    /// pointer. Storage lives until the frame returns.
+    Alloca { size: u64 },
+    /// Allocate `size` bytes of volatile heap ("DRAM") storage.
+    HeapAlloc { size: Operand },
+    /// Release a heap allocation obtained from [`Op::HeapAlloc`].
+    HeapFree { ptr: Operand },
+    /// Map a persistent-memory pool of `size` bytes; yields a PM pointer.
+    /// Pools persist across simulated crashes (identified by `pool_hint`,
+    /// which lets re-execution after a crash re-attach the same pool).
+    PmemMap { size: Operand, pool_hint: u64 },
+    /// Pointer arithmetic: `base + offset` bytes.
+    Gep { base: Operand, offset: Operand },
+    /// Load a value of type `ty` from `addr`.
+    Load { ty: Type, addr: Operand },
+    /// Store `value` of type `ty` to `addr`.
+    Store {
+        ty: Type,
+        addr: Operand,
+        value: Operand,
+    },
+    /// Copy `len` bytes from `src` to `dst` (regions must not overlap).
+    Memcpy {
+        dst: Operand,
+        src: Operand,
+        len: Operand,
+    },
+    /// Fill `len` bytes at `dst` with the low byte of `val`.
+    Memset {
+        dst: Operand,
+        val: Operand,
+        len: Operand,
+    },
+    /// Flush the cache line containing `addr`.
+    Flush { kind: FlushKind, addr: Operand },
+    /// Memory fence.
+    Fence { kind: FenceKind },
+    /// Direct call.
+    Call { callee: FuncId, args: Vec<Operand> },
+    /// Return from the function.
+    Ret { value: Option<Operand> },
+    /// Unconditional branch.
+    Br { target: BlockId },
+    /// Conditional branch: nonzero `cond` goes to `then_bb`.
+    CondBr {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Take the address of a module global; yields a pointer.
+    GlobalAddr { global: GlobalId },
+    /// Emit `value` on the observable output channel. Program output is the
+    /// sequence of printed values; the do-no-harm property tests compare it.
+    Print { value: Operand },
+    /// A potential crash point: durability of earlier PM updates is required
+    /// here (the `I` of the paper's `X -> F(X) -> M -> I` orderings). The
+    /// checker audits pending stores at each crash point; execution continues.
+    CrashPoint,
+    /// Abort execution with the given code (an observable trap).
+    Abort { code: i64 },
+}
+
+impl Op {
+    /// The operands read by this operation, in a fixed order.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Op::Bin { a, b, .. } | Op::Cmp { a, b, .. } => vec![*a, *b],
+            Op::Alloca { .. } => vec![],
+            Op::HeapAlloc { size } => vec![*size],
+            Op::HeapFree { ptr } => vec![*ptr],
+            Op::PmemMap { size, .. } => vec![*size],
+            Op::Gep { base, offset } => vec![*base, *offset],
+            Op::Load { addr, .. } => vec![*addr],
+            Op::Store { addr, value, .. } => vec![*addr, *value],
+            Op::Memcpy { dst, src, len } => vec![*dst, *src, *len],
+            Op::Memset { dst, val, len } => vec![*dst, *val, *len],
+            Op::Flush { addr, .. } => vec![*addr],
+            Op::Fence { .. } => vec![],
+            Op::Call { args, .. } => args.clone(),
+            Op::Ret { value } => value.iter().copied().collect(),
+            Op::Br { .. } => vec![],
+            Op::CondBr { cond, .. } => vec![*cond],
+            Op::GlobalAddr { .. } => vec![],
+            Op::Print { value } => vec![*value],
+            Op::CrashPoint => vec![],
+            Op::Abort { .. } => vec![],
+        }
+    }
+
+    /// The type of the value this operation produces, or `None` if it
+    /// produces nothing.
+    pub fn result_type(&self) -> Option<Type> {
+        match self {
+            Op::Bin { .. } | Op::Cmp { .. } => Some(Type::Int(8)),
+            Op::Alloca { .. }
+            | Op::HeapAlloc { .. }
+            | Op::PmemMap { .. }
+            | Op::Gep { .. }
+            | Op::GlobalAddr { .. } => Some(Type::Ptr),
+            Op::Load { ty, .. } => Some(*ty),
+            // Calls are resolved against the module; see `Function`.
+            Op::Call { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Whether this operation terminates its basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Op::Ret { .. } | Op::Br { .. } | Op::CondBr { .. } | Op::Abort { .. }
+        )
+    }
+
+    /// Whether this is a store-like operation that may dirty PM (a store,
+    /// memcpy, or memset).
+    pub fn is_pm_storeish(&self) -> bool {
+        matches!(self, Op::Store { .. } | Op::Memcpy { .. } | Op::Memset { .. })
+    }
+
+    /// The successor blocks of a terminator (empty for non-terminators and
+    /// for `ret`/`abort`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Op::Br { target } => vec![*target],
+            Op::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            _ => vec![],
+        }
+    }
+}
+
+/// An instruction: an operation plus optional debug location and result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// The source location this instruction was lowered from, if known.
+    pub loc: Option<SrcLoc>,
+    /// The virtual value defined by this instruction, if it produces one.
+    pub result: Option<ValueId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let v = ValueId(3);
+        assert_eq!(Operand::from(v), Operand::Value(v));
+        assert_eq!(Operand::from(7i64), Operand::Const(7));
+        assert_eq!(Operand::Value(v).as_value(), Some(v));
+        assert_eq!(Operand::Const(1).as_value(), None);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Op::Ret { value: None }.is_terminator());
+        assert!(Op::Br {
+            target: BlockId(0)
+        }
+        .is_terminator());
+        assert!(!Op::Fence {
+            kind: FenceKind::Sfence
+        }
+        .is_terminator());
+    }
+
+    #[test]
+    fn successors() {
+        let br = Op::CondBr {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Op::Ret { value: None }.successors().is_empty());
+    }
+
+    #[test]
+    fn storeish() {
+        let st = Op::Store {
+            ty: Type::int(8),
+            addr: Operand::Null,
+            value: Operand::Const(0),
+        };
+        assert!(st.is_pm_storeish());
+        assert!(!Op::CrashPoint.is_pm_storeish());
+    }
+}

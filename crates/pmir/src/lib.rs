@@ -1,0 +1,60 @@
+//! `pmir` — a small typed intermediate representation for persistent-memory
+//! programs.
+//!
+//! This crate plays the role LLVM IR plays in the original Hippocrates
+//! artifact (ASPLOS '21): programs under test are lowered to `pmir`, executed
+//! by the `pmvm` interpreter to produce pmemcheck-style traces, and then
+//! *rewritten* by the Hippocrates repair engine, which inserts cache-line
+//! flushes ([`Op::Flush`]) and memory fences ([`Op::Fence`]) and performs the
+//! persistent-subprogram transformation (function duplication plus call-site
+//! retargeting).
+//!
+//! The IR is deliberately C-shaped rather than fully SSA: named variables are
+//! lowered to [`Op::Alloca`] slots (mirroring `clang -O0`, which is exactly
+//! how the paper generates its traces — optimizations are disabled during
+//! trace collection, see §5.1), while expression temporaries are block-local
+//! virtual values. A dominance-based [verifier](verify) enforces that
+//! discipline.
+//!
+//! # Example
+//!
+//! ```
+//! use pmir::{Module, FunctionBuilder, Type, Operand, FlushKind, FenceKind};
+//!
+//! let mut m = Module::new();
+//! let f = m.declare_function("store_and_persist", vec![Type::Ptr], Type::Void);
+//! let mut b = FunctionBuilder::new(&mut m, f);
+//! let entry = b.entry_block();
+//! b.switch_to(entry);
+//! let addr = b.arg(0);
+//! b.store(Type::int(8), Operand::Value(addr), Operand::Const(42));
+//! b.flush(FlushKind::Clwb, Operand::Value(addr));
+//! b.fence(FenceKind::Sfence);
+//! b.ret(None);
+//! b.finish();
+//! pmir::verify::verify_module(&m).unwrap();
+//! assert_eq!(m.function(f).name(), "store_and_persist");
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod display;
+pub mod function;
+pub mod inst;
+pub mod metrics;
+pub mod module;
+pub mod ops;
+pub mod parse;
+pub mod rewrite;
+pub mod srcloc;
+pub mod types;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{Block, BlockId, Function, InstId, ValueDef, ValueId, ValueKind};
+pub use inst::{Inst, Op, Operand};
+pub use metrics::ModuleMetrics;
+pub use module::{FuncId, Global, GlobalId, Module};
+pub use ops::{AccessWidth, BinOp, CmpPred, FenceKind, FlushKind};
+pub use srcloc::{FileId, SrcLoc};
+pub use types::Type;

@@ -1,0 +1,103 @@
+//! Size metrics used by the §6.4 code-bloat experiment.
+
+use crate::inst::Op;
+use crate::module::Module;
+
+/// Static size statistics of a module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleMetrics {
+    /// Number of functions.
+    pub functions: usize,
+    /// Number of basic blocks across all functions.
+    pub blocks: usize,
+    /// Number of instructions *linked into blocks* across all functions.
+    pub insts: usize,
+    /// Lines in the textual IR (the paper's "lines of LLVM IR" analog).
+    pub ir_lines: usize,
+    /// Number of linked flush instructions.
+    pub flushes: usize,
+    /// Number of linked fence instructions.
+    pub fences: usize,
+    /// Number of linked store-like instructions (store/memcpy/memset).
+    pub stores: usize,
+    /// Number of linked call instructions.
+    pub calls: usize,
+}
+
+impl ModuleMetrics {
+    /// Measures `m`.
+    pub fn measure(m: &Module) -> Self {
+        let mut s = ModuleMetrics {
+            functions: m.function_count(),
+            ir_lines: crate::display::print_module(m).lines().count(),
+            ..Default::default()
+        };
+        for (_, f) in m.functions() {
+            s.blocks += f.block_count();
+            for (_, i) in f.linked_insts() {
+                s.insts += 1;
+                match &f.inst(i).op {
+                    Op::Flush { .. } => s.flushes += 1,
+                    Op::Fence { .. } => s.fences += 1,
+                    op if op.is_pm_storeish() => s.stores += 1,
+                    Op::Call { .. } => s.calls += 1,
+                    _ => {}
+                }
+            }
+        }
+        s
+    }
+
+    /// Relative growth of IR lines from `self` to `after`, in percent.
+    pub fn ir_growth_percent(&self, after: &ModuleMetrics) -> f64 {
+        if self.ir_lines == 0 {
+            return 0.0;
+        }
+        (after.ir_lines as f64 - self.ir_lines as f64) / self.ir_lines as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ops::{FenceKind, FlushKind};
+    use crate::types::Type;
+
+    #[test]
+    fn counts() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::Ptr], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.arg(0);
+        b.store(Type::int(8), p, 1i64);
+        b.flush(FlushKind::Clwb, p);
+        b.fence(FenceKind::Sfence);
+        b.ret(None);
+        b.finish();
+        let s = ModuleMetrics::measure(&m);
+        assert_eq!(s.functions, 1);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.insts, 4);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.stores, 1);
+        assert!(s.ir_lines >= 6);
+    }
+
+    #[test]
+    fn growth_percent() {
+        let a = ModuleMetrics {
+            ir_lines: 1000,
+            ..Default::default()
+        };
+        let b = ModuleMetrics {
+            ir_lines: 1010,
+            ..Default::default()
+        };
+        let g = a.ir_growth_percent(&b);
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Modules: the unit of compilation, analysis, and repair.
+
+use crate::function::Function;
+use crate::srcloc::FileId;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifies a global within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+/// A module-level byte-array global with optional initial contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// The global's name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initial contents; zero-filled to `size` if shorter.
+    pub init: Vec<u8>,
+}
+
+/// A whole program: functions, globals, and interned source-file names.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    funcs: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+    globals: Vec<Global>,
+    files: Vec<String>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Declares a new function with an empty body; its body is filled in via
+    /// [`crate::FunctionBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn declare_function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> FuncId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate function name: {name}"
+        );
+        let id = FuncId(self.funcs.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.funcs.push(Function::new(name, params, ret));
+        id
+    }
+
+    /// Adds an already-built function (used by cloning and the parser).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        assert!(
+            !self.by_name.contains_key(f.name()),
+            "duplicate function name: {}",
+            f.name()
+        );
+        let id = FuncId(self.funcs.len() as u32);
+        self.by_name.insert(f.name().to_string(), id);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Renames a function, keeping the name index consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new name is already taken.
+    pub fn rename_function(&mut self, id: FuncId, new_name: impl Into<String>) {
+        let new_name = new_name.into();
+        assert!(
+            !self.by_name.contains_key(&new_name),
+            "duplicate function name: {new_name}"
+        );
+        let old = self.funcs[id.0 as usize].name().to_string();
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name.clone(), id);
+        self.funcs[id.0 as usize].set_name(new_name);
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Accesses a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable function access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterates over function ids in declaration order.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Adds a global byte array.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+        });
+        id
+    }
+
+    /// Accesses a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Iterates over `(id, global)` pairs.
+    pub fn globals(&self) -> impl Iterator<Item = (GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Number of globals.
+    pub fn global_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Interns a source-file name, returning a stable [`FileId`].
+    pub fn intern_file(&mut self, name: impl Into<String>) -> FileId {
+        let name = name.into();
+        if let Some(i) = self.files.iter().position(|f| *f == name) {
+            return FileId(i as u32);
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(name);
+        id
+    }
+
+    /// The name behind a [`FileId`], or `"<unknown>"`.
+    pub fn file_name(&self, id: FileId) -> &str {
+        self.files
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// All interned file names.
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut m = Module::new();
+        let f = m.declare_function("foo", vec![Type::Ptr], Type::Int(8));
+        assert_eq!(m.function_by_name("foo"), Some(f));
+        assert_eq!(m.function(f).ret_type(), Type::Int(8));
+        assert_eq!(m.function_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_name_panics() {
+        let mut m = Module::new();
+        m.declare_function("foo", vec![], Type::Void);
+        m.declare_function("foo", vec![], Type::Void);
+    }
+
+    #[test]
+    fn rename_updates_index() {
+        let mut m = Module::new();
+        let f = m.declare_function("foo", vec![], Type::Void);
+        m.rename_function(f, "bar");
+        assert_eq!(m.function_by_name("foo"), None);
+        assert_eq!(m.function_by_name("bar"), Some(f));
+        assert_eq!(m.function(f).name(), "bar");
+    }
+
+    #[test]
+    fn file_interning_dedupes() {
+        let mut m = Module::new();
+        let a = m.intern_file("x.pmc");
+        let b = m.intern_file("x.pmc");
+        let c = m.intern_file("y.pmc");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.file_name(a), "x.pmc");
+    }
+
+    #[test]
+    fn globals() {
+        let mut m = Module::new();
+        let g = m.add_global("table", 64, vec![1, 2, 3]);
+        assert_eq!(m.global(g).size, 64);
+        assert_eq!(m.global(g).init, vec![1, 2, 3]);
+        assert_eq!(m.global_count(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Operator and instruction-kind enums shared across the IR.
+
+use std::fmt;
+
+/// A binary arithmetic or bitwise operator. All arithmetic is 64-bit
+/// two's-complement with wrapping semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero traps the interpreter.
+    SDiv,
+    /// Signed remainder; division by zero traps the interpreter.
+    SRem,
+    UDiv,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical (zero-filling) right shift.
+    LShr,
+    /// Arithmetic (sign-filling) right shift.
+    AShr,
+}
+
+impl BinOp {
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::SRem => "srem",
+            BinOp::UDiv => "udiv",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BinOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "sdiv" => BinOp::SDiv,
+            "srem" => BinOp::SRem,
+            "udiv" => BinOp::UDiv,
+            "urem" => BinOp::URem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "lshr" => BinOp::LShr,
+            "ashr" => BinOp::AShr,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operator on two 64-bit values.
+    ///
+    /// Returns `None` for division or remainder by zero.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::SDiv => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::SRem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::UDiv => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) / (b as u64)) as i64
+            }
+            BinOp::URem => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) % (b as u64)) as i64
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::LShr => ((a as u64) >> (b as u32 & 63)) as i64,
+            BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An integer comparison predicate; results are 0 or 1 as `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    SLt,
+    SLe,
+    SGt,
+    SGe,
+    ULt,
+    ULe,
+    UGt,
+    UGe,
+}
+
+impl CmpPred {
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::SLt => "slt",
+            CmpPred::SLe => "sle",
+            CmpPred::SGt => "sgt",
+            CmpPred::SGe => "sge",
+            CmpPred::ULt => "ult",
+            CmpPred::ULe => "ule",
+            CmpPred::UGt => "ugt",
+            CmpPred::UGe => "uge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CmpPred::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "slt" => CmpPred::SLt,
+            "sle" => CmpPred::SLe,
+            "sgt" => CmpPred::SGt,
+            "sge" => CmpPred::SGe,
+            "ult" => CmpPred::ULt,
+            "ule" => CmpPred::ULe,
+            "ugt" => CmpPred::UGt,
+            "uge" => CmpPred::UGe,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the predicate, returning 1 for true and 0 for false.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::SLt => a < b,
+            CmpPred::SLe => a <= b,
+            CmpPred::SGt => a > b,
+            CmpPred::SGe => a >= b,
+            CmpPred::ULt => (a as u64) < (b as u64),
+            CmpPred::ULe => (a as u64) <= (b as u64),
+            CmpPred::UGt => (a as u64) > (b as u64),
+            CmpPred::UGe => (a as u64) >= (b as u64),
+        };
+        i64::from(r)
+    }
+}
+
+impl fmt::Display for CmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The x86 cache-line flush instruction family (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlushKind {
+    /// `CLWB`: writes the line back without evicting; weakly ordered.
+    Clwb,
+    /// `CLFLUSHOPT`: writes back and evicts; weakly ordered.
+    ClflushOpt,
+    /// `CLFLUSH`: writes back and evicts; *strongly* ordered with respect to
+    /// other `CLFLUSH`s and stores to the same line — it does not require a
+    /// following fence for durability ordering on x86.
+    Clflush,
+}
+
+impl FlushKind {
+    /// Whether the flush is weakly ordered and therefore needs a fence to
+    /// establish a durability ordering.
+    pub fn is_weakly_ordered(self) -> bool {
+        !matches!(self, FlushKind::Clflush)
+    }
+
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FlushKind::Clwb => "clwb",
+            FlushKind::ClflushOpt => "clflushopt",
+            FlushKind::Clflush => "clflush",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`FlushKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "clwb" => FlushKind::Clwb,
+            "clflushopt" => FlushKind::ClflushOpt,
+            "clflush" => FlushKind::Clflush,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FlushKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The x86 memory fence family (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FenceKind {
+    /// `SFENCE`: orders store-like instructions and weak flushes.
+    Sfence,
+    /// `MFENCE`: orders all memory operations, including loads.
+    Mfence,
+}
+
+impl FenceKind {
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FenceKind::Sfence => "sfence",
+            FenceKind::Mfence => "mfence",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`FenceKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "sfence" => FenceKind::Sfence,
+            "mfence" => FenceKind::Mfence,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Memory access width in bytes; a thin validated wrapper used by loads and
+/// stores in the textual format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessWidth(u8);
+
+impl AccessWidth {
+    /// Creates an access width; only 1, 2, 4 and 8 are legal.
+    pub fn new(bytes: u8) -> Option<Self> {
+        matches!(bytes, 1 | 2 | 4 | 8).then_some(AccessWidth(bytes))
+    }
+
+    /// The width in bytes.
+    pub fn bytes(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for AccessWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(BinOp::Mul.eval(-4, 3), Some(-12));
+        assert_eq!(BinOp::SDiv.eval(7, 2), Some(3));
+        assert_eq!(BinOp::SDiv.eval(7, 0), None);
+        assert_eq!(BinOp::URem.eval(-1, 10), Some(5)); // u64::MAX % 10
+        assert_eq!(BinOp::Shl.eval(1, 4), Some(16));
+        assert_eq!(BinOp::LShr.eval(-1, 60), Some(15));
+        assert_eq!(BinOp::AShr.eval(-16, 2), Some(-4));
+    }
+
+    #[test]
+    fn binop_wrapping() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), Some(-2));
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert_eq!(CmpPred::SLt.eval(-1, 0), 1);
+        assert_eq!(CmpPred::ULt.eval(-1, 0), 0);
+        assert_eq!(CmpPred::Eq.eval(3, 3), 1);
+        assert_eq!(CmpPred::Ne.eval(3, 3), 0);
+        assert_eq!(CmpPred::UGe.eval(-1, 1), 1);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::SDiv,
+            BinOp::SRem,
+            BinOp::UDiv,
+            BinOp::URem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::LShr,
+            BinOp::AShr,
+        ] {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::SLt,
+            CmpPred::SLe,
+            CmpPred::SGt,
+            CmpPred::SGe,
+            CmpPred::ULt,
+            CmpPred::ULe,
+            CmpPred::UGt,
+            CmpPred::UGe,
+        ] {
+            assert_eq!(CmpPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for k in [FlushKind::Clwb, FlushKind::ClflushOpt, FlushKind::Clflush] {
+            assert_eq!(FlushKind::from_mnemonic(k.mnemonic()), Some(k));
+        }
+        for k in [FenceKind::Sfence, FenceKind::Mfence] {
+            assert_eq!(FenceKind::from_mnemonic(k.mnemonic()), Some(k));
+        }
+    }
+
+    #[test]
+    fn flush_ordering_semantics() {
+        assert!(FlushKind::Clwb.is_weakly_ordered());
+        assert!(FlushKind::ClflushOpt.is_weakly_ordered());
+        assert!(!FlushKind::Clflush.is_weakly_ordered());
+    }
+
+    #[test]
+    fn access_width_validation() {
+        assert!(AccessWidth::new(8).is_some());
+        assert!(AccessWidth::new(3).is_none());
+        assert_eq!(AccessWidth::new(4).unwrap().bytes(), 4);
+    }
+}

@@ -1,0 +1,299 @@
+//! IR rewriting utilities used by the Hippocrates repair engine.
+//!
+//! All rewrites are *additive*: instructions are appended to the arena and
+//! spliced into block instruction lists, so existing [`InstId`]s (which
+//! traces refer to) stay valid.
+
+use crate::function::{Function, InstId};
+use crate::inst::{Inst, Op};
+use crate::module::{FuncId, Module};
+use crate::srcloc::SrcLoc;
+
+/// Inserts `op` immediately after `target` in its block; returns the new
+/// instruction's id.
+///
+/// `op` must not produce a result and must not be a terminator (fixes are
+/// flushes, fences, and calls-to-void — none of which define values).
+///
+/// # Panics
+///
+/// Panics if `target` is not linked into a block, `target` is a terminator,
+/// or `op` produces a result or terminates a block.
+pub fn insert_after(f: &mut Function, target: InstId, op: Op, loc: Option<SrcLoc>) -> InstId {
+    assert!(op.result_type().is_none(), "insert_after: op defines a value");
+    assert!(!op.is_terminator(), "insert_after: op is a terminator");
+    assert!(
+        !f.inst(target).op.is_terminator(),
+        "insert_after: cannot insert after a terminator (use insert_before)"
+    );
+    let (block, idx) = f
+        .find_inst_pos(target)
+        .expect("insert_after: target not linked into any block");
+    let id = f.alloc_inst(Inst {
+        op,
+        loc,
+        result: None,
+    });
+    f.block_mut(block).insts.insert(idx + 1, id);
+    id
+}
+
+/// Inserts `op` immediately before `target` in its block; returns the new
+/// instruction's id.
+///
+/// # Panics
+///
+/// Panics if `target` is not linked, or `op` produces a result or terminates
+/// a block.
+pub fn insert_before(f: &mut Function, target: InstId, op: Op, loc: Option<SrcLoc>) -> InstId {
+    assert!(op.result_type().is_none(), "insert_before: op defines a value");
+    assert!(!op.is_terminator(), "insert_before: op is a terminator");
+    let (block, idx) = f
+        .find_inst_pos(target)
+        .expect("insert_before: target not linked into any block");
+    let id = f.alloc_inst(Inst {
+        op,
+        loc,
+        result: None,
+    });
+    f.block_mut(block).insts.insert(idx, id);
+    id
+}
+
+/// Deep-clones `src` under `new_name` and records the provenance in
+/// [`Function::persistent_clone_of`]. Internal [`InstId`]s/[`crate::ValueId`]s
+/// are preserved 1:1, so positions valid in the original are valid in the
+/// clone.
+///
+/// # Panics
+///
+/// Panics if `new_name` is already taken.
+pub fn clone_function(m: &mut Module, src: FuncId, new_name: &str) -> FuncId {
+    let mut f = m.function(src).clone();
+    let orig_name = f.name().to_string();
+    f.set_name(new_name.to_string());
+    f.persistent_clone_of = Some(orig_name);
+    m.add_function(f)
+}
+
+/// Redirects the call instruction `call` in `f` to `new_callee`.
+///
+/// # Panics
+///
+/// Panics if `call` is not a call instruction.
+pub fn retarget_call(f: &mut Function, call: InstId, new_callee: FuncId) {
+    match &mut f.inst_mut(call).op {
+        Op::Call { callee, .. } => *callee = new_callee,
+        other => panic!("retarget_call: not a call instruction: {other:?}"),
+    }
+}
+
+/// Finds the first call instruction in `f` whose callee is `target`, if any.
+pub fn find_call_to(f: &Function, target: FuncId) -> Option<InstId> {
+    f.linked_insts()
+        .map(|(_, i)| i)
+        .find(|&i| matches!(f.inst(i).op, Op::Call { callee, .. } if callee == target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+    use crate::ops::{FenceKind, FlushKind};
+    use crate::types::Type;
+    use crate::verify::verify_module;
+
+    fn module_with_store() -> (Module, FuncId, InstId) {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::Ptr], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.arg(0);
+        let st = b.store(Type::int(8), p, 1i64);
+        b.ret(None);
+        b.finish();
+        (m, f, st)
+    }
+
+    #[test]
+    fn insert_flush_after_store() {
+        let (mut m, f, st) = module_with_store();
+        let p = m.function(f).arg(0);
+        let fl = insert_after(
+            m.function_mut(f),
+            st,
+            Op::Flush {
+                kind: FlushKind::Clwb,
+                addr: Operand::Value(p),
+            },
+            None,
+        );
+        insert_after(
+            m.function_mut(f),
+            fl,
+            Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            None,
+        );
+        verify_module(&m).unwrap();
+        let func = m.function(f);
+        let entry = func.entry();
+        let kinds: Vec<String> = func
+            .block(entry)
+            .insts
+            .iter()
+            .map(|&i| format!("{:?}", func.inst(i).op).split_whitespace().next().unwrap().to_string())
+            .collect();
+        assert_eq!(kinds[0], "Store");
+        assert!(matches!(func.inst(func.block(entry).insts[1]).op, Op::Flush { .. }));
+        assert!(matches!(func.inst(func.block(entry).insts[2]).op, Op::Fence { .. }));
+        assert!(matches!(func.inst(func.block(entry).insts[3]).op, Op::Ret { .. }));
+    }
+
+    #[test]
+    fn insert_before_terminator() {
+        let (mut m, f, _) = module_with_store();
+        let func = m.function(f);
+        let entry = func.entry();
+        let term = *func.block(entry).insts.last().unwrap();
+        insert_before(
+            m.function_mut(f),
+            term,
+            Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            None,
+        );
+        verify_module(&m).unwrap();
+        let func = m.function(f);
+        let n = func.block(entry).insts.len();
+        assert!(matches!(func.inst(func.block(entry).insts[n - 2]).op, Op::Fence { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "after a terminator")]
+    fn insert_after_terminator_panics() {
+        let (mut m, f, _) = module_with_store();
+        let func = m.function(f);
+        let term = *func.block(func.entry()).insts.last().unwrap();
+        insert_after(
+            m.function_mut(f),
+            term,
+            Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn clone_preserves_positions_and_provenance() {
+        let (mut m, f, st) = module_with_store();
+        let clone = clone_function(&mut m, f, "f_PM");
+        verify_module(&m).unwrap();
+        assert_eq!(m.function(clone).name(), "f_PM");
+        assert_eq!(
+            m.function(clone).persistent_clone_of.as_deref(),
+            Some("f")
+        );
+        // The store occupies the same position in the clone.
+        assert_eq!(
+            m.function(clone).find_inst_pos(st),
+            m.function(f).find_inst_pos(st)
+        );
+    }
+
+    #[test]
+    fn retarget_and_find_call() {
+        let (mut m, f, _) = module_with_store();
+        let g = m.declare_function("g", vec![Type::Ptr], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, g);
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.ret(None);
+            b.finish();
+        }
+        let main = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, main);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let pm = b.pmem_map(64i64, 0);
+        b.call(f, vec![Operand::Value(pm)]);
+        b.ret(None);
+        b.finish();
+
+        let call = find_call_to(m.function(main), f).unwrap();
+        assert!(find_call_to(m.function(main), g).is_none());
+        retarget_call(m.function_mut(main), call, g);
+        assert!(find_call_to(m.function(main), g).is_some());
+        verify_module(&m).unwrap();
+    }
+}
+
+/// Unlinks `inst` from its block without deleting it from the arena (ids
+/// stay stable). Only legal for instructions that define no value and do
+/// not terminate a block — i.e. exactly the flush/fence class the
+/// performance pass removes.
+///
+/// # Panics
+///
+/// Panics if `inst` defines a value, is a terminator, or is not linked.
+pub fn unlink(f: &mut Function, inst: InstId) {
+    assert!(
+        f.inst(inst).result.is_none(),
+        "unlink: instruction defines a value"
+    );
+    assert!(
+        !f.inst(inst).op.is_terminator(),
+        "unlink: instruction is a terminator"
+    );
+    let (block, idx) = f
+        .find_inst_pos(inst)
+        .expect("unlink: instruction not linked");
+    f.block_mut(block).insts.remove(idx);
+}
+
+#[cfg(test)]
+mod unlink_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ops::FlushKind;
+    use crate::types::Type;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn unlink_removes_flush() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::Ptr], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.arg(0);
+        let fl = b.flush(FlushKind::Clwb, p);
+        b.ret(None);
+        b.finish();
+        unlink(m.function_mut(f), fl);
+        verify_module(&m).unwrap();
+        assert_eq!(m.function(f).block(m.function(f).entry()).insts.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "defines a value")]
+    fn unlink_rejects_value_definers() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let v = b.alloca(8);
+        let _ = v;
+        b.ret(None);
+        b.finish();
+        let first = m.function(f).block(m.function(f).entry()).insts[0];
+        unlink(m.function_mut(f), first);
+    }
+}

@@ -1,0 +1,64 @@
+//! Source locations ("debug info") attached to IR instructions.
+//!
+//! Hippocrates maps bug-finder trace events back to IR instructions through
+//! these locations (paper §5.1), so every front end is expected to attach a
+//! line-accurate [`SrcLoc`] to each lowered instruction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interned source-file name; indexes [`crate::Module::file_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// A `file:line:col` source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SrcLoc {
+    /// The containing file.
+    pub file: FileId,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number; 0 when unknown.
+    pub col: u32,
+}
+
+impl SrcLoc {
+    /// Creates a location with an unknown column.
+    pub fn line(file: FileId, line: u32) -> Self {
+        SrcLoc { file, line, col: 0 }
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col == 0 {
+            write!(f, "file{}:{}", self.file.0, self.line)
+        } else {
+            write!(f, "file{}:{}:{}", self.file.0, self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let l = SrcLoc::line(FileId(0), 12);
+        assert_eq!(l.to_string(), "file0:12");
+        let l2 = SrcLoc {
+            file: FileId(1),
+            line: 3,
+            col: 9,
+        };
+        assert_eq!(l2.to_string(), "file1:3:9");
+    }
+
+    #[test]
+    fn ordering_is_positional() {
+        let a = SrcLoc::line(FileId(0), 1);
+        let b = SrcLoc::line(FileId(0), 2);
+        assert!(a < b);
+    }
+}

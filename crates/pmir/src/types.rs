@@ -1,0 +1,99 @@
+//! The (tiny) type system of `pmir`.
+
+use std::fmt;
+
+/// A value type.
+///
+/// The IR distinguishes integers from pointers because the Andersen alias
+/// analysis (`pmalias`) derives its inclusion constraints from pointer-typed
+/// loads and stores; everything else about the machine is untyped bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// No value; only valid as a function return type.
+    Void,
+    /// An integer of the given width in bytes (1, 2, 4 or 8). Arithmetic is
+    /// always performed at 64 bits; the width only matters for memory access.
+    Int(u8),
+    /// A byte-addressed pointer into one of the simulator address spaces.
+    Ptr,
+}
+
+impl Type {
+    /// An integer type of `bytes` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2, 4, or 8.
+    pub fn int(bytes: u8) -> Self {
+        assert!(
+            matches!(bytes, 1 | 2 | 4 | 8),
+            "invalid integer width: {bytes}"
+        );
+        Type::Int(bytes)
+    }
+
+    /// The width of a value of this type when stored in memory, in bytes.
+    ///
+    /// Pointers are 8 bytes. [`Type::Void`] has no size and returns 0.
+    pub fn size(self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Int(w) => u64::from(w),
+            Type::Ptr => 8,
+        }
+    }
+
+    /// Whether this is the pointer type.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+
+    /// Whether this is an integer type of any width.
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(w) => write!(f, "i{}", u32::from(*w) * 8),
+            Type::Ptr => write!(f, "ptr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::int(1).size(), 1);
+        assert_eq!(Type::int(8).size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+        assert_eq!(Type::Void.size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid integer width")]
+    fn bad_width_panics() {
+        let _ = Type::int(3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::int(4).to_string(), "i32");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::Ptr.is_ptr());
+        assert!(!Type::Ptr.is_int());
+        assert!(Type::int(2).is_int());
+        assert!(!Type::Void.is_int());
+    }
+}

@@ -1,0 +1,431 @@
+//! Structural and type verification of modules.
+//!
+//! The verifier enforces the IR's well-formedness rules:
+//!
+//! * every block ends in exactly one terminator;
+//! * operands reference in-range values, and pointer-consuming operations
+//!   (loads, stores, flushes, `gep`, …) receive pointer-typed operands;
+//! * call sites match callee signatures;
+//! * every value use is dominated by its definition (arguments dominate
+//!   everything).
+//!
+//! Hippocrates re-verifies the module after applying fixes; a verifier error
+//! after repair would indicate a rewriter bug.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::function::{BlockId, Function, InstId, ValueKind};
+use crate::inst::{Op, Operand};
+use crate::module::{FuncId, Module};
+use crate::types::Type;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending function's name.
+    pub function: String,
+    /// A description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in the module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (id, _) in m.functions() {
+        verify_function(m, id)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_function(m: &Module, id: FuncId) -> Result<(), VerifyError> {
+    let f = m.function(id);
+    let err = |msg: String| VerifyError {
+        function: f.name().to_string(),
+        message: msg,
+    };
+
+    if !f.blocks_well_formed() {
+        return Err(err("a block is empty, unterminated, or has an interior terminator".into()));
+    }
+
+    // Map each linked instruction to its (block, index) and detect
+    // double-linking.
+    let mut pos: std::collections::HashMap<InstId, (BlockId, usize)> =
+        std::collections::HashMap::new();
+    for b in f.block_ids() {
+        for (idx, &i) in f.block(b).insts.iter().enumerate() {
+            if i.0 as usize >= f.inst_count() {
+                return Err(err(format!("block {b:?} references out-of-range inst {i:?}")));
+            }
+            if pos.insert(i, (b, idx)).is_some() {
+                return Err(err(format!("instruction {i:?} linked into more than one place")));
+            }
+        }
+    }
+
+    let cfg = Cfg::of(f);
+    let dom = Dominators::compute(&cfg, f.entry());
+
+    for (&inst_id, &(b, idx)) in &pos {
+        let inst = f.inst(inst_id);
+        check_operand_types(m, f, inst_id, &inst.op).map_err(&err)?;
+        // Branch targets must exist.
+        for t in inst.op.successors() {
+            if t.0 as usize >= f.block_count() {
+                return Err(err(format!("branch to nonexistent block {t:?}")));
+            }
+        }
+        // Result bookkeeping must be consistent.
+        if let Some(r) = inst.result {
+            let vd = f
+                .values
+                .get(r.0 as usize)
+                .ok_or_else(|| err(format!("result value {r:?} out of range")))?;
+            if vd.kind != ValueKind::Inst(inst_id) {
+                return Err(err(format!(
+                    "value {r:?} does not point back at its defining inst {inst_id:?}"
+                )));
+            }
+        }
+        // Dominance of value uses.
+        for op in inst.op.operands() {
+            if let Operand::Value(v) = op {
+                let vd = f
+                    .values
+                    .get(v.0 as usize)
+                    .ok_or_else(|| err(format!("operand value {v:?} out of range")))?;
+                match vd.kind {
+                    ValueKind::Arg(_) => {}
+                    ValueKind::Inst(def_inst) => {
+                        let Some(&(db, didx)) = pos.get(&def_inst) else {
+                            return Err(err(format!(
+                                "use of value {v:?} whose defining inst is not linked"
+                            )));
+                        };
+                        let ok = if db == b {
+                            didx < idx
+                        } else {
+                            dom.dominates(db, b)
+                        };
+                        if !ok {
+                            return Err(err(format!(
+                                "use of value {v:?} at {b:?}[{idx}] not dominated by its definition"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // Return type.
+        if let Op::Ret { value } = &inst.op {
+            match (value, f.ret_type()) {
+                (None, Type::Void) => {}
+                (Some(_), Type::Void) => {
+                    return Err(err("returning a value from a void function".into()))
+                }
+                (None, _) => return Err(err("missing return value".into())),
+                (Some(v), ty) => {
+                    let vt = operand_type(f, *v).map_err(&err)?;
+                    if !types_compatible(vt, ty) {
+                        return Err(err(format!("return type mismatch: {vt} vs {ty}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn types_compatible(actual: Type, expected: Type) -> bool {
+    match (actual, expected) {
+        (Type::Int(_), Type::Int(_)) => true,
+        (a, b) => a == b,
+    }
+}
+
+fn operand_type(f: &Function, op: Operand) -> Result<Type, String> {
+    match op {
+        Operand::Value(v) => f
+            .values
+            .get(v.0 as usize)
+            .map(|vd| vd.ty)
+            .ok_or_else(|| format!("operand value {v:?} out of range")),
+        Operand::Const(_) => Ok(Type::Int(8)),
+        Operand::Null => Ok(Type::Ptr),
+    }
+}
+
+fn expect_ptr(f: &Function, op: Operand, what: &str) -> Result<(), String> {
+    let t = operand_type(f, op)?;
+    if t.is_ptr() {
+        Ok(())
+    } else {
+        Err(format!("{what} must be a pointer, got {t}"))
+    }
+}
+
+fn expect_int(f: &Function, op: Operand, what: &str) -> Result<(), String> {
+    let t = operand_type(f, op)?;
+    if t.is_int() {
+        Ok(())
+    } else {
+        Err(format!("{what} must be an integer, got {t}"))
+    }
+}
+
+fn check_operand_types(m: &Module, f: &Function, _id: InstId, op: &Op) -> Result<(), String> {
+    match op {
+        Op::Bin { a, b, .. } | Op::Cmp { a, b, .. } => {
+            // Comparisons may compare pointers (e.g. null checks); arithmetic
+            // requires integers except `gep`-free pointer equality idioms, so
+            // we only require that binary *arithmetic* sees integers.
+            if matches!(op, Op::Bin { .. }) {
+                expect_int(f, *a, "binary lhs")?;
+                expect_int(f, *b, "binary rhs")?;
+            }
+            Ok(())
+        }
+        Op::HeapAlloc { size } | Op::PmemMap { size, .. } => expect_int(f, *size, "size"),
+        Op::HeapFree { ptr } => expect_ptr(f, *ptr, "freed pointer"),
+        Op::Gep { base, offset } => {
+            expect_ptr(f, *base, "gep base")?;
+            expect_int(f, *offset, "gep offset")
+        }
+        Op::Load { addr, ty } => {
+            if *ty == Type::Void {
+                return Err("cannot load void".into());
+            }
+            expect_ptr(f, *addr, "load address")
+        }
+        Op::Store { addr, value, ty } => {
+            if *ty == Type::Void {
+                return Err("cannot store void".into());
+            }
+            expect_ptr(f, *addr, "store address")?;
+            let vt = operand_type(f, *value)?;
+            if ty.is_ptr() != vt.is_ptr() {
+                return Err(format!("store of {vt} with declared type {ty}"));
+            }
+            Ok(())
+        }
+        Op::Memcpy { dst, src, len } => {
+            expect_ptr(f, *dst, "memcpy dst")?;
+            expect_ptr(f, *src, "memcpy src")?;
+            expect_int(f, *len, "memcpy len")
+        }
+        Op::Memset { dst, val, len } => {
+            expect_ptr(f, *dst, "memset dst")?;
+            expect_int(f, *val, "memset value")?;
+            expect_int(f, *len, "memset len")
+        }
+        Op::Flush { addr, .. } => expect_ptr(f, *addr, "flush address"),
+        Op::Call { callee, args } => {
+            if callee.0 as usize >= m.function_count() {
+                return Err(format!("call to nonexistent function {callee:?}"));
+            }
+            let cf = m.function(*callee);
+            if cf.params().len() != args.len() {
+                return Err(format!(
+                    "call to `{}` with {} args, expected {}",
+                    cf.name(),
+                    args.len(),
+                    cf.params().len()
+                ));
+            }
+            for (i, (&arg, &pt)) in args.iter().zip(cf.params()).enumerate() {
+                let at = operand_type(f, arg)?;
+                if !types_compatible(at, pt) {
+                    return Err(format!(
+                        "call to `{}`: argument {i} has type {at}, expected {pt}",
+                        cf.name()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Op::CondBr { cond, .. } => expect_int(f, *cond, "branch condition"),
+        Op::GlobalAddr { global } => {
+            if global.0 as usize >= m.global_count() {
+                return Err(format!("reference to nonexistent global {global:?}"));
+            }
+            Ok(())
+        }
+        Op::Print { value } => {
+            operand_type(f, *value)?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+    use crate::ops::FlushKind;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::Ptr], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let p = b.arg(0);
+        b.store(Type::int(8), p, 1i64);
+        b.flush(FlushKind::Clwb, p);
+        b.ret(None);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn good_module_verifies() {
+        let m = simple_module();
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn flush_of_int_rejected() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::int(8)], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let x = b.arg(0);
+        b.flush(FlushKind::Clwb, x);
+        b.ret(None);
+        b.finish();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("flush address"), "{e}");
+    }
+
+    #[test]
+    fn call_arity_mismatch_rejected() {
+        let mut m = Module::new();
+        let g = m.declare_function("g", vec![Type::int(8)], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, g);
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.ret(None);
+            b.finish();
+        }
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.emit(Op::Call {
+            callee: g,
+            args: vec![],
+        });
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("0 args"), "{err}");
+    }
+
+    #[test]
+    fn use_not_dominated_rejected() {
+        // Build: entry -> (a | b); value defined in a, used in b.
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![Type::int(8)], Type::Void);
+        let mut bl = FunctionBuilder::new(&mut m, f);
+        let entry = bl.entry_block();
+        let a = bl.new_block("a");
+        let b = bl.new_block("b");
+        bl.switch_to(entry);
+        let x = bl.arg(0);
+        bl.cond_br(x, a, b);
+        bl.switch_to(a);
+        let v = bl.bin(crate::ops::BinOp::Add, 1i64, 2i64);
+        bl.ret(None);
+        bl.switch_to(b);
+        bl.print(v); // not dominated!
+        bl.ret(None);
+        bl.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("not dominated"), "{err}");
+    }
+
+    #[test]
+    fn return_type_mismatch_rejected() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], Type::Ptr);
+        let func = m.function_mut(f);
+        let i = func.alloc_inst(Inst {
+            op: Op::Ret {
+                value: Some(Operand::Const(1)),
+            },
+            loc: None,
+            result: None,
+        });
+        let e = func.entry();
+        func.block_mut(e).insts.push(i);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("return type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn void_return_with_value_rejected() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], Type::Void);
+        let func = m.function_mut(f);
+        let i = func.alloc_inst(Inst {
+            op: Op::Ret {
+                value: Some(Operand::Const(1)),
+            },
+            loc: None,
+            result: None,
+        });
+        let e = func.entry();
+        func.block_mut(e).insts.push(i);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn double_linked_inst_rejected() {
+        let mut m = simple_module();
+        let f = m.function_by_name("f").unwrap();
+        let func = m.function_mut(f);
+        let first = func.block(func.entry()).insts[0];
+        let e = func.entry();
+        // Link the store a second time (before the terminator).
+        func.block_mut(e).insts.insert(1, first);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn same_block_use_before_def_rejected() {
+        let mut m = Module::new();
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let v = b.bin(crate::ops::BinOp::Add, 1i64, 2i64);
+        b.print(v);
+        b.ret(None);
+        b.finish();
+        // Swap the def and the use.
+        let func = m.function_mut(f);
+        let entry = func.entry();
+        func.block_mut(entry).insts.swap(0, 1);
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The abstract syntax tree.
+
+/// A surface type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LTy {
+    /// 64-bit integer.
+    Int,
+    /// Pointer.
+    Ptr,
+    /// No value (function returns only).
+    Void,
+}
+
+impl std::fmt::Display for LTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LTy::Int => "int",
+            LTy::Ptr => "ptr",
+            LTy::Void => "void",
+        })
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: LTy,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: LTy,
+    /// Body.
+    pub body: Block,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A `{ … }` statement list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with source line and attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// `#[tag("…")]` labels (elidable by the compiler — bug seeding).
+    pub tags: Vec<String>,
+    /// `#[when("…")]` feature gate, if any.
+    pub when: Option<String>,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `var name: ty = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: LTy,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `name = value;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `storeN(base, off, value);` with N ∈ {1,2,4,8}.
+    StoreInt {
+        /// Access width in bytes.
+        width: u8,
+        /// Base pointer.
+        base: Expr,
+        /// Byte offset.
+        off: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `storep(base, off, value);` — stores a pointer.
+    StorePtr {
+        /// Base pointer.
+        base: Expr,
+        /// Byte offset.
+        off: Expr,
+        /// Stored pointer.
+        value: Expr,
+    },
+    /// `memcpy(dst, src, len);`
+    Memcpy {
+        /// Destination pointer.
+        dst: Expr,
+        /// Source pointer.
+        src: Expr,
+        /// Length in bytes.
+        len: Expr,
+    },
+    /// `memset(dst, val, len);`
+    Memset {
+        /// Destination pointer.
+        dst: Expr,
+        /// Fill byte.
+        val: Expr,
+        /// Length in bytes.
+        len: Expr,
+    },
+    /// `clwb(p); clflushopt(p); clflush(p);`
+    Flush {
+        /// Which flush instruction.
+        kind: FlushKind,
+        /// Flushed address.
+        addr: Expr,
+    },
+    /// `sfence(); mfence();`
+    Fence {
+        /// Which fence instruction.
+        kind: FenceKind,
+    },
+    /// `free(p);`
+    Free {
+        /// The freed pointer.
+        ptr: Expr,
+    },
+    /// `print(e);`
+    Print {
+        /// The printed value.
+        value: Expr,
+    },
+    /// `crashpoint();`
+    CrashPoint,
+    /// `abort(code);`
+    Abort {
+        /// Exit code.
+        code: i64,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` / `return e;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+    },
+    /// A bare call used as a statement.
+    ExprStmt {
+        /// The expression (must be a call).
+        expr: Expr,
+    },
+}
+
+/// Flush families at the surface level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushKind {
+    /// `clwb`
+    Clwb,
+    /// `clflushopt`
+    ClflushOpt,
+    /// `clflush`
+    Clflush,
+}
+
+/// Fence families at the surface level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceKind {
+    /// `sfence`
+    Sfence,
+    /// `mfence`
+    Mfence,
+}
+
+/// An expression with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression proper.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is 1 iff `e == 0`).
+    Not,
+}
+
+/// Binary operators (surface level; `&&`/`||` are *not* short-circuiting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// The null pointer.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `loadN(base, off)`.
+    LoadInt {
+        /// Access width in bytes.
+        width: u8,
+        /// Base pointer.
+        base: Box<Expr>,
+        /// Byte offset.
+        off: Box<Expr>,
+    },
+    /// `loadp(base, off)`.
+    LoadPtr {
+        /// Base pointer.
+        base: Box<Expr>,
+        /// Byte offset.
+        off: Box<Expr>,
+    },
+    /// `alloc(size)` — volatile heap allocation.
+    Alloc {
+        /// Size in bytes.
+        size: Box<Expr>,
+    },
+    /// `pmem_map(pool, size)` — PM pool mapping.
+    PmemMap {
+        /// Pool id (compile-time constant).
+        pool: u64,
+        /// Size in bytes.
+        size: Box<Expr>,
+    },
+    /// `bytes("literal")` — address of a static byte string.
+    Bytes {
+        /// The literal contents.
+        data: String,
+    },
+}

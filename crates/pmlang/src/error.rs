@@ -1,0 +1,44 @@
+//! Front-end diagnostics.
+
+use std::fmt;
+
+/// A lexing, parsing, or semantic error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Source file name.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error.
+    pub fn new(file: impl Into<String>, line: u32, message: impl Into<String>) -> Self {
+        LangError {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LangError::new("a.pmc", 3, "unexpected token");
+        assert_eq!(e.to_string(), "a.pmc:3: unexpected token");
+    }
+}

@@ -1,0 +1,360 @@
+//! The tokenizer.
+
+use crate::error::LangError;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (for the `bytes("…")` intrinsic).
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Hash,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on an unrecognized character or unterminated
+/// string/comment.
+pub fn tokenize(file: &str, src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, msg: String| LangError::new(file, line, msg);
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Token { tok: $t, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'x'
+                    || (bytes[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = if let Some(hex) = text.strip_prefix("0x") {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    text.parse()
+                };
+                match v {
+                    Ok(v) => push!(Tok::Int(v)),
+                    Err(_) => return Err(err(line, format!("bad integer literal: {text}"))),
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+            }
+            b'"' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(err(line, "unterminated string literal".into()));
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(err(line, "unterminated string literal".into()));
+                }
+                push!(Tok::Str(src[start..i].to_string()));
+                i += 1;
+            }
+            b'(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            b'{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            b'[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            b',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            b';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            b':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            b'#' => {
+                push!(Tok::Hash);
+                i += 1;
+            }
+            b'+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            b'*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            b'/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            b'%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            b'^' => {
+                push!(Tok::Caret);
+                i += 1;
+            }
+            b'-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Arrow);
+                    i += 2;
+                } else {
+                    push!(Tok::Minus);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push!(Tok::AmpAmp);
+                    i += 2;
+                } else {
+                    push!(Tok::Amp);
+                    i += 1;
+                }
+            }
+            b'|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push!(Tok::PipePipe);
+                    i += 2;
+                } else {
+                    push!(Tok::Pipe);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    push!(Tok::Shl);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Shr);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(err(line, format!("unexpected character: {:?}", other as char)))
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize("t", src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            toks("fn f() -> int { return 1+2; }"),
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("int".into()),
+                Tok::LBrace,
+                Tok::Ident("return".into()),
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= << >> && ||"),
+            vec![
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = tokenize("t", "1 // c\n2 /* multi\nline */ 3").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn hex_and_strings() {
+        assert_eq!(toks("0x10"), vec![Tok::Int(16), Tok::Eof]);
+        assert_eq!(toks("\"ab\""), vec![Tok::Str("ab".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("t", "\"unterminated").is_err());
+        assert!(tokenize("t", "/* unterminated").is_err());
+        assert!(tokenize("t", "$").is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! `pmlang` — a small C-like language that compiles to `pmir`.
+//!
+//! The Hippocrates evaluation targets (PMDK, Redis, memcached, P-CLHT) are C
+//! programs; this crate is the stand-in front end that lets this
+//! reproduction express the same *shapes* of code — PM stores reached
+//! through multiple call frames, helper routines shared between volatile and
+//! persistent callers, explicit `clwb`/`sfence` persistence — with
+//! line-accurate debug info so the repair pipeline can map trace events back
+//! to source.
+//!
+//! # Language sketch
+//!
+//! ```text
+//! fn update(addr: ptr, idx: int, val: int) {
+//!     store1(addr, idx, val);
+//! }
+//! fn main() {
+//!     var pool: ptr = pmem_map(0, 4096);
+//!     update(pool, 0, 7);
+//!     #[tag("fix")] clwb(pool);
+//!     #[tag("fix")] sfence();
+//! }
+//! ```
+//!
+//! Types are `int` (i64), `ptr`, and `void` returns. Memory access is
+//! explicit and byte-addressed: `store8(p, off, v)` / `load8(p, off)` move
+//! 8-byte integers, `storep`/`loadp` move pointers, `store1`/`load1` bytes,
+//! and `memcpy`/`memset` move ranges. `alloc`/`free` manage the volatile
+//! heap, `pmem_map(id, size)` maps a persistent pool.
+//!
+//! Statement attributes drive the bug corpus: `#[tag("name")]` marks a
+//! statement that [`Compiler::elide_tag`] can drop (seeding a durability bug
+//! by *removing* a flush or fence), and `#[when("feature")]` includes a
+//! statement only when [`Compiler::feature`] enabled it (expressing
+//! developer-fix variants in the same source).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     fn main() {
+//!         var p: ptr = pmem_map(0, 4096);
+//!         store8(p, 0, 41);
+//!         clwb(p);
+//!         sfence();
+//!         print(load8(p, 0));
+//!     }
+//! "#;
+//! let module = pmlang::compile_one("ex.pmc", src).unwrap();
+//! let run = pmvm::Vm::new(pmvm::VmOptions::default()).run(&module, "main").unwrap();
+//! assert_eq!(run.output, vec![41]);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use compile::{compile_one, Compiler};
+pub use error::LangError;
+
+/// Maps a surface type to its IR type (shared by the driver and lowering).
+pub fn lower_ty(ty: ast::LTy) -> pmir::Type {
+    match ty {
+        ast::LTy::Int => pmir::Type::int(8),
+        ast::LTy::Ptr => pmir::Type::Ptr,
+        ast::LTy::Void => pmir::Type::Void,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmvm::{Vm, VmOptions};
+
+    fn run_src(src: &str) -> Vec<i64> {
+        let m = compile_one("t.pmc", src).unwrap_or_else(|e| panic!("{e}"));
+        pmir::verify::verify_module(&m).expect("lowered module verifies");
+        Vm::new(VmOptions::default())
+            .run(&m, "main")
+            .unwrap_or_else(|e| panic!("{e}"))
+            .output
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run_src("fn main() { print(2 + 3 * 4); }"), vec![14]);
+        assert_eq!(run_src("fn main() { print((2 + 3) * 4); }"), vec![20]);
+        assert_eq!(run_src("fn main() { print(10 % 3 + 10 / 3); }"), vec![4]);
+        assert_eq!(run_src("fn main() { print(1 << 4 | 1); }"), vec![17]);
+        assert_eq!(run_src("fn main() { print(-5 + 2); }"), vec![-3]);
+        assert_eq!(run_src("fn main() { print(!0); print(!7); }"), vec![1, 0]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run_src("fn main() { print(3 < 4); print(4 < 3); }"), vec![1, 0]);
+        assert_eq!(
+            run_src("fn main() { print(1 && 2); print(1 && 0); print(0 || 3); }"),
+            vec![1, 0, 1]
+        );
+        assert_eq!(run_src("fn main() { print(5 == 5); print(5 != 5); }"), vec![1, 0]);
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+            fn main() {
+                var i: int = 0;
+                var sum: int = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { sum = sum + i; }
+                    i = i + 1;
+                }
+                print(sum);
+            }
+        "#;
+        assert_eq!(run_src(src), vec![20]);
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = r#"
+            fn classify(n: int) -> int {
+                if (n < 0) { return 0 - 1; }
+                else { if (n == 0) { return 0; } else { return 1; } }
+            }
+            fn main() {
+                print(classify(0 - 5));
+                print(classify(0));
+                print(classify(9));
+            }
+        "#;
+        assert_eq!(run_src(src), vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let src = r#"
+            fn fact(n: int) -> int {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            fn main() { print(fact(6)); }
+        "#;
+        assert_eq!(run_src(src), vec![720]);
+    }
+
+    #[test]
+    fn memory_intrinsics() {
+        let src = r#"
+            fn main() {
+                var buf: ptr = alloc(64);
+                store8(buf, 0, 1234);
+                store1(buf, 8, 99);
+                print(load8(buf, 0));
+                print(load1(buf, 8));
+                var buf2: ptr = alloc(64);
+                memcpy(buf2, buf, 16);
+                print(load8(buf2, 0));
+                memset(buf2, 7, 8);
+                print(load1(buf2, 3));
+                free(buf);
+                free(buf2);
+            }
+        "#;
+        assert_eq!(run_src(src), vec![1234, 99, 1234, 7]);
+    }
+
+    #[test]
+    fn pointer_arithmetic_and_storep() {
+        let src = r#"
+            fn main() {
+                var a: ptr = alloc(64);
+                var b: ptr = alloc(64);
+                storep(a, 0, b);
+                var c: ptr = loadp(a, 0);
+                store8(c, 0, 5);
+                print(load8(b, 0));
+                var d: ptr = b + 8;
+                store8(d, 0, 6);
+                print(load8(b, 8));
+                print(b == c);
+                print(a == b);
+                print(null == null);
+            }
+        "#;
+        assert_eq!(run_src(src), vec![5, 6, 1, 0, 1]);
+    }
+
+    #[test]
+    fn pm_and_persistence() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(3, 4096);
+                store8(p, 0, 77);
+                clwb(p);
+                sfence();
+                crashpoint();
+                print(load8(p, 0));
+            }
+        "#;
+        assert_eq!(run_src(src), vec![77]);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let src = r#"
+            fn main() {
+                var x: int = 1;
+                if (1) {
+                    var x: int = 2;
+                    print(x);
+                }
+                print(x);
+                while (x < 2) {
+                    var x: int = 9;
+                    print(x);
+                }
+            }
+        "#;
+        // The while loop never runs its body twice: inner x=9 printed once,
+        // but loop condition uses outer x which never changes... so guard:
+        // outer x is 1, body sets nothing; infinite loop avoided by break
+        // condition? It would loop forever. Use a bounded variant instead.
+        let _ = src;
+        let src = r#"
+            fn main() {
+                var x: int = 1;
+                if (1) { var x: int = 2; print(x); }
+                print(x);
+            }
+        "#;
+        assert_eq!(run_src(src), vec![2, 1]);
+    }
+
+    #[test]
+    fn elide_tags_removes_statements() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                #[tag("bug1")] clwb(p);
+                sfence();
+            }
+        "#;
+        let full = Compiler::new().source("t.pmc", src).compile().unwrap();
+        let buggy = Compiler::new()
+            .source("t.pmc", src)
+            .elide_tag("bug1")
+            .compile()
+            .unwrap();
+        let count_flushes = |m: &pmir::Module| pmir::ModuleMetrics::measure(m).flushes;
+        assert_eq!(count_flushes(&full), 1);
+        assert_eq!(count_flushes(&buggy), 0);
+    }
+
+    #[test]
+    fn when_features_gate_statements() {
+        let src = r#"
+            fn main() {
+                #[when("devfix")] print(1);
+                print(2);
+            }
+        "#;
+        let plain = compile_one("t.pmc", src).unwrap();
+        let dev = Compiler::new()
+            .source("t.pmc", src)
+            .feature("devfix")
+            .compile()
+            .unwrap();
+        let run = |m: &pmir::Module| {
+            Vm::new(VmOptions::default()).run(m, "main").unwrap().output
+        };
+        assert_eq!(run(&plain), vec![2]);
+        assert_eq!(run(&dev), vec![1, 2]);
+    }
+
+    #[test]
+    fn multi_source_linking() {
+        let lib = "fn helper(x: int) -> int { return x * 2; }";
+        let app = "fn main() { print(helper(21)); }";
+        let m = Compiler::new()
+            .source("lib.pmc", lib)
+            .source("app.pmc", app)
+            .compile()
+            .unwrap();
+        let out = Vm::new(VmOptions::default()).run(&m, "main").unwrap().output;
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn debug_lines_attached() {
+        let src = "fn main() {\n    var p: ptr = pmem_map(0, 4096);\n    store8(p, 0, 1);\n}";
+        let m = compile_one("dbg.pmc", src).unwrap();
+        let f = m.function_by_name("main").unwrap();
+        let func = m.function(f);
+        // The last store lowered is the `store8` on source line 3 (earlier
+        // stores initialize the `p` variable slot on line 2).
+        let store_loc = func
+            .linked_insts()
+            .map(|(_, i)| func.inst(i))
+            .filter(|i| matches!(i.op, pmir::Op::Store { .. }))
+            .last()
+            .and_then(|i| i.loc)
+            .expect("store has a loc");
+        assert_eq!(store_loc.line, 3);
+        assert_eq!(m.file_name(store_loc.file), "dbg.pmc");
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = compile_one("e.pmc", "fn main() { print(undefined_var); }").unwrap_err();
+        assert!(err.to_string().contains("undefined_var"), "{err}");
+        let err = compile_one("e.pmc", "fn main() { foo(); }").unwrap_err();
+        assert!(err.to_string().contains("foo"), "{err}");
+        let err = compile_one("e.pmc", "fn f(x: int) {}\nfn main() { f(); }").unwrap_err();
+        assert!(err.to_string().contains("argument"), "{err}");
+        let err = compile_one("e.pmc", "fn main() { var x: int = null; }").unwrap_err();
+        assert!(err.to_string().contains("type"), "{err}");
+    }
+
+    #[test]
+    fn type_errors_for_pointer_misuse() {
+        // Arithmetic multiply on a pointer is rejected.
+        let err =
+            compile_one("e.pmc", "fn main() { var p: ptr = alloc(8); print(p * 2); }").unwrap_err();
+        assert!(err.to_string().contains("type"), "{err}");
+        // store8 base must be a pointer.
+        let err = compile_one("e.pmc", "fn main() { store8(1, 0, 2); }").unwrap_err();
+        assert!(err.to_string().contains("pointer"), "{err}");
+    }
+
+    #[test]
+    fn non_void_fallthrough_aborts() {
+        let src = r#"
+            fn f(n: int) -> int {
+                if (n > 0) { return 1; }
+            }
+            fn main() { print(f(0)); }
+        "#;
+        let m = compile_one("t.pmc", src).unwrap();
+        let res = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert!(matches!(res.ended, pmvm::Ended::Aborted(_)));
+    }
+
+    #[test]
+    fn globals_via_string_literals() {
+        let src = r#"
+            fn main() {
+                var s: ptr = bytes("hey");
+                print(load1(s, 0));
+                print(load1(s, 2));
+            }
+        "#;
+        assert_eq!(run_src(src), vec![i64::from(b'h'), i64::from(b'y')]);
+    }
+}

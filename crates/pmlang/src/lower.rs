@@ -1,0 +1,660 @@
+//! Lowering from AST to `pmir`, with type checking.
+//!
+//! Mirrors `clang -O0` structure (the paper collects traces with
+//! optimizations disabled, §5.1): every named variable becomes an `alloca`
+//! slot hoisted to the function entry, and every statement carries a
+//! line-accurate debug location.
+
+use crate::ast::{self, Block, Expr, ExprKind, FnDecl, LTy, Stmt, StmtKind};
+use crate::error::LangError;
+use pmir::{
+    BinOp as IrBin, CmpPred, FenceKind, FlushKind, FunctionBuilder, Module, Operand, SrcLoc, Type,
+    ValueId,
+};
+use std::collections::HashMap;
+
+/// A function signature visible to callers.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Parameter types.
+    pub params: Vec<LTy>,
+    /// Return type.
+    pub ret: LTy,
+}
+
+/// Builds the signature table for a set of declarations.
+///
+/// # Errors
+///
+/// Rejects duplicate definitions and names that collide with intrinsics.
+pub fn signatures(file: &str, fns: &[FnDecl]) -> Result<HashMap<String, Signature>, LangError> {
+    const RESERVED: &[&str] = &[
+        "store1", "store2", "store4", "store8", "storep", "load1", "load2", "load4", "load8",
+        "loadp", "memcpy", "memset", "clwb", "clflushopt", "clflush", "sfence", "mfence", "free",
+        "print", "crashpoint", "abort", "alloc", "pmem_map", "bytes", "null", "var", "if", "else",
+        "while", "return", "fn", "int", "ptr", "void",
+    ];
+    let mut sigs = HashMap::new();
+    for f in fns {
+        if RESERVED.contains(&f.name.as_str()) {
+            return Err(LangError::new(
+                file,
+                f.line,
+                format!("`{}` is a reserved name", f.name),
+            ));
+        }
+        if sigs
+            .insert(
+                f.name.clone(),
+                Signature {
+                    params: f.params.iter().map(|p| p.ty).collect(),
+                    ret: f.ret,
+                },
+            )
+            .is_some()
+        {
+            return Err(LangError::new(
+                file,
+                f.line,
+                format!("function `{}` defined twice", f.name),
+            ));
+        }
+    }
+    Ok(sigs)
+}
+
+fn to_ir_ty(ty: LTy) -> Type {
+    match ty {
+        LTy::Int => Type::int(8),
+        LTy::Ptr => Type::Ptr,
+        LTy::Void => Type::Void,
+    }
+}
+
+/// Lowers one function body into an already-declared `pmir` function.
+///
+/// `sigs` must contain every callee (across all linked sources).
+///
+/// # Errors
+///
+/// Returns the first type or name-resolution error.
+pub fn lower_fn(
+    module: &mut Module,
+    file: &str,
+    sigs: &HashMap<String, Signature>,
+    decl: &FnDecl,
+) -> Result<(), LangError> {
+    let file_id = module.intern_file(file);
+    let func_id = module
+        .function_by_name(&decl.name)
+        .expect("function declared before lowering");
+    let mut lw = Lowerer {
+        b: FunctionBuilder::new(module, func_id),
+        file: file.to_string(),
+        file_id,
+        sigs,
+        ret: decl.ret,
+        scopes: vec![HashMap::new()],
+        slots: vec![],
+        slot_cursor: 0,
+        str_globals: HashMap::new(),
+    };
+    lw.lower_body(decl)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarSlot {
+    ptr: ValueId,
+    ty: LTy,
+}
+
+struct Lowerer<'m, 's> {
+    b: FunctionBuilder<'m>,
+    file: String,
+    file_id: pmir::FileId,
+    sigs: &'s HashMap<String, Signature>,
+    ret: LTy,
+    scopes: Vec<HashMap<String, VarSlot>>,
+    /// Hoisted alloca slots, one per `var` declaration in AST order.
+    slots: Vec<ValueId>,
+    slot_cursor: usize,
+    str_globals: HashMap<String, pmir::GlobalId>,
+}
+
+fn count_decls(block: &Block) -> usize {
+    let mut n = 0;
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::VarDecl { .. } => n += 1,
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                n += count_decls(then_blk);
+                if let Some(e) = else_blk {
+                    n += count_decls(e);
+                }
+            }
+            StmtKind::While { body, .. } => n += count_decls(body),
+            _ => {}
+        }
+    }
+    n
+}
+
+impl Lowerer<'_, '_> {
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, LangError> {
+        Err(LangError::new(&self.file, line, msg))
+    }
+
+    fn loc(&mut self, line: u32) {
+        self.b.set_loc(SrcLoc::line(self.file_id, line));
+    }
+
+    fn lower_body(&mut self, decl: &FnDecl) -> Result<(), LangError> {
+        let entry = self.b.entry_block();
+        self.b.switch_to(entry);
+        self.loc(decl.line);
+        // Hoist one alloca per declaration site.
+        for _ in 0..count_decls(&decl.body) {
+            let slot = self.b.alloca(8);
+            self.slots.push(slot);
+        }
+        // Bind parameters (by value, like C).
+        for (i, p) in decl.params.iter().enumerate() {
+            let slot = self.b.alloca(8);
+            let arg = self.b.arg(i);
+            self.b.store(to_ir_ty(p.ty), slot, arg);
+            self.scopes
+                .last_mut()
+                .expect("scope")
+                .insert(p.name.clone(), VarSlot { ptr: slot, ty: p.ty });
+        }
+        self.lower_block(&decl.body)?;
+        // Fall-through handling.
+        if self.b.current_block().is_some() {
+            match self.ret {
+                LTy::Void => self.b.ret(None),
+                // Falling off the end of a non-void function is a runtime
+                // error, matching C's UB with a deterministic trap.
+                _ => self.b.abort(100),
+            }
+        }
+        let func_id = self.b.func_id();
+        assert!(
+            self.b.module().function(func_id).blocks_well_formed(),
+            "lowering produced well-formed blocks"
+        );
+        Ok(())
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        let mut dead = false;
+        for s in &block.stmts {
+            if dead || self.b.current_block().is_none() {
+                // Unreachable code: skip it, but keep the slot cursor in sync.
+                self.slot_cursor += count_decls(&Block {
+                    stmts: vec![s.clone()],
+                });
+                continue;
+            }
+            self.lower_stmt(s)?;
+            if self.b.current_block().is_none() {
+                dead = true;
+            }
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarSlot> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        self.loc(s.line);
+        match &s.kind {
+            StmtKind::VarDecl { name, ty, init } => {
+                let slot = self.slots[self.slot_cursor];
+                self.slot_cursor += 1;
+                let (v, vt) = self.lower_expr(init)?;
+                if vt != *ty {
+                    return self.err(
+                        s.line,
+                        format!("type mismatch: `{name}` is {ty} but initializer is {vt}"),
+                    );
+                }
+                self.loc(s.line);
+                self.b.store(to_ir_ty(*ty), slot, v);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), VarSlot { ptr: slot, ty: *ty });
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let Some(slot) = self.lookup(name) else {
+                    return self.err(s.line, format!("assignment to undefined variable `{name}`"));
+                };
+                let (v, vt) = self.lower_expr(value)?;
+                if vt != slot.ty {
+                    return self.err(
+                        s.line,
+                        format!("type mismatch: `{name}` is {} but value is {vt}", slot.ty),
+                    );
+                }
+                self.loc(s.line);
+                self.b.store(to_ir_ty(slot.ty), slot.ptr, v);
+                Ok(())
+            }
+            StmtKind::StoreInt {
+                width,
+                base,
+                off,
+                value,
+            } => {
+                let addr = self.lower_addr(base, off, s.line)?;
+                let (v, vt) = self.lower_expr(value)?;
+                if vt != LTy::Int {
+                    return self.err(s.line, format!("stored value must be int, got {vt}"));
+                }
+                self.loc(s.line);
+                self.b.store(Type::int(*width), addr, v);
+                Ok(())
+            }
+            StmtKind::StorePtr { base, off, value } => {
+                let addr = self.lower_addr(base, off, s.line)?;
+                let (v, vt) = self.lower_expr(value)?;
+                if vt != LTy::Ptr {
+                    return self.err(s.line, format!("storep value must be ptr, got {vt}"));
+                }
+                self.loc(s.line);
+                self.b.store(Type::Ptr, addr, v);
+                Ok(())
+            }
+            StmtKind::Memcpy { dst, src, len } => {
+                let (d, dt) = self.lower_expr(dst)?;
+                let (sr, st) = self.lower_expr(src)?;
+                let (l, lt) = self.lower_expr(len)?;
+                if dt != LTy::Ptr || st != LTy::Ptr || lt != LTy::Int {
+                    return self.err(s.line, "memcpy expects (ptr, ptr, int)");
+                }
+                self.loc(s.line);
+                self.b.memcpy(d, sr, l);
+                Ok(())
+            }
+            StmtKind::Memset { dst, val, len } => {
+                let (d, dt) = self.lower_expr(dst)?;
+                let (v, vt) = self.lower_expr(val)?;
+                let (l, lt) = self.lower_expr(len)?;
+                if dt != LTy::Ptr || vt != LTy::Int || lt != LTy::Int {
+                    return self.err(s.line, "memset expects (ptr, int, int)");
+                }
+                self.loc(s.line);
+                self.b.memset(d, v, l);
+                Ok(())
+            }
+            StmtKind::Flush { kind, addr } => {
+                let (a, at) = self.lower_expr(addr)?;
+                if at != LTy::Ptr {
+                    return self.err(s.line, format!("flush target must be a pointer, got {at}"));
+                }
+                let kind = match kind {
+                    ast::FlushKind::Clwb => FlushKind::Clwb,
+                    ast::FlushKind::ClflushOpt => FlushKind::ClflushOpt,
+                    ast::FlushKind::Clflush => FlushKind::Clflush,
+                };
+                self.loc(s.line);
+                self.b.flush(kind, a);
+                Ok(())
+            }
+            StmtKind::Fence { kind } => {
+                let kind = match kind {
+                    ast::FenceKind::Sfence => FenceKind::Sfence,
+                    ast::FenceKind::Mfence => FenceKind::Mfence,
+                };
+                self.b.fence(kind);
+                Ok(())
+            }
+            StmtKind::Free { ptr } => {
+                let (p, pt) = self.lower_expr(ptr)?;
+                if pt != LTy::Ptr {
+                    return self.err(s.line, format!("free expects a pointer, got {pt}"));
+                }
+                self.loc(s.line);
+                self.b.heap_free(p);
+                Ok(())
+            }
+            StmtKind::Print { value } => {
+                let (v, _) = self.lower_expr(value)?;
+                self.loc(s.line);
+                self.b.print(v);
+                Ok(())
+            }
+            StmtKind::CrashPoint => {
+                self.b.crash_point();
+                Ok(())
+            }
+            StmtKind::Abort { code } => {
+                self.b.abort(*code);
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let (c, _) = self.lower_cond(cond)?;
+                let then_bb = self.b.new_block("then");
+                let else_bb = else_blk.as_ref().map(|_| self.b.new_block("else"));
+                let join = self.b.new_block("join");
+                self.loc(s.line);
+                self.b.cond_br(c, then_bb, else_bb.unwrap_or(join));
+                self.b.switch_to(then_bb);
+                self.lower_block(then_blk)?;
+                let mut reaches_join = false;
+                if self.b.current_block().is_some() {
+                    self.b.br(join);
+                    reaches_join = true;
+                }
+                if let (Some(else_bb), Some(else_blk)) = (else_bb, else_blk) {
+                    self.b.switch_to(else_bb);
+                    self.lower_block(else_blk)?;
+                    if self.b.current_block().is_some() {
+                        self.b.br(join);
+                        reaches_join = true;
+                    }
+                } else {
+                    reaches_join = true;
+                }
+                self.b.switch_to(join);
+                if !reaches_join {
+                    // Unreachable join; terminate it so the IR stays
+                    // well-formed, then deselect.
+                    self.b.abort(101);
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.b.new_block("while.header");
+                let body_bb = self.b.new_block("while.body");
+                let exit = self.b.new_block("while.exit");
+                self.loc(s.line);
+                self.b.br(header);
+                self.b.switch_to(header);
+                let (c, _) = self.lower_cond(cond)?;
+                self.loc(s.line);
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(body_bb);
+                self.lower_block(body)?;
+                if self.b.current_block().is_some() {
+                    self.b.br(header);
+                }
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            StmtKind::Return { value } => {
+                match (value, self.ret) {
+                    (None, LTy::Void) => self.b.ret(None),
+                    (None, _) => return self.err(s.line, "missing return value"),
+                    (Some(_), LTy::Void) => {
+                        return self.err(s.line, "void function cannot return a value")
+                    }
+                    (Some(e), want) => {
+                        let (v, vt) = self.lower_expr(e)?;
+                        if vt != want {
+                            return self.err(
+                                s.line,
+                                format!("return type mismatch: expected {want}, got {vt}"),
+                            );
+                        }
+                        self.loc(s.line);
+                        self.b.ret(Some(v));
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::ExprStmt { expr } => {
+                self.lower_expr(expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers `base + off` into an address operand, checking types.
+    fn lower_addr(&mut self, base: &Expr, off: &Expr, line: u32) -> Result<Operand, LangError> {
+        let (b, bt) = self.lower_expr(base)?;
+        if bt != LTy::Ptr {
+            return self.err(line, format!("base must be a pointer, got {bt}"));
+        }
+        let (o, ot) = self.lower_expr(off)?;
+        if ot != LTy::Int {
+            return self.err(line, format!("offset must be an int, got {ot}"));
+        }
+        // Fold the common `+ 0` so single-store lines stay compact.
+        if o == Operand::Const(0) {
+            return Ok(b);
+        }
+        self.loc(line);
+        Ok(Operand::Value(self.b.gep(b, o)))
+    }
+
+    /// Lowers a condition, normalizing pointers to `!= null`.
+    fn lower_cond(&mut self, e: &Expr) -> Result<(Operand, LTy), LangError> {
+        let (v, t) = self.lower_expr(e)?;
+        match t {
+            LTy::Int => Ok((v, LTy::Int)),
+            LTy::Ptr => {
+                self.loc(e.line);
+                let c = self.b.cmp(CmpPred::Ne, v, Operand::Null);
+                Ok((Operand::Value(c), LTy::Int))
+            }
+            LTy::Void => self.err(e.line, "condition has no value"),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, LTy), LangError> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok((Operand::Const(*v), LTy::Int)),
+            ExprKind::Null => Ok((Operand::Null, LTy::Ptr)),
+            ExprKind::Var(name) => {
+                let Some(slot) = self.lookup(name) else {
+                    return self.err(e.line, format!("undefined variable `{name}`"));
+                };
+                self.loc(e.line);
+                let v = self.b.load(to_ir_ty(slot.ty), slot.ptr);
+                Ok((Operand::Value(v), slot.ty))
+            }
+            ExprKind::Unary { op, expr } => {
+                let (v, t) = self.lower_expr(expr)?;
+                self.loc(e.line);
+                match op {
+                    ast::UnOp::Neg => {
+                        if t != LTy::Int {
+                            return self.err(e.line, format!("cannot negate a {t}"));
+                        }
+                        let r = self.b.bin(IrBin::Sub, 0i64, v);
+                        Ok((Operand::Value(r), LTy::Int))
+                    }
+                    ast::UnOp::Not => {
+                        let zero = if t == LTy::Ptr {
+                            Operand::Null
+                        } else {
+                            Operand::Const(0)
+                        };
+                        let r = self.b.cmp(CmpPred::Eq, v, zero);
+                        Ok((Operand::Value(r), LTy::Int))
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.lower_binary(e.line, *op, lhs, rhs),
+            ExprKind::Call { name, args } => {
+                let Some(sig) = self.sigs.get(name).cloned() else {
+                    return self.err(e.line, format!("call to undefined function `{name}`"));
+                };
+                if sig.params.len() != args.len() {
+                    return self.err(
+                        e.line,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                let mut ops = vec![];
+                for (i, (a, want)) in args.iter().zip(&sig.params).enumerate() {
+                    let (v, t) = self.lower_expr(a)?;
+                    if t != *want {
+                        return self.err(
+                            a.line,
+                            format!("argument {i} of `{name}` expects {want}, got {t}"),
+                        );
+                    }
+                    ops.push(v);
+                }
+                self.loc(e.line);
+                let r = self.b.call_named(name, ops);
+                match sig.ret {
+                    LTy::Void => Ok((Operand::Const(0), LTy::Void)),
+                    ty => Ok((Operand::Value(r.expect("non-void call")), ty)),
+                }
+            }
+            ExprKind::LoadInt { width, base, off } => {
+                let addr = self.lower_addr(base, off, e.line)?;
+                self.loc(e.line);
+                let v = self.b.load(Type::int(*width), addr);
+                Ok((Operand::Value(v), LTy::Int))
+            }
+            ExprKind::LoadPtr { base, off } => {
+                let addr = self.lower_addr(base, off, e.line)?;
+                self.loc(e.line);
+                let v = self.b.load(Type::Ptr, addr);
+                Ok((Operand::Value(v), LTy::Ptr))
+            }
+            ExprKind::Alloc { size } => {
+                let (v, t) = self.lower_expr(size)?;
+                if t != LTy::Int {
+                    return self.err(e.line, format!("alloc size must be int, got {t}"));
+                }
+                self.loc(e.line);
+                let r = self.b.heap_alloc(v);
+                Ok((Operand::Value(r), LTy::Ptr))
+            }
+            ExprKind::PmemMap { pool, size } => {
+                let (v, t) = self.lower_expr(size)?;
+                if t != LTy::Int {
+                    return self.err(e.line, format!("pmem_map size must be int, got {t}"));
+                }
+                self.loc(e.line);
+                let r = self.b.pmem_map(v, *pool);
+                Ok((Operand::Value(r), LTy::Ptr))
+            }
+            ExprKind::Bytes { data } => {
+                let gid = match self.str_globals.get(data) {
+                    Some(&g) => g,
+                    None => {
+                        let n = self.b.module().global_count();
+                        let g = self.b.module().add_global(
+                            format!("str.{n}"),
+                            data.len().max(1) as u64,
+                            data.as_bytes().to_vec(),
+                        );
+                        self.str_globals.insert(data.clone(), g);
+                        g
+                    }
+                };
+                self.loc(e.line);
+                let r = self.b.global_addr(gid);
+                Ok((Operand::Value(r), LTy::Ptr))
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        line: u32,
+        op: ast::BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(Operand, LTy), LangError> {
+        use ast::BinOp as B;
+        let (a, at) = self.lower_expr(lhs)?;
+        let (b, bt) = self.lower_expr(rhs)?;
+        self.loc(line);
+
+        // Comparisons work on both ints and pointers (same-typed).
+        if let Some(pred) = match op {
+            B::Lt => Some(CmpPred::SLt),
+            B::Le => Some(CmpPred::SLe),
+            B::Gt => Some(CmpPred::SGt),
+            B::Ge => Some(CmpPred::SGe),
+            B::Eq => Some(CmpPred::Eq),
+            B::Ne => Some(CmpPred::Ne),
+            _ => None,
+        } {
+            if at != bt {
+                return self.err(line, format!("cannot compare {at} with {bt}"));
+            }
+            let r = self.b.cmp(pred, a, b);
+            return Ok((Operand::Value(r), LTy::Int));
+        }
+
+        // Pointer arithmetic.
+        if matches!(op, B::Add) && at == LTy::Ptr && bt == LTy::Int {
+            let r = self.b.gep(a, b);
+            return Ok((Operand::Value(r), LTy::Ptr));
+        }
+        if matches!(op, B::Add) && at == LTy::Int && bt == LTy::Ptr {
+            let r = self.b.gep(b, a);
+            return Ok((Operand::Value(r), LTy::Ptr));
+        }
+        if matches!(op, B::Sub) && at == LTy::Ptr && bt == LTy::Int {
+            let neg = self.b.bin(IrBin::Sub, 0i64, b);
+            let r = self.b.gep(a, neg);
+            return Ok((Operand::Value(r), LTy::Ptr));
+        }
+
+        // Logical operators normalize to 0/1 first (non-short-circuiting).
+        if matches!(op, B::LogAnd | B::LogOr) {
+            let na = self.normalize_bool(a, at);
+            let nb = self.normalize_bool(b, bt);
+            let ir = if matches!(op, B::LogAnd) {
+                IrBin::And
+            } else {
+                IrBin::Or
+            };
+            let r = self.b.bin(ir, na, nb);
+            return Ok((Operand::Value(r), LTy::Int));
+        }
+
+        // Everything else is integer arithmetic.
+        if at != LTy::Int || bt != LTy::Int {
+            return self.err(line, format!("type error: cannot apply {op:?} to {at} and {bt}"));
+        }
+        let ir = match op {
+            B::Add => IrBin::Add,
+            B::Sub => IrBin::Sub,
+            B::Mul => IrBin::Mul,
+            B::Div => IrBin::SDiv,
+            B::Rem => IrBin::SRem,
+            B::And => IrBin::And,
+            B::Or => IrBin::Or,
+            B::Xor => IrBin::Xor,
+            B::Shl => IrBin::Shl,
+            B::Shr => IrBin::AShr,
+            _ => unreachable!("handled above"),
+        };
+        let r = self.b.bin(ir, a, b);
+        Ok((Operand::Value(r), LTy::Int))
+    }
+
+    fn normalize_bool(&mut self, v: Operand, t: LTy) -> Operand {
+        let zero = if t == LTy::Ptr {
+            Operand::Null
+        } else {
+            Operand::Const(0)
+        };
+        Operand::Value(self.b.cmp(CmpPred::Ne, v, zero))
+    }
+}

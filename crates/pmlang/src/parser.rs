@@ -1,0 +1,682 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::{Tok, Token};
+
+/// Parses a whole source file into function declarations.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(file: &str, tokens: Vec<Token>) -> Result<Vec<FnDecl>, LangError> {
+    let mut p = Parser {
+        file: file.to_string(),
+        toks: tokens,
+        pos: 0,
+    };
+    let mut fns = vec![];
+    while !p.at(&Tok::Eof) {
+        fns.push(p.fn_decl()?);
+    }
+    Ok(fns)
+}
+
+struct Parser {
+    file: String,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, LangError> {
+        Err(LangError::new(&self.file, self.line(), msg))
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), LangError> {
+        if self.at(t) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), LangError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ty(&mut self) -> Result<LTy, LangError> {
+        let name = self.ident("a type")?;
+        match name.as_str() {
+            "int" => Ok(LTy::Int),
+            "ptr" => Ok(LTy::Ptr),
+            "void" => Ok(LTy::Void),
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, LangError> {
+        let line = self.line();
+        self.keyword("fn")?;
+        let name = self.ident("a function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = vec![];
+        if !self.at(&Tok::RParen) {
+            loop {
+                let pname = self.ident("a parameter name")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let ty = self.ty()?;
+                if ty == LTy::Void {
+                    return self.err("parameters cannot be void");
+                }
+                params.push(Param { name: pname, ty });
+                if self.at(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        let ret = if self.at(&Tok::Arrow) {
+            self.bump();
+            self.ty()?
+        } else {
+            LTy::Void
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = vec![];
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let mut tags = vec![];
+        let mut when = None;
+        while self.at(&Tok::Hash) {
+            self.bump();
+            self.expect(&Tok::LBracket, "`[`")?;
+            let attr = self.ident("an attribute")?;
+            self.expect(&Tok::LParen, "`(`")?;
+            let value = match self.bump() {
+                Tok::Str(s) => s,
+                other => return self.err(format!("expected a string, found {other:?}")),
+            };
+            self.expect(&Tok::RParen, "`)`")?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            match attr.as_str() {
+                "tag" => tags.push(value),
+                "when" => when = Some(value),
+                other => return self.err(format!("unknown attribute `{other}`")),
+            }
+        }
+        let line = self.line();
+        let kind = self.stmt_kind()?;
+        Ok(Stmt {
+            kind,
+            line,
+            tags,
+            when,
+        })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, LangError> {
+        if self.is_keyword("var") {
+            self.bump();
+            let name = self.ident("a variable name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let ty = self.ty()?;
+            if ty == LTy::Void {
+                return self.err("variables cannot be void");
+            }
+            self.expect(&Tok::Assign, "`=`")?;
+            let init = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(StmtKind::VarDecl { name, ty, init });
+        }
+        if self.is_keyword("if") {
+            self.bump();
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let then_blk = self.block()?;
+            let else_blk = if self.is_keyword("else") {
+                self.bump();
+                if self.is_keyword("if") {
+                    // `else if` sugar: wrap the nested if in a block.
+                    let line = self.line();
+                    let nested = self.stmt_kind()?;
+                    Some(Block {
+                        stmts: vec![Stmt {
+                            kind: nested,
+                            line,
+                            tags: vec![],
+                            when: None,
+                        }],
+                    })
+                } else {
+                    Some(self.block()?)
+                }
+            } else {
+                None
+            };
+            return Ok(StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            });
+        }
+        if self.is_keyword("while") {
+            self.bump();
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let body = self.block()?;
+            return Ok(StmtKind::While { cond, body });
+        }
+        if self.is_keyword("return") {
+            self.bump();
+            let value = if self.at(&Tok::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(StmtKind::Return { value });
+        }
+
+        // Intrinsic statements and assignments both start with an identifier.
+        let Tok::Ident(head) = self.peek().clone() else {
+            return self.err(format!("expected a statement, found {:?}", self.peek()));
+        };
+
+        // Statement intrinsics.
+        let store_width = match head.as_str() {
+            "store1" => Some(1u8),
+            "store2" => Some(2),
+            "store4" => Some(4),
+            "store8" => Some(8),
+            _ => None,
+        };
+        if let Some(width) = store_width {
+            self.bump();
+            let (base, off, value) = self.three_args()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(StmtKind::StoreInt {
+                width,
+                base,
+                off,
+                value,
+            });
+        }
+        match head.as_str() {
+            "storep" => {
+                self.bump();
+                let (base, off, value) = self.three_args()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::StorePtr { base, off, value })
+            }
+            "memcpy" => {
+                self.bump();
+                let (dst, src, len) = self.three_args()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::Memcpy { dst, src, len })
+            }
+            "memset" => {
+                self.bump();
+                let (dst, val, len) = self.three_args()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::Memset { dst, val, len })
+            }
+            "clwb" | "clflushopt" | "clflush" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let addr = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                let kind = match head.as_str() {
+                    "clwb" => FlushKind::Clwb,
+                    "clflushopt" => FlushKind::ClflushOpt,
+                    _ => FlushKind::Clflush,
+                };
+                Ok(StmtKind::Flush { kind, addr })
+            }
+            "sfence" | "mfence" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                let kind = if head == "sfence" {
+                    FenceKind::Sfence
+                } else {
+                    FenceKind::Mfence
+                };
+                Ok(StmtKind::Fence { kind })
+            }
+            "free" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let ptr = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::Free { ptr })
+            }
+            "print" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let value = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::Print { value })
+            }
+            "crashpoint" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::CrashPoint)
+            }
+            "abort" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let code = match self.bump() {
+                    Tok::Int(v) => v,
+                    other => {
+                        return self.err(format!("abort takes an integer literal, found {other:?}"))
+                    }
+                };
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(StmtKind::Abort { code })
+            }
+            _ => {
+                // Assignment or a call statement.
+                let save = self.pos;
+                let name = self.ident("a name")?;
+                if self.at(&Tok::Assign) {
+                    self.bump();
+                    let value = self.expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(StmtKind::Assign { name, value })
+                } else {
+                    self.pos = save;
+                    let expr = self.expr()?;
+                    if !matches!(expr.kind, ExprKind::Call { .. }) {
+                        return self.err("only calls may be used as expression statements");
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(StmtKind::ExprStmt { expr })
+                }
+            }
+        }
+    }
+
+    fn three_args(&mut self) -> Result<(Expr, Expr, Expr), LangError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let a = self.expr()?;
+        self.expect(&Tok::Comma, "`,`")?;
+        let b = self.expr()?;
+        self.expect(&Tok::Comma, "`,`")?;
+        let c = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok((a, b, c))
+    }
+
+    // ----- expressions, precedence climbing -----------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_level: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, level)) = self.peek_binop() {
+            if level < min_level {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        Some(match self.peek() {
+            Tok::PipePipe => (BinOp::LogOr, 0),
+            Tok::AmpAmp => (BinOp::LogAnd, 1),
+            Tok::Pipe => (BinOp::Or, 2),
+            Tok::Caret => (BinOp::Xor, 3),
+            Tok::Amp => (BinOp::And, 4),
+            Tok::EqEq => (BinOp::Eq, 5),
+            Tok::Ne => (BinOp::Ne, 5),
+            Tok::Lt => (BinOp::Lt, 6),
+            Tok::Le => (BinOp::Le, 6),
+            Tok::Gt => (BinOp::Gt, 6),
+            Tok::Ge => (BinOp::Ge, 6),
+            Tok::Shl => (BinOp::Shl, 7),
+            Tok::Shr => (BinOp::Shr, 7),
+            Tok::Plus => (BinOp::Add, 8),
+            Tok::Minus => (BinOp::Sub, 8),
+            Tok::Star => (BinOp::Mul, 9),
+            Tok::Slash => (BinOp::Div, 9),
+            Tok::Percent => (BinOp::Rem, 9),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    line,
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "null" => {
+                        return Ok(Expr {
+                            kind: ExprKind::Null,
+                            line,
+                        })
+                    }
+                    "load1" | "load2" | "load4" | "load8" => {
+                        let width = name.trim_start_matches("load").parse::<u8>().expect("digit");
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let base = self.expr()?;
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let off = self.expr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Expr {
+                            kind: ExprKind::LoadInt {
+                                width,
+                                base: Box::new(base),
+                                off: Box::new(off),
+                            },
+                            line,
+                        });
+                    }
+                    "loadp" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let base = self.expr()?;
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let off = self.expr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Expr {
+                            kind: ExprKind::LoadPtr {
+                                base: Box::new(base),
+                                off: Box::new(off),
+                            },
+                            line,
+                        });
+                    }
+                    "alloc" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let size = self.expr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Expr {
+                            kind: ExprKind::Alloc {
+                                size: Box::new(size),
+                            },
+                            line,
+                        });
+                    }
+                    "pmem_map" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let pool = match self.bump() {
+                            Tok::Int(v) if v >= 0 => v as u64,
+                            other => {
+                                return self.err(format!(
+                                    "pmem_map pool id must be a non-negative integer literal, found {other:?}"
+                                ))
+                            }
+                        };
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let size = self.expr()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Expr {
+                            kind: ExprKind::PmemMap {
+                                pool,
+                                size: Box::new(size),
+                            },
+                            line,
+                        });
+                    }
+                    "bytes" => {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let data = match self.bump() {
+                            Tok::Str(s) => s,
+                            other => {
+                                return self
+                                    .err(format!("bytes takes a string literal, found {other:?}"))
+                            }
+                        };
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Expr {
+                            kind: ExprKind::Bytes { data },
+                            line,
+                        });
+                    }
+                    _ => {}
+                }
+                if self.at(&Tok::LParen) {
+                    self.bump();
+                    let mut args = vec![];
+                    if !self.at(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at(&Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
+                }
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Result<Vec<FnDecl>, LangError> {
+        parse("t.pmc", tokenize("t.pmc", src)?)
+    }
+
+    #[test]
+    fn parses_signatures() {
+        let fns = parse_src("fn f(a: int, b: ptr) -> int { return a; }").unwrap();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "f");
+        assert_eq!(fns[0].params.len(), 2);
+        assert_eq!(fns[0].ret, LTy::Int);
+        let fns = parse_src("fn g() {}").unwrap();
+        assert_eq!(fns[0].ret, LTy::Void);
+    }
+
+    #[test]
+    fn precedence_tree() {
+        let fns = parse_src("fn f() { print(1 + 2 * 3); }").unwrap();
+        let StmtKind::Print { value } = &fns[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &value.kind else {
+            panic!("expected + at root, got {value:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn attributes_collected() {
+        let fns =
+            parse_src("fn f() { #[tag(\"a\")] #[tag(\"b\")] #[when(\"x\")] sfence(); }").unwrap();
+        let s = &fns[0].body.stmts[0];
+        assert_eq!(s.tags, vec!["a", "b"]);
+        assert_eq!(s.when.as_deref(), Some("x"));
+        assert!(matches!(s.kind, StmtKind::Fence { .. }));
+    }
+
+    #[test]
+    fn else_if_sugar() {
+        let fns = parse_src("fn f(n: int) { if (n) {} else if (n) {} else {} }").unwrap();
+        let StmtKind::If { else_blk, .. } = &fns[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let inner = &else_blk.as_ref().unwrap().stmts[0];
+        assert!(matches!(inner.kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_src("fn f() {\n  var x int = 1;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_non_call_expr_stmt() {
+        let err = parse_src("fn f() { 1 + 2; }").unwrap_err();
+        assert!(err.message.contains("statement"), "{err}");
+    }
+
+    #[test]
+    fn intrinsic_statements_parse() {
+        let src = r#"
+            fn f(p: ptr) {
+                store8(p, 0, 1);
+                storep(p, 8, null);
+                memcpy(p, p, 0);
+                memset(p, 0, 8);
+                clwb(p);
+                clflushopt(p);
+                clflush(p);
+                sfence();
+                mfence();
+                free(p);
+                crashpoint();
+                abort(2);
+            }
+        "#;
+        let fns = parse_src(src).unwrap();
+        assert_eq!(fns[0].body.stmts.len(), 12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Trace events.
+
+use serde::{Deserialize, Serialize};
+
+/// A flush instruction kind as recorded in traces (tool-neutral mirror of
+/// `pmir::FlushKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlushKind {
+    /// `CLWB`.
+    Clwb,
+    /// `CLFLUSHOPT`.
+    ClflushOpt,
+    /// `CLFLUSH` (strongly ordered).
+    Clflush,
+}
+
+impl FlushKind {
+    /// Whether this flush needs a following fence for durability ordering.
+    pub fn is_weakly_ordered(self) -> bool {
+        !matches!(self, FlushKind::Clflush)
+    }
+}
+
+/// A fence instruction kind as recorded in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FenceKind {
+    /// `SFENCE`.
+    Sfence,
+    /// `MFENCE`.
+    Mfence,
+}
+
+/// A resolved source position (file names are resolved strings so the trace
+/// stands alone, independent of any module's file table).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceLoc {
+    /// Source file name.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column, 0 when unknown.
+    pub col: u32,
+}
+
+impl std::fmt::Display for TraceLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// A structural reference to the IR instruction that produced an event:
+/// function name plus instruction index in that function's arena. Instruction
+/// ids are append-only in `pmir`, so references stay valid across repair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IrRef {
+    /// Containing function name.
+    pub function: String,
+    /// `pmir::InstId` index within the function.
+    pub inst: u32,
+}
+
+/// One call-stack frame at the time of an event. `stack[0]` is the innermost
+/// frame (where the event executed); the last frame is `main`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// The frame's function name.
+    pub function: String,
+    /// For non-innermost frames: the call instruction (in *this* frame's
+    /// function) that entered the next-inner frame. `None` for the innermost
+    /// frame.
+    pub call_inst: Option<u32>,
+    /// Source location of that call, if known.
+    pub loc: Option<TraceLoc>,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A store (or memcpy/memset) that modified persistent memory.
+    Store {
+        /// Start address of the modified PM range.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// A cache-line flush whose target line is in persistent memory.
+    Flush {
+        /// Flush instruction family.
+        kind: FlushKind,
+        /// The requested address (the affected line is `addr & !63`).
+        addr: u64,
+    },
+    /// A memory fence.
+    Fence {
+        /// Fence instruction family.
+        kind: FenceKind,
+    },
+    /// A PM pool was mapped.
+    RegisterPool {
+        /// The program-chosen pool id.
+        hint: u64,
+        /// Base address the pool was mapped at.
+        base: u64,
+        /// Pool size in bytes.
+        size: u64,
+    },
+    /// An explicit crash point (`crashpoint` in the IR): durability of all
+    /// earlier PM updates is required here.
+    CrashPoint,
+    /// Orderly program end; pmemcheck audits outstanding stores here.
+    ProgramEnd,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The IR instruction behind the event, when known.
+    pub at: Option<IrRef>,
+    /// Source location of that instruction, when known.
+    pub loc: Option<TraceLoc>,
+    /// Call stack, innermost first.
+    pub stack: Vec<Frame>,
+}
+
+/// An ordered list of events — the bug-finder's execution log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts events whose kind matches `pred`.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (effectively unreachable for this
+    /// schema).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_ordering() {
+        assert!(FlushKind::Clwb.is_weakly_ordered());
+        assert!(!FlushKind::Clflush.is_weakly_ordered());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let e = Event {
+            seq: 0,
+            kind: EventKind::ProgramEnd,
+            at: None,
+            loc: None,
+            stack: vec![],
+        };
+        let mut t: Trace = std::iter::once(e.clone()).collect();
+        t.extend(std::iter::once(e));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn traceloc_display() {
+        let l = TraceLoc {
+            file: "a.pmc".into(),
+            line: 7,
+            col: 0,
+        };
+        assert_eq!(l.to_string(), "a.pmc:7");
+    }
+}

@@ -1,0 +1,369 @@
+//! The portable line-based trace format — the adapter surface for foreign
+//! bug finders.
+//!
+//! The paper's Hippocrates accepts traces from pmemcheck and PMTest (§5.1):
+//! any tool that can report *operation kind, location, and call stack* can
+//! drive the repair engine. This module defines that minimal interchange:
+//! one event per line, `KEY=VALUE` fields, `<-`-separated stacks:
+//!
+//! ```text
+//! REGISTER pool=0 base=0x300000000000 size=4096 at=main#2 loc=main.pmc:3
+//! STORE addr=0x300000000000 len=8 at=update#4 loc=main.pmc:12 stack=update<-modify@9(main.pmc:30)<-main@17(main.pmc:41)
+//! FLUSH kind=CLWB addr=0x300000000000 at=main#9
+//! FENCE kind=SFENCE at=main#10
+//! CRASHPOINT
+//! END
+//! ```
+//!
+//! `at=function#inst` is the structural reference; `loc=file:line[:col]`
+//! the source position; both are optional (Hippocrates falls back from one
+//! to the other). Stack frames after the first carry
+//! `function@call_inst(loc)`.
+
+use crate::event::{Event, EventKind, FenceKind, FlushKind, Frame, IrRef, Trace, TraceLoc};
+use std::fmt::Write as _;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Serializes a trace to the portable log format.
+pub fn to_log(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        let mut line = match &e.kind {
+            EventKind::Store { addr, len } => format!("STORE addr={addr:#x} len={len}"),
+            EventKind::Flush { kind, addr } => {
+                format!("FLUSH kind={} addr={addr:#x}", flush_name(*kind))
+            }
+            EventKind::Fence { kind } => format!("FENCE kind={}", fence_name(*kind)),
+            EventKind::RegisterPool { hint, base, size } => {
+                format!("REGISTER pool={hint} base={base:#x} size={size}")
+            }
+            EventKind::CrashPoint => "CRASHPOINT".to_string(),
+            EventKind::ProgramEnd => "END".to_string(),
+        };
+        if let Some(at) = &e.at {
+            let _ = write!(line, " at={}#{}", at.function, at.inst);
+        }
+        if let Some(loc) = &e.loc {
+            let _ = write!(line, " loc={}:{}:{}", loc.file, loc.line, loc.col);
+        }
+        if !e.stack.is_empty() {
+            let frames: Vec<String> = e
+                .stack
+                .iter()
+                .map(|f| {
+                    let mut s = f.function.clone();
+                    if let Some(ci) = f.call_inst {
+                        let _ = write!(s, "@{ci}");
+                    }
+                    if let Some(loc) = &f.loc {
+                        let _ = write!(s, "({}:{}:{})", loc.file, loc.line, loc.col);
+                    }
+                    s
+                })
+                .collect();
+            let _ = write!(line, " stack={}", frames.join("<-"));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Parses the portable log format; sequence numbers are assigned in order.
+///
+/// # Errors
+///
+/// Returns a [`LogError`] naming the offending line.
+pub fn from_log(text: &str) -> Result<Trace, LogError> {
+    let mut trace = Trace::new();
+    let mut seq = 0u64;
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let raw = raw.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| LogError {
+            line: line_no,
+            message: msg,
+        };
+        let mut parts = raw.split_whitespace();
+        let head = parts.next().expect("nonempty");
+        let mut fields: Vec<(&str, &str)> = vec![];
+        for p in parts {
+            let (k, v) = p
+                .split_once('=')
+                .ok_or_else(|| err(format!("malformed field `{p}`")))?;
+            fields.push((k, v));
+        }
+        let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        let need = |key: &str| get(key).ok_or_else(|| err(format!("missing field `{key}`")));
+        let num = |v: &str| -> Result<u64, LogError> {
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.map_err(|_| err(format!("bad number `{v}`")))
+        };
+
+        let kind = match head {
+            "STORE" => EventKind::Store {
+                addr: num(need("addr")?)?,
+                len: num(need("len")?)?,
+            },
+            "FLUSH" => EventKind::Flush {
+                kind: parse_flush(need("kind")?).ok_or_else(|| err("bad flush kind".into()))?,
+                addr: num(need("addr")?)?,
+            },
+            "FENCE" => EventKind::Fence {
+                kind: parse_fence(need("kind")?).ok_or_else(|| err("bad fence kind".into()))?,
+            },
+            "REGISTER" => EventKind::RegisterPool {
+                hint: num(need("pool")?)?,
+                base: num(need("base")?)?,
+                size: num(need("size")?)?,
+            },
+            "CRASHPOINT" => EventKind::CrashPoint,
+            "END" => EventKind::ProgramEnd,
+            other => return Err(err(format!("unknown event `{other}`"))),
+        };
+
+        let at = match get("at") {
+            Some(v) => Some(parse_at(v).ok_or_else(|| err(format!("bad at `{v}`")))?),
+            None => None,
+        };
+        let loc = match get("loc") {
+            Some(v) => Some(parse_loc(v).ok_or_else(|| err(format!("bad loc `{v}`")))?),
+            None => None,
+        };
+        let stack = match get("stack") {
+            Some(v) => parse_stack(v).ok_or_else(|| err(format!("bad stack `{v}`")))?,
+            None => vec![],
+        };
+
+        trace.push(Event {
+            seq,
+            kind,
+            at,
+            loc,
+            stack,
+        });
+        seq += 1;
+    }
+    Ok(trace)
+}
+
+fn flush_name(k: FlushKind) -> &'static str {
+    match k {
+        FlushKind::Clwb => "CLWB",
+        FlushKind::ClflushOpt => "CLFLUSHOPT",
+        FlushKind::Clflush => "CLFLUSH",
+    }
+}
+
+fn parse_flush(s: &str) -> Option<FlushKind> {
+    Some(match s {
+        "CLWB" => FlushKind::Clwb,
+        "CLFLUSHOPT" => FlushKind::ClflushOpt,
+        "CLFLUSH" => FlushKind::Clflush,
+        _ => return None,
+    })
+}
+
+fn fence_name(k: FenceKind) -> &'static str {
+    match k {
+        FenceKind::Sfence => "SFENCE",
+        FenceKind::Mfence => "MFENCE",
+    }
+}
+
+fn parse_fence(s: &str) -> Option<FenceKind> {
+    Some(match s {
+        "SFENCE" => FenceKind::Sfence,
+        "MFENCE" => FenceKind::Mfence,
+        _ => return None,
+    })
+}
+
+fn parse_at(s: &str) -> Option<IrRef> {
+    let (f, i) = s.rsplit_once('#')?;
+    Some(IrRef {
+        function: f.to_string(),
+        inst: i.parse().ok()?,
+    })
+}
+
+fn parse_loc(s: &str) -> Option<TraceLoc> {
+    let mut it = s.rsplitn(3, ':');
+    let col: u32 = it.next()?.parse().ok()?;
+    let line: u32 = it.next()?.parse().ok()?;
+    let file = it.next()?.to_string();
+    Some(TraceLoc { file, line, col })
+}
+
+fn parse_stack(s: &str) -> Option<Vec<Frame>> {
+    let mut frames = vec![];
+    for part in s.split("<-") {
+        // function[@call_inst][(loc)]
+        let (head, loc) = match part.split_once('(') {
+            Some((h, rest)) => {
+                let loc = rest.strip_suffix(')')?;
+                (h, Some(parse_loc(loc)?))
+            }
+            None => (part, None),
+        };
+        let (function, call_inst) = match head.split_once('@') {
+            Some((f, ci)) => (f.to_string(), Some(ci.parse().ok()?)),
+            None => (head.to_string(), None),
+        };
+        frames.push(Frame {
+            function,
+            call_inst,
+            loc,
+        });
+    }
+    Some(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 0,
+            kind: EventKind::RegisterPool {
+                hint: 0,
+                base: 0x3000_0000_0000,
+                size: 4096,
+            },
+            at: Some(IrRef {
+                function: "main".into(),
+                inst: 2,
+            }),
+            loc: Some(TraceLoc {
+                file: "a.pmc".into(),
+                line: 3,
+                col: 0,
+            }),
+            stack: vec![Frame {
+                function: "main".into(),
+                call_inst: None,
+                loc: None,
+            }],
+        });
+        t.push(Event {
+            seq: 1,
+            kind: EventKind::Store {
+                addr: 0x3000_0000_0000,
+                len: 8,
+            },
+            at: Some(IrRef {
+                function: "update".into(),
+                inst: 4,
+            }),
+            loc: None,
+            stack: vec![
+                Frame {
+                    function: "update".into(),
+                    call_inst: None,
+                    loc: None,
+                },
+                Frame {
+                    function: "main".into(),
+                    call_inst: Some(9),
+                    loc: Some(TraceLoc {
+                        file: "a.pmc".into(),
+                        line: 30,
+                        col: 5,
+                    }),
+                },
+            ],
+        });
+        t.push(Event {
+            seq: 2,
+            kind: EventKind::Flush {
+                kind: FlushKind::Clwb,
+                addr: 0x3000_0000_0000,
+            },
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        t.push(Event {
+            seq: 3,
+            kind: EventKind::Fence {
+                kind: FenceKind::Sfence,
+            },
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        t.push(Event {
+            seq: 4,
+            kind: EventKind::ProgramEnd,
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let log = to_log(&t);
+        let t2 = from_log(&log).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let log = "# a foreign tool's header\n\nCRASHPOINT\nEND\n";
+        let t = from_log(log).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0].kind, EventKind::CrashPoint);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = from_log("STORE addr=0x10\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("len"));
+        let err = from_log("END\nBOGUS\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_log("FLUSH kind=NOPE addr=0x10\n").unwrap_err();
+        assert!(err.message.contains("flush"));
+    }
+
+    #[test]
+    fn hex_and_decimal_numbers() {
+        let t = from_log("STORE addr=0x40 len=8\nSTORE addr=64 len=8\n").unwrap();
+        let addrs: Vec<u64> = t
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Store { addr, .. } => addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![64, 64]);
+    }
+}

@@ -1,0 +1,782 @@
+//! The interpreter loop.
+
+use crate::options::VmOptions;
+use crate::result::{Ended, RunResult, VmError};
+use pmem_sim::{layout, Machine};
+use pmir::{BlockId, FenceKind, FlushKind, FuncId, GlobalId, InstId, Module, Op, Operand};
+use pmtrace::{Event, EventKind, IrRef, Trace, TraceLoc};
+use std::collections::HashMap;
+
+/// The virtual machine. Cheap to construct; one [`Vm::run`] call executes a
+/// program from `main` (or any other zero-argument entry point) to
+/// completion.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    opts: VmOptions,
+}
+
+impl Vm {
+    /// Creates a VM with the given options.
+    pub fn new(opts: VmOptions) -> Self {
+        Vm { opts }
+    }
+
+    /// Runs `entry` (a zero-parameter function) in `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program traps (memory fault, division by
+    /// zero, step limit) or the entry point is unsuitable.
+    pub fn run(&self, module: &Module, entry: &str) -> Result<RunResult, VmError> {
+        let entry_id = module
+            .function_by_name(entry)
+            .ok_or_else(|| VmError::NoSuchFunction {
+                name: entry.to_string(),
+            })?;
+        if !module.function(entry_id).params().is_empty() {
+            return Err(VmError::EntryHasParams {
+                name: entry.to_string(),
+            });
+        }
+
+        let machine = match self.opts.media.clone() {
+            Some(media) => Machine::with_media(media, self.opts.cost),
+            None => Machine::new(self.opts.cost),
+        };
+        let mut exec = Exec {
+            module,
+            machine,
+            frames: vec![],
+            globals: HashMap::new(),
+            output: vec![],
+            trace: self.opts.trace.then(Trace::new),
+            steps: 0,
+            seq: 0,
+            crash_points: 0,
+            pm_stores_seen: 0,
+            opts: &self.opts,
+        };
+        exec.install_globals()?;
+        exec.push_call(entry_id);
+        let (ended, return_value) = exec.run_loop()?;
+        if ended == Ended::Returned {
+            exec.emit(EventKind::ProgramEnd, None);
+        }
+        Ok(RunResult {
+            output: exec.output,
+            return_value,
+            ended,
+            stats: *exec.machine.stats(),
+            trace: exec.trace,
+            machine: exec.machine,
+            steps: exec.steps,
+        })
+    }
+}
+
+/// One activation record.
+struct Frame {
+    func: FuncId,
+    vals: Vec<Option<i64>>,
+    block: BlockId,
+    idx: usize,
+}
+
+struct Exec<'m, 'o> {
+    module: &'m Module,
+    machine: Machine,
+    frames: Vec<Frame>,
+    globals: HashMap<GlobalId, u64>,
+    output: Vec<i64>,
+    trace: Option<Trace>,
+    steps: u64,
+    seq: u64,
+    crash_points: u64,
+    pm_stores_seen: u64,
+    opts: &'o VmOptions,
+}
+
+impl Exec<'_, '_> {
+    fn install_globals(&mut self) -> Result<(), VmError> {
+        for (id, g) in self.module.globals() {
+            let addr = self.machine.add_global(g.size, &g.init)?;
+            self.globals.insert(id, addr);
+        }
+        Ok(())
+    }
+
+    fn push_call(&mut self, func: FuncId) {
+        let f = self.module.function(func);
+        let mut vals = vec![None; f.value_count()];
+        // Argument values are filled by the caller before push for non-entry
+        // frames; the entry has none.
+        for slot in vals.iter_mut().take(f.params().len()) {
+            *slot = Some(0);
+        }
+        self.machine.push_frame();
+        self.frames.push(Frame {
+            func,
+            vals,
+            block: f.entry(),
+            idx: 0,
+        });
+    }
+
+    fn cur_func_name(&self) -> String {
+        self.frames
+            .last()
+            .map(|f| self.module.function(f.func).name().to_string())
+            .unwrap_or_default()
+    }
+
+    fn eval(&self, op: Operand) -> Result<i64, VmError> {
+        match op {
+            Operand::Const(c) => Ok(c),
+            Operand::Null => Ok(0),
+            Operand::Value(v) => {
+                let frame = self.frames.last().expect("active frame");
+                frame.vals[v.0 as usize]
+                    .ok_or_else(|| VmError::UndefinedValue {
+                        function: self.cur_func_name(),
+                    })
+            }
+        }
+    }
+
+    fn set_result(&mut self, inst: InstId, value: i64) {
+        let frame = self.frames.last_mut().expect("active frame");
+        let f = self.module.function(frame.func);
+        if let Some(r) = f.inst(inst).result {
+            frame.vals[r.0 as usize] = Some(value);
+        }
+    }
+
+    fn trace_loc(&self, loc: Option<pmir::SrcLoc>) -> Option<TraceLoc> {
+        loc.map(|l| TraceLoc {
+            file: self.module.file_name(l.file).to_string(),
+            line: l.line,
+            col: l.col,
+        })
+    }
+
+    /// Captures the current call stack, innermost first.
+    fn capture_stack(&self) -> Vec<pmtrace::Frame> {
+        let mut out = Vec::with_capacity(self.frames.len());
+        for (depth, fr) in self.frames.iter().enumerate().rev() {
+            let f = self.module.function(fr.func);
+            let innermost = depth == self.frames.len() - 1;
+            let (call_inst, loc) = if innermost {
+                (None, None)
+            } else {
+                // This frame is suspended at its call instruction.
+                let inst = f.block(fr.block).insts[fr.idx];
+                (Some(inst.0), self.trace_loc(f.inst(inst).loc))
+            };
+            out.push(pmtrace::Frame {
+                function: f.name().to_string(),
+                call_inst,
+                loc,
+            });
+        }
+        out
+    }
+
+    fn emit(&mut self, kind: EventKind, at: Option<(InstId, Option<pmir::SrcLoc>)>) {
+        if self.trace.is_none() {
+            return;
+        }
+        let stack = self.capture_stack();
+        let (at, loc) = match at {
+            Some((inst, loc)) => (
+                Some(IrRef {
+                    function: self.cur_func_name(),
+                    inst: inst.0,
+                }),
+                self.trace_loc(loc),
+            ),
+            None => (None, None),
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.trace.as_mut().expect("checked").push(Event {
+            seq,
+            kind,
+            at,
+            loc,
+            stack,
+        });
+    }
+
+    fn after_pm_store(&mut self, addr: u64) {
+        self.pm_stores_seen += 1;
+        if let Some(k) = self.opts.evict_period {
+            if k > 0 && self.pm_stores_seen.is_multiple_of(k) {
+                self.machine.evict(addr);
+            }
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<(Ended, Option<i64>), VmError> {
+        let mut last_ret: Option<i64> = None;
+        while let Some(frame) = self.frames.last() {
+            self.steps += 1;
+            if self.steps > self.opts.max_steps {
+                return Err(VmError::StepLimit {
+                    limit: self.opts.max_steps,
+                });
+            }
+            let func_id = frame.func;
+            // Copy the module reference out of `self` so instruction borrows
+            // are tied to 'm rather than to `self` — the hot loop must not
+            // clone ops (call argument vectors would allocate per step).
+            let module = self.module;
+            let f = module.function(func_id);
+            let inst_id = f.block(frame.block).insts[frame.idx];
+            let inst = f.inst(inst_id);
+            let loc = inst.loc;
+            self.machine.charge_inst();
+
+            match &inst.op {
+                Op::Bin { op, a, b } => {
+                    let (a, b) = (self.eval(*a)?, self.eval(*b)?);
+                    let r = op.eval(a, b).ok_or_else(|| VmError::DivisionByZero {
+                        function: self.cur_func_name(),
+                    })?;
+                    self.set_result(inst_id, r);
+                    self.advance();
+                }
+                Op::Cmp { pred, a, b } => {
+                    let r = pred.eval(self.eval(*a)?, self.eval(*b)?);
+                    self.set_result(inst_id, r);
+                    self.advance();
+                }
+                Op::Alloca { size } => {
+                    let addr = self.machine.stack_alloc(*size)?;
+                    self.set_result(inst_id, addr as i64);
+                    self.advance();
+                }
+                Op::HeapAlloc { size } => {
+                    let size = self.eval(*size)? as u64;
+                    let addr = self.machine.heap_alloc(size)?;
+                    self.set_result(inst_id, addr as i64);
+                    self.advance();
+                }
+                Op::HeapFree { ptr } => {
+                    let addr = self.eval(*ptr)? as u64;
+                    self.machine.heap_free(addr)?;
+                    self.advance();
+                }
+                Op::PmemMap { size, pool_hint } => {
+                    let pool_hint = *pool_hint;
+                    let size = self.eval(*size)? as u64;
+                    let base = self.machine.map_pool(pool_hint, size)?;
+                    self.set_result(inst_id, base as i64);
+                    self.emit(
+                        EventKind::RegisterPool {
+                            hint: pool_hint,
+                            base,
+                            size,
+                        },
+                        Some((inst_id, loc)),
+                    );
+                    self.advance();
+                }
+                Op::Gep { base, offset } => {
+                    let r = (self.eval(*base)? as u64).wrapping_add(self.eval(*offset)? as u64);
+                    self.set_result(inst_id, r as i64);
+                    self.advance();
+                }
+                Op::Load { ty, addr } => {
+                    let a = self.eval(*addr)? as u64;
+                    let v = self.machine.load_int(a, ty.size() as u8)?;
+                    self.set_result(inst_id, v);
+                    self.advance();
+                }
+                Op::Store { ty, addr, value } => {
+                    let a = self.eval(*addr)? as u64;
+                    let v = self.eval(*value)?;
+                    self.machine.store_int(a, ty.size() as u8, v)?;
+                    if layout::is_pm_addr(a) {
+                        self.emit(
+                            EventKind::Store {
+                                addr: a,
+                                len: ty.size(),
+                            },
+                            Some((inst_id, loc)),
+                        );
+                        self.after_pm_store(a);
+                    }
+                    self.advance();
+                }
+                Op::Memcpy { dst, src, len } => {
+                    let d = self.eval(*dst)? as u64;
+                    let s = self.eval(*src)? as u64;
+                    let n = self.eval(*len)? as u64;
+                    self.machine.memcpy(d, s, n)?;
+                    if n > 0 && layout::is_pm_addr(d) {
+                        self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        self.after_pm_store(d);
+                    }
+                    self.advance();
+                }
+                Op::Memset { dst, val, len } => {
+                    let d = self.eval(*dst)? as u64;
+                    let v = self.eval(*val)? as u8;
+                    let n = self.eval(*len)? as u64;
+                    self.machine.memset(d, v, n)?;
+                    if n > 0 && layout::is_pm_addr(d) {
+                        self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        self.after_pm_store(d);
+                    }
+                    self.advance();
+                }
+                Op::Flush { kind, addr } => {
+                    let kind = *kind;
+                    let a = self.eval(*addr)? as u64;
+                    self.machine.flush(to_sim_flush(kind), a)?;
+                    if layout::is_pm_addr(a) {
+                        self.emit(
+                            EventKind::Flush {
+                                kind: to_trace_flush(kind),
+                                addr: a,
+                            },
+                            Some((inst_id, loc)),
+                        );
+                    }
+                    self.advance();
+                }
+                Op::Fence { kind } => {
+                    let kind = *kind;
+                    self.machine.fence(to_sim_fence(kind));
+                    self.emit(
+                        EventKind::Fence {
+                            kind: to_trace_fence(kind),
+                        },
+                        Some((inst_id, loc)),
+                    );
+                    self.advance();
+                }
+                Op::Call { callee, args } => {
+                    let callee = *callee;
+                    let argv: Vec<i64> =
+                        args.iter().map(|&a| self.eval(a)).collect::<Result<_, _>>()?;
+                    self.machine.charge_call();
+                    self.push_call(callee);
+                    let frame = self.frames.last_mut().expect("just pushed");
+                    for (i, v) in argv.into_iter().enumerate() {
+                        frame.vals[i] = Some(v);
+                    }
+                }
+                Op::Ret { value } => {
+                    let v = match value {
+                        Some(v) => Some(self.eval(*v)?),
+                        None => None,
+                    };
+                    self.machine.pop_frame();
+                    self.frames.pop();
+                    last_ret = v;
+                    if let Some(caller) = self.frames.last() {
+                        let cf = self.module.function(caller.func);
+                        let call_inst = cf.block(caller.block).insts[caller.idx];
+                        if let Some(v) = v {
+                            self.set_result(call_inst, v);
+                        }
+                        self.advance();
+                    }
+                }
+                Op::Br { target } => {
+                    let target = *target;
+                    let frame = self.frames.last_mut().expect("active");
+                    frame.block = target;
+                    frame.idx = 0;
+                }
+                Op::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let (then_bb, else_bb) = (*then_bb, *else_bb);
+                    let c = self.eval(*cond)?;
+                    let frame = self.frames.last_mut().expect("active");
+                    frame.block = if c != 0 { then_bb } else { else_bb };
+                    frame.idx = 0;
+                }
+                Op::GlobalAddr { global } => {
+                    let addr = self.globals[global];
+                    self.set_result(inst_id, addr as i64);
+                    self.advance();
+                }
+                Op::Print { value } => {
+                    let v = self.eval(*value)?;
+                    self.output.push(v);
+                    self.advance();
+                }
+                Op::CrashPoint => {
+                    self.crash_points += 1;
+                    self.emit(EventKind::CrashPoint, Some((inst_id, loc)));
+                    if self.opts.stop_at_crash_point == Some(self.crash_points) {
+                        return Ok((Ended::CrashPoint(self.crash_points), None));
+                    }
+                    self.advance();
+                }
+                Op::Abort { code } => {
+                    return Ok((Ended::Aborted(*code), None));
+                }
+            }
+        }
+        Ok((Ended::Returned, last_ret))
+    }
+
+    fn advance(&mut self) {
+        let frame = self.frames.last_mut().expect("active frame");
+        frame.idx += 1;
+    }
+}
+
+fn to_sim_flush(k: FlushKind) -> pmem_sim::FlushKind {
+    match k {
+        FlushKind::Clwb => pmem_sim::FlushKind::Clwb,
+        FlushKind::ClflushOpt => pmem_sim::FlushKind::ClflushOpt,
+        FlushKind::Clflush => pmem_sim::FlushKind::Clflush,
+    }
+}
+
+fn to_trace_flush(k: FlushKind) -> pmtrace::FlushKind {
+    match k {
+        FlushKind::Clwb => pmtrace::FlushKind::Clwb,
+        FlushKind::ClflushOpt => pmtrace::FlushKind::ClflushOpt,
+        FlushKind::Clflush => pmtrace::FlushKind::Clflush,
+    }
+}
+
+fn to_sim_fence(k: FenceKind) -> pmem_sim::FenceKind {
+    match k {
+        FenceKind::Sfence => pmem_sim::FenceKind::Sfence,
+        FenceKind::Mfence => pmem_sim::FenceKind::Mfence,
+    }
+}
+
+fn to_trace_fence(k: FenceKind) -> pmtrace::FenceKind {
+    match k {
+        FenceKind::Sfence => pmtrace::FenceKind::Sfence,
+        FenceKind::Mfence => pmtrace::FenceKind::Mfence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmir::{BinOp, CmpPred, FunctionBuilder, Type};
+
+    fn run(m: &Module) -> RunResult {
+        Vm::new(VmOptions::default()).run(m, "main").unwrap()
+    }
+
+    /// Builds `main` computing 10 iterations of a counting loop.
+    #[test]
+    fn loop_and_arithmetic() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::int(8));
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.entry_block();
+        let header = b.new_block("h");
+        let body = b.new_block("b");
+        let exit = b.new_block("x");
+        b.switch_to(entry);
+        let slot = b.alloca(8);
+        b.store(Type::int(8), slot, 0i64);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.load(Type::int(8), slot);
+        let c = b.cmp(CmpPred::SLt, i, 10i64);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.load(Type::int(8), slot);
+        let i3 = b.bin(BinOp::Add, i2, 3i64);
+        b.store(Type::int(8), slot, i3);
+        b.br(header);
+        b.switch_to(exit);
+        let r = b.load(Type::int(8), slot);
+        b.print(r);
+        b.ret(Some(Operand::Value(r)));
+        b.finish();
+
+        let res = run(&m);
+        assert_eq!(res.output, vec![12]);
+        assert_eq!(res.return_value, Some(12));
+        assert_eq!(res.ended, Ended::Returned);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        let mut m = Module::new();
+        let add = m.declare_function("add2", vec![Type::int(8), Type::int(8)], Type::int(8));
+        {
+            let mut b = FunctionBuilder::new(&mut m, add);
+            let e = b.entry_block();
+            b.switch_to(e);
+            let x = b.arg(0);
+            let y = b.arg(1);
+            let s = b.bin(BinOp::Add, x, y);
+            b.ret(Some(Operand::Value(s)));
+            b.finish();
+        }
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let r = b.call(add, vec![Operand::Const(20), Operand::Const(22)]).unwrap();
+        b.print(r);
+        b.ret(None);
+        b.finish();
+        assert_eq!(run(&m).output, vec![42]);
+    }
+
+    #[test]
+    fn recursion_works() {
+        // fib(10) = 55 via naive recursion, exercising frame handling.
+        let mut m = Module::new();
+        let fib = m.declare_function("fib", vec![Type::int(8)], Type::int(8));
+        {
+            let mut b = FunctionBuilder::new(&mut m, fib);
+            let e = b.entry_block();
+            let rec = b.new_block("rec");
+            let base = b.new_block("base");
+            b.switch_to(e);
+            let n = b.arg(0);
+            let c = b.cmp(CmpPred::SLt, n, 2i64);
+            b.cond_br(c, base, rec);
+            b.switch_to(base);
+            b.ret(Some(Operand::Value(n)));
+            b.switch_to(rec);
+            let n1 = b.bin(BinOp::Sub, n, 1i64);
+            let n2 = b.bin(BinOp::Sub, n, 2i64);
+            let a = b.call(fib, vec![Operand::Value(n1)]).unwrap();
+            let bb = b.call(fib, vec![Operand::Value(n2)]).unwrap();
+            let s = b.bin(BinOp::Add, a, bb);
+            b.ret(Some(Operand::Value(s)));
+            b.finish();
+        }
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let r = b.call(fib, vec![Operand::Const(10)]).unwrap();
+        b.print(r);
+        b.ret(None);
+        b.finish();
+        assert_eq!(run(&m).output, vec![55]);
+    }
+
+    #[test]
+    fn trace_records_pm_ops_with_stacks() {
+        let mut m = Module::new();
+        let file = m.intern_file("t.pmc");
+        let store_fn = m.declare_function("do_store", vec![Type::Ptr], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, store_fn);
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.set_loc(pmir::SrcLoc::line(file, 5));
+            let p = b.arg(0);
+            b.store(Type::int(8), p, 1i64);
+            b.ret(None);
+            b.finish();
+        }
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.set_loc(pmir::SrcLoc::line(file, 20));
+        let pool = b.pmem_map(4096i64, 0);
+        b.call(store_fn, vec![Operand::Value(pool)]);
+        b.flush(pmir::FlushKind::Clwb, pool);
+        b.fence(FenceKind::Sfence);
+        b.ret(None);
+        b.finish();
+
+        let res = run(&m);
+        let trace = res.trace.unwrap();
+        let store = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Store { .. }))
+            .unwrap();
+        assert_eq!(store.at.as_ref().unwrap().function, "do_store");
+        assert_eq!(store.loc.as_ref().unwrap().line, 5);
+        assert_eq!(store.stack.len(), 2);
+        assert_eq!(store.stack[0].function, "do_store");
+        assert_eq!(store.stack[1].function, "main");
+        assert!(store.stack[1].call_inst.is_some());
+        assert_eq!(store.stack[1].loc.as_ref().unwrap().line, 20);
+        assert_eq!(
+            trace.count(|k| matches!(k, EventKind::Fence { .. })),
+            1
+        );
+        assert_eq!(
+            trace.count(|k| matches!(k, EventKind::RegisterPool { .. })),
+            1
+        );
+        assert_eq!(
+            trace.count(|k| matches!(k, EventKind::ProgramEnd)),
+            1
+        );
+    }
+
+    #[test]
+    fn volatile_stores_not_traced() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let h = b.heap_alloc(64i64);
+        b.store(Type::int(8), h, 9i64);
+        b.ret(None);
+        b.finish();
+        let res = run(&m);
+        assert_eq!(
+            res.trace.unwrap().count(|k| matches!(k, EventKind::Store { .. })),
+            0
+        );
+        assert_eq!(res.stats.volatile_stores, 1);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let v = b.bin(BinOp::SDiv, 1i64, 0i64);
+        b.print(v);
+        b.ret(None);
+        b.finish();
+        let err = Vm::new(VmOptions::default()).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn null_store_traps() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.store(Type::int(8), Operand::Null, 1i64);
+        b.ret(None);
+        b.finish();
+        let err = Vm::new(VmOptions::default()).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::Mem(_)));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        let spin = b.new_block("spin");
+        b.switch_to(e);
+        b.br(spin);
+        b.switch_to(spin);
+        b.br(spin);
+        b.finish();
+        let opts = VmOptions {
+            max_steps: 1000,
+            ..VmOptions::default()
+        };
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::StepLimit { limit: 1000 }));
+    }
+
+    #[test]
+    fn crash_point_stop() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let pool = b.pmem_map(4096i64, 0);
+        b.store(Type::int(8), pool, 5i64);
+        b.crash_point();
+        b.print(99i64); // never reached when stopping at crash point 1
+        b.ret(None);
+        b.finish();
+        let res = Vm::new(VmOptions::default().stop_at(1)).run(&m, "main").unwrap();
+        assert_eq!(res.ended, Ended::CrashPoint(1));
+        assert!(res.output.is_empty());
+        // The store never became durable.
+        assert_eq!(res.machine.crash_image().pool_bytes(0).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn abort_ends_run() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.print(1i64);
+        b.abort(3);
+        b.finish();
+        let res = run(&m);
+        assert_eq!(res.ended, Ended::Aborted(3));
+        assert_eq!(res.output, vec![1]);
+    }
+
+    #[test]
+    fn globals_and_memops() {
+        let mut m = Module::new();
+        let g = m.add_global("msg", 16, b"abcdefgh".to_vec());
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let ga = b.global_addr(g);
+        let pool = b.pmem_map(4096i64, 0);
+        b.memcpy(pool, ga, 8i64);
+        let v = b.load(Type::int(1), pool);
+        b.print(v);
+        b.memset(pool, 0i64, 8i64);
+        let v2 = b.load(Type::int(1), pool);
+        b.print(v2);
+        b.ret(None);
+        b.finish();
+        let res = run(&m);
+        assert_eq!(res.output, vec![i64::from(b'a'), 0]);
+        // Both the memcpy and the memset traced as PM stores.
+        assert_eq!(
+            res.trace.unwrap().count(|k| matches!(k, EventKind::Store { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn eviction_period_applies() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let pool = b.pmem_map(4096i64, 0);
+        b.store(Type::int(8), pool, 1i64);
+        b.ret(None);
+        b.finish();
+        let opts = VmOptions {
+            evict_period: Some(1),
+            ..VmOptions::default()
+        };
+        let res = Vm::new(opts).run(&m, "main").unwrap();
+        // Every store evicted: the data is durable without any flush.
+        assert_eq!(res.machine.crash_image().pool_bytes(0).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let m = Module::new();
+        let err = Vm::new(VmOptions::default()).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::NoSuchFunction { .. }));
+    }
+}

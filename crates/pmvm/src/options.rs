@@ -1,0 +1,74 @@
+//! VM configuration.
+
+use pmem_sim::{CostModel, PmMedia};
+
+/// Configuration for a [`crate::Vm`] run.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Cycle-cost model for the simulated machine.
+    pub cost: CostModel,
+    /// Whether to record a [`pmtrace::Trace`] (bug finding needs it; pure
+    /// performance runs turn it off).
+    pub trace: bool,
+    /// Abort execution after this many executed instructions (runaway
+    /// guard).
+    pub max_steps: u64,
+    /// Boot against an existing persistent medium (crash-recovery runs).
+    pub media: Option<PmMedia>,
+    /// Stop execution at the n-th (1-based) `crashpoint` instruction,
+    /// simulating a crash there. `None` runs to completion.
+    pub stop_at_crash_point: Option<u64>,
+    /// If set, spontaneously evict the stored-to line after every k-th PM
+    /// store — models cache pressure (used by do-no-harm property tests).
+    pub evict_period: Option<u64>,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            cost: CostModel::default(),
+            trace: true,
+            max_steps: 200_000_000,
+            media: None,
+            stop_at_crash_point: None,
+            evict_period: None,
+        }
+    }
+}
+
+impl VmOptions {
+    /// Options tuned for benchmarking: no trace collection.
+    pub fn bench() -> Self {
+        VmOptions {
+            trace: false,
+            ..VmOptions::default()
+        }
+    }
+
+    /// Replaces the persistent medium (builder-style).
+    pub fn with_media(mut self, media: PmMedia) -> Self {
+        self.media = Some(media);
+        self
+    }
+
+    /// Sets the crash-point stop (builder-style).
+    pub fn stop_at(mut self, nth_crash_point: u64) -> Self {
+        self.stop_at_crash_point = Some(nth_crash_point);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let o = VmOptions::bench();
+        assert!(!o.trace);
+        let o = VmOptions::default().stop_at(2);
+        assert_eq!(o.stop_at_crash_point, Some(2));
+        let o = VmOptions::default().with_media(PmMedia::new());
+        assert!(o.media.is_some());
+    }
+}

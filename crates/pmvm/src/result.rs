@@ -1,0 +1,113 @@
+//! Run results and traps.
+
+use pmem_sim::{Machine, MachineStats, MemError};
+use pmtrace::Trace;
+use std::fmt;
+
+/// How execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ended {
+    /// `main` returned normally.
+    Returned,
+    /// Execution stopped at the configured crash point
+    /// ([`crate::VmOptions::stop_at_crash_point`]).
+    CrashPoint(u64),
+    /// The program executed `abort`.
+    Aborted(i64),
+}
+
+/// The outcome of a successful (non-trapping) run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Values printed on the observable output channel, in order. The
+    /// do-no-harm property compares these across original and repaired
+    /// programs.
+    pub output: Vec<i64>,
+    /// `main`'s return value, if it returned one.
+    pub return_value: Option<i64>,
+    /// How the run ended.
+    pub ended: Ended,
+    /// Machine counters (cycles, flush/fence counts, …).
+    pub stats: MachineStats,
+    /// The recorded PM trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+    /// The machine in its final state — crash images and the persistent
+    /// medium can be extracted from it.
+    pub machine: Machine,
+    /// Executed instruction count.
+    pub steps: u64,
+}
+
+/// A trap: the program performed an illegal operation or exceeded limits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A memory fault.
+    Mem(MemError),
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// The function where the fault occurred.
+        function: String,
+    },
+    /// Read of a virtual value that was never computed (interpreter
+    /// invariant violation; indicates malformed IR that escaped the
+    /// verifier).
+    UndefinedValue {
+        /// The function where the fault occurred.
+        function: String,
+    },
+    /// The step limit was exceeded.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The entry function does not exist.
+    NoSuchFunction {
+        /// The requested name.
+        name: String,
+    },
+    /// The entry function takes parameters (entry points must not).
+    EntryHasParams {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Mem(e) => write!(f, "memory fault: {e}"),
+            VmError::DivisionByZero { function } => {
+                write!(f, "division by zero in `{function}`")
+            }
+            VmError::UndefinedValue { function } => {
+                write!(f, "undefined value read in `{function}`")
+            }
+            VmError::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+            VmError::NoSuchFunction { name } => write!(f, "no such function: `{name}`"),
+            VmError::EntryHasParams { name } => {
+                write!(f, "entry function `{name}` must take no parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MemError> for VmError {
+    fn from(e: MemError) -> Self {
+        VmError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = VmError::StepLimit { limit: 10 };
+        assert_eq!(e.to_string(), "step limit of 10 exceeded");
+        let e: VmError = MemError::Unmapped { addr: 4 }.into();
+        assert!(e.to_string().contains("memory fault"));
+    }
+}

@@ -1,0 +1,5 @@
+//! `system-tests` — hosts the repository-level integration tests
+//! (`/tests`) and runnable examples (`/examples`); see those directories.
+//!
+//! The crate itself only re-exports the workspace members so the test and
+//! example binaries have a single dependency root.

@@ -1,0 +1,200 @@
+//! Workload definitions and the operation-stream generator.
+
+use crate::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A key-value operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert a new record.
+    Insert,
+    /// Read one record.
+    Read,
+    /// Update (overwrite) one record.
+    Update,
+    /// Scan this many consecutive records.
+    Scan(u64),
+    /// Read-modify-write one record.
+    ReadModifyWrite,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvOp {
+    /// The operation.
+    pub kind: OpKind,
+    /// Target key (1-based).
+    pub key: u64,
+}
+
+/// The YCSB core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 50/50 read/update, zipfian.
+    A,
+    /// 95/5 read/update, zipfian.
+    B,
+    /// Read-only, zipfian.
+    C,
+    /// 95/5 read/insert, latest.
+    D,
+    /// 95/5 scan/insert, zipfian.
+    E,
+    /// 50/50 read/read-modify-write, zipfian.
+    F,
+}
+
+impl Workload {
+    /// All six, in Fig. 4 order.
+    pub const ALL: [Workload; 6] = [
+        Workload::A,
+        Workload::B,
+        Workload::C,
+        Workload::D,
+        Workload::E,
+        Workload::F,
+    ];
+
+    /// The display label used by the Fig. 4 table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::D => "D",
+            Workload::E => "E",
+            Workload::F => "F",
+        }
+    }
+}
+
+/// Generates deterministic operation streams for a `(record_count,
+/// op_count, value_len, seed)` configuration.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    record_count: u64,
+    op_count: u64,
+    value_len: u64,
+    seed: u64,
+}
+
+impl Generator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_count == 0`.
+    pub fn new(record_count: u64, op_count: u64, value_len: u64, seed: u64) -> Self {
+        assert!(record_count > 0, "record_count must be positive");
+        Generator {
+            record_count,
+            op_count,
+            value_len,
+            seed,
+        }
+    }
+
+    /// The configured value length in bytes.
+    pub fn value_len(&self) -> u64 {
+        self.value_len
+    }
+
+    /// The load phase: sequential inserts of every record.
+    pub fn load_ops(&self) -> Vec<KvOp> {
+        (1..=self.record_count)
+            .map(|key| KvOp {
+                kind: OpKind::Insert,
+                key,
+            })
+            .collect()
+    }
+
+    /// The run phase for `workload`.
+    pub fn run_ops(&self, workload: Workload) -> Vec<KvOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut zipf = Zipfian::new(self.record_count, 0.99, self.seed.wrapping_add(1));
+        let mut next_insert = self.record_count + 1;
+        let mut ops = Vec::with_capacity(self.op_count as usize);
+        for _ in 0..self.op_count {
+            let p: f64 = rng.random();
+            let op = match workload {
+                Workload::A => {
+                    if p < 0.5 {
+                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                    } else {
+                        KvOp { kind: OpKind::Update, key: zipf.next_value() }
+                    }
+                }
+                Workload::B => {
+                    if p < 0.95 {
+                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                    } else {
+                        KvOp { kind: OpKind::Update, key: zipf.next_value() }
+                    }
+                }
+                Workload::C => KvOp { kind: OpKind::Read, key: zipf.next_value() },
+                Workload::D => {
+                    if p < 0.95 {
+                        // "Latest": skew toward recently inserted keys.
+                        let newest = next_insert - 1;
+                        let back = zipf.next_value().min(newest);
+                        KvOp { kind: OpKind::Read, key: newest - back + 1 }
+                    } else {
+                        let key = next_insert;
+                        next_insert += 1;
+                        KvOp { kind: OpKind::Insert, key }
+                    }
+                }
+                Workload::E => {
+                    if p < 0.95 {
+                        let len = rng.random_range(1..=20u64);
+                        KvOp { kind: OpKind::Scan(len), key: zipf.next_value() }
+                    } else {
+                        let key = next_insert;
+                        next_insert += 1;
+                        KvOp { kind: OpKind::Insert, key }
+                    }
+                }
+                Workload::F => {
+                    if p < 0.5 {
+                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                    } else {
+                        KvOp {
+                            kind: OpKind::ReadModifyWrite,
+                            key: zipf.next_value(),
+                        }
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::A.label(), "A");
+        assert_eq!(Workload::ALL.len(), 6);
+    }
+
+    #[test]
+    fn d_reads_stay_near_latest() {
+        let g = Generator::new(1000, 5000, 64, 9);
+        let ops = g.run_ops(Workload::D);
+        // Reads under "latest" should be heavily biased toward the top of
+        // the (growing) keyspace.
+        let reads: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Read)
+            .map(|o| o.key)
+            .collect();
+        let near_top = reads.iter().filter(|&&k| k > 900).count();
+        assert!(near_top * 2 > reads.len(), "latest bias missing");
+    }
+}

@@ -1,0 +1,115 @@
+//! `ycsb` — the Yahoo! Cloud Serving Benchmark workload generator used by
+//! the paper's Redis case study (§6.3, Fig. 4).
+//!
+//! Implements the six core workloads plus the load phase:
+//!
+//! | Workload | Mix                      | Request distribution |
+//! |----------|--------------------------|----------------------|
+//! | Load     | 100 % insert             | sequential           |
+//! | A        | 50 % read / 50 % update  | zipfian              |
+//! | B        | 95 % read / 5 % update   | zipfian              |
+//! | C        | 100 % read               | zipfian              |
+//! | D        | 95 % read / 5 % insert   | latest               |
+//! | E        | 95 % scan / 5 % insert   | zipfian              |
+//! | F        | 50 % read / 50 % RMW     | zipfian              |
+//!
+//! The zipfian generator follows the classic Gray et al. rejection-free
+//! construction used by YCSB itself.
+
+pub mod generator;
+pub mod zipf;
+
+pub use generator::{Generator, KvOp, OpKind, Workload};
+pub use zipf::Zipfian;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_produce_requested_counts() {
+        let g = Generator::new(1000, 500, 64, 42);
+        assert_eq!(g.load_ops().len(), 1000);
+        for w in Workload::ALL {
+            assert_eq!(g.run_ops(w).len(), 500, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn load_is_sequential_inserts() {
+        let g = Generator::new(10, 10, 64, 1);
+        let ops = g.load_ops();
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.kind, OpKind::Insert);
+            assert_eq!(op.key, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn workload_mixes_roughly_match() {
+        let g = Generator::new(1000, 10_000, 64, 7);
+        let ops = g.run_ops(Workload::B);
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let updates = ops.iter().filter(|o| o.kind == OpKind::Update).count();
+        assert!(reads > 9_200 && reads < 9_800, "reads={reads}");
+        assert_eq!(reads + updates, 10_000);
+
+        let ops = g.run_ops(Workload::C);
+        assert!(ops.iter().all(|o| o.kind == OpKind::Read));
+
+        let ops = g.run_ops(Workload::E);
+        let scans = ops.iter().filter(|o| matches!(o.kind, OpKind::Scan(_))).count();
+        assert!(scans > 9_200, "scans={scans}");
+
+        let ops = g.run_ops(Workload::F);
+        let rmw = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::ReadModifyWrite)
+            .count();
+        assert!(rmw > 4_500 && rmw < 5_500, "rmw={rmw}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let mut z = Zipfian::new(1000, 0.99, 99);
+        let mut counts = vec![0u32; 1001];
+        for _ in 0..50_000 {
+            let v = z.next_value();
+            assert!((1..=1000).contains(&v));
+            counts[v as usize] += 1;
+        }
+        // The most popular item should dominate the median item massively.
+        let hot = *counts.iter().max().unwrap();
+        assert!(hot > 2_000, "zipfian not skewed: hot={hot}");
+        assert!(counts[500] < hot / 10);
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace() {
+        let g = Generator::new(100, 2000, 64, 3);
+        let ops = g.run_ops(Workload::D);
+        let max_key = ops.iter().map(|o| o.key).max().unwrap();
+        assert!(max_key > 100, "D inserts new keys");
+        // Reads may target newly inserted ("latest") keys, never key 0.
+        assert!(ops.iter().all(|o| o.key >= 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = Generator::new(100, 100, 64, 5);
+        let g2 = Generator::new(100, 100, 64, 5);
+        assert_eq!(g1.run_ops(Workload::A), g2.run_ops(Workload::A));
+        let g3 = Generator::new(100, 100, 64, 6);
+        assert_ne!(g1.run_ops(Workload::A), g3.run_ops(Workload::A));
+    }
+
+    #[test]
+    fn scan_lengths_bounded() {
+        let g = Generator::new(100, 1000, 64, 11);
+        for op in g.run_ops(Workload::E) {
+            if let OpKind::Scan(n) = op.kind {
+                assert!((1..=20).contains(&n));
+            }
+        }
+    }
+}

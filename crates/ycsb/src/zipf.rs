@@ -1,0 +1,114 @@
+//! The zipfian request-distribution generator (Gray et al., as used by
+//! YCSB's `ZipfianGenerator`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws values in `1..=n` with zipfian popularity (`theta` typically 0.99).
+#[derive(Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// Creates a generator over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "empty zipfian domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next value in `1..=n`.
+    pub fn next_value(&mut self) -> u64 {
+        let u: f64 = self.rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 1;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 2;
+        }
+        let v = 1.0
+            + (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)).floor();
+        (v as u64).clamp(1, self.n)
+    }
+
+    /// Grows the domain to `n` (used by insert-heavy workloads). Recomputes
+    /// the normalization constants.
+    pub fn grow(&mut self, n: u64) {
+        if n <= self.n {
+            return;
+        }
+        self.n = n;
+        self.zetan = zeta(n, self.theta);
+        let zeta2 = zeta(2, self.theta);
+        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - zeta2 / self.zetan);
+    }
+
+    /// The current domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct summation; domains here are ≤ a few hundred thousand.
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_item_is_most_popular() {
+        let mut z = Zipfian::new(100, 0.99, 1);
+        let mut counts = [0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.next_value() as usize] += 1;
+        }
+        let max_idx = (1..=100).max_by_key(|&i| counts[i]).unwrap();
+        assert_eq!(max_idx, 1);
+    }
+
+    #[test]
+    fn grow_extends_domain() {
+        let mut z = Zipfian::new(10, 0.99, 2);
+        z.grow(1000);
+        assert_eq!(z.domain(), 1000);
+        let mut saw_large = false;
+        for _ in 0..5000 {
+            if z.next_value() > 10 {
+                saw_large = true;
+                break;
+            }
+        }
+        assert!(saw_large);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty zipfian domain")]
+    fn zero_domain_panics() {
+        let _ = Zipfian::new(0, 0.99, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: write a buggy PM program, find the durability bug with the
+//! pmemcheck-style checker, heal it with Hippocrates, and verify the fix.
+//!
+//! Run with: `cargo run -p system-tests --example quickstart`
+
+use hippocrates::{Hippocrates, RepairOptions};
+use pmcheck::run_and_check;
+use pmvm::{Vm, VmOptions};
+
+fn main() {
+    // A PM program with a classic missing-flush&fence bug: the store to the
+    // persistent pool never becomes durable.
+    let src = r#"
+        fn main() {
+            var pool: ptr = pmem_map(0, 4096);
+            store8(pool, 0, 42);   // <- never flushed, never fenced
+            print(load8(pool, 0));
+        }
+    "#;
+    let mut module = pmlang::compile_one("quickstart.pmc", src).expect("compiles");
+
+    // 1. Run it under the durability checker (the pmemcheck analog).
+    let checked = run_and_check(&module, "main", VmOptions::default()).expect("runs");
+    println!("--- bug finder report ---");
+    print!("{}", checked.report.render());
+
+    // The store reads back fine in-process, but the *crash image* — what an
+    // observer finds after a power failure — still holds zero:
+    let img = checked.run.machine.crash_image();
+    let base = img.pool_base(0).unwrap();
+    println!("value after crash, before repair: {:?}\n", img.read_int(base, 8));
+
+    // 2. Heal it.
+    let outcome = Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(&mut module, "main")
+        .expect("repair succeeds");
+    println!("--- hippocrates ---");
+    for fix in &outcome.fixes {
+        println!("applied: {fix}");
+    }
+
+    // 3. Re-verify: the checker is clean and the update is now durable.
+    let checked = run_and_check(&module, "main", VmOptions::default()).expect("runs");
+    println!("\n--- after repair ---");
+    print!("{}", checked.report.render());
+    let img = checked.run.machine.crash_image();
+    println!("value after crash, after repair: {:?}", img.read_int(base, 8));
+
+    // Do no harm: the program's observable output never changed.
+    let out = Vm::new(VmOptions::default()).run(&module, "main").unwrap().output;
+    assert_eq!(out, vec![42]);
+    println!("observable output unchanged: {out:?}");
+}

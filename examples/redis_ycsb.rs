@@ -1,0 +1,43 @@
+//! A compact version of the paper's §6.3 case study: build the three
+//! persistent Redis variants and race them on one YCSB workload.
+//!
+//! Run with: `cargo run -p system-tests --release --example redis_ycsb`
+
+use bench::redisx::{build_redis_variants, measure_workload, to_redis_ops};
+use bench::throughput;
+use ycsb::{Generator, Workload};
+
+fn main() {
+    println!("building Redis-pm, RedisH-full, RedisH-intra…");
+    let mut v = build_redis_variants();
+    println!(
+        "RedisH-full: {} fixes ({} interprocedural, hoist levels {:?})",
+        v.hfull_outcome.fixes.len(),
+        v.hfull_outcome.interprocedural_count(),
+        v.hfull_outcome.hoist_level_histogram()
+    );
+    println!(
+        "RedisH-intra: {} fixes (all intraprocedural)\n",
+        v.hintra_outcome.fixes.len()
+    );
+
+    let g = Generator::new(500, 500, 1024, 7);
+    let load = to_redis_ops(&g.load_ops(), 1024);
+    let run = to_redis_ops(&g.run_ops(Workload::A), 1024);
+
+    println!("YCSB workload A (50/50 read/update, zipfian), 500 records / 500 ops:");
+    for (name, module) in [
+        ("Redis-pm    ", &mut v.pm),
+        ("RedisH-full ", &mut v.hfull),
+        ("RedisH-intra", &mut v.hintra),
+    ] {
+        let r = measure_workload(module, "ex", &load, &run);
+        println!(
+            "  {name}  load {:>9.0} ops/s   run {:>9.0} ops/s   (checksum {})",
+            throughput(500, r.load_cycles),
+            throughput(500, r.run_cycles),
+            r.output
+        );
+    }
+    println!("\nRedisH-full should match/beat Redis-pm; RedisH-intra trails far behind.");
+}

@@ -1,0 +1,111 @@
+//! §6.1 as an integration test: every corpus bug is detected, repaired, and
+//! re-verified clean; fix shapes match the Fig. 3 expectations; Full-AA and
+//! Trace-AA agree.
+
+use bugdb::{corpus, ExpectedFix, Target};
+use hippocrates::{Hippocrates, MarkingMode, RepairOptions};
+use pmcheck::run_and_check;
+use pmir::Module;
+use pmvm::VmOptions;
+
+fn build(id: &str, target: Target) -> (Module, String) {
+    match target {
+        Target::Pmdk => (
+            minipmdk::build_buggy(id).unwrap(),
+            minipmdk::entry_for(id),
+        ),
+        Target::Pclht => (
+            pmapps::pclht::build_buggy(id).unwrap(),
+            pmapps::pclht::ENTRY.to_string(),
+        ),
+        Target::Memcached => (
+            pmapps::memcached::build_buggy(id).unwrap(),
+            pmapps::memcached::ENTRY.to_string(),
+        ),
+    }
+}
+
+#[test]
+fn all_23_bugs_detected_and_repaired() {
+    for bug in corpus() {
+        let (mut m, entry) = build(bug.id, bug.target);
+        let pre = run_and_check(&m, &entry, VmOptions::default()).unwrap();
+        assert!(!pre.report.is_clean(), "{}: undetected", bug.id);
+
+        let outcome = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, &entry)
+            .unwrap_or_else(|e| panic!("{}: {e}", bug.id));
+        assert!(outcome.clean, "{}: not clean", bug.id);
+        assert!(!outcome.fixes.is_empty(), "{}: no fixes", bug.id);
+
+        // Re-running the bug finder on the repaired program is the paper's
+        // validation step.
+        let post = run_and_check(&m, &entry, VmOptions::default()).unwrap();
+        assert!(post.report.is_clean(), "{}: {}", bug.id, post.report.render());
+    }
+}
+
+#[test]
+fn pmdk_fix_shapes_match_fig3() {
+    for bug in corpus().iter().filter(|b| b.target == Target::Pmdk) {
+        let (mut m, entry) = build(bug.id, bug.target);
+        let outcome = Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut m, &entry)
+            .unwrap();
+        let interproc = outcome.interprocedural_count() > 0;
+        match bug.expected_fix.unwrap() {
+            ExpectedFix::InterproceduralFlushFence => {
+                assert!(interproc, "{}: expected interprocedural fix", bug.id)
+            }
+            ExpectedFix::IntraproceduralFlush => {
+                assert!(!interproc, "{}: expected intraprocedural fix", bug.id);
+                assert!(
+                    outcome
+                        .fixes
+                        .iter()
+                        .all(|f| matches!(f.kind, hippocrates::FixKind::IntraFlush)),
+                    "{}: expected pure flush fixes, got {:?}",
+                    bug.id,
+                    outcome.fixes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn marking_modes_agree_on_every_corpus_bug() {
+    for bug in corpus() {
+        let (mut full, entry) = build(bug.id, bug.target);
+        Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut full, &entry)
+            .unwrap();
+        let (mut traced, entry) = build(bug.id, bug.target);
+        Hippocrates::new(RepairOptions {
+            marking: MarkingMode::TraceAa,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut traced, &entry)
+        .unwrap();
+        assert_eq!(
+            pmir::display::print_module(&full),
+            pmir::display::print_module(&traced),
+            "{}: heuristics diverged",
+            bug.id
+        );
+    }
+}
+
+#[test]
+fn intraprocedural_mode_also_fixes_everything() {
+    // The RedisH-intra configuration is the safety net: it must repair the
+    // whole corpus too (hoisting is purely a performance optimization).
+    for bug in corpus() {
+        let (mut m, entry) = build(bug.id, bug.target);
+        let outcome = Hippocrates::new(RepairOptions::intraprocedural_only())
+            .repair_until_clean(&mut m, &entry)
+            .unwrap_or_else(|e| panic!("{}: {e}", bug.id));
+        assert!(outcome.clean, "{}", bug.id);
+        assert_eq!(outcome.interprocedural_count(), 0, "{}", bug.id);
+    }
+}

@@ -1,0 +1,77 @@
+//! Why durability bugs matter: crash the P-CLHT example at its durability
+//! checkpoint and inspect what survives. The buggy index loses the freshly
+//! inserted pair; the correct and the Hippocrates-repaired indexes keep it.
+
+use hippocrates::{Hippocrates, RepairOptions};
+use pmvm::{Ended, Vm, VmOptions};
+
+/// Runs `pclht_main` until the first crash point (the first overflow
+/// insert, key 193), "reboots" onto the surviving medium, and returns what
+/// a recovery probe reads for key 193.
+fn crash_and_probe(m: &pmir::Module) -> i64 {
+    let run = Vm::new(VmOptions::default().stop_at(1))
+        .run(m, pmapps::pclht::ENTRY)
+        .expect("runs to the crash point");
+    assert_eq!(run.ended, Ended::CrashPoint(1));
+    let media = run.machine.into_media();
+    let probe = Vm::new(VmOptions::default().with_media(media))
+        .run(m, "pclht_probe")
+        .expect("probe runs");
+    probe.output[0]
+}
+
+#[test]
+fn buggy_index_loses_the_pair_after_crash() {
+    let m = pmapps::pclht::build_buggy("pclht-1").unwrap();
+    assert_eq!(crash_and_probe(&m), 0, "unflushed pair must be lost");
+}
+
+#[test]
+fn correct_index_keeps_the_pair_after_crash() {
+    let m = pmapps::pclht::build_correct().unwrap();
+    assert_eq!(crash_and_probe(&m), 193 * 7);
+}
+
+#[test]
+fn repaired_index_keeps_the_pair_after_crash() {
+    let mut m = pmapps::pclht::build_buggy("pclht-1").unwrap();
+    let outcome = Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(&mut m, pmapps::pclht::ENTRY)
+        .unwrap();
+    assert!(outcome.clean);
+    assert_eq!(
+        crash_and_probe(&m),
+        193 * 7,
+        "the Hippocrates fix must make the pair durable by the crash point"
+    );
+}
+
+/// Same story on memcached's CAS path (bug mm-9): the unfenced CAS bump is
+/// lost at the crash point in the buggy build and durable after repair.
+#[test]
+fn memcached_cas_bump_lost_then_healed() {
+    let crash_probe = |m: &pmir::Module| {
+        let run = Vm::new(VmOptions::default().stop_at(1))
+            .run(m, pmapps::memcached::ENTRY)
+            .expect("runs to the crash point");
+        assert_eq!(run.ended, Ended::CrashPoint(1));
+        let media = run.machine.into_media();
+        Vm::new(VmOptions::default().with_media(media))
+            .run(m, "mc_probe")
+            .expect("probe runs")
+            .output[0]
+    };
+    // Correct build: the CAS bump (1 -> 2) is flushed and fenced before the
+    // crash point.
+    let correct = pmapps::memcached::build_correct().unwrap();
+    assert_eq!(crash_probe(&correct), 2);
+    // mm-9: the fence is missing, so the flushed-but-undrained bump is lost.
+    let buggy = pmapps::memcached::build_buggy("mm-9").unwrap();
+    assert_eq!(crash_probe(&buggy), 1);
+    // Healed: durable again.
+    let mut healed = pmapps::memcached::build_buggy("mm-9").unwrap();
+    Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(&mut healed, pmapps::memcached::ENTRY)
+        .unwrap();
+    assert_eq!(crash_probe(&healed), 2);
+}

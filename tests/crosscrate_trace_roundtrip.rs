@@ -1,0 +1,94 @@
+//! Trace interchange across crates: the trace a VM emits survives JSON
+//! serialization and still drives localization and repair — the scenario
+//! where the bug finder and the fixer are separate processes, exactly how
+//! pmemcheck feeds Hippocrates in the original toolchain.
+
+use hippocrates::{Hippocrates, RepairOptions};
+use pmcheck::check_trace;
+use pmtrace::Trace;
+use pmvm::{Vm, VmOptions};
+
+#[test]
+fn serialized_trace_drives_repair() {
+    let m0 = minipmdk::build_buggy("pmdk-447").unwrap();
+    let entry = minipmdk::entry_for("pmdk-447");
+    let run = Vm::new(VmOptions::default()).run(&m0, &entry).unwrap();
+    let trace = run.trace.unwrap();
+
+    // Ship the trace through its wire format.
+    let json = trace.to_json().unwrap();
+    let trace2 = Trace::from_json(&json).unwrap();
+    assert_eq!(trace, trace2);
+
+    // Check and repair from the deserialized copy.
+    let report = check_trace(&trace2);
+    assert!(!report.is_clean());
+    let mut m = minipmdk::build_buggy("pmdk-447").unwrap();
+    let summary = Hippocrates::new(RepairOptions::default())
+        .repair_once(&mut m, &trace2, &report)
+        .unwrap();
+    assert!(!summary.fixes.is_empty());
+    let checked = pmcheck::run_and_check(&m, &entry, VmOptions::default()).unwrap();
+    assert!(checked.report.is_clean(), "{}", checked.report.render());
+}
+
+#[test]
+fn text_rendering_of_real_traces_is_stable() {
+    let m = pmapps::pclht::build_correct().unwrap();
+    let run = Vm::new(VmOptions::default())
+        .run(&m, pmapps::pclht::ENTRY)
+        .unwrap();
+    let trace = run.trace.unwrap();
+    let text = pmtrace::format::render_text(&trace);
+    assert!(text.contains("REGISTER"));
+    assert!(text.contains("STORE"));
+    assert!(text.contains("FLUSH"));
+    assert!(text.contains("FENCE"));
+    // Stack frames are rendered for nested PM stores.
+    assert!(text.contains("by clht_put") || text.contains("by pclht_main"), "{}", &text[..500]);
+}
+
+#[test]
+fn source_loc_only_traces_still_locate() {
+    // Strip structural refs from every event (a foreign bug finder that
+    // only reports source lines); localization must fall back to debug info.
+    let m = minipmdk::build_buggy("pmdk-452").unwrap();
+    let entry = minipmdk::entry_for("pmdk-452");
+    let run = Vm::new(VmOptions::default()).run(&m, &entry).unwrap();
+    let trace = run.trace.unwrap();
+    let mut report = check_trace(&trace);
+    for bug in &mut report.bugs {
+        bug.store_at = None;
+    }
+    let mut m2 = minipmdk::build_buggy("pmdk-452").unwrap();
+    let summary = Hippocrates::new(RepairOptions::default())
+        .repair_once(&mut m2, &trace, &report)
+        .unwrap();
+    assert!(!summary.fixes.is_empty());
+    let checked = pmcheck::run_and_check(&m2, &entry, VmOptions::default()).unwrap();
+    assert!(checked.report.is_clean(), "{}", checked.report.render());
+}
+
+#[test]
+fn portable_log_format_drives_repair() {
+    // Simulate a foreign bug finder: export the trace to the line-based
+    // log, reimport it, and repair from the imported copy.
+    let m0 = pmapps::memcached::build_buggy("mm-4").unwrap();
+    let run = Vm::new(VmOptions::default())
+        .run(&m0, pmapps::memcached::ENTRY)
+        .unwrap();
+    let log = pmtrace::log::to_log(run.trace.as_ref().unwrap());
+    let imported = pmtrace::log::from_log(&log).unwrap();
+    assert_eq!(run.trace.as_ref().unwrap(), &imported);
+
+    let report = check_trace(&imported);
+    assert!(!report.is_clean());
+    let mut m = pmapps::memcached::build_buggy("mm-4").unwrap();
+    let summary = Hippocrates::new(RepairOptions::default())
+        .repair_once(&mut m, &imported, &report)
+        .unwrap();
+    assert!(!summary.fixes.is_empty());
+    let checked =
+        pmcheck::run_and_check(&m, pmapps::memcached::ENTRY, VmOptions::default()).unwrap();
+    assert!(checked.report.is_clean(), "{}", checked.report.render());
+}

@@ -1,0 +1,144 @@
+//! Hoisting-heuristic shape tests: deeper chains, ties, fence-only fixes,
+//! and memcpy subprograms (complements the Listing 5/6 pipeline test).
+
+use hippocrates::{FixKind, Hippocrates, RepairOptions};
+use pmvm::{Vm, VmOptions};
+
+fn repair(src: &str) -> (pmir::Module, hippocrates::RepairOutcome) {
+    let mut m = pmlang::compile_one("h.pmc", src).unwrap();
+    let outcome = Hippocrates::new(RepairOptions::default())
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+    assert!(outcome.clean);
+    (m, outcome)
+}
+
+/// Three helper levels, PM-only pointer at the outermost call: the fix
+/// hoists three frames, cloning the whole chain.
+#[test]
+fn three_level_hoist() {
+    let src = r#"
+        fn leaf(p: ptr, v: int) { store8(p, 0, v); }
+        fn mid(p: ptr) { leaf(p, 1); }
+        fn top(p: ptr) { mid(p); }
+        fn main() {
+            var vol: ptr = alloc(64);
+            var pm: ptr = pmem_map(0, 4096);
+            top(vol);
+            top(pm);
+        }
+    "#;
+    let (m, outcome) = repair(src);
+    assert_eq!(outcome.interprocedural_count(), 1);
+    assert_eq!(outcome.hoist_level_histogram().get(&3), Some(&1));
+    for clone in ["leaf_PM", "mid_PM", "top_PM"] {
+        assert!(m.function_by_name(clone).is_some(), "missing {clone}");
+    }
+    // The volatile path pays nothing.
+    let run = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+    assert_eq!(run.stats.volatile_flushes, 0);
+}
+
+/// A helper used *only* on PM scores +1 at the store and +1 at the call
+/// site; the tie breaks toward the intraprocedural fix (no clone).
+#[test]
+fn pm_only_helper_stays_intraprocedural() {
+    let src = r#"
+        fn put(p: ptr, v: int) { store8(p, 0, v); }
+        fn main() {
+            var pm: ptr = pmem_map(0, 4096);
+            put(pm, 1);
+        }
+    "#;
+    let (m, outcome) = repair(src);
+    assert_eq!(outcome.interprocedural_count(), 0);
+    assert!(m.function_by_name("put_PM").is_none());
+    assert!(matches!(outcome.fixes[0].kind, FixKind::IntraFlushFence));
+}
+
+/// A fence-only (missing-fence) bug is anchored at the existing flush and
+/// never considered for hoisting.
+#[test]
+fn fence_only_fix_never_hoists() {
+    let src = r#"
+        fn persist_weak(p: ptr) { clwb(p); }
+        fn main() {
+            var vol: ptr = alloc(64);
+            var pm: ptr = pmem_map(0, 4096);
+            store8(vol, 0, 1);
+            store8(pm, 0, 1);
+            persist_weak(pm);
+        }
+    "#;
+    let (m, outcome) = repair(src);
+    assert!(outcome
+        .fixes
+        .iter()
+        .all(|f| !f.kind.is_interprocedural()));
+    assert!(m.function_by_name("persist_weak_PM").is_none());
+}
+
+/// A hoisted memcpy subprogram gets the range-flush helper call inside the
+/// clone; the original stays untouched.
+#[test]
+fn hoisted_memcpy_uses_range_helper_in_clone() {
+    let src = r#"
+        fn blit(dst: ptr, src: ptr, n: int) { memcpy(dst, src, n); }
+        fn main() {
+            var a: ptr = alloc(256);
+            var b: ptr = alloc(256);
+            var pm: ptr = pmem_map(0, 4096);
+            blit(a, b, 128);
+            blit(b, a, 128);
+            blit(pm, a, 128);
+        }
+    "#;
+    let (m, outcome) = repair(src);
+    assert_eq!(outcome.interprocedural_count(), 1);
+    let clone = m.function_by_name("blit_PM").expect("clone exists");
+    let helper = m
+        .function_by_name(hippocrates::plan::FLUSH_RANGE_HELPER)
+        .expect("helper exists");
+    let cf = m.function(clone);
+    assert!(cf.linked_insts().any(
+        |(_, i)| matches!(cf.inst(i).op, pmir::Op::Call { callee, .. } if callee == helper)
+    ));
+    let of = m.function(m.function_by_name("blit").unwrap());
+    assert!(!of.linked_insts().any(
+        |(_, i)| matches!(of.inst(i).op, pmir::Op::Call { .. } | pmir::Op::Flush { .. })
+    ));
+    // Volatile blits stay flush-free at runtime.
+    let run = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+    assert_eq!(run.stats.volatile_flushes, 0);
+    assert!(run.stats.pm_flushes >= 2, "128 bytes = at least 2 lines");
+}
+
+/// Two sibling PM paths through one helper converge on a single clone over
+/// repair iterations, and the final module is stable (idempotent repair).
+#[test]
+fn sibling_paths_share_one_clone() {
+    let src = r#"
+        fn put(p: ptr, off: int, v: int) { store8(p, off, v); }
+        fn writer_a(p: ptr) { put(p, 0, 1); }
+        fn writer_b(p: ptr) { put(p, 64, 2); }
+        fn main() {
+            var vol: ptr = alloc(256);
+            var pm: ptr = pmem_map(0, 4096);
+            put(vol, 0, 9);
+            writer_a(pm);
+            writer_b(pm);
+        }
+    "#;
+    let (m, outcome) = repair(src);
+    assert!(outcome.clean);
+    // Exactly one persistent clone of `put` exists, shared by both paths.
+    let clones: Vec<&str> = m
+        .functions()
+        .filter(|(_, f)| f.persistent_clone_of.as_deref() == Some("put"))
+        .map(|(_, f)| f.name())
+        .collect();
+    assert_eq!(clones.len(), 1, "clones: {clones:?}");
+    let run = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+    assert_eq!(run.stats.volatile_flushes, 0);
+    assert_eq!(run.stats.pm_stores, 2);
+}

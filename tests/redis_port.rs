@@ -1,0 +1,98 @@
+//! The §6.3 Redis case study as an integration test: Hippocrates turns the
+//! flush-free Redis into a durable port whose behavior matches the
+//! developer port and whose performance beats the intraprocedural repair.
+
+use bench::redisx::{build_redis_variants, calibration_ops, measure_workload, to_redis_ops};
+use pmapps::redis::{attach_workload, build, RedisBuild, RedisOp};
+use pmcheck::run_and_check;
+use pmvm::{Vm, VmOptions};
+use ycsb::{Generator, Workload};
+
+#[test]
+fn flush_free_redis_has_missing_flush_bugs_only() {
+    let mut m = build(RedisBuild::FlushFree).unwrap();
+    let entry = attach_workload(&mut m, "cal", &calibration_ops());
+    let checked = run_and_check(&m, &entry, VmOptions::default()).unwrap();
+    assert!(!checked.report.is_clean());
+    // Fences were kept, so every report is missing-flush (§6.3: "we leave
+    // memory fences … to preserve semantic ordering").
+    for bug in checked.report.deduped_bugs() {
+        assert_eq!(bug.kind, pmcheck::BugKind::MissingFlush, "{bug}");
+    }
+}
+
+#[test]
+fn repaired_redis_is_clean_under_fresh_workloads() {
+    let mut v = build_redis_variants();
+    // A workload the repair never saw: different keys, lengths, op mix.
+    let ops: Vec<RedisOp> = (100..140)
+        .map(|k| RedisOp::set(k, 256))
+        .chain((100..140).map(RedisOp::get))
+        .chain((100..110).map(RedisOp::del))
+        .chain(std::iter::once(RedisOp::scan(120, 12)))
+        .chain((120..125).map(|k| RedisOp::rmw(k, 256)))
+        .collect();
+    for m in [&mut v.hfull, &mut v.hintra] {
+        let entry = attach_workload(m, "fresh", &ops);
+        let checked = run_and_check(m, &entry, VmOptions::default()).unwrap();
+        assert!(checked.report.is_clean(), "{}", checked.report.render());
+    }
+}
+
+#[test]
+fn all_variants_equivalent_and_ordered() {
+    let mut v = build_redis_variants();
+    let g = Generator::new(300, 300, 1024, 42);
+    let load = to_redis_ops(&g.load_ops(), 1024);
+    for w in [Workload::A, Workload::C] {
+        let run = to_redis_ops(&g.run_ops(w), 1024);
+        let tag = format!("w{}", w.label());
+        let pm = measure_workload(&mut v.pm, &tag, &load, &run);
+        let full = measure_workload(&mut v.hfull, &tag, &load, &run);
+        let intra = measure_workload(&mut v.hintra, &tag, &load, &run);
+        // Do no harm across variants.
+        assert_eq!(pm.output, full.output, "{w:?}");
+        assert_eq!(pm.output, intra.output, "{w:?}");
+        // Fig. 4 ordering: full >= pm (never slower), intra well behind.
+        assert!(full.run_cycles <= pm.run_cycles, "{w:?}: full slower than pm");
+        assert!(
+            intra.run_cycles as f64 >= 1.5 * full.run_cycles as f64,
+            "{w:?}: intra gap too small ({} vs {})",
+            intra.run_cycles,
+            full.run_cycles
+        );
+    }
+}
+
+#[test]
+fn hfull_hoists_the_shared_copy_helper() {
+    let v = build_redis_variants();
+    assert!(v.hfull.function_by_name("copy_bytes_PM").is_some());
+    // The volatile copy helper itself is untouched: the original is still
+    // flush-free.
+    let orig = v.hfull.function_by_name("copy_bytes").unwrap();
+    let f = v.hfull.function(orig);
+    let has_flush_call = f.linked_insts().any(|(_, i)| {
+        matches!(&f.inst(i).op, pmir::Op::Call { callee, .. }
+            if v.hfull.function(*callee).name().contains("flush"))
+            || matches!(f.inst(i).op, pmir::Op::Flush { .. })
+    });
+    assert!(!has_flush_call, "volatile path must stay flush-free");
+}
+
+#[test]
+fn repaired_redis_data_survives_restart() {
+    let mut v = build_redis_variants();
+    let ops: Vec<RedisOp> = (1..=10).map(|k| RedisOp::set(k, 128)).collect();
+    let entry = attach_workload(&mut v.hfull, "persist", &ops);
+    let run = Vm::new(VmOptions::default()).run(&v.hfull, &entry).unwrap();
+    let media = run.machine.into_media();
+
+    // Re-open the store from the durable medium and read everything back.
+    let read_ops: Vec<RedisOp> = (1..=10).map(RedisOp::get).collect();
+    let entry2 = attach_workload(&mut v.hfull, "recover", &read_ops);
+    let run2 = Vm::new(VmOptions::default().with_media(media))
+        .run(&v.hfull, &entry2)
+        .unwrap();
+    assert!(run2.output[0] != 0, "values must be durable across restart");
+}
