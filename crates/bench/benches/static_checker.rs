@@ -1,0 +1,39 @@
+//! Criterion: static persistency checking vs dynamic run-and-check on the
+//! application corpus — the cost of a verdict that needs no execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmvm::VmOptions;
+use std::hint::black_box;
+
+fn bench_static_checker(c: &mut Criterion) {
+    let pclht = pmapps::pclht::build_correct().unwrap();
+    let mc = pmapps::memcached::build_correct().unwrap();
+    let ops: Vec<pmapps::redis::RedisOp> = (1..=10)
+        .map(|k| pmapps::redis::RedisOp::set(k, 64))
+        .collect();
+    let mut redis = pmapps::redis::build(pmapps::redis::RedisBuild::PmPort).unwrap();
+    let redis_entry = pmapps::redis::attach_workload(&mut redis, "bench", &ops);
+
+    let apps: [(&str, &pmir::Module, &str); 3] = [
+        ("pclht", &pclht, pmapps::pclht::ENTRY),
+        ("memcached", &mc, pmapps::memcached::ENTRY),
+        ("redis", &redis, &redis_entry),
+    ];
+
+    let mut g = c.benchmark_group("static_checker");
+    for (name, m, entry) in apps {
+        g.bench_function(format!("static/{name}"), |b| {
+            b.iter(|| pmstatic::check_module(black_box(m), black_box(entry)).unwrap())
+        });
+        g.bench_function(format!("dynamic/{name}"), |b| {
+            b.iter(|| {
+                pmcheck::run_and_check(black_box(m), black_box(entry), VmOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_static_checker);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Subcommand parsing and execution.
 
-use hippocrates::{Hippocrates, MarkingMode, RepairOptions};
+use hippocrates::{BugSource, Hippocrates, MarkingMode, RepairOptions};
 use pmcheck::run_and_check;
 use pmir::Module;
 use pmvm::{Vm, VmOptions};
@@ -21,6 +21,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "run" => run_cmd(rest),
         "trace" => trace_cmd(rest),
         "check" => check_cmd(rest),
+        "lint" => lint_cmd(rest),
         "fix" => fix_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -37,8 +38,11 @@ fn usage() -> String {
         "hippoctl run     <src>... [--entry NAME]         execute and print output",
         "hippoctl trace   <src>... [--entry NAME]         emit the PM trace as JSON",
         "hippoctl check   <src>... [--entry NAME]         durability-bug report",
+        "hippoctl lint    <src|dir>... [--entry NAME]     static persistency check",
+        "                 [--deny warnings]                (no execution; dirs lint each .pmc)",
         "hippoctl fix     <src>... [--entry NAME] [-o F]  repair; write fixed IR",
         "                 [--intra-only] [--trace-aa] [--portable]",
+        "                 [--bug-source dynamic|static|both]",
     ] {
         let _ = writeln!(s, "  {line}");
     }
@@ -53,6 +57,8 @@ struct Opts {
     intra_only: bool,
     trace_aa: bool,
     portable: bool,
+    deny_warnings: bool,
+    bug_source: BugSource,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -63,6 +69,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         intra_only: false,
         trace_aa: false,
         portable: false,
+        deny_warnings: false,
+        bug_source: BugSource::Dynamic,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -72,6 +80,26 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             }
             "-o" | "--out" => {
                 o.out = Some(it.next().ok_or("-o needs a value")?.clone());
+            }
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs a value")?;
+                if what != "warnings" {
+                    return Err(format!("--deny supports only `warnings`, got `{what}`"));
+                }
+                o.deny_warnings = true;
+            }
+            "--bug-source" => {
+                let v = it.next().ok_or("--bug-source needs a value")?;
+                o.bug_source = match v.as_str() {
+                    "dynamic" => BugSource::Dynamic,
+                    "static" => BugSource::Static,
+                    "both" => BugSource::Both,
+                    other => {
+                        return Err(format!(
+                            "--bug-source supports dynamic|static|both, got `{other}`"
+                        ));
+                    }
+                };
             }
             "--intra-only" => o.intra_only = true,
             "--trace-aa" => o.trace_aa = true,
@@ -160,6 +188,158 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `hippoctl lint`: run the static persistency checker — no execution.
+///
+/// Directory arguments expand to the `.pmc` files inside (each linted as
+/// its own single-file program); explicitly listed files are linked into
+/// one module (a lone `.ir` file parses as textual pmir — useful to
+/// re-lint a repaired module). Findings render as rustc-style diagnostics
+/// with source excerpts. With `--deny warnings`, any finding makes the
+/// exit code nonzero.
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let mut groups: Vec<Vec<String>> = vec![];
+    let mut explicit: Vec<String> = vec![];
+    for s in &o.sources {
+        if std::path::Path::new(s).is_dir() {
+            let mut found = vec![];
+            let entries =
+                std::fs::read_dir(s).map_err(|e| format!("{s}: {e}"))?;
+            for entry in entries {
+                let p = entry.map_err(|e| format!("{s}: {e}"))?.path();
+                if p.extension().is_some_and(|x| x == "pmc") {
+                    found.push(p.to_string_lossy().into_owned());
+                }
+            }
+            if found.is_empty() {
+                return Err(format!("{s}: no .pmc files in directory"));
+            }
+            found.sort();
+            groups.extend(found.into_iter().map(|f| vec![f]));
+        } else {
+            explicit.push(s.clone());
+        }
+    }
+    if !explicit.is_empty() {
+        groups.insert(0, explicit);
+    }
+    let mut warnings = 0usize;
+    for g in &groups {
+        warnings += lint_group(g, &o.entry)?;
+    }
+    if warnings == 0 {
+        eprintln!("lint: clean ({} module(s))", groups.len());
+        Ok(())
+    } else if o.deny_warnings {
+        Err(format!("{warnings} warning(s) denied by --deny warnings"))
+    } else {
+        eprintln!("lint: {warnings} warning(s)");
+        Ok(())
+    }
+}
+
+/// Lints one module (one or more linked sources); returns the number of
+/// warnings emitted.
+fn lint_group(sources: &[String], entry: &str) -> Result<usize, String> {
+    let mut texts = std::collections::HashMap::new();
+    for s in sources {
+        if let Ok(text) = std::fs::read_to_string(s) {
+            texts.insert(s.clone(), text);
+        }
+    }
+    let m = load(sources)?;
+    let report = pmstatic::check_module(&m, entry).map_err(|e| e.to_string())?;
+    // An .ir module's debug locations name the original .pmc sources; pull
+    // those in from disk (when present) so excerpts still render.
+    for loc in report
+        .bugs
+        .iter()
+        .filter_map(|b| b.store_loc.as_ref())
+        .chain(report.redundant_flushes.iter().filter_map(|r| r.loc.as_ref()))
+    {
+        if !texts.contains_key(&loc.file) && !loc.file.starts_with('<') {
+            if let Ok(t) = std::fs::read_to_string(&loc.file) {
+                texts.insert(loc.file.clone(), t);
+            }
+        }
+    }
+    print!("{}", render_lint(&report, &texts));
+    Ok(report.deduped_bugs().len() + report.redundant_flushes.len())
+}
+
+/// Renders a static report as rustc-style diagnostics with source excerpts.
+fn render_lint(
+    report: &pmcheck::CheckReport,
+    texts: &std::collections::HashMap<String, String>,
+) -> String {
+    let mut s = String::new();
+    for bug in report.deduped_bugs() {
+        let what = match bug.kind {
+            pmcheck::BugKind::MissingFlush => "store is never flushed on some path",
+            pmcheck::BugKind::MissingFence => "flushed store is never fenced on some path",
+            pmcheck::BugKind::MissingFlushFence => {
+                "store is neither flushed nor fenced on some path"
+            }
+        };
+        let _ = writeln!(s, "warning: {}: {what}", bug.kind);
+        excerpt(&mut s, bug.store_loc.as_ref(), texts, &{
+            let func = bug
+                .store_at
+                .as_ref()
+                .map(|at| at.function.as_str())
+                .unwrap_or("?");
+            match bug.len {
+                0 => format!("store in `{func}`"),
+                n => format!("store of {n} byte(s) in `{func}`"),
+            }
+        });
+        let _ = match bug.checkpoint {
+            pmcheck::Checkpoint::CrashPoint(n) => {
+                writeln!(s, "   = note: audited at crash point #{n}")
+            }
+            pmcheck::Checkpoint::ProgramEnd => {
+                writeln!(s, "   = note: audited at program end")
+            }
+        };
+    }
+    for rf in &report.redundant_flushes {
+        let _ = writeln!(
+            s,
+            "warning: redundant-flush: flush of a provably clean line or volatile memory"
+        );
+        excerpt(&mut s, rf.loc.as_ref(), texts, "this flush never persists anything");
+        let _ = writeln!(s, "   = note: statically provable; safe to remove");
+    }
+    s
+}
+
+/// Appends the `--> file:line:col` arrow and the quoted source line.
+fn excerpt(
+    s: &mut String,
+    loc: Option<&pmtrace::TraceLoc>,
+    texts: &std::collections::HashMap<String, String>,
+    label: &str,
+) {
+    let Some(loc) = loc else {
+        let _ = writeln!(s, "  --> <unknown location>: {label}");
+        return;
+    };
+    let _ = writeln!(s, "  --> {}:{}:{}", loc.file, loc.line, loc.col.max(1));
+    let line = texts
+        .get(&loc.file)
+        .and_then(|t| t.lines().nth(loc.line.saturating_sub(1) as usize));
+    if let Some(line) = line {
+        let num = loc.line.to_string();
+        let gut = " ".repeat(num.len());
+        let pad = " ".repeat(loc.col.max(1) as usize - 1);
+        let _ = writeln!(s, "{gut} |");
+        let _ = writeln!(s, "{num} | {line}");
+        let _ = writeln!(s, "{gut} | {pad}^ {label}");
+    } else {
+        let _ = writeln!(s, "   = {label}");
+    }
+}
+
 fn fix_cmd(args: &[String]) -> Result<(), String> {
     let o = parse(args)?;
     let mut m = load(&o.sources)?;
@@ -171,6 +351,7 @@ fn fix_cmd(args: &[String]) -> Result<(), String> {
             MarkingMode::FullAa
         },
         portable_fixes: o.portable,
+        bug_source: o.bug_source,
         ..RepairOptions::default()
     };
     let outcome = Hippocrates::new(opts)
@@ -221,6 +402,70 @@ mod tests {
     fn parse_rejects_unknown_flags_and_empty() {
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_deny_warnings() {
+        let args: Vec<String> = ["a.pmc", "--deny", "warnings"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&args).unwrap().deny_warnings);
+        let bad: Vec<String> = ["a.pmc", "--deny", "everything"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_bug_source() {
+        let args: Vec<String> = ["a.pmc", "--bug-source", "static"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse(&args).unwrap().bug_source, BugSource::Static);
+        let both: Vec<String> = ["a.pmc", "--bug-source", "both"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse(&both).unwrap().bug_source, BugSource::Both);
+        let bad: Vec<String> = ["a.pmc", "--bug-source", "oracle"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad).is_err());
+        let none = vec!["a.pmc".to_string()];
+        assert_eq!(parse(&none).unwrap().bug_source, BugSource::Dynamic);
+    }
+
+    #[test]
+    fn lint_renders_rustc_style_excerpt() {
+        let src = "fn main() {\n    var p: ptr = pmem_map(0, 4096);\n    store8(p, 0, 7);\n}\n";
+        let m = pmlang::compile_one("demo.pmc", src).unwrap();
+        let report = pmstatic::check_module(&m, "main").unwrap();
+        let mut texts = std::collections::HashMap::new();
+        texts.insert("demo.pmc".to_string(), src.to_string());
+        let out = render_lint(&report, &texts);
+        assert!(out.contains("warning: missing-flush&fence"), "{out}");
+        assert!(out.contains("--> demo.pmc:3:"), "{out}");
+        assert!(out.contains("store8(p, 0, 7);"), "{out}");
+        assert!(out.contains("store of 8 byte(s) in `main`"), "{out}");
+        assert!(out.contains("= note: audited at program end"), "{out}");
+    }
+
+    #[test]
+    fn lint_renders_redundant_flush_diagnostic() {
+        let src = "fn main() {\n    var h: ptr = alloc(64);\n    store8(h, 0, 1);\n    clwb(h);\n    sfence();\n}\n";
+        let m = pmlang::compile_one("demo.pmc", src).unwrap();
+        let report = pmstatic::check_module(&m, "main").unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.redundant_flushes.len(), 1);
+        let mut texts = std::collections::HashMap::new();
+        texts.insert("demo.pmc".to_string(), src.to_string());
+        let out = render_lint(&report, &texts);
+        assert!(out.contains("warning: redundant-flush"), "{out}");
+        assert!(out.contains("clwb(h);"), "{out}");
     }
 
     #[test]

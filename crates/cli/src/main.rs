@@ -6,7 +6,9 @@
 //! hippoctl run      app.pmc --entry main       # execute, print output/stats
 //! hippoctl trace    app.pmc --entry main       # emit the pmemcheck-style trace (JSON)
 //! hippoctl check    app.pmc --entry main       # durability report
+//! hippoctl lint     app.pmc [--deny warnings]  # static check, no execution
 //! hippoctl fix      app.pmc --entry main -o fixed.ir [--intra-only] [--trace-aa]
+//!                   [--bug-source dynamic|static|both]
 //! ```
 //!
 //! Sources ending in `.ir` are parsed as textual `pmir`; everything else is

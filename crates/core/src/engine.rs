@@ -3,7 +3,7 @@
 
 use crate::heuristic::{apply_hoist, choose_fix_site, CloneState};
 use crate::locate::{locate, BugSite, LocateError};
-use crate::options::{MarkingMode, RepairOptions};
+use crate::options::{BugSource, MarkingMode, RepairOptions};
 use crate::plan::{apply_intra_fix, plan_intra_fixes, pm_store_refs};
 use crate::summary::{AppliedFix, FixKind, RepairOutcome, RepairSummary};
 use pmalias::{AliasAnalysis, PmMarking};
@@ -27,6 +27,8 @@ pub enum RepairError {
     Locate(LocateError),
     /// The program trapped during a verification run.
     Vm(VmError),
+    /// The static checker failed (e.g. an unknown entry function).
+    Static(pmstatic::StaticError),
     /// The module failed verification after a rewrite (an engine bug).
     Verify(pmir::verify::VerifyError),
     /// A repair pass applied no fixes while bugs remain.
@@ -46,6 +48,7 @@ impl fmt::Display for RepairError {
         match self {
             RepairError::Locate(e) => write!(f, "{e}"),
             RepairError::Vm(e) => write!(f, "verification run failed: {e}"),
+            RepairError::Static(e) => write!(f, "static check failed: {e}"),
             RepairError::Verify(e) => write!(f, "rewritten module is malformed: {e}"),
             RepairError::NoProgress { remaining } => {
                 write!(f, "no fixes applied with {remaining} bug(s) remaining")
@@ -185,8 +188,39 @@ impl Hippocrates {
         Ok(summary)
     }
 
+    /// Runs the configured bug finder(s) once: the dynamic checker, the
+    /// static checker, or both (the union of their reports, deduplicated by
+    /// store). The trace is empty when only the static checker ran —
+    /// downstream consumers (fence anchoring, `I`-function lookup, trace
+    /// PM-marking) all degrade gracefully to their conservative fallbacks.
+    fn detect(
+        &self,
+        m: &Module,
+        entry: &str,
+        vm_opts: &VmOptions,
+    ) -> Result<(CheckReport, Trace), RepairError> {
+        match self.opts.bug_source {
+            BugSource::Dynamic => {
+                let c = run_and_check(m, entry, vm_opts.clone())?;
+                Ok((c.report, c.trace))
+            }
+            BugSource::Static => {
+                let report = pmstatic::check_module(m, entry).map_err(RepairError::Static)?;
+                Ok((report, Trace::default()))
+            }
+            BugSource::Both => {
+                let c = run_and_check(m, entry, vm_opts.clone())?;
+                let stat = pmstatic::check_module(m, entry).map_err(RepairError::Static)?;
+                Ok((merge_reports(c.report, stat), c.trace))
+            }
+        }
+    }
+
     /// The full loop: run the bug finder, repair, and re-verify until the
-    /// report is clean (paper Fig. 2 plus the §6.1 validation step).
+    /// report is clean (paper Fig. 2 plus the §6.1 validation step). With
+    /// [`BugSource::Static`] the loop converges against the static verdict
+    /// without ever executing the program; with [`BugSource::Both`] it is
+    /// only done when both checkers come back clean.
     ///
     /// # Errors
     ///
@@ -204,20 +238,20 @@ impl Hippocrates {
         let mut fixes = vec![];
         let mut clones = 0usize;
         for iter in 0..self.opts.max_iterations {
-            let checked = run_and_check(m, entry, vm_opts.clone())?;
-            if checked.report.is_clean() {
+            let (report, trace) = self.detect(m, entry, &vm_opts)?;
+            if report.is_clean() {
                 return Ok(RepairOutcome {
                     clean: true,
                     fixes,
                     iterations: iter,
-                    final_report: checked.report,
+                    final_report: report,
                     clones_created: clones,
                 });
             }
-            let summary = self.repair_once(m, &checked.trace, &checked.report)?;
+            let summary = self.repair_once(m, &trace, &report)?;
             if summary.fixes.is_empty() {
                 return Err(RepairError::NoProgress {
-                    remaining: checked.report.deduped_bugs().len(),
+                    remaining: report.deduped_bugs().len(),
                 });
             }
             fixes.extend(summary.fixes);
@@ -227,6 +261,22 @@ impl Hippocrates {
             max: self.opts.max_iterations,
         })
     }
+}
+
+/// Unions a dynamic and a static report for [`BugSource::Both`]: static
+/// bugs at stores the dynamic checker already flagged are dropped (the
+/// dynamic entry carries the richer trace context), and the rest — the
+/// static checker's unexecuted-path findings — are appended. Counters stay
+/// the dynamic run's.
+fn merge_reports(mut dynamic: CheckReport, stat: CheckReport) -> CheckReport {
+    let seen: std::collections::HashSet<_> =
+        dynamic.bugs.iter().filter_map(|b| b.store_at.clone()).collect();
+    for b in stat.bugs {
+        if b.store_at.as_ref().is_none_or(|at| !seen.contains(at)) {
+            dynamic.bugs.push(b);
+        }
+    }
+    dynamic
 }
 
 /// The paper's §7 "automatically providing durability": given a program in
@@ -472,6 +522,99 @@ mod tests {
         // No extra fences were needed: the developer's ordering points
         // suffice.
         assert_eq!(run.stats.fences, 2);
+    }
+
+    #[test]
+    fn static_source_heals_unexecuted_branch() {
+        // The acceptance scenario: the store sits on a branch the input
+        // never takes, so the dynamic checker reports clean — only the
+        // static checker sees the bug, and repair must converge against the
+        // static verdict without ever needing an execution that reaches it.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var mode: int = load8(p, 128);
+                if (mode) { store8(p, 0, 7); }
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let dynamic = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(dynamic.report.is_clean(), "dynamic misses the branch");
+        assert_eq!(
+            pmstatic::check_module(&m, "main").unwrap().bugs[0].kind,
+            pmcheck::BugKind::MissingFlushFence
+        );
+
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Static,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(!outcome.fixes.is_empty());
+        assert_eq!(
+            outcome.final_report.provenance,
+            pmcheck::Provenance::Static
+        );
+
+        // Verified by re-running both checkers on the healed module.
+        assert!(pmstatic::check_module(&m, "main").unwrap().is_clean());
+        let redo = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(redo.report.is_clean());
+    }
+
+    #[test]
+    fn both_sources_fix_executed_and_unexecuted_bugs() {
+        // One bug on the executed path, one on the untaken branch: with
+        // `BugSource::Both` a single loop heals them all, and the result
+        // satisfies both checkers.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var mode: int = load8(p, 128);
+                store8(p, 64, 1);
+                if (mode) { store8(p, 0, 7); }
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Both,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(outcome.fixes.len() >= 2, "{:?}", outcome.fixes);
+        assert!(pmstatic::check_module(&m, "main").unwrap().is_clean());
+        assert!(run_and_check(&m, "main", VmOptions::default())
+            .unwrap()
+            .report
+            .is_clean());
+    }
+
+    #[test]
+    fn static_source_never_executes_the_program() {
+        // `print` output is observable: a static-only repair must not run
+        // the program at all (detection is the only phase that could).
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                print(7);
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Static,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        // The only evidence of execution the engine could leave is in the
+        // outcome's final report: a static report carries no addresses.
+        assert_eq!(outcome.final_report.provenance, pmcheck::Provenance::Static);
     }
 
     #[test]

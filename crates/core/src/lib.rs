@@ -48,5 +48,5 @@ pub mod plan;
 pub mod summary;
 
 pub use engine::{provide_durability, Hippocrates};
-pub use options::{MarkingMode, RepairOptions};
+pub use options::{BugSource, MarkingMode, RepairOptions};
 pub use summary::{AppliedFix, FixKind, RepairOutcome, RepairSummary};

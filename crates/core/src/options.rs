@@ -13,6 +13,22 @@ pub enum MarkingMode {
     TraceAa,
 }
 
+/// Which bug finder drives the detect→fix→verify loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BugSource {
+    /// The dynamic checker: replay the program and check the trace. Finds
+    /// only bugs on the executed path, with exact addresses.
+    #[default]
+    Dynamic,
+    /// The static checker (`pmstatic`): abstract interpretation over the
+    /// CFG, covering every path — no execution required. Repair converges
+    /// against the *static* verdict.
+    Static,
+    /// Both: the union of the two reports each iteration, and the loop is
+    /// only done when *both* checkers come back clean.
+    Both,
+}
+
 /// Options for [`crate::Hippocrates`].
 #[derive(Debug, Clone)]
 pub struct RepairOptions {
@@ -34,6 +50,8 @@ pub struct RepairOptions {
     /// could be modified to insert more generic fixes"), matching the PMDK
     /// developers' runtime-dispatched flush style.
     pub portable_fixes: bool,
+    /// Which bug finder drives [`crate::Hippocrates::repair_until_clean`].
+    pub bug_source: BugSource,
     /// Maximum detect→fix→re-verify iterations in
     /// [`crate::Hippocrates::repair_until_clean`].
     pub max_iterations: u32,
@@ -50,6 +68,7 @@ impl Default for RepairOptions {
             fence_kind: FenceKind::Sfence,
             reuse_subprograms: true,
             portable_fixes: false,
+            bug_source: BugSource::Dynamic,
             max_iterations: 8,
             max_steps: 200_000_000,
         }

@@ -128,7 +128,11 @@ pub fn ensure_flush_range_helper(m: &mut Module, opts: &RepairOptions) -> FuncId
         vec![Type::Ptr, Type::int(8)],
         Type::Void,
     );
+    // Synthesized code still carries a (pseudo-file) source location so
+    // downstream diagnostics never go blind inside an inserted fix.
+    let file = m.intern_file(format!("<{FLUSH_RANGE_HELPER}>"));
     let mut b = FunctionBuilder::new(m, f);
+    b.set_loc(pmir::SrcLoc { file, line: 1, col: 1 });
     let entry = b.entry_block();
     let init = b.new_block("init");
     let header = b.new_block("header");

@@ -93,9 +93,14 @@ pub fn attach_workload(m: &mut Module, name: &str, ops: &[RedisOp]) -> String {
     let run = m.function_by_name("redis_run").expect("redis_run");
     let entry_name = format!("run_{name}");
     let f = m.declare_function(&entry_name, vec![], Type::Void);
+    // Synthetic instructions still carry a source location (pointing at a
+    // pseudo-file) so every diagnostic downstream — dynamic or static — can
+    // name where its store came from.
+    let file = m.intern_file(format!("<workload:{name}>"));
     let mut b = FunctionBuilder::new(m, f);
     let e = b.entry_block();
     b.switch_to(e);
+    b.set_loc(pmir::SrcLoc { file, line: 1, col: 1 });
     let pool = b.call(open, vec![]).expect("redis_open returns the pool");
     let cmdbuf = b.heap_alloc(8192i64);
     let argbuf = b.heap_alloc(4096i64);

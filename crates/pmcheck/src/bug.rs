@@ -38,6 +38,27 @@ pub enum Checkpoint {
     ProgramEnd,
 }
 
+/// How a report's facts were obtained: by observing an execution (the
+/// dynamic checker) or by abstract interpretation of the IR without running
+/// it (the `pmstatic` checker).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Produced by replaying/observing a trace of a concrete execution.
+    #[default]
+    Dynamic,
+    /// Produced by the flow-sensitive static persistency checker.
+    Static,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Provenance::Dynamic => "dynamic",
+            Provenance::Static => "static",
+        })
+    }
+}
+
 /// One durability bug: a PM store that was not durable by a checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Bug {
@@ -63,10 +84,15 @@ pub struct Bug {
 }
 
 impl Bug {
-    /// A stable identity for deduplication across checkpoints: the same
-    /// store reported at several checkpoints is one bug to fix.
-    pub fn dedup_key(&self) -> (Option<IrRef>, BugKind) {
-        (self.store_at.clone(), self.kind)
+    /// A stable identity for deduplication: the same store with the same
+    /// classification at the same checkpoint is one report. The checkpoint
+    /// is part of the key because each checkpoint is a *distinct* durability
+    /// requirement (a distinct `I` in `X -> F(X) -> M -> I`): a store that
+    /// is non-durable at two checkpoints violates two orderings, and the
+    /// static/dynamic differential comparison must not conflate them.
+    /// Identical-anchor fixes still collapse in fix reduction.
+    pub fn dedup_key(&self) -> (Option<IrRef>, BugKind, Checkpoint) {
+        (self.store_at.clone(), self.kind, self.checkpoint)
     }
 }
 
@@ -110,6 +136,8 @@ pub struct CheckReport {
     pub flushes_seen: u64,
     /// Number of fence events examined.
     pub fences_seen: u64,
+    /// Whether the report came from the dynamic checker or the static one.
+    pub provenance: Provenance,
 }
 
 impl CheckReport {
@@ -134,8 +162,8 @@ impl CheckReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "pmcheck: {} stores, {} flushes, {} fences",
-            self.stores_checked, self.flushes_seen, self.fences_seen
+            "pmcheck ({}): {} stores, {} flushes, {} fences",
+            self.provenance, self.stores_checked, self.flushes_seen, self.fences_seen
         );
         if self.is_clean() {
             let _ = writeln!(out, "no durability bugs found");
@@ -186,7 +214,10 @@ mod tests {
     }
 
     #[test]
-    fn dedup_merges_same_store_across_checkpoints() {
+    fn dedup_keeps_distinct_checkpoints_apart() {
+        // The same store at two checkpoints violates two distinct durability
+        // requirements: both survive dedup (fix reduction still merges the
+        // repairs, which share an anchor).
         let report = CheckReport {
             bugs: vec![
                 bug(BugKind::MissingFlush, "f", 3, Checkpoint::CrashPoint(1)),
@@ -195,8 +226,32 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert_eq!(report.deduped_bugs().len(), 2);
+        assert_eq!(report.deduped_bugs().len(), 3);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn dedup_merges_exact_duplicates_at_one_checkpoint() {
+        let report = CheckReport {
+            bugs: vec![
+                bug(BugKind::MissingFlush, "f", 3, Checkpoint::CrashPoint(1)),
+                bug(BugKind::MissingFlush, "f", 3, Checkpoint::CrashPoint(1)),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.deduped_bugs().len(), 1);
+    }
+
+    #[test]
+    fn provenance_defaults_to_dynamic_and_renders() {
+        let report = CheckReport::default();
+        assert_eq!(report.provenance, Provenance::Dynamic);
+        assert!(report.render().contains("dynamic"));
+        let stat = CheckReport {
+            provenance: Provenance::Static,
+            ..Default::default()
+        };
+        assert!(stat.render().contains("static"));
     }
 
     #[test]

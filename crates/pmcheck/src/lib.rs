@@ -42,6 +42,6 @@ pub mod bug;
 pub mod checker;
 pub mod runner;
 
-pub use bug::{Bug, BugKind, CheckReport, Checkpoint};
+pub use bug::{Bug, BugKind, CheckReport, Checkpoint, Provenance};
 pub use checker::{check_trace, OnlineChecker};
 pub use runner::{run_and_check, CheckedRun};

@@ -1,0 +1,196 @@
+//! The persistence lattice and the abstract state.
+
+use crate::loc::Loc;
+use pmalias::ObjId;
+use pmir::{FuncId, InstId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract durability of one tracked PM store — the checker's lattice.
+///
+/// ```text
+///        MaybeDirty          (⊤: unflushed on some path)
+///        /        \
+///     Dirty     Pending      (definitely unflushed / flushed, unfenced)
+///        \        /
+///         Durable            (⊥: flushed and fenced, or strongly flushed)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PState {
+    /// Flushed and ordered by a fence (or strongly flushed): durable.
+    Durable,
+    /// Flushed by a weakly-ordered flush, awaiting a fence.
+    Pending,
+    /// Stored and never flushed on any path reaching here.
+    Dirty,
+    /// Unflushed on at least one (but not every) path: the join of `Dirty`
+    /// with anything else.
+    MaybeDirty,
+}
+
+impl PState {
+    /// The least upper bound of two states.
+    pub fn join(self, other: PState) -> PState {
+        use PState::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Durable, Pending) | (Pending, Durable) => Pending,
+            _ => MaybeDirty,
+        }
+    }
+
+    /// Whether the store is durable (nothing to report).
+    pub fn is_durable(self) -> bool {
+        matches!(self, PState::Durable)
+    }
+}
+
+/// Identity of a tracked store within one function's analysis.
+///
+/// `origin` names the actual store instruction (what a repair must anchor
+/// at). `via` is the call instruction *in the currently analyzed function*
+/// through which an inherited (residual) fact arrived — `None` for local
+/// stores. Keeping the call edge in the key lets the same callee store keep
+/// distinct, separately-rebased addresses per call site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FactKey {
+    /// The store instruction this fact tracks.
+    pub origin: (FuncId, InstId),
+    /// The local call site an inherited fact arrived through.
+    pub via: Option<InstId>,
+}
+
+/// One tracked PM store and its abstract durability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Structural address of the stored range, in the *current* function's
+    /// address space (`None` once rebasing failed across a call boundary).
+    pub loc: Option<Loc>,
+    /// Points-to set of the stored-to pointer (module-global object ids).
+    pub pts: BTreeSet<ObjId>,
+    /// Length of the stored range, when constant.
+    pub len: Option<u64>,
+    /// Lattice state.
+    pub state: PState,
+    /// Whether a fence has executed since the store on *every* path from
+    /// the store to here (joined with AND: classification as missing-flush
+    /// rather than missing-flush&fence must hold on all paths).
+    pub fence_seen: bool,
+}
+
+impl Fact {
+    /// Joins another fact for the same key into this one.
+    pub fn join(&mut self, other: &Fact) {
+        if self.loc != other.loc {
+            self.loc = None;
+        }
+        self.pts.extend(other.pts.iter().copied());
+        if self.len != other.len {
+            self.len = None;
+        }
+        self.state = self.state.join(other.state);
+        self.fence_seen &= other.fence_seen;
+    }
+}
+
+/// The abstract state at a program point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct State {
+    /// Tracked stores, keyed by origin (and arrival call edge).
+    pub facts: BTreeMap<FactKey, Fact>,
+    /// Whether a fence has executed on every path from function entry
+    /// (feeds the callee-fences-on-all-paths summary bit).
+    pub fenced: bool,
+    /// Set of flush effects (indices into the per-function effect table)
+    /// applied on every path from function entry (feeds the must-flush
+    /// summary).
+    pub applied: BTreeSet<usize>,
+    /// Whether this state has been initialized by a predecessor (joining an
+    /// uninitialized state is the identity).
+    pub reached: bool,
+}
+
+impl State {
+    /// The state at function entry.
+    pub fn entry() -> State {
+        State {
+            facts: BTreeMap::new(),
+            fenced: false,
+            applied: BTreeSet::new(),
+            reached: true,
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether `self` changed.
+    pub fn join(&mut self, other: &State) -> bool {
+        if !other.reached {
+            return false;
+        }
+        if !self.reached {
+            *self = other.clone();
+            return true;
+        }
+        let before = self.clone();
+        for (k, f) in &other.facts {
+            match self.facts.get_mut(k) {
+                Some(mine) => mine.join(f),
+                None => {
+                    self.facts.insert(k.clone(), f.clone());
+                }
+            }
+        }
+        self.fenced &= other.fenced;
+        self.applied = self.applied.intersection(&other.applied).copied().collect();
+        *self != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_join_table() {
+        use PState::*;
+        assert_eq!(Durable.join(Durable), Durable);
+        assert_eq!(Durable.join(Pending), Pending);
+        assert_eq!(Pending.join(Durable), Pending);
+        assert_eq!(Dirty.join(Durable), MaybeDirty);
+        assert_eq!(Dirty.join(Pending), MaybeDirty);
+        assert_eq!(MaybeDirty.join(Durable), MaybeDirty);
+        assert_eq!(Dirty.join(Dirty), Dirty);
+    }
+
+    #[test]
+    fn state_join_is_union_with_and_fence() {
+        let key = FactKey {
+            origin: (FuncId(0), InstId(3)),
+            via: None,
+        };
+        let mk = |state, fence_seen| Fact {
+            loc: None,
+            pts: BTreeSet::new(),
+            len: Some(8),
+            state,
+            fence_seen,
+        };
+        let mut a = State::entry();
+        a.facts.insert(key.clone(), mk(PState::Dirty, true));
+        let mut b = State::entry();
+        b.facts.insert(key.clone(), mk(PState::Durable, false));
+        assert!(a.join(&b));
+        let f = &a.facts[&key];
+        assert_eq!(f.state, PState::MaybeDirty);
+        assert!(!f.fence_seen, "fence flag joins with AND");
+    }
+
+    use pmir::{FuncId, InstId};
+
+    #[test]
+    fn unreached_join_is_identity() {
+        let mut a = State::entry();
+        a.fenced = true;
+        let unreached = State::default();
+        assert!(!a.join(&unreached));
+        assert!(a.fenced);
+    }
+}

@@ -1,0 +1,280 @@
+//! Structural abstract addresses.
+//!
+//! The checker matches flushes against stores *structurally*: an address is
+//! resolved to a symbolic base plus a byte offset by walking the value
+//! definitions backwards through `gep` chains and loads. Loads are folded
+//! into [`Base::Slot`] so the two loads a `pmlang` variable reference
+//! lowers to (`store8(p, 8, v)` and `clwb(p + 8)` both reload `p` from its
+//! stack slot) resolve to the *same* base. This is flow-insensitive — a
+//! reassignment of the variable between the two uses is not observed — which
+//! errs on the side of treating a flush as covering, exactly like the
+//! optimistic object-level fallback.
+
+use pmir::{Function, GlobalId, InstId, Op, Operand, ValueId, ValueKind};
+use std::collections::HashMap;
+
+/// The symbolic root of an abstract address.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Base {
+    /// An absolute (constant) address.
+    Abs,
+    /// The `n`-th parameter of the containing function. The only base that
+    /// can be rebased into a caller's address space at a call site.
+    Arg(u32),
+    /// The result of a base-producing instruction in the containing
+    /// function (`alloca`, `pmem_map`, `heap_alloc`, a call, arithmetic …).
+    Anchor(InstId),
+    /// The pointer the containing function *returns*. Residual facts rooted
+    /// at the returned pointer (the `it = item_alloc(...)` idiom: stores
+    /// into freshly allocated memory handed back to the caller) are
+    /// re-expressed against this base so the caller can rebase them onto
+    /// the call's result value.
+    Ret,
+    /// The address of a module global (comparable across functions).
+    Global(GlobalId),
+    /// The pointer value *loaded from* the given location — the base a
+    /// `pmlang` `var` use resolves to.
+    Slot(Box<Loc>),
+}
+
+/// A structural abstract address: a base and an optional byte offset
+/// (`None` when the offset is not a compile-time constant).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// Symbolic root.
+    pub base: Base,
+    /// Constant byte offset from the root, when known.
+    pub offset: Option<i64>,
+}
+
+impl Loc {
+    /// An address at a known offset from a base.
+    pub fn at(base: Base, offset: i64) -> Self {
+        Loc {
+            base,
+            offset: Some(offset),
+        }
+    }
+
+    /// Shifts the offset by a (possibly unknown) delta.
+    pub fn shifted(&self, delta: Option<i64>) -> Self {
+        Loc {
+            base: self.base.clone(),
+            offset: match (self.offset, delta) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Memoizing resolver of operands to [`Loc`]s within one function.
+pub struct Resolver<'a> {
+    f: &'a Function,
+    memo: HashMap<ValueId, Loc>,
+    /// For each value used as a store address: the operands stored to it
+    /// (syntactic, for single-store slot forwarding). Built lazily.
+    slot_stores: Option<HashMap<ValueId, Vec<Operand>>>,
+    /// Loads currently being resolved (cycle guard for forwarding).
+    active: std::collections::HashSet<ValueId>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Creates a resolver for `f`.
+    pub fn new(f: &'a Function) -> Self {
+        Resolver {
+            f,
+            memo: HashMap::new(),
+            slot_stores: None,
+            active: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The value stored to `slot`, when the function stores to it exactly
+    /// once. `pmlang` spills every variable and parameter to an `alloca`
+    /// slot; forwarding the unique store makes the two loads a `store8(p,
+    /// ..)` / `clwb(p + ..)` pair lowers to resolve to the value's *origin*
+    /// (a parameter, a `pmem_map`, …) — in particular to a rebasable
+    /// [`Base::Arg`] for spilled parameters. A slot with several stores (a
+    /// reassigned variable) keeps the opaque [`Base::Slot`] form.
+    fn unique_store_to(&mut self, slot: ValueId) -> Option<Operand> {
+        if self.slot_stores.is_none() {
+            let mut map: HashMap<ValueId, Vec<Operand>> = HashMap::new();
+            for (_, i) in self.f.linked_insts() {
+                if let Op::Store { addr, value, .. } = self.f.inst(i).op {
+                    if let Some(v) = addr.as_value() {
+                        map.entry(v).or_default().push(value);
+                    }
+                }
+            }
+            self.slot_stores = Some(map);
+        }
+        match self.slot_stores.as_ref().unwrap().get(&slot).map(Vec::as_slice) {
+            Some(&[v]) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Resolves an operand to its structural address.
+    pub fn resolve(&mut self, op: Operand) -> Loc {
+        match op {
+            Operand::Const(c) => Loc::at(Base::Abs, c),
+            Operand::Null => Loc::at(Base::Abs, 0),
+            Operand::Value(v) => self.resolve_value(v),
+        }
+    }
+
+    fn resolve_value(&mut self, v: ValueId) -> Loc {
+        if let Some(l) = self.memo.get(&v) {
+            return l.clone();
+        }
+        let loc = match self.f.value(v).kind {
+            ValueKind::Arg(i) => Loc::at(Base::Arg(i), 0),
+            ValueKind::Inst(i) => match &self.f.inst(i).op {
+                Op::Gep { base, offset } => {
+                    let b = self.resolve(*base);
+                    b.shifted(const_of(*offset))
+                }
+                Op::Load { addr, .. } => {
+                    let addr = *addr;
+                    let forwarded = addr
+                        .as_value()
+                        .filter(|_| self.active.insert(v))
+                        .and_then(|slot| {
+                            let fwd = self.unique_store_to(slot).map(|s| self.resolve(s));
+                            self.active.remove(&v);
+                            fwd
+                        });
+                    match forwarded {
+                        Some(l) => l,
+                        None => {
+                            let a = self.resolve(addr);
+                            Loc::at(Base::Slot(Box::new(a)), 0)
+                        }
+                    }
+                }
+                Op::GlobalAddr { global } => Loc::at(Base::Global(*global), 0),
+                _ => Loc::at(Base::Anchor(i), 0),
+            },
+        };
+        self.memo.insert(v, loc.clone());
+        loc
+    }
+}
+
+/// The constant value of an operand, if it is one.
+pub fn const_of(op: Operand) -> Option<i64> {
+    match op {
+        Operand::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Rewrites a callee-space address into the caller's address space at a
+/// call site: `Arg(i)` leaves are substituted with the resolved `i`-th
+/// actual argument, and [`Base::Ret`] with the call's result value
+/// (`ret`). Returns `None` when the address is rooted in callee-local
+/// state (an [`Base::Anchor`]) and has no caller meaning.
+pub fn rebase(
+    loc: &Loc,
+    args: &[Operand],
+    ret: Option<ValueId>,
+    res: &mut Resolver<'_>,
+) -> Option<Loc> {
+    match &loc.base {
+        Base::Arg(i) => {
+            let actual = res.resolve(*args.get(*i as usize)?);
+            Some(actual.shifted(loc.offset))
+        }
+        Base::Ret => {
+            let actual = res.resolve(Operand::Value(ret?));
+            Some(actual.shifted(loc.offset))
+        }
+        Base::Slot(inner) => {
+            let inner = rebase(inner, args, ret, res)?;
+            Some(Loc {
+                base: Base::Slot(Box::new(inner)),
+                offset: loc.offset,
+            })
+        }
+        Base::Abs => Some(loc.clone()),
+        Base::Global(g) => Some(Loc {
+            base: Base::Global(*g),
+            offset: loc.offset,
+        }),
+        Base::Anchor(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_loads_share_a_base() {
+        // fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 8, 1); clwb(p + 8); }
+        let m = pmlang::compile_one(
+            "t.pmc",
+            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 8, 1); clwb(p + 8); }",
+        )
+        .unwrap();
+        let f = m.function(m.function_by_name("main").unwrap());
+        let mut res = Resolver::new(f);
+        let mut store_loc = None;
+        let mut flush_loc = None;
+        for (_, i) in f.linked_insts() {
+            match &f.inst(i).op {
+                Op::Store { addr, .. } => store_loc = Some(res.resolve(*addr)),
+                Op::Flush { addr, .. } => flush_loc = Some(res.resolve(*addr)),
+                _ => {}
+            }
+        }
+        let (s, fl) = (store_loc.unwrap(), flush_loc.unwrap());
+        assert_eq!(s.base, fl.base, "both uses of `p` resolve to one slot");
+        assert_eq!(s.offset, Some(8));
+        assert_eq!(fl.offset, Some(8));
+    }
+
+    #[test]
+    fn rebase_substitutes_args() {
+        // callee(q) stores at q+16; the caller passes p+64: the rebased
+        // address is p's slot + 80.
+        let m = pmlang::compile_one(
+            "t.pmc",
+            r#"
+            fn callee(q: ptr) { store8(q, 16, 1); }
+            fn main() { var p: ptr = pmem_map(0, 4096); callee(p + 64); }
+            "#,
+        )
+        .unwrap();
+        let callee = m.function(m.function_by_name("callee").unwrap());
+        let mut cres = Resolver::new(callee);
+        let store_loc = callee
+            .linked_insts()
+            .find_map(|(_, i)| match &callee.inst(i).op {
+                // Skip the `store.ptr` that spills the parameter; the PM
+                // store is the `store.i64`.
+                Op::Store { ty, addr, .. } if *ty == pmir::Type::int(8) => {
+                    Some(cres.resolve(*addr))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(store_loc.base, Base::Arg(0));
+        assert_eq!(store_loc.offset, Some(16));
+
+        let main = m.function(m.function_by_name("main").unwrap());
+        let mut mres = Resolver::new(main);
+        let args = main
+            .linked_insts()
+            .find_map(|(_, i)| match &main.inst(i).op {
+                Op::Call { args, .. } => Some(args.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let rebased = rebase(&store_loc, &args, None, &mut mres).unwrap();
+        assert_eq!(rebased.offset, Some(80));
+        // `p` forwards through its single-store slot to the `pmem_map`.
+        assert!(matches!(rebased.base, Base::Anchor(_)));
+    }
+}

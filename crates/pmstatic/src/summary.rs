@@ -1,0 +1,146 @@
+//! Bottom-up function summaries: what a callee durably does to memory that
+//! escapes into it, and what it leaves behind.
+
+use crate::fact::PState;
+use crate::loc::Loc;
+use pmalias::ObjId;
+use pmir::{FuncId, InstId};
+use std::collections::BTreeSet;
+
+/// How far a flush effect extends past its start address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Extent {
+    /// One cache line (a raw `clwb`/`clflushopt`/`clflush`).
+    Line,
+    /// A constant byte count (rounded out to cache lines when matching).
+    Bytes(u64),
+    /// The value of the `n`-th parameter of the *summarized* function — the
+    /// conventional `(ptr, len)` helper signature. Mapped to `Bytes` or
+    /// `Unknown` at each call site.
+    Param(u32),
+    /// Statically unbounded: covers everything past the start address.
+    Unknown,
+}
+
+/// One flush the function performs (directly or via callees), expressed in
+/// the function's own address space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushEff {
+    /// Structural start address, when resolvable. `None` falls back to
+    /// points-to matching.
+    pub loc: Option<Loc>,
+    /// Points-to set of the flushed pointer (module-global).
+    pub pts: BTreeSet<ObjId>,
+    /// Extent of the flushed range.
+    pub extent: Extent,
+    /// Whether the flush is strongly ordered (`clflush`): covered stores
+    /// become durable without a fence.
+    pub durable: bool,
+}
+
+/// A store the function leaves non-durable on some return path, to be
+/// inherited (and structurally rebased) by callers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualFact {
+    /// The original store instruction (possibly in a transitive callee).
+    pub origin: (FuncId, InstId),
+    /// Address in the summarized function's space; rebasable iff rooted in
+    /// its parameters.
+    pub loc: Option<Loc>,
+    /// Points-to set of the stored-to pointer.
+    pub pts: BTreeSet<ObjId>,
+    /// Constant store length, when known.
+    pub len: Option<u64>,
+    /// Lattice state at return (never `Durable`).
+    pub state: PState,
+    /// Whether a fence followed the store on every return path.
+    pub fence_seen: bool,
+}
+
+/// The bottom-up summary of one function.
+///
+/// `flushes` is a *must* set modulo empty-range guards: the effects applied
+/// on every return path that flushes anything at all. The modulo clause
+/// keeps the ubiquitous `if (n <= 0) return;` guard of range-flush helpers
+/// from emptying the set, while a flush that happens only on one branch of
+/// real control flow (e.g. a first-insertion special case) is correctly
+/// excluded — treating such a flush as a guaranteed cover is exactly how a
+/// static checker misses bugs the dynamic checker finds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FnSummary {
+    /// Flush effects guaranteed on every (flushing) return path.
+    pub flushes: Vec<FlushEff>,
+    /// A fence executes on every entry-to-return path.
+    pub fences_all_paths: bool,
+    /// The function (transitively) contains a `crashpoint`: callers must
+    /// audit their live stores at the call site.
+    pub has_checkpoint: bool,
+    /// Stores left non-durable at return.
+    pub residual: Vec<ResidualFact>,
+}
+
+impl FnSummary {
+    /// Maps a [`Extent::Param`] extent through a call's actual arguments.
+    /// The resolver sees through `pmlang`'s parameter spill slots, so a
+    /// length that is itself a forwarded parameter stays [`Extent::Param`]
+    /// instead of degrading to [`Extent::Unknown`].
+    pub fn map_extent(
+        extent: Extent,
+        args: &[pmir::Operand],
+        res: &mut crate::loc::Resolver<'_>,
+    ) -> Extent {
+        match extent {
+            Extent::Param(j) => match args.get(j as usize) {
+                Some(pmir::Operand::Const(c)) if *c >= 0 => Extent::Bytes(*c as u64),
+                Some(op) => match res.resolve(*op) {
+                    Loc {
+                        base: crate::loc::Base::Abs,
+                        offset: Some(c),
+                    } if c >= 0 => Extent::Bytes(c as u64),
+                    Loc {
+                        base: crate::loc::Base::Arg(k),
+                        offset: Some(0),
+                    } => Extent::Param(k),
+                    _ => Extent::Unknown,
+                },
+                None => Extent::Unknown,
+            },
+            e => e,
+        }
+    }
+}
+
+/// The line-rounded byte interval `[lo, hi)` a flush effect covers,
+/// relative to its structural base, or `None` when unbounded or unknown.
+///
+/// Alignment caveat: offsets are base-relative, and the checker assumes
+/// bases are cache-line aligned when rounding. Pool pointers and line-sized
+/// records (the idiom of the corpus) satisfy this; a misaligned base can
+/// make the checker optimistic by at most one line either way.
+pub fn cover_interval(start: i64, extent: Extent) -> Option<(i64, i64)> {
+    const LINE: i64 = 64;
+    let lo = start.div_euclid(LINE) * LINE;
+    match extent {
+        Extent::Line => Some((lo, lo + LINE)),
+        Extent::Bytes(n) => {
+            let end = start + (n.max(1) as i64);
+            Some((lo, end.div_euclid(LINE) * LINE + if end % LINE == 0 { 0 } else { LINE }))
+        }
+        Extent::Param(_) | Extent::Unknown => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_intervals_round_to_lines() {
+        assert_eq!(cover_interval(8, Extent::Line), Some((0, 64)));
+        assert_eq!(cover_interval(64, Extent::Line), Some((64, 128)));
+        assert_eq!(cover_interval(8, Extent::Bytes(8)), Some((0, 64)));
+        assert_eq!(cover_interval(2120, Extent::Bytes(8)), Some((2112, 2176)));
+        assert_eq!(cover_interval(0, Extent::Bytes(128)), Some((0, 128)));
+        assert_eq!(cover_interval(0, Extent::Unknown), None);
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Workspace CI gate: build, test, clippy, and the static persistency lint.
+#
+# The lint step runs twice: once over examples/ (must be clean) and once —
+# inverted — over the known-buggy lint demo, proving the `--deny warnings`
+# gate actually fires.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> hippoctl lint --deny warnings examples/"
+target/release/hippoctl lint --deny warnings examples/
+
+echo "==> hippoctl lint --deny warnings crates/pmapps/pmc/lint_demo.pmc (must fail)"
+if target/release/hippoctl lint --deny warnings crates/pmapps/pmc/lint_demo.pmc; then
+    echo "check.sh: lint gate did NOT fire on the known-buggy demo" >&2
+    exit 1
+fi
+echo "lint gate fires on the known-buggy demo, as expected"
+
+echo "check.sh: all checks passed"

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in a hermetic environment with no registry access, so
+//! external crates are vendored as small API-compatible implementations. This
+//! one covers exactly the surface the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `RngExt::random::<f64>()` and
+//! `RngExt::random_range(a..=b)`. The generator is a splitmix64 — statistically
+//! fine for workload generation, not cryptographic.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Rngs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from the generator's native distribution.
+pub trait StandardSample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, mirroring `rand::Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// Samples from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default seedable generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f64 = a.random();
+            let y: f64 = b.random();
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+            let n = a.random_range(1..=20u64);
+            b.random_range(1..=20u64);
+            assert!((1..=20).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the vendored `serde` crate's value-tree
+//! `Serialize`/`Deserialize` traits. The input is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` available in the hermetic
+//! build), which is sufficient because the workspace only derives on
+//! non-generic named structs, newtype/tuple structs, and enums with unit,
+//! tuple, or struct variants — all without `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    /// `None` for structs; variant list for enums.
+    variants: Option<Vec<(String, Shape)>>,
+    shape: Shape,
+}
+
+/// Splits a delimited group's tokens at top-level commas, tracking `<...>`
+/// nesting so type arguments like `BTreeMap<u64, u64>` stay intact.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn named_fields(tokens: Vec<TokenTree>) -> Vec<String> {
+    split_top_level(tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let rest = skip_attrs_and_vis(&chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn tuple_arity(tokens: Vec<TokenTree>) -> usize {
+    split_top_level(tokens)
+        .into_iter()
+        .filter(|c| !skip_attrs_and_vis(c).is_empty())
+        .count()
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut toks = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Skip outer attributes and visibility, find `struct`/`enum`.
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                "struct" => break,
+                "enum" => {
+                    is_enum = true;
+                    break;
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    }
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    if is_enum {
+        let body = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        };
+        let variants = split_top_level(body.stream().into_iter().collect())
+            .into_iter()
+            .filter_map(|chunk| {
+                let rest = skip_attrs_and_vis(&chunk);
+                let vname = match rest.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let shape = match rest.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(named_fields(g.stream().into_iter().collect()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(tuple_arity(g.stream().into_iter().collect()))
+                    }
+                    _ => Shape::Unit,
+                };
+                Some((vname, shape))
+            })
+            .collect();
+        Parsed {
+            name,
+            variants: Some(variants),
+            shape: Shape::Unit,
+        }
+    } else {
+        let shape = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(tuple_arity(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        };
+        Parsed {
+            name,
+            variants: None,
+            shape,
+        }
+    }
+}
+
+/// The wire name for a field: raw-identifier prefix stripped.
+fn wire(name: &str) -> &str {
+    name.trim_start_matches("r#")
+}
+
+fn str_value(s: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{s}\"))")
+}
+
+fn named_map_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_value({})),",
+                str_value(wire(f)),
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.variants {
+        None => match &p.shape {
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let elems: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(","))
+            }
+            Shape::Named(fields) => named_map_expr(fields, |f| format!("&self.{f}")),
+        },
+        Some(variants) => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                let arm = match shape {
+                    Shape::Unit => {
+                        format!("{name}::{vname} => {},", str_value(vname))
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(","))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({}, {payload})]),",
+                            binds.join(","),
+                            str_value(vname)
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let payload = named_map_expr(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({}, {payload})]),",
+                            fields.join(","),
+                            str_value(vname)
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let err = |msg: &str| format!("::serde::DeError::new(\"{msg}\")");
+    let body = match &p.variants {
+        None => match &p.shape {
+            Shape::Unit => format!("let _ = __v; ::std::result::Result::Ok({name})"),
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(__v.elem({i})?)?"))
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", elems.join(","))
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(__v.field(\"{}\")?)?,",
+                            wire(f)
+                        )
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(""))
+            }
+        },
+        Some(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("{name}::{vname}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(__payload.elem({i})?)?")
+                                })
+                                .collect();
+                            format!("{name}::{vname}({})", elems.join(","))
+                        };
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({expr}),"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__payload.field(\"{}\")?)?,",
+                                    wire(f)
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            inits.join("")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{ {unit_arms} _ => ::std::result::Result::Err({unknown}) }};\n\
+                 }}\n\
+                 if let ::serde::Value::Map(__entries) = __v {{\n\
+                     if __entries.len() == 1 {{\n\
+                         if let ::serde::Value::Str(__tag) = &__entries[0].0 {{\n\
+                             let __payload = &__entries[0].1;\n\
+                             return match __tag.as_str() {{ {payload_arms} _ => ::std::result::Result::Err({unknown}) }};\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err({bad})",
+                unknown = err(&format!("unknown variant of {name}")),
+                bad = err(&format!("invalid value for enum {name}")),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
