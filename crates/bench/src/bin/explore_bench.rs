@@ -1,0 +1,145 @@
+//! Crash-state exploration benchmark: throughput (crash states per second)
+//! and coverage versus checkpoint-based crash sampling, emitted as
+//! `BENCH_explore.json` for the CI bench smoke.
+//!
+//! Two artifacts:
+//!
+//! 1. **Coverage** — the unfenced-flush-reordering demo is clean under the
+//!    dynamic checkpoint checker (its blind spot) but caught by exploration;
+//!    an `Exploration`-sourced repair heals it and re-exploration is clean.
+//! 2. **Throughput** — states/sec exploring the correct P-CLHT and the
+//!    ordering demo at a fixed seed and budget, serial and parallel.
+
+use hippocrates::{BugSource, Hippocrates, RepairOptions};
+use pmexplore::{run_and_explore, ExploreOptions};
+use pmvm::VmOptions;
+use serde::Serialize;
+use std::time::Instant;
+
+const DEMO_SRC: &str = include_str!("../../../../examples/ordering_demo.pmc");
+const BUDGET: usize = 128;
+const SEED: u64 = 0;
+
+#[derive(Serialize)]
+struct Coverage {
+    demo: &'static str,
+    crashpoint_bugs: usize,
+    exploration_bugs: usize,
+    healed_clean: bool,
+}
+
+#[derive(Serialize)]
+struct Throughput {
+    target: &'static str,
+    jobs: usize,
+    candidates: usize,
+    distinct_states: usize,
+    findings: usize,
+    secs: f64,
+    states_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchOut {
+    budget: usize,
+    seed: u64,
+    coverage: Coverage,
+    throughput: Vec<Throughput>,
+}
+
+fn opts(jobs: usize) -> ExploreOptions {
+    ExploreOptions {
+        budget: BUDGET,
+        seed: SEED,
+        jobs,
+        ..ExploreOptions::default()
+    }
+}
+
+fn throughput_row(name: &'static str, m: &pmir::Module, entry: &str, jobs: usize) -> Throughput {
+    let t0 = Instant::now();
+    let x = run_and_explore(m, entry, &opts(jobs)).expect("exploration runs");
+    let secs = t0.elapsed().as_secs_f64();
+    let row = Throughput {
+        target: name,
+        jobs,
+        candidates: x.report.stats.candidates,
+        distinct_states: x.report.stats.distinct_states,
+        findings: x.report.findings.len(),
+        secs,
+        states_per_sec: if secs > 0.0 {
+            x.report.stats.candidates as f64 / secs
+        } else {
+            0.0
+        },
+    };
+    println!(
+        "  {name:<16} jobs={jobs}  {:>4} states ({} distinct, {} inconsistent) \
+         in {secs:.3}s  ->  {:.0} states/s",
+        row.candidates, row.distinct_states, row.findings, row.states_per_sec
+    );
+    row
+}
+
+fn main() {
+    println!("Crash-state exploration — coverage vs. crashpoint sampling, and states/sec\n");
+
+    // --- Coverage: the dynamic checker's blind spot. -----------------------
+    let mut demo = pmlang::compile_one("ordering_demo.pmc", DEMO_SRC).expect("demo compiles");
+    let dynamic =
+        pmcheck::run_and_check(&demo, "main", VmOptions::default()).expect("dynamic check runs");
+    let crashpoint_bugs = dynamic.report.bugs.len();
+
+    let explored = run_and_explore(&demo, "main", &opts(1)).expect("exploration runs");
+    let exploration_bugs = explored.report.to_check_report(&explored.trace).bugs.len();
+    println!(
+        "coverage on the reordering demo: crashpoint checker {crashpoint_bugs} bug(s), \
+         exploration {exploration_bugs} bug(s)"
+    );
+    assert_eq!(crashpoint_bugs, 0, "the demo is the checker's blind spot");
+    assert!(exploration_bugs > 0, "exploration must catch the reordering");
+
+    // Heal it from the exploration report, then re-verify at full budget.
+    let outcome = Hippocrates::new(RepairOptions {
+        bug_source: BugSource::Exploration,
+        explore_budget: BUDGET,
+        explore_seed: SEED,
+        ..RepairOptions::default()
+    })
+    .repair_until_clean(&mut demo, "main")
+    .expect("repair runs");
+    let healed = run_and_explore(&demo, "main", &opts(1)).expect("re-exploration runs");
+    let healed_clean = outcome.clean && healed.report.is_clean();
+    println!(
+        "healed with {} fix(es); re-exploration clean: {healed_clean}\n",
+        outcome.fixes.len()
+    );
+    assert!(healed_clean, "exploration-sourced repair must converge");
+
+    // --- Throughput: states/sec at a fixed seed and budget. ----------------
+    println!("throughput (budget {BUDGET}, seed {SEED}):");
+    let pclht = pmapps::pclht::build_correct().expect("pclht builds");
+    let demo_clean = demo; // the healed demo: every candidate boots recovery
+    let throughput = vec![
+        throughput_row("ordering_demo", &demo_clean, "main", 1),
+        throughput_row("ordering_demo", &demo_clean, "main", 4),
+        throughput_row("pclht", &pclht, pmapps::pclht::ENTRY, 1),
+        throughput_row("pclht", &pclht, pmapps::pclht::ENTRY, 4),
+    ];
+
+    let out = BenchOut {
+        budget: BUDGET,
+        seed: SEED,
+        coverage: Coverage {
+            demo: "examples/ordering_demo.pmc",
+            crashpoint_bugs,
+            exploration_bugs,
+            healed_clean,
+        },
+        throughput,
+    };
+    let path = "BENCH_explore.json";
+    std::fs::write(path, serde_json::to_string_pretty(&out).unwrap() + "\n")
+        .expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+}

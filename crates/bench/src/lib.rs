@@ -12,6 +12,7 @@
 //! | `code_size`         | §6.4 — IR growth of the repaired Redis |
 //! | `ablation_reuse`    | §6.4 — subprogram reuse vs. fresh clones |
 //! | `ablation_cost_model` | DESIGN.md — fence/flush latency sensitivity of Fig. 4 |
+//! | `explore_bench`     | `BENCH_explore.json` — exploration states/sec + coverage vs. crashpoint sampling |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

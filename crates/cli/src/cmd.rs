@@ -22,6 +22,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "trace" => trace_cmd(rest),
         "check" => check_cmd(rest),
         "lint" => lint_cmd(rest),
+        "explore" => explore_cmd(rest),
         "fix" => fix_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -40,9 +41,13 @@ fn usage() -> String {
         "hippoctl check   <src>... [--entry NAME]         durability-bug report",
         "hippoctl lint    <src|dir>... [--entry NAME]     static persistency check",
         "                 [--deny warnings]                (no execution; dirs lint each .pmc)",
+        "hippoctl explore <src>... [--entry NAME]         crash-state exploration: boot the",
+        "                 [--jobs N] [--budget K]           recovery oracle on sampled crash",
+        "                 [--seed S] [--recover FN]         states; report inconsistencies",
         "hippoctl fix     <src>... [--entry NAME] [-o F]  repair; write fixed IR",
         "                 [--intra-only] [--trace-aa] [--portable]",
-        "                 [--bug-source dynamic|static|both]",
+        "                 [--bug-source dynamic|static|both|exploration]",
+        "                 [--jobs N] [--budget K] [--seed S]",
     ] {
         let _ = writeln!(s, "  {line}");
     }
@@ -59,6 +64,10 @@ struct Opts {
     portable: bool,
     deny_warnings: bool,
     bug_source: BugSource,
+    jobs: usize,
+    budget: usize,
+    seed: u64,
+    recover: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -71,6 +80,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         portable: false,
         deny_warnings: false,
         bug_source: BugSource::Dynamic,
+        jobs: 1,
+        budget: 256,
+        seed: 0,
+        recover: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,12 +107,38 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     "dynamic" => BugSource::Dynamic,
                     "static" => BugSource::Static,
                     "both" => BugSource::Both,
+                    "exploration" => BugSource::Exploration,
                     other => {
                         return Err(format!(
-                            "--bug-source supports dynamic|static|both, got `{other}`"
+                            "--bug-source supports dynamic|static|both|exploration, got `{other}`"
                         ));
                     }
                 };
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                o.budget = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--budget needs a positive integer, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                o.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got `{v}`"))?;
+            }
+            "--recover" => {
+                o.recover = Some(it.next().ok_or("--recover needs a value")?.clone());
             }
             "--intra-only" => o.intra_only = true,
             "--trace-aa" => o.trace_aa = true,
@@ -300,6 +339,9 @@ fn render_lint(
             pmcheck::Checkpoint::ProgramEnd => {
                 writeln!(s, "   = note: audited at program end")
             }
+            pmcheck::Checkpoint::Event(seq) => {
+                writeln!(s, "   = note: audited at explored crash state (trace event #{seq})")
+            }
         };
     }
     for rf in &report.redundant_flushes {
@@ -340,6 +382,35 @@ fn excerpt(
     }
 }
 
+/// `hippoctl explore`: crash-state exploration. Runs the entry once with
+/// PM data capture, samples crash states (every subset of dirty lines at
+/// every PM event, under the budget), boots the recovery oracle on each,
+/// and reports the stores whose loss broke recovery. Exit code is nonzero
+/// when any explored state is inconsistent.
+fn explore_cmd(args: &[String]) -> Result<(), String> {
+    let o = parse(args)?;
+    let m = load(&o.sources)?;
+    let opts = pmexplore::ExploreOptions {
+        budget: o.budget,
+        seed: o.seed,
+        jobs: o.jobs,
+        oracle: o.recover.as_deref().map(pmexplore::Oracle::returns_zero),
+        ..pmexplore::ExploreOptions::default()
+    };
+    let x = pmexplore::run_and_explore(&m, &o.entry, &opts).map_err(|e| e.to_string())?;
+    print!("{}", x.report.render());
+    if x.report.is_clean() {
+        Ok(())
+    } else {
+        let check = x.report.to_check_report(&x.trace);
+        print!("{}", check.render());
+        Err(format!(
+            "{} inconsistent crash state(s) found",
+            x.report.findings.len()
+        ))
+    }
+}
+
 fn fix_cmd(args: &[String]) -> Result<(), String> {
     let o = parse(args)?;
     let mut m = load(&o.sources)?;
@@ -352,6 +423,9 @@ fn fix_cmd(args: &[String]) -> Result<(), String> {
         },
         portable_fixes: o.portable,
         bug_source: o.bug_source,
+        explore_budget: o.budget,
+        explore_seed: o.seed,
+        explore_jobs: o.jobs,
         ..RepairOptions::default()
     };
     let outcome = Hippocrates::new(opts)
@@ -437,6 +511,28 @@ mod tests {
         assert!(parse(&bad).is_err());
         let none = vec!["a.pmc".to_string()];
         assert_eq!(parse(&none).unwrap().bug_source, BugSource::Dynamic);
+    }
+
+    #[test]
+    fn parse_explore_flags() {
+        let args: Vec<String> = [
+            "a.pmc", "--jobs", "4", "--budget", "128", "--seed", "7", "--recover", "chk",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.budget, 128);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.recover.as_deref(), Some("chk"));
+        assert!(parse(&["a.pmc".into(), "--jobs".into(), "0".into()]).is_err());
+        assert!(parse(&["a.pmc".into(), "--budget".into(), "x".into()]).is_err());
+        let exp: Vec<String> = ["a.pmc", "--bug-source", "exploration"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse(&exp).unwrap().bug_source, BugSource::Exploration);
     }
 
     #[test]

@@ -189,8 +189,9 @@ impl Hippocrates {
     }
 
     /// Runs the configured bug finder(s) once: the dynamic checker, the
-    /// static checker, or both (the union of their reports, deduplicated by
-    /// store). The trace is empty when only the static checker ran —
+    /// static checker, both, or the dynamic checker plus crash-state
+    /// exploration (the union of their reports, deduplicated by store). The
+    /// trace is empty when only the static checker ran —
     /// downstream consumers (fence anchoring, `I`-function lookup, trace
     /// PM-marking) all degrade gracefully to their conservative fallbacks.
     fn detect(
@@ -212,6 +213,24 @@ impl Hippocrates {
                 let c = run_and_check(m, entry, vm_opts.clone())?;
                 let stat = pmstatic::check_module(m, entry).map_err(RepairError::Static)?;
                 Ok((merge_reports(c.report, stat), c.trace))
+            }
+            BugSource::Exploration => {
+                let x = pmexplore::run_and_explore(
+                    m,
+                    entry,
+                    &pmexplore::ExploreOptions {
+                        budget: self.opts.explore_budget,
+                        seed: self.opts.explore_seed,
+                        jobs: self.opts.explore_jobs,
+                        max_recovery_steps: self.opts.max_steps,
+                        ..pmexplore::ExploreOptions::default()
+                    },
+                )?;
+                let dynamic = pmcheck::check_trace(&x.trace);
+                let explored = x.report.to_check_report(&x.trace);
+                let mut merged = merge_reports(dynamic, explored);
+                merged.provenance = pmcheck::Provenance::Exploration;
+                Ok((merged, x.trace))
             }
         }
     }
@@ -319,6 +338,16 @@ fn i_function(m: &Module, trace: &Trace, bug: &Bug) -> Option<pmir::FuncId> {
             .stack
             .last()
             .and_then(|f| m.function_by_name(&f.function)),
+        // Exploration checkpoints are hypothetical crashes at a trace
+        // position; the durability requirement is rooted where that event
+        // executed.
+        Checkpoint::Event(seq) => trace
+            .events
+            .iter()
+            .find(|e| e.seq == seq)
+            .and_then(|e| e.stack.first())
+            .and_then(|f| m.function_by_name(&f.function))
+            .or_else(|| bug.stack.last().and_then(|f| m.function_by_name(&f.function))),
     }
 }
 
@@ -615,6 +644,85 @@ mod tests {
         // The only evidence of execution the engine could leave is in the
         // outcome's final report: a static report carries no addresses.
         assert_eq!(outcome.final_report.provenance, pmcheck::Provenance::Static);
+    }
+
+    #[test]
+    fn exploration_source_heals_unfenced_flush_reordering() {
+        // The acceptance scenario for crash-state exploration: `data` is
+        // flushed but not fenced before the `flag` store. Every line is
+        // durable by the crashpoint, so the dynamic checker — including
+        // crash-point sampling — reports clean. Only exploring partial
+        // crash states (flag persisted via eviction, data write-back still
+        // in flight) exposes the reordering; repair must fence the data
+        // flush and re-exploration must come back clean.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(11, 4096);
+                store8(p, 64, 4242);
+                clwb(p + 64);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                crashpoint();
+            }
+            fn recover() -> int {
+                var p: ptr = pmem_map(11, 4096);
+                if (load8(p, 0) == 1) {
+                    if (load8(p, 64) != 4242) { return 1; }
+                }
+                return 0;
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+
+        // Blind spot: the checkpoint-based dynamic checker sees nothing,
+        // and booting recovery at the declared crashpoint is consistent.
+        let dynamic = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(dynamic.report.is_clean(), "lint-clean by construction");
+        let at_crashpoint = pmvm::Vm::new(VmOptions::default().stop_at(1))
+            .run(&m, "main")
+            .unwrap();
+        let img = at_crashpoint.machine.crash_image();
+        let recov = pmvm::Vm::new(VmOptions::default().with_media(img.into_media()))
+            .run(&m, "recover")
+            .unwrap();
+        assert_eq!(recov.return_value, Some(0), "crash-point sampling misses it");
+
+        // Exploration-driven repair finds and heals it.
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Exploration,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(!outcome.fixes.is_empty());
+        assert_eq!(
+            outcome.final_report.provenance,
+            pmcheck::Provenance::Exploration
+        );
+
+        // Re-exploration of the healed module is clean.
+        let x = pmexplore::run_and_explore(&m, "main", &pmexplore::ExploreOptions::default())
+            .unwrap();
+        assert!(x.report.is_clean(), "{}", x.report.render());
+    }
+
+    #[test]
+    fn exploration_matches_dynamic_on_plain_durability_bugs() {
+        // Exploration subsumes, not replaces, the dynamic checker: a plain
+        // missing-flush&fence bug is still found and healed under
+        // `BugSource::Exploration`.
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Exploration,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(!outcome.fixes.is_empty());
     }
 
     #[test]

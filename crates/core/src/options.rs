@@ -27,6 +27,13 @@ pub enum BugSource {
     /// Both: the union of the two reports each iteration, and the loop is
     /// only done when *both* checkers come back clean.
     Both,
+    /// The crash-state exploration engine (`pmexplore`) *plus* the dynamic
+    /// checker: every iteration replays the program, unions the checkpoint
+    /// report with the bugs blamed by recovery-oracle failures on explored
+    /// crash states, and the loop is only done when both come back clean.
+    /// Catches ordering bugs (flushed-but-unfenced reordering) that no
+    /// checkpoint ever samples.
+    Exploration,
 }
 
 /// Options for [`crate::Hippocrates`].
@@ -57,6 +64,12 @@ pub struct RepairOptions {
     pub max_iterations: u32,
     /// VM step budget per verification run.
     pub max_steps: u64,
+    /// Crash-state budget per exploration pass ([`BugSource::Exploration`]).
+    pub explore_budget: usize,
+    /// Sampler seed for exploration (results are deterministic in it).
+    pub explore_seed: u64,
+    /// Worker threads for exploration. Never changes the findings.
+    pub explore_jobs: usize,
 }
 
 impl Default for RepairOptions {
@@ -71,6 +84,9 @@ impl Default for RepairOptions {
             bug_source: BugSource::Dynamic,
             max_iterations: 8,
             max_steps: 200_000_000,
+            explore_budget: 256,
+            explore_seed: 0,
+            explore_jobs: 1,
         }
     }
 }

@@ -87,6 +87,71 @@ mod tests {
         }
     }
 
+    fn explore_opts(budget: usize) -> pmexplore::ExploreOptions {
+        pmexplore::ExploreOptions {
+            budget,
+            ..pmexplore::ExploreOptions::default()
+        }
+    }
+
+    #[test]
+    fn pclht_correct_survives_crash_state_exploration() {
+        // The recovery oracle accepts every reachable crash state of the
+        // correct build — the exploration analog of "correct is clean".
+        let m = crate::pclht::build_correct().unwrap();
+        let x = pmexplore::run_and_explore(&m, crate::pclht::ENTRY, &explore_opts(96)).unwrap();
+        assert_eq!(
+            x.report.oracle.as_ref().unwrap().entry,
+            "recover",
+            "the module's conventional recovery entry is discovered"
+        );
+        assert!(x.report.is_clean(), "{}", x.report.render());
+        assert!(x.report.stats.distinct_states > 1);
+    }
+
+    #[test]
+    fn memcached_correct_survives_crash_state_exploration() {
+        let m = crate::memcached::build_correct().unwrap();
+        let x =
+            pmexplore::run_and_explore(&m, crate::memcached::ENTRY, &explore_opts(96)).unwrap();
+        assert!(x.report.is_clean(), "{}", x.report.render());
+    }
+
+    #[test]
+    fn redis_pm_port_survives_crash_state_exploration() {
+        let ops = vec![
+            crate::redis::RedisOp::set(1, 64),
+            crate::redis::RedisOp::set(2, 64),
+            crate::redis::RedisOp::set(1, 64),
+            crate::redis::RedisOp::del(2),
+            crate::redis::RedisOp::get(1),
+        ];
+        let mut m = crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap();
+        let entry = crate::redis::attach_workload(&mut m, "x", &ops);
+        let x = pmexplore::run_and_explore(&m, &entry, &explore_opts(96)).unwrap();
+        assert!(x.report.is_clean(), "{}", x.report.render());
+    }
+
+    #[test]
+    fn recover_entries_judge_the_pristine_store_consistent() {
+        // Booting each oracle on an untouched pool returns 0 (so a crash
+        // before any operation is never a false positive).
+        for (m, recover) in [
+            (crate::pclht::build_correct().unwrap(), crate::pclht::RECOVER),
+            (
+                crate::memcached::build_correct().unwrap(),
+                crate::memcached::RECOVER,
+            ),
+            (
+                crate::redis::build(crate::redis::RedisBuild::PmPort).unwrap(),
+                crate::redis::RECOVER,
+            ),
+        ] {
+            let r = pmvm::Vm::new(VmOptions::default()).run(&m, recover).unwrap();
+            assert_eq!(r.return_value, Some(0), "{recover} on a fresh pool");
+        }
+    }
+
     #[test]
     fn redis_pm_port_is_clean_under_ycsb_like_load() {
         let ops: Vec<crate::redis::RedisOp> = (1..=50)

@@ -9,6 +9,10 @@ pub const SRC: &str = include_str!("../pmc/memcached.pmc");
 /// The driver entry point.
 pub const ENTRY: &str = "memcached_main";
 
+/// The recovery oracle entry (returns 0 iff the durable invariants hold);
+/// crash-state exploration boots it on every explored crash image.
+pub const RECOVER: &str = "mc_recover";
+
 /// The ten previously-undocumented bugs the paper reports in memcached-pm
 /// (§6.1).
 pub const BUG_IDS: [&str; 10] = [

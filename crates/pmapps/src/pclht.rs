@@ -10,6 +10,10 @@ pub const SRC: &str = include_str!("../pmc/pclht.pmc");
 /// RECIPE's evaluation).
 pub const ENTRY: &str = "pclht_main";
 
+/// The recovery oracle entry (returns 0 iff the durable invariants hold);
+/// crash-state exploration boots it on every explored crash image.
+pub const RECOVER: &str = "pclht_recover";
+
 /// The two previously-undocumented bugs the paper reports in P-CLHT (§6.1).
 pub const BUG_IDS: [&str; 2] = ["pclht-1", "pclht-2"];
 

@@ -7,6 +7,10 @@ use pmlang::LangError;
 /// The mini-Redis source.
 pub const SRC: &str = include_str!("../pmc/redis.pmc");
 
+/// The recovery oracle entry (returns 0 iff the durable invariants hold);
+/// crash-state exploration boots it on every explored crash image.
+pub const RECOVER: &str = "redis_recover";
+
 /// Which Redis variant to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RedisBuild {

@@ -36,6 +36,11 @@ pub enum Checkpoint {
     CrashPoint(u64),
     /// Orderly program end.
     ProgramEnd,
+    /// A hypothetical crash injected by the exploration engine right after
+    /// the trace event with this sequence number — every trace position is
+    /// a potential checkpoint under the persistency model, not just the
+    /// hand-placed `crashpoint`s.
+    Event(u64),
 }
 
 /// How a report's facts were obtained: by observing an execution (the
@@ -48,6 +53,10 @@ pub enum Provenance {
     Dynamic,
     /// Produced by the flow-sensitive static persistency checker.
     Static,
+    /// Produced by the crash-state exploration engine (`pmexplore`): a
+    /// recovery oracle failed on a reachable post-crash state, and the bug
+    /// blames the store whose loss broke recovery.
+    Exploration,
 }
 
 impl fmt::Display for Provenance {
@@ -55,6 +64,7 @@ impl fmt::Display for Provenance {
         f.write_str(match self {
             Provenance::Dynamic => "dynamic",
             Provenance::Static => "static",
+            Provenance::Exploration => "exploration",
         })
     }
 }

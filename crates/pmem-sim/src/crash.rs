@@ -41,12 +41,39 @@ impl CrashImage {
         self.pools.len()
     }
 
+    /// Iterates over `(hint, base, bytes)` triples in hint order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, &[u8])> {
+        self.pools
+            .iter()
+            .map(|(&hint, bytes)| (hint, self.bases[&hint], bytes.as_slice()))
+    }
+
+    /// Builds an image directly from `(hint, base, bytes)` pool triples.
+    /// Exploration engines use this to materialize hypothetical crash
+    /// states without going through a [`crate::Machine`].
+    pub fn from_parts(parts: impl IntoIterator<Item = (u64, u64, Vec<u8>)>) -> Self {
+        let mut pools = BTreeMap::new();
+        let mut bases = BTreeMap::new();
+        for (hint, base, bytes) in parts {
+            pools.insert(hint, bytes);
+            bases.insert(hint, base);
+        }
+        CrashImage { pools, bases }
+    }
+
     /// Reads a little-endian zero-extended integer from an absolute PM
     /// address in the image.
     pub fn read_int(&self, addr: u64, len: u8) -> Option<i64> {
+        // An address whose end wraps the address space is in no pool.
+        let end = addr.checked_add(u64::from(len))?;
         for (hint, &base) in &self.bases {
             let bytes = &self.pools[hint];
-            if addr >= base && addr + u64::from(len) <= base + bytes.len() as u64 {
+            // A pool whose extent would wrap cannot be addressed either;
+            // skip it rather than panicking in a release build.
+            let Some(pool_end) = base.checked_add(bytes.len() as u64) else {
+                continue;
+            };
+            if addr >= base && end <= pool_end {
                 let off = (addr - base) as usize;
                 let mut buf = [0u8; 8];
                 buf[..len as usize].copy_from_slice(&bytes[off..off + len as usize]);
@@ -89,6 +116,35 @@ mod tests {
         assert_eq!(img.read_int(a, 8), Some(11));
         assert_eq!(img.read_int(b + 16, 4), Some(22));
         assert_eq!(img.read_int(0xdead, 8), None);
+    }
+
+    #[test]
+    fn read_int_near_u64_max_does_not_overflow() {
+        // Regression: `addr + len` used to be computed unchecked, so a
+        // probe near the top of the address space overflowed (panic in
+        // debug, wrap-around false positive in release).
+        use crate::crash::CrashImage;
+        let img = CrashImage::from_parts([(0u64, 0x1000u64, vec![0u8; 128])]);
+        assert_eq!(img.read_int(u64::MAX, 8), None);
+        assert_eq!(img.read_int(u64::MAX - 4, 8), None);
+        // A pool whose extent would wrap is skipped, not a crash.
+        let wrapping = CrashImage::from_parts([(1u64, u64::MAX - 16, vec![0u8; 64])]);
+        assert_eq!(wrapping.read_int(u64::MAX - 10, 8), None);
+    }
+
+    #[test]
+    fn from_parts_matches_machine_image() {
+        let mut m = Machine::default();
+        let p = m.map_pool(9, 128).unwrap();
+        m.store_int(p, 8, 5).unwrap();
+        m.flush(FlushKind::Clflush, p).unwrap();
+        let img = m.crash_image();
+        let rebuilt = crate::crash::CrashImage::from_parts([(
+            9u64,
+            img.pool_base(9).unwrap(),
+            img.pool_bytes(9).unwrap().to_vec(),
+        )]);
+        assert_eq!(rebuilt, img);
     }
 
     #[test]

@@ -582,6 +582,29 @@ impl Machine {
         CrashImage::of_media(&media)
     }
 
+    /// The durable state if the machine crashed right now and exactly the
+    /// cache lines in `persisted` made it to the medium first. Unlike
+    /// [`Machine::crash_image_flushing`], *any* dirty line qualifies —
+    /// cache eviction can persist a line that was never flushed (paper
+    /// Lemma 2), so exploration must be able to pick arbitrary dirty
+    /// subsets. Line addresses that are not dirty are ignored.
+    pub fn crash_image_with_lines(&self, persisted: &[u64]) -> CrashImage {
+        let mut media = self.media.clone();
+        for &line in persisted {
+            if !self.dirty_lines.contains(&line) {
+                continue;
+            }
+            if let Some(i) = self.pool_index_of(line) {
+                let p = &self.pools[i];
+                let off = (line - p.base) as usize;
+                let end = (off + CACHE_LINE as usize).min(p.bytes.len());
+                let pm = media.pool_mut(p.hint).expect("media");
+                pm.bytes[off..end].copy_from_slice(&p.bytes[off..end]);
+            }
+        }
+        CrashImage::of_media(&media)
+    }
+
     /// Lines with a scheduled-but-undrained write-back, in address order.
     pub fn pending_pm_lines(&self) -> Vec<u64> {
         self.pending_pm_lines.iter().copied().collect()
@@ -765,6 +788,27 @@ mod tests {
         let mut m2 = Machine::with_media(media, CostModel::default());
         let p2 = m2.map_pool(42, 256).unwrap();
         assert_eq!(m2.load_int(p2, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_image_with_lines_honors_any_dirty_line() {
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 256).unwrap();
+        m.store_int(p, 8, 1).unwrap(); // dirty, never flushed
+        m.store_int(p + 64, 8, 2).unwrap();
+        m.flush(FlushKind::Clwb, p + 64).unwrap(); // pending
+        // Unflushed lines can still persist via eviction.
+        let img = m.crash_image_with_lines(&[p]);
+        assert_eq!(img.read_int(p, 8), Some(1));
+        assert_eq!(img.read_int(p + 64, 8), Some(0));
+        // crash_image_flushing only honors *pending* lines.
+        let img = m.crash_image_flushing(&[p, p + 64]);
+        assert_eq!(img.read_int(p, 8), Some(0));
+        assert_eq!(img.read_int(p + 64, 8), Some(2));
+        // Clean lines are ignored.
+        m.fence(FenceKind::Sfence);
+        let img = m.crash_image_with_lines(&[p + 64]);
+        assert_eq!(img.read_int(p + 64, 8), Some(2));
     }
 
     #[test]

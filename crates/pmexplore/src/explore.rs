@@ -1,0 +1,538 @@
+//! The parallel exploration driver.
+//!
+//! Pipeline: derive frontiers → sample candidates under the budget →
+//! fan candidate chunks out over a work-stealing queue → each worker
+//! replays to the candidate's position, materializes the crash image,
+//! dedups by content hash, and boots the recovery oracle on states not
+//! seen before → inconsistencies are blamed back onto the stores whose
+//! lost lines broke recovery and exported as a `pmcheck`-shaped report.
+//!
+//! Results are deterministic in `(trace, seed, budget)`: the candidate
+//! list is generated up front, a verdict is a pure function of the image
+//! (so memoization races between workers are benign), and findings are
+//! re-sorted into candidate order before deduplication.
+
+use crate::frontier::{frontiers, Frontier};
+use crate::oracle::{Failure, Oracle, Verdict};
+use crate::replay::Replayer;
+use crate::sample::{sample, Candidate};
+use crate::steal::StealQueue;
+use pmcheck::{Bug, BugKind, CheckReport, Checkpoint, Provenance};
+use pmem_sim::{CrashImage, PmMedia};
+use pmir::Module;
+use pmtrace::{DataLog, EventKind, Trace};
+use pmvm::{Vm, VmError, VmOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
+
+/// Candidate indices handed to a worker per queue transaction.
+const CHUNK: usize = 8;
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Maximum crash states evaluated (after prioritized truncation).
+    pub budget: usize,
+    /// Seed for the candidate sampler's random extras.
+    pub seed: u64,
+    /// Worker threads. Results are identical for any value.
+    pub jobs: usize,
+    /// The recovery oracle; `None` derives one from the module (its
+    /// `recover()` function when present, else re-running the entry).
+    pub oracle: Option<Oracle>,
+    /// Step budget per recovery boot.
+    pub max_recovery_steps: u64,
+    /// Medium the traced run was booted from, for traces of recovery runs.
+    pub initial_media: Option<PmMedia>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            budget: 256,
+            seed: 0,
+            jobs: 1,
+            oracle: None,
+            max_recovery_steps: 50_000_000,
+            initial_media: None,
+        }
+    }
+}
+
+/// A store whose lost line(s) broke recovery in one crash state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LostStore {
+    /// Trace sequence number of the blamed store event.
+    pub store_seq: u64,
+    /// Durability-bug classification of the loss.
+    pub kind: BugKind,
+    /// The store's cache lines that were dirty and not persisted.
+    pub lost_lines: Vec<u64>,
+    /// The subset of `lost_lines` that was never even flushed.
+    pub unflushed_lines: Vec<u64>,
+}
+
+/// One inconsistent crash state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The crash position (trace event the crash follows).
+    pub after_seq: u64,
+    /// Dirty lines that were persisted in this state.
+    pub persisted: Vec<u64>,
+    /// Dirty lines that were lost in this state.
+    pub lost: Vec<u64>,
+    /// Content hash of the crash image (dedup key).
+    pub image_hash: u64,
+    /// What the oracle observed.
+    pub failure: Failure,
+    /// Stores blamed for the loss; empty when even the fully-persisted
+    /// prefix fails (an atomicity violation no flush/fence can repair).
+    pub blamed: Vec<LostStore>,
+}
+
+/// Exploration counters. All fields are deterministic in
+/// `(trace, seed, budget)` — thread count never changes them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Crash positions derived from the trace.
+    pub frontiers: usize,
+    /// Candidate states evaluated (post-truncation).
+    pub candidates: usize,
+    /// Distinct crash images among them (recovery boots needed).
+    pub distinct_states: usize,
+    /// Inconsistent states found (after image-level dedup).
+    pub inconsistent: usize,
+}
+
+/// The exploration outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreReport {
+    /// Inconsistent crash states, one per distinct failing image, in
+    /// candidate order.
+    pub findings: Vec<Finding>,
+    /// Counters.
+    pub stats: ExploreStats,
+    /// The oracle that judged the states.
+    pub oracle: Option<Oracle>,
+}
+
+impl ExploreReport {
+    /// Whether every explored state recovered cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Converts the findings into a `pmcheck`-shaped report
+    /// ([`Provenance::Exploration`]) the repair engine consumes directly:
+    /// one [`Bug`] per blamed store and kind, anchored at the crash
+    /// state's trace position. Findings with no blamable store (atomicity
+    /// failures) are not representable as durability bugs and are skipped.
+    pub fn to_check_report(&self, trace: &Trace) -> CheckReport {
+        let mut bugs: Vec<Bug> = vec![];
+        let mut seen: std::collections::HashSet<(u64, BugKind)> = std::collections::HashSet::new();
+        for f in &self.findings {
+            for ls in &f.blamed {
+                if !seen.insert((ls.store_seq, ls.kind)) {
+                    continue;
+                }
+                let Some(e) = trace.events.iter().find(|e| e.seq == ls.store_seq) else {
+                    continue;
+                };
+                let EventKind::Store { addr, len } = e.kind else {
+                    continue;
+                };
+                bugs.push(Bug {
+                    kind: ls.kind,
+                    addr,
+                    len,
+                    store_at: e.at.clone(),
+                    store_loc: e.loc.clone(),
+                    stack: e.stack.clone(),
+                    store_seq: ls.store_seq,
+                    checkpoint: Checkpoint::Event(f.after_seq),
+                    unflushed_lines: ls.unflushed_lines.clone(),
+                });
+            }
+        }
+        CheckReport {
+            bugs,
+            redundant_flushes: vec![],
+            stores_checked: trace.count(|k| matches!(k, EventKind::Store { .. })) as u64,
+            flushes_seen: trace.count(|k| matches!(k, EventKind::Flush { .. })) as u64,
+            fences_seen: trace.count(|k| matches!(k, EventKind::Fence { .. })) as u64,
+            provenance: Provenance::Exploration,
+        }
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "pmexplore: {} frontier(s), {} candidate state(s), {} distinct image(s)",
+            s.frontiers, s.candidates, s.distinct_states
+        );
+        if self.is_clean() {
+            let _ = writeln!(out, "every explored crash state recovered cleanly");
+        } else {
+            let _ = writeln!(out, "{} inconsistent crash state(s):", self.findings.len());
+            for f in &self.findings {
+                let _ = writeln!(
+                    out,
+                    "  after event #{}: {} ({} line(s) persisted, {} lost)",
+                    f.after_seq,
+                    f.failure.what,
+                    f.persisted.len(),
+                    f.lost.len()
+                );
+                for ls in &f.blamed {
+                    let _ = writeln!(
+                        out,
+                        "      {} blamed on store at event #{}",
+                        ls.kind, ls.store_seq
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a over every pool's identity and durable bytes.
+fn image_hash(img: &CrashImage) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for (hint, base, bytes) in img.iter() {
+        eat(&hint.to_le_bytes());
+        eat(&base.to_le_bytes());
+        eat(&(bytes.len() as u64).to_le_bytes());
+        eat(bytes);
+    }
+    h
+}
+
+/// Explores the crash states of one traced execution of `module`.
+/// `entry` is only used to derive the fallback oracle; the trace and data
+/// log drive everything else.
+pub fn explore(
+    module: &Module,
+    entry: &str,
+    trace: &Trace,
+    data: &DataLog,
+    opts: &ExploreOptions,
+) -> ExploreReport {
+    let oracle = opts
+        .oracle
+        .clone()
+        .unwrap_or_else(|| Oracle::default_for(module, entry));
+    let fronts = frontiers(trace, data, opts.initial_media.as_ref());
+    let candidates = sample(&fronts, opts.budget, opts.seed);
+    let jobs = opts.jobs.max(1).min(candidates.len().max(1));
+    let queue = StealQueue::new(jobs, candidates.len(), CHUNK);
+    let memo: Mutex<HashMap<u64, Verdict>> = Mutex::new(HashMap::new());
+    let found: Mutex<Vec<(usize, Finding)>> = Mutex::new(vec![]);
+
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let (queue, memo, found, candidates, fronts, oracle) =
+                (&queue, &memo, &found, &candidates, &fronts, &oracle);
+            s.spawn(move || {
+                let mut replayer: Option<Replayer<'_>> = None;
+                let mut at_seq = 0u64;
+                while let Some(range) = queue.pop(w) {
+                    for idx in range {
+                        let c = &candidates[idx];
+                        // The replayer is forward-only; a stolen chunk that
+                        // jumps backwards restarts it.
+                        if replayer.is_none() || at_seq > c.after_seq {
+                            replayer =
+                                Some(Replayer::new(trace, data, opts.initial_media.as_ref()));
+                        }
+                        let r = replayer.as_mut().expect("created above");
+                        r.advance_to(c.after_seq);
+                        at_seq = c.after_seq;
+                        let img = r.image_with(&c.lines);
+                        let h = image_hash(&img);
+                        let known = memo.lock().expect("memo lock").get(&h).cloned();
+                        let verdict = match known {
+                            Some(v) => v,
+                            None => {
+                                let v = oracle.check(module, img, opts.max_recovery_steps);
+                                memo.lock().expect("memo lock").insert(h, v.clone());
+                                v
+                            }
+                        };
+                        if let Verdict::Inconsistent(failure) = verdict {
+                            let f = finding(trace, &fronts[c.frontier], c, h, failure);
+                            found.lock().expect("found lock").push((idx, f));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut raw = found.into_inner().expect("found lock");
+    raw.sort_by_key(|(idx, _)| *idx);
+    let mut findings = vec![];
+    let mut failing_images = BTreeSet::new();
+    for (_, f) in raw {
+        if failing_images.insert(f.image_hash) {
+            findings.push(f);
+        }
+    }
+    let stats = ExploreStats {
+        frontiers: fronts.len(),
+        candidates: candidates.len(),
+        distinct_states: memo.into_inner().expect("memo lock").len(),
+        inconsistent: findings.len(),
+    };
+    ExploreReport {
+        findings,
+        stats,
+        oracle: Some(oracle),
+    }
+}
+
+/// Builds the finding for an inconsistent candidate: what was lost and
+/// which stores to blame, classified the same way the dynamic checker
+/// classifies (pending line → missing fence; otherwise missing flush when
+/// a later fence exists, else missing flush&fence).
+fn finding(
+    trace: &Trace,
+    frontier: &Frontier,
+    c: &Candidate,
+    image_hash: u64,
+    failure: Failure,
+) -> Finding {
+    let persisted: BTreeSet<u64> = c.lines.iter().copied().collect();
+    let pending: BTreeSet<u64> = frontier.pending.iter().copied().collect();
+    let lost: Vec<u64> = frontier
+        .dirty
+        .iter()
+        .copied()
+        .filter(|l| !persisted.contains(l))
+        .collect();
+
+    // line → last store event at or before the crash that wrote it.
+    let mut by_store: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &line in &lost {
+        let mut blamed: Option<u64> = None;
+        for e in &trace.events {
+            if e.seq > c.after_seq {
+                break;
+            }
+            if let EventKind::Store { addr, len } = e.kind {
+                let lo = addr & !63;
+                if line >= lo && line < addr + len.max(1) {
+                    blamed = Some(e.seq);
+                }
+            }
+        }
+        if let Some(seq) = blamed {
+            by_store.entry(seq).or_default().push(line);
+        }
+    }
+
+    let blamed = by_store
+        .into_iter()
+        .map(|(store_seq, lines)| {
+            let unflushed: Vec<u64> =
+                lines.iter().copied().filter(|l| !pending.contains(l)).collect();
+            let kind = if unflushed.is_empty() {
+                BugKind::MissingFence
+            } else {
+                let fence_after = trace.events.iter().any(|e| {
+                    e.seq > store_seq
+                        && e.seq <= c.after_seq
+                        && matches!(e.kind, EventKind::Fence { .. })
+                });
+                if fence_after {
+                    BugKind::MissingFlush
+                } else {
+                    BugKind::MissingFlushFence
+                }
+            };
+            LostStore {
+                store_seq,
+                kind,
+                lost_lines: lines,
+                unflushed_lines: unflushed,
+            }
+        })
+        .collect();
+
+    Finding {
+        after_seq: c.after_seq,
+        persisted: c.lines.clone(),
+        lost,
+        image_hash,
+        failure,
+        blamed,
+    }
+}
+
+/// The result of [`run_and_explore`]: the traced run plus the exploration
+/// of its crash states.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The exploration outcome.
+    pub report: ExploreReport,
+    /// The traced execution the exploration covered.
+    pub trace: Trace,
+    /// The PM write-data log of that execution.
+    pub data: DataLog,
+}
+
+/// Runs `entry` once with tracing and PM data capture, then explores the
+/// crash states of that execution.
+///
+/// # Errors
+///
+/// Propagates a [`VmError`] if the traced run itself traps.
+pub fn run_and_explore(
+    module: &Module,
+    entry: &str,
+    opts: &ExploreOptions,
+) -> Result<Exploration, VmError> {
+    let vm_opts = VmOptions {
+        capture_pm_data: true,
+        media: opts.initial_media.clone(),
+        ..VmOptions::default()
+    };
+    let res = Vm::new(vm_opts).run(module, entry)?;
+    let trace = res.trace.expect("tracing was on");
+    let data = res.pm_data.expect("capture was on");
+    let report = explore(module, entry, &trace, &data, opts);
+    Ok(Exploration { trace, data, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical escape from checkpoint-based checking: `data` is
+    /// flushed but not fenced before the `flag` store, so a crash can
+    /// persist the flag (plain cache eviction) while the data write-back
+    /// is still in flight. Every line is durable by the `crashpoint`, so
+    /// the dynamic checker — and crash-point sampling — see nothing.
+    const ORDERING_BUG: &str = r#"
+        fn main() {
+            var p: ptr = pmem_map(11, 4096);
+            store8(p, 64, 4242);
+            clwb(p + 64);
+            store8(p, 0, 1);
+            clwb(p);
+            sfence();
+            crashpoint();
+        }
+        fn recover() -> int {
+            var p: ptr = pmem_map(11, 4096);
+            if (load8(p, 0) == 1) {
+                if (load8(p, 64) != 4242) { return 1; }
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn finds_reordering_the_dynamic_checker_misses() {
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let x = run_and_explore(&m, "main", &ExploreOptions::default()).unwrap();
+        // The checkpoint-based dynamic checker is blind to this bug.
+        assert!(
+            pmcheck::check_trace(&x.trace).is_clean(),
+            "program must be lint-clean for the test to mean anything"
+        );
+        assert!(!x.report.is_clean(), "exploration must catch the reordering");
+        let check = x.report.to_check_report(&x.trace);
+        assert_eq!(check.provenance, Provenance::Exploration);
+        // The first Store in the trace is the data store at `p + 64`.
+        let data_store_seq = x
+            .trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Store { .. }))
+            .unwrap()
+            .seq;
+        assert!(
+            check
+                .bugs
+                .iter()
+                .any(|b| b.kind == BugKind::MissingFence && b.store_seq == data_store_seq),
+            "the data store is blamed for a missing fence: {}",
+            check.render()
+        );
+        assert!(check
+            .bugs
+            .iter()
+            .all(|b| matches!(b.checkpoint, Checkpoint::Event(_))));
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let serial = run_and_explore(&m, "main", &ExploreOptions::default()).unwrap();
+        let parallel = run_and_explore(
+            &m,
+            "main",
+            &ExploreOptions {
+                jobs: 4,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn clean_program_explores_clean() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(2, 4096);
+                store8(p, 64, 7);
+                clwb(p + 64);
+                sfence();
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+            }
+            fn recover() -> int {
+                var p: ptr = pmem_map(2, 4096);
+                if (load8(p, 0) == 1) {
+                    if (load8(p, 64) != 7) { return 1; }
+                }
+                return 0;
+            }
+        "#;
+        let m = pmlang::compile_one("t.pmc", src).unwrap();
+        let x = run_and_explore(&m, "main", &ExploreOptions::default()).unwrap();
+        assert!(x.report.is_clean(), "{}", x.report.render());
+        assert!(x.report.stats.candidates > 0);
+        assert!(x.report.stats.distinct_states > 0);
+    }
+
+    #[test]
+    fn budget_caps_candidates() {
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let x = run_and_explore(
+            &m,
+            "main",
+            &ExploreOptions {
+                budget: 3,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(x.report.stats.candidates <= 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Crash frontiers: the candidate crash positions of one execution.
+//!
+//! Under the x86 persistency model a crash can strike between any two
+//! instructions; the durable state it leaves is the medium plus *any
+//! subset* of the dirty cache lines (each line independently may or may not
+//! have been written back by cache pressure — paper Lemma 2). The durable
+//! base only changes at PM events, so it suffices to place one frontier
+//! after every PM event and enumerate dirty-line subsets there.
+
+use crate::replay::Replayer;
+use pmem_sim::PmMedia;
+use pmtrace::{DataLog, EventKind, Trace};
+
+/// One candidate crash position: right after the trace event `after_seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// Sequence number of the event this frontier follows.
+    pub after_seq: u64,
+    /// Dirty (not-yet-durable) lines here — the subset universe.
+    pub dirty: Vec<u64>,
+    /// The subset of `dirty` that is pending (flushed but unfenced): lines
+    /// whose loss is a *missing-fence* symptom rather than missing-flush.
+    pub pending: Vec<u64>,
+}
+
+impl Frontier {
+    /// Whether any durable/cached divergence exists here at all.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+}
+
+/// Derives the frontier list: one entry after every PM store, flush, fence,
+/// crash point, and the program end. Pool registrations change no durable
+/// state and get no frontier.
+pub fn frontiers(trace: &Trace, data: &DataLog, initial: Option<&PmMedia>) -> Vec<Frontier> {
+    let mut out = Vec::new();
+    let mut r = Replayer::new(trace, data, initial);
+    for e in &trace.events {
+        r.advance_to(e.seq);
+        match e.kind {
+            EventKind::Store { .. }
+            | EventKind::Flush { .. }
+            | EventKind::Fence { .. }
+            | EventKind::CrashPoint
+            | EventKind::ProgramEnd => out.push(Frontier {
+                after_seq: e.seq,
+                dirty: r.dirty_lines(),
+                pending: r.pending_lines(),
+            }),
+            EventKind::RegisterPool { .. } => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmvm::{Vm, VmOptions};
+
+    #[test]
+    fn frontier_per_pm_event_with_correct_sets() {
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+            }
+        "#;
+        let m = pmlang::compile_one("t.pmc", src).unwrap();
+        let res = Vm::new(VmOptions::default().capture_pm_data())
+            .run(&m, "main")
+            .unwrap();
+        let trace = res.trace.as_ref().unwrap();
+        let data = res.pm_data.as_ref().unwrap();
+        let f = frontiers(trace, data, None);
+        // store, flush, fence, program end — the RegisterPool gets none.
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0].dirty.len(), 1, "dirty after the store");
+        assert!(f[0].pending.is_empty());
+        assert_eq!(f[1].dirty.len(), 1, "clwb leaves the line dirty");
+        assert_eq!(f[1].pending.len(), 1, "but schedules the write-back");
+        assert!(!f[2].has_dirty(), "the fence drains everything");
+        assert!(!f[3].has_dirty());
+    }
+}

@@ -1,0 +1,112 @@
+//! A minimal work-stealing queue over contiguous index chunks.
+//!
+//! Each worker owns a deque seeded with a contiguous slice of the candidate
+//! index space and drains it front-to-back (preserving replay locality: a
+//! worker's candidates arrive in ascending trace order, so its forward-only
+//! replayer seldom restarts). A worker that runs dry steals from the *back*
+//! of the busiest victim — the classic Cilk discipline, here with plain
+//! mutexes since chunk transfer is rare and coarse.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// The shared queue state.
+#[derive(Debug)]
+pub struct StealQueue {
+    deques: Vec<Mutex<VecDeque<Range<usize>>>>,
+}
+
+impl StealQueue {
+    /// Splits `0..total` into `chunk`-sized ranges dealt contiguously to
+    /// `workers` deques.
+    pub fn new(workers: usize, total: usize, chunk: usize) -> Self {
+        let workers = workers.max(1);
+        let chunk = chunk.max(1);
+        let mut deques: Vec<VecDeque<Range<usize>>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        let chunks: Vec<Range<usize>> = (0..total)
+            .step_by(chunk)
+            .map(|lo| lo..(lo + chunk).min(total))
+            .collect();
+        let per = chunks.len().div_ceil(workers);
+        for (i, c) in chunks.into_iter().enumerate() {
+            deques[(i / per.max(1)).min(workers - 1)].push_back(c);
+        }
+        StealQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next chunk for `worker`: its own front, else stolen from the back of
+    /// the victim with the most remaining chunks. `None` when all deques
+    /// are empty (workers then exit; chunks are never re-queued).
+    pub fn pop(&self, worker: usize) -> Option<Range<usize>> {
+        if let Some(c) = self.deques[worker].lock().expect("queue lock").pop_front() {
+            return Some(c);
+        }
+        loop {
+            let victim = self
+                .deques
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != worker)
+                .max_by_key(|(_, d)| d.lock().expect("queue lock").len())?;
+            if victim.1.lock().expect("queue lock").is_empty() {
+                return None;
+            }
+            if let Some(c) = victim.1.lock().expect("queue lock").pop_back() {
+                return Some(c);
+            }
+            // Lost the race to another thief; look again.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_drains_in_order() {
+        let q = StealQueue::new(1, 10, 4);
+        assert_eq!(q.pop(0), Some(0..4));
+        assert_eq!(q.pop(0), Some(4..8));
+        assert_eq!(q.pop(0), Some(8..10));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn every_index_claimed_exactly_once() {
+        let q = StealQueue::new(4, 103, 8);
+        let mut seen = [false; 103];
+        // Worker 3 drains everything (its own deque first, then steals).
+        while let Some(r) = q.pop(3) {
+            for i in r {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all indices claimed");
+    }
+
+    #[test]
+    fn parallel_claims_are_disjoint_and_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = StealQueue::new(4, 1000, 7);
+        let claimed: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let (q, claimed) = (&q, &claimed);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                s.spawn(move || {
+                    while let Some(r) = q.pop(w) {
+                        for i in r {
+                            claimed[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,90 @@
+//! The PM write-data side channel.
+//!
+//! [`crate::event::EventKind::Store`] records *where* a store landed but not
+//! *what* it wrote — pmemcheck's log does the same, and the repair engine
+//! never needs the bytes. Crash-state exploration does: to materialize the
+//! durable image at an arbitrary trace position it must replay every PM
+//! write's contents. Rather than widening the `Store` event (and every
+//! consumer of it), the interpreter captures the bytes into this parallel
+//! log, keyed by the originating event's sequence number.
+
+use serde::{Deserialize, Serialize};
+
+/// The bytes one PM-mutating event wrote.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataRecord {
+    /// Sequence number of the [`crate::Event`] this write belongs to.
+    pub seq: u64,
+    /// Start address of the written range.
+    pub addr: u64,
+    /// The bytes as they landed (post-store cache contents).
+    pub bytes: Vec<u8>,
+}
+
+/// All PM write data for one execution, in event order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataLog {
+    /// Records sorted by `seq` (the interpreter emits them in order).
+    pub records: Vec<DataRecord>,
+}
+
+impl DataLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        DataLog::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, seq: u64, addr: u64, bytes: Vec<u8>) {
+        self.records.push(DataRecord { seq, addr, bytes });
+    }
+
+    /// The record for event `seq`, if that event wrote PM data.
+    pub fn for_seq(&self, seq: u64) -> Option<&DataRecord> {
+        self.records
+            .binary_search_by_key(&seq, |r| r.seq)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes captured.
+    pub fn byte_count(&self) -> usize {
+        self.records.iter().map(|r| r.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut log = DataLog::new();
+        log.push(3, 0x1000, vec![1, 2, 3]);
+        log.push(7, 0x2000, vec![4]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.byte_count(), 4);
+        assert_eq!(log.for_seq(3).unwrap().bytes, vec![1, 2, 3]);
+        assert!(log.for_seq(4).is_none());
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut log = DataLog::new();
+        log.push(0, 0x10, vec![9; 8]);
+        let s = serde_json::to_string(&log).unwrap();
+        let back: DataLog = serde_json::from_str(&s).unwrap();
+        assert_eq!(log, back);
+    }
+}

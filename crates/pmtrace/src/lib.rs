@@ -13,10 +13,12 @@
 //! only — PM stores, flushes, fences, pool registrations, crash points, and
 //! program end — not every volatile access.
 
+pub mod data;
 pub mod event;
 pub mod format;
 pub mod log;
 
+pub use data::{DataLog, DataRecord};
 pub use event::{Event, EventKind, FenceKind, FlushKind, Frame, IrRef, Trace, TraceLoc};
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::options::VmOptions;
 use crate::result::{Ended, RunResult, VmError};
 use pmem_sim::{layout, Machine};
 use pmir::{BlockId, FenceKind, FlushKind, FuncId, GlobalId, InstId, Module, Op, Operand};
-use pmtrace::{Event, EventKind, IrRef, Trace, TraceLoc};
+use pmtrace::{DataLog, Event, EventKind, IrRef, Trace, TraceLoc};
 use std::collections::HashMap;
 
 /// The virtual machine. Cheap to construct; one [`Vm::run`] call executes a
@@ -28,6 +28,17 @@ impl Vm {
     /// Returns a [`VmError`] if the program traps (memory fault, division by
     /// zero, step limit) or the entry point is unsuitable.
     pub fn run(&self, module: &Module, entry: &str) -> Result<RunResult, VmError> {
+        if self.opts.stop_at_crash_point == Some(0) {
+            return Err(VmError::BadOptions {
+                reason: "stop_at_crash_point is 1-based; 0 never matches any crash point"
+                    .to_string(),
+            });
+        }
+        if (self.opts.capture_pm_data || self.opts.stop_at_event.is_some()) && !self.opts.trace {
+            return Err(VmError::BadOptions {
+                reason: "capture_pm_data / stop_at_event require tracing".to_string(),
+            });
+        }
         let entry_id = module
             .function_by_name(entry)
             .ok_or_else(|| VmError::NoSuchFunction {
@@ -38,7 +49,6 @@ impl Vm {
                 name: entry.to_string(),
             });
         }
-
         let machine = match self.opts.media.clone() {
             Some(media) => Machine::with_media(media, self.opts.cost),
             None => Machine::new(self.opts.cost),
@@ -50,6 +60,7 @@ impl Vm {
             globals: HashMap::new(),
             output: vec![],
             trace: self.opts.trace.then(Trace::new),
+            pm_data: self.opts.capture_pm_data.then(DataLog::new),
             steps: 0,
             seq: 0,
             crash_points: 0,
@@ -68,6 +79,7 @@ impl Vm {
             ended,
             stats: *exec.machine.stats(),
             trace: exec.trace,
+            pm_data: exec.pm_data,
             machine: exec.machine,
             steps: exec.steps,
         })
@@ -89,6 +101,7 @@ struct Exec<'m, 'o> {
     globals: HashMap<GlobalId, u64>,
     output: Vec<i64>,
     trace: Option<Trace>,
+    pm_data: Option<DataLog>,
     steps: u64,
     seq: u64,
     crash_points: u64,
@@ -181,10 +194,12 @@ impl Exec<'_, '_> {
         out
     }
 
-    fn emit(&mut self, kind: EventKind, at: Option<(InstId, Option<pmir::SrcLoc>)>) {
-        if self.trace.is_none() {
-            return;
-        }
+    fn emit(
+        &mut self,
+        kind: EventKind,
+        at: Option<(InstId, Option<pmir::SrcLoc>)>,
+    ) -> Option<u64> {
+        self.trace.as_ref()?;
         let stack = self.capture_stack();
         let (at, loc) = match at {
             Some((inst, loc)) => (
@@ -205,6 +220,17 @@ impl Exec<'_, '_> {
             loc,
             stack,
         });
+        Some(seq)
+    }
+
+    /// Records the post-store cache bytes of a PM write into the data log,
+    /// keyed by the store event's sequence number.
+    fn capture_pm_write(&mut self, seq: Option<u64>, addr: u64, len: u64) {
+        let (Some(seq), Some(_)) = (seq, self.pm_data.as_ref()) else {
+            return;
+        };
+        let bytes = self.machine.peek(addr, len).unwrap_or_default();
+        self.pm_data.as_mut().expect("checked").push(seq, addr, bytes);
     }
 
     fn after_pm_store(&mut self, addr: u64) {
@@ -219,6 +245,14 @@ impl Exec<'_, '_> {
     fn run_loop(&mut self) -> Result<(Ended, Option<i64>), VmError> {
         let mut last_ret: Option<i64> = None;
         while let Some(frame) = self.frames.last() {
+            // `stop_at_event`: the previous iteration's instruction emitted
+            // event `n` (and finished executing); crash here, before the
+            // next instruction runs.
+            if let Some(n) = self.opts.stop_at_event {
+                if self.seq > n {
+                    return Ok((Ended::AtEvent(n), None));
+                }
+            }
             self.steps += 1;
             if self.steps > self.opts.max_steps {
                 return Err(VmError::StepLimit {
@@ -297,13 +331,14 @@ impl Exec<'_, '_> {
                     let v = self.eval(*value)?;
                     self.machine.store_int(a, ty.size() as u8, v)?;
                     if layout::is_pm_addr(a) {
-                        self.emit(
+                        let seq = self.emit(
                             EventKind::Store {
                                 addr: a,
                                 len: ty.size(),
                             },
                             Some((inst_id, loc)),
                         );
+                        self.capture_pm_write(seq, a, ty.size());
                         self.after_pm_store(a);
                     }
                     self.advance();
@@ -314,7 +349,9 @@ impl Exec<'_, '_> {
                     let n = self.eval(*len)? as u64;
                     self.machine.memcpy(d, s, n)?;
                     if n > 0 && layout::is_pm_addr(d) {
-                        self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        let seq =
+                            self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        self.capture_pm_write(seq, d, n);
                         self.after_pm_store(d);
                     }
                     self.advance();
@@ -325,7 +362,9 @@ impl Exec<'_, '_> {
                     let n = self.eval(*len)? as u64;
                     self.machine.memset(d, v, n)?;
                     if n > 0 && layout::is_pm_addr(d) {
-                        self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        let seq =
+                            self.emit(EventKind::Store { addr: d, len: n }, Some((inst_id, loc)));
+                        self.capture_pm_write(seq, d, n);
                         self.after_pm_store(d);
                     }
                     self.advance();
@@ -709,6 +748,83 @@ mod tests {
         assert!(res.output.is_empty());
         // The store never became durable.
         assert_eq!(res.machine.crash_image().pool_bytes(0).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn crash_point_zero_is_rejected() {
+        // Crash points are 1-based; `stop_at(0)` used to silently behave
+        // like "never crash", so the caller's "crash immediately" intent
+        // quietly ran the whole program. Now it traps up front.
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.crash_point();
+        b.ret(None);
+        b.finish();
+        let err = Vm::new(VmOptions::default().stop_at(0)).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::BadOptions { .. }));
+        // And 1 still means "the first crashpoint".
+        let res = Vm::new(VmOptions::default().stop_at(1)).run(&m, "main").unwrap();
+        assert_eq!(res.ended, Ended::CrashPoint(1));
+    }
+
+    #[test]
+    fn stop_at_event_halts_after_that_event() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let pool = b.pmem_map(4096i64, 0); // event 0
+        b.store(Type::int(8), pool, 5i64); // event 1
+        b.store(Type::int(8), pool, 7i64); // event 2 (never runs)
+        b.ret(None);
+        b.finish();
+        let res = Vm::new(VmOptions::default().stop_at_event(1)).run(&m, "main").unwrap();
+        assert_eq!(res.ended, Ended::AtEvent(1));
+        assert_eq!(res.trace.as_ref().unwrap().len(), 2);
+        // The first store executed (cache sees 5), the second did not.
+        assert_eq!(res.machine.peek(pmem_sim::layout::PM_BASE, 1).unwrap()[0], 5);
+    }
+
+    #[test]
+    fn capture_pm_data_records_store_bytes() {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let pool = b.pmem_map(4096i64, 0);
+        b.store(Type::int(8), pool, 0x0807060504030201i64);
+        b.memset(pool, 0xabi64, 4i64);
+        b.ret(None);
+        b.finish();
+        let res = Vm::new(VmOptions::default().capture_pm_data()).run(&m, "main").unwrap();
+        let data = res.pm_data.unwrap();
+        assert_eq!(data.len(), 2, "one record per PM-mutating event");
+        assert_eq!(data.records[0].bytes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(data.records[1].bytes, vec![0xab; 4]);
+        // Records share the trace's sequence numbers.
+        let store_seq = res
+            .trace
+            .unwrap()
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Store { .. }))
+            .unwrap()
+            .seq;
+        assert_eq!(data.records[0].seq, store_seq);
+    }
+
+    #[test]
+    fn data_capture_without_trace_is_rejected() {
+        let m = Module::new();
+        let mut opts = VmOptions::bench();
+        opts.capture_pm_data = true;
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::BadOptions { .. }));
     }
 
     #[test]

@@ -15,9 +15,22 @@ pub struct VmOptions {
     pub max_steps: u64,
     /// Boot against an existing persistent medium (crash-recovery runs).
     pub media: Option<PmMedia>,
-    /// Stop execution at the n-th (1-based) `crashpoint` instruction,
-    /// simulating a crash there. `None` runs to completion.
+    /// Stop execution at the n-th `crashpoint` instruction, simulating a
+    /// crash there. Crash points are numbered **from 1**: `Some(1)` stops
+    /// at the first `crashpoint` executed. `Some(0)` is rejected with
+    /// [`crate::VmError::BadOptions`] — it can never match and used to
+    /// silently behave like "never crash". `None` runs to completion.
     pub stop_at_crash_point: Option<u64>,
+    /// Stop execution right after the trace event with this sequence
+    /// number has been emitted (the instruction that produced it completes
+    /// first). Lets crash-state exploration re-run a program to an exact
+    /// trace position and inspect the machine there. Requires `trace`.
+    pub stop_at_event: Option<u64>,
+    /// Capture the bytes of every PM write into a [`pmtrace::DataLog`]
+    /// (returned in [`crate::RunResult::pm_data`]), keyed by the store
+    /// event's sequence number. Requires `trace`; used by crash-state
+    /// exploration to replay durable contents without re-running the VM.
+    pub capture_pm_data: bool,
     /// If set, spontaneously evict the stored-to line after every k-th PM
     /// store — models cache pressure (used by do-no-harm property tests).
     pub evict_period: Option<u64>,
@@ -31,6 +44,8 @@ impl Default for VmOptions {
             max_steps: 200_000_000,
             media: None,
             stop_at_crash_point: None,
+            stop_at_event: None,
+            capture_pm_data: false,
             evict_period: None,
         }
     }
@@ -51,9 +66,22 @@ impl VmOptions {
         self
     }
 
-    /// Sets the crash-point stop (builder-style).
+    /// Sets the crash-point stop (builder-style). 1-based: `stop_at(1)`
+    /// crashes at the first `crashpoint`.
     pub fn stop_at(mut self, nth_crash_point: u64) -> Self {
         self.stop_at_crash_point = Some(nth_crash_point);
+        self
+    }
+
+    /// Stops right after trace event `seq` (builder-style).
+    pub fn stop_at_event(mut self, seq: u64) -> Self {
+        self.stop_at_event = Some(seq);
+        self
+    }
+
+    /// Enables PM write-data capture (builder-style).
+    pub fn capture_pm_data(mut self) -> Self {
+        self.capture_pm_data = true;
         self
     }
 }
@@ -70,5 +98,8 @@ mod tests {
         assert_eq!(o.stop_at_crash_point, Some(2));
         let o = VmOptions::default().with_media(PmMedia::new());
         assert!(o.media.is_some());
+        let o = VmOptions::default().stop_at_event(7).capture_pm_data();
+        assert_eq!(o.stop_at_event, Some(7));
+        assert!(o.capture_pm_data);
     }
 }

@@ -1,7 +1,7 @@
 //! Run results and traps.
 
 use pmem_sim::{Machine, MachineStats, MemError};
-use pmtrace::Trace;
+use pmtrace::{DataLog, Trace};
 use std::fmt;
 
 /// How execution ended.
@@ -12,6 +12,10 @@ pub enum Ended {
     /// Execution stopped at the configured crash point
     /// ([`crate::VmOptions::stop_at_crash_point`]).
     CrashPoint(u64),
+    /// Execution stopped after emitting the configured trace event
+    /// ([`crate::VmOptions::stop_at_event`]); carries the event's sequence
+    /// number.
+    AtEvent(u64),
     /// The program executed `abort`.
     Aborted(i64),
 }
@@ -31,6 +35,9 @@ pub struct RunResult {
     pub stats: MachineStats,
     /// The recorded PM trace, when tracing was enabled.
     pub trace: Option<Trace>,
+    /// The bytes every PM write deposited, when
+    /// [`crate::VmOptions::capture_pm_data`] was enabled.
+    pub pm_data: Option<DataLog>,
     /// The machine in its final state — crash images and the persistent
     /// medium can be extracted from it.
     pub machine: Machine,
@@ -70,6 +77,13 @@ pub enum VmError {
         /// The requested name.
         name: String,
     },
+    /// The [`crate::VmOptions`] combination is invalid (e.g.
+    /// `stop_at_crash_point = Some(0)`, which can never match because crash
+    /// points are numbered from 1).
+    BadOptions {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -87,6 +101,7 @@ impl fmt::Display for VmError {
             VmError::EntryHasParams { name } => {
                 write!(f, "entry function `{name}` must take no parameters")
             }
+            VmError::BadOptions { reason } => write!(f, "invalid VM options: {reason}"),
         }
     }
 }

@@ -26,4 +26,22 @@ if target/release/hippoctl lint --deny warnings crates/pmapps/pmc/lint_demo.pmc;
 fi
 echo "lint gate fires on the known-buggy demo, as expected"
 
+echo "==> hippoctl explore examples/ordering_demo.pmc (must find the reordering)"
+if target/release/hippoctl explore examples/ordering_demo.pmc --budget 64 --seed 0; then
+    echo "check.sh: exploration did NOT find the known reordering bug" >&2
+    exit 1
+fi
+echo "exploration finds the unfenced-flush reordering, as expected"
+
+echo "==> hippoctl fix --bug-source exploration + re-explore (must be clean)"
+healed="$(mktemp -d)/healed.ir"
+target/release/hippoctl fix examples/ordering_demo.pmc --bug-source exploration \
+    --budget 64 --seed 0 -o "$healed"
+target/release/hippoctl explore "$healed" --budget 64 --seed 0
+rm -rf "$(dirname "$healed")"
+
+echo "==> explore_bench smoke (writes BENCH_explore.json)"
+target/release/explore_bench
+test -s BENCH_explore.json
+
 echo "check.sh: all checks passed"
