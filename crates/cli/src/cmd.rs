@@ -24,6 +24,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "lint" => lint_cmd(rest),
         "explore" => explore_cmd(rest),
         "fix" => fix_cmd(rest),
+        "faultcampaign" => faultcampaign_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -48,6 +49,9 @@ fn usage() -> String {
         "                 [--intra-only] [--trace-aa] [--portable]",
         "                 [--bug-source dynamic|static|both|exploration]",
         "                 [--jobs N] [--budget K] [--seed S]",
+        "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
+        "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
+        "                                                   degrades, never panics or hangs",
     ] {
         let _ = writeln!(s, "  {line}");
     }
@@ -444,6 +448,180 @@ fn fix_cmd(args: &[String]) -> Result<(), String> {
     emit(&o.out, &text)
 }
 
+/// The built-in fault-campaign workload: enough PM stores, flushes, and
+/// loads for every trigger offset in the archetype catalogue to land, a
+/// spin loop so a tightened fuel budget actually bites, observable output
+/// for the do-no-harm equivalence check, one genuine durability bug for
+/// the engine to fix, and a `recover` oracle for the exploration seeds.
+const CAMPAIGN_SRC: &str = r#"
+    fn main() {
+        var p: ptr = pmem_map(3, 4096);
+        store8(p, 0, 1);
+        clwb(p);
+        sfence();
+        store8(p, 64, 2);
+        clwb(p + 64);
+        sfence();
+        store8(p, 128, 3);
+        clwb(p + 128);
+        store8(p, 192, 4);
+        var i: int = 0;
+        while (i < 16) { i = i + 1; }
+        print(load8(p, 0) + load8(p, 64));
+        print(load8(p, 128) + load8(p, 192));
+    }
+    fn recover() -> int {
+        var p: ptr = pmem_map(3, 4096);
+        if (load8(p, 0) > 9) { return 1; }
+        return 0;
+    }
+"#;
+
+/// `hippoctl faultcampaign`: the robustness gate. For each seed in
+/// `0..N`, arms the seeded fault plan on a full repair run and asserts
+/// the hardened pipeline's contract: the injected fault surfaces as a
+/// structured diagnostic or an explicit degradation (never a panic or a
+/// hang), a diverging loop is ended by the watchdog, and the repaired
+/// program's output matches the original's — the fault never changes
+/// what the repair does to the program.
+fn faultcampaign_cmd(args: &[String]) -> Result<(), String> {
+    let mut seeds = 8u64;
+    let mut jobs = 2usize;
+    let mut entry = "main".to_string();
+    let mut sources: Vec<String> = vec![];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                seeds = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--seeds needs a positive integer, got `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--entry" => entry = it.next().ok_or("--entry needs a value")?.clone(),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            src => sources.push(src.to_string()),
+        }
+    }
+    let make_module = || -> Result<Module, String> {
+        if sources.is_empty() {
+            pmlang::compile_one("campaign.pmc", CAMPAIGN_SRC).map_err(|e| e.to_string())
+        } else {
+            load(&sources)
+        }
+    };
+    let mut failures = vec![];
+    for seed in 0..seeds {
+        let plan = pmfault::FaultPlan::from_seed(seed);
+        match campaign_seed(&make_module, &entry, seed, jobs) {
+            Ok(line) => eprintln!("seed {seed}: [{}] → ok: {line}", plan.describe()),
+            Err(why) => {
+                eprintln!("seed {seed}: [{}] → FAILED: {why}", plan.describe());
+                failures.push(seed);
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("faultcampaign: {seeds}/{seeds} seed(s) passed");
+        Ok(())
+    } else {
+        Err(format!(
+            "faultcampaign: {} of {seeds} seed(s) failed: {failures:?}",
+            failures.len()
+        ))
+    }
+}
+
+/// One campaign seed. Returns a summary line on success, the violated
+/// assertion on failure.
+fn campaign_seed(
+    make_module: &dyn Fn() -> Result<Module, String>,
+    entry: &str,
+    seed: u64,
+    jobs: usize,
+) -> Result<String, String> {
+    use pmfault::FaultSite;
+    let plan = pmfault::FaultPlan::from_seed(seed);
+    // Explore-level faults need the exploration pool in the loop; every
+    // other archetype runs dynamic + static so a degraded dynamic source
+    // always has a surviving partner.
+    let bug_source = if plan.targets(FaultSite::ExploreWorker)
+        || plan.targets(FaultSite::ExploreOracle)
+    {
+        BugSource::Exploration
+    } else {
+        BugSource::Both
+    };
+    let baseline = {
+        let m = make_module()?;
+        Vm::new(VmOptions::default())
+            .run(&m, entry)
+            .map_err(|e| format!("baseline run failed: {e}"))?
+    };
+    let mut m = make_module()?;
+    let opts = RepairOptions {
+        bug_source,
+        fault: Some(plan.clone()),
+        watchdog_ms: Some(50),
+        source_retries: 1,
+        explore_budget: 128,
+        explore_seed: seed,
+        explore_jobs: jobs,
+        ..RepairOptions::default()
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Hippocrates::new(opts).repair_until_clean(&mut m, entry)
+    }))
+    .map_err(|_| "pipeline panicked — it must degrade, not die".to_string())?
+    .map_err(|e| format!("no degraded path survived: {e}"))?;
+    if !outcome.clean {
+        return Err("outcome not clean".to_string());
+    }
+    if outcome.degraded.is_empty() && outcome.diagnostics.is_empty() {
+        return Err("injected fault left no structured diagnostic".to_string());
+    }
+    for d in &outcome.degraded {
+        if d.source.is_empty() || d.reason.is_empty() {
+            return Err(format!("degradation must name its source and reason: {d:?}"));
+        }
+    }
+    if plan.targets(FaultSite::VmDiverge) {
+        let saw_watchdog = outcome
+            .degraded
+            .iter()
+            .any(|d| d.reason.contains("watchdog"))
+            || outcome.diagnostics.iter().any(|d| d.contains("watchdog"));
+        if !saw_watchdog {
+            return Err("diverging plan did not trip the watchdog".to_string());
+        }
+    }
+    let after = Vm::new(VmOptions::default())
+        .run(&m, entry)
+        .map_err(|e| format!("repaired program failed a fault-free run: {e}"))?;
+    if baseline.output != after.output {
+        return Err(format!(
+            "repair under fault changed output: {:?} vs {:?}",
+            baseline.output, after.output
+        ));
+    }
+    Ok(format!(
+        "{} fix(es), {} degradation(s), {} diagnostic(s)",
+        outcome.fixes.len(),
+        outcome.degraded.len(),
+        outcome.diagnostics.len()
+    ))
+}
+
 fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
     match out {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
@@ -568,5 +746,25 @@ mod tests {
     fn dispatch_rejects_unknown_command() {
         assert!(dispatch(&["frobnicate".to_string()]).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn faultcampaign_rejects_bad_flags() {
+        assert!(faultcampaign_cmd(&["--seeds".into(), "0".into()]).is_err());
+        assert!(faultcampaign_cmd(&["--seeds".into(), "x".into()]).is_err());
+        assert!(faultcampaign_cmd(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn campaign_seed_torn_store_passes() {
+        let make = || pmlang::compile_one("campaign.pmc", CAMPAIGN_SRC).map_err(|e| e.to_string());
+        let line = campaign_seed(&make, "main", 0, 1).unwrap();
+        assert!(line.contains("diagnostic"), "{line}");
+    }
+
+    #[test]
+    fn campaign_seed_trace_truncation_passes() {
+        let make = || pmlang::compile_one("campaign.pmc", CAMPAIGN_SRC).map_err(|e| e.to_string());
+        campaign_seed(&make, "main", 3, 1).unwrap();
     }
 }

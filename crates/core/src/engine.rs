@@ -5,9 +5,9 @@ use crate::heuristic::{apply_hoist, choose_fix_site, CloneState};
 use crate::locate::{locate, BugSite, LocateError};
 use crate::options::{BugSource, MarkingMode, RepairOptions};
 use crate::plan::{apply_intra_fix, plan_intra_fixes, pm_store_refs};
-use crate::summary::{AppliedFix, FixKind, RepairOutcome, RepairSummary};
+use crate::summary::{AppliedFix, Degradation, FixKind, RepairOutcome, RepairSummary};
 use pmalias::{AliasAnalysis, PmMarking};
-use pmcheck::{run_and_check, Bug, CheckReport, Checkpoint};
+use pmcheck::{run_and_check, Bug, CheckReport, CheckedRun, Checkpoint};
 use pmir::Module;
 use pmtrace::{EventKind, Trace};
 use pmvm::{VmError, VmOptions};
@@ -41,6 +41,12 @@ pub enum RepairError {
         /// The configured maximum.
         max: u32,
     },
+    /// Every configured bug source failed detection even after retries —
+    /// there is nothing left to degrade to.
+    AllSourcesFailed {
+        /// Per-source failures, in configuration order.
+        failures: Vec<Degradation>,
+    },
 }
 
 impl fmt::Display for RepairError {
@@ -55,6 +61,10 @@ impl fmt::Display for RepairError {
             }
             RepairError::IterationBudget { max } => {
                 write!(f, "not clean after {max} repair iteration(s)")
+            }
+            RepairError::AllSourcesFailed { failures } => {
+                let parts: Vec<String> = failures.iter().map(|d| d.to_string()).collect();
+                write!(f, "every bug source failed: {}", parts.join("; "))
             }
         }
     }
@@ -188,49 +198,303 @@ impl Hippocrates {
         Ok(summary)
     }
 
+    /// The watchdog armed on detection/verification runs: the configured
+    /// one, or an automatic 250ms default when the fault plan injects a
+    /// diverging loop (which the VM refuses to run unguarded).
+    fn effective_watchdog(&self) -> Option<u64> {
+        self.opts.watchdog_ms.or_else(|| {
+            self.opts
+                .fault
+                .as_ref()
+                .and_then(|p| p.targets(pmfault::FaultSite::VmDiverge).then_some(250))
+        })
+    }
+
+    /// Runs `attempt_fn` up to `1 + source_retries` times with seeded,
+    /// capped exponential backoff between attempts. Returns the value plus
+    /// the number of retries spent, or the [`Degradation`] to stamp when
+    /// every attempt failed.
+    fn with_retries<T>(
+        &self,
+        source: &str,
+        mut attempt_fn: impl FnMut() -> Result<T, String>,
+    ) -> Result<(T, u32), Degradation> {
+        let seed = self
+            .opts
+            .fault
+            .as_ref()
+            .map_or(self.opts.explore_seed, |p| p.seed);
+        let mut last = String::new();
+        for attempt in 0..=self.opts.source_retries {
+            if attempt > 0 {
+                let ms = pmfault::backoff_ms(
+                    seed,
+                    attempt - 1,
+                    self.opts.retry_base_ms,
+                    self.opts.retry_cap_ms,
+                );
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            match attempt_fn() {
+                Ok(v) => return Ok((v, attempt)),
+                Err(e) => last = e,
+            }
+        }
+        Err(Degradation {
+            source: source.to_string(),
+            reason: last,
+            retries: self.opts.source_retries,
+        })
+    }
+
+    /// The dynamic checker with retries. Injected simulator faults observed
+    /// by the run are copied into `diagnostics`.
+    fn dynamic_with_retries(
+        &self,
+        m: &Module,
+        entry: &str,
+        vm_opts: &VmOptions,
+        diagnostics: &mut Vec<String>,
+    ) -> Result<CheckedRun, Degradation> {
+        let (c, retries) = self.with_retries("dynamic", || {
+            run_and_check(m, entry, vm_opts.clone())
+                .map_err(|e| format!("verification run failed: {e}"))
+        })?;
+        if retries > 0 {
+            note(
+                diagnostics,
+                format!("dynamic source recovered after {retries} retry(ies)"),
+            );
+        }
+        for f in c.run.machine.injected_faults() {
+            note(diagnostics, format!("injected: {f}"));
+        }
+        Ok(c)
+    }
+
+    /// The static checker with retries.
+    fn static_with_retries(
+        &self,
+        m: &Module,
+        entry: &str,
+        diagnostics: &mut Vec<String>,
+    ) -> Result<CheckReport, Degradation> {
+        let (report, retries) = self.with_retries("static", || {
+            pmstatic::check_module(m, entry).map_err(|e| format!("static check failed: {e}"))
+        })?;
+        if retries > 0 {
+            note(
+                diagnostics,
+                format!("static source recovered after {retries} retry(ies)"),
+            );
+        }
+        Ok(report)
+    }
+
+    /// Exercises the trace serialize→parse path that a persisted trace
+    /// would travel, with the plan's trace faults applied to the bytes in
+    /// between. A corrupted roundtrip is retried (the injector's hit
+    /// counters persist, so `Nth` faults clear on retry); when every
+    /// attempt stays corrupt the engine falls back to the in-memory trace
+    /// it already holds and stamps the outcome degraded. The repair itself
+    /// always proceeds from the in-memory trace — do no harm.
+    fn harden_trace(
+        &self,
+        trace: &Trace,
+        injector: &mut Option<pmfault::Injector>,
+        degraded: &mut Vec<Degradation>,
+        diagnostics: &mut Vec<String>,
+    ) {
+        let Some(inj) = injector.as_mut() else { return };
+        let plan_hits_trace = inj.plan().targets(pmfault::FaultSite::TraceParse)
+            || inj.plan().targets(pmfault::FaultSite::TraceAppend);
+        if !plan_hits_trace || trace.is_empty() {
+            return;
+        }
+        let seed = inj.plan().seed;
+        let mut last = String::new();
+        for attempt in 0..=self.opts.source_retries {
+            if attempt > 0 {
+                let ms = pmfault::backoff_ms(
+                    seed,
+                    attempt - 1,
+                    self.opts.retry_base_ms,
+                    self.opts.retry_cap_ms,
+                );
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            let mut text = pmtrace::log::to_log(trace);
+            if let Some(kind) = inj.fire(pmfault::FaultSite::TraceAppend) {
+                text = pmfault::duplicate_line(&text, seed);
+                inj.record(format!("trace.append: {kind} in serialized log"));
+            }
+            if let Some(kind) = inj.fire(pmfault::FaultSite::TraceParse) {
+                text = match kind {
+                    pmfault::FaultKind::TraceTruncate => pmfault::truncate_text(&text, seed),
+                    _ => pmfault::bitflip_text(&text, seed),
+                };
+                inj.record(format!("trace.parse: {kind} in serialized log"));
+            }
+            match pmtrace::log::from_log(&text) {
+                Err(e) => last = format!("trace ingest failed: {e}"),
+                Ok(parsed) => {
+                    let warnings = parsed.validate();
+                    if warnings.is_empty() {
+                        if attempt > 0 {
+                            note(
+                                diagnostics,
+                                format!("trace roundtrip recovered after {attempt} retry(ies)"),
+                            );
+                        }
+                        return;
+                    }
+                    let parts: Vec<String> =
+                        warnings.iter().map(|w| w.to_string()).collect();
+                    last = format!("trace validation failed: {}", parts.join("; "));
+                }
+            }
+        }
+        note(
+            diagnostics,
+            "trace ingest corrupted; proceeding with the in-memory trace".to_string(),
+        );
+        note_degraded(
+            degraded,
+            Degradation {
+                source: "trace".to_string(),
+                reason: last,
+                retries: self.opts.source_retries,
+            },
+        );
+    }
+
+    /// Crash-state exploration with retries. Faulted candidates reported
+    /// by the pool (contained worker panics, oracle crashes) become
+    /// diagnostics plus a partial-coverage degradation — the surviving
+    /// candidates' findings still feed the repair.
+    fn exploration_with_retries(
+        &self,
+        m: &Module,
+        entry: &str,
+        degraded: &mut Vec<Degradation>,
+        diagnostics: &mut Vec<String>,
+    ) -> Result<(CheckReport, Trace), Degradation> {
+        let x_opts = pmexplore::ExploreOptions {
+            budget: self.opts.explore_budget,
+            seed: self.opts.explore_seed,
+            jobs: self.opts.explore_jobs,
+            max_recovery_steps: self.opts.max_steps,
+            fault: self.opts.fault.clone(),
+            recovery_watchdog_ms: self.effective_watchdog(),
+            ..pmexplore::ExploreOptions::default()
+        };
+        let (x, retries) = self.with_retries("exploration", || {
+            pmexplore::run_and_explore(m, entry, &x_opts)
+                .map_err(|e| format!("exploration replay failed: {e}"))
+        })?;
+        if retries > 0 {
+            note(
+                diagnostics,
+                format!("exploration source recovered after {retries} retry(ies)"),
+            );
+        }
+        if !x.report.diagnostics.is_empty() {
+            for d in &x.report.diagnostics {
+                note(diagnostics, format!("explore: {d}"));
+            }
+            note_degraded(
+                degraded,
+                Degradation {
+                    source: "exploration".to_string(),
+                    reason: format!(
+                        "{} candidate(s) faulted ({} oracle crash(es), {} worker panic(s)); \
+                         partial coverage",
+                        x.report.diagnostics.len(),
+                        x.report.stats.oracle_crashes,
+                        x.report.stats.worker_panics
+                    ),
+                    retries: 0,
+                },
+            );
+        }
+        let dynamic = pmcheck::check_trace(&x.trace);
+        let explored = x.report.to_check_report(&x.trace);
+        let mut merged = merge_reports(dynamic, explored);
+        merged.provenance = pmcheck::Provenance::Exploration;
+        Ok((merged, x.trace))
+    }
+
     /// Runs the configured bug finder(s) once: the dynamic checker, the
     /// static checker, both, or the dynamic checker plus crash-state
     /// exploration (the union of their reports, deduplicated by store). The
     /// trace is empty when only the static checker ran —
     /// downstream consumers (fence anchoring, `I`-function lookup, trace
     /// PM-marking) all degrade gracefully to their conservative fallbacks.
+    ///
+    /// Each source gets `1 + source_retries` attempts with seeded backoff;
+    /// a source that never succeeds is abandoned for the run (stamped in
+    /// `degraded`) as long as another source survives. Only when *every*
+    /// configured source fails does detection error out, with
+    /// [`RepairError::AllSourcesFailed`] naming each failure.
     fn detect(
         &self,
         m: &Module,
         entry: &str,
         vm_opts: &VmOptions,
+        injector: &mut Option<pmfault::Injector>,
+        degraded: &mut Vec<Degradation>,
+        diagnostics: &mut Vec<String>,
     ) -> Result<(CheckReport, Trace), RepairError> {
         match self.opts.bug_source {
             BugSource::Dynamic => {
-                let c = run_and_check(m, entry, vm_opts.clone())?;
+                let c = self
+                    .dynamic_with_retries(m, entry, vm_opts, diagnostics)
+                    .map_err(|d| RepairError::AllSourcesFailed { failures: vec![d] })?;
+                self.harden_trace(&c.trace, injector, degraded, diagnostics);
                 Ok((c.report, c.trace))
             }
             BugSource::Static => {
-                let report = pmstatic::check_module(m, entry).map_err(RepairError::Static)?;
+                let report = self
+                    .static_with_retries(m, entry, diagnostics)
+                    .map_err(|d| RepairError::AllSourcesFailed { failures: vec![d] })?;
                 Ok((report, Trace::default()))
             }
             BugSource::Both => {
-                let c = run_and_check(m, entry, vm_opts.clone())?;
-                let stat = pmstatic::check_module(m, entry).map_err(RepairError::Static)?;
-                Ok((merge_reports(c.report, stat), c.trace))
+                let dynamic = self.dynamic_with_retries(m, entry, vm_opts, diagnostics);
+                let stat = self.static_with_retries(m, entry, diagnostics);
+                match (dynamic, stat) {
+                    (Ok(c), Ok(s)) => {
+                        self.harden_trace(&c.trace, injector, degraded, diagnostics);
+                        Ok((merge_reports(c.report, s), c.trace))
+                    }
+                    (Ok(c), Err(d)) => {
+                        note(
+                            diagnostics,
+                            format!("proceeding on the dynamic checker alone: {d}"),
+                        );
+                        note_degraded(degraded, d);
+                        self.harden_trace(&c.trace, injector, degraded, diagnostics);
+                        Ok((c.report, c.trace))
+                    }
+                    (Err(d), Ok(s)) => {
+                        note(
+                            diagnostics,
+                            format!("proceeding on the static checker alone: {d}"),
+                        );
+                        note_degraded(degraded, d);
+                        Ok((s, Trace::default()))
+                    }
+                    (Err(d1), Err(d2)) => Err(RepairError::AllSourcesFailed {
+                        failures: vec![d1, d2],
+                    }),
+                }
             }
             BugSource::Exploration => {
-                let x = pmexplore::run_and_explore(
-                    m,
-                    entry,
-                    &pmexplore::ExploreOptions {
-                        budget: self.opts.explore_budget,
-                        seed: self.opts.explore_seed,
-                        jobs: self.opts.explore_jobs,
-                        max_recovery_steps: self.opts.max_steps,
-                        ..pmexplore::ExploreOptions::default()
-                    },
-                )?;
-                let dynamic = pmcheck::check_trace(&x.trace);
-                let explored = x.report.to_check_report(&x.trace);
-                let mut merged = merge_reports(dynamic, explored);
-                merged.provenance = pmcheck::Provenance::Exploration;
-                Ok((merged, x.trace))
+                let (report, trace) = self
+                    .exploration_with_retries(m, entry, degraded, diagnostics)
+                    .map_err(|d| RepairError::AllSourcesFailed { failures: vec![d] })?;
+                self.harden_trace(&trace, injector, degraded, diagnostics);
+                Ok((report, trace))
             }
         }
     }
@@ -252,19 +516,41 @@ impl Hippocrates {
     ) -> Result<RepairOutcome, RepairError> {
         let vm_opts = VmOptions {
             max_steps: self.opts.max_steps,
+            watchdog_ms: self.effective_watchdog(),
+            fault: self.opts.fault.clone(),
             ..VmOptions::default()
         };
+        // The engine-level injector owns the trace-fault hit counters so
+        // `Nth` trace faults clear across retries; VM-level faults travel
+        // inside `vm_opts` and get a fresh injector per run.
+        let mut injector = self.opts.fault.clone().map(pmfault::Injector::new);
+        let mut degraded = vec![];
+        let mut diagnostics = vec![];
         let mut fixes = vec![];
         let mut clones = 0usize;
         for iter in 0..self.opts.max_iterations {
-            let (report, trace) = self.detect(m, entry, &vm_opts)?;
+            let (report, trace) = self.detect(
+                m,
+                entry,
+                &vm_opts,
+                &mut injector,
+                &mut degraded,
+                &mut diagnostics,
+            )?;
             if report.is_clean() {
+                if let Some(inj) = &injector {
+                    for f in inj.injected() {
+                        note(&mut diagnostics, format!("injected: {f}"));
+                    }
+                }
                 return Ok(RepairOutcome {
                     clean: true,
                     fixes,
                     iterations: iter,
                     final_report: report,
                     clones_created: clones,
+                    degraded,
+                    diagnostics,
                 });
             }
             let summary = self.repair_once(m, &trace, &report)?;
@@ -279,6 +565,26 @@ impl Hippocrates {
         Err(RepairError::IterationBudget {
             max: self.opts.max_iterations,
         })
+    }
+}
+
+/// Appends `msg` to the diagnostics unless an identical line is already
+/// present — detection re-runs every iteration, and a persistent injected
+/// fault would otherwise repeat its line once per pass.
+fn note(diagnostics: &mut Vec<String>, msg: String) {
+    if !diagnostics.contains(&msg) {
+        diagnostics.push(msg);
+    }
+}
+
+/// Stamps a degradation unless the same source already degraded for the
+/// same reason (a source that is down stays down across iterations).
+fn note_degraded(degraded: &mut Vec<Degradation>, d: Degradation) {
+    if !degraded
+        .iter()
+        .any(|e| e.source == d.source && e.reason == d.reason)
+    {
+        degraded.push(d);
     }
 }
 
@@ -723,6 +1029,218 @@ mod tests {
         .unwrap();
         assert!(outcome.clean);
         assert!(!outcome.fixes.is_empty());
+    }
+
+    #[test]
+    fn torn_store_fault_is_diagnosed_not_fatal() {
+        // A torn store in the simulated medium never derails detection: the
+        // checker works from the trace, the repair lands, and the injected
+        // fault surfaces as a structured diagnostic.
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::SimStore,
+                Trigger::Nth(0),
+                FaultKind::TornStore,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(!outcome.is_degraded(), "{:?}", outcome.degraded);
+        assert!(
+            outcome.diagnostics.iter().any(|d| d.contains("torn store")),
+            "{:?}",
+            outcome.diagnostics
+        );
+    }
+
+    #[test]
+    fn media_read_fault_degrades_dynamic_and_static_survives() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                var x: int = load8(p, 0);
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Both,
+            fault: Some(FaultPlan::single(
+                FaultSite::SimMediaRead,
+                Trigger::Always,
+                FaultKind::MediaReadError,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean, "static source still converges");
+        assert!(outcome.is_degraded());
+        let d = &outcome.degraded[0];
+        assert_eq!(d.source, "dynamic");
+        assert_eq!(d.retries, 2, "default retry budget spent");
+        assert!(d.reason.contains("read error"), "{}", d.reason);
+        assert!(!outcome.fixes.is_empty());
+    }
+
+    #[test]
+    fn dynamic_only_with_permanent_fault_fails_structurally() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                var x: int = load8(p, 0);
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let err = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::SimMediaRead,
+                Trigger::Always,
+                FaultKind::MediaReadError,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap_err();
+        match &err {
+            RepairError::AllSourcesFailed { failures } => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].source, "dynamic");
+            }
+            other => panic!("expected AllSourcesFailed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("every bug source failed"), "{err}");
+    }
+
+    #[test]
+    fn trace_fault_falls_back_to_in_memory_trace() {
+        // A permanently corrupted serialize→parse path degrades the trace
+        // ingest but never the repair: the engine proceeds from the
+        // in-memory trace and produces the exact same module as a
+        // fault-free run.
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut faulted = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::TraceParse,
+                Trigger::Always,
+                FaultKind::TraceTruncate,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut faulted, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(outcome.degraded.iter().any(|d| d.source == "trace"), "{:?}", outcome.degraded);
+        assert!(
+            outcome.diagnostics.iter().any(|d| d.contains("in-memory trace")),
+            "{:?}",
+            outcome.diagnostics
+        );
+
+        let mut clean = pmlang::compile_one("t.pmc", src).unwrap();
+        Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut clean, "main")
+            .unwrap();
+        assert_eq!(
+            pmir::display::print_module(&faulted),
+            pmir::display::print_module(&clean),
+            "trace-fault fallback repairs identically"
+        );
+    }
+
+    #[test]
+    fn nth_trace_fault_recovers_on_retry() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::TraceParse,
+                Trigger::Nth(0),
+                FaultKind::TraceBitflip,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(!outcome.is_degraded(), "{:?}", outcome.degraded);
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("trace roundtrip recovered")),
+            "{:?}",
+            outcome.diagnostics
+        );
+    }
+
+    #[test]
+    fn stuck_loop_fault_hits_watchdog_and_degrades() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Both,
+            fault: Some(FaultPlan::single(
+                FaultSite::VmDiverge,
+                Trigger::Nth(0),
+                FaultKind::StuckLoop,
+            )),
+            watchdog_ms: Some(30),
+            source_retries: 1,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        let d = outcome
+            .degraded
+            .iter()
+            .find(|d| d.source == "dynamic")
+            .expect("dynamic degraded");
+        assert!(d.reason.contains("watchdog fired"), "{}", d.reason);
+        assert_eq!(d.retries, 1);
+    }
+
+    #[test]
+    fn fuel_fault_degrades_dynamic_with_structured_reason() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Both,
+            fault: Some(FaultPlan::single(
+                FaultSite::VmFuel,
+                Trigger::Always,
+                FaultKind::FuelExhaustion { max_steps: 4 },
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        let d = outcome
+            .degraded
+            .iter()
+            .find(|d| d.source == "dynamic")
+            .expect("dynamic degraded");
+        assert!(d.reason.contains("fuel exhausted"), "{}", d.reason);
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod perf;
 pub mod plan;
 pub mod summary;
 
-pub use engine::{provide_durability, Hippocrates};
+pub use engine::{provide_durability, Hippocrates, RepairError};
 pub use options::{BugSource, MarkingMode, RepairOptions};
-pub use summary::{AppliedFix, FixKind, RepairOutcome, RepairSummary};
+pub use summary::{AppliedFix, Degradation, FixKind, RepairOutcome, RepairSummary};

@@ -70,6 +70,26 @@ pub struct RepairOptions {
     pub explore_seed: u64,
     /// Worker threads for exploration. Never changes the findings.
     pub explore_jobs: usize,
+    /// Fault plan armed on every detection/verification run (`pmfault`).
+    /// `None` (the default) leaves the injection layer disabled at zero
+    /// cost. When set, sim/vm faults reach the interpreter via `VmOptions`,
+    /// explore faults reach `pmexplore`, and trace faults corrupt the
+    /// serialize→parse roundtrip inside detection.
+    pub fault: Option<pmfault::FaultPlan>,
+    /// Wall-clock watchdog for detection/verification runs, in
+    /// milliseconds. `None` arms no watchdog — unless the fault plan
+    /// injects a diverging loop, in which case a 250ms default is armed
+    /// automatically (a stuck-loop plan without a watchdog is rejected by
+    /// the VM up front).
+    pub watchdog_ms: Option<u64>,
+    /// Retries per failed bug source before the engine degrades (proceeds
+    /// on the surviving sources and stamps the outcome).
+    pub source_retries: u32,
+    /// Base delay for the seeded exponential backoff between source
+    /// retries.
+    pub retry_base_ms: u64,
+    /// Backoff cap. Kept small by default so degraded runs stay fast.
+    pub retry_cap_ms: u64,
 }
 
 impl Default for RepairOptions {
@@ -87,6 +107,11 @@ impl Default for RepairOptions {
             explore_budget: 256,
             explore_seed: 0,
             explore_jobs: 1,
+            fault: None,
+            watchdog_ms: None,
+            source_retries: 2,
+            retry_base_ms: 1,
+            retry_cap_ms: 8,
         }
     }
 }

@@ -83,6 +83,32 @@ impl RepairSummary {
     }
 }
 
+/// A bug source (or the trace ingest path) that failed detection and was
+/// given up on after retries: the engine proceeded without it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Which source degraded: `"dynamic"`, `"static"`, `"exploration"`, or
+    /// `"trace"` (the serialize→parse roundtrip).
+    pub source: String,
+    /// The last structured failure observed before giving up.
+    pub reason: String,
+    /// How many retries were spent before degrading.
+    pub retries: u32,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} source degraded after {} retr{}: {}",
+            self.source,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+            self.reason
+        )
+    }
+}
+
 /// The result of the full detect→fix→verify loop
 /// ([`crate::Hippocrates::repair_until_clean`]).
 #[derive(Debug)]
@@ -97,9 +123,21 @@ pub struct RepairOutcome {
     pub final_report: CheckReport,
     /// Total persistent clones created.
     pub clones_created: usize,
+    /// Sources that failed and were proceeded without. Empty means every
+    /// configured source contributed to every iteration.
+    pub degraded: Vec<Degradation>,
+    /// Structured diagnostics collected along the way: injected faults
+    /// observed by the simulator, faulted exploration candidates, retries
+    /// that eventually succeeded. Empty on a healthy run.
+    pub diagnostics: Vec<String>,
 }
 
 impl RepairOutcome {
+    /// Whether any configured bug source had to be abandoned.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
     /// Count of interprocedural fixes across all iterations.
     pub fn interprocedural_count(&self) -> usize {
         self.fixes.iter().filter(|f| f.kind.is_interprocedural()).count()
@@ -154,7 +192,23 @@ mod tests {
             iterations: 1,
             final_report: CheckReport::default(),
             clones_created: 2,
+            degraded: vec![],
+            diagnostics: vec![],
         };
         assert_eq!(outcome.hoist_level_histogram().get(&2), Some(&1));
+        assert!(!outcome.is_degraded());
+    }
+
+    #[test]
+    fn degradation_display_names_source_and_retries() {
+        let d = Degradation {
+            source: "dynamic".into(),
+            reason: "verification run failed: fuel exhausted".into(),
+            retries: 2,
+        };
+        let text = d.to_string();
+        assert!(text.contains("dynamic"), "{text}");
+        assert!(text.contains("2 retries"), "{text}");
+        assert!(text.contains("fuel exhausted"), "{text}");
     }
 }

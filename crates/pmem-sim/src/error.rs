@@ -41,6 +41,12 @@ pub enum MemError {
         /// The requested size.
         want: u64,
     },
+    /// The persistent medium failed to service a read (e.g. an uncorrectable
+    /// media error, or an injected fault standing in for one).
+    MediaRead {
+        /// The faulting address.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -57,6 +63,9 @@ impl fmt::Display for MemError {
                 f,
                 "pool {pool} exists with size {have}, remapped with size {want}"
             ),
+            MemError::MediaRead { addr } => {
+                write!(f, "persistent medium read error at {addr:#x}")
+            }
         }
     }
 }

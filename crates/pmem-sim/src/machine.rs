@@ -49,6 +49,9 @@ pub struct Machine {
     dirty_lines: BTreeSet<u64>,
     pending_pm_lines: BTreeSet<u64>,
     pending_volatile_lines: BTreeSet<u64>,
+
+    // Fault injection (None in production: one branch per PM access).
+    injector: Option<pmfault::Injector>,
 }
 
 impl Default for Machine {
@@ -81,7 +84,24 @@ impl Machine {
             dirty_lines: BTreeSet::new(),
             pending_pm_lines: BTreeSet::new(),
             pending_volatile_lines: BTreeSet::new(),
+            injector: None,
         }
+    }
+
+    /// Arms (or disarms) fault injection on this machine's PM access paths.
+    ///
+    /// The injector's counters are owned by value: cloning the machine forks
+    /// them, so crash-image replicas keep counting deterministically from
+    /// the clone point.
+    pub fn set_injector(&mut self, injector: Option<pmfault::Injector>) {
+        self.injector = injector;
+    }
+
+    /// The injection log: one line per fault actually injected (empty when
+    /// no injector is armed). Each line is the structured diagnostic the
+    /// fault campaign asserts on.
+    pub fn injected_faults(&self) -> &[String] {
+        self.injector.as_ref().map_or(&[], |i| i.injected())
     }
 
     /// Execution counters so far.
@@ -357,7 +377,25 @@ impl Machine {
     pub fn store(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         let len = bytes.len() as u64;
         let region = self.check_range(addr, len)?;
-        self.raw_slice_mut(region, addr, len).copy_from_slice(bytes);
+        let mut write_len = len;
+        if region.is_pm() {
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(pmfault::FaultKind::TornStore) = inj.fire(pmfault::FaultSite::SimStore)
+                {
+                    if len >= 2 {
+                        // Only the low half of the store lands; the upper
+                        // bytes keep their stale contents (a torn store
+                        // within the cache line).
+                        write_len = len / 2;
+                        inj.record(format!(
+                            "sim.store: torn store at {addr:#x} ({write_len}/{len} bytes persisted)"
+                        ));
+                    }
+                }
+            }
+        }
+        self.raw_slice_mut(region, addr, write_len)
+            .copy_from_slice(&bytes[..write_len as usize]);
         if region.is_pm() {
             self.stats.pm_stores += 1;
             self.stats.cycles += self.cost.pm_store;
@@ -381,6 +419,16 @@ impl Machine {
     pub fn load(&mut self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
         let len = out.len() as u64;
         let region = self.check_range(addr, len)?;
+        if region.is_pm() {
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(pmfault::FaultKind::MediaReadError) =
+                    inj.fire(pmfault::FaultSite::SimMediaRead)
+                {
+                    inj.record(format!("sim.media-read: read error at {addr:#x} ({len} bytes)"));
+                    return Err(MemError::MediaRead { addr });
+                }
+            }
+        }
         out.copy_from_slice(self.raw_slice(region, addr, len));
         if region.is_pm() {
             self.stats.pm_loads += 1;
@@ -487,6 +535,16 @@ impl Machine {
         let line = line_of(addr);
         if region.is_pm() {
             self.stats.pm_flushes += 1;
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(pmfault::FaultKind::DroppedFlush) =
+                    inj.fire(pmfault::FaultSite::SimFlush)
+                {
+                    // Silently dropped: the line stays dirty and no
+                    // write-back is ever scheduled.
+                    inj.record(format!("sim.flush: dropped flush of line {line:#x}"));
+                    return Ok(());
+                }
+            }
             if !self.dirty_lines.contains(&line) {
                 self.stats.redundant_flushes += 1;
                 return Ok(());
@@ -868,5 +926,65 @@ mod tests {
             Err(MemError::OutOfBounds { .. })
         ));
         m.pop_frame();
+    }
+
+    #[test]
+    fn injected_torn_store_persists_half() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Injector, Trigger};
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 64).unwrap();
+        m.set_injector(Some(Injector::new(FaultPlan::single(
+            FaultSite::SimStore,
+            Trigger::Nth(0),
+            FaultKind::TornStore,
+        ))));
+        m.store_int(p, 8, 0x1122_3344_5566_7788).unwrap();
+        // Low 4 bytes landed; high 4 kept their stale zeroes.
+        assert_eq!(m.load_int(p, 8).unwrap(), 0x5566_7788);
+        assert_eq!(m.injected_faults().len(), 1);
+        assert!(m.injected_faults()[0].contains("torn store"));
+        // The next store is whole again (Nth trigger fired once).
+        m.store_int(p + 8, 8, -1).unwrap();
+        assert_eq!(m.load_int(p + 8, 8).unwrap(), -1);
+    }
+
+    #[test]
+    fn injected_dropped_flush_leaves_line_dirty() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Injector, Trigger};
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 64).unwrap();
+        m.set_injector(Some(Injector::new(FaultPlan::single(
+            FaultSite::SimFlush,
+            Trigger::Nth(0),
+            FaultKind::DroppedFlush,
+        ))));
+        m.store_int(p, 8, 7).unwrap();
+        m.flush(FlushKind::Clwb, p).unwrap();
+        m.fence(FenceKind::Sfence);
+        // The flush was dropped: nothing reached the medium.
+        assert_eq!(&m.crash_image().pool_bytes(0).unwrap()[..8], &[0; 8]);
+        assert!(m.injected_faults()[0].contains("dropped flush"));
+        // A second flush goes through.
+        m.flush(FlushKind::Clwb, p).unwrap();
+        m.fence(FenceKind::Sfence);
+        assert_eq!(m.crash_image().pool_bytes(0).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn injected_media_read_error_is_structured() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Injector, Trigger};
+        let mut m = Machine::default();
+        let p = m.map_pool(0, 64).unwrap();
+        m.store_int(p, 8, 7).unwrap();
+        m.set_injector(Some(Injector::new(FaultPlan::single(
+            FaultSite::SimMediaRead,
+            Trigger::Nth(0),
+            FaultKind::MediaReadError,
+        ))));
+        assert!(matches!(m.load_int(p, 8), Err(MemError::MediaRead { addr }) if addr == p));
+        // Volatile loads are not PM media reads and never fault here.
+        let h = m.heap_alloc(8).unwrap();
+        m.store_int(h, 8, 1).unwrap();
+        assert_eq!(m.load_int(h, 8).unwrap(), 1);
     }
 }

@@ -45,6 +45,15 @@ pub struct ExploreOptions {
     pub max_recovery_steps: u64,
     /// Medium the traced run was booted from, for traces of recovery runs.
     pub initial_media: Option<PmMedia>,
+    /// Fault plan armed on the exploration machinery: worker panics and
+    /// oracle panics are keyed by candidate index (deterministic under work
+    /// stealing); a planned divergence makes the matching candidate's
+    /// recovery run stick until the watchdog fires.
+    pub fault: Option<pmfault::FaultPlan>,
+    /// Wall-clock budget per recovery boot. Defaults to 250ms whenever the
+    /// fault plan contains a stuck loop, so a diverging oracle can never
+    /// hang a worker.
+    pub recovery_watchdog_ms: Option<u64>,
 }
 
 impl Default for ExploreOptions {
@@ -56,6 +65,8 @@ impl Default for ExploreOptions {
             oracle: None,
             max_recovery_steps: 50_000_000,
             initial_media: None,
+            fault: None,
+            recovery_watchdog_ms: None,
         }
     }
 }
@@ -103,6 +114,12 @@ pub struct ExploreStats {
     pub distinct_states: usize,
     /// Inconsistent states found (after image-level dedup).
     pub inconsistent: usize,
+    /// Candidates whose oracle crashed (panic, divergence) instead of
+    /// judging the state.
+    pub oracle_crashes: usize,
+    /// Candidates skipped because their worker panicked mid-enumeration;
+    /// the pool drains the remaining frontier and reports the rest.
+    pub worker_panics: usize,
 }
 
 /// The exploration outcome.
@@ -115,6 +132,9 @@ pub struct ExploreReport {
     pub stats: ExploreStats,
     /// The oracle that judged the states.
     pub oracle: Option<Oracle>,
+    /// Structured one-line diagnostics for every faulted candidate (oracle
+    /// crashes, worker panics), in candidate order. Empty on a healthy run.
+    pub diagnostics: Vec<String>,
 }
 
 impl ExploreReport {
@@ -197,6 +217,18 @@ impl ExploreReport {
                 }
             }
         }
+        if !self.diagnostics.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} faulted candidate(s) ({} oracle crash(es), {} worker panic(s)):",
+                self.diagnostics.len(),
+                self.stats.oracle_crashes,
+                self.stats.worker_panics
+            );
+            for d in &self.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
         out
     }
 }
@@ -230,6 +262,9 @@ pub fn explore(
     data: &DataLog,
     opts: &ExploreOptions,
 ) -> ExploreReport {
+    use pmfault::{FaultKind, FaultPlan, FaultSite, Injector, Trigger};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     let oracle = opts
         .oracle
         .clone()
@@ -240,40 +275,148 @@ pub fn explore(
     let queue = StealQueue::new(jobs, candidates.len(), CHUNK);
     let memo: Mutex<HashMap<u64, Verdict>> = Mutex::new(HashMap::new());
     let found: Mutex<Vec<(usize, Finding)>> = Mutex::new(vec![]);
+    // Faulted candidates: (idx, one-line diagnostic, was_worker_panic).
+    let faulted: Mutex<Vec<(usize, String, bool)>> = Mutex::new(vec![]);
+    // Explore-level faults are keyed by the *candidate index* via the
+    // stateless `fires_at`, so results are deterministic no matter how work
+    // stealing interleaves candidates across threads.
+    let injector = opts.fault.clone().map(Injector::new);
 
     std::thread::scope(|s| {
         for w in 0..jobs {
-            let (queue, memo, found, candidates, fronts, oracle) =
-                (&queue, &memo, &found, &candidates, &fronts, &oracle);
+            let (queue, memo, found, faulted, candidates, fronts, oracle, injector) = (
+                &queue, &memo, &found, &faulted, &candidates, &fronts, &oracle, &injector,
+            );
             s.spawn(move || {
                 let mut replayer: Option<Replayer<'_>> = None;
                 let mut at_seq = 0u64;
                 while let Some(range) = queue.pop(w) {
                     for idx in range {
-                        let c = &candidates[idx];
-                        // The replayer is forward-only; a stolen chunk that
-                        // jumps backwards restarts it.
-                        if replayer.is_none() || at_seq > c.after_seq {
-                            replayer =
-                                Some(Replayer::new(trace, data, opts.initial_media.as_ref()));
-                        }
-                        let r = replayer.as_mut().expect("created above");
-                        r.advance_to(c.after_seq);
-                        at_seq = c.after_seq;
-                        let img = r.image_with(&c.lines);
-                        let h = image_hash(&img);
-                        let known = memo.lock().expect("memo lock").get(&h).cloned();
-                        let verdict = match known {
-                            Some(v) => v,
-                            None => {
-                                let v = oracle.check(module, img, opts.max_recovery_steps);
-                                memo.lock().expect("memo lock").insert(h, v.clone());
-                                v
+                        // Worker-panic isolation: a panic anywhere in one
+                        // candidate's processing (injected or real) skips
+                        // that candidate only. The loop — and the steal
+                        // queue — keep draining, so a panicked worker never
+                        // leaks the remaining frontier.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            let c = &candidates[idx];
+                            if let Some(inj) = injector.as_ref() {
+                                if let Some(FaultKind::WorkerPanic) =
+                                    inj.fires_at(FaultSite::ExploreWorker, idx as u64)
+                                {
+                                    panic!("pmfault: injected worker panic at candidate {idx}");
+                                }
                             }
-                        };
-                        if let Verdict::Inconsistent(failure) = verdict {
-                            let f = finding(trace, &fronts[c.frontier], c, h, failure);
-                            found.lock().expect("found lock").push((idx, f));
+                            // The replayer is forward-only; a stolen chunk
+                            // that jumps backwards restarts it.
+                            if replayer.is_none() || at_seq > c.after_seq {
+                                replayer =
+                                    Some(Replayer::new(trace, data, opts.initial_media.as_ref()));
+                            }
+                            let r = replayer.as_mut().expect("created above");
+                            r.advance_to(c.after_seq);
+                            at_seq = c.after_seq;
+                            let img = r.image_with(&c.lines);
+                            let h = image_hash(&img);
+
+                            let oracle_panic = injector.as_ref().is_some_and(|i| {
+                                matches!(
+                                    i.fires_at(FaultSite::ExploreOracle, idx as u64),
+                                    Some(FaultKind::OraclePanic)
+                                )
+                            });
+                            let diverge = injector.as_ref().is_some_and(|i| {
+                                matches!(
+                                    i.fires_at(FaultSite::VmDiverge, idx as u64),
+                                    Some(FaultKind::StuckLoop)
+                                )
+                            });
+                            let injected = oracle_panic || diverge;
+                            // Faulted candidates bypass the memo in both
+                            // directions: the fault must manifest, and its
+                            // verdict must not leak to other candidates
+                            // that happen to share the image.
+                            let known = if injected {
+                                None
+                            } else {
+                                memo.lock().expect("memo lock").get(&h).cloned()
+                            };
+                            let verdict = match known {
+                                Some(v) => v,
+                                None => {
+                                    let watchdog = if diverge {
+                                        Some(opts.recovery_watchdog_ms.unwrap_or(250))
+                                    } else {
+                                        opts.recovery_watchdog_ms
+                                    };
+                                    let fault = diverge.then(|| {
+                                        FaultPlan::single(
+                                            FaultSite::VmDiverge,
+                                            Trigger::Always,
+                                            FaultKind::StuckLoop,
+                                        )
+                                    });
+                                    // Oracle-panic isolation: the pool
+                                    // classifies the panic as an
+                                    // OracleCrash verdict and keeps going.
+                                    let v = catch_unwind(AssertUnwindSafe(|| {
+                                        if oracle_panic {
+                                            panic!(
+                                                "pmfault: injected oracle panic at candidate {idx}"
+                                            );
+                                        }
+                                        oracle.check_opts(
+                                            module,
+                                            img,
+                                            opts.max_recovery_steps,
+                                            watchdog,
+                                            fault,
+                                        )
+                                    }))
+                                    .unwrap_or_else(|p| Verdict::OracleCrash {
+                                        what: format!(
+                                            "recovery oracle panicked: {}",
+                                            panic_text(p.as_ref())
+                                        ),
+                                    });
+                                    // Only stable verdicts of un-faulted
+                                    // candidates are image-memoizable.
+                                    if !injected && !matches!(v, Verdict::OracleCrash { .. }) {
+                                        memo.lock().expect("memo lock").insert(h, v.clone());
+                                    }
+                                    v
+                                }
+                            };
+                            match verdict {
+                                Verdict::Inconsistent(failure) => {
+                                    let f = finding(trace, &fronts[c.frontier], c, h, failure);
+                                    found.lock().expect("found lock").push((idx, f));
+                                }
+                                Verdict::OracleCrash { what } => {
+                                    faulted.lock().expect("faulted lock").push((
+                                        idx,
+                                        format!(
+                                            "candidate {idx} (after event {}): {what}",
+                                            c.after_seq
+                                        ),
+                                        false,
+                                    ));
+                                }
+                                Verdict::Consistent => {}
+                            }
+                        }));
+                        if caught.is_err() {
+                            // The replayer may have been mid-advance;
+                            // discard it so the next candidate replays from
+                            // a clean slate.
+                            replayer = None;
+                            faulted.lock().expect("faulted lock").push((
+                                idx,
+                                format!(
+                                    "candidate {idx}: worker panicked mid-enumeration; \
+                                     candidate skipped, queue drained"
+                                ),
+                                true,
+                            ));
                         }
                     }
                 }
@@ -290,16 +433,33 @@ pub fn explore(
             findings.push(f);
         }
     }
+    let mut fault_log = faulted.into_inner().expect("faulted lock");
+    fault_log.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let worker_panics = fault_log.iter().filter(|(_, _, wp)| *wp).count();
     let stats = ExploreStats {
         frontiers: fronts.len(),
         candidates: candidates.len(),
         distinct_states: memo.into_inner().expect("memo lock").len(),
         inconsistent: findings.len(),
+        oracle_crashes: fault_log.len() - worker_panics,
+        worker_panics,
     };
     ExploreReport {
         findings,
         stats,
         oracle: Some(oracle),
+        diagnostics: fault_log.into_iter().map(|(_, d, _)| d).collect(),
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -519,6 +679,93 @@ mod tests {
         assert!(x.report.is_clean(), "{}", x.report.render());
         assert!(x.report.stats.candidates > 0);
         assert!(x.report.stats.distinct_states > 0);
+    }
+
+    #[test]
+    fn injected_worker_panic_reports_partial_results_deterministically() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let with_fault = |jobs| {
+            run_and_explore(
+                &m,
+                "main",
+                &ExploreOptions {
+                    jobs,
+                    fault: Some(FaultPlan::single(
+                        FaultSite::ExploreWorker,
+                        Trigger::Nth(1),
+                        FaultKind::WorkerPanic,
+                    )),
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = with_fault(1);
+        assert_eq!(serial.report.stats.worker_panics, 1);
+        assert_eq!(serial.report.diagnostics.len(), 1);
+        assert!(serial.report.diagnostics[0].contains("worker panicked"));
+        // The rest of the frontier was drained: all other candidates ran.
+        let clean = run_and_explore(&m, "main", &ExploreOptions::default()).unwrap();
+        assert_eq!(serial.report.stats.candidates, clean.report.stats.candidates);
+        assert!(!serial.report.is_clean(), "surviving candidates still find the bug");
+        // And the outcome is identical under work stealing.
+        let parallel = with_fault(4);
+        assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn injected_oracle_panic_is_an_oracle_crash_not_a_bug() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let x = run_and_explore(
+            &m,
+            "main",
+            &ExploreOptions {
+                jobs: 2,
+                fault: Some(FaultPlan::single(
+                    FaultSite::ExploreOracle,
+                    Trigger::Nth(0),
+                    FaultKind::OraclePanic,
+                )),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(x.report.stats.oracle_crashes, 1);
+        assert!(x.report.diagnostics[0].contains("oracle panicked"), "{:?}", x.report.diagnostics);
+        // An oracle crash is never blamed on a store.
+        let check = x.report.to_check_report(&x.trace);
+        assert!(check.bugs.iter().all(|b| b.kind != BugKind::MissingFence
+            || x.report.findings.iter().any(|f| f.blamed.iter().any(|l| l.store_seq == b.store_seq))));
+    }
+
+    #[test]
+    fn injected_divergence_hits_watchdog_and_pool_survives() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = pmlang::compile_one("t.pmc", ORDERING_BUG).unwrap();
+        let t0 = std::time::Instant::now();
+        let x = run_and_explore(
+            &m,
+            "main",
+            &ExploreOptions {
+                recovery_watchdog_ms: Some(30),
+                fault: Some(FaultPlan::single(
+                    FaultSite::VmDiverge,
+                    Trigger::Nth(2),
+                    FaultKind::StuckLoop,
+                )),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(t0.elapsed().as_secs() < 30, "watchdog must bound the hang");
+        assert_eq!(x.report.stats.oracle_crashes, 1);
+        assert!(
+            x.report.diagnostics[0].contains("watchdog"),
+            "{:?}",
+            x.report.diagnostics
+        );
     }
 
     #[test]

@@ -55,13 +55,36 @@ impl Oracle {
 
     /// Boots `image` and judges the recovery run.
     pub fn check(&self, module: &Module, image: CrashImage, max_steps: u64) -> Verdict {
+        self.check_opts(module, image, max_steps, None, None)
+    }
+
+    /// [`Oracle::check`] with a wall-clock watchdog and/or a fault plan
+    /// armed on the recovery run. A watchdog firing (a diverging oracle) or
+    /// an invalid configuration is an [`Verdict::OracleCrash`] — the oracle
+    /// failed, which says nothing about the crash state's consistency.
+    pub fn check_opts(
+        &self,
+        module: &Module,
+        image: CrashImage,
+        max_steps: u64,
+        watchdog_ms: Option<u64>,
+        fault: Option<pmfault::FaultPlan>,
+    ) -> Verdict {
         let opts = VmOptions {
             trace: false,
             max_steps,
+            watchdog_ms,
+            fault,
             ..VmOptions::default()
         }
         .with_media(image.into_media());
         match Vm::new(opts).run(module, &self.entry) {
+            Err(VmError::Watchdog { limit_ms }) => Verdict::OracleCrash {
+                what: format!("recovery watchdog fired after {limit_ms}ms (diverging oracle)"),
+            },
+            Err(VmError::BadOptions { reason }) => Verdict::OracleCrash {
+                what: format!("recovery run misconfigured: {reason}"),
+            },
             Err(e) => Verdict::Inconsistent(Failure {
                 what: failure_text(&e),
                 return_value: None,
@@ -107,6 +130,14 @@ pub enum Verdict {
     Consistent,
     /// Recovery rejected (or crashed on) the state.
     Inconsistent(Failure),
+    /// The *oracle itself* failed — it panicked, diverged until the
+    /// watchdog fired, or was misconfigured. Unlike
+    /// [`Verdict::Inconsistent`], this is not evidence about the crash
+    /// state: it is reported as a diagnostic and never blamed on a store.
+    OracleCrash {
+        /// What happened to the oracle.
+        what: String,
+    },
 }
 
 impl Verdict {
@@ -176,5 +207,27 @@ mod tests {
         let m = pmlang::compile_one("t.pmc", "fn main() { }").unwrap();
         let o = Oracle::returns_zero("no_such");
         assert!(o.check(&m, image_with_flag(0), 1000).is_inconsistent());
+    }
+
+    #[test]
+    fn diverging_oracle_is_a_crash_not_an_inconsistency() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = pmlang::compile_one("t.pmc", SRC).unwrap();
+        let o = Oracle::returns_zero("recover");
+        let v = o.check_opts(
+            &m,
+            image_with_flag(0),
+            1_000_000,
+            Some(20),
+            Some(FaultPlan::single(
+                FaultSite::VmDiverge,
+                Trigger::Nth(0),
+                FaultKind::StuckLoop,
+            )),
+        );
+        match v {
+            Verdict::OracleCrash { what } => assert!(what.contains("watchdog"), "{what}"),
+            other => panic!("expected OracleCrash, got {other:?}"),
+        }
     }
 }

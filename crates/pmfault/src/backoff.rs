@@ -1,0 +1,46 @@
+//! Deterministic capped exponential backoff for degraded-mode retries.
+
+use crate::splitmix64;
+
+/// Delay (in milliseconds) before retry number `attempt` (0-based).
+///
+/// Exponential in the attempt (`base_ms << attempt`), capped at `cap_ms`,
+/// with seeded jitter of up to 25% *subtracted* so the sequence is fully
+/// determined by `(seed, attempt)` — the retry schedule of a degraded run
+/// is reproducible from the campaign seed.
+pub fn backoff_ms(seed: u64, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+    let raw = base_ms
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(cap_ms.max(base_ms));
+    let mut s = seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(u64::from(attempt));
+    let jitter = if raw >= 4 {
+        splitmix64(&mut s) % (raw / 4 + 1)
+    } else {
+        0
+    };
+    raw - jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_capped() {
+        for attempt in 0..10 {
+            let a = backoff_ms(42, attempt, 1, 8);
+            assert_eq!(a, backoff_ms(42, attempt, 1, 8));
+            assert!(a <= 8, "attempt {attempt}: {a} > cap");
+        }
+    }
+
+    #[test]
+    fn grows_until_cap() {
+        // Without jitter interference the uncapped ramp is monotone; check
+        // the capped ceiling is reached.
+        let last = backoff_ms(0, 9, 1, 8);
+        assert!(last >= 6, "near the cap, got {last}");
+    }
+}

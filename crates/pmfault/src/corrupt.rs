@@ -1,0 +1,109 @@
+//! Deterministic input-corruption helpers.
+//!
+//! These operate on plain bytes/strings so `pmtrace` itself never has to
+//! depend on this crate: the campaign (and the proptest corpus) corrupt a
+//! serialized trace *outside* the parser and assert the parser reports a
+//! structured error with position context instead of panicking.
+
+use crate::splitmix64;
+
+/// Truncate `text` mid-record: cut at a seed-chosen byte offset (clamped to
+/// a char boundary) strictly inside the text. Empty/1-byte inputs are
+/// returned unchanged.
+pub fn truncate_text(text: &str, seed: u64) -> String {
+    if text.len() < 2 {
+        return text.to_string();
+    }
+    let mut s = seed ^ 0x7A5C_A7E1;
+    let mut cut = 1 + (splitmix64(&mut s) as usize) % (text.len() - 1);
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Flip one bit of one seed-chosen byte.
+pub fn bitflip_bytes(data: &[u8], seed: u64) -> Vec<u8> {
+    let mut out = data.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut s = seed ^ 0xB17_F11B;
+    let i = (splitmix64(&mut s) as usize) % out.len();
+    let bit = (splitmix64(&mut s) % 8) as u32;
+    out[i] ^= 1u8 << bit;
+    out
+}
+
+/// Flip a seed-chosen byte of `text` to a different printable ASCII
+/// character (so the result stays valid UTF-8 and exercises the *parser*,
+/// not the UTF-8 decoder).
+pub fn bitflip_text(text: &str, seed: u64) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return text.to_string();
+    }
+    let mut s = seed ^ 0xB17_F11B;
+    let i = (splitmix64(&mut s) as usize) % bytes.len();
+    let old = bytes[i];
+    let mut repl = b'!' + (splitmix64(&mut s) % 94) as u8; // printable, not '\n'
+    if repl == old {
+        repl = if repl == b'~' { b'!' } else { repl + 1 };
+    }
+    bytes[i] = repl;
+    String::from_utf8(bytes).unwrap_or_else(|_| text.to_string())
+}
+
+/// Duplicate one seed-chosen line of `text` (a duplicated record at append
+/// time). Inputs without a duplicable line are returned unchanged.
+pub fn duplicate_line(text: &str, seed: u64) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return text.to_string();
+    }
+    let mut s = seed ^ 0xD0_97_11_CA;
+    let i = (splitmix64(&mut s) as usize) % lines.len();
+    let mut out = Vec::with_capacity(lines.len() + 1);
+    for (j, l) in lines.iter().enumerate() {
+        out.push(*l);
+        if j == i {
+            out.push(*l);
+        }
+    }
+    let mut joined = out.join("\n");
+    if text.ends_with('\n') {
+        joined.push('\n');
+    }
+    joined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_shortens_and_is_deterministic() {
+        let t = "STORE 0x100 8\nFLUSH clwb 0x100\nFENCE sfence\n";
+        let a = truncate_text(t, 5);
+        let b = truncate_text(t, 5);
+        assert_eq!(a, b);
+        assert!(a.len() < t.len());
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_byte() {
+        let t = "hello world";
+        let f = bitflip_text(t, 9);
+        assert_eq!(f.len(), t.len());
+        let diff = t.bytes().zip(f.bytes()).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn duplicate_adds_one_line() {
+        let t = "a\nb\nc\n";
+        let d = duplicate_line(t, 3);
+        assert_eq!(d.lines().count(), 4);
+        assert_eq!(duplicate_line(t, 3), d);
+    }
+}

@@ -1,0 +1,56 @@
+//! pmfault — deterministic fault injection for the Hippocrates pipeline.
+//!
+//! The repair tool's core promise is *do no harm*: it must never make a
+//! program worse, even when its inputs (traces, pools, oracles) are hostile
+//! or corrupt. This crate provides the machinery to prove that the same way
+//! the repairs themselves are proven — by injecting the faults and watching
+//! the pipeline survive them.
+//!
+//! A [`FaultPlan`] is a seeded, fully deterministic set of
+//! (site × trigger × kind) triples. Consumers hold an `Option<Injector>`;
+//! with `None` the injection layer is a single branch on the hot path
+//! (zero-cost when disabled). With a plan armed, each call to
+//! [`Injector::fire`] counts a hit at a [`FaultSite`] and reports which
+//! [`FaultKind`] (if any) triggers there.
+//!
+//! The crate is a leaf: it depends on nothing, so every layer of the stack
+//! (pmem-sim, pmtrace, pmvm, pmexplore, core, cli) can depend on it without
+//! cycles.
+
+mod backoff;
+mod corrupt;
+mod inject;
+mod plan;
+
+pub use backoff::backoff_ms;
+pub use corrupt::{bitflip_bytes, bitflip_text, duplicate_line, truncate_text};
+pub use inject::Injector;
+pub use plan::{FaultKind, FaultPlan, FaultSite, PlannedFault, Trigger, N_ARCHETYPES};
+
+/// splitmix64: the seed-expansion PRNG used everywhere in this crate.
+///
+/// Tiny, statistically solid for seeding, and — crucially — dependency-free
+/// and identical on every platform, so fault plans are reproducible from the
+/// seed alone.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        let mut a = 7;
+        let mut b = 7;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        let x = splitmix64(&mut a);
+        let y = splitmix64(&mut a);
+        assert_ne!(x, y);
+    }
+}

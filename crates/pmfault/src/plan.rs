@@ -1,0 +1,271 @@
+//! Fault plans: seeded (site × trigger × kind) triples.
+
+use crate::splitmix64;
+use std::fmt;
+
+/// Where in the pipeline a fault is injected.
+///
+/// Each site corresponds to one instrumented call path in a consumer crate;
+/// the consumer calls [`crate::Injector::fire`] (or
+/// [`crate::Injector::fires_at`] for index-keyed sites) exactly once per
+/// dynamic occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `pmem-sim`: a PM store (`Machine::store` and the int wrappers).
+    SimStore,
+    /// `pmem-sim`: a flush (`Machine::flush`), any kind.
+    SimFlush,
+    /// `pmem-sim`: a load from a PM region (`Machine::load`).
+    SimMediaRead,
+    /// `pmtrace`: parsing a serialized trace (input corrupted before parse).
+    TraceParse,
+    /// `pmtrace`: appending/serializing trace records (record duplicated).
+    TraceAppend,
+    /// `pmvm`: interpreter fuel (tightened `max_steps`).
+    VmFuel,
+    /// `pmvm`: interpreter divergence (a stuck loop only the wall-clock
+    /// watchdog can break).
+    VmDiverge,
+    /// `pmexplore`: a worker panics mid-enumeration (keyed by candidate
+    /// index).
+    ExploreWorker,
+    /// `pmexplore`: the recovery oracle panics (keyed by candidate index).
+    ExploreOracle,
+}
+
+pub(crate) const N_SITES: usize = 9;
+
+impl FaultSite {
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FaultSite::SimStore => 0,
+            FaultSite::SimFlush => 1,
+            FaultSite::SimMediaRead => 2,
+            FaultSite::TraceParse => 3,
+            FaultSite::TraceAppend => 4,
+            FaultSite::VmFuel => 5,
+            FaultSite::VmDiverge => 6,
+            FaultSite::ExploreWorker => 7,
+            FaultSite::ExploreOracle => 8,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::SimStore => "sim.store",
+            FaultSite::SimFlush => "sim.flush",
+            FaultSite::SimMediaRead => "sim.media-read",
+            FaultSite::TraceParse => "trace.parse",
+            FaultSite::TraceAppend => "trace.append",
+            FaultSite::VmFuel => "vm.fuel",
+            FaultSite::VmDiverge => "vm.diverge",
+            FaultSite::ExploreWorker => "explore.worker",
+            FaultSite::ExploreOracle => "explore.oracle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// When a planned fault fires at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires on the `n`-th dynamic occurrence of the site (0-based), once.
+    Nth(u64),
+    /// Fires on every occurrence.
+    Always,
+}
+
+impl Trigger {
+    /// Does this trigger fire for occurrence number `hit` (0-based)?
+    pub fn fires(self, hit: u64) -> bool {
+        match self {
+            Trigger::Nth(n) => hit == n,
+            Trigger::Always => true,
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Nth(n) => write!(f, "hit #{n}"),
+            Trigger::Always => f.write_str("every hit"),
+        }
+    }
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Only the low half of a multi-byte PM store lands; the rest keeps its
+    /// stale contents (a torn store inside a cache line).
+    TornStore,
+    /// The flush is silently dropped: the line stays dirty, no error.
+    DroppedFlush,
+    /// The PM medium returns a read error for the touched line.
+    MediaReadError,
+    /// The serialized trace is truncated mid-record before parsing.
+    TraceTruncate,
+    /// A bit (or byte) of the serialized trace is flipped before parsing.
+    TraceBitflip,
+    /// A trace record is duplicated at append time.
+    TraceDuplicate,
+    /// The interpreter's fuel is tightened to `max_steps` for this run.
+    FuelExhaustion { max_steps: u64 },
+    /// The interpreter stops making progress — only a wall-clock watchdog
+    /// can end the run.
+    StuckLoop,
+    /// The exploration worker panics on the triggering candidate.
+    WorkerPanic,
+    /// The recovery oracle panics on the triggering candidate.
+    OraclePanic,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::TornStore => f.write_str("torn store"),
+            FaultKind::DroppedFlush => f.write_str("dropped flush"),
+            FaultKind::MediaReadError => f.write_str("media read error"),
+            FaultKind::TraceTruncate => f.write_str("trace truncation"),
+            FaultKind::TraceBitflip => f.write_str("trace bit-flip"),
+            FaultKind::TraceDuplicate => f.write_str("duplicated trace record"),
+            FaultKind::FuelExhaustion { max_steps } => {
+                write!(f, "fuel exhaustion (max_steps={max_steps})")
+            }
+            FaultKind::StuckLoop => f.write_str("diverging interpreter loop"),
+            FaultKind::WorkerPanic => f.write_str("worker panic"),
+            FaultKind::OraclePanic => f.write_str("oracle panic"),
+        }
+    }
+}
+
+/// One planned fault: fire `kind` at `site` when `trigger` matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    pub site: FaultSite,
+    pub trigger: Trigger,
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for PlannedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {} on {}", self.kind, self.site, self.trigger)
+    }
+}
+
+/// A deterministic, seeded set of planned faults.
+///
+/// [`FaultPlan::from_seed`] maps a seed onto a catalogue of archetypes (one
+/// per fault site/kind family) so a small sweep of seeds — as run by
+/// `hippoctl faultcampaign` — covers every substrate. The trigger offsets
+/// within an archetype vary with the seed via splitmix64, so different seeds
+/// of the same archetype still hit different dynamic occurrences.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub faults: Vec<PlannedFault>,
+}
+
+/// Number of distinct archetypes [`FaultPlan::from_seed`] cycles through.
+pub const N_ARCHETYPES: u64 = 10;
+
+impl FaultPlan {
+    /// A plan with a single fault (mostly for tests).
+    pub fn single(site: FaultSite, trigger: Trigger, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site,
+                trigger,
+                kind,
+            }],
+        }
+    }
+
+    /// The seeded archetype catalogue.
+    ///
+    /// `seed % N_ARCHETYPES` picks the archetype; the remaining seed bits
+    /// pick the trigger offset. Archetypes, in order: torn store, dropped
+    /// flush, media read error, trace truncation, trace bit-flip, duplicated
+    /// trace record, fuel exhaustion, diverging oracle (stuck loop), worker
+    /// panic, oracle panic.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed ^ 0xF4_11_7F_11;
+        let r = splitmix64(&mut s);
+        let nth = |m: u64| Trigger::Nth(r % m);
+        let (site, trigger, kind) = match seed % N_ARCHETYPES {
+            0 => (FaultSite::SimStore, nth(4), FaultKind::TornStore),
+            1 => (FaultSite::SimFlush, nth(3), FaultKind::DroppedFlush),
+            2 => (FaultSite::SimMediaRead, nth(4), FaultKind::MediaReadError),
+            3 => (FaultSite::TraceParse, Trigger::Always, FaultKind::TraceTruncate),
+            4 => (FaultSite::TraceParse, Trigger::Always, FaultKind::TraceBitflip),
+            5 => (FaultSite::TraceAppend, Trigger::Always, FaultKind::TraceDuplicate),
+            6 => (
+                FaultSite::VmFuel,
+                Trigger::Always,
+                FaultKind::FuelExhaustion {
+                    max_steps: 16 + r % 48,
+                },
+            ),
+            7 => (FaultSite::VmDiverge, nth(8), FaultKind::StuckLoop),
+            8 => (FaultSite::ExploreWorker, nth(8), FaultKind::WorkerPanic),
+            _ => (FaultSite::ExploreOracle, nth(8), FaultKind::OraclePanic),
+        };
+        FaultPlan {
+            seed,
+            faults: vec![PlannedFault {
+                site,
+                trigger,
+                kind,
+            }],
+        }
+    }
+
+    /// Does the plan contain any fault at `site`?
+    pub fn targets(&self, site: FaultSite) -> bool {
+        self.faults.iter().any(|f| f.site == site)
+    }
+
+    /// One-line human summary, e.g. for campaign output.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return format!("seed {}: no faults", self.seed);
+        }
+        let parts: Vec<String> = self.faults.iter().map(|f| f.to_string()).collect();
+        format!("seed {}: {}", self.seed, parts.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..32 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn first_n_seeds_cover_every_archetype() {
+        let kinds: Vec<_> = (0..N_ARCHETYPES)
+            .map(|s| FaultPlan::from_seed(s).faults[0].kind.clone())
+            .collect();
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b, "archetypes must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_site_and_kind() {
+        let d = FaultPlan::from_seed(7).describe();
+        assert!(d.contains("vm.diverge"), "{d}");
+        assert!(d.contains("diverging"), "{d}");
+    }
+}

@@ -1,0 +1,78 @@
+//! The trace-input error taxonomy.
+//!
+//! Every parse path in this crate reports *where* an input is corrupt — the
+//! 1-based line and the byte offset of that line for the text log format,
+//! and the decoder message for JSON — instead of panicking. `hippoctl` (and
+//! the repair engine's degraded mode) surface these verbatim as the
+//! structured diagnostic for a bad trace.
+
+use crate::log::LogError;
+use std::fmt;
+
+/// A structured trace-input failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The portable text log format failed to parse; carries the line and
+    /// byte-offset context.
+    Log(LogError),
+    /// The JSON trace encoding failed to decode.
+    Json {
+        /// The decoder's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Log(e) => e.fmt(f),
+            TraceError::Json { message } => write!(f, "trace json: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<LogError> for TraceError {
+    fn from(e: LogError) -> Self {
+        TraceError::Log(e)
+    }
+}
+
+/// A structural oddity in a parsed trace that is not a parse failure — e.g.
+/// a duplicated record. The trace is still usable; consumers report these
+/// as diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWarning {
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// What is odd about it.
+    pub message: String,
+}
+
+impl fmt::Display for TraceWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace event {}: {}", self.seq, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = TraceError::from(LogError {
+            line: 3,
+            byte_offset: 41,
+            message: "bad number `xyz`".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("byte 41"), "{s}");
+        let e = TraceError::Json {
+            message: "trailing characters".into(),
+        };
+        assert!(e.to_string().contains("trailing"));
+    }
+}

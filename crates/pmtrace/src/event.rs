@@ -177,6 +177,57 @@ impl Trace {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Parses a trace from JSON, mapping failures into the structured
+    /// [`crate::TraceError`] taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TraceError::Json`] on malformed input.
+    pub fn from_json_diagnostic(s: &str) -> Result<Self, crate::TraceError> {
+        Self::from_json(s).map_err(|e| crate::TraceError::Json {
+            message: e.to_string(),
+        })
+    }
+
+    /// Structural sanity check: reports oddities a parse cannot reject but
+    /// a consumer should not silently trust — duplicated records, events
+    /// after the program ended. An empty result means the trace is
+    /// well-formed.
+    pub fn validate(&self) -> Vec<crate::TraceWarning> {
+        let mut warnings = vec![];
+        let mut ended_at: Option<u64> = None;
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(end_seq) = ended_at {
+                warnings.push(crate::TraceWarning {
+                    seq: e.seq,
+                    message: format!("event after program end (END at event {end_seq})"),
+                });
+            }
+            if e.kind == EventKind::ProgramEnd && ended_at.is_none() {
+                ended_at = Some(e.seq);
+            }
+            // A byte-identical neighbor (ignoring seq) is a duplicated
+            // record: no real execution emits the same store/flush twice
+            // from the same instruction back to back without the sequence
+            // advancing through other events.
+            if i > 0 {
+                let p = &self.events[i - 1];
+                if p.kind == e.kind
+                    && p.at == e.at
+                    && p.loc == e.loc
+                    && p.stack == e.stack
+                    && !matches!(e.kind, EventKind::CrashPoint)
+                {
+                    warnings.push(crate::TraceWarning {
+                        seq: e.seq,
+                        message: format!("duplicated record (identical to event {})", p.seq),
+                    });
+                }
+            }
+        }
+        warnings
+    }
 }
 
 impl FromIterator<Event> for Trace {
@@ -225,5 +276,62 @@ mod tests {
             col: 0,
         };
         assert_eq!(l.to_string(), "a.pmc:7");
+    }
+
+    #[test]
+    fn from_json_diagnostic_maps_errors() {
+        assert!(Trace::from_json_diagnostic("{\"events\": [").is_err());
+        let t = Trace::new();
+        let json = t.to_json().expect("serializes");
+        assert_eq!(Trace::from_json_diagnostic(&json).expect("parses"), t);
+    }
+
+    #[test]
+    fn validate_flags_duplicates_and_post_end_events() {
+        let store = Event {
+            seq: 0,
+            kind: EventKind::Store { addr: 64, len: 8 },
+            at: None,
+            loc: None,
+            stack: vec![],
+        };
+        let end = Event {
+            seq: 0,
+            kind: EventKind::ProgramEnd,
+            at: None,
+            loc: None,
+            stack: vec![],
+        };
+        let mut t = Trace::new();
+        for (i, mut e) in [store.clone(), store, end.clone(), end]
+            .into_iter()
+            .enumerate()
+        {
+            e.seq = i as u64;
+            t.push(e);
+        }
+        let w = t.validate();
+        assert!(w.iter().any(|w| w.message.contains("duplicated")), "{w:?}");
+        assert!(w.iter().any(|w| w.message.contains("after program end")), "{w:?}");
+    }
+
+    #[test]
+    fn validate_accepts_clean_trace() {
+        let mut t = Trace::new();
+        t.push(Event {
+            seq: 0,
+            kind: EventKind::Store { addr: 64, len: 8 },
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        t.push(Event {
+            seq: 1,
+            kind: EventKind::ProgramEnd,
+            at: None,
+            loc: None,
+            stack: vec![],
+        });
+        assert!(t.validate().is_empty());
     }
 }

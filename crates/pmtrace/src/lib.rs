@@ -14,12 +14,15 @@
 //! program end — not every volatile access.
 
 pub mod data;
+pub mod error;
 pub mod event;
 pub mod format;
 pub mod log;
 
 pub use data::{DataLog, DataRecord};
+pub use error::{TraceError, TraceWarning};
 pub use event::{Event, EventKind, FenceKind, FlushKind, Frame, IrRef, Trace, TraceLoc};
+pub use log::LogError;
 
 #[cfg(test)]
 mod tests {

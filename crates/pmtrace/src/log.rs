@@ -23,18 +23,26 @@
 use crate::event::{Event, EventKind, FenceKind, FlushKind, Frame, IrRef, Trace, TraceLoc};
 use std::fmt::Write as _;
 
-/// A parse failure with its 1-based line number.
+/// A parse failure with its 1-based line number and the byte offset of that
+/// line's start in the input — enough for a caller holding the raw bytes to
+/// point a cursor at the corruption.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogError {
     /// 1-based line.
     pub line: usize,
+    /// Byte offset of the line's first byte in the input.
+    pub byte_offset: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for LogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace log line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace log line {} (byte {}): {}",
+            self.line, self.byte_offset, self.message
+        )
     }
 }
 
@@ -92,18 +100,22 @@ pub fn to_log(trace: &Trace) -> String {
 pub fn from_log(text: &str) -> Result<Trace, LogError> {
     let mut trace = Trace::new();
     let mut seq = 0u64;
-    for (ln, raw) in text.lines().enumerate() {
+    let mut offset = 0usize;
+    for (ln, full) in text.split_inclusive('\n').enumerate() {
         let line_no = ln + 1;
-        let raw = raw.trim();
+        let line_offset = offset;
+        offset += full.len();
+        let raw = full.trim();
         if raw.is_empty() || raw.starts_with('#') {
             continue;
         }
         let err = |msg: String| LogError {
             line: line_no,
+            byte_offset: line_offset,
             message: msg,
         };
         let mut parts = raw.split_whitespace();
-        let head = parts.next().expect("nonempty");
+        let Some(head) = parts.next() else { continue };
         let mut fields: Vec<(&str, &str)> = vec![];
         for p in parts {
             let (k, v) = p
@@ -351,6 +363,30 @@ mod tests {
         assert_eq!(err.line, 2);
         let err = from_log("FLUSH kind=NOPE addr=0x10\n").unwrap_err();
         assert!(err.message.contains("flush"));
+    }
+
+    #[test]
+    fn errors_report_byte_offsets() {
+        let err = from_log("END\nBOGUS\n").unwrap_err();
+        assert_eq!(err.byte_offset, 4, "offset of the offending line's start");
+        let err = from_log("# header\nCRASHPOINT\nSTORE addr=zz len=8\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.byte_offset, "# header\nCRASHPOINT\n".len());
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_yields_structured_error() {
+        // A record cut mid-field (no trailing newline) must parse-fail with
+        // position context, not panic.
+        let whole = to_log(&sample());
+        let cut = &whole[..whole.len() - 7];
+        match from_log(cut) {
+            // Cutting inside the final line usually mangles a field…
+            Err(e) => assert!(e.line >= 1 && e.byte_offset < whole.len()),
+            // …but a cut can also land between fields, leaving valid lines.
+            Ok(t) => assert!(t.len() <= sample().len()),
+        }
     }
 
     #[test]

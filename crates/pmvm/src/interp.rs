@@ -39,6 +39,32 @@ impl Vm {
                 reason: "capture_pm_data / stop_at_event require tracing".to_string(),
             });
         }
+        if self.opts.max_steps == 0 {
+            let reason = if self.opts.watchdog_ms.is_some() {
+                "watchdog requires fuel > 0 (max_steps = 0 can never run)"
+            } else {
+                "max_steps must be > 0"
+            };
+            return Err(VmError::BadOptions {
+                reason: reason.to_string(),
+            });
+        }
+        if self.opts.watchdog_ms == Some(0) {
+            return Err(VmError::BadOptions {
+                reason: "watchdog_ms must be > 0".to_string(),
+            });
+        }
+        let stuck_planned = self
+            .opts
+            .fault
+            .as_ref()
+            .is_some_and(|p| p.targets(pmfault::FaultSite::VmDiverge));
+        if stuck_planned && self.opts.watchdog_ms.is_none() {
+            return Err(VmError::BadOptions {
+                reason: "a stuck-loop fault plan requires a wall-clock watchdog (watchdog_ms)"
+                    .to_string(),
+            });
+        }
         let entry_id = module
             .function_by_name(entry)
             .ok_or_else(|| VmError::NoSuchFunction {
@@ -49,10 +75,28 @@ impl Vm {
                 name: entry.to_string(),
             });
         }
-        let machine = match self.opts.media.clone() {
+        let mut machine = match self.opts.media.clone() {
             Some(media) => Machine::with_media(media, self.opts.cost),
             None => Machine::new(self.opts.cost),
         };
+        // Arm fault injection: the machine gets its own injector clone for
+        // the sim-level sites (store/flush/media-read); the interpreter
+        // keeps one for the VM-level sites. Counters are per-site, so the
+        // split never double-counts.
+        let mut injector = self.opts.fault.clone().map(pmfault::Injector::new);
+        let mut fuel = self.opts.max_steps;
+        if let Some(inj) = injector.as_mut() {
+            machine.set_injector(Some(inj.clone()));
+            if let Some(pmfault::FaultKind::FuelExhaustion { max_steps }) =
+                inj.fire(pmfault::FaultSite::VmFuel)
+            {
+                fuel = fuel.min(max_steps.max(1));
+            }
+        }
+        let deadline = self
+            .opts
+            .watchdog_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let mut exec = Exec {
             module,
             machine,
@@ -65,6 +109,9 @@ impl Vm {
             seq: 0,
             crash_points: 0,
             pm_stores_seen: 0,
+            fuel,
+            deadline,
+            injector,
             opts: &self.opts,
         };
         exec.install_globals()?;
@@ -106,6 +153,9 @@ struct Exec<'m, 'o> {
     seq: u64,
     crash_points: u64,
     pm_stores_seen: u64,
+    fuel: u64,
+    deadline: Option<std::time::Instant>,
+    injector: Option<pmfault::Injector>,
     opts: &'o VmOptions,
 }
 
@@ -242,6 +292,27 @@ impl Exec<'_, '_> {
         }
     }
 
+    fn check_watchdog(&self) -> Result<(), VmError> {
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(VmError::Watchdog {
+                    limit_ms: self.opts.watchdog_ms.unwrap_or(0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// An injected divergence: spin (politely) until the watchdog fires.
+    /// `Vm::run` validated that a watchdog is armed whenever a stuck-loop
+    /// fault is planned, so this always terminates.
+    fn stuck_loop(&self) -> Result<(Ended, Option<i64>), VmError> {
+        loop {
+            self.check_watchdog()?;
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
     fn run_loop(&mut self) -> Result<(Ended, Option<i64>), VmError> {
         let mut last_ret: Option<i64> = None;
         while let Some(frame) = self.frames.last() {
@@ -254,10 +325,25 @@ impl Exec<'_, '_> {
                 }
             }
             self.steps += 1;
-            if self.steps > self.opts.max_steps {
-                return Err(VmError::StepLimit {
-                    limit: self.opts.max_steps,
-                });
+            if self.steps > self.fuel {
+                return Err(VmError::FuelExhausted { limit: self.fuel });
+            }
+            // The wall-clock watchdog is checked on a coarse step stride so
+            // the hot loop stays free of syscalls.
+            if self.steps & 0x3FF == 0 {
+                self.check_watchdog()?;
+            }
+            if self.injector.is_some() {
+                if let Some(pmfault::FaultKind::StuckLoop) = self
+                    .injector
+                    .as_mut()
+                    .and_then(|i| i.fire(pmfault::FaultSite::VmDiverge))
+                {
+                    // The interpreter stops making progress: only the
+                    // wall-clock watchdog (validated present up front) can
+                    // end this run.
+                    return self.stuck_loop();
+                }
             }
             let func_id = frame.func;
             // Copy the module reference out of `self` so instruction borrows
@@ -727,7 +813,96 @@ mod tests {
             ..VmOptions::default()
         };
         let err = Vm::new(opts).run(&m, "main").unwrap_err();
-        assert!(matches!(err, VmError::StepLimit { limit: 1000 }));
+        assert!(matches!(err, VmError::FuelExhausted { limit: 1000 }));
+    }
+
+    /// A spinning `main` module for watchdog/fuel tests.
+    fn spin_module() -> Module {
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        let spin = b.new_block("spin");
+        b.switch_to(e);
+        b.br(spin);
+        b.switch_to(spin);
+        b.br(spin);
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn watchdog_fires_on_runaway_loop() {
+        let m = spin_module();
+        let opts = VmOptions::default().watchdog(20);
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::Watchdog { limit_ms: 20 }));
+    }
+
+    #[test]
+    fn watchdog_fires_on_injected_stuck_loop() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        // Fuel is effectively unlimited: only the wall clock can end this.
+        let m = spin_module();
+        let opts = VmOptions::default().watchdog(20).with_fault(FaultPlan::single(
+            FaultSite::VmDiverge,
+            Trigger::Nth(2),
+            FaultKind::StuckLoop,
+        ));
+        let t0 = std::time::Instant::now();
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::Watchdog { limit_ms: 20 }), "{err}");
+        assert!(t0.elapsed().as_millis() < 5_000, "watchdog must not hang");
+    }
+
+    #[test]
+    fn stuck_loop_plan_without_watchdog_is_rejected_up_front() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = spin_module();
+        let opts = VmOptions::default().with_fault(FaultPlan::single(
+            FaultSite::VmDiverge,
+            Trigger::Nth(0),
+            FaultKind::StuckLoop,
+        ));
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::BadOptions { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_fuel_is_rejected_up_front() {
+        let m = spin_module();
+        let opts = VmOptions {
+            max_steps: 0,
+            ..VmOptions::default()
+        };
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::BadOptions { .. }));
+        // With a watchdog armed the message names the fuel requirement.
+        let opts = VmOptions {
+            max_steps: 0,
+            ..VmOptions::default()
+        }
+        .watchdog(50);
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        match err {
+            VmError::BadOptions { reason } => {
+                assert!(reason.contains("watchdog requires fuel"), "{reason}")
+            }
+            other => panic!("expected BadOptions, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_fuel_exhaustion_tightens_limit() {
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let m = spin_module();
+        let opts = VmOptions::default().with_fault(FaultPlan::single(
+            FaultSite::VmFuel,
+            Trigger::Always,
+            FaultKind::FuelExhaustion { max_steps: 17 },
+        ));
+        let err = Vm::new(opts).run(&m, "main").unwrap_err();
+        assert!(matches!(err, VmError::FuelExhausted { limit: 17 }), "{err}");
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub struct VmOptions {
     /// If set, spontaneously evict the stored-to line after every k-th PM
     /// store — models cache pressure (used by do-no-harm property tests).
     pub evict_period: Option<u64>,
+    /// Wall-clock watchdog: abort with [`crate::VmError::Watchdog`] if the
+    /// run has not finished within this many milliseconds. Fuel
+    /// (`max_steps`) bounds *progress*; the watchdog bounds *time*, so a
+    /// run that stops making progress (a diverging `recover()` oracle)
+    /// cannot hang its worker. Validated up front: requires fuel > 0 and a
+    /// non-zero budget.
+    pub watchdog_ms: Option<u64>,
+    /// Deterministic fault plan ([`pmfault::FaultPlan`]) armed for this run:
+    /// sim-level faults are forwarded to the machine, VM-level faults
+    /// (fuel tightening, stuck loops) are applied by the interpreter.
+    /// `None` (production) costs one branch per step.
+    pub fault: Option<pmfault::FaultPlan>,
 }
 
 impl Default for VmOptions {
@@ -47,6 +59,8 @@ impl Default for VmOptions {
             stop_at_event: None,
             capture_pm_data: false,
             evict_period: None,
+            watchdog_ms: None,
+            fault: None,
         }
     }
 }
@@ -82,6 +96,18 @@ impl VmOptions {
     /// Enables PM write-data capture (builder-style).
     pub fn capture_pm_data(mut self) -> Self {
         self.capture_pm_data = true;
+        self
+    }
+
+    /// Arms the wall-clock watchdog (builder-style).
+    pub fn watchdog(mut self, ms: u64) -> Self {
+        self.watchdog_ms = Some(ms);
+        self
+    }
+
+    /// Arms a fault plan (builder-style).
+    pub fn with_fault(mut self, plan: pmfault::FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 }

@@ -62,10 +62,20 @@ pub enum VmError {
         /// The function where the fault occurred.
         function: String,
     },
-    /// The step limit was exceeded.
-    StepLimit {
-        /// The configured limit.
+    /// The interpreter ran out of fuel: the configured `max_steps` was
+    /// exceeded. Distinct from other traps so callers (the repair engine's
+    /// degraded mode, the fault campaign) can tell resource exhaustion from
+    /// program bugs.
+    FuelExhausted {
+        /// The fuel limit in effect (after any injected tightening).
         limit: u64,
+    },
+    /// The wall-clock watchdog ([`crate::VmOptions::watchdog_ms`]) fired:
+    /// the run exceeded its real-time budget without completing — e.g. a
+    /// diverging `recover()` oracle that stopped making progress.
+    Watchdog {
+        /// The configured budget in milliseconds.
+        limit_ms: u64,
     },
     /// The entry function does not exist.
     NoSuchFunction {
@@ -96,7 +106,12 @@ impl fmt::Display for VmError {
             VmError::UndefinedValue { function } => {
                 write!(f, "undefined value read in `{function}`")
             }
-            VmError::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+            VmError::FuelExhausted { limit } => {
+                write!(f, "fuel exhausted: step limit of {limit} exceeded")
+            }
+            VmError::Watchdog { limit_ms } => {
+                write!(f, "watchdog fired: no completion within {limit_ms}ms")
+            }
             VmError::NoSuchFunction { name } => write!(f, "no such function: `{name}`"),
             VmError::EntryHasParams { name } => {
                 write!(f, "entry function `{name}` must take no parameters")
@@ -120,8 +135,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = VmError::StepLimit { limit: 10 };
-        assert_eq!(e.to_string(), "step limit of 10 exceeded");
+        let e = VmError::FuelExhausted { limit: 10 };
+        assert_eq!(e.to_string(), "fuel exhausted: step limit of 10 exceeded");
+        let e = VmError::Watchdog { limit_ms: 50 };
+        assert!(e.to_string().contains("watchdog"));
         let e: VmError = MemError::Unmapped { addr: 4 }.into();
         assert!(e.to_string().contains("memory fault"));
     }

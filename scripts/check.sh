@@ -16,6 +16,11 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (lib targets) -- -D clippy::unwrap_used on the input paths"
+# The trace-ingest and repair-engine crates must never unwrap on their
+# production paths: corrupted inputs are routed into the error taxonomy.
+cargo clippy -p pmtrace -p hippocrates --no-deps -- -D clippy::unwrap_used
+
 echo "==> hippoctl lint --deny warnings examples/"
 target/release/hippoctl lint --deny warnings examples/
 
@@ -40,8 +45,15 @@ target/release/hippoctl fix examples/ordering_demo.pmc --bug-source exploration 
 target/release/hippoctl explore "$healed" --budget 64 --seed 0
 rm -rf "$(dirname "$healed")"
 
+echo "==> hippoctl faultcampaign --seeds 8 (every fault archetype survived)"
+target/release/hippoctl faultcampaign --seeds 8
+
 echo "==> explore_bench smoke (writes BENCH_explore.json)"
 target/release/explore_bench
 test -s BENCH_explore.json
+
+echo "==> fault_bench smoke (writes BENCH_fault.json)"
+target/release/fault_bench
+test -s BENCH_fault.json
 
 echo "check.sh: all checks passed"

@@ -92,6 +92,48 @@ proptest! {
         let parallel = run_and_explore(&m, "main", &explore_opts(4)).unwrap();
         prop_assert_eq!(serial.report, parallel.report);
     }
+
+    /// Do no harm under injected faults: with any fault archetype armed on
+    /// detection, repair either fails with a structured error or converges
+    /// clean — and a clean repair never changes the program's observable
+    /// output, no matter what the fault did to the detection pipeline.
+    #[test]
+    fn repair_under_active_fault_plan_does_no_harm(
+        seed in 0u64..pmfault::N_ARCHETYPES,
+        n_keys in 1u8..3,
+        mask in 0u8..=255,
+    ) {
+        let src = program(n_keys, mask);
+        let mut m = pmlang::compile_one("prop.pmc", &src).unwrap();
+        let before = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        let plan = pmfault::FaultPlan::from_seed(seed);
+        let bug_source = if plan.targets(pmfault::FaultSite::ExploreWorker)
+            || plan.targets(pmfault::FaultSite::ExploreOracle)
+        {
+            BugSource::Exploration
+        } else {
+            // Dynamic + static: a degraded dynamic source always has a
+            // surviving partner, mirroring `hippoctl faultcampaign`.
+            BugSource::Both
+        };
+        let result = Hippocrates::new(RepairOptions {
+            bug_source,
+            explore_budget: 64,
+            fault: Some(plan),
+            watchdog_ms: Some(30),
+            source_retries: 0,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main");
+        match result {
+            Ok(outcome) => {
+                prop_assert!(outcome.clean);
+                let after = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+                prop_assert_eq!(before.output, after.output);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
 }
 
 /// A fully unpersisted publish is caught by exploration (sanity check that
