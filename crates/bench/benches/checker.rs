@@ -21,9 +21,7 @@ fn bench_checker(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("checker");
     g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("clean_trace", |b| {
-        b.iter(|| check_trace(black_box(&trace)))
-    });
+    g.bench_function("clean_trace", |b| b.iter(|| check_trace(black_box(&trace))));
     g.throughput(Throughput::Elements(buggy_trace.len() as u64));
     g.bench_function("buggy_trace", |b| {
         b.iter(|| check_trace(black_box(&buggy_trace)))

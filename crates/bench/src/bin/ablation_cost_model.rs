@@ -11,6 +11,8 @@ use pmvm::{Vm, VmOptions};
 use ycsb::{Generator, Workload};
 
 fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.ablation_cost_model");
     println!("Ablation — Fig. 4 gap vs. write-back latency (workload A)\n");
     let mut v = build_redis_variants();
     let g = Generator::new(300, 300, 1024, 7);
@@ -43,6 +45,11 @@ fn main() {
         assert_eq!(full.output, intra.output, "do-no-harm across cost models");
         let ratio = intra.stats.cycles as f64 / full.stats.cycles as f64;
         assert!(ratio > 1.0, "hoisting must win at every latency point");
+        obs.add("bench.ablation_cost.points", 1);
+        obs.gauge(
+            &format!("bench.ablation_cost.pm{pm_wb}_dram{dram_wb}.intra_over_full"),
+            ratio,
+        );
         t.row([
             pm_wb.to_string(),
             dram_wb.to_string(),
@@ -53,4 +60,6 @@ fn main() {
     }
     println!("{t}");
     println!("the interprocedural win is robust across the latency sweep");
+    drop(run_span);
+    bench::write_metrics("BENCH_ablation_cost_model.json", &obs);
 }

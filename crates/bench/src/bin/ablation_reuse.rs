@@ -28,6 +28,8 @@ fn run(reuse: bool) -> (usize, usize, usize) {
 }
 
 fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.ablation_reuse");
     println!("Ablation — persistent-subprogram reuse (all-bugs memcached repair)\n");
     let (clones_on, grew_on, fixes_on) = run(true);
     let (clones_off, grew_off, fixes_off) = run(false);
@@ -51,4 +53,12 @@ fn main() {
         clones_off - clones_on,
         grew_off.saturating_sub(grew_on)
     );
+    obs.add("bench.ablation_reuse.clones_on", clones_on as u64);
+    obs.add("bench.ablation_reuse.clones_off", clones_off as u64);
+    obs.add("bench.ablation_reuse.ir_added_on", grew_on as u64);
+    obs.add("bench.ablation_reuse.ir_added_off", grew_off as u64);
+    obs.add("bench.ablation_reuse.fixes_on", fixes_on as u64);
+    obs.add("bench.ablation_reuse.fixes_off", fixes_off as u64);
+    drop(run_span);
+    bench::write_metrics("BENCH_ablation_reuse.json", &obs);
 }

@@ -1,0 +1,130 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! Compares fresh `BENCH_*.json` artifacts (written by `explore_bench` and
+//! `fault_bench`) against the checked-in baselines under
+//! `crates/bench/baselines/`, applying the rules in [`bench::gate`]:
+//! `bench.*_ms` gauges may not regress more than 25 %, and
+//! `bench.*pass_rate` / `bench.*healed_clean` gauges may not drop at all.
+//!
+//! ```text
+//! bench_gate                  # gate fresh artifacts against the baselines
+//! bench_gate --rebase         # rewrite the baselines from fresh artifacts
+//! bench_gate --doctor         # self-test: corrupt baselines in memory so
+//!                             # the gate MUST fail (exit 1 expected)
+//! bench_gate --fresh <dir>    # where the fresh artifacts live
+//! bench_gate --baselines <dir>
+//! ```
+//!
+//! Exit status: 0 when every gated metric is within tolerance, 1 otherwise.
+
+use bench::gate::{self, GATED_FILES};
+use pmobs::Snapshot;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fresh_dir = bench::workspace_root();
+    let mut base_dir = bench::workspace_root().join("crates/bench/baselines");
+    let mut doctor = false;
+    let mut rebase = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fresh" | "--baselines" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("bench_gate: `{}` needs a directory", args[i]);
+                    return ExitCode::FAILURE;
+                };
+                if args[i] == "--fresh" {
+                    fresh_dir = PathBuf::from(v);
+                } else {
+                    base_dir = PathBuf::from(v);
+                }
+                i += 1;
+            }
+            "--doctor" => doctor = true,
+            "--rebase" => rebase = true,
+            a => {
+                eprintln!("bench_gate: unknown argument `{a}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if rebase {
+        if let Err(e) = std::fs::create_dir_all(&base_dir) {
+            eprintln!("bench_gate: create {}: {e}", base_dir.display());
+            return ExitCode::FAILURE;
+        }
+        for file in GATED_FILES {
+            let fresh = match load(&fresh_dir.join(file)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench_gate: --rebase needs a fresh artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let base = gate::rebase(&fresh);
+            let path = base_dir.join(file);
+            let json = {
+                // Stash the headroom factor in the file so a human reading
+                // the baseline knows the walls are not raw measurements.
+                let mut b = base;
+                b.gauges
+                    .insert("baseline.headroom".to_string(), gate::REBASE_HEADROOM);
+                b.to_json()
+            };
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bench_gate: write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("rebased {}", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ok = true;
+    for file in GATED_FILES {
+        let mut base = match load(&base_dir.join(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_gate: no baseline ({e}); run `bench_gate --rebase`");
+                ok = false;
+                continue;
+            }
+        };
+        let fresh = match load(&fresh_dir.join(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_gate: no fresh artifact ({e}); run the bench binaries first");
+                ok = false;
+                continue;
+            }
+        };
+        if doctor {
+            gate::doctor(&mut base);
+        }
+        let r = gate::compare(file, &base, &fresh);
+        for line in &r.infos {
+            println!("  {line}");
+        }
+        for line in &r.failures {
+            eprintln!("  FAIL {line}");
+        }
+        ok &= r.passed();
+    }
+    if ok {
+        println!("bench_gate: all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: regression gate FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -2,20 +2,26 @@
 //! persistent-subprogram transformation adds to the flush-free Redis
 //! (paper: +105 lines of LLVM IR, +0.013 %, binary +0.05 %).
 
-use bench::redisx::{calibration_ops};
+use bench::redisx::calibration_ops;
 use bench::Table;
 use hippocrates::{Hippocrates, RepairOptions};
 use pmapps::redis::{attach_workload, build, RedisBuild};
 use pmir::ModuleMetrics;
+use pmobs::Obs;
 
 fn main() {
+    let obs = Obs::enabled();
+    let run_span = obs.span("bench.code_size");
     println!("§6.4 — IR growth of the Hippocrates-repaired Redis\n");
     let mut m = build(RedisBuild::FlushFree).expect("flush-free builds");
     let entry = attach_workload(&mut m, "cal", &calibration_ops());
     let before = ModuleMetrics::measure(&m);
-    let outcome = Hippocrates::new(RepairOptions::default())
-        .repair_until_clean(&mut m, &entry)
-        .expect("repair succeeds");
+    let outcome = Hippocrates::new(RepairOptions {
+        obs: obs.clone(),
+        ..RepairOptions::default()
+    })
+    .repair_until_clean(&mut m, &entry)
+    .expect("repair succeeds");
     assert!(outcome.clean);
     let after = ModuleMetrics::measure(&m);
 
@@ -34,7 +40,10 @@ fn main() {
         "Functions".to_string(),
         before.functions.to_string(),
         after.functions.to_string(),
-        format!("+{} (persistent clones)", after.functions - before.functions),
+        format!(
+            "+{} (persistent clones)",
+            after.functions - before.functions
+        ),
     ]);
     t.row([
         "Flush instructions".to_string(),
@@ -56,4 +65,24 @@ fn main() {
         outcome.clones_created
     );
     println!("paper: +105 IR lines (+0.013%) on full Redis; the mini-Redis is ~100x smaller, so the relative growth is correspondingly larger");
+    obs.add("bench.code_size.ir_lines_before", before.ir_lines as u64);
+    obs.add("bench.code_size.ir_lines_after", after.ir_lines as u64);
+    obs.add(
+        "bench.code_size.flushes_added",
+        (after.flushes - before.flushes) as u64,
+    );
+    obs.add(
+        "bench.code_size.fences_added",
+        (after.fences - before.fences) as u64,
+    );
+    obs.add(
+        "bench.code_size.clones_created",
+        outcome.clones_created as u64,
+    );
+    obs.gauge(
+        "bench.code_size.ir_growth_percent",
+        before.ir_growth_percent(&after),
+    );
+    drop(run_span);
+    bench::write_metrics("BENCH_code_size.json", &obs);
 }

@@ -26,6 +26,9 @@ fn build(id: &str, target: Target) -> (Module, String) {
 }
 
 fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.effectiveness");
+    let t_all = std::time::Instant::now();
     println!("§6.1 — Effectiveness: detect -> repair -> re-verify for all 23 corpus bugs\n");
     let mut t = Table::new([
         "Bug",
@@ -39,15 +42,31 @@ fn main() {
     let mut all_clean = true;
     let mut all_identical = true;
     for bug in corpus() {
+        let _bug_span = obs.span("bench.effectiveness.bug");
         let (mut m, entry) = build(bug.id, bug.target);
         let pre = pmcheck::run_and_check(&m, &entry, pmvm::VmOptions::default())
             .expect("buggy build runs");
         let reported = pre.report.deduped_bugs().len();
         assert!(reported > 0, "{}: not detected", bug.id);
 
+        let t_bug = std::time::Instant::now();
         let outcome = Hippocrates::new(RepairOptions::default())
             .repair_until_clean(&mut m, &entry)
             .expect("repair succeeds");
+        obs.observe(
+            "bench.effectiveness.repair_ms",
+            t_bug.elapsed().as_secs_f64() * 1e3,
+        );
+        obs.add("bench.effectiveness.bugs", 1);
+        obs.add("bench.effectiveness.reported_total", reported as u64);
+        obs.add(
+            "bench.effectiveness.fixes_total",
+            outcome.fixes.len() as u64,
+        );
+        obs.add(
+            "bench.effectiveness.interproc_total",
+            outcome.interprocedural_count() as u64,
+        );
         all_clean &= outcome.clean;
 
         // Trace-AA comparison on a fresh copy.
@@ -68,8 +87,16 @@ fn main() {
             reported.to_string(),
             outcome.fixes.len().to_string(),
             outcome.interprocedural_count().to_string(),
-            if outcome.clean { "yes".into() } else { "NO".to_string() },
-            if identical { "yes".into() } else { "NO".to_string() },
+            if outcome.clean {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+            if identical {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     println!("{t}");
@@ -80,4 +107,11 @@ fn main() {
     assert!(all_clean, "some repair left bugs behind");
     assert!(all_identical, "Full-AA and Trace-AA diverged");
     println!("reproduced: all 23 repaired and re-verified clean; heuristics identical");
+    obs.gauge(
+        "bench.effectiveness.pass_rate",
+        if all_clean && all_identical { 1.0 } else { 0.0 },
+    );
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    drop(run_span);
+    bench::write_metrics("BENCH_effectiveness.json", &obs);
 }

@@ -1,145 +1,136 @@
 //! Crash-state exploration benchmark: throughput (crash states per second)
 //! and coverage versus checkpoint-based crash sampling, emitted as
-//! `BENCH_explore.json` for the CI bench smoke.
+//! `BENCH_explore.json` — a `hippo.metrics.v1` snapshot the CI
+//! bench-regression gate (`bench_gate`) compares against its checked-in
+//! baseline.
 //!
 //! Two artifacts:
 //!
 //! 1. **Coverage** — the unfenced-flush-reordering demo is clean under the
 //!    dynamic checkpoint checker (its blind spot) but caught by exploration;
-//!    an `Exploration`-sourced repair heals it and re-exploration is clean.
+//!    an `Exploration`-sourced repair heals it and re-exploration is clean
+//!    (`bench.explore.healed_clean`, a gated no-drop metric).
 //! 2. **Throughput** — states/sec exploring the correct P-CLHT and the
-//!    ordering demo at a fixed seed and budget, serial and parallel.
+//!    ordering demo at a fixed seed and budget, serial and parallel. Wall
+//!    times land in gated `*.wall_ms` gauges.
 
 use hippocrates::{BugSource, Hippocrates, RepairOptions};
 use pmexplore::{run_and_explore, ExploreOptions};
+use pmobs::Obs;
 use pmvm::VmOptions;
-use serde::Serialize;
 use std::time::Instant;
 
 const DEMO_SRC: &str = include_str!("../../../../examples/ordering_demo.pmc");
 const BUDGET: usize = 128;
 const SEED: u64 = 0;
 
-#[derive(Serialize)]
-struct Coverage {
-    demo: &'static str,
-    crashpoint_bugs: usize,
-    exploration_bugs: usize,
-    healed_clean: bool,
-}
-
-#[derive(Serialize)]
-struct Throughput {
-    target: &'static str,
-    jobs: usize,
-    candidates: usize,
-    distinct_states: usize,
-    findings: usize,
-    secs: f64,
-    states_per_sec: f64,
-}
-
-#[derive(Serialize)]
-struct BenchOut {
-    budget: usize,
-    seed: u64,
-    coverage: Coverage,
-    throughput: Vec<Throughput>,
-}
-
-fn opts(jobs: usize) -> ExploreOptions {
+fn opts(obs: &Obs, jobs: usize) -> ExploreOptions {
     ExploreOptions {
         budget: BUDGET,
         seed: SEED,
         jobs,
+        obs: obs.clone(),
         ..ExploreOptions::default()
     }
 }
 
-fn throughput_row(name: &'static str, m: &pmir::Module, entry: &str, jobs: usize) -> Throughput {
+fn throughput_row(obs: &Obs, name: &str, m: &pmir::Module, entry: &str, jobs: usize) {
+    let _span = obs.span(&format!("bench.throughput.{name}.j{jobs}"));
     let t0 = Instant::now();
-    let x = run_and_explore(m, entry, &opts(jobs)).expect("exploration runs");
+    let x = run_and_explore(m, entry, &opts(obs, jobs)).expect("exploration runs");
     let secs = t0.elapsed().as_secs_f64();
-    let row = Throughput {
-        target: name,
-        jobs,
-        candidates: x.report.stats.candidates,
-        distinct_states: x.report.stats.distinct_states,
-        findings: x.report.findings.len(),
-        secs,
-        states_per_sec: if secs > 0.0 {
-            x.report.stats.candidates as f64 / secs
-        } else {
-            0.0
-        },
+    let candidates = x.report.stats.candidates;
+    let states_per_sec = if secs > 0.0 {
+        candidates as f64 / secs
+    } else {
+        0.0
     };
-    println!(
-        "  {name:<16} jobs={jobs}  {:>4} states ({} distinct, {} inconsistent) \
-         in {secs:.3}s  ->  {:.0} states/s",
-        row.candidates, row.distinct_states, row.findings, row.states_per_sec
+    let key = format!("bench.explore.{name}.j{jobs}");
+    obs.add(&format!("{key}.candidates"), candidates as u64);
+    obs.add(
+        &format!("{key}.distinct_states"),
+        x.report.stats.distinct_states as u64,
     );
-    row
+    obs.add(&format!("{key}.findings"), x.report.findings.len() as u64);
+    obs.gauge(&format!("{key}.wall_ms"), secs * 1e3);
+    obs.gauge(&format!("{key}.states_per_sec"), states_per_sec);
+    println!(
+        "  {name:<16} jobs={jobs}  {candidates:>4} states ({} distinct, {} inconsistent) \
+         in {secs:.3}s  ->  {states_per_sec:.0} states/s",
+        x.report.stats.distinct_states,
+        x.report.findings.len(),
+    );
 }
 
 fn main() {
+    let obs = Obs::enabled();
+    let t_all = Instant::now();
     println!("Crash-state exploration — coverage vs. crashpoint sampling, and states/sec\n");
+    obs.add("bench.explore.budget", BUDGET as u64);
+    obs.add("bench.explore.seed", SEED);
 
     // --- Coverage: the dynamic checker's blind spot. -----------------------
+    let cov_span = obs.span("bench.coverage");
     let mut demo = pmlang::compile_one("ordering_demo.pmc", DEMO_SRC).expect("demo compiles");
     let dynamic =
         pmcheck::run_and_check(&demo, "main", VmOptions::default()).expect("dynamic check runs");
     let crashpoint_bugs = dynamic.report.bugs.len();
 
-    let explored = run_and_explore(&demo, "main", &opts(1)).expect("exploration runs");
+    let explored = run_and_explore(&demo, "main", &opts(&obs, 1)).expect("exploration runs");
     let exploration_bugs = explored.report.to_check_report(&explored.trace).bugs.len();
     println!(
         "coverage on the reordering demo: crashpoint checker {crashpoint_bugs} bug(s), \
          exploration {exploration_bugs} bug(s)"
     );
+    obs.add(
+        "bench.explore.coverage.crashpoint_bugs",
+        crashpoint_bugs as u64,
+    );
+    obs.add(
+        "bench.explore.coverage.exploration_bugs",
+        exploration_bugs as u64,
+    );
     assert_eq!(crashpoint_bugs, 0, "the demo is the checker's blind spot");
-    assert!(exploration_bugs > 0, "exploration must catch the reordering");
+    assert!(
+        exploration_bugs > 0,
+        "exploration must catch the reordering"
+    );
+    drop(cov_span);
 
     // Heal it from the exploration report, then re-verify at full budget.
+    let heal_span = obs.span("bench.heal");
     let outcome = Hippocrates::new(RepairOptions {
         bug_source: BugSource::Exploration,
         explore_budget: BUDGET,
         explore_seed: SEED,
+        obs: obs.clone(),
         ..RepairOptions::default()
     })
     .repair_until_clean(&mut demo, "main")
     .expect("repair runs");
-    let healed = run_and_explore(&demo, "main", &opts(1)).expect("re-exploration runs");
+    let healed = run_and_explore(&demo, "main", &opts(&obs, 1)).expect("re-exploration runs");
     let healed_clean = outcome.clean && healed.report.is_clean();
     println!(
         "healed with {} fix(es); re-exploration clean: {healed_clean}\n",
         outcome.fixes.len()
     );
+    obs.gauge(
+        "bench.explore.healed_clean",
+        if healed_clean { 1.0 } else { 0.0 },
+    );
     assert!(healed_clean, "exploration-sourced repair must converge");
+    drop(heal_span);
 
     // --- Throughput: states/sec at a fixed seed and budget. ----------------
     println!("throughput (budget {BUDGET}, seed {SEED}):");
     let pclht = pmapps::pclht::build_correct().expect("pclht builds");
     let demo_clean = demo; // the healed demo: every candidate boots recovery
-    let throughput = vec![
-        throughput_row("ordering_demo", &demo_clean, "main", 1),
-        throughput_row("ordering_demo", &demo_clean, "main", 4),
-        throughput_row("pclht", &pclht, pmapps::pclht::ENTRY, 1),
-        throughput_row("pclht", &pclht, pmapps::pclht::ENTRY, 4),
-    ];
+    throughput_row(&obs, "ordering_demo", &demo_clean, "main", 1);
+    throughput_row(&obs, "ordering_demo", &demo_clean, "main", 4);
+    throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 1);
+    throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 4);
 
-    let out = BenchOut {
-        budget: BUDGET,
-        seed: SEED,
-        coverage: Coverage {
-            demo: "examples/ordering_demo.pmc",
-            crashpoint_bugs,
-            exploration_bugs,
-            healed_clean,
-        },
-        throughput,
-    };
-    let path = "BENCH_explore.json";
-    std::fs::write(path, serde_json::to_string_pretty(&out).unwrap() + "\n")
-        .expect("write BENCH_explore.json");
-    println!("\nwrote {path}");
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    println!();
+    bench::write_metrics("BENCH_explore.json", &obs);
 }

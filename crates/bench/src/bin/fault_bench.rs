@@ -1,7 +1,8 @@
 //! Fault-injection campaign benchmark: pass rate of the hardened repair
 //! pipeline across every fault archetype, and the cost of the injection
-//! layer on the exploration hot path, emitted as `BENCH_fault.json` for
-//! the CI bench smoke.
+//! layer on the exploration hot path, emitted as `BENCH_fault.json` — a
+//! `hippo.metrics.v1` snapshot the CI bench-regression gate (`bench_gate`)
+//! compares against its checked-in baseline.
 //!
 //! Two artifacts:
 //!
@@ -9,7 +10,8 @@
 //!    from_seed(0..N_ARCHETYPES)`). A seed passes when the run neither
 //!    panics nor hangs, every injected fault leaves a structured
 //!    diagnostic or degradation, and a clean repair reproduces the
-//!    fault-free repair's output. The pass rate must be 1.0.
+//!    fault-free repair's output. The pass rate (`bench.fault.pass_rate`,
+//!    a gated no-drop metric) must be 1.0.
 //! 2. **Overhead** — states/sec exploring the healed ordering demo and
 //!    the correct P-CLHT with the fault layer absent (`fault: None`)
 //!    and with a plan armed whose trigger never fires. Both rows should
@@ -19,8 +21,8 @@
 use hippocrates::{BugSource, Hippocrates, RepairOptions};
 use pmexplore::{run_and_explore, ExploreOptions};
 use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger, N_ARCHETYPES};
+use pmobs::Obs;
 use pmvm::{Vm, VmOptions};
-use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -56,9 +58,7 @@ const WORKLOAD_SRC: &str = r#"
     }
 "#;
 
-#[derive(Serialize)]
 struct CampaignRow {
-    seed: u64,
     plan: String,
     passed: bool,
     fixes: usize,
@@ -68,43 +68,21 @@ struct CampaignRow {
     note: String,
 }
 
-#[derive(Serialize)]
-struct OverheadRow {
-    target: &'static str,
-    fault_layer: &'static str,
-    jobs: usize,
-    candidates: usize,
-    secs: f64,
-    states_per_sec: f64,
-}
-
-#[derive(Serialize)]
-struct BenchOut {
-    archetypes: u64,
-    passed: u64,
-    pass_rate: f64,
-    campaign: Vec<CampaignRow>,
-    budget: usize,
-    seed: u64,
-    overhead: Vec<OverheadRow>,
-    armed_idle_over_disabled: f64,
-}
-
 /// One campaign seed under the same contract as `hippoctl faultcampaign`:
 /// never panic, always leave a structured trail, never change the repaired
-/// program's output. Returns the row and whether it passed.
-fn campaign_row(seed: u64) -> CampaignRow {
+/// program's output. The faulted run records into `obs`, so the artifact
+/// aggregates `fault.fired.*` counters across the whole campaign.
+fn campaign_row(obs: &Obs, seed: u64) -> CampaignRow {
     let plan = FaultPlan::from_seed(seed);
     let describe = plan.describe();
-    let bug_source = if plan.targets(FaultSite::ExploreWorker) || plan.targets(FaultSite::ExploreOracle)
-    {
-        BugSource::Exploration
-    } else {
-        BugSource::Both
-    };
+    let bug_source =
+        if plan.targets(FaultSite::ExploreWorker) || plan.targets(FaultSite::ExploreOracle) {
+            BugSource::Exploration
+        } else {
+            BugSource::Both
+        };
 
     let row = |passed: bool, fixes, degradations, diagnostics, millis, note: String| CampaignRow {
-        seed,
         plan: describe.clone(),
         passed,
         fixes,
@@ -140,6 +118,7 @@ fn campaign_row(seed: u64) -> CampaignRow {
             explore_budget: BUDGET,
             explore_seed: seed,
             explore_jobs: 2,
+            obs: obs.clone(),
             ..RepairOptions::default()
         })
         .repair_until_clean(&mut m, "main");
@@ -156,20 +135,48 @@ fn campaign_row(seed: u64) -> CampaignRow {
     let out = match result {
         Ok(out) => out,
         Err(e) => {
-            return row(false, 0, 0, 0, millis, format!("no degraded path survived: {e}"));
+            return row(
+                false,
+                0,
+                0,
+                0,
+                millis,
+                format!("no degraded path survived: {e}"),
+            );
         }
     };
     if !out.clean {
-        return row(false, out.fixes.len(), out.degraded.len(), out.diagnostics.len(), millis, "repair did not converge".into());
+        return row(
+            false,
+            out.fixes.len(),
+            out.degraded.len(),
+            out.diagnostics.len(),
+            millis,
+            "repair did not converge".into(),
+        );
     }
     if out.degraded.is_empty() && out.diagnostics.is_empty() {
-        return row(false, out.fixes.len(), 0, 0, millis, "injected fault left no structured trail".into());
+        return row(
+            false,
+            out.fixes.len(),
+            0,
+            0,
+            millis,
+            "injected fault left no structured trail".into(),
+        );
     }
     let after = Vm::new(VmOptions::default())
         .run(&healed, "main")
         .expect("healed run");
     if after.output != baseline {
-        return row(false, out.fixes.len(), out.degraded.len(), out.diagnostics.len(), millis, "repaired output diverged from the fault-free repair".into());
+        return row(
+            false,
+            out.fixes.len(),
+            out.degraded.len(),
+            out.diagnostics.len(),
+            millis,
+            "repaired output diverged from the fault-free repair".into(),
+        );
     }
     row(
         true,
@@ -181,54 +188,60 @@ fn campaign_row(seed: u64) -> CampaignRow {
     )
 }
 
-fn explore_opts(fault: Option<FaultPlan>, jobs: usize) -> ExploreOptions {
+fn explore_opts(obs: &Obs, fault: Option<FaultPlan>, jobs: usize) -> ExploreOptions {
     ExploreOptions {
         budget: BUDGET,
         seed: SEED,
         jobs,
         fault,
+        obs: obs.clone(),
         ..ExploreOptions::default()
     }
 }
 
+/// Explores once, records the `bench.fault.<target>.<layer>.*` metrics,
+/// and returns the wall seconds.
 fn overhead_row(
-    target: &'static str,
-    fault_layer: &'static str,
+    obs: &Obs,
+    target: &str,
+    fault_layer: &str,
     m: &pmir::Module,
     entry: &str,
     jobs: usize,
     fault: Option<FaultPlan>,
-) -> OverheadRow {
+) -> f64 {
+    let _span = obs.span(&format!("bench.overhead.{target}.{fault_layer}"));
     let t0 = Instant::now();
-    let x = run_and_explore(m, entry, &explore_opts(fault, jobs)).expect("exploration runs");
+    let x = run_and_explore(m, entry, &explore_opts(obs, fault, jobs)).expect("exploration runs");
     let secs = t0.elapsed().as_secs_f64();
-    let row = OverheadRow {
-        target,
-        fault_layer,
-        jobs,
-        candidates: x.report.stats.candidates,
-        secs,
-        states_per_sec: if secs > 0.0 {
-            x.report.stats.candidates as f64 / secs
-        } else {
-            0.0
-        },
+    let candidates = x.report.stats.candidates;
+    let states_per_sec = if secs > 0.0 {
+        candidates as f64 / secs
+    } else {
+        0.0
     };
+    let key = format!("bench.fault.{target}.{fault_layer}");
+    obs.add(&format!("{key}.candidates"), candidates as u64);
+    obs.gauge(&format!("{key}.wall_ms"), secs * 1e3);
+    obs.gauge(&format!("{key}.states_per_sec"), states_per_sec);
     println!(
-        "  {target:<16} {fault_layer:<9} jobs={jobs}  {:>4} states in {secs:.3}s  ->  {:.0} states/s",
-        row.candidates, row.states_per_sec
+        "  {target:<16} {fault_layer:<9} jobs={jobs}  {candidates:>4} states in {secs:.3}s  \
+         ->  {states_per_sec:.0} states/s"
     );
-    row
+    secs
 }
 
 fn main() {
+    let obs = Obs::enabled();
+    let t_all = Instant::now();
     println!("Fault-injection campaign — archetype pass rate and injection-layer overhead\n");
 
     // --- Campaign: every archetype, hardened-pipeline contract. ------------
-    let mut campaign = vec![];
+    let campaign_span = obs.span("bench.campaign");
     let mut passed = 0u64;
     for seed in 0..N_ARCHETYPES {
-        let r = campaign_row(seed);
+        let _seed_span = obs.span("bench.campaign.seed");
+        let r = campaign_row(&obs, seed);
         println!(
             "  seed {seed}: [{}] {}  ({:.0} ms, {} fix(es), {} degradation(s), {} diagnostic(s)){}",
             r.plan,
@@ -237,14 +250,28 @@ fn main() {
             r.fixes,
             r.degradations,
             r.diagnostics,
-            if r.note.is_empty() { String::new() } else { format!(" — {}", r.note) },
+            if r.note.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", r.note)
+            },
         );
         passed += u64::from(r.passed);
-        campaign.push(r);
+        obs.observe("bench.fault.campaign_ms", r.millis);
+        obs.add("bench.fault.fixes_total", r.fixes as u64);
+        obs.add("bench.fault.degradations_total", r.degradations as u64);
+        obs.add("bench.fault.diagnostics_total", r.diagnostics as u64);
     }
+    drop(campaign_span);
     let pass_rate = passed as f64 / N_ARCHETYPES as f64;
     println!("campaign: {passed}/{N_ARCHETYPES} archetype(s) passed\n");
-    assert_eq!(passed, N_ARCHETYPES, "every fault archetype must be survived");
+    obs.add("bench.fault.archetypes", N_ARCHETYPES);
+    obs.add("bench.fault.passed", passed);
+    obs.gauge("bench.fault.pass_rate", pass_rate);
+    assert_eq!(
+        passed, N_ARCHETYPES,
+        "every fault archetype must be survived"
+    );
 
     // --- Overhead: disabled vs. armed-but-idle injection layer. ------------
     // The idle plan targets a real site with a trigger that never fires, so
@@ -266,36 +293,45 @@ fn main() {
     let pclht = pmapps::pclht::build_correct().expect("pclht builds");
 
     println!("overhead (budget {BUDGET}, seed {SEED}):");
-    let overhead = vec![
-        overhead_row("ordering_demo", "disabled", &demo, "main", 1, None),
-        overhead_row("ordering_demo", "armed-idle", &demo, "main", 1, Some(idle_plan.clone())),
-        overhead_row("pclht", "disabled", &pclht, pmapps::pclht::ENTRY, 1, None),
-        overhead_row("pclht", "armed-idle", &pclht, pmapps::pclht::ENTRY, 1, Some(idle_plan)),
-    ];
+    let mut disabled = 0.0;
+    let mut idle = 0.0;
+    disabled += overhead_row(&obs, "ordering_demo", "disabled", &demo, "main", 1, None);
+    idle += overhead_row(
+        &obs,
+        "ordering_demo",
+        "armed_idle",
+        &demo,
+        "main",
+        1,
+        Some(idle_plan.clone()),
+    );
+    disabled += overhead_row(
+        &obs,
+        "pclht",
+        "disabled",
+        &pclht,
+        pmapps::pclht::ENTRY,
+        1,
+        None,
+    );
+    idle += overhead_row(
+        &obs,
+        "pclht",
+        "armed_idle",
+        &pclht,
+        pmapps::pclht::ENTRY,
+        1,
+        Some(idle_plan),
+    );
     // Summarize the slowdown of the armed-but-idle layer (expected ~1.0,
-    // recorded rather than asserted: CI machines are noisy).
-    let (mut disabled, mut idle) = (0.0, 0.0);
-    for r in &overhead {
-        match r.fault_layer {
-            "disabled" => disabled += r.secs,
-            _ => idle += r.secs,
-        }
-    }
+    // recorded rather than gated: CI machines are noisy).
     let armed_idle_over_disabled = if disabled > 0.0 { idle / disabled } else { 1.0 };
     println!("armed-idle / disabled wall-clock ratio: {armed_idle_over_disabled:.3}\n");
-
-    let out = BenchOut {
-        archetypes: N_ARCHETYPES,
-        passed,
-        pass_rate,
-        campaign,
-        budget: BUDGET,
-        seed: SEED,
-        overhead,
+    obs.gauge(
+        "bench.fault.armed_idle_over_disabled",
         armed_idle_over_disabled,
-    };
-    let path = "BENCH_fault.json";
-    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializes") + "\n")
-        .expect("write BENCH_fault.json");
-    println!("wrote {path}");
+    );
+
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    bench::write_metrics("BENCH_fault.json", &obs);
 }

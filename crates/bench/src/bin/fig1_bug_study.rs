@@ -3,8 +3,11 @@
 
 use bench::Table;
 use bugdb::{study_rows, study_summary};
+use pmobs::Obs;
 
 fn main() {
+    let obs = Obs::enabled();
+    let run_span = obs.span("bench.fig1");
     println!("Fig. 1 — The 26 PMDK bugs found with pmemcheck and fixed by developers\n");
     let mut t = Table::new([
         "Issue #s",
@@ -42,4 +45,10 @@ fn main() {
         "paper: average 13 commits, 28 days, max 66 — reproduced: {} commits, {} days, max {}",
         s.avg_commits, s.avg_days, s.max_days
     );
+    obs.add("bench.fig1.total_issues", s.total_issues as u64);
+    obs.gauge("bench.fig1.avg_commits", f64::from(s.avg_commits));
+    obs.gauge("bench.fig1.avg_days", f64::from(s.avg_days));
+    obs.gauge("bench.fig1.max_days", f64::from(s.max_days));
+    drop(run_span);
+    bench::write_metrics("BENCH_fig1_bug_study.json", &obs);
 }

@@ -16,10 +16,7 @@ use pmvm::{Vm, VmOptions};
 fn classify(fixes: &[hippocrates::AppliedFix]) -> &'static str {
     if fixes.iter().any(|f| f.kind.is_interprocedural()) {
         "Interprocedural flush+fence"
-    } else if fixes
-        .iter()
-        .all(|f| matches!(f.kind, FixKind::IntraFlush))
-    {
+    } else if fixes.iter().all(|f| matches!(f.kind, FixKind::IntraFlush)) {
         "Intraprocedural flush (clwb)"
     } else {
         "Intraprocedural flush/fence"
@@ -27,6 +24,8 @@ fn classify(fixes: &[hippocrates::AppliedFix]) -> &'static str {
 }
 
 fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.fig3");
     println!("Fig. 3 — Hippocrates fixes vs. PMDK developer fixes (11 reproduced issues)\n");
     let mut t = Table::new([
         "Issue",
@@ -39,6 +38,7 @@ fn main() {
     let mut total = 0;
     for bug in corpus().iter().filter(|b| b.target == Target::Pmdk) {
         total += 1;
+        let _issue_span = obs.span("bench.fig3.issue");
         let entry = minipmdk::entry_for(bug.id);
         let mut m = minipmdk::build_buggy(bug.id).expect("corpus builds");
         let outcome = Hippocrates::new(RepairOptions::default())
@@ -51,8 +51,14 @@ fn main() {
         let dev = minipmdk::build_developer_fixed(bug.id).expect("dev build");
         let dev_checked = run_and_check(&dev, &entry, VmOptions::default()).unwrap();
         assert!(dev_checked.report.is_clean(), "{}: dev fix unclean", bug.id);
-        let out_h = Vm::new(VmOptions::default()).run(&m, &entry).unwrap().output;
-        let out_d = Vm::new(VmOptions::default()).run(&dev, &entry).unwrap().output;
+        let out_h = Vm::new(VmOptions::default())
+            .run(&m, &entry)
+            .unwrap()
+            .output;
+        let out_d = Vm::new(VmOptions::default())
+            .run(&dev, &entry)
+            .unwrap()
+            .output;
         assert_eq!(out_h, out_d, "{}: fixed builds diverge", bug.id);
 
         let got = classify(&outcome.fixes);
@@ -78,4 +84,9 @@ fn main() {
          (8 functionally identical interprocedural, 3 equivalent intraprocedural)"
     );
     assert_eq!(matches, total, "fix-shape mismatch against Fig. 3");
+    obs.add("bench.fig3.issues", total as u64);
+    obs.add("bench.fig3.matches", matches as u64);
+    obs.gauge("bench.fig3.match_rate", matches as f64 / total as f64);
+    drop(run_span);
+    bench::write_metrics("BENCH_fig3_accuracy.json", &obs);
 }

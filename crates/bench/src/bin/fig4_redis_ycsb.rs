@@ -9,20 +9,26 @@
 //! Also prints the §6.3 fix-mix statistic (total fixes, interprocedural
 //! share, hoist-level histogram).
 
-use bench::{build_redis_variants, mean_ci95, measure_workload, throughput, Table};
 use bench::redisx::to_redis_ops;
+use bench::{build_redis_variants, mean_ci95, measure_workload, throughput, Table};
 use ycsb::{Generator, Workload};
 
 const VALUE_LEN: i64 = 1024;
 
 fn main() {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.fig4");
+    let t_all = std::time::Instant::now();
+    let args: Vec<u64> = bench::positional_args()
+        .into_iter()
         .map(|a| a.parse().expect("numeric argument"))
         .collect();
     let records = args.first().copied().unwrap_or(1000);
     let ops = args.get(1).copied().unwrap_or(1000);
     let trials = args.get(2).copied().unwrap_or(5);
+    obs.add("bench.fig4.records", records);
+    obs.add("bench.fig4.ops", ops);
+    obs.add("bench.fig4.trials", trials);
 
     println!(
         "Fig. 4 — YCSB on persistent Redis ({records} records, {ops} ops, {trials} trials, \
@@ -59,7 +65,10 @@ fn main() {
             };
             let tag = format!("t{trial}_{label}");
             let mut outputs = vec![];
-            for (vi, module) in [&mut v.hintra, &mut v.pm, &mut v.hfull].into_iter().enumerate() {
+            for (vi, module) in [&mut v.hintra, &mut v.pm, &mut v.hfull]
+                .into_iter()
+                .enumerate()
+            {
                 let r = measure_workload(module, &tag, &load, &run);
                 let (count, cycles) = if wi == 0 {
                     (records, r.load_cycles)
@@ -88,6 +97,9 @@ fn main() {
     ]);
     for (wi, label) in labels.iter().enumerate() {
         let cells: Vec<(f64, f64)> = samples[wi].iter().map(|s| mean_ci95(s)).collect();
+        for (variant, cell) in ["intra", "pm", "full"].iter().zip(&cells) {
+            obs.gauge(&format!("bench.fig4.{label}.{variant}.ops_per_sec"), cell.0);
+        }
         t.row([
             label.clone(),
             format!("{:.0} ±{:.0}", cells[0].0, cells[0].1),
@@ -102,4 +114,7 @@ fn main() {
         "paper: RedisH-full matches or exceeds Redis-pm (+7% on Load) and is \
          2.4-11.7x faster than RedisH-intra"
     );
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    drop(run_span);
+    bench::write_metrics("BENCH_fig4_redis_ycsb.json", &obs);
 }

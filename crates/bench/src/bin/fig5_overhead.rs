@@ -10,8 +10,16 @@ use pmir::ModuleMetrics;
 use std::time::Instant;
 
 fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.fig5");
     println!("Fig. 5 — Offline overhead of Hippocrates (all bugs per target at once)\n");
-    let mut t = Table::new(["", "PMDK (unit tests)", "P-CLHT (RECIPE)", "memcached-pm", "Redis-pmem"]);
+    let mut t = Table::new([
+        "",
+        "PMDK (unit tests)",
+        "P-CLHT (RECIPE)",
+        "memcached-pm",
+        "Redis-pmem",
+    ]);
 
     let mut kloc = vec![];
     let mut time = vec![];
@@ -23,7 +31,15 @@ fn main() {
         .elide_tags(minipmdk::PMDK_BUG_IDS)
         .compile()
         .expect("pmdk all-bugs build");
-    run_target(&mut pmdk, "pmdk_check_all", &mut kloc, &mut time, &mut mem);
+    run_target(
+        &obs,
+        "pmdk",
+        &mut pmdk,
+        "pmdk_check_all",
+        &mut kloc,
+        &mut time,
+        &mut mem,
+    );
 
     // P-CLHT: both bugs.
     let mut pclht = minipmdk::library_compiler()
@@ -31,7 +47,15 @@ fn main() {
         .elide_tags(pmapps::pclht::BUG_IDS)
         .compile()
         .expect("pclht all-bugs build");
-    run_target(&mut pclht, pmapps::pclht::ENTRY, &mut kloc, &mut time, &mut mem);
+    run_target(
+        &obs,
+        "pclht",
+        &mut pclht,
+        pmapps::pclht::ENTRY,
+        &mut kloc,
+        &mut time,
+        &mut mem,
+    );
 
     // memcached: all ten.
     let mut mc = minipmdk::library_compiler()
@@ -39,12 +63,22 @@ fn main() {
         .elide_tags(pmapps::memcached::BUG_IDS)
         .compile()
         .expect("memcached all-bugs build");
-    run_target(&mut mc, pmapps::memcached::ENTRY, &mut kloc, &mut time, &mut mem);
+    run_target(
+        &obs,
+        "memcached",
+        &mut mc,
+        pmapps::memcached::ENTRY,
+        &mut kloc,
+        &mut time,
+        &mut mem,
+    );
 
     // Redis: the flush-free build under the calibration workload.
     let mut redis = build(RedisBuild::FlushFree).expect("flush-free builds");
     let entry = attach_workload(&mut redis, "cal", &bench::redisx::calibration_ops());
-    run_target(&mut redis, &entry, &mut kloc, &mut time, &mut mem);
+    run_target(
+        &obs, "redis", &mut redis, &entry, &mut kloc, &mut time, &mut mem,
+    );
 
     t.row(
         std::iter::once("IR KLOC".to_string())
@@ -66,15 +100,20 @@ fn main() {
         "paper: at most ~5 minutes and <1 GB for the largest target — low \
          enough to sit in a developer workflow"
     );
+    drop(run_span);
+    bench::write_metrics("BENCH_fig5_overhead.json", &obs);
 }
 
 fn run_target(
+    obs: &pmobs::Obs,
+    name: &str,
     m: &mut pmir::Module,
     entry: &str,
     kloc: &mut Vec<String>,
     time: &mut Vec<String>,
     mem: &mut Vec<String>,
 ) {
+    let _span = obs.span(&format!("bench.fig5.{name}"));
     let lines = ModuleMetrics::measure(m).ir_lines;
     kloc.push(format!("{:.1}", lines as f64 / 1000.0));
     let before_mem = vm_hwm_kb().unwrap_or(0);
@@ -87,4 +126,13 @@ fn run_target(
     time.push(format!("{:.2?}", elapsed));
     let after_mem = vm_hwm_kb().unwrap_or(0);
     mem.push(format!("{} MB", after_mem.max(before_mem) / 1024));
+    obs.gauge(&format!("bench.fig5.{name}.kloc"), lines as f64 / 1000.0);
+    obs.gauge(
+        &format!("bench.fig5.{name}.repair_ms"),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    obs.gauge(
+        &format!("bench.fig5.{name}.peak_rss_mb"),
+        (after_mem.max(before_mem) / 1024) as f64,
+    );
 }

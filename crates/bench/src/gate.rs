@@ -1,0 +1,253 @@
+//! The bench-regression gate: compares fresh `BENCH_*.json` artifacts
+//! (`hippo.metrics.v1` snapshots) against checked-in baselines under
+//! `crates/bench/baselines/`.
+//!
+//! Two classes of gauge are gated; everything else is informational:
+//!
+//! * **wall metrics** — names ending in `_ms`. Fresh must stay within
+//!   [`WALL_TOLERANCE`] of the baseline: a >25 % wall-time regression
+//!   fails the gate. Baselines are written with [`REBASE_HEADROOM`] so a
+//!   modestly slower CI machine does not trip it.
+//! * **floor metrics** — names ending in `pass_rate` or `healed_clean`.
+//!   Any drop below the baseline fails: correctness rates never regress.
+//!
+//! [`doctor`] corrupts a baseline so the gate is *guaranteed* to fail on
+//! any real run — the inverted self-test `scripts/bench_gate.sh` uses to
+//! prove the gate can actually reject.
+
+use pmobs::Snapshot;
+use std::collections::BTreeMap;
+
+/// The artifacts with checked-in baselines.
+pub const GATED_FILES: &[&str] = &["BENCH_explore.json", "BENCH_fault.json"];
+
+/// Fresh wall metrics may exceed the baseline by at most this factor.
+pub const WALL_TOLERANCE: f64 = 1.25;
+
+/// Absolute slack added on top of the ratio: sub-second wall metrics jitter
+/// by far more than 25 % run to run, so the limit is
+/// `base * WALL_TOLERANCE + WALL_SLACK_MS`. Multi-second regressions are
+/// what the gate exists to catch; quarter-second noise is not.
+pub const WALL_SLACK_MS: f64 = 250.0;
+
+/// Headroom applied to wall metrics when (re)writing baselines.
+pub const REBASE_HEADROOM: f64 = 1.6;
+
+/// Whether `name` is a gated wall-time gauge. Only the `bench.` namespace
+/// is gated: pipeline-internal gauges (e.g. `repair.reverify_ms`) ride
+/// along in the artifact for humans but are sub-millisecond noise no
+/// baseline should pin.
+pub fn is_wall_metric(name: &str) -> bool {
+    name.starts_with("bench.") && name.ends_with("_ms")
+}
+
+/// Whether `name` is a gated no-drop gauge (same namespace rule).
+pub fn is_floor_metric(name: &str) -> bool {
+    name.starts_with("bench.") && (name.ends_with("pass_rate") || name.ends_with("healed_clean"))
+}
+
+/// The outcome of gating one artifact.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Hard failures: the gate must reject.
+    pub failures: Vec<String>,
+    /// Informational lines (within-tolerance walls, counter drift).
+    pub infos: Vec<String>,
+}
+
+impl GateReport {
+    /// No failures recorded.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates `fresh` against `base` for the artifact `file`.
+pub fn compare(file: &str, base: &Snapshot, fresh: &Snapshot) -> GateReport {
+    let mut r = GateReport::default();
+    for (name, &b) in &base.gauges {
+        let gated = is_wall_metric(name) || is_floor_metric(name);
+        let Some(&f) = fresh.gauges.get(name) else {
+            if gated {
+                r.failures.push(format!(
+                    "{file}: gated gauge `{name}` missing from fresh run"
+                ));
+            }
+            continue;
+        };
+        if is_wall_metric(name) {
+            let limit = b * WALL_TOLERANCE + WALL_SLACK_MS;
+            if f > limit {
+                r.failures.push(format!(
+                    "{file}: `{name}` regressed: {f:.1} ms vs baseline {b:.1} ms \
+                     (limit {limit:.1} ms, +{:.0}%)",
+                    (f / b - 1.0) * 100.0
+                ));
+            } else {
+                r.infos.push(format!(
+                    "{file}: `{name}` {f:.1} ms (limit {limit:.1} ms) ok"
+                ));
+            }
+        } else if is_floor_metric(name) {
+            if f + 1e-9 < b {
+                r.failures
+                    .push(format!("{file}: `{name}` dropped: {f} vs baseline {b}"));
+            } else {
+                r.infos.push(format!("{file}: `{name}` {f} (floor {b}) ok"));
+            }
+        }
+    }
+    // Counter drift never fails the gate, but a changed headline count is
+    // worth a line in the log.
+    for (name, &b) in &base.counters {
+        match fresh.counters.get(name) {
+            Some(&f) if f != b => r.infos.push(format!("{file}: counter `{name}` {b} -> {f}")),
+            None => r
+                .infos
+                .push(format!("{file}: counter `{name}` missing from fresh run")),
+            _ => {}
+        }
+    }
+    r
+}
+
+/// Corrupts a baseline for the inverted self-test, machine-independently:
+/// wall metrics shrink 1000x (any real run now exceeds the tolerance) and
+/// floor metrics are pushed above any achievable rate (any real rate is
+/// now a drop).
+pub fn doctor(base: &mut Snapshot) {
+    for (name, v) in base.gauges.iter_mut() {
+        if is_wall_metric(name) {
+            *v /= 1000.0;
+        } else if is_floor_metric(name) {
+            *v = v.mul_add(2.0, 1.0);
+        }
+    }
+}
+
+/// Converts a fresh snapshot into a checked-in baseline: spans and
+/// histograms are stripped (run- and machine-specific noise that would
+/// churn every rebase diff) and wall metrics get [`REBASE_HEADROOM`].
+pub fn rebase(fresh: &Snapshot) -> Snapshot {
+    let mut base = Snapshot {
+        spans: vec![],
+        counters: fresh.counters.clone(),
+        gauges: fresh.gauges.clone(),
+        histograms: BTreeMap::new(),
+    };
+    for (name, v) in base.gauges.iter_mut() {
+        if is_wall_metric(name) {
+            *v *= REBASE_HEADROOM;
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(gauges: &[(&str, f64)], counters: &[(&str, u64)]) -> Snapshot {
+        Snapshot {
+            gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn classifies_metric_names() {
+        assert!(is_wall_metric("bench.wall_ms"));
+        assert!(is_wall_metric("bench.explore.pclht.j4.wall_ms"));
+        assert!(!is_wall_metric("bench.fault.pass_rate"));
+        assert!(is_floor_metric("bench.fault.pass_rate"));
+        assert!(is_floor_metric("bench.explore.healed_clean"));
+        assert!(!is_floor_metric("bench.wall_ms"));
+        // Pipeline-internal gauges outside `bench.` are never gated.
+        assert!(!is_wall_metric("repair.reverify_ms"));
+        assert!(!is_floor_metric("check.pass_rate"));
+    }
+
+    #[test]
+    fn wall_regressions_beyond_tolerance_fail() {
+        let base = snap(&[("bench.wall_ms", 10_000.0)], &[]);
+        // Within tolerance: limit is 10000 * 1.25 + 250 = 12750 ms.
+        assert!(compare("f", &base, &snap(&[("bench.wall_ms", 12_700.0)], &[])).passed());
+        // Beyond tolerance.
+        let r = compare("f", &base, &snap(&[("bench.wall_ms", 12_800.0)], &[]));
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("regressed"), "{:?}", r.failures);
+        // A faster run always passes.
+        assert!(compare("f", &base, &snap(&[("bench.wall_ms", 10.0)], &[])).passed());
+        // Sub-second metrics ride inside the absolute slack: 2 ms vs a
+        // 1 ms baseline is noise, not a 2x regression.
+        let tiny = snap(&[("bench.explore.demo.j1.wall_ms", 1.0)], &[]);
+        assert!(compare(
+            "f",
+            &tiny,
+            &snap(&[("bench.explore.demo.j1.wall_ms", 2.0)], &[])
+        )
+        .passed());
+    }
+
+    #[test]
+    fn floor_drops_fail_and_missing_gated_gauges_fail() {
+        let base = snap(&[("bench.fault.pass_rate", 1.0)], &[]);
+        assert!(compare("f", &base, &snap(&[("bench.fault.pass_rate", 1.0)], &[])).passed());
+        assert!(!compare("f", &base, &snap(&[("bench.fault.pass_rate", 0.9)], &[])).passed());
+        let r = compare("f", &base, &snap(&[], &[]));
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("missing"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn counters_and_ungated_gauges_are_informational() {
+        let base = snap(
+            &[("bench.states_per_sec", 5000.0)],
+            &[("bench.candidates", 128)],
+        );
+        let fresh = snap(
+            &[("bench.states_per_sec", 1.0)],
+            &[("bench.candidates", 64)],
+        );
+        let r = compare("f", &base, &fresh);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(r.infos.iter().any(|l| l.contains("bench.candidates")));
+    }
+
+    #[test]
+    fn doctored_baseline_rejects_the_run_that_produced_it() {
+        let fresh = snap(
+            &[("bench.wall_ms", 800.0), ("bench.fault.pass_rate", 1.0)],
+            &[],
+        );
+        let mut base = rebase(&fresh);
+        // Sanity: an honest rebase admits its own run.
+        assert!(compare("f", &base, &fresh).passed());
+        doctor(&mut base);
+        let r = compare("f", &base, &fresh);
+        // Both the wall metric and the floor metric must now fail.
+        assert_eq!(r.failures.len(), 2, "{:?}", r.failures);
+    }
+
+    #[test]
+    fn rebase_strips_noise_and_adds_headroom() {
+        let mut fresh = snap(
+            &[("bench.wall_ms", 100.0), ("bench.fault.pass_rate", 1.0)],
+            &[("bench.candidates", 128)],
+        );
+        fresh.histograms.insert("h".into(), pmobs::Hist::default());
+        fresh.spans.push(pmobs::SpanRec {
+            id: 0,
+            parent: None,
+            name: "bench.run".into(),
+            start_us: 0,
+            dur_us: 1,
+        });
+        let base = rebase(&fresh);
+        assert!(base.spans.is_empty() && base.histograms.is_empty());
+        assert_eq!(base.gauges["bench.wall_ms"], 160.0);
+        assert_eq!(base.gauges["bench.fault.pass_rate"], 1.0);
+        assert_eq!(base.counters["bench.candidates"], 128);
+    }
+}

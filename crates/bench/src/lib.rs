@@ -13,13 +13,24 @@
 //! | `ablation_reuse`    | §6.4 — subprogram reuse vs. fresh clones |
 //! | `ablation_cost_model` | DESIGN.md — fence/flush latency sensitivity of Fig. 4 |
 //! | `explore_bench`     | `BENCH_explore.json` — exploration states/sec + coverage vs. crashpoint sampling |
+//! | `fault_bench`       | `BENCH_fault.json` — fault-archetype pass rate + injection-layer overhead |
+//! | `bench_gate`        | CI regression gate over the checked-in `crates/bench/baselines/` |
+//!
+//! Every binary emits its headline numbers as a `hippo.metrics.v1`
+//! snapshot (`BENCH_*.json`), honors the common `--out <path>` flag
+//! (default: the workspace root, wherever the binary is launched from),
+//! and the gate compares the gated artifacts against their baselines —
+//! see [`out`] and [`gate`].
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
+pub mod gate;
+pub mod out;
 pub mod redisx;
 pub mod stats;
 pub mod table;
 
+pub use out::{out_path, positional_args, workspace_root, write_metrics};
 pub use redisx::{build_redis_variants, measure_workload, RedisVariants, WorkloadResult};
 pub use stats::{mean_ci95, vm_hwm_kb};
 pub use table::Table;

@@ -1,0 +1,111 @@
+//! Shared output-path handling and `hippo.metrics.v1` emission for the
+//! bench binaries.
+//!
+//! Historically every binary wrote its `BENCH_*.json` relative to the
+//! *current working directory*, so running a harness from anywhere but the
+//! workspace root scattered artifacts and the CI smoke lost them. All
+//! binaries now resolve through [`out_path`]: an explicit `--out <path>`
+//! wins (a directory keeps the canonical file name, anything else is used
+//! as the file path verbatim), and the default is the workspace root —
+//! stable no matter where the binary is launched from.
+
+use pmobs::Obs;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, two levels up from this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Where `file_name` should land, honoring the common `--out` flag from
+/// the process argv. Defaults to [`workspace_root`]`/file_name`.
+pub fn out_path(file_name: &str) -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    out_path_from(&args, file_name)
+}
+
+/// [`out_path`] over an explicit argv (unit-testable).
+pub fn out_path_from(args: &[String], file_name: &str) -> PathBuf {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            if let Some(v) = it.next() {
+                let p = PathBuf::from(v);
+                return if p.is_dir() || v.ends_with('/') {
+                    p.join(file_name)
+                } else {
+                    p
+                };
+            }
+        }
+    }
+    workspace_root().join(file_name)
+}
+
+/// Positional arguments from the process argv with the common
+/// `--out <path>` flag stripped, so binaries that take numeric positionals
+/// (e.g. `fig4_redis_ycsb`) still accept `--out`.
+pub fn positional_args() -> Vec<String> {
+    let mut out = vec![];
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            let _ = it.next();
+        } else {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Writes the registry snapshot as `hippo.metrics.v1` JSON to
+/// [`out_path`]`(file_name)` and returns the path written.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a bench artifact that silently
+/// fails to land would let the CI gate pass on stale data.
+pub fn write_metrics(file_name: &str, obs: &Obs) -> PathBuf {
+    let path = out_path(file_name);
+    std::fs::write(&path, obs.snapshot().to_json())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {} ({})", path.display(), pmobs::SCHEMA);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_workspace_root() {
+        let p = out_path_from(&argv(&["bench"]), "BENCH_x.json");
+        assert_eq!(p, workspace_root().join("BENCH_x.json"));
+        assert!(
+            workspace_root().join("Cargo.toml").exists(),
+            "workspace root must hold the workspace manifest"
+        );
+    }
+
+    #[test]
+    fn out_flag_takes_a_file_or_a_directory() {
+        let p = out_path_from(
+            &argv(&["bench", "--out", "/tmp/custom.json"]),
+            "BENCH_x.json",
+        );
+        assert_eq!(p, PathBuf::from("/tmp/custom.json"));
+        let p = out_path_from(&argv(&["bench", "--out", "/tmp/"]), "BENCH_x.json");
+        assert_eq!(p, PathBuf::from("/tmp/BENCH_x.json"));
+        // An existing directory without the trailing slash also works.
+        let p = out_path_from(&argv(&["bench", "--out", "/tmp"]), "BENCH_x.json");
+        assert_eq!(p, PathBuf::from("/tmp/BENCH_x.json"));
+        // A dangling --out falls back to the default.
+        let p = out_path_from(&argv(&["bench", "--out"]), "BENCH_x.json");
+        assert_eq!(p, workspace_root().join("BENCH_x.json"));
+    }
+}

@@ -160,6 +160,10 @@ mod tests {
         let v = build_redis_variants();
         assert!(v.hfull_outcome.interprocedural_count() > 0);
         assert_eq!(v.hintra_outcome.interprocedural_count(), 0);
-        assert!(v.hfull_outcome.fixes.len() >= 10, "fix count: {}", v.hfull_outcome.fixes.len());
+        assert!(
+            v.hfull_outcome.fixes.len() >= 10,
+            "fix count: {}",
+            v.hfull_outcome.fixes.len()
+        );
     }
 }

@@ -63,12 +63,18 @@ pub fn corpus() -> Vec<CorpusBug> {
     let mut v = vec![];
     // The eight interprocedural PMDK issues.
     for (id, description) in [
-        ("pmdk-447", "header block write after pmem_memcpy-style copy"),
+        (
+            "pmdk-447",
+            "header block write after pmem_memcpy-style copy",
+        ),
         ("pmdk-458", "heap-header cursor update"),
         ("pmdk-459", "root-object installation (offset + size)"),
         ("pmdk-460", "intrusive list push (head + node link)"),
         ("pmdk-461", "checksum field update"),
-        ("pmdk-585", "large buffer initialization (multi-line memset)"),
+        (
+            "pmdk-585",
+            "large buffer initialization (multi-line memset)",
+        ),
         ("pmdk-942", "free-list push"),
         ("pmdk-945", "redo-log append (cursor + payload)"),
     ] {

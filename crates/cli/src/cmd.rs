@@ -16,21 +16,45 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
-    match cmd.as_str() {
-        "compile" => compile_cmd(rest),
-        "run" => run_cmd(rest),
-        "trace" => trace_cmd(rest),
-        "check" => check_cmd(rest),
-        "lint" => lint_cmd(rest),
-        "explore" => explore_cmd(rest),
-        "fix" => fix_cmd(rest),
-        "faultcampaign" => faultcampaign_cmd(rest),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
+    // `--metrics` / `--timings` arm the observability registry for every
+    // subcommand; the snapshot is written even when the command fails, so a
+    // red CI run still uploads its telemetry.
+    let metrics_path = rest
+        .windows(2)
+        .find(|w| w[0] == "--metrics")
+        .map(|w| w[1].clone());
+    let timings = rest.iter().any(|a| a == "--timings");
+    let obs = if metrics_path.is_some() || timings {
+        pmobs::Obs::enabled()
+    } else {
+        pmobs::Obs::default()
+    };
+    let result = {
+        let _span = obs.span(&format!("cli.{cmd}"));
+        match cmd.as_str() {
+            "compile" => compile_cmd(rest, &obs),
+            "run" => run_cmd(rest, &obs),
+            "trace" => trace_cmd(rest, &obs),
+            "check" => check_cmd(rest, &obs),
+            "lint" => lint_cmd(rest, &obs),
+            "explore" => explore_cmd(rest, &obs),
+            "fix" => fix_cmd(rest, &obs),
+            "faultcampaign" => faultcampaign_cmd(rest, &obs),
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    let snap = obs.snapshot();
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
+    if timings {
+        eprint!("{}", snap.render_timings());
+    }
+    result
 }
 
 fn usage() -> String {
@@ -52,6 +76,10 @@ fn usage() -> String {
         "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
         "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
         "                                                   degrades, never panics or hangs",
+        "",
+        "every subcommand also accepts:",
+        "  --metrics <path.json>   write pipeline telemetry (hippo.metrics.v1)",
+        "  --timings               print a per-span timing breakdown to stderr",
     ] {
         let _ = writeln!(s, "  {line}");
     }
@@ -72,6 +100,8 @@ struct Opts {
     budget: usize,
     seed: u64,
     recover: Option<String>,
+    metrics: Option<String>,
+    timings: bool,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -88,6 +118,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         budget: 256,
         seed: 0,
         recover: None,
+        metrics: None,
+        timings: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -144,6 +176,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--recover" => {
                 o.recover = Some(it.next().ok_or("--recover needs a value")?.clone());
             }
+            "--metrics" => {
+                o.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
+            }
+            "--timings" => o.timings = true,
             "--intra-only" => o.intra_only = true,
             "--trace-aa" => o.trace_aa = true,
             "--portable" => o.portable = true,
@@ -166,8 +202,8 @@ fn load(sources: &[String]) -> Result<Module, String> {
         if sources.len() != 1 {
             return Err("an .ir module must be loaded alone".to_string());
         }
-        let text = std::fs::read_to_string(&sources[0])
-            .map_err(|e| format!("{}: {e}", sources[0]))?;
+        let text =
+            std::fs::read_to_string(&sources[0]).map_err(|e| format!("{}: {e}", sources[0]))?;
         let m = pmir::parse::parse_module(&text).map_err(|e| e.to_string())?;
         pmir::verify::verify_module(&m).map_err(|e| e.to_string())?;
         return Ok(m);
@@ -180,17 +216,23 @@ fn load(sources: &[String]) -> Result<Module, String> {
     c.compile().map_err(|e| e.to_string())
 }
 
-fn compile_cmd(args: &[String]) -> Result<(), String> {
+/// Loads sources under a `cli.load` span.
+fn load_obs(sources: &[String], obs: &pmobs::Obs) -> Result<Module, String> {
+    let _span = obs.span("cli.load");
+    load(sources)
+}
+
+fn compile_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let m = load(&o.sources)?;
+    let m = load_obs(&o.sources, obs)?;
     let text = pmir::display::print_module(&m);
     emit(&o.out, &text)
 }
 
-fn run_cmd(args: &[String]) -> Result<(), String> {
+fn run_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let m = load(&o.sources)?;
-    let r = Vm::new(VmOptions::bench())
+    let m = load_obs(&o.sources, obs)?;
+    let r = Vm::new(VmOptions::bench().with_obs(obs.clone()))
         .run(&m, &o.entry)
         .map_err(|e| e.to_string())?;
     for v in &r.output {
@@ -208,18 +250,20 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn trace_cmd(args: &[String]) -> Result<(), String> {
+fn trace_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let m = load(&o.sources)?;
-    let checked = run_and_check(&m, &o.entry, VmOptions::default()).map_err(|e| e.to_string())?;
+    let m = load_obs(&o.sources, obs)?;
+    let vm_opts = VmOptions::default().with_obs(obs.clone());
+    let checked = run_and_check(&m, &o.entry, vm_opts).map_err(|e| e.to_string())?;
     let json = checked.trace.to_json().map_err(|e| e.to_string())?;
     emit(&o.out, &json)
 }
 
-fn check_cmd(args: &[String]) -> Result<(), String> {
+fn check_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let m = load(&o.sources)?;
-    let checked = run_and_check(&m, &o.entry, VmOptions::default()).map_err(|e| e.to_string())?;
+    let m = load_obs(&o.sources, obs)?;
+    let vm_opts = VmOptions::default().with_obs(obs.clone());
+    let checked = run_and_check(&m, &o.entry, vm_opts).map_err(|e| e.to_string())?;
     print!("{}", checked.report.render());
     if checked.report.is_clean() {
         Ok(())
@@ -239,15 +283,14 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
 /// re-lint a repaired module). Findings render as rustc-style diagnostics
 /// with source excerpts. With `--deny warnings`, any finding makes the
 /// exit code nonzero.
-fn lint_cmd(args: &[String]) -> Result<(), String> {
+fn lint_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
     let mut groups: Vec<Vec<String>> = vec![];
     let mut explicit: Vec<String> = vec![];
     for s in &o.sources {
         if std::path::Path::new(s).is_dir() {
             let mut found = vec![];
-            let entries =
-                std::fs::read_dir(s).map_err(|e| format!("{s}: {e}"))?;
+            let entries = std::fs::read_dir(s).map_err(|e| format!("{s}: {e}"))?;
             for entry in entries {
                 let p = entry.map_err(|e| format!("{s}: {e}"))?.path();
                 if p.extension().is_some_and(|x| x == "pmc") {
@@ -268,8 +311,10 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     }
     let mut warnings = 0usize;
     for g in &groups {
-        warnings += lint_group(g, &o.entry)?;
+        warnings += lint_group(g, &o.entry, obs)?;
     }
+    obs.add("cli.lint.modules", groups.len() as u64);
+    obs.add("cli.lint.warnings", warnings as u64);
     if warnings == 0 {
         eprintln!("lint: clean ({} module(s))", groups.len());
         Ok(())
@@ -283,22 +328,27 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
 
 /// Lints one module (one or more linked sources); returns the number of
 /// warnings emitted.
-fn lint_group(sources: &[String], entry: &str) -> Result<usize, String> {
+fn lint_group(sources: &[String], entry: &str, obs: &pmobs::Obs) -> Result<usize, String> {
     let mut texts = std::collections::HashMap::new();
     for s in sources {
         if let Ok(text) = std::fs::read_to_string(s) {
             texts.insert(s.clone(), text);
         }
     }
-    let m = load(sources)?;
-    let report = pmstatic::check_module(&m, entry).map_err(|e| e.to_string())?;
+    let m = load_obs(sources, obs)?;
+    let report = pmstatic::check_module_obs(&m, entry, obs).map_err(|e| e.to_string())?;
     // An .ir module's debug locations name the original .pmc sources; pull
     // those in from disk (when present) so excerpts still render.
     for loc in report
         .bugs
         .iter()
         .filter_map(|b| b.store_loc.as_ref())
-        .chain(report.redundant_flushes.iter().filter_map(|r| r.loc.as_ref()))
+        .chain(
+            report
+                .redundant_flushes
+                .iter()
+                .filter_map(|r| r.loc.as_ref()),
+        )
     {
         if !texts.contains_key(&loc.file) && !loc.file.starts_with('<') {
             if let Ok(t) = std::fs::read_to_string(&loc.file) {
@@ -344,7 +394,10 @@ fn render_lint(
                 writeln!(s, "   = note: audited at program end")
             }
             pmcheck::Checkpoint::Event(seq) => {
-                writeln!(s, "   = note: audited at explored crash state (trace event #{seq})")
+                writeln!(
+                    s,
+                    "   = note: audited at explored crash state (trace event #{seq})"
+                )
             }
         };
     }
@@ -353,7 +406,12 @@ fn render_lint(
             s,
             "warning: redundant-flush: flush of a provably clean line or volatile memory"
         );
-        excerpt(&mut s, rf.loc.as_ref(), texts, "this flush never persists anything");
+        excerpt(
+            &mut s,
+            rf.loc.as_ref(),
+            texts,
+            "this flush never persists anything",
+        );
         let _ = writeln!(s, "   = note: statically provable; safe to remove");
     }
     s
@@ -391,14 +449,15 @@ fn excerpt(
 /// every PM event, under the budget), boots the recovery oracle on each,
 /// and reports the stores whose loss broke recovery. Exit code is nonzero
 /// when any explored state is inconsistent.
-fn explore_cmd(args: &[String]) -> Result<(), String> {
+fn explore_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let m = load(&o.sources)?;
+    let m = load_obs(&o.sources, obs)?;
     let opts = pmexplore::ExploreOptions {
         budget: o.budget,
         seed: o.seed,
         jobs: o.jobs,
         oracle: o.recover.as_deref().map(pmexplore::Oracle::returns_zero),
+        obs: obs.clone(),
         ..pmexplore::ExploreOptions::default()
     };
     let x = pmexplore::run_and_explore(&m, &o.entry, &opts).map_err(|e| e.to_string())?;
@@ -415,9 +474,9 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn fix_cmd(args: &[String]) -> Result<(), String> {
+fn fix_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let o = parse(args)?;
-    let mut m = load(&o.sources)?;
+    let mut m = load_obs(&o.sources, obs)?;
     let opts = RepairOptions {
         hoisting: !o.intra_only,
         marking: if o.trace_aa {
@@ -430,6 +489,7 @@ fn fix_cmd(args: &[String]) -> Result<(), String> {
         explore_budget: o.budget,
         explore_seed: o.seed,
         explore_jobs: o.jobs,
+        obs: obs.clone(),
         ..RepairOptions::default()
     };
     let outcome = Hippocrates::new(opts)
@@ -484,7 +544,7 @@ const CAMPAIGN_SRC: &str = r#"
 /// hang), a diverging loop is ended by the watchdog, and the repaired
 /// program's output matches the original's — the fault never changes
 /// what the repair does to the program.
-fn faultcampaign_cmd(args: &[String]) -> Result<(), String> {
+fn faultcampaign_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     let mut seeds = 8u64;
     let mut jobs = 2usize;
     let mut entry = "main".to_string();
@@ -492,6 +552,11 @@ fn faultcampaign_cmd(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--metrics" => {
+                // Consumed by `dispatch`; skip the value here.
+                it.next().ok_or("--metrics needs a value")?;
+            }
+            "--timings" => {}
             "--seeds" => {
                 let v = it.next().ok_or("--seeds needs a value")?;
                 seeds = v
@@ -523,9 +588,14 @@ fn faultcampaign_cmd(args: &[String]) -> Result<(), String> {
     let mut failures = vec![];
     for seed in 0..seeds {
         let plan = pmfault::FaultPlan::from_seed(seed);
-        match campaign_seed(&make_module, &entry, seed, jobs) {
-            Ok(line) => eprintln!("seed {seed}: [{}] → ok: {line}", plan.describe()),
+        let _span = obs.span("cli.campaign_seed");
+        match campaign_seed(&make_module, &entry, seed, jobs, obs) {
+            Ok(line) => {
+                obs.add("cli.campaign.passed", 1);
+                eprintln!("seed {seed}: [{}] → ok: {line}", plan.describe());
+            }
             Err(why) => {
+                obs.add("cli.campaign.failed", 1);
                 eprintln!("seed {seed}: [{}] → FAILED: {why}", plan.describe());
                 failures.push(seed);
             }
@@ -549,19 +619,19 @@ fn campaign_seed(
     entry: &str,
     seed: u64,
     jobs: usize,
+    obs: &pmobs::Obs,
 ) -> Result<String, String> {
     use pmfault::FaultSite;
     let plan = pmfault::FaultPlan::from_seed(seed);
     // Explore-level faults need the exploration pool in the loop; every
     // other archetype runs dynamic + static so a degraded dynamic source
     // always has a surviving partner.
-    let bug_source = if plan.targets(FaultSite::ExploreWorker)
-        || plan.targets(FaultSite::ExploreOracle)
-    {
-        BugSource::Exploration
-    } else {
-        BugSource::Both
-    };
+    let bug_source =
+        if plan.targets(FaultSite::ExploreWorker) || plan.targets(FaultSite::ExploreOracle) {
+            BugSource::Exploration
+        } else {
+            BugSource::Both
+        };
     let baseline = {
         let m = make_module()?;
         Vm::new(VmOptions::default())
@@ -577,6 +647,7 @@ fn campaign_seed(
         explore_budget: 128,
         explore_seed: seed,
         explore_jobs: jobs,
+        obs: obs.clone(),
         ..RepairOptions::default()
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -592,7 +663,9 @@ fn campaign_seed(
     }
     for d in &outcome.degraded {
         if d.source.is_empty() || d.reason.is_empty() {
-            return Err(format!("degradation must name its source and reason: {d:?}"));
+            return Err(format!(
+                "degradation must name its source and reason: {d:?}"
+            ));
         }
     }
     if plan.targets(FaultSite::VmDiverge) {
@@ -694,7 +767,15 @@ mod tests {
     #[test]
     fn parse_explore_flags() {
         let args: Vec<String> = [
-            "a.pmc", "--jobs", "4", "--budget", "128", "--seed", "7", "--recover", "chk",
+            "a.pmc",
+            "--jobs",
+            "4",
+            "--budget",
+            "128",
+            "--seed",
+            "7",
+            "--recover",
+            "chk",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -750,21 +831,146 @@ mod tests {
 
     #[test]
     fn faultcampaign_rejects_bad_flags() {
-        assert!(faultcampaign_cmd(&["--seeds".into(), "0".into()]).is_err());
-        assert!(faultcampaign_cmd(&["--seeds".into(), "x".into()]).is_err());
-        assert!(faultcampaign_cmd(&["--bogus".into()]).is_err());
+        let obs = pmobs::Obs::default();
+        assert!(faultcampaign_cmd(&["--seeds".into(), "0".into()], &obs).is_err());
+        assert!(faultcampaign_cmd(&["--seeds".into(), "x".into()], &obs).is_err());
+        assert!(faultcampaign_cmd(&["--bogus".into()], &obs).is_err());
     }
 
     #[test]
     fn campaign_seed_torn_store_passes() {
         let make = || pmlang::compile_one("campaign.pmc", CAMPAIGN_SRC).map_err(|e| e.to_string());
-        let line = campaign_seed(&make, "main", 0, 1).unwrap();
+        let line = campaign_seed(&make, "main", 0, 1, &pmobs::Obs::default()).unwrap();
         assert!(line.contains("diagnostic"), "{line}");
     }
 
     #[test]
     fn campaign_seed_trace_truncation_passes() {
         let make = || pmlang::compile_one("campaign.pmc", CAMPAIGN_SRC).map_err(|e| e.to_string());
-        campaign_seed(&make, "main", 3, 1).unwrap();
+        campaign_seed(&make, "main", 3, 1, &pmobs::Obs::default()).unwrap();
+    }
+
+    /// A durability-clean program every subcommand can chew on.
+    const CLEAN_SRC: &str = "fn main() {\n    var p: ptr = pmem_map(1, 4096);\n    store8(p, 0, 7);\n    clwb(p);\n    sfence();\n    print(load8(p, 0));\n}\n";
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hippoctl_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn every_subcommand_accepts_metrics_and_writes_valid_json() {
+        let dir = scratch_dir("metrics_smoke");
+        let src_path = dir.join("clean.pmc");
+        std::fs::write(&src_path, CLEAN_SRC).unwrap();
+        let src = src_path.to_string_lossy().to_string();
+        let out_ir = dir.join("out.ir").to_string_lossy().to_string();
+
+        let cases: Vec<(&str, Vec<String>)> = vec![
+            ("compile", vec![src.clone()]),
+            ("run", vec![src.clone()]),
+            ("trace", vec![src.clone()]),
+            ("check", vec![src.clone()]),
+            ("lint", vec![src.clone()]),
+            ("explore", vec![src.clone(), "--budget".into(), "16".into()]),
+            ("fix", vec![src.clone(), "-o".into(), out_ir]),
+            ("faultcampaign", vec!["--seeds".into(), "1".into()]),
+            ("help", vec![]),
+        ];
+        for (cmd, rest) in cases {
+            let metrics = dir.join(format!("m_{cmd}.json"));
+            let mut args = vec![cmd.to_string()];
+            args.extend(rest);
+            args.push("--metrics".into());
+            args.push(metrics.to_string_lossy().to_string());
+            dispatch(&args).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+            let text = std::fs::read_to_string(&metrics)
+                .unwrap_or_else(|e| panic!("{cmd}: metrics file missing: {e}"));
+            let snap = pmobs::Snapshot::from_json(&text)
+                .unwrap_or_else(|e| panic!("{cmd}: invalid metrics JSON: {e}"));
+            assert!(
+                snap.spans.iter().any(|s| s.name == format!("cli.{cmd}")),
+                "{cmd}: no cli.{cmd} span in {:?}",
+                snap.span_stages()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_file_lands_even_when_the_command_fails() {
+        let dir = scratch_dir("metrics_err");
+        let metrics = dir.join("m.json");
+        let args: Vec<String> = vec![
+            "run".into(),
+            dir.join("no_such_file.pmc").to_string_lossy().to_string(),
+            "--metrics".into(),
+            metrics.to_string_lossy().to_string(),
+        ];
+        assert!(dispatch(&args).is_err());
+        let snap = pmobs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(snap.spans.iter().any(|s| s.name == "cli.run"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The ISSUE acceptance command: an exploration-sourced fix of the
+    /// ordering demo must cover at least six pipeline stages and count the
+    /// fences/flushes it inserted.
+    #[test]
+    fn exploration_fix_metrics_cover_six_stages_and_inserted_fixes() {
+        let dir = scratch_dir("metrics_stages");
+        let demo = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/ordering_demo.pmc"
+        );
+        let metrics = dir.join("m.json");
+        let args: Vec<String> = [
+            "fix",
+            demo,
+            "--bug-source",
+            "exploration",
+            "--budget",
+            "64",
+            "--seed",
+            "0",
+            "-o",
+            &dir.join("healed.ir").to_string_lossy(),
+            "--metrics",
+            &metrics.to_string_lossy(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&args).unwrap();
+        let snap = pmobs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let stages = snap.span_stages();
+        assert!(
+            stages.len() >= 6,
+            "only {} stages: {stages:?}",
+            stages.len()
+        );
+        for stage in ["cli", "repair", "explore", "vm", "check", "trace"] {
+            assert!(
+                stages.contains(stage),
+                "missing stage `{stage}`: {stages:?}"
+            );
+        }
+        let inserted = snap
+            .counters
+            .get("repair.inserted.fences")
+            .copied()
+            .unwrap_or(0)
+            + snap
+                .counters
+                .get("repair.inserted.flushes")
+                .copied()
+                .unwrap_or(0);
+        assert!(
+            inserted >= 1,
+            "no inserted fixes counted: {:?}",
+            snap.counters
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

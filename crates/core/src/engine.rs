@@ -109,15 +109,20 @@ impl Hippocrates {
         trace: &Trace,
         report: &CheckReport,
     ) -> Result<RepairSummary, RepairError> {
+        let obs = &self.opts.obs;
         // Locate deduped bugs, tagging each site with I's function.
         let mut located: Vec<(Bug, BugSite)> = vec![];
-        for bug in report.deduped_bugs() {
-            let mut site = locate(m, bug)?;
-            site.i_func = i_function(m, trace, bug);
-            located.push((bug.clone(), site));
+        {
+            let _span = obs.span("repair.locate");
+            for bug in report.deduped_bugs() {
+                let mut site = locate(m, bug)?;
+                site.i_func = i_function(m, trace, bug);
+                located.push((bug.clone(), site));
+            }
         }
 
         // Phase 1+2: plan intraprocedural fixes with reduction.
+        let plan_span = obs.span("repair.plan");
         let fixes = plan_intra_fixes(m, trace, &located);
 
         // Phase 3: hoisting decisions (only for flush-bearing fixes).
@@ -137,7 +142,9 @@ impl Hippocrates {
             CloneState::default()
         };
         let mut summary = RepairSummary::default();
+        drop(plan_span);
 
+        let apply_span = obs.span("repair.apply");
         for fix in &fixes {
             let store_function = m.function(fix.func).name().to_string();
             let store_loc = fix
@@ -167,6 +174,9 @@ impl Hippocrates {
                     let applied =
                         apply_hoist(m, &site, d.depth, &pm_stores, &mut state, &self.opts);
                     summary.clones_created += applied.clones_created;
+                    obs.add("repair.fixes.subprogram", 1);
+                    obs.add("repair.inserted.flushes", 1);
+                    obs.add("repair.clones_created", applied.clones_created as u64);
                     summary.fixes.push(AppliedFix {
                         kind: FixKind::Interproc {
                             levels: applied.levels,
@@ -179,11 +189,25 @@ impl Hippocrates {
                 }
                 _ => {
                     apply_intra_fix(m, fix, &self.opts);
+                    if fix.insert_flush {
+                        obs.add("repair.inserted.flushes", 1);
+                    }
+                    if fix.insert_fence {
+                        obs.add("repair.inserted.fences", 1);
+                    }
                     let kind = match (fix.insert_flush, fix.insert_fence) {
                         (true, true) => FixKind::IntraFlushFence,
                         (true, false) => FixKind::IntraFlush,
                         _ => FixKind::IntraFence,
                     };
+                    obs.add(
+                        match kind {
+                            FixKind::IntraFlushFence => "repair.fixes.flush_fence",
+                            FixKind::IntraFlush => "repair.fixes.flush",
+                            _ => "repair.fixes.fence",
+                        },
+                        1,
+                    );
                     summary.fixes.push(AppliedFix {
                         kind,
                         store_function,
@@ -193,8 +217,12 @@ impl Hippocrates {
                 }
             }
         }
+        drop(apply_span);
 
-        pmir::verify::verify_module(m).map_err(RepairError::Verify)?;
+        {
+            let _span = obs.span("repair.verify_module");
+            pmir::verify::verify_module(m).map_err(RepairError::Verify)?;
+        }
         Ok(summary)
     }
 
@@ -219,6 +247,8 @@ impl Hippocrates {
         source: &str,
         mut attempt_fn: impl FnMut() -> Result<T, String>,
     ) -> Result<(T, u32), Degradation> {
+        let obs = &self.opts.obs;
+        let _span = obs.span(&format!("repair.detect.{source}"));
         let seed = self
             .opts
             .fault
@@ -235,11 +265,20 @@ impl Hippocrates {
                 );
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
+            obs.add(&format!("repair.attempts.{source}"), 1);
             match attempt_fn() {
-                Ok(v) => return Ok((v, attempt)),
+                Ok(v) => {
+                    obs.add(&format!("repair.retries.{source}"), attempt as u64);
+                    return Ok((v, attempt));
+                }
                 Err(e) => last = e,
             }
         }
+        obs.add(
+            &format!("repair.retries.{source}"),
+            self.opts.source_retries as u64,
+        );
+        obs.add(&format!("repair.source_failed.{source}"), 1);
         Err(Degradation {
             source: source.to_string(),
             reason: last,
@@ -280,7 +319,8 @@ impl Hippocrates {
         diagnostics: &mut Vec<String>,
     ) -> Result<CheckReport, Degradation> {
         let (report, retries) = self.with_retries("static", || {
-            pmstatic::check_module(m, entry).map_err(|e| format!("static check failed: {e}"))
+            pmstatic::check_module_obs(m, entry, &self.opts.obs)
+                .map_err(|e| format!("static check failed: {e}"))
         })?;
         if retries > 0 {
             note(
@@ -311,6 +351,7 @@ impl Hippocrates {
         if !plan_hits_trace || trace.is_empty() {
             return;
         }
+        let _span = self.opts.obs.span("repair.trace_harden");
         let seed = inj.plan().seed;
         let mut last = String::new();
         for attempt in 0..=self.opts.source_retries {
@@ -335,7 +376,7 @@ impl Hippocrates {
                 };
                 inj.record(format!("trace.parse: {kind} in serialized log"));
             }
-            match pmtrace::log::from_log(&text) {
+            match pmtrace::log::from_log_obs(&text, &self.opts.obs) {
                 Err(e) => last = format!("trace ingest failed: {e}"),
                 Ok(parsed) => {
                     let warnings = parsed.validate();
@@ -348,8 +389,7 @@ impl Hippocrates {
                         }
                         return;
                     }
-                    let parts: Vec<String> =
-                        warnings.iter().map(|w| w.to_string()).collect();
+                    let parts: Vec<String> = warnings.iter().map(|w| w.to_string()).collect();
                     last = format!("trace validation failed: {}", parts.join("; "));
                 }
             }
@@ -386,6 +426,7 @@ impl Hippocrates {
             max_recovery_steps: self.opts.max_steps,
             fault: self.opts.fault.clone(),
             recovery_watchdog_ms: self.effective_watchdog(),
+            obs: self.opts.obs.clone(),
             ..pmexplore::ExploreOptions::default()
         };
         let (x, retries) = self.with_retries("exploration", || {
@@ -417,7 +458,10 @@ impl Hippocrates {
                 },
             );
         }
-        let dynamic = pmcheck::check_trace(&x.trace);
+        let dynamic = {
+            let _span = self.opts.obs.span("check.trace");
+            pmcheck::check_trace(&x.trace)
+        };
         let explored = x.report.to_check_report(&x.trace);
         let mut merged = merge_reports(dynamic, explored);
         merged.provenance = pmcheck::Provenance::Exploration;
@@ -445,6 +489,7 @@ impl Hippocrates {
         degraded: &mut Vec<Degradation>,
         diagnostics: &mut Vec<String>,
     ) -> Result<(CheckReport, Trace), RepairError> {
+        let _span = self.opts.obs.span("repair.detect");
         match self.opts.bug_source {
             BugSource::Dynamic => {
                 let c = self
@@ -514,21 +559,30 @@ impl Hippocrates {
         m: &mut Module,
         entry: &str,
     ) -> Result<RepairOutcome, RepairError> {
+        let obs = self.opts.obs.clone();
         let vm_opts = VmOptions {
             max_steps: self.opts.max_steps,
             watchdog_ms: self.effective_watchdog(),
             fault: self.opts.fault.clone(),
+            obs: obs.clone(),
             ..VmOptions::default()
         };
         // The engine-level injector owns the trace-fault hit counters so
         // `Nth` trace faults clear across retries; VM-level faults travel
         // inside `vm_opts` and get a fresh injector per run.
-        let mut injector = self.opts.fault.clone().map(pmfault::Injector::new);
+        let mut injector = self
+            .opts
+            .fault
+            .clone()
+            .map(|p| pmfault::Injector::with_obs(p, obs.clone()));
         let mut degraded = vec![];
         let mut diagnostics = vec![];
         let mut fixes = vec![];
         let mut clones = 0usize;
         for iter in 0..self.opts.max_iterations {
+            let _iter_span = obs.span("repair.iteration");
+            obs.add("repair.iterations", 1);
+            let detect_started = std::time::Instant::now();
             let (report, trace) = self.detect(
                 m,
                 entry,
@@ -537,7 +591,21 @@ impl Hippocrates {
                 &mut degraded,
                 &mut diagnostics,
             )?;
+            if iter > 0 {
+                // Detection on an already-rewritten module is the do-no-harm
+                // re-verification pass; its cost is tracked separately.
+                obs.gauge_add(
+                    "repair.reverify_ms",
+                    detect_started.elapsed().as_secs_f64() * 1e3,
+                );
+            }
             if report.is_clean() {
+                if obs.is_enabled() && !trace.is_empty() {
+                    // Telemetry-only audit: exercise the portable-log
+                    // roundtrip once so the trace-ingest stage reports its
+                    // cost for this module. Never runs with obs disabled.
+                    let _ = pmtrace::log::from_log_obs(&pmtrace::log::to_log(&trace), &obs);
+                }
                 if let Some(inj) = &injector {
                     for f in inj.injected() {
                         note(&mut diagnostics, format!("injected: {f}"));
@@ -594,8 +662,11 @@ fn note_degraded(degraded: &mut Vec<Degradation>, d: Degradation) {
 /// static checker's unexecuted-path findings — are appended. Counters stay
 /// the dynamic run's.
 fn merge_reports(mut dynamic: CheckReport, stat: CheckReport) -> CheckReport {
-    let seen: std::collections::HashSet<_> =
-        dynamic.bugs.iter().filter_map(|b| b.store_at.clone()).collect();
+    let seen: std::collections::HashSet<_> = dynamic
+        .bugs
+        .iter()
+        .filter_map(|b| b.store_at.clone())
+        .collect();
     for b in stat.bugs {
         if b.store_at.as_ref().is_none_or(|at| !seen.contains(at)) {
             dynamic.bugs.push(b);
@@ -613,10 +684,7 @@ fn merge_reports(mut dynamic: CheckReport, stat: CheckReport) -> CheckReport {
 /// # Errors
 ///
 /// Propagates [`RepairError`] from the underlying loop.
-pub fn provide_durability(
-    module: &mut Module,
-    entry: &str,
-) -> Result<RepairOutcome, RepairError> {
+pub fn provide_durability(module: &mut Module, entry: &str) -> Result<RepairOutcome, RepairError> {
     Hippocrates::new(RepairOptions::default()).repair_until_clean(module, entry)
 }
 
@@ -653,7 +721,11 @@ fn i_function(m: &Module, trace: &Trace, bug: &Bug) -> Option<pmir::FuncId> {
             .find(|e| e.seq == seq)
             .and_then(|e| e.stack.first())
             .and_then(|f| m.function_by_name(&f.function))
-            .or_else(|| bug.stack.last().and_then(|f| m.function_by_name(&f.function))),
+            .or_else(|| {
+                bug.stack
+                    .last()
+                    .and_then(|f| m.function_by_name(&f.function))
+            }),
     }
 }
 
@@ -671,8 +743,7 @@ mod tests {
 
     #[test]
     fn fixes_missing_flush_fence() {
-        let (_, outcome) =
-            repair("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }");
+        let (_, outcome) = repair("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }");
         assert!(outcome.clean);
         assert_eq!(outcome.fixes.len(), 1);
         assert_eq!(outcome.fixes[0].kind, FixKind::IntraFlushFence);
@@ -680,9 +751,8 @@ mod tests {
 
     #[test]
     fn fixes_missing_fence_at_flush() {
-        let (_, outcome) = repair(
-            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); clwb(p); }",
-        );
+        let (_, outcome) =
+            repair("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); clwb(p); }");
         assert!(outcome.clean);
         assert_eq!(outcome.fixes.len(), 1);
         assert_eq!(outcome.fixes[0].kind, FixKind::IntraFence);
@@ -690,18 +760,17 @@ mod tests {
 
     #[test]
     fn fixes_missing_flush_before_existing_fence() {
-        let (_, outcome) = repair(
-            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); sfence(); }",
-        );
+        let (_, outcome) =
+            repair("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); sfence(); }");
         assert!(outcome.clean);
         // An intra flush suffices: the downstream fence orders it. The
         // engine may still add its own fence if the checker classifies the
         // final store state conservatively; what matters is cleanliness and
         // that a flush was added.
-        assert!(outcome.fixes.iter().any(|f| matches!(
-            f.kind,
-            FixKind::IntraFlush | FixKind::IntraFlushFence
-        )));
+        assert!(outcome
+            .fixes
+            .iter()
+            .any(|f| matches!(f.kind, FixKind::IntraFlush | FixKind::IntraFlushFence)));
     }
 
     #[test]
@@ -888,10 +957,7 @@ mod tests {
         .unwrap();
         assert!(outcome.clean);
         assert!(!outcome.fixes.is_empty());
-        assert_eq!(
-            outcome.final_report.provenance,
-            pmcheck::Provenance::Static
-        );
+        assert_eq!(outcome.final_report.provenance, pmcheck::Provenance::Static);
 
         // Verified by re-running both checkers on the healed module.
         assert!(pmstatic::check_module(&m, "main").unwrap().is_clean());
@@ -992,7 +1058,11 @@ mod tests {
         let recov = pmvm::Vm::new(VmOptions::default().with_media(img.into_media()))
             .run(&m, "recover")
             .unwrap();
-        assert_eq!(recov.return_value, Some(0), "crash-point sampling misses it");
+        assert_eq!(
+            recov.return_value,
+            Some(0),
+            "crash-point sampling misses it"
+        );
 
         // Exploration-driven repair finds and heals it.
         let outcome = Hippocrates::new(RepairOptions {
@@ -1009,8 +1079,8 @@ mod tests {
         );
 
         // Re-exploration of the healed module is clean.
-        let x = pmexplore::run_and_explore(&m, "main", &pmexplore::ExploreOptions::default())
-            .unwrap();
+        let x =
+            pmexplore::run_and_explore(&m, "main", &pmexplore::ExploreOptions::default()).unwrap();
         assert!(x.report.is_clean(), "{}", x.report.render());
     }
 
@@ -1140,9 +1210,16 @@ mod tests {
         .repair_until_clean(&mut faulted, "main")
         .unwrap();
         assert!(outcome.clean);
-        assert!(outcome.degraded.iter().any(|d| d.source == "trace"), "{:?}", outcome.degraded);
         assert!(
-            outcome.diagnostics.iter().any(|d| d.contains("in-memory trace")),
+            outcome.degraded.iter().any(|d| d.source == "trace"),
+            "{:?}",
+            outcome.degraded
+        );
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("in-memory trace")),
             "{:?}",
             outcome.diagnostics
         );

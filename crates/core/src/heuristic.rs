@@ -217,7 +217,10 @@ pub fn apply_hoist(
     state: &mut CloneState,
     opts: &RepairOptions,
 ) -> HoistApplied {
-    assert!(depth >= 1 && depth <= site.call_path.len(), "depth out of range");
+    assert!(
+        depth >= 1 && depth <= site.call_path.len(),
+        "depth out of range"
+    );
     let chain = func_chain(site);
     let mut created = 0usize;
 
@@ -285,9 +288,7 @@ fn has_flush_after(m: &Module, func: FuncId, store: InstId) -> bool {
     };
     match &f.inst(next).op {
         Op::Flush { .. } => true,
-        Op::Call { callee, .. } => {
-            m.function(*callee).name() == crate::plan::FLUSH_RANGE_HELPER
-        }
+        Op::Call { callee, .. } => m.function(*callee).name() == crate::plan::FLUSH_RANGE_HELPER,
         _ => false,
     }
 }

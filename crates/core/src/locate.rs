@@ -120,9 +120,11 @@ pub fn locate(m: &Module, bug: &Bug) -> Result<BugSite, LocateError> {
 pub fn call_path_of(m: &Module, stack: &[Frame]) -> Result<Vec<(FuncId, InstId)>, LocateError> {
     let mut path = vec![];
     for fr in stack.iter().skip(1) {
-        let f = m.function_by_name(&fr.function).ok_or_else(|| LocateError {
-            message: format!("stack frame names unknown function `{}`", fr.function),
-        })?;
+        let f = m
+            .function_by_name(&fr.function)
+            .ok_or_else(|| LocateError {
+                message: format!("stack frame names unknown function `{}`", fr.function),
+            })?;
         let Some(ci) = fr.call_inst else {
             return Err(LocateError {
                 message: format!("frame `{}` lacks a call instruction", fr.function),

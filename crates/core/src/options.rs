@@ -90,6 +90,12 @@ pub struct RepairOptions {
     pub retry_base_ms: u64,
     /// Backoff cap. Kept small by default so degraded runs stay fast.
     pub retry_cap_ms: u64,
+    /// Observability handle ([`pmobs::Obs`]). When attached to a registry
+    /// the engine records `repair.*` spans and counters for every stage of
+    /// the detect→fix→re-verify loop and threads the handle into the VM,
+    /// the checkers, exploration, and fault injection. The disabled default
+    /// costs one branch per recording site.
+    pub obs: pmobs::Obs,
 }
 
 impl Default for RepairOptions {
@@ -112,6 +118,7 @@ impl Default for RepairOptions {
             source_retries: 2,
             retry_base_ms: 1,
             retry_cap_ms: 8,
+            obs: pmobs::Obs::default(),
         }
     }
 }

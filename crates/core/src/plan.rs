@@ -4,9 +4,7 @@
 use crate::locate::BugSite;
 use crate::options::RepairOptions;
 use pmcheck::{Bug, BugKind};
-use pmir::{
-    rewrite, FuncId, FunctionBuilder, InstId, Module, Op, Type,
-};
+use pmir::{rewrite, FuncId, FunctionBuilder, InstId, Module, Op, Type};
 use pmtrace::{EventKind, Trace};
 use std::collections::HashMap;
 
@@ -36,11 +34,7 @@ pub struct IntraFix {
 /// Plans intraprocedural fixes for the located bugs, applying fix reduction:
 /// fixes sharing an anchor are merged (redundant flushes/fences collapse,
 /// §4.3 phase 2).
-pub fn plan_intra_fixes(
-    m: &Module,
-    trace: &Trace,
-    bugs: &[(Bug, BugSite)],
-) -> Vec<IntraFix> {
+pub fn plan_intra_fixes(m: &Module, trace: &Trace, bugs: &[(Bug, BugSite)]) -> Vec<IntraFix> {
     let mut by_anchor: HashMap<(FuncId, InstId), IntraFix> = HashMap::new();
     let mut order: Vec<(FuncId, InstId)> = vec![];
     for (bug, site) in bugs {
@@ -132,7 +126,11 @@ pub fn ensure_flush_range_helper(m: &mut Module, opts: &RepairOptions) -> FuncId
     // downstream diagnostics never go blind inside an inserted fix.
     let file = m.intern_file(format!("<{FLUSH_RANGE_HELPER}>"));
     let mut b = FunctionBuilder::new(m, f);
-    b.set_loc(pmir::SrcLoc { file, line: 1, col: 1 });
+    b.set_loc(pmir::SrcLoc {
+        file,
+        line: 1,
+        col: 1,
+    });
     let entry = b.entry_block();
     let init = b.new_block("init");
     let header = b.new_block("header");
@@ -298,9 +296,8 @@ mod tests {
 
     #[test]
     fn plans_flush_fence_for_missing_both() {
-        let (m, trace, report) = check(
-            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }",
-        );
+        let (m, trace, report) =
+            check("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }");
         let located: Vec<_> = report
             .deduped_bugs()
             .into_iter()
@@ -313,9 +310,8 @@ mod tests {
 
     #[test]
     fn plans_fence_at_existing_flush() {
-        let (m, trace, report) = check(
-            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); clwb(p); }",
-        );
+        let (m, trace, report) =
+            check("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); clwb(p); }");
         let located: Vec<_> = report
             .deduped_bugs()
             .into_iter()
@@ -352,9 +348,8 @@ mod tests {
 
     #[test]
     fn apply_fix_produces_clean_module() {
-        let (mut m, trace, report) = check(
-            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }",
-        );
+        let (mut m, trace, report) =
+            check("fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }");
         let located: Vec<_> = report
             .deduped_bugs()
             .into_iter()
@@ -452,12 +447,14 @@ mod portable_tests {
         .unwrap();
         assert!(outcome.clean);
         // The fix is a call to the range-flush helper, not a raw clwb.
-        let helper = m.function_by_name(FLUSH_RANGE_HELPER).expect("helper exists");
+        let helper = m
+            .function_by_name(FLUSH_RANGE_HELPER)
+            .expect("helper exists");
         let main = m.function_by_name("main").unwrap();
         let f = m.function(main);
-        let calls_helper = f.linked_insts().any(
-            |(_, i)| matches!(f.inst(i).op, Op::Call { callee, .. } if callee == helper),
-        );
+        let calls_helper = f
+            .linked_insts()
+            .any(|(_, i)| matches!(f.inst(i).op, Op::Call { callee, .. } if callee == helper));
         let raw_clwb = f
             .linked_insts()
             .any(|(_, i)| matches!(f.inst(i).op, Op::Flush { .. }));
@@ -483,7 +480,10 @@ mod portable_tests {
             })
             .repair_until_clean(&mut m, "main")
             .unwrap();
-            pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap().output
+            pmvm::Vm::new(VmOptions::default())
+                .run(&m, "main")
+                .unwrap()
+                .output
         };
         assert_eq!(run(false), run(true));
     }

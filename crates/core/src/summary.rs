@@ -38,7 +38,10 @@ impl fmt::Display for FixKind {
             FixKind::IntraFence => write!(f, "intraprocedural fence"),
             FixKind::IntraFlushFence => write!(f, "intraprocedural flush+fence"),
             FixKind::Interproc { levels, root_clone } => {
-                write!(f, "interprocedural flush+fence ({levels} level(s) up, via {root_clone})")
+                write!(
+                    f,
+                    "interprocedural flush+fence ({levels} level(s) up, via {root_clone})"
+                )
             }
         }
     }
@@ -79,7 +82,10 @@ pub struct RepairSummary {
 impl RepairSummary {
     /// Count of interprocedural fixes.
     pub fn interprocedural_count(&self) -> usize {
-        self.fixes.iter().filter(|f| f.kind.is_interprocedural()).count()
+        self.fixes
+            .iter()
+            .filter(|f| f.kind.is_interprocedural())
+            .count()
     }
 }
 
@@ -140,7 +146,10 @@ impl RepairOutcome {
 
     /// Count of interprocedural fixes across all iterations.
     pub fn interprocedural_count(&self) -> usize {
-        self.fixes.iter().filter(|f| f.kind.is_interprocedural()).count()
+        self.fixes
+            .iter()
+            .filter(|f| f.kind.is_interprocedural())
+            .count()
     }
 
     /// Distribution of interprocedural hoist levels (level → count), for the

@@ -33,17 +33,8 @@ pub const UNIT_TESTS_SRC: &str = include_str!("../pmc/unit_tests.pmc");
 
 /// The 11 reproduced PMDK issues, in the paper's Fig. 3 order.
 pub const PMDK_BUG_IDS: [&str; 11] = [
-    "pmdk-447",
-    "pmdk-458",
-    "pmdk-459",
-    "pmdk-460",
-    "pmdk-461",
-    "pmdk-585",
-    "pmdk-942",
-    "pmdk-945",
-    "pmdk-452",
-    "pmdk-940",
-    "pmdk-943",
+    "pmdk-447", "pmdk-458", "pmdk-459", "pmdk-460", "pmdk-461", "pmdk-585", "pmdk-942", "pmdk-945",
+    "pmdk-452", "pmdk-940", "pmdk-943",
 ];
 
 /// The unit-test entry point for an issue id (`"pmdk-452"` →

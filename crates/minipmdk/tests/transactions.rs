@@ -67,7 +67,9 @@ fn committed_transaction_is_clean_and_durable() {
 fn crash_mid_transaction_rolls_back() {
     let m = build();
     // Crash at the checkpoint between the two protected stores.
-    let run = Vm::new(VmOptions::default().stop_at(1)).run(&m, "main").unwrap();
+    let run = Vm::new(VmOptions::default().stop_at(1))
+        .run(&m, "main")
+        .unwrap();
     assert_eq!(run.ended, Ended::CrashPoint(1));
     // The first store may or may not be durable at the crash — that is the
     // whole point of the undo log. Reboot and let recovery run.
@@ -76,7 +78,11 @@ fn crash_mid_transaction_rolls_back() {
         .run(&m, "main")
         .unwrap();
     // Recovery rolled the first field back to 1; the pair is consistent.
-    assert_eq!(&r2.output[..2], &[1, 2], "rollback must restore the snapshot");
+    assert_eq!(
+        &r2.output[..2],
+        &[1, 2],
+        "rollback must restore the snapshot"
+    );
 }
 
 #[test]

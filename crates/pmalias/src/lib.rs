@@ -38,10 +38,7 @@ mod tests {
     /// Find the pointer value that is the address operand of the first
     /// store-like instruction in `func` that stores to a non-slot address
     /// (i.e. a `gep` result or parameter, not a local variable slot).
-    fn store_addr_value(
-        m: &Module,
-        func: &str,
-    ) -> (pmir::FuncId, pmir::ValueId) {
+    fn store_addr_value(m: &Module, func: &str) -> (pmir::FuncId, pmir::ValueId) {
         let fid = m.function_by_name(func).unwrap();
         let f = m.function(fid);
         for (_, i) in f.linked_insts() {
@@ -84,7 +81,12 @@ mod tests {
         // loads: the store8 address operands.
         let mut marks = vec![];
         for (_, i) in f.linked_insts() {
-            if let pmir::Op::Store { addr: pmir::Operand::Value(v), ty, .. } = &f.inst(i).op {
+            if let pmir::Op::Store {
+                addr: pmir::Operand::Value(v),
+                ty,
+                ..
+            } = &f.inst(i).op
+            {
                 if ty.is_int() && !aa.points_to(fid, *v).is_empty() {
                     marks.push(marking.mark(&aa, fid, *v));
                 }
@@ -159,7 +161,11 @@ mod tests {
                 })
                 .expect("call with value arg in modify")
         };
-        assert_eq!(marking.score(&aa, mod_f, addr_param_flow), 0, "line 7 score");
+        assert_eq!(
+            marking.score(&aa, mod_f, addr_param_flow),
+            0,
+            "line 7 score"
+        );
 
         // Score of `pm_addr` at the `modify(pm_addr)` call site: +1.
         let main_f = m.function_by_name("main").unwrap();
@@ -174,7 +180,11 @@ mod tests {
             }
         }
         call_arg_scores.sort_unstable();
-        assert_eq!(call_arg_scores, vec![-1, 1], "vol call scores -1, pm call scores +1");
+        assert_eq!(
+            call_arg_scores,
+            vec![-1, 1],
+            "vol call scores -1, pm call scores +1"
+        );
     }
 
     #[test]
@@ -189,7 +199,9 @@ mod tests {
         "#;
         let m = compile(src);
         let aa = AliasAnalysis::analyze(&m);
-        let run = pmvm::Vm::new(pmvm::VmOptions::default()).run(&m, "main").unwrap();
+        let run = pmvm::Vm::new(pmvm::VmOptions::default())
+            .run(&m, "main")
+            .unwrap();
         let trace = run.trace.unwrap();
         let full = PmMarking::full(&aa);
         let traced = PmMarking::from_trace(&m, &aa, &trace);
@@ -210,7 +222,9 @@ mod tests {
         "#;
         let m = compile(src);
         let aa = AliasAnalysis::analyze(&m);
-        let run = pmvm::Vm::new(pmvm::VmOptions::default()).run(&m, "main").unwrap();
+        let run = pmvm::Vm::new(pmvm::VmOptions::default())
+            .run(&m, "main")
+            .unwrap();
         let traced = PmMarking::from_trace(&m, &aa, &run.trace.unwrap());
         let (fid, v) = store_addr_value(&m, "main");
         // Full-AA sees potential PM flow; Trace-AA never saw the pool map.

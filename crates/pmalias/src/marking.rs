@@ -121,9 +121,30 @@ mod tests {
 
     #[test]
     fn mark_score_values() {
-        assert_eq!(Mark { pm: true, non_pm: false }.score(), 1);
-        assert_eq!(Mark { pm: false, non_pm: true }.score(), -1);
-        assert_eq!(Mark { pm: true, non_pm: true }.score(), 0);
+        assert_eq!(
+            Mark {
+                pm: true,
+                non_pm: false
+            }
+            .score(),
+            1
+        );
+        assert_eq!(
+            Mark {
+                pm: false,
+                non_pm: true
+            }
+            .score(),
+            -1
+        );
+        assert_eq!(
+            Mark {
+                pm: true,
+                non_pm: true
+            }
+            .score(),
+            0
+        );
         assert_eq!(Mark::default().score(), 0);
     }
 
@@ -143,8 +164,20 @@ mod tests {
         let aa = AliasAnalysis::analyze(&m);
         let mk = PmMarking::full(&aa);
         assert_eq!(mk.pm_objects().len(), 1);
-        assert_eq!(mk.mark(&aa, f, p), Mark { pm: true, non_pm: false });
-        assert_eq!(mk.mark(&aa, f, h), Mark { pm: false, non_pm: true });
+        assert_eq!(
+            mk.mark(&aa, f, p),
+            Mark {
+                pm: true,
+                non_pm: false
+            }
+        );
+        assert_eq!(
+            mk.mark(&aa, f, h),
+            Mark {
+                pm: false,
+                non_pm: true
+            }
+        );
         assert_eq!(mk.score(&aa, f, p), 1);
         assert_eq!(mk.score(&aa, f, h), -1);
     }

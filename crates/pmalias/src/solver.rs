@@ -234,7 +234,10 @@ impl<'m> Builder<'m> {
                         if let Some(a) = self.operand_node(fid, *addr) {
                             let r = inst.result.expect("load produces a value");
                             let rn = self.val_node(fid, r);
-                            self.complex.push(Complex::LoadFrom { addr: a, result: rn });
+                            self.complex.push(Complex::LoadFrom {
+                                addr: a,
+                                result: rn,
+                            });
                         }
                     }
                     Op::Store { ty, addr, value } if ty.is_ptr() => {
@@ -246,10 +249,9 @@ impl<'m> Builder<'m> {
                         }
                     }
                     Op::Memcpy { dst, src, .. } => {
-                        if let (Some(d), Some(s)) = (
-                            self.operand_node(fid, *dst),
-                            self.operand_node(fid, *src),
-                        ) {
+                        if let (Some(d), Some(s)) =
+                            (self.operand_node(fid, *dst), self.operand_node(fid, *src))
+                        {
                             self.complex.push(Complex::ContentCopy { dst: d, src: s });
                         }
                     }
@@ -276,12 +278,11 @@ impl<'m> Builder<'m> {
                             }
                         }
                     }
-                    Op::Ret { value: Some(v) }
-                        if self.m.function(fid).ret_type().is_ptr() => {
-                            if let Some(vn) = self.operand_node(fid, *v) {
-                                self.rets.entry(fid).or_default().push(vn);
-                            }
+                    Op::Ret { value: Some(v) } if self.m.function(fid).ret_type().is_ptr() => {
+                        if let Some(vn) = self.operand_node(fid, *v) {
+                            self.rets.entry(fid).or_default().push(vn);
                         }
+                    }
                     _ => {}
                 }
             }

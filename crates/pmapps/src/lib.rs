@@ -112,8 +112,7 @@ mod tests {
     #[test]
     fn memcached_correct_survives_crash_state_exploration() {
         let m = crate::memcached::build_correct().unwrap();
-        let x =
-            pmexplore::run_and_explore(&m, crate::memcached::ENTRY, &explore_opts(96)).unwrap();
+        let x = pmexplore::run_and_explore(&m, crate::memcached::ENTRY, &explore_opts(96)).unwrap();
         assert!(x.report.is_clean(), "{}", x.report.render());
     }
 
@@ -137,7 +136,10 @@ mod tests {
         // Booting each oracle on an untouched pool returns 0 (so a crash
         // before any operation is never a false positive).
         for (m, recover) in [
-            (crate::pclht::build_correct().unwrap(), crate::pclht::RECOVER),
+            (
+                crate::pclht::build_correct().unwrap(),
+                crate::pclht::RECOVER,
+            ),
             (
                 crate::memcached::build_correct().unwrap(),
                 crate::memcached::RECOVER,
@@ -147,7 +149,9 @@ mod tests {
                 crate::redis::RECOVER,
             ),
         ] {
-            let r = pmvm::Vm::new(VmOptions::default()).run(&m, recover).unwrap();
+            let r = pmvm::Vm::new(VmOptions::default())
+                .run(&m, recover)
+                .unwrap();
             assert_eq!(r.return_value, Some(0), "{recover} on a fresh pool");
         }
     }
@@ -180,8 +184,14 @@ mod tests {
         let c = run_and_check(&ff, &e2, VmOptions::default()).unwrap();
         assert!(!c.report.is_clean(), "flush-free must report bugs");
 
-        let out_pm = pmvm::Vm::new(VmOptions::default()).run(&pm, &e1).unwrap().output;
-        let out_ff = pmvm::Vm::new(VmOptions::default()).run(&ff, &e2).unwrap().output;
+        let out_pm = pmvm::Vm::new(VmOptions::default())
+            .run(&pm, &e1)
+            .unwrap()
+            .output;
+        let out_ff = pmvm::Vm::new(VmOptions::default())
+            .run(&ff, &e2)
+            .unwrap()
+            .output;
         assert_eq!(out_pm, out_ff);
     }
 

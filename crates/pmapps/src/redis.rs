@@ -41,17 +41,29 @@ impl RedisOp {
 
     /// A GET.
     pub fn get(key: i64) -> Self {
-        RedisOp { code: 2, key, len: 0 }
+        RedisOp {
+            code: 2,
+            key,
+            len: 0,
+        }
     }
 
     /// A DEL.
     pub fn del(key: i64) -> Self {
-        RedisOp { code: 3, key, len: 0 }
+        RedisOp {
+            code: 3,
+            key,
+            len: 0,
+        }
     }
 
     /// A SCAN of `count` buckets starting at `key`'s bucket.
     pub fn scan(key: i64, count: i64) -> Self {
-        RedisOp { code: 4, key, len: count }
+        RedisOp {
+            code: 4,
+            key,
+            len: count,
+        }
     }
 
     /// A read-modify-write of `len` value bytes.
@@ -104,7 +116,11 @@ pub fn attach_workload(m: &mut Module, name: &str, ops: &[RedisOp]) -> String {
     let mut b = FunctionBuilder::new(m, f);
     let e = b.entry_block();
     b.switch_to(e);
-    b.set_loc(pmir::SrcLoc { file, line: 1, col: 1 });
+    b.set_loc(pmir::SrcLoc {
+        file,
+        line: 1,
+        col: 1,
+    });
     let pool = b.call(open, vec![]).expect("redis_open returns the pool");
     let cmdbuf = b.heap_alloc(8192i64);
     let argbuf = b.heap_alloc(4096i64);

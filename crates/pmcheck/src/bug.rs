@@ -108,7 +108,11 @@ impl Bug {
 
 impl fmt::Display for Bug {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} bug: store of {} bytes at {:#x}", self.kind, self.len, self.addr)?;
+        write!(
+            f,
+            "{} bug: store of {} bytes at {:#x}",
+            self.kind, self.len, self.addr
+        )?;
         if let Some(loc) = &self.store_loc {
             write!(f, " ({loc})")?;
         }

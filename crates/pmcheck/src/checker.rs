@@ -275,7 +275,9 @@ mod tests {
 
     #[test]
     fn missing_fence_only() {
-        let t: Trace = vec![store(0, PM, 8), flush(1, PM), end(2)].into_iter().collect();
+        let t: Trace = vec![store(0, PM, 8), flush(1, PM), end(2)]
+            .into_iter()
+            .collect();
         let r = check_trace(&t);
         assert_eq!(r.bugs.len(), 1);
         assert_eq!(r.bugs[0].kind, BugKind::MissingFence);
@@ -284,7 +286,9 @@ mod tests {
 
     #[test]
     fn missing_flush_with_downstream_fence() {
-        let t: Trace = vec![store(0, PM, 8), fence(1), end(2)].into_iter().collect();
+        let t: Trace = vec![store(0, PM, 8), fence(1), end(2)]
+            .into_iter()
+            .collect();
         let r = check_trace(&t);
         assert_eq!(r.bugs.len(), 1);
         assert_eq!(r.bugs[0].kind, BugKind::MissingFlush);
@@ -444,7 +448,13 @@ mod online_tests {
     fn working_set_shrinks_as_stores_become_durable() {
         let mut c = OnlineChecker::new();
         for i in 0..16u64 {
-            c.feed(&ev(i, EventKind::Store { addr: PM + i * 64, len: 8 }));
+            c.feed(&ev(
+                i,
+                EventKind::Store {
+                    addr: PM + i * 64,
+                    len: 8,
+                },
+            ));
         }
         assert_eq!(c.live_stores(), 16);
         for i in 0..16u64 {

@@ -97,7 +97,7 @@ impl CrashImage {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::machine::Machine;
     use crate::{FenceKind, FlushKind};
 

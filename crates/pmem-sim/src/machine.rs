@@ -178,7 +178,8 @@ impl Machine {
         if self.heap.len() < self.heap_top as usize {
             self.heap.resize(self.heap_top as usize, 0);
         }
-        self.heap_allocs.insert(addr, HeapAlloc { size, live: true });
+        self.heap_allocs
+            .insert(addr, HeapAlloc { size, live: true });
         self.stats.heap_live_bytes += size;
         self.stats.heap_peak_bytes = self.stats.heap_peak_bytes.max(self.stats.heap_live_bytes);
         Ok(addr)
@@ -324,7 +325,9 @@ impl Machine {
                 }
             }
             Region::Pm => {
-                let i = self.pool_index_of(addr).ok_or(MemError::Unmapped { addr })?;
+                let i = self
+                    .pool_index_of(addr)
+                    .ok_or(MemError::Unmapped { addr })?;
                 let p = &self.pools[i];
                 if end <= p.base + p.bytes.len() as u64 {
                     Ok(region)
@@ -424,7 +427,9 @@ impl Machine {
                 if let Some(pmfault::FaultKind::MediaReadError) =
                     inj.fire(pmfault::FaultSite::SimMediaRead)
                 {
-                    inj.record(format!("sim.media-read: read error at {addr:#x} ({len} bytes)"));
+                    inj.record(format!(
+                        "sim.media-read: read error at {addr:#x} ({len} bytes)"
+                    ));
                     return Err(MemError::MediaRead { addr });
                 }
             }
@@ -474,7 +479,8 @@ impl Machine {
         let src_region = self.check_range(src, len)?;
         let dst_region = self.check_range(dst, len)?;
         let tmp = self.raw_slice(src_region, src, len).to_vec();
-        self.raw_slice_mut(dst_region, dst, len).copy_from_slice(&tmp);
+        self.raw_slice_mut(dst_region, dst, len)
+            .copy_from_slice(&tmp);
         self.account_bulk_write(dst_region, dst, len);
         self.stats.cycles += self.cost.bulk_byte * len.div_ceil(16);
         if src_region.is_pm() {
@@ -575,7 +581,9 @@ impl Machine {
             FenceKind::Sfence => self.cost.sfence_base,
             FenceKind::Mfence => self.cost.mfence_base,
         };
-        let pm: Vec<u64> = std::mem::take(&mut self.pending_pm_lines).into_iter().collect();
+        let pm: Vec<u64> = std::mem::take(&mut self.pending_pm_lines)
+            .into_iter()
+            .collect();
         for line in pm {
             self.write_back_line(line);
             self.stats.pm_lines_drained += 1;
@@ -855,7 +863,7 @@ mod tests {
         m.store_int(p, 8, 1).unwrap(); // dirty, never flushed
         m.store_int(p + 64, 8, 2).unwrap();
         m.flush(FlushKind::Clwb, p + 64).unwrap(); // pending
-        // Unflushed lines can still persist via eviction.
+                                                   // Unflushed lines can still persist via eviction.
         let img = m.crash_image_with_lines(&[p]);
         assert_eq!(img.read_int(p, 8), Some(1));
         assert_eq!(img.read_int(p + 64, 8), Some(0));

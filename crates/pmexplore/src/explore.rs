@@ -54,6 +54,10 @@ pub struct ExploreOptions {
     /// fault plan contains a stuck loop, so a diverging oracle can never
     /// hang a worker.
     pub recovery_watchdog_ms: Option<u64>,
+    /// Observability handle: when attached, the explorer records
+    /// `explore.*` spans (run, frontiers, sample, per-worker) and counters
+    /// (candidates, distinct states, dedup hits, per-worker utilization).
+    pub obs: pmobs::Obs,
 }
 
 impl Default for ExploreOptions {
@@ -67,6 +71,7 @@ impl Default for ExploreOptions {
             initial_media: None,
             fault: None,
             recovery_watchdog_ms: None,
+            obs: pmobs::Obs::default(),
         }
     }
 }
@@ -265,12 +270,19 @@ pub fn explore(
     use pmfault::{FaultKind, FaultPlan, FaultSite, Injector, Trigger};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
+    let run_span = opts.obs.span("explore.run");
     let oracle = opts
         .oracle
         .clone()
         .unwrap_or_else(|| Oracle::default_for(module, entry));
-    let fronts = frontiers(trace, data, opts.initial_media.as_ref());
-    let candidates = sample(&fronts, opts.budget, opts.seed);
+    let fronts = {
+        let _span = opts.obs.span("explore.frontiers");
+        frontiers(trace, data, opts.initial_media.as_ref())
+    };
+    let candidates = {
+        let _span = opts.obs.span("explore.sample");
+        sample(&fronts, opts.budget, opts.seed)
+    };
     let jobs = opts.jobs.max(1).min(candidates.len().max(1));
     let queue = StealQueue::new(jobs, candidates.len(), CHUNK);
     let memo: Mutex<HashMap<u64, Verdict>> = Mutex::new(HashMap::new());
@@ -280,18 +292,32 @@ pub fn explore(
     // Explore-level faults are keyed by the *candidate index* via the
     // stateless `fires_at`, so results are deterministic no matter how work
     // stealing interleaves candidates across threads.
-    let injector = opts.fault.clone().map(Injector::new);
+    let injector = opts
+        .fault
+        .clone()
+        .map(|p| Injector::with_obs(p, opts.obs.clone()));
 
     std::thread::scope(|s| {
         for w in 0..jobs {
             let (queue, memo, found, faulted, candidates, fronts, oracle, injector) = (
-                &queue, &memo, &found, &faulted, &candidates, &fronts, &oracle, &injector,
+                &queue,
+                &memo,
+                &found,
+                &faulted,
+                &candidates,
+                &fronts,
+                &oracle,
+                &injector,
             );
+            let obs = opts.obs.clone();
             s.spawn(move || {
+                let _worker_span = obs.span("explore.worker");
+                let mut processed = 0u64;
                 let mut replayer: Option<Replayer<'_>> = None;
                 let mut at_seq = 0u64;
                 while let Some(range) = queue.pop(w) {
                     for idx in range {
+                        processed += 1;
                         // Worker-panic isolation: a panic anywhere in one
                         // candidate's processing (injected or real) skips
                         // that candidate only. The loop — and the steal
@@ -420,6 +446,9 @@ pub fn explore(
                         }
                     }
                 }
+                // Per-worker utilization: how evenly the steal queue spread
+                // the candidates across the pool.
+                obs.observe("explore.worker.candidates", processed as f64);
             });
         }
     });
@@ -444,6 +473,21 @@ pub fn explore(
         oracle_crashes: fault_log.len() - worker_panics,
         worker_panics,
     };
+    if opts.obs.is_enabled() {
+        let obs = &opts.obs;
+        obs.add("explore.frontiers", stats.frontiers as u64);
+        obs.add("explore.candidates", stats.candidates as u64);
+        obs.add("explore.distinct_states", stats.distinct_states as u64);
+        obs.add("explore.crash_images", stats.candidates as u64);
+        obs.add(
+            "explore.dedup_hits",
+            stats.candidates.saturating_sub(stats.distinct_states) as u64,
+        );
+        obs.add("explore.inconsistent", stats.inconsistent as u64);
+        obs.add("explore.oracle_crashes", stats.oracle_crashes as u64);
+        obs.add("explore.worker_panics", stats.worker_panics as u64);
+    }
+    drop(run_span);
     ExploreReport {
         findings,
         stats,
@@ -506,8 +550,11 @@ fn finding(
     let blamed = by_store
         .into_iter()
         .map(|(store_seq, lines)| {
-            let unflushed: Vec<u64> =
-                lines.iter().copied().filter(|l| !pending.contains(l)).collect();
+            let unflushed: Vec<u64> = lines
+                .iter()
+                .copied()
+                .filter(|l| !pending.contains(l))
+                .collect();
             let kind = if unflushed.is_empty() {
                 BugKind::MissingFence
             } else {
@@ -567,13 +614,21 @@ pub fn run_and_explore(
     let vm_opts = VmOptions {
         capture_pm_data: true,
         media: opts.initial_media.clone(),
+        obs: opts.obs.clone(),
         ..VmOptions::default()
     };
-    let res = Vm::new(vm_opts).run(module, entry)?;
+    let res = {
+        let _span = opts.obs.span("explore.traced_run");
+        Vm::new(vm_opts).run(module, entry)?
+    };
     let trace = res.trace.expect("tracing was on");
     let data = res.pm_data.expect("capture was on");
     let report = explore(module, entry, &trace, &data, opts);
-    Ok(Exploration { trace, data, report })
+    Ok(Exploration {
+        trace,
+        data,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -613,7 +668,10 @@ mod tests {
             pmcheck::check_trace(&x.trace).is_clean(),
             "program must be lint-clean for the test to mean anything"
         );
-        assert!(!x.report.is_clean(), "exploration must catch the reordering");
+        assert!(
+            !x.report.is_clean(),
+            "exploration must catch the reordering"
+        );
         let check = x.report.to_check_report(&x.trace);
         assert_eq!(check.provenance, Provenance::Exploration);
         // The first Store in the trace is the data store at `p + 64`.
@@ -707,8 +765,14 @@ mod tests {
         assert!(serial.report.diagnostics[0].contains("worker panicked"));
         // The rest of the frontier was drained: all other candidates ran.
         let clean = run_and_explore(&m, "main", &ExploreOptions::default()).unwrap();
-        assert_eq!(serial.report.stats.candidates, clean.report.stats.candidates);
-        assert!(!serial.report.is_clean(), "surviving candidates still find the bug");
+        assert_eq!(
+            serial.report.stats.candidates,
+            clean.report.stats.candidates
+        );
+        assert!(
+            !serial.report.is_clean(),
+            "surviving candidates still find the bug"
+        );
         // And the outcome is identical under work stealing.
         let parallel = with_fault(4);
         assert_eq!(serial.report, parallel.report);
@@ -733,11 +797,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(x.report.stats.oracle_crashes, 1);
-        assert!(x.report.diagnostics[0].contains("oracle panicked"), "{:?}", x.report.diagnostics);
+        assert!(
+            x.report.diagnostics[0].contains("oracle panicked"),
+            "{:?}",
+            x.report.diagnostics
+        );
         // An oracle crash is never blamed on a store.
         let check = x.report.to_check_report(&x.trace);
         assert!(check.bugs.iter().all(|b| b.kind != BugKind::MissingFence
-            || x.report.findings.iter().any(|f| f.blamed.iter().any(|l| l.store_seq == b.store_seq))));
+            || x.report
+                .findings
+                .iter()
+                .any(|f| f.blamed.iter().any(|l| l.store_seq == b.store_seq))));
     }
 
     #[test]

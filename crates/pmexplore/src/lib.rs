@@ -14,7 +14,7 @@
 //!
 //! 1. [`frontier`] derives a crash *frontier* after every PM event of a
 //!    traced execution, with the dirty and pending line sets there.
-//! 2. [`sample`] enumerates persisted-line subsets per frontier —
+//! 2. [`mod@sample`] enumerates persisted-line subsets per frontier —
 //!    exhaustively for small dirty sets, prioritized sampling for large
 //!    ones — under a global state budget, deterministic in the seed.
 //! 3. [`replay`] materializes each candidate as a
@@ -22,7 +22,7 @@
 //!    captured [`pmtrace::DataLog`] — no interpreter re-runs.
 //! 4. [`oracle`] boots the app's `recover()` entry (or re-runs the main
 //!    entry) on each image via `pmvm` and judges consistency.
-//! 5. [`explore`] drives it all over a work-stealing thread pool
+//! 5. [`mod@explore`] drives it all over a work-stealing thread pool
 //!    ([`steal`]), dedups states by content hash, blames every
 //!    inconsistency back onto the stores whose lost lines caused it, and
 //!    exports a `pmcheck`-shaped report

@@ -60,7 +60,14 @@ impl<'t> Replayer<'t> {
     fn insert_pool(&mut self, hint: u64, base: u64, durable: Vec<u8>) {
         let cache = durable.clone();
         self.bases.insert(base, hint);
-        self.pools.insert(hint, PoolState { base, durable, cache });
+        self.pools.insert(
+            hint,
+            PoolState {
+                base,
+                durable,
+                cache,
+            },
+        );
     }
 
     /// The `(hint, byte offset)` of the line starting at `line`, if mapped.

@@ -174,7 +174,9 @@ mod tests {
         let c = sample(&f, usize::MAX, 1);
         for &l in &dirty {
             assert!(c.iter().any(|c| c.lines == vec![l]));
-            assert!(c.iter().any(|c| c.lines.len() == 9 && !c.lines.contains(&l)));
+            assert!(c
+                .iter()
+                .any(|c| c.lines.len() == 9 && !c.lines.contains(&l)));
         }
     }
 }

@@ -18,6 +18,7 @@ pub struct Injector {
     plan: FaultPlan,
     hits: [u64; N_SITES],
     injected: Vec<String>,
+    obs: pmobs::Obs,
 }
 
 impl Injector {
@@ -26,6 +27,20 @@ impl Injector {
             plan,
             hits: [0; N_SITES],
             injected: Vec::new(),
+            obs: pmobs::Obs::default(),
+        }
+    }
+
+    /// Like [`Injector::new`], but fired faults are also counted into `obs`
+    /// as `fault.fired.<site>` / `fault.fired.kind.<slug>`. Clones share the
+    /// handle, so counts from forked injectors (e.g. the machine's copy)
+    /// aggregate in one registry.
+    pub fn with_obs(plan: FaultPlan, obs: pmobs::Obs) -> Injector {
+        Injector {
+            plan,
+            hits: [0; N_SITES],
+            injected: Vec::new(),
+            obs,
         }
     }
 
@@ -38,22 +53,36 @@ impl Injector {
     pub fn fire(&mut self, site: FaultSite) -> Option<FaultKind> {
         let hit = self.hits[site.index()];
         self.hits[site.index()] += 1;
-        self.plan
+        let fired = self
+            .plan
             .faults
             .iter()
             .find(|f| f.site == site && f.trigger.fires(hit))
-            .map(|f| f.kind.clone())
+            .map(|f| f.kind.clone());
+        if let Some(kind) = &fired {
+            self.obs.add(&format!("fault.fired.{site}"), 1);
+            self.obs
+                .add(&format!("fault.fired.kind.{}", kind.slug()), 1);
+        }
+        fired
     }
 
     /// Stateless check: does a fault fire for occurrence `index` of `site`?
     /// Used where occurrence order is scheduler-dependent but a stable index
     /// exists (explore candidates).
     pub fn fires_at(&self, site: FaultSite, index: u64) -> Option<FaultKind> {
-        self.plan
+        let fired = self
+            .plan
             .faults
             .iter()
             .find(|f| f.site == site && f.trigger.fires(index))
-            .map(|f| f.kind.clone())
+            .map(|f| f.kind.clone());
+        if let Some(kind) = &fired {
+            self.obs.add(&format!("fault.fired.{site}"), 1);
+            self.obs
+                .add(&format!("fault.fired.kind.{}", kind.slug()), 1);
+        }
+        fired
     }
 
     /// Occurrences counted so far at `site`.
@@ -81,7 +110,11 @@ mod tests {
 
     #[test]
     fn nth_trigger_fires_exactly_once() {
-        let plan = FaultPlan::single(FaultSite::SimFlush, Trigger::Nth(2), FaultKind::DroppedFlush);
+        let plan = FaultPlan::single(
+            FaultSite::SimFlush,
+            Trigger::Nth(2),
+            FaultKind::DroppedFlush,
+        );
         let mut inj = Injector::new(plan);
         assert_eq!(inj.fire(FaultSite::SimFlush), None);
         assert_eq!(inj.fire(FaultSite::SimFlush), None);

@@ -123,6 +123,25 @@ pub enum FaultKind {
     OraclePanic,
 }
 
+impl FaultKind {
+    /// Stable kebab-case identifier, used as the `fault.fired.kind.<slug>`
+    /// metric suffix (parameters are dropped so the name stays stable).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultKind::TornStore => "torn-store",
+            FaultKind::DroppedFlush => "dropped-flush",
+            FaultKind::MediaReadError => "media-read-error",
+            FaultKind::TraceTruncate => "trace-truncate",
+            FaultKind::TraceBitflip => "trace-bitflip",
+            FaultKind::TraceDuplicate => "trace-duplicate",
+            FaultKind::FuelExhaustion { .. } => "fuel-exhaustion",
+            FaultKind::StuckLoop => "stuck-loop",
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::OraclePanic => "oracle-panic",
+        }
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -200,9 +219,21 @@ impl FaultPlan {
             0 => (FaultSite::SimStore, nth(4), FaultKind::TornStore),
             1 => (FaultSite::SimFlush, nth(3), FaultKind::DroppedFlush),
             2 => (FaultSite::SimMediaRead, nth(4), FaultKind::MediaReadError),
-            3 => (FaultSite::TraceParse, Trigger::Always, FaultKind::TraceTruncate),
-            4 => (FaultSite::TraceParse, Trigger::Always, FaultKind::TraceBitflip),
-            5 => (FaultSite::TraceAppend, Trigger::Always, FaultKind::TraceDuplicate),
+            3 => (
+                FaultSite::TraceParse,
+                Trigger::Always,
+                FaultKind::TraceTruncate,
+            ),
+            4 => (
+                FaultSite::TraceParse,
+                Trigger::Always,
+                FaultKind::TraceBitflip,
+            ),
+            5 => (
+                FaultSite::TraceAppend,
+                Trigger::Always,
+                FaultKind::TraceDuplicate,
+            ),
             6 => (
                 FaultSite::VmFuel,
                 Trigger::Always,

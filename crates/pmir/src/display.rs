@@ -13,11 +13,7 @@ pub fn print_module(m: &Module) -> String {
         let _ = writeln!(out, "file {i} {file:?}");
     }
     for (_, g) in m.globals() {
-        let _ = writeln!(
-            out,
-            "global @{} size {} init {:?}",
-            g.name, g.size, g.init
-        );
+        let _ = writeln!(out, "global @{} size {} init {:?}", g.name, g.size, g.init);
     }
     for (_, f) in m.functions() {
         out.push('\n');

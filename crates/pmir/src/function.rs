@@ -161,7 +161,10 @@ impl Function {
     /// Appends a new empty block and returns its id.
     pub fn add_block(&mut self, name: Option<String>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { name, insts: vec![] });
+        self.blocks.push(Block {
+            name,
+            insts: vec![],
+        });
         id
     }
 
@@ -192,9 +195,8 @@ impl Function {
     /// Iterates over all instruction ids currently linked into blocks, in
     /// block order.
     pub fn linked_insts(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
-        self.block_ids().flat_map(move |b| {
-            self.block(b).insts.iter().map(move |&i| (b, i))
-        })
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |&i| (b, i)))
     }
 
     /// Allocates an instruction in the arena *without* linking it into a

@@ -167,7 +167,10 @@ impl Op {
     /// Whether this is a store-like operation that may dirty PM (a store,
     /// memcpy, or memset).
     pub fn is_pm_storeish(&self) -> bool {
-        matches!(self, Op::Store { .. } | Op::Memcpy { .. } | Op::Memset { .. })
+        matches!(
+            self,
+            Op::Store { .. } | Op::Memcpy { .. } | Op::Memset { .. }
+        )
     }
 
     /// The successor blocks of a terminator (empty for non-terminators and
@@ -210,10 +213,7 @@ mod tests {
     #[test]
     fn terminators() {
         assert!(Op::Ret { value: None }.is_terminator());
-        assert!(Op::Br {
-            target: BlockId(0)
-        }
-        .is_terminator());
+        assert!(Op::Br { target: BlockId(0) }.is_terminator());
         assert!(!Op::Fence {
             kind: FenceKind::Sfence
         }

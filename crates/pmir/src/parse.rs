@@ -98,13 +98,10 @@ fn parse_global(m: &mut Module, ln: usize, rest: &str) -> PResult<()> {
     let Some((size, init)) = tail.split_once(" init ") else {
         return perr(ln, "malformed global");
     };
-    let size: u64 = size
-        .trim()
-        .parse()
-        .map_err(|_| ParseError {
-            line: ln,
-            message: "bad global size".into(),
-        })?;
+    let size: u64 = size.trim().parse().map_err(|_| ParseError {
+        line: ln,
+        message: "bad global size".into(),
+    })?;
     let init = init.trim();
     let inner = init
         .strip_prefix('[')
@@ -176,17 +173,15 @@ struct RawInst {
     loc: Option<SrcLoc>,
 }
 
-fn parse_body(
-    m: &mut Module,
-    name: &str,
-    lines: &[(usize, &str)],
-    mut i: usize,
-) -> PResult<usize> {
+fn parse_body(m: &mut Module, name: &str, lines: &[(usize, &str)], mut i: usize) -> PResult<usize> {
     let fid = m.function_by_name(name).expect("declared in pass 1");
     let mut blocks: Vec<Vec<RawInst>> = vec![];
     loop {
         if i >= lines.len() {
-            return perr(lines.last().map(|l| l.0).unwrap_or(0), "unterminated function body");
+            return perr(
+                lines.last().map(|l| l.0).unwrap_or(0),
+                "unterminated function body",
+            );
         }
         let (ln, l) = lines[i];
         if l == "}" {
@@ -347,12 +342,14 @@ fn parse_inst(m: &Module, ln: usize, l: &str) -> PResult<RawInst> {
     // Split off `%vN = `.
     let (result, rest) = match body.split_once('=') {
         Some((lhs, rhs)) if lhs.trim_start().starts_with("%v") => {
-            let v: u32 = lhs.trim().trim_start_matches("%v").parse().map_err(|_| {
-                ParseError {
+            let v: u32 = lhs
+                .trim()
+                .trim_start_matches("%v")
+                .parse()
+                .map_err(|_| ParseError {
                     line: ln,
                     message: "bad result value".into(),
-                }
-            })?;
+                })?;
             (Some(v), rhs.trim())
         }
         _ => (None, body),

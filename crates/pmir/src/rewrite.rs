@@ -20,7 +20,10 @@ use crate::srcloc::SrcLoc;
 /// Panics if `target` is not linked into a block, `target` is a terminator,
 /// or `op` produces a result or terminates a block.
 pub fn insert_after(f: &mut Function, target: InstId, op: Op, loc: Option<SrcLoc>) -> InstId {
-    assert!(op.result_type().is_none(), "insert_after: op defines a value");
+    assert!(
+        op.result_type().is_none(),
+        "insert_after: op defines a value"
+    );
     assert!(!op.is_terminator(), "insert_after: op is a terminator");
     assert!(
         !f.inst(target).op.is_terminator(),
@@ -46,7 +49,10 @@ pub fn insert_after(f: &mut Function, target: InstId, op: Op, loc: Option<SrcLoc
 /// Panics if `target` is not linked, or `op` produces a result or terminates
 /// a block.
 pub fn insert_before(f: &mut Function, target: InstId, op: Op, loc: Option<SrcLoc>) -> InstId {
-    assert!(op.result_type().is_none(), "insert_before: op defines a value");
+    assert!(
+        op.result_type().is_none(),
+        "insert_before: op defines a value"
+    );
     assert!(!op.is_terminator(), "insert_before: op is a terminator");
     let (block, idx) = f
         .find_inst_pos(target)
@@ -145,12 +151,27 @@ mod tests {
             .block(entry)
             .insts
             .iter()
-            .map(|&i| format!("{:?}", func.inst(i).op).split_whitespace().next().unwrap().to_string())
+            .map(|&i| {
+                format!("{:?}", func.inst(i).op)
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert_eq!(kinds[0], "Store");
-        assert!(matches!(func.inst(func.block(entry).insts[1]).op, Op::Flush { .. }));
-        assert!(matches!(func.inst(func.block(entry).insts[2]).op, Op::Fence { .. }));
-        assert!(matches!(func.inst(func.block(entry).insts[3]).op, Op::Ret { .. }));
+        assert!(matches!(
+            func.inst(func.block(entry).insts[1]).op,
+            Op::Flush { .. }
+        ));
+        assert!(matches!(
+            func.inst(func.block(entry).insts[2]).op,
+            Op::Fence { .. }
+        ));
+        assert!(matches!(
+            func.inst(func.block(entry).insts[3]).op,
+            Op::Ret { .. }
+        ));
     }
 
     #[test]
@@ -170,7 +191,10 @@ mod tests {
         verify_module(&m).unwrap();
         let func = m.function(f);
         let n = func.block(entry).insts.len();
-        assert!(matches!(func.inst(func.block(entry).insts[n - 2]).op, Op::Fence { .. }));
+        assert!(matches!(
+            func.inst(func.block(entry).insts[n - 2]).op,
+            Op::Fence { .. }
+        ));
     }
 
     #[test]
@@ -195,10 +219,7 @@ mod tests {
         let clone = clone_function(&mut m, f, "f_PM");
         verify_module(&m).unwrap();
         assert_eq!(m.function(clone).name(), "f_PM");
-        assert_eq!(
-            m.function(clone).persistent_clone_of.as_deref(),
-            Some("f")
-        );
+        assert_eq!(m.function(clone).persistent_clone_of.as_deref(), Some("f"));
         // The store occupies the same position in the clone.
         assert_eq!(
             m.function(clone).find_inst_pos(st),

@@ -61,7 +61,9 @@ pub fn verify_function(m: &Module, id: FuncId) -> Result<(), VerifyError> {
     };
 
     if !f.blocks_well_formed() {
-        return Err(err("a block is empty, unterminated, or has an interior terminator".into()));
+        return Err(err(
+            "a block is empty, unterminated, or has an interior terminator".into(),
+        ));
     }
 
     // Map each linked instruction to its (block, index) and detect
@@ -71,10 +73,14 @@ pub fn verify_function(m: &Module, id: FuncId) -> Result<(), VerifyError> {
     for b in f.block_ids() {
         for (idx, &i) in f.block(b).insts.iter().enumerate() {
             if i.0 as usize >= f.inst_count() {
-                return Err(err(format!("block {b:?} references out-of-range inst {i:?}")));
+                return Err(err(format!(
+                    "block {b:?} references out-of-range inst {i:?}"
+                )));
             }
             if pos.insert(i, (b, idx)).is_some() {
-                return Err(err(format!("instruction {i:?} linked into more than one place")));
+                return Err(err(format!(
+                    "instruction {i:?} linked into more than one place"
+                )));
             }
         }
     }

@@ -2,9 +2,7 @@
 //! and reach a printing fixed point; randomly applied safe rewrites keep
 //! the module well-formed.
 
-use pmir::{
-    rewrite, BinOp, CmpPred, FenceKind, FlushKind, FunctionBuilder, Module, Op, Type,
-};
+use pmir::{rewrite, BinOp, CmpPred, FenceKind, FlushKind, FunctionBuilder, Module, Op, Type};
 use proptest::prelude::*;
 
 /// An abstract instruction recipe for random straight-line functions.
@@ -111,12 +109,16 @@ fn build(recipes: &[Recipe]) -> Module {
             }
             Recipe::GepLastPtr(off) => last_ptr = b.gep(last_ptr, *off),
             Recipe::FlushLastPtr(k) => {
-                let kind = [FlushKind::Clwb, FlushKind::ClflushOpt, FlushKind::Clflush]
-                    [*k as usize % 3];
+                let kind =
+                    [FlushKind::Clwb, FlushKind::ClflushOpt, FlushKind::Clflush][*k as usize % 3];
                 b.flush(kind, last_ptr);
             }
             Recipe::Fence(s) => {
-                b.fence(if *s { FenceKind::Sfence } else { FenceKind::Mfence });
+                b.fence(if *s {
+                    FenceKind::Sfence
+                } else {
+                    FenceKind::Mfence
+                });
             }
             Recipe::Memset(n) => {
                 b.memset(last_ptr, 0xabi64, i64::from(*n));

@@ -199,7 +199,10 @@ pub fn tags_in_source(name: &str, text: &str) -> Result<HashSet<String>, LangErr
 /// survives the given elide/feature sets.
 pub fn stmt_survives(s: &Stmt, elide: &HashSet<String>, features: &HashSet<String>) -> bool {
     !s.tags.iter().any(|t| elide.contains(t))
-        && s.when.as_ref().map(|w| features.contains(w)).unwrap_or(true)
+        && s.when
+            .as_ref()
+            .map(|w| features.contains(w))
+            .unwrap_or(true)
 }
 
 #[cfg(test)]

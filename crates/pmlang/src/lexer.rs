@@ -107,8 +107,10 @@ pub fn tokenize(file: &str, src: &str) -> Result<Vec<Token>, LangError> {
             }
             b'0'..=b'9' => {
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'x'
-                    || (bytes[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'x'
+                        || (bytes[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
                 {
                     i += 1;
                 }
@@ -125,9 +127,7 @@ pub fn tokenize(file: &str, src: &str) -> Result<Vec<Token>, LangError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 push!(Tok::Ident(src[start..i].to_string()));
@@ -277,7 +277,10 @@ pub fn tokenize(file: &str, src: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             other => {
-                return Err(err(line, format!("unexpected character: {:?}", other as char)))
+                return Err(err(
+                    line,
+                    format!("unexpected character: {:?}", other as char),
+                ))
             }
         }
     }
@@ -293,7 +296,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        tokenize("t", src).unwrap().into_iter().map(|t| t.tok).collect()
+        tokenize("t", src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]

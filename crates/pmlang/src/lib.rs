@@ -96,12 +96,18 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(run_src("fn main() { print(3 < 4); print(4 < 3); }"), vec![1, 0]);
+        assert_eq!(
+            run_src("fn main() { print(3 < 4); print(4 < 3); }"),
+            vec![1, 0]
+        );
         assert_eq!(
             run_src("fn main() { print(1 && 2); print(1 && 0); print(0 || 3); }"),
             vec![1, 0, 1]
         );
-        assert_eq!(run_src("fn main() { print(5 == 5); print(5 != 5); }"), vec![1, 0]);
+        assert_eq!(
+            run_src("fn main() { print(5 == 5); print(5 != 5); }"),
+            vec![1, 0]
+        );
     }
 
     #[test]
@@ -271,9 +277,7 @@ mod tests {
             .feature("devfix")
             .compile()
             .unwrap();
-        let run = |m: &pmir::Module| {
-            Vm::new(VmOptions::default()).run(m, "main").unwrap().output
-        };
+        let run = |m: &pmir::Module| Vm::new(VmOptions::default()).run(m, "main").unwrap().output;
         assert_eq!(run(&plain), vec![2]);
         assert_eq!(run(&dev), vec![1, 2]);
     }
@@ -287,7 +291,10 @@ mod tests {
             .source("app.pmc", app)
             .compile()
             .unwrap();
-        let out = Vm::new(VmOptions::default()).run(&m, "main").unwrap().output;
+        let out = Vm::new(VmOptions::default())
+            .run(&m, "main")
+            .unwrap()
+            .output;
         assert_eq!(out, vec![42]);
     }
 
@@ -325,8 +332,11 @@ mod tests {
     #[test]
     fn type_errors_for_pointer_misuse() {
         // Arithmetic multiply on a pointer is rejected.
-        let err =
-            compile_one("e.pmc", "fn main() { var p: ptr = alloc(8); print(p * 2); }").unwrap_err();
+        let err = compile_one(
+            "e.pmc",
+            "fn main() { var p: ptr = alloc(8); print(p * 2); }",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("type"), "{err}");
         // store8 base must be a pointer.
         let err = compile_one("e.pmc", "fn main() { store8(1, 0, 2); }").unwrap_err();

@@ -29,10 +29,40 @@ pub struct Signature {
 /// Rejects duplicate definitions and names that collide with intrinsics.
 pub fn signatures(file: &str, fns: &[FnDecl]) -> Result<HashMap<String, Signature>, LangError> {
     const RESERVED: &[&str] = &[
-        "store1", "store2", "store4", "store8", "storep", "load1", "load2", "load4", "load8",
-        "loadp", "memcpy", "memset", "clwb", "clflushopt", "clflush", "sfence", "mfence", "free",
-        "print", "crashpoint", "abort", "alloc", "pmem_map", "bytes", "null", "var", "if", "else",
-        "while", "return", "fn", "int", "ptr", "void",
+        "store1",
+        "store2",
+        "store4",
+        "store8",
+        "storep",
+        "load1",
+        "load2",
+        "load4",
+        "load8",
+        "loadp",
+        "memcpy",
+        "memset",
+        "clwb",
+        "clflushopt",
+        "clflush",
+        "sfence",
+        "mfence",
+        "free",
+        "print",
+        "crashpoint",
+        "abort",
+        "alloc",
+        "pmem_map",
+        "bytes",
+        "null",
+        "var",
+        "if",
+        "else",
+        "while",
+        "return",
+        "fn",
+        "int",
+        "ptr",
+        "void",
     ];
     let mut sigs = HashMap::new();
     for f in fns {
@@ -164,10 +194,13 @@ impl Lowerer<'_, '_> {
             let slot = self.b.alloca(8);
             let arg = self.b.arg(i);
             self.b.store(to_ir_ty(p.ty), slot, arg);
-            self.scopes
-                .last_mut()
-                .expect("scope")
-                .insert(p.name.clone(), VarSlot { ptr: slot, ty: p.ty });
+            self.scopes.last_mut().expect("scope").insert(
+                p.name.clone(),
+                VarSlot {
+                    ptr: slot,
+                    ty: p.ty,
+                },
+            );
         }
         self.lower_block(&decl.body)?;
         // Fall-through handling.
@@ -630,7 +663,10 @@ impl Lowerer<'_, '_> {
 
         // Everything else is integer arithmetic.
         if at != LTy::Int || bt != LTy::Int {
-            return self.err(line, format!("type error: cannot apply {op:?} to {at} and {bt}"));
+            return self.err(
+                line,
+                format!("type error: cannot apply {op:?} to {at} and {bt}"),
+            );
         }
         let ir = match op {
             B::Add => IrBin::Add,

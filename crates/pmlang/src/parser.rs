@@ -486,7 +486,10 @@ impl Parser {
                         })
                     }
                     "load1" | "load2" | "load4" | "load8" => {
-                        let width = name.trim_start_matches("load").parse::<u8>().expect("digit");
+                        let width = name
+                            .trim_start_matches("load")
+                            .parse::<u8>()
+                            .expect("digit");
                         self.expect(&Tok::LParen, "`(`")?;
                         let base = self.expr()?;
                         self.expect(&Tok::Comma, "`,`")?;
@@ -620,7 +623,12 @@ mod tests {
         let StmtKind::Print { value } = &fns[0].body.stmts[0].kind else {
             panic!()
         };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &value.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &value.kind
+        else {
             panic!("expected + at root, got {value:?}")
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));

@@ -2,8 +2,8 @@
 //! evaluate to the same value as a Rust reference evaluator (differential
 //! testing of the lexer, parser, lowering, and interpreter together).
 
-use proptest::prelude::*;
 use pmvm::{Vm, VmOptions};
+use proptest::prelude::*;
 
 /// A random integer-expression tree with its reference value.
 #[derive(Debug, Clone)]
@@ -90,11 +90,19 @@ fn eval(e: &E) -> i64 {
         E::Mul(a, b) => eval(a).wrapping_mul(eval(b)),
         E::Div(a, b) => {
             let d = eval(b).wrapping_mul(eval(b)).wrapping_add(7919);
-            if d == 0 { 0 } else { eval(a).wrapping_div(d) }
+            if d == 0 {
+                0
+            } else {
+                eval(a).wrapping_div(d)
+            }
         }
         E::Rem(a, b) => {
             let d = eval(b).wrapping_mul(eval(b)).wrapping_add(7919);
-            if d == 0 { 0 } else { eval(a).wrapping_rem(d) }
+            if d == 0 {
+                0
+            } else {
+                eval(a).wrapping_rem(d)
+            }
         }
         E::And(a, b) => eval(a) & eval(b),
         E::Or(a, b) => eval(a) | eval(b),

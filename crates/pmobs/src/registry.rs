@@ -1,0 +1,314 @@
+//! The thread-safe metrics registry and the [`Obs`] handle the pipeline
+//! threads through its options structs.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled is free.** Every [`Obs`] method starts with one branch on
+//!    `Option::is_none`; a pipeline built with `Obs::default()` pays
+//!    nothing else — no allocation, no clock read, no lock.
+//! 2. **Thread-safe.** Exploration workers share one registry; span
+//!    parenthood is tracked per thread so concurrent spans nest correctly.
+//! 3. **Cheap to clone.** `Obs` is an `Option<Arc>`; cloning it into
+//!    `VmOptions`/`ExploreOptions` is a refcount bump.
+
+use crate::snapshot::{Hist, Snapshot, SpanRec};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanRec>,
+    /// Per-thread stack of open span ids (span parenthood).
+    stacks: HashMap<ThreadId, Vec<u64>>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Hist>,
+}
+
+/// A thread-safe recorder of spans, counters, gauges, and histograms.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    epoch: Instant,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry; all span times are relative to this
+    /// moment.
+    pub fn new() -> Registry {
+        Registry {
+            epoch: Instant::now(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry would mean a panic while holding the lock
+        // below — all such sections are tiny and panic-free; recover the
+        // data rather than cascade.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn open_span(&self, name: &str) -> u64 {
+        let start_us = self.epoch.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut g = self.lock();
+        let id = g.spans.len() as u64;
+        let parent = g.stacks.get(&tid).and_then(|s| s.last()).copied();
+        g.spans.push(SpanRec {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            dur_us: 0,
+        });
+        g.stacks.entry(tid).or_default().push(id);
+        id
+    }
+
+    fn close_span(&self, id: u64) {
+        let now_us = self.epoch.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut g = self.lock();
+        if let Some(stack) = g.stacks.get_mut(&tid) {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.truncate(pos);
+            }
+        }
+        if let Some(s) = g.spans.get_mut(id as usize) {
+            s.dur_us = now_us.saturating_sub(s.start_us);
+        }
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut g = self.lock();
+        match g.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                g.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    fn gauge_add(&self, name: &str, delta: f64) {
+        *self.lock().gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    fn observe(&self, name: &str, v: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// A point-in-time copy of everything recorded so far. Open spans
+    /// appear with `dur_us: 0`.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            spans: g.spans.clone(),
+            counters: g.counters.clone(),
+            gauges: g.gauges.clone(),
+            histograms: g.histograms.clone(),
+        }
+    }
+}
+
+/// The handle pipeline stages record through. `Obs::default()` is the
+/// disabled handle: every method is a single branch and returns
+/// immediately. [`Obs::enabled`] (or [`Obs::attached`]) carries a shared
+/// [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Registry>);
+
+impl Obs {
+    /// A handle recording into a fresh registry.
+    pub fn enabled() -> Obs {
+        Obs(Some(Registry::new()))
+    }
+
+    /// A handle recording into an existing registry.
+    pub fn attached(registry: &Registry) -> Obs {
+        Obs(Some(registry.clone()))
+    }
+
+    /// The explicit spelling of `Obs::default()`.
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The backing registry, when enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.0.as_ref()
+    }
+
+    /// Opens a span; it closes (records its duration) when the returned
+    /// guard drops. Spans opened while another span is open on the same
+    /// thread become its children.
+    #[must_use = "a span records its duration when the guard drops"]
+    pub fn span(&self, name: &str) -> Span {
+        match &self.0 {
+            None => Span(None),
+            Some(r) => Span(Some((r.clone(), r.open_span(name)))),
+        }
+    }
+
+    /// Increments counter `name` by `delta` (saturating).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.0 {
+            r.add(name, delta);
+        }
+    }
+
+    /// Sets gauge `name` (last write wins).
+    pub fn gauge(&self, name: &str, v: f64) {
+        if let Some(r) = &self.0 {
+            r.gauge(name, v);
+        }
+    }
+
+    /// Adds `delta` to gauge `name` (accumulating gauge, e.g. total
+    /// re-verify milliseconds).
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        if let Some(r) = &self.0 {
+            r.gauge_add(name, delta);
+        }
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(r) = &self.0 {
+            r.observe(name, v);
+        }
+    }
+
+    /// A snapshot of the backing registry (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.0.as_ref().map(Registry::snapshot).unwrap_or_default()
+    }
+}
+
+/// An open span; closes on drop. The disabled variant is a no-op.
+#[derive(Debug)]
+pub struct Span(Option<(Registry, u64)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((r, id)) = self.0.take() {
+            r.close_span(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+        assert!(obs.registry().is_none());
+        {
+            let _s = obs.span("never.recorded");
+            obs.add("never", 7);
+            obs.gauge("never", 1.0);
+            obs.gauge_add("never", 1.0);
+            obs.observe("never", 1.0);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap, Snapshot::default());
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_counters_accumulate() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("repair.detect");
+            {
+                let _inner = obs.span("vm.run");
+                obs.add("vm.instructions", 10);
+            }
+            obs.add("vm.instructions", 5);
+        }
+        let _sibling = obs.span("repair.apply");
+        drop(_sibling);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["vm.instructions"], 15);
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].name, "repair.detect");
+        assert_eq!(snap.spans[0].parent, None);
+        assert_eq!(snap.spans[1].name, "vm.run");
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[2].parent, None, "sibling after close");
+    }
+
+    #[test]
+    fn spans_on_other_threads_get_their_own_stack() {
+        let obs = Obs::enabled();
+        let _root = obs.span("root");
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    let _w = obs.span("worker");
+                    obs.add("work", 1);
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["work"], 2);
+        // Worker spans must not parent under `root` (different threads).
+        for w in snap.spans.iter().filter(|s| s.name == "worker") {
+            assert_eq!(w.parent, None);
+        }
+    }
+
+    #[test]
+    fn gauges_and_histograms() {
+        let obs = Obs::enabled();
+        obs.gauge("g", 1.0);
+        obs.gauge("g", 2.5);
+        obs.gauge_add("acc", 1.0);
+        obs.gauge_add("acc", 2.0);
+        obs.observe("h", 3.0);
+        obs.observe("h", 5.0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauges["g"], 2.5, "last write wins");
+        assert_eq!(snap.gauges["acc"], 3.0, "accumulating gauge sums");
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.histograms["h"].sum, 8.0);
+    }
+
+    #[test]
+    fn attached_handles_share_one_registry() {
+        let reg = Registry::new();
+        let a = Obs::attached(&reg);
+        let b = Obs::attached(&reg);
+        a.add("c", 1);
+        b.add("c", 2);
+        assert_eq!(reg.snapshot().counters["c"], 3);
+    }
+}

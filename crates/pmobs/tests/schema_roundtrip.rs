@@ -1,0 +1,99 @@
+//! Schema round-trip guarantees: any snapshot a registry can produce
+//! serializes to `hippo.metrics.v1` JSON and parses back **equal**.
+
+use pmobs::{Obs, Snapshot};
+
+/// A registry exercising every feature: nested + cross-thread spans,
+/// counters, gauges (set and accumulating), and histograms with values
+/// across many buckets.
+fn busy_snapshot() -> Snapshot {
+    let obs = Obs::enabled();
+    {
+        let _root = obs.span("repair.iteration");
+        let _detect = obs.span("repair.detect");
+        {
+            let _vm = obs.span("vm.run");
+            obs.add("vm.instructions", 123_456);
+            obs.add("vm.flushes", 7);
+        }
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    let _span = obs.span("explore.worker");
+                    obs.observe("explore.worker.candidates", (w * 17 + 1) as f64);
+                });
+            }
+        });
+    }
+    obs.add("trace.ingest.events", u64::MAX); // extreme counter survives
+    obs.gauge("bench.pass_rate", 1.0);
+    obs.gauge("bench.wall_ms", 1234.5678);
+    obs.gauge("weird \"name\"\\with\nescapes", -0.0);
+    obs.gauge_add("repair.reverify_ms", 0.25);
+    obs.gauge_add("repair.reverify_ms", 0.125);
+    for v in [0.0, 0.9, 1.0, 2.0, 3.5, 1e12, 6.02e23] {
+        obs.observe("hist.wide", v);
+    }
+    obs.snapshot()
+}
+
+#[test]
+fn serialize_parse_equal() {
+    let snap = busy_snapshot();
+    let json = snap.to_json();
+    let back = Snapshot::from_json(&json).expect("own output parses");
+    assert_eq!(back, snap, "round-trip must be lossless");
+    // And it is a fixpoint: a second trip emits byte-identical JSON.
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn empty_snapshot_roundtrips() {
+    let snap = Obs::enabled().snapshot();
+    let back = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back, Snapshot::default());
+}
+
+#[test]
+fn schema_tag_is_enforced() {
+    let json = busy_snapshot().to_json();
+    let wrong = json.replace("hippo.metrics.v1", "hippo.metrics.v0");
+    let err = Snapshot::from_json(&wrong).unwrap_err();
+    assert!(err.to_string().contains("unsupported schema"), "{err}");
+    assert!(Snapshot::from_json("{}").is_err(), "missing tag rejected");
+    assert!(Snapshot::from_json("not json").is_err());
+}
+
+#[test]
+fn spans_preserve_parent_links() {
+    let snap = busy_snapshot();
+    let back = Snapshot::from_json(&snap.to_json()).unwrap();
+    let detect = back
+        .spans
+        .iter()
+        .find(|s| s.name == "repair.detect")
+        .expect("detect span present");
+    let root = back
+        .spans
+        .iter()
+        .find(|s| s.name == "repair.iteration")
+        .expect("root span present");
+    assert_eq!(detect.parent, Some(root.id));
+    assert_eq!(root.parent, None);
+    let vm = back.spans.iter().find(|s| s.name == "vm.run").unwrap();
+    assert_eq!(vm.parent, Some(detect.id));
+}
+
+#[test]
+fn disabled_registry_snapshot_is_empty_json() {
+    let obs = Obs::default();
+    obs.add("c", 1);
+    obs.observe("h", 1.0);
+    let _span = obs.span("s");
+    let snap = obs.snapshot();
+    assert_eq!(snap, Snapshot::default());
+    let back = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, Snapshot::default());
+}

@@ -31,6 +31,8 @@ pub struct StaticChecker<'m> {
     m: &'m Module,
     alias: AliasAnalysis,
     summaries: HashMap<FuncId, FnSummary>,
+    fixpoint_rounds: u64,
+    summaries_computed: u64,
 }
 
 /// A failure to run the static checker (currently: unknown entry).
@@ -73,15 +75,19 @@ impl<'m> StaticChecker<'m> {
             m,
             alias,
             summaries: m.func_ids().map(|f| (f, FnSummary::default())).collect(),
+            fixpoint_rounds: 0,
+            summaries_computed: 0,
         };
         let order = checker.callee_first_order();
         // Iterate to a fixpoint: one pass suffices for call DAGs (the
         // common case); recursion converges over further rounds. The cap
         // bounds pathological oscillation from the optimistic cover rules.
         for _ in 0..8 {
+            checker.fixpoint_rounds += 1;
             let mut changed = false;
             for &f in &order {
                 let s = checker.summarize(f);
+                checker.summaries_computed += 1;
                 if checker.summaries[&f] != s {
                     checker.summaries.insert(f, s);
                     changed = true;
@@ -92,6 +98,16 @@ impl<'m> StaticChecker<'m> {
             }
         }
         checker
+    }
+
+    /// How many rounds the bottom-up summary fixpoint ran before converging.
+    pub fn fixpoint_rounds(&self) -> u64 {
+        self.fixpoint_rounds
+    }
+
+    /// How many per-function summaries were (re)computed across all rounds.
+    pub fn summaries_computed(&self) -> u64 {
+        self.summaries_computed
     }
 
     /// The converged summary of a function.
@@ -769,5 +785,27 @@ fn store_addr_of(op: &Op) -> Option<Operand> {
 ///
 /// Fails when `entry` names no function.
 pub fn check_module(m: &Module, entry: &str) -> Result<CheckReport, StaticError> {
-    StaticChecker::new(m).check(entry)
+    check_module_obs(m, entry, &pmobs::Obs::default())
+}
+
+/// [`check_module`] with telemetry: records the `static.check` span plus
+/// `static.fixpoint_iterations`, `static.summaries_computed`,
+/// `static.functions_checked`, and `static.bugs` counters into `obs`.
+///
+/// # Errors
+///
+/// Fails when `entry` names no function.
+pub fn check_module_obs(
+    m: &Module,
+    entry: &str,
+    obs: &pmobs::Obs,
+) -> Result<CheckReport, StaticError> {
+    let _span = obs.span("static.check");
+    let checker = StaticChecker::new(m);
+    obs.add("static.fixpoint_iterations", checker.fixpoint_rounds());
+    obs.add("static.summaries_computed", checker.summaries_computed());
+    let report = checker.check(entry)?;
+    obs.add("static.functions_checked", m.func_ids().count() as u64);
+    obs.add("static.bugs", report.bugs.len() as u64);
+    Ok(report)
 }

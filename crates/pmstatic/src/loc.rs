@@ -109,7 +109,13 @@ impl<'a> Resolver<'a> {
             }
             self.slot_stores = Some(map);
         }
-        match self.slot_stores.as_ref().unwrap().get(&slot).map(Vec::as_slice) {
+        match self
+            .slot_stores
+            .as_ref()
+            .unwrap()
+            .get(&slot)
+            .map(Vec::as_slice)
+        {
             Some(&[v]) => Some(v),
             _ => None,
         }
@@ -137,14 +143,14 @@ impl<'a> Resolver<'a> {
                 }
                 Op::Load { addr, .. } => {
                     let addr = *addr;
-                    let forwarded = addr
-                        .as_value()
-                        .filter(|_| self.active.insert(v))
-                        .and_then(|slot| {
-                            let fwd = self.unique_store_to(slot).map(|s| self.resolve(s));
-                            self.active.remove(&v);
-                            fwd
-                        });
+                    let forwarded =
+                        addr.as_value()
+                            .filter(|_| self.active.insert(v))
+                            .and_then(|slot| {
+                                let fwd = self.unique_store_to(slot).map(|s| self.resolve(s));
+                                self.active.remove(&v);
+                                fwd
+                            });
                     match forwarded {
                         Some(l) => l,
                         None => {

@@ -124,7 +124,10 @@ pub fn cover_interval(start: i64, extent: Extent) -> Option<(i64, i64)> {
         Extent::Line => Some((lo, lo + LINE)),
         Extent::Bytes(n) => {
             let end = start + (n.max(1) as i64);
-            Some((lo, end.div_euclid(LINE) * LINE + if end % LINE == 0 { 0 } else { LINE }))
+            Some((
+                lo,
+                end.div_euclid(LINE) * LINE + if end % LINE == 0 { 0 } else { LINE },
+            ))
         }
         Extent::Param(_) | Extent::Unknown => None,
     }

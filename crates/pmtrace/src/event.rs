@@ -312,7 +312,10 @@ mod tests {
         }
         let w = t.validate();
         assert!(w.iter().any(|w| w.message.contains("duplicated")), "{w:?}");
-        assert!(w.iter().any(|w| w.message.contains("after program end")), "{w:?}");
+        assert!(
+            w.iter().any(|w| w.message.contains("after program end")),
+            "{w:?}"
+        );
     }
 
     #[test]

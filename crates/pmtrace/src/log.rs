@@ -98,6 +98,28 @@ pub fn to_log(trace: &Trace) -> String {
 ///
 /// Returns a [`LogError`] naming the offending line.
 pub fn from_log(text: &str) -> Result<Trace, LogError> {
+    from_log_obs(text, &pmobs::Obs::default())
+}
+
+/// [`from_log`] with ingest telemetry: records the `trace.ingest` span and
+/// the `trace.ingest.bytes` / `trace.ingest.events` /
+/// `trace.ingest.parse_errors` counters into `obs`.
+///
+/// # Errors
+///
+/// Returns a [`LogError`] naming the offending line.
+pub fn from_log_obs(text: &str, obs: &pmobs::Obs) -> Result<Trace, LogError> {
+    let _span = obs.span("trace.ingest");
+    obs.add("trace.ingest.bytes", text.len() as u64);
+    let parsed = from_log_inner(text);
+    match &parsed {
+        Ok(trace) => obs.add("trace.ingest.events", trace.events.len() as u64),
+        Err(_) => obs.add("trace.ingest.parse_errors", 1),
+    }
+    parsed
+}
+
+fn from_log_inner(text: &str) -> Result<Trace, LogError> {
     let mut trace = Trace::new();
     let mut seq = 0u64;
     let mut offset = 0usize;

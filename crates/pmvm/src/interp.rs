@@ -28,6 +28,7 @@ impl Vm {
     /// Returns a [`VmError`] if the program traps (memory fault, division by
     /// zero, step limit) or the entry point is unsuitable.
     pub fn run(&self, module: &Module, entry: &str) -> Result<RunResult, VmError> {
+        let _span = self.opts.obs.span("vm.run");
         if self.opts.stop_at_crash_point == Some(0) {
             return Err(VmError::BadOptions {
                 reason: "stop_at_crash_point is 1-based; 0 never matches any crash point"
@@ -120,6 +121,20 @@ impl Vm {
         if ended == Ended::Returned {
             exec.emit(EventKind::ProgramEnd, None);
         }
+        if self.opts.obs.is_enabled() {
+            let stats = exec.machine.stats();
+            self.opts.obs.add("vm.instructions", exec.steps);
+            self.opts.obs.add("vm.pm_stores", stats.pm_stores);
+            self.opts.obs.add("vm.flushes", stats.total_flushes());
+            self.opts.obs.add("vm.fences", stats.fences);
+            self.opts.obs.add("vm.cycles", stats.cycles);
+            self.opts.obs.add("vm.fuel_left", exec.fuel);
+            if let Some(inj) = &exec.injector {
+                self.opts
+                    .obs
+                    .add("vm.injected_faults", inj.injected().len() as u64);
+            }
+        }
         Ok(RunResult {
             output: exec.output,
             return_value,
@@ -198,10 +213,9 @@ impl Exec<'_, '_> {
             Operand::Null => Ok(0),
             Operand::Value(v) => {
                 let frame = self.frames.last().expect("active frame");
-                frame.vals[v.0 as usize]
-                    .ok_or_else(|| VmError::UndefinedValue {
-                        function: self.cur_func_name(),
-                    })
+                frame.vals[v.0 as usize].ok_or_else(|| VmError::UndefinedValue {
+                    function: self.cur_func_name(),
+                })
             }
         }
     }
@@ -244,11 +258,7 @@ impl Exec<'_, '_> {
         out
     }
 
-    fn emit(
-        &mut self,
-        kind: EventKind,
-        at: Option<(InstId, Option<pmir::SrcLoc>)>,
-    ) -> Option<u64> {
+    fn emit(&mut self, kind: EventKind, at: Option<(InstId, Option<pmir::SrcLoc>)>) -> Option<u64> {
         self.trace.as_ref()?;
         let stack = self.capture_stack();
         let (at, loc) = match at {
@@ -280,7 +290,10 @@ impl Exec<'_, '_> {
             return;
         };
         let bytes = self.machine.peek(addr, len).unwrap_or_default();
-        self.pm_data.as_mut().expect("checked").push(seq, addr, bytes);
+        self.pm_data
+            .as_mut()
+            .expect("checked")
+            .push(seq, addr, bytes);
     }
 
     fn after_pm_store(&mut self, addr: u64) {
@@ -483,8 +496,10 @@ impl Exec<'_, '_> {
                 }
                 Op::Call { callee, args } => {
                     let callee = *callee;
-                    let argv: Vec<i64> =
-                        args.iter().map(|&a| self.eval(a)).collect::<Result<_, _>>()?;
+                    let argv: Vec<i64> = args
+                        .iter()
+                        .map(|&a| self.eval(a))
+                        .collect::<Result<_, _>>()?;
                     self.machine.charge_call();
                     self.push_call(callee);
                     let frame = self.frames.last_mut().expect("just pushed");
@@ -650,7 +665,9 @@ mod tests {
         let mut b = FunctionBuilder::new(&mut m, f);
         let e = b.entry_block();
         b.switch_to(e);
-        let r = b.call(add, vec![Operand::Const(20), Operand::Const(22)]).unwrap();
+        let r = b
+            .call(add, vec![Operand::Const(20), Operand::Const(22)])
+            .unwrap();
         b.print(r);
         b.ret(None);
         b.finish();
@@ -734,18 +751,12 @@ mod tests {
         assert_eq!(store.stack[1].function, "main");
         assert!(store.stack[1].call_inst.is_some());
         assert_eq!(store.stack[1].loc.as_ref().unwrap().line, 20);
-        assert_eq!(
-            trace.count(|k| matches!(k, EventKind::Fence { .. })),
-            1
-        );
+        assert_eq!(trace.count(|k| matches!(k, EventKind::Fence { .. })), 1);
         assert_eq!(
             trace.count(|k| matches!(k, EventKind::RegisterPool { .. })),
             1
         );
-        assert_eq!(
-            trace.count(|k| matches!(k, EventKind::ProgramEnd)),
-            1
-        );
+        assert_eq!(trace.count(|k| matches!(k, EventKind::ProgramEnd)), 1);
     }
 
     #[test]
@@ -761,7 +772,9 @@ mod tests {
         b.finish();
         let res = run(&m);
         assert_eq!(
-            res.trace.unwrap().count(|k| matches!(k, EventKind::Store { .. })),
+            res.trace
+                .unwrap()
+                .count(|k| matches!(k, EventKind::Store { .. })),
             0
         );
         assert_eq!(res.stats.volatile_stores, 1);
@@ -844,11 +857,13 @@ mod tests {
         use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
         // Fuel is effectively unlimited: only the wall clock can end this.
         let m = spin_module();
-        let opts = VmOptions::default().watchdog(20).with_fault(FaultPlan::single(
-            FaultSite::VmDiverge,
-            Trigger::Nth(2),
-            FaultKind::StuckLoop,
-        ));
+        let opts = VmOptions::default()
+            .watchdog(20)
+            .with_fault(FaultPlan::single(
+                FaultSite::VmDiverge,
+                Trigger::Nth(2),
+                FaultKind::StuckLoop,
+            ));
         let t0 = std::time::Instant::now();
         let err = Vm::new(opts).run(&m, "main").unwrap_err();
         assert!(matches!(err, VmError::Watchdog { limit_ms: 20 }), "{err}");
@@ -918,7 +933,9 @@ mod tests {
         b.print(99i64); // never reached when stopping at crash point 1
         b.ret(None);
         b.finish();
-        let res = Vm::new(VmOptions::default().stop_at(1)).run(&m, "main").unwrap();
+        let res = Vm::new(VmOptions::default().stop_at(1))
+            .run(&m, "main")
+            .unwrap();
         assert_eq!(res.ended, Ended::CrashPoint(1));
         assert!(res.output.is_empty());
         // The store never became durable.
@@ -938,10 +955,14 @@ mod tests {
         b.crash_point();
         b.ret(None);
         b.finish();
-        let err = Vm::new(VmOptions::default().stop_at(0)).run(&m, "main").unwrap_err();
+        let err = Vm::new(VmOptions::default().stop_at(0))
+            .run(&m, "main")
+            .unwrap_err();
         assert!(matches!(err, VmError::BadOptions { .. }));
         // And 1 still means "the first crashpoint".
-        let res = Vm::new(VmOptions::default().stop_at(1)).run(&m, "main").unwrap();
+        let res = Vm::new(VmOptions::default().stop_at(1))
+            .run(&m, "main")
+            .unwrap();
         assert_eq!(res.ended, Ended::CrashPoint(1));
     }
 
@@ -957,11 +978,16 @@ mod tests {
         b.store(Type::int(8), pool, 7i64); // event 2 (never runs)
         b.ret(None);
         b.finish();
-        let res = Vm::new(VmOptions::default().stop_at_event(1)).run(&m, "main").unwrap();
+        let res = Vm::new(VmOptions::default().stop_at_event(1))
+            .run(&m, "main")
+            .unwrap();
         assert_eq!(res.ended, Ended::AtEvent(1));
         assert_eq!(res.trace.as_ref().unwrap().len(), 2);
         // The first store executed (cache sees 5), the second did not.
-        assert_eq!(res.machine.peek(pmem_sim::layout::PM_BASE, 1).unwrap()[0], 5);
+        assert_eq!(
+            res.machine.peek(pmem_sim::layout::PM_BASE, 1).unwrap()[0],
+            5
+        );
     }
 
     #[test]
@@ -976,7 +1002,9 @@ mod tests {
         b.memset(pool, 0xabi64, 4i64);
         b.ret(None);
         b.finish();
-        let res = Vm::new(VmOptions::default().capture_pm_data()).run(&m, "main").unwrap();
+        let res = Vm::new(VmOptions::default().capture_pm_data())
+            .run(&m, "main")
+            .unwrap();
         let data = res.pm_data.unwrap();
         assert_eq!(data.len(), 2, "one record per PM-mutating event");
         assert_eq!(data.records[0].bytes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
@@ -1039,7 +1067,9 @@ mod tests {
         assert_eq!(res.output, vec![i64::from(b'a'), 0]);
         // Both the memcpy and the memset traced as PM stores.
         assert_eq!(
-            res.trace.unwrap().count(|k| matches!(k, EventKind::Store { .. })),
+            res.trace
+                .unwrap()
+                .count(|k| matches!(k, EventKind::Store { .. })),
             2
         );
     }

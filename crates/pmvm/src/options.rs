@@ -46,6 +46,11 @@ pub struct VmOptions {
     /// (fuel tightening, stuck loops) are applied by the interpreter.
     /// `None` (production) costs one branch per step.
     pub fault: Option<pmfault::FaultPlan>,
+    /// Observability handle: when attached to a [`pmobs::Registry`], the VM
+    /// records a `vm.run` span and `vm.*` counters (instructions retired,
+    /// PM stores/flushes/fences, cycles, remaining fuel). The disabled
+    /// default costs a single branch per run.
+    pub obs: pmobs::Obs,
 }
 
 impl Default for VmOptions {
@@ -61,6 +66,7 @@ impl Default for VmOptions {
             evict_period: None,
             watchdog_ms: None,
             fault: None,
+            obs: pmobs::Obs::default(),
         }
     }
 }
@@ -108,6 +114,12 @@ impl VmOptions {
     /// Arms a fault plan (builder-style).
     pub fn with_fault(mut self, plan: pmfault::FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Attaches an observability handle (builder-style).
+    pub fn with_obs(mut self, obs: pmobs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 }

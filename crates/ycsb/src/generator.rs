@@ -121,44 +121,74 @@ impl Generator {
             let op = match workload {
                 Workload::A => {
                     if p < 0.5 {
-                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Read,
+                            key: zipf.next_value(),
+                        }
                     } else {
-                        KvOp { kind: OpKind::Update, key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Update,
+                            key: zipf.next_value(),
+                        }
                     }
                 }
                 Workload::B => {
                     if p < 0.95 {
-                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Read,
+                            key: zipf.next_value(),
+                        }
                     } else {
-                        KvOp { kind: OpKind::Update, key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Update,
+                            key: zipf.next_value(),
+                        }
                     }
                 }
-                Workload::C => KvOp { kind: OpKind::Read, key: zipf.next_value() },
+                Workload::C => KvOp {
+                    kind: OpKind::Read,
+                    key: zipf.next_value(),
+                },
                 Workload::D => {
                     if p < 0.95 {
                         // "Latest": skew toward recently inserted keys.
                         let newest = next_insert - 1;
                         let back = zipf.next_value().min(newest);
-                        KvOp { kind: OpKind::Read, key: newest - back + 1 }
+                        KvOp {
+                            kind: OpKind::Read,
+                            key: newest - back + 1,
+                        }
                     } else {
                         let key = next_insert;
                         next_insert += 1;
-                        KvOp { kind: OpKind::Insert, key }
+                        KvOp {
+                            kind: OpKind::Insert,
+                            key,
+                        }
                     }
                 }
                 Workload::E => {
                     if p < 0.95 {
                         let len = rng.random_range(1..=20u64);
-                        KvOp { kind: OpKind::Scan(len), key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Scan(len),
+                            key: zipf.next_value(),
+                        }
                     } else {
                         let key = next_insert;
                         next_insert += 1;
-                        KvOp { kind: OpKind::Insert, key }
+                        KvOp {
+                            kind: OpKind::Insert,
+                            key,
+                        }
                     }
                 }
                 Workload::F => {
                     if p < 0.5 {
-                        KvOp { kind: OpKind::Read, key: zipf.next_value() }
+                        KvOp {
+                            kind: OpKind::Read,
+                            key: zipf.next_value(),
+                        }
                     } else {
                         KvOp {
                             kind: OpKind::ReadModifyWrite,

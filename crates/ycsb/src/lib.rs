@@ -58,7 +58,10 @@ mod tests {
         assert!(ops.iter().all(|o| o.kind == OpKind::Read));
 
         let ops = g.run_ops(Workload::E);
-        let scans = ops.iter().filter(|o| matches!(o.kind, OpKind::Scan(_))).count();
+        let scans = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Scan(_)))
+            .count();
         assert!(scans > 9_200, "scans={scans}");
 
         let ops = g.run_ops(Workload::F);

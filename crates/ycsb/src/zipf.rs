@@ -48,8 +48,7 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 2;
         }
-        let v = 1.0
-            + (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)).floor();
+        let v = 1.0 + (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)).floor();
         (v as u64).clamp(1, self.n)
     }
 

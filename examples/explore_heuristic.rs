@@ -60,7 +60,11 @@ fn main() {
                 m.function(chain[depth]).name()
             )
         };
-        let marker = if depth == decision.depth { "  <- chosen" } else { "" };
+        let marker = if depth == decision.depth {
+            "  <- chosen"
+        } else {
+            ""
+        };
         println!("  depth {depth}: score {score:>2}  ({what}){marker}");
     }
     assert_eq!(

@@ -28,7 +28,10 @@ fn main() {
     // observer finds after a power failure — still holds zero:
     let img = checked.run.machine.crash_image();
     let base = img.pool_base(0).unwrap();
-    println!("value after crash, before repair: {:?}\n", img.read_int(base, 8));
+    println!(
+        "value after crash, before repair: {:?}\n",
+        img.read_int(base, 8)
+    );
 
     // 2. Heal it.
     let outcome = Hippocrates::new(RepairOptions::default())
@@ -44,10 +47,16 @@ fn main() {
     println!("\n--- after repair ---");
     print!("{}", checked.report.render());
     let img = checked.run.machine.crash_image();
-    println!("value after crash, after repair: {:?}", img.read_int(base, 8));
+    println!(
+        "value after crash, after repair: {:?}",
+        img.read_int(base, 8)
+    );
 
     // Do no harm: the program's observable output never changed.
-    let out = Vm::new(VmOptions::default()).run(&module, "main").unwrap().output;
+    let out = Vm::new(VmOptions::default())
+        .run(&module, "main")
+        .unwrap()
+        .output;
     assert_eq!(out, vec![42]);
     println!("observable output unchanged: {out:?}");
 }

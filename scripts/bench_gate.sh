@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Bench-regression gate: compares the fresh BENCH_*.json artifacts against
+# the checked-in baselines in crates/bench/baselines/, then proves the gate
+# can actually reject by re-running it against a doctored baseline (wall
+# metrics shrunk, floor metrics raised — machine-independent by
+# construction). A gate whose failure path has never fired is no gate.
+#
+# Usage: scripts/bench_gate.sh
+#   Expects target/release/bench_gate and fresh BENCH_*.json at the
+#   workspace root (check.sh runs explore_bench/fault_bench first; run
+#   them manually otherwise). To refresh baselines after an intentional
+#   perf change: target/release/bench_gate --rebase  (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GATE=target/release/bench_gate
+if [[ ! -x "$GATE" ]]; then
+    echo "==> building bench_gate"
+    cargo build --release -p bench --bin bench_gate
+fi
+
+echo "==> bench_gate (fresh artifacts vs. checked-in baselines)"
+"$GATE"
+
+echo "==> bench_gate --doctor (inverted self-test: MUST fail)"
+if "$GATE" --doctor >/dev/null 2>&1; then
+    echo "bench_gate.sh: self-test FAILED — the doctored baseline passed" >&2
+    exit 1
+fi
+echo "doctored baseline rejected, as expected"

@@ -7,11 +7,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -55,5 +61,8 @@ test -s BENCH_explore.json
 echo "==> fault_bench smoke (writes BENCH_fault.json)"
 target/release/fault_bench
 test -s BENCH_fault.json
+
+echo "==> bench-regression gate (+ inverted self-test)"
+scripts/bench_gate.sh
 
 echo "check.sh: all checks passed"

@@ -10,10 +10,7 @@ use pmvm::VmOptions;
 
 fn build(id: &str, target: Target) -> (Module, String) {
     match target {
-        Target::Pmdk => (
-            minipmdk::build_buggy(id).unwrap(),
-            minipmdk::entry_for(id),
-        ),
+        Target::Pmdk => (minipmdk::build_buggy(id).unwrap(), minipmdk::entry_for(id)),
         Target::Pclht => (
             pmapps::pclht::build_buggy(id).unwrap(),
             pmapps::pclht::ENTRY.to_string(),
@@ -41,7 +38,12 @@ fn all_23_bugs_detected_and_repaired() {
         // Re-running the bug finder on the repaired program is the paper's
         // validation step.
         let post = run_and_check(&m, &entry, VmOptions::default()).unwrap();
-        assert!(post.report.is_clean(), "{}: {}", bug.id, post.report.render());
+        assert!(
+            post.report.is_clean(),
+            "{}: {}",
+            bug.id,
+            post.report.render()
+        );
     }
 }
 

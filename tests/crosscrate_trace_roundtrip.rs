@@ -45,7 +45,11 @@ fn text_rendering_of_real_traces_is_stable() {
     assert!(text.contains("FLUSH"));
     assert!(text.contains("FENCE"));
     // Stack frames are rendered for nested PM stores.
-    assert!(text.contains("by clht_put") || text.contains("by pclht_main"), "{}", &text[..500]);
+    assert!(
+        text.contains("by clht_put") || text.contains("by pclht_main"),
+        "{}",
+        &text[..500]
+    );
 }
 
 #[test]

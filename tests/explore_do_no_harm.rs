@@ -7,8 +7,8 @@
 
 use hippocrates::{BugSource, Hippocrates, RepairOptions};
 use pmexplore::{run_and_explore, ExploreOptions};
-use proptest::prelude::*;
 use pmvm::{Vm, VmOptions};
+use proptest::prelude::*;
 
 /// A publish-pattern program family: `n_keys` records, each a data line and
 /// a flag line, with per-site persists controlled by `mask` (bit pairs:

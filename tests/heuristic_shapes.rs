@@ -71,10 +71,7 @@ fn fence_only_fix_never_hoists() {
         }
     "#;
     let (m, outcome) = repair(src);
-    assert!(outcome
-        .fixes
-        .iter()
-        .all(|f| !f.kind.is_interprocedural()));
+    assert!(outcome.fixes.iter().all(|f| !f.kind.is_interprocedural()));
     assert!(m.function_by_name("persist_weak_PM").is_none());
 }
 
@@ -100,13 +97,14 @@ fn hoisted_memcpy_uses_range_helper_in_clone() {
         .function_by_name(hippocrates::plan::FLUSH_RANGE_HELPER)
         .expect("helper exists");
     let cf = m.function(clone);
-    assert!(cf.linked_insts().any(
-        |(_, i)| matches!(cf.inst(i).op, pmir::Op::Call { callee, .. } if callee == helper)
-    ));
+    assert!(cf
+        .linked_insts()
+        .any(|(_, i)| matches!(cf.inst(i).op, pmir::Op::Call { callee, .. } if callee == helper)));
     let of = m.function(m.function_by_name("blit").unwrap());
-    assert!(!of.linked_insts().any(
-        |(_, i)| matches!(of.inst(i).op, pmir::Op::Call { .. } | pmir::Op::Flush { .. })
-    ));
+    assert!(!of.linked_insts().any(|(_, i)| matches!(
+        of.inst(i).op,
+        pmir::Op::Call { .. } | pmir::Op::Flush { .. }
+    )));
     // Volatile blits stay flush-free at runtime.
     let run = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
     assert_eq!(run.stats.volatile_flushes, 0);

@@ -81,8 +81,13 @@ fn repair_changes_crash_image() {
     "#;
     let mut m = pmlang::compile_one("t.pmc", src).unwrap();
     let buggy_run = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
-    assert_eq!(buggy_run.machine.crash_image().read_int(
-        buggy_run.machine.crash_image().pool_base(9).unwrap(), 8), Some(0));
+    assert_eq!(
+        buggy_run
+            .machine
+            .crash_image()
+            .read_int(buggy_run.machine.crash_image().pool_base(9).unwrap(), 8),
+        Some(0)
+    );
 
     Hippocrates::new(RepairOptions::default())
         .repair_until_clean(&mut m, "main")

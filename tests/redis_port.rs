@@ -54,7 +54,10 @@ fn all_variants_equivalent_and_ordered() {
         assert_eq!(pm.output, full.output, "{w:?}");
         assert_eq!(pm.output, intra.output, "{w:?}");
         // Fig. 4 ordering: full >= pm (never slower), intra well behind.
-        assert!(full.run_cycles <= pm.run_cycles, "{w:?}: full slower than pm");
+        assert!(
+            full.run_cycles <= pm.run_cycles,
+            "{w:?}: full slower than pm"
+        );
         assert!(
             intra.run_cycles as f64 >= 1.5 * full.run_cycles as f64,
             "{w:?}: intra gap too small ({} vs {})",

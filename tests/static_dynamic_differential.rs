@@ -54,9 +54,10 @@ fn differential(tag: &str, m: &pmir::Module, entry: &str) -> Vec<String> {
 fn assert_missed_none(tag: &str, dynamic: &CheckReport, stat: &CheckReport) {
     for d in dynamic.deduped_bugs() {
         let key = store_key(d).unwrap_or_else(|| panic!("{tag}: dynamic bug without store_at"));
-        let found = stat.bugs.iter().any(|s| {
-            store_key(s).as_ref() == Some(&key) && kind_compatible(d.kind, s.kind)
-        });
+        let found = stat
+            .bugs
+            .iter()
+            .any(|s| store_key(s).as_ref() == Some(&key) && kind_compatible(d.kind, s.kind));
         assert!(
             found,
             "{tag}: dynamic {} at {}:{} not found statically.\nstatic report:\n{}",

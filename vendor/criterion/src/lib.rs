@@ -135,7 +135,11 @@ impl Criterion {
     }
 
     /// Runs one stand-alone named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
         self.benchmark_group("bench").bench_function(id, f);
         self
     }

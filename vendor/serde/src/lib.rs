@@ -192,7 +192,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| DeError::new("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
     }
 }
 
@@ -295,7 +297,9 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let seq = v.as_seq().ok_or_else(|| DeError::new("expected map as pair sequence"))?;
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::new("expected map as pair sequence"))?;
         let mut out = BTreeMap::new();
         for pair in seq {
             out.insert(K::from_value(pair.elem(0)?)?, V::from_value(pair.elem(1)?)?);
@@ -316,7 +320,9 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
 
 impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let seq = v.as_seq().ok_or_else(|| DeError::new("expected map as pair sequence"))?;
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::new("expected map as pair sequence"))?;
         let mut out = HashMap::new();
         for pair in seq {
             out.insert(K::from_value(pair.elem(0)?)?, V::from_value(pair.elem(1)?)?);
@@ -393,7 +399,10 @@ mod tests {
         let opt: Option<String> = Some("hi".to_string());
         assert_eq!(Option::<String>::from_value(&opt.to_value()).unwrap(), opt);
         let none: Option<String> = None;
-        assert_eq!(Option::<String>::from_value(&none.to_value()).unwrap(), none);
+        assert_eq!(
+            Option::<String>::from_value(&none.to_value()).unwrap(),
+            none
+        );
     }
 
     #[test]

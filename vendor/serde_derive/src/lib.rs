@@ -209,8 +209,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             Shape::Unit => "::serde::Value::Null".to_string(),
             Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
             Shape::Tuple(n) => {
-                let elems: Vec<String> =
-                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
                 format!("::serde::Value::Seq(::std::vec![{}])", elems.join(","))
             }
             Shape::Named(fields) => named_map_expr(fields, |f| format!("&self.{f}")),
@@ -258,7 +259,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
          }}"
     );
-    out.parse().expect("serde_derive stub: generated invalid Serialize impl")
+    out.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -305,7 +307,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         } else {
                             let elems: Vec<String> = (0..*n)
                                 .map(|i| {
-                                    format!("::serde::Deserialize::from_value(__payload.elem({i})?)?")
+                                    format!(
+                                        "::serde::Deserialize::from_value(__payload.elem({i})?)?"
+                                    )
                                 })
                                 .collect();
                             format!("{name}::{vname}({})", elems.join(","))
@@ -356,5 +360,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
              }}\n\
          }}"
     );
-    out.parse().expect("serde_derive stub: generated invalid Deserialize impl")
+    out.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
 }

@@ -65,7 +65,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 ///
 /// Returns an [`Error`] on malformed JSON or a shape mismatch with `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { s: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -354,14 +357,20 @@ impl Parser<'_> {
                 self.i += 1;
             }
         }
-        let text = std::str::from_utf8(&self.s[start..self.i])
-            .map_err(|_| Error::new("bad number"))?;
+        let text =
+            std::str::from_utf8(&self.s[start..self.i]).map_err(|_| Error::new("bad number"))?;
         if is_float {
-            text.parse::<f64>().map(Value::F64).map_err(|_| Error::new("bad float"))
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new("bad float"))
         } else if text.starts_with('-') {
-            text.parse::<i64>().map(Value::I64).map_err(|_| Error::new("bad integer"))
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::new("bad integer"))
         } else {
-            text.parse::<u64>().map(Value::U64).map_err(|_| Error::new("bad integer"))
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new("bad integer"))
         }
     }
 }
