@@ -1,0 +1,175 @@
+//! Repair-transaction benchmark: the cost of the snapshot/commit/rollback
+//! machinery and the write-ahead journal, emitted as `BENCH_tx.json` — a
+//! `hippo.metrics.v1` snapshot the CI bench-regression gate (`bench_gate`)
+//! compares against its checked-in baseline.
+//!
+//! Four walls and two floors:
+//!
+//! * `bench.tx.plain_ms` — repair without a journal: the baseline cost of
+//!   the transactional rounds alone (snapshot + commit-criterion check).
+//! * `bench.tx.journaled_ms` — the same repair with write-ahead journaling
+//!   (each committed round serialized + fsynced). The journal should cost
+//!   little on top of the plain run.
+//! * `bench.tx.resume_ms` — resuming the finished journal on a fresh copy
+//!   of the input: pure replay plus one clean verification pass.
+//! * `bench.tx.rollback_ms` — repair with every commit vetoed
+//!   (`FaultSite::TxCommit`/`Always`): rounds apply, fail the commit, roll
+//!   back byte-identically, and quarantine until the loop gives up.
+//! * `bench.tx.pass_rate` (floor) — fraction of iterations where the
+//!   journaled module is byte-identical to the plain one, the resumed
+//!   module is byte-identical to both, the replayed-round count matches
+//!   the committed count, and the vetoed run touched nothing.
+//! * `bench.tx.healed_clean` (floor) — fraction of repairs converging
+//!   clean.
+
+use hippocrates::{Hippocrates, RepairError, RepairOptions};
+use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+use pmobs::Obs;
+use std::time::Instant;
+
+const ITERS: u32 = 6;
+
+/// A publish-pattern workload dense in durability bugs: four records, each
+/// a data line and a flag line, none of them persisted.
+const WORKLOAD_SRC: &str = r#"
+    fn main() {
+        var p: ptr = pmem_map(0, 8192);
+        var k: int = 0;
+        while (k < 4) {
+            store8(p + k * 128, 0, k * 3 + 1);
+            store8(p + k * 128, 64, 1);
+            k = k + 1;
+        }
+        print(load8(p, 0));
+    }
+"#;
+
+fn module() -> pmir::Module {
+    pmlang::compile_one("tx_bench.pmc", WORKLOAD_SRC).expect("workload compiles")
+}
+
+fn main() {
+    let obs = Obs::enabled();
+    let t_all = Instant::now();
+    println!("Repair-transaction benchmark — journal, replay, and rollback cost\n");
+
+    let dir = std::env::temp_dir().join(format!("hippo-tx-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let veto_plan = FaultPlan::single(FaultSite::TxCommit, Trigger::Always, FaultKind::CommitVeto);
+    let (mut plain_ms, mut journaled_ms, mut resume_ms, mut rollback_ms) = (0.0, 0.0, 0.0, 0.0);
+    let (mut passed, mut clean_runs) = (0u64, 0u64);
+    let (mut committed, mut replayed, mut quarantined) = (0u64, 0u64, 0u64);
+
+    for iter in 0..ITERS {
+        let journal = dir.join(format!("i{iter}.journal"));
+        std::fs::remove_file(&journal).ok();
+        let mut ok = true;
+
+        // Plain: transactional rounds without a journal.
+        let mut plain_m = module();
+        let t0 = Instant::now();
+        let plain = Hippocrates::new(RepairOptions {
+            obs: obs.clone(),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut plain_m, "main")
+        .expect("plain repair converges");
+        plain_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let plain_text = pmir::display::print_module(&plain_m);
+        clean_runs += u64::from(plain.clean);
+
+        // Journaled: every committed round is serialized and fsynced.
+        let mut j_m = module();
+        let t0 = Instant::now();
+        let journaled = Hippocrates::new(RepairOptions {
+            journal_path: Some(journal.clone()),
+            obs: obs.clone(),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut j_m, "main")
+        .expect("journaled repair converges");
+        journaled_ms += t0.elapsed().as_secs_f64() * 1e3;
+        committed += u64::from(journaled.committed_rounds);
+        ok &= pmir::display::print_module(&j_m) == plain_text;
+        ok &= journaled.committed_rounds >= 1;
+
+        // Resume: replay the finished journal on a fresh copy of the input.
+        let mut r_m = module();
+        let t0 = Instant::now();
+        let resumed = Hippocrates::new(RepairOptions {
+            journal_path: Some(journal.clone()),
+            resume: true,
+            obs: obs.clone(),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut r_m, "main")
+        .expect("resume converges");
+        resume_ms += t0.elapsed().as_secs_f64() * 1e3;
+        replayed += u64::from(resumed.replayed_rounds);
+        ok &= pmir::display::print_module(&r_m) == plain_text;
+        ok &= resumed.replayed_rounds == journaled.committed_rounds;
+
+        // Rollback: every commit vetoed — rounds roll back and quarantine.
+        let mut v_m = module();
+        let before = pmir::display::print_module(&v_m);
+        let t0 = Instant::now();
+        let vetoed = Hippocrates::new(RepairOptions {
+            fault: Some(veto_plan.clone()),
+            source_retries: 0,
+            obs: obs.clone(),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut v_m, "main");
+        rollback_ms += t0.elapsed().as_secs_f64() * 1e3;
+        match vetoed {
+            Err(ref e @ (RepairError::NoProgress { .. } | RepairError::IterationBudget { .. })) => {
+                let partial = e.partial_outcome().expect("veto carries a partial outcome");
+                quarantined += partial.quarantined.len() as u64;
+                ok &= partial.committed_rounds == 0;
+                ok &= !partial.quarantined.is_empty();
+            }
+            other => {
+                println!("  iter {iter}: vetoed run ended unexpectedly: {other:?}");
+                ok = false;
+            }
+        }
+        ok &= pmir::display::print_module(&v_m) == before;
+
+        passed += u64::from(ok);
+        std::fs::remove_file(&journal).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let per = |total: f64| total / f64::from(ITERS);
+    println!(
+        "  plain     {:>8.2} ms/repair\n  journaled {:>8.2} ms/repair\n  \
+         resume    {:>8.2} ms/replay\n  rollback  {:>8.2} ms/vetoed-run",
+        per(plain_ms),
+        per(journaled_ms),
+        per(resume_ms),
+        per(rollback_ms)
+    );
+    let pass_rate = passed as f64 / f64::from(ITERS);
+    let healed_clean = clean_runs as f64 / f64::from(ITERS);
+    println!(
+        "  pass rate {pass_rate:.2}, healed clean {healed_clean:.2}, \
+         {committed} committed / {replayed} replayed / {quarantined} quarantined\n"
+    );
+
+    obs.gauge("bench.tx.plain_ms", plain_ms);
+    obs.gauge("bench.tx.journaled_ms", journaled_ms);
+    obs.gauge("bench.tx.resume_ms", resume_ms);
+    obs.gauge("bench.tx.rollback_ms", rollback_ms);
+    obs.gauge("bench.tx.pass_rate", pass_rate);
+    obs.gauge("bench.tx.healed_clean", healed_clean);
+    obs.add("bench.tx.committed_rounds", committed);
+    obs.add("bench.tx.replayed_rounds", replayed);
+    obs.add("bench.tx.quarantined_total", quarantined);
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    assert!(
+        (pass_rate - 1.0).abs() < f64::EPSILON,
+        "every transaction iteration must uphold byte-identity"
+    );
+    bench::write_metrics("BENCH_tx.json", &obs);
+}

@@ -19,7 +19,7 @@ use pmobs::Snapshot;
 use std::collections::BTreeMap;
 
 /// The artifacts with checked-in baselines.
-pub const GATED_FILES: &[&str] = &["BENCH_explore.json", "BENCH_fault.json"];
+pub const GATED_FILES: &[&str] = &["BENCH_explore.json", "BENCH_fault.json", "BENCH_tx.json"];
 
 /// Fresh wall metrics may exceed the baseline by at most this factor.
 pub const WALL_TOLERANCE: f64 = 1.25;

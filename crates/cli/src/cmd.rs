@@ -73,6 +73,11 @@ fn usage() -> String {
         "                 [--intra-only] [--trace-aa] [--portable]",
         "                 [--bug-source dynamic|static|both|exploration]",
         "                 [--jobs N] [--budget K] [--seed S]",
+        "                 [--journal F] [--resume]           write-ahead journal; replay",
+        "                                                    committed rounds after a kill",
+        "                 [--deadline-ms N] [--step-quota N] cooperative budget: partial-",
+        "                                                    but-committed, never a hang",
+        "                 [--show-quarantine]                print the quarantine ledger",
         "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
         "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
         "                                                   degrades, never panics or hangs",
@@ -102,6 +107,12 @@ struct Opts {
     recover: Option<String>,
     metrics: Option<String>,
     timings: bool,
+    journal: Option<String>,
+    resume: bool,
+    show_quarantine: bool,
+    deadline_ms: Option<u64>,
+    step_quota: Option<u64>,
+    crash_after_commit: Option<u32>,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -120,6 +131,12 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         recover: None,
         metrics: None,
         timings: false,
+        journal: None,
+        resume: false,
+        show_quarantine: false,
+        deadline_ms: None,
+        step_quota: None,
+        crash_after_commit: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +197,31 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 o.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
             }
             "--timings" => o.timings = true,
+            "--journal" => {
+                o.journal = Some(it.next().ok_or("--journal needs a value")?.clone());
+            }
+            "--resume" => o.resume = true,
+            "--show-quarantine" => o.show_quarantine = true,
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                o.deadline_ms =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--deadline-ms needs a positive integer, got `{v}`")
+                    })?);
+            }
+            "--step-quota" => {
+                let v = it.next().ok_or("--step-quota needs a value")?;
+                o.step_quota =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--step-quota needs a positive integer, got `{v}`")
+                    })?);
+            }
+            "--crash-after-commit" => {
+                let v = it.next().ok_or("--crash-after-commit needs a value")?;
+                o.crash_after_commit = Some(v.parse::<u32>().map_err(|_| {
+                    format!("--crash-after-commit needs an unsigned integer, got `{v}`")
+                })?);
+            }
             "--intra-only" => o.intra_only = true,
             "--trace-aa" => o.trace_aa = true,
             "--portable" => o.portable = true,
@@ -489,23 +531,64 @@ fn fix_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
         explore_budget: o.budget,
         explore_seed: o.seed,
         explore_jobs: o.jobs,
+        journal_path: o.journal.as_ref().map(std::path::PathBuf::from),
+        resume: o.resume,
+        deadline_ms: o.deadline_ms,
+        step_quota: o.step_quota,
+        crash_after_commit: o.crash_after_commit,
         obs: obs.clone(),
         ..RepairOptions::default()
     };
-    let outcome = Hippocrates::new(opts)
-        .repair_until_clean(&mut m, &o.entry)
-        .map_err(|e| e.to_string())?;
+    let outcome = match Hippocrates::new(opts).repair_until_clean(&mut m, &o.entry) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // A partial outcome means committed rounds survived the failure:
+            // surface them (and the quarantine ledger) before erroring, and
+            // still write the partially-repaired module when `-o` was given —
+            // it is exactly the committed state a resume would start from.
+            if let Some(partial) = e.partial_outcome() {
+                report_fix_outcome(partial, &o, false);
+                if o.out.is_some() {
+                    emit(&o.out, &pmir::display::print_module(&m))?;
+                }
+            }
+            return Err(e.to_string());
+        }
+    };
+    report_fix_outcome(&outcome, &o, true);
+    let text = pmir::display::print_module(&m);
+    emit(&o.out, &text)
+}
+
+/// Prints a repair outcome's fixes, round counts, diagnostics, and (on
+/// request, or always for a partial outcome) the quarantine ledger.
+fn report_fix_outcome(outcome: &hippocrates::RepairOutcome, o: &Opts, clean: bool) {
     for fix in &outcome.fixes {
         eprintln!("applied: {fix}");
     }
+    for d in &outcome.diagnostics {
+        eprintln!("note: {d}");
+    }
+    if o.show_quarantine || !clean {
+        for q in &outcome.quarantined {
+            eprintln!("quarantined: {q}");
+        }
+    }
+    let journal_note = if outcome.replayed_rounds > 0 {
+        format!(" ({} replayed from journal)", outcome.replayed_rounds)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "-- {} fix(es), {} interprocedural, {} iteration(s); report clean",
+        "-- {} fix(es), {} interprocedural, {} iteration(s), {} round(s) committed{}, {} quarantined; report {}",
         outcome.fixes.len(),
         outcome.interprocedural_count(),
-        outcome.iterations
+        outcome.iterations,
+        outcome.committed_rounds,
+        journal_note,
+        outcome.quarantined.len(),
+        if clean { "clean" } else { "NOT clean" }
     );
-    let text = pmir::display::print_module(&m);
-    emit(&o.out, &text)
 }
 
 /// The built-in fault-campaign workload: enough PM stores, flushes, and
@@ -792,6 +875,50 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(parse(&exp).unwrap().bug_source, BugSource::Exploration);
+    }
+
+    #[test]
+    fn parse_transaction_flags() {
+        let args: Vec<String> = [
+            "a.pmc",
+            "--journal",
+            "r.journal",
+            "--resume",
+            "--show-quarantine",
+            "--deadline-ms",
+            "5000",
+            "--step-quota",
+            "12",
+            "--crash-after-commit",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.journal.as_deref(), Some("r.journal"));
+        assert!(o.resume);
+        assert!(o.show_quarantine);
+        assert_eq!(o.deadline_ms, Some(5000));
+        assert_eq!(o.step_quota, Some(12));
+        assert_eq!(o.crash_after_commit, Some(1));
+        assert!(parse(&["a.pmc".into(), "--deadline-ms".into(), "0".into()]).is_err());
+        assert!(parse(&["a.pmc".into(), "--step-quota".into(), "x".into()]).is_err());
+        assert!(parse(&["a.pmc".into(), "--journal".into()]).is_err());
+    }
+
+    #[test]
+    fn fix_resume_without_journal_is_an_actionable_error() {
+        let dir = scratch_dir("resume_nojournal");
+        let src = dir.join("clean.pmc");
+        std::fs::write(&src, CLEAN_SRC).unwrap();
+        let err = fix_cmd(
+            &[src.to_string_lossy().to_string(), "--resume".into()],
+            &pmobs::Obs::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

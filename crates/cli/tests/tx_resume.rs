@@ -1,0 +1,269 @@
+//! Kill-and-resume integration tests for `hippoctl fix --journal --resume`:
+//! a repair killed mid-run (deterministically via `--crash-after-commit`,
+//! and with a real SIGKILL) resumes from its write-ahead journal and
+//! converges to the byte-identical module an uninterrupted run produces.
+//! Corrupted or foreign journals are refused with a clear diagnostic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A program with bugs at two checkpoints, so the journal records real work.
+const BUGGY_SRC: &str = r#"
+fn main() {
+    var p: ptr = pmem_map(0, 4096);
+    store8(p, 0, 1);
+    crashpoint();
+    store8(p, 8, 2);
+}
+"#;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hippoctl_tx_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_src(dir: &Path, src: &str) -> String {
+    let path = dir.join("buggy.pmc");
+    std::fs::write(&path, src).unwrap();
+    path.to_string_lossy().to_string()
+}
+
+fn hippoctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hippoctl"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// An uninterrupted journaled run, the reference for byte-identity checks.
+fn reference_fix(dir: &Path, src: &str) -> String {
+    let out_ir = dir.join("ref.ir");
+    let journal = dir.join("ref.journal");
+    let out = hippoctl(&[
+        "fix",
+        src,
+        "--journal",
+        &journal.to_string_lossy(),
+        "-o",
+        &out_ir.to_string_lossy(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    std::fs::read_to_string(&out_ir).unwrap()
+}
+
+#[test]
+fn crash_after_commit_then_resume_is_byte_identical() {
+    let dir = scratch("crash_resume");
+    let src = write_src(&dir, BUGGY_SRC);
+    let reference = reference_fix(&dir, &src);
+
+    // Crash run: the process aborts right after the first committed round,
+    // before any output is written.
+    let journal = dir.join("kr.journal").to_string_lossy().to_string();
+    let crashed_out = dir.join("never.ir");
+    let crashed = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal,
+        "--crash-after-commit",
+        "1",
+        "-o",
+        &crashed_out.to_string_lossy(),
+    ]);
+    assert!(!crashed.status.success(), "the crash run must die");
+    assert!(!crashed_out.exists(), "a killed run must not emit output");
+
+    // Resume: committed rounds replay from the journal, the run finishes,
+    // and the module is byte-identical to the uninterrupted run's.
+    let out_ir = dir.join("resumed.ir");
+    let metrics = dir.join("m.json");
+    let resumed = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal,
+        "--resume",
+        "-o",
+        &out_ir.to_string_lossy(),
+        "--metrics",
+        &metrics.to_string_lossy(),
+    ]);
+    let err = stderr_of(&resumed);
+    assert!(resumed.status.success(), "{err}");
+    assert!(err.contains("resumed from journal"), "{err}");
+    assert!(err.contains("replayed from journal"), "{err}");
+    assert_eq!(std::fs::read_to_string(&out_ir).unwrap(), reference);
+    // The replay is visible in the metrics snapshot too.
+    let snap = pmobs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert!(
+        snap.counters
+            .get("journal.replayed_rounds")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "{:?}",
+        snap.counters
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_run_then_resume_converges() {
+    let dir = scratch("sigkill");
+    let src = write_src(&dir, BUGGY_SRC);
+    let reference = reference_fix(&dir, &src);
+
+    let journal = dir.join("kill.journal").to_string_lossy().to_string();
+    let dead_out = dir.join("dead.ir");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hippoctl"))
+        .args([
+            "fix",
+            &src,
+            "--journal",
+            &journal,
+            "-o",
+            &dead_out.to_string_lossy(),
+        ])
+        .spawn()
+        .unwrap();
+    // The kill races the repair on purpose: landing before the header, after
+    // a commit, or after the run finished are all states resume must absorb.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    child.kill().ok();
+    child.wait().unwrap();
+
+    let out_ir = dir.join("resumed.ir");
+    let resumed = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal,
+        "--resume",
+        "-o",
+        &out_ir.to_string_lossy(),
+    ]);
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert_eq!(std::fs::read_to_string(&out_ir).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn step_quota_exhaustion_reports_partial_outcome() {
+    let dir = scratch("quota");
+    let src = write_src(&dir, BUGGY_SRC);
+    // Quota 1: the initial detection spends it, the re-verification trips
+    // it, and (with the static source, which honors the budget) the run
+    // stops with a partial-but-committed outcome instead of hanging.
+    let out = hippoctl(&[
+        "fix",
+        &src,
+        "--bug-source",
+        "static",
+        "--step-quota",
+        "1",
+        "-o",
+        &dir.join("part.ir").to_string_lossy(),
+    ]);
+    let err = stderr_of(&out);
+    assert!(!out.status.success());
+    assert!(err.contains("budget exhausted"), "{err}");
+    assert!(err.contains("NOT clean"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_journal_is_refused() {
+    let dir = scratch("corrupt");
+    let src = write_src(&dir, BUGGY_SRC);
+    let journal = dir.join("c.journal");
+    let first = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal.to_string_lossy(),
+        "-o",
+        &dir.join("first.ir").to_string_lossy(),
+    ]);
+    assert!(first.status.success(), "{}", stderr_of(&first));
+
+    // Flip a byte in the header line. Because committed rounds follow it,
+    // this is interior corruption — not a tolerable torn tail.
+    let mut bytes = std::fs::read(&journal).unwrap();
+    assert!(
+        bytes.iter().filter(|&&b| b == b'\n').count() >= 2,
+        "journal has no rounds"
+    );
+    bytes[10] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let resumed = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal.to_string_lossy(),
+        "--resume",
+    ]);
+    let err = stderr_of(&resumed);
+    assert!(!resumed.status.success());
+    assert!(err.contains("refusing to resume"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_module_refuses_resume_with_digest_diagnostic() {
+    let dir = scratch("foreign");
+    let src = write_src(&dir, BUGGY_SRC);
+    let journal = dir.join("f.journal");
+    let first = hippoctl(&[
+        "fix",
+        &src,
+        "--journal",
+        &journal.to_string_lossy(),
+        "-o",
+        &dir.join("first.ir").to_string_lossy(),
+    ]);
+    assert!(first.status.success(), "{}", stderr_of(&first));
+
+    let other = dir.join("other.pmc");
+    std::fs::write(
+        &other,
+        "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 64, 3); }\n",
+    )
+    .unwrap();
+    let resumed = hippoctl(&[
+        "fix",
+        &other.to_string_lossy(),
+        "--journal",
+        &journal.to_string_lossy(),
+        "--resume",
+    ]);
+    let err = stderr_of(&resumed);
+    assert!(!resumed.status.success());
+    assert!(err.contains("refusing to resume"), "{err}");
+    assert!(err.contains("module digest"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn show_quarantine_is_accepted_on_a_healthy_run() {
+    let dir = scratch("showq");
+    let src = write_src(&dir, BUGGY_SRC);
+    let out = hippoctl(&[
+        "fix",
+        &src,
+        "--show-quarantine",
+        "-o",
+        &dir.join("out.ir").to_string_lossy(),
+    ]);
+    let err = stderr_of(&out);
+    assert!(out.status.success(), "{err}");
+    assert!(err.contains("0 quarantined"), "{err}");
+    assert!(err.contains("report clean"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

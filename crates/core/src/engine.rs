@@ -5,12 +5,16 @@ use crate::heuristic::{apply_hoist, choose_fix_site, CloneState};
 use crate::locate::{locate, BugSite, LocateError};
 use crate::options::{BugSource, MarkingMode, RepairOptions};
 use crate::plan::{apply_intra_fix, plan_intra_fixes, pm_store_refs};
-use crate::summary::{AppliedFix, Degradation, FixKind, RepairOutcome, RepairSummary};
+use crate::summary::{
+    AppliedFix, Degradation, FixKind, QuarantinedFix, RepairOutcome, RepairSummary,
+};
 use pmalias::{AliasAnalysis, PmMarking};
 use pmcheck::{run_and_check, Bug, CheckReport, CheckedRun, Checkpoint};
+use pmir::snapshot::ModuleSnapshot;
 use pmir::Module;
 use pmtrace::{EventKind, Trace};
 use pmvm::{VmError, VmOptions};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// The Hippocrates repair engine. See the [crate docs](crate) for the
@@ -31,22 +35,57 @@ pub enum RepairError {
     Static(pmstatic::StaticError),
     /// The module failed verification after a rewrite (an engine bug).
     Verify(pmir::verify::VerifyError),
-    /// A repair pass applied no fixes while bugs remain.
+    /// A repair pass applied no fixes while bugs remain (possibly because
+    /// every remaining planned fix is quarantined).
     NoProgress {
         /// Bugs still outstanding.
         remaining: usize,
+        /// What the run had committed before stalling.
+        partial: Box<RepairOutcome>,
     },
     /// The iteration budget was exhausted before the report came back clean.
     IterationBudget {
         /// The configured maximum.
         max: u32,
+        /// What the run had committed before stopping.
+        partial: Box<RepairOutcome>,
     },
+    /// The cooperative deadline/step budget tripped; everything committed so
+    /// far is durable and carried in `partial`.
+    BudgetExceeded {
+        /// Which budget axis tripped.
+        exceeded: pmtx::BudgetExceeded,
+        /// What the run had committed before stopping.
+        partial: Box<RepairOutcome>,
+    },
+    /// The options were rejected by [`RepairOptions::validate`].
+    BadOptions {
+        /// The human-readable reason.
+        reason: String,
+    },
+    /// The write-ahead repair journal failed or refused to resume.
+    Journal(pmtx::JournalError),
     /// Every configured bug source failed detection even after retries —
     /// there is nothing left to degrade to.
     AllSourcesFailed {
         /// Per-source failures, in configuration order.
         failures: Vec<Degradation>,
     },
+}
+
+impl RepairError {
+    /// The partial [`RepairOutcome`] carried by progress/budget failures:
+    /// what was committed (and quarantined) before the run stopped. Rounds
+    /// already committed — including journaled ones — are never lost to
+    /// these errors.
+    pub fn partial_outcome(&self) -> Option<&RepairOutcome> {
+        match self {
+            RepairError::NoProgress { partial, .. }
+            | RepairError::IterationBudget { partial, .. }
+            | RepairError::BudgetExceeded { partial, .. } => Some(partial),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RepairError {
@@ -56,12 +95,23 @@ impl fmt::Display for RepairError {
             RepairError::Vm(e) => write!(f, "verification run failed: {e}"),
             RepairError::Static(e) => write!(f, "static check failed: {e}"),
             RepairError::Verify(e) => write!(f, "rewritten module is malformed: {e}"),
-            RepairError::NoProgress { remaining } => {
-                write!(f, "no fixes applied with {remaining} bug(s) remaining")
+            RepairError::NoProgress { remaining, partial } => {
+                write!(f, "no fixes applied with {remaining} bug(s) remaining")?;
+                if !partial.quarantined.is_empty() {
+                    write!(f, " ({} fix(es) quarantined)", partial.quarantined.len())?;
+                }
+                Ok(())
             }
-            RepairError::IterationBudget { max } => {
+            RepairError::IterationBudget { max, .. } => {
                 write!(f, "not clean after {max} repair iteration(s)")
             }
+            RepairError::BudgetExceeded { exceeded, partial } => write!(
+                f,
+                "repair budget exhausted ({exceeded}); {} round(s) committed before stopping",
+                partial.committed_rounds
+            ),
+            RepairError::BadOptions { reason } => write!(f, "invalid repair options: {reason}"),
+            RepairError::Journal(e) => write!(f, "{e}"),
             RepairError::AllSourcesFailed { failures } => {
                 let parts: Vec<String> = failures.iter().map(|d| d.to_string()).collect();
                 write!(f, "every bug source failed: {}", parts.join("; "))
@@ -84,6 +134,26 @@ impl From<VmError> for RepairError {
     }
 }
 
+impl From<pmtx::JournalError> for RepairError {
+    fn from(e: pmtx::JournalError) -> Self {
+        RepairError::Journal(e)
+    }
+}
+
+/// One round's application: the fixes applied plus, parallel to them, the
+/// `function#inst` site keys they target (the quarantine exclusion keys).
+struct RoundApplication {
+    summary: RepairSummary,
+    fix_targets: Vec<Vec<String>>,
+    skipped_quarantined: usize,
+}
+
+/// The quarantine/planning key of a bug site: the store instruction, named
+/// stably across rounds as `function#inst`.
+fn site_key(m: &Module, s: &BugSite) -> String {
+    format!("{}#{}", m.function(s.func).name(), s.store.0)
+}
+
 impl Hippocrates {
     /// Creates an engine.
     pub fn new(opts: RepairOptions) -> Self {
@@ -97,7 +167,9 @@ impl Hippocrates {
 
     /// One repair pass over an existing bug report: locate → plan intra →
     /// reduce → hoist → apply. The module is modified in place and
-    /// re-verified structurally.
+    /// re-verified structurally. This is the non-transactional primitive —
+    /// [`Hippocrates::repair_until_clean`] wraps it in snapshot/rollback
+    /// rounds with quarantine filtering.
     ///
     /// # Errors
     ///
@@ -109,6 +181,20 @@ impl Hippocrates {
         trace: &Trace,
         report: &CheckReport,
     ) -> Result<RepairSummary, RepairError> {
+        Ok(self.apply_round(m, trace, report, &HashSet::new())?.summary)
+    }
+
+    /// [`Hippocrates::repair_once`] with a quarantine filter: a planned fix
+    /// any of whose target sites is quarantined is skipped (counted, never
+    /// applied), and each applied fix reports its target site keys so a
+    /// failed round can quarantine them.
+    fn apply_round(
+        &self,
+        m: &mut Module,
+        trace: &Trace,
+        report: &CheckReport,
+        quarantine: &HashSet<String>,
+    ) -> Result<RoundApplication, RepairError> {
         let obs = &self.opts.obs;
         // Locate deduped bugs, tagging each site with I's function.
         let mut located: Vec<(Bug, BugSite)> = vec![];
@@ -121,9 +207,23 @@ impl Hippocrates {
             }
         }
 
-        // Phase 1+2: plan intraprocedural fixes with reduction.
+        // Phase 1+2: plan intraprocedural fixes with reduction, dropping
+        // fixes whose targets a previously rolled-back round quarantined.
         let plan_span = obs.span("repair.plan");
-        let fixes = plan_intra_fixes(m, trace, &located);
+        let mut skipped_quarantined = 0usize;
+        let fixes: Vec<_> = plan_intra_fixes(m, trace, &located)
+            .into_iter()
+            .filter(|fix| {
+                let hit = fix
+                    .sites
+                    .iter()
+                    .any(|s| quarantine.contains(&site_key(m, s)));
+                if hit {
+                    skipped_quarantined += 1;
+                }
+                !hit
+            })
+            .collect();
 
         // Phase 3: hoisting decisions (only for flush-bearing fixes).
         let analysis = self.opts.hoisting.then(|| {
@@ -142,10 +242,12 @@ impl Hippocrates {
             CloneState::default()
         };
         let mut summary = RepairSummary::default();
+        let mut fix_targets = Vec::with_capacity(fixes.len());
         drop(plan_span);
 
         let apply_span = obs.span("repair.apply");
         for fix in &fixes {
+            fix_targets.push(fix.sites.iter().map(|s| site_key(m, s)).collect());
             let store_function = m.function(fix.func).name().to_string();
             let store_loc = fix
                 .sites
@@ -223,19 +325,42 @@ impl Hippocrates {
             let _span = obs.span("repair.verify_module");
             pmir::verify::verify_module(m).map_err(RepairError::Verify)?;
         }
-        Ok(summary)
+        Ok(RoundApplication {
+            summary,
+            fix_targets,
+            skipped_quarantined,
+        })
     }
 
     /// The watchdog armed on detection/verification runs: the configured
     /// one, or an automatic 250ms default when the fault plan injects a
-    /// diverging loop (which the VM refuses to run unguarded).
-    fn effective_watchdog(&self) -> Option<u64> {
-        self.opts.watchdog_ms.or_else(|| {
+    /// diverging loop (which the VM refuses to run unguarded) — clamped to
+    /// the budget's remaining wall-clock time so a deadline cuts off even a
+    /// run that would otherwise go unguarded.
+    fn effective_watchdog(&self, budget: &pmtx::Budget) -> Option<u64> {
+        let base = self.opts.watchdog_ms.or_else(|| {
             self.opts
                 .fault
                 .as_ref()
                 .and_then(|p| p.targets(pmfault::FaultSite::VmDiverge).then_some(250))
-        })
+        });
+        match (base, budget.remaining_ms()) {
+            (Some(w), Some(rem)) => Some(w.min(rem.max(1))),
+            (None, Some(rem)) => Some(rem.max(1)),
+            (w, None) => w,
+        }
+    }
+
+    /// The [`VmOptions`] for one detection/verification run, with the
+    /// watchdog re-clamped to the budget's remaining time.
+    fn vm_opts_for(&self, budget: &pmtx::Budget) -> VmOptions {
+        VmOptions {
+            max_steps: self.opts.max_steps,
+            watchdog_ms: self.effective_watchdog(budget),
+            fault: self.opts.fault.clone(),
+            obs: self.opts.obs.clone(),
+            ..VmOptions::default()
+        }
     }
 
     /// Runs `attempt_fn` up to `1 + source_retries` times with seeded,
@@ -311,15 +436,16 @@ impl Hippocrates {
         Ok(c)
     }
 
-    /// The static checker with retries.
+    /// The static checker with retries, cancellable via the budget.
     fn static_with_retries(
         &self,
         m: &Module,
         entry: &str,
+        budget: &pmtx::Budget,
         diagnostics: &mut Vec<String>,
     ) -> Result<CheckReport, Degradation> {
         let (report, retries) = self.with_retries("static", || {
-            pmstatic::check_module_obs(m, entry, &self.opts.obs)
+            pmstatic::check_module_budgeted(m, entry, &self.opts.obs, budget)
                 .map_err(|e| format!("static check failed: {e}"))
         })?;
         if retries > 0 {
@@ -416,6 +542,7 @@ impl Hippocrates {
         &self,
         m: &Module,
         entry: &str,
+        budget: &pmtx::Budget,
         degraded: &mut Vec<Degradation>,
         diagnostics: &mut Vec<String>,
     ) -> Result<(CheckReport, Trace), Degradation> {
@@ -425,8 +552,9 @@ impl Hippocrates {
             jobs: self.opts.explore_jobs,
             max_recovery_steps: self.opts.max_steps,
             fault: self.opts.fault.clone(),
-            recovery_watchdog_ms: self.effective_watchdog(),
+            recovery_watchdog_ms: self.effective_watchdog(budget),
             obs: self.opts.obs.clone(),
+            cancel: budget.clone(),
             ..pmexplore::ExploreOptions::default()
         };
         let (x, retries) = self.with_retries("exploration", || {
@@ -480,11 +608,13 @@ impl Hippocrates {
     /// `degraded`) as long as another source survives. Only when *every*
     /// configured source fails does detection error out, with
     /// [`RepairError::AllSourcesFailed`] naming each failure.
+    #[allow(clippy::too_many_arguments)]
     fn detect(
         &self,
         m: &Module,
         entry: &str,
         vm_opts: &VmOptions,
+        budget: &pmtx::Budget,
         injector: &mut Option<pmfault::Injector>,
         degraded: &mut Vec<Degradation>,
         diagnostics: &mut Vec<String>,
@@ -500,13 +630,13 @@ impl Hippocrates {
             }
             BugSource::Static => {
                 let report = self
-                    .static_with_retries(m, entry, diagnostics)
+                    .static_with_retries(m, entry, budget, diagnostics)
                     .map_err(|d| RepairError::AllSourcesFailed { failures: vec![d] })?;
                 Ok((report, Trace::default()))
             }
             BugSource::Both => {
                 let dynamic = self.dynamic_with_retries(m, entry, vm_opts, diagnostics);
-                let stat = self.static_with_retries(m, entry, diagnostics);
+                let stat = self.static_with_retries(m, entry, budget, diagnostics);
                 match (dynamic, stat) {
                     (Ok(c), Ok(s)) => {
                         self.harden_trace(&c.trace, injector, degraded, diagnostics);
@@ -536,7 +666,7 @@ impl Hippocrates {
             }
             BugSource::Exploration => {
                 let (report, trace) = self
-                    .exploration_with_retries(m, entry, degraded, diagnostics)
+                    .exploration_with_retries(m, entry, budget, degraded, diagnostics)
                     .map_err(|d| RepairError::AllSourcesFailed { failures: vec![d] })?;
                 self.harden_trace(&trace, injector, degraded, diagnostics);
                 Ok((report, trace))
@@ -550,26 +680,33 @@ impl Hippocrates {
     /// without ever executing the program; with [`BugSource::Both`] it is
     /// only done when both checkers come back clean.
     ///
+    /// Every round is a *transaction*: fixes are applied against a module
+    /// snapshot and the round commits only when re-verification shows the
+    /// deduped bug set strictly shrank with no new members. A failed round
+    /// rolls back byte-identically and its fixes land in the quarantine
+    /// ledger, excluded from later planning. With a journal configured,
+    /// committed rounds are made durable (write-ahead) before the loop moves
+    /// on, and `resume` replays them idempotently.
+    ///
     /// # Errors
     ///
     /// Propagates [`RepairError`]; notably [`RepairError::IterationBudget`]
-    /// when the program is still buggy after `max_iterations`.
+    /// when the program is still buggy after `max_iterations`, and
+    /// [`RepairError::BudgetExceeded`] when the deadline/step budget trips —
+    /// both carry the partial-but-committed outcome.
     pub fn repair_until_clean(
         &self,
         m: &mut Module,
         entry: &str,
     ) -> Result<RepairOutcome, RepairError> {
+        if let Err(reason) = self.opts.validate() {
+            return Err(RepairError::BadOptions { reason });
+        }
         let obs = self.opts.obs.clone();
-        let vm_opts = VmOptions {
-            max_steps: self.opts.max_steps,
-            watchdog_ms: self.effective_watchdog(),
-            fault: self.opts.fault.clone(),
-            obs: obs.clone(),
-            ..VmOptions::default()
-        };
-        // The engine-level injector owns the trace-fault hit counters so
-        // `Nth` trace faults clear across retries; VM-level faults travel
-        // inside `vm_opts` and get a fresh injector per run.
+        let budget = pmtx::Budget::new(self.opts.deadline_ms, self.opts.step_quota);
+        // The engine-level injector owns the trace-fault and commit-veto hit
+        // counters so `Nth` faults clear across retries; VM-level faults
+        // travel inside the per-run `VmOptions` with a fresh injector each.
         let mut injector = self
             .opts
             .fault
@@ -577,28 +714,145 @@ impl Hippocrates {
             .map(|p| pmfault::Injector::with_obs(p, obs.clone()));
         let mut degraded = vec![];
         let mut diagnostics = vec![];
-        let mut fixes = vec![];
+        let mut fixes: Vec<AppliedFix> = vec![];
         let mut clones = 0usize;
-        for iter in 0..self.opts.max_iterations {
-            let _iter_span = obs.span("repair.iteration");
-            obs.add("repair.iterations", 1);
-            let detect_started = std::time::Instant::now();
-            let (report, trace) = self.detect(
-                m,
-                entry,
-                &vm_opts,
-                &mut injector,
-                &mut degraded,
-                &mut diagnostics,
-            )?;
-            if iter > 0 {
-                // Detection on an already-rewritten module is the do-no-harm
-                // re-verification pass; its cost is tracked separately.
-                obs.gauge_add(
-                    "repair.reverify_ms",
-                    detect_started.elapsed().as_secs_f64() * 1e3,
-                );
+        let mut quarantined: Vec<QuarantinedFix> = vec![];
+        let mut quarantine_keys: HashSet<String> = HashSet::new();
+        let mut committed_rounds = 0u32;
+        let mut replayed_rounds = 0u32;
+        let mut attempts = 0u32; // rounds executed in this process
+        let mut new_commits = 0u32; // rounds committed in this process
+                                    // Worst severity ever observed per store site across the campaign's
+                                    // kept states — the harm baseline. Sampled detection (exploration in
+                                    // particular) is not monotone: a bug a later pass resurfaces is only
+                                    // *harm* if no earlier pass ever saw that site at that severity.
+        let mut seen_sev: HashMap<String, u32> = HashMap::new();
+
+        // Write-ahead journal: resume replays committed rounds idempotently;
+        // otherwise an existing file is truncated and started fresh.
+        let mut journal: Option<pmtx::Journal> = None;
+        if let Some(path) = &self.opts.journal_path {
+            let header =
+                pmtx::JournalHeader::new(pmir::snapshot::digest_hex(m), self.opts.digest_hex());
+            if self.opts.resume && path.exists() {
+                let resumed = pmtx::Journal::resume(path, &header)?;
+                for d in resumed.diagnostics {
+                    note(&mut diagnostics, format!("journal: {d}"));
+                }
+                let j = resumed.journal;
+                for rec in j.rounds() {
+                    let patch = pmir::ModulePatch {
+                        base_digest: rec.base_digest.clone(),
+                        after_digest: rec.after_digest.clone(),
+                        after_text: rec.patch.clone(),
+                    };
+                    patch.apply(m).map_err(|e| {
+                        RepairError::Journal(pmtx::JournalError::Corrupted {
+                            line: rec.round as usize + 1,
+                            reason: format!("round {} does not replay: {e}", rec.round),
+                        })
+                    })?;
+                    for payload in &rec.fixes {
+                        let fix: AppliedFix = serde_json::from_str(payload).map_err(|e| {
+                            RepairError::Journal(pmtx::JournalError::Corrupted {
+                                line: rec.round as usize + 1,
+                                reason: format!(
+                                    "round {} fix record does not parse: {e}",
+                                    rec.round
+                                ),
+                            })
+                        })?;
+                        fixes.push(fix);
+                    }
+                    clones += rec.clones as usize;
+                }
+                replayed_rounds = j.rounds().len() as u32;
+                committed_rounds = replayed_rounds;
+                if replayed_rounds > 0 {
+                    obs.add("journal.replayed_rounds", u64::from(replayed_rounds));
+                    note(
+                        &mut diagnostics,
+                        format!(
+                            "resumed from journal: replayed {replayed_rounds} committed round(s)"
+                        ),
+                    );
+                }
+                journal = Some(j);
+            } else {
+                if self.opts.resume {
+                    note(
+                        &mut diagnostics,
+                        format!(
+                            "journal: nothing to resume at {}; starting fresh",
+                            path.display()
+                        ),
+                    );
+                }
+                journal = Some(pmtx::Journal::create(path, header)?);
             }
+        }
+
+        // Initial detection (one budget step).
+        if let Err(exceeded) = budget.charge(1) {
+            drain_injected(&injector, &mut diagnostics);
+            return Err(RepairError::BudgetExceeded {
+                exceeded,
+                partial: Box::new(RepairOutcome {
+                    clean: false,
+                    fixes,
+                    iterations: replayed_rounds,
+                    final_report: CheckReport::default(),
+                    clones_created: clones,
+                    degraded,
+                    diagnostics,
+                    quarantined,
+                    committed_rounds,
+                    replayed_rounds,
+                }),
+            });
+        }
+        obs.add("repair.iterations", 1);
+        let first = self.detect(
+            m,
+            entry,
+            &self.vm_opts_for(&budget),
+            &budget,
+            &mut injector,
+            &mut degraded,
+            &mut diagnostics,
+        );
+        let (mut report, mut trace) = match first {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(match budget.check() {
+                    Err(exceeded) => {
+                        note(
+                            &mut diagnostics,
+                            format!("detection aborted by budget: {e}"),
+                        );
+                        drain_injected(&injector, &mut diagnostics);
+                        RepairError::BudgetExceeded {
+                            exceeded,
+                            partial: Box::new(RepairOutcome {
+                                clean: false,
+                                fixes,
+                                iterations: replayed_rounds,
+                                final_report: CheckReport::default(),
+                                clones_created: clones,
+                                degraded,
+                                diagnostics,
+                                quarantined,
+                                committed_rounds,
+                                replayed_rounds,
+                            }),
+                        }
+                    }
+                    Ok(()) => e,
+                })
+            }
+        };
+
+        loop {
             if report.is_clean() {
                 if obs.is_enabled() && !trace.is_empty() {
                     // Telemetry-only audit: exercise the portable-log
@@ -606,33 +860,325 @@ impl Hippocrates {
                     // cost for this module. Never runs with obs disabled.
                     let _ = pmtrace::log::from_log_obs(&pmtrace::log::to_log(&trace), &obs);
                 }
-                if let Some(inj) = &injector {
-                    for f in inj.injected() {
-                        note(&mut diagnostics, format!("injected: {f}"));
-                    }
-                }
+                drain_injected(&injector, &mut diagnostics);
                 return Ok(RepairOutcome {
                     clean: true,
                     fixes,
-                    iterations: iter,
+                    iterations: replayed_rounds + attempts,
                     final_report: report,
                     clones_created: clones,
                     degraded,
                     diagnostics,
+                    quarantined,
+                    committed_rounds,
+                    replayed_rounds,
                 });
             }
-            let summary = self.repair_once(m, &trace, &report)?;
-            if summary.fixes.is_empty() {
+            if let Err(exceeded) = budget.check() {
+                drain_injected(&injector, &mut diagnostics);
+                return Err(RepairError::BudgetExceeded {
+                    exceeded,
+                    partial: Box::new(RepairOutcome {
+                        clean: false,
+                        fixes,
+                        iterations: replayed_rounds + attempts,
+                        final_report: report,
+                        clones_created: clones,
+                        degraded,
+                        diagnostics,
+                        quarantined,
+                        committed_rounds,
+                        replayed_rounds,
+                    }),
+                });
+            }
+            if attempts >= self.opts.max_iterations {
+                drain_injected(&injector, &mut diagnostics);
+                return Err(RepairError::IterationBudget {
+                    max: self.opts.max_iterations,
+                    partial: Box::new(RepairOutcome {
+                        clean: false,
+                        fixes,
+                        iterations: replayed_rounds + attempts,
+                        final_report: report,
+                        clones_created: clones,
+                        degraded,
+                        diagnostics,
+                        quarantined,
+                        committed_rounds,
+                        replayed_rounds,
+                    }),
+                });
+            }
+            attempts += 1;
+            let _round_span = obs.span("tx.round");
+
+            // Apply this round's fixes against a snapshot.
+            let snapshot = ModuleSnapshot::capture(m);
+            let app = match self.apply_round(m, &trace, &report, &quarantine_keys) {
+                Ok(a) => a,
+                Err(e) => {
+                    // Do no harm even on engine failure: never leave a
+                    // half-applied round in the module.
+                    snapshot.restore(m);
+                    return Err(e);
+                }
+            };
+            if app.skipped_quarantined > 0 {
+                note(
+                    &mut diagnostics,
+                    format!(
+                        "{} planned fix(es) skipped: their target sites are quarantined",
+                        app.skipped_quarantined
+                    ),
+                );
+            }
+            if app.summary.fixes.is_empty() {
+                drain_injected(&injector, &mut diagnostics);
                 return Err(RepairError::NoProgress {
                     remaining: report.deduped_bugs().len(),
+                    partial: Box::new(RepairOutcome {
+                        clean: false,
+                        fixes,
+                        iterations: replayed_rounds + attempts,
+                        final_report: report,
+                        clones_created: clones,
+                        degraded,
+                        diagnostics,
+                        quarantined,
+                        committed_rounds,
+                        replayed_rounds,
+                    }),
                 });
             }
-            fixes.extend(summary.fixes);
-            clones += summary.clones_created;
+
+            // Re-verify: the round commits only if it did no harm (no bug at
+            // a previously-clean store site, no site moved up the repair
+            // ladder) and made progress (the per-site severity sum fell, or
+            // held while the call-path-refined bug set strictly shrank).
+            let _ = budget.charge(1);
+            obs.add("repair.iterations", 1);
+            let reverify_started = std::time::Instant::now();
+            let reverified = self.detect(
+                m,
+                entry,
+                &self.vm_opts_for(&budget),
+                &budget,
+                &mut injector,
+                &mut degraded,
+                &mut diagnostics,
+            );
+            obs.gauge_add(
+                "repair.reverify_ms",
+                reverify_started.elapsed().as_secs_f64() * 1e3,
+            );
+            let (report2, trace2) = match reverified {
+                Ok(v) => v,
+                Err(e) => {
+                    snapshot.restore(m);
+                    obs.add("tx.rolled_back", 1);
+                    return Err(match budget.check() {
+                        Err(exceeded) => {
+                            note(
+                                &mut diagnostics,
+                                format!("re-verification aborted by budget: {e}"),
+                            );
+                            drain_injected(&injector, &mut diagnostics);
+                            RepairError::BudgetExceeded {
+                                exceeded,
+                                partial: Box::new(RepairOutcome {
+                                    clean: false,
+                                    fixes,
+                                    iterations: replayed_rounds + attempts,
+                                    final_report: report,
+                                    clones_created: clones,
+                                    degraded,
+                                    diagnostics,
+                                    quarantined,
+                                    committed_rounds,
+                                    replayed_rounds,
+                                }),
+                            }
+                        }
+                        Ok(()) => e,
+                    });
+                }
+            };
+
+            // Harm is judged per store site on the repair ladder
+            // (`BugKind::repair_rank`): a site never observed buggy must
+            // stay clean, and no site's worst bug may climb above anything
+            // the campaign has seen for it. Site identity is the store's
+            // source location, which survives both the instruction
+            // renumbering that inserted flushes/fences cause and the cloning
+            // an interprocedural fix causes.
+            let before_sev = report.site_severities();
+            let after_sev = report2.site_severities();
+            for (site, &rank) in &before_sev {
+                let e = seen_sev.entry(site.clone()).or_insert(0);
+                if rank > *e {
+                    *e = rank;
+                }
+            }
+            let new_bugs = after_sev
+                .iter()
+                .filter(|(site, &rank)| seen_sev.get(*site).is_none_or(|&b| rank > b))
+                .count();
+            // Progress is the same ladder read downward — the severity sum
+            // strictly falls (a flush landed, a fence landed, a site healed)
+            // — with one refinement: an interprocedural fix heals one *call
+            // path* into a buggy store at a time, so a round that holds the
+            // severity sum while strictly shrinking the call-path-refined
+            // bug set (`path_key_set`) also counts. The pair (severity sum,
+            // path count) falls lexicographically on every commit, so a
+            // committing campaign terminates.
+            let sev_before: u32 = before_sev.values().sum();
+            let sev_after: u32 = after_sev.values().sum();
+            let delta_ok = new_bugs == 0
+                && (sev_after < sev_before
+                    || (sev_after == sev_before
+                        && report2.path_key_set().len() < report.path_key_set().len()));
+
+            // The commit itself can be vetoed by fault injection (modeling a
+            // failed journal append); a vetoed commit is retried with the
+            // usual seeded backoff before the round is given up on.
+            let mut veto = false;
+            if delta_ok {
+                if let Some(inj) = injector.as_mut() {
+                    if inj.plan().targets(pmfault::FaultSite::TxCommit) {
+                        let seed = inj.plan().seed;
+                        for attempt in 0..=self.opts.source_retries {
+                            if attempt > 0 {
+                                let ms = pmfault::backoff_ms(
+                                    seed,
+                                    attempt - 1,
+                                    self.opts.retry_base_ms,
+                                    self.opts.retry_cap_ms,
+                                );
+                                std::thread::sleep(std::time::Duration::from_millis(ms));
+                            }
+                            match inj.fire(pmfault::FaultSite::TxCommit) {
+                                Some(kind) => {
+                                    inj.record(format!("tx.commit: {kind}"));
+                                    veto = true;
+                                }
+                                None => {
+                                    if attempt > 0 {
+                                        note(
+                                            &mut diagnostics,
+                                            format!(
+                                                "commit succeeded after {attempt} vetoed attempt(s)"
+                                            ),
+                                        );
+                                    }
+                                    veto = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if delta_ok && !veto {
+                let commit_started = std::time::Instant::now();
+                let _commit_span = obs.span("tx.commit");
+                if let Some(j) = journal.as_mut() {
+                    let patch = pmir::ModulePatch::between(&snapshot, m);
+                    let mut fix_payloads = Vec::with_capacity(app.summary.fixes.len());
+                    for f in &app.summary.fixes {
+                        let payload = serde_json::to_string(f).map_err(|e| {
+                            RepairError::Journal(pmtx::JournalError::Io {
+                                path: j.path().to_path_buf(),
+                                error: std::io::Error::other(format!(
+                                    "fix record serialization failed: {e}"
+                                )),
+                            })
+                        })?;
+                        fix_payloads.push(payload);
+                    }
+                    j.append(pmtx::RoundRecord {
+                        round: j.next_round(),
+                        base_digest: patch.base_digest,
+                        after_digest: patch.after_digest,
+                        report_digest: report2.digest_hex(),
+                        clones: app.summary.clones_created as u64,
+                        fixes: fix_payloads,
+                        patch: patch.after_text,
+                    })?;
+                }
+                obs.add("tx.committed", 1);
+                obs.gauge_add("tx.commit_ms", commit_started.elapsed().as_secs_f64() * 1e3);
+                committed_rounds += 1;
+                new_commits += 1;
+                fixes.extend(app.summary.fixes);
+                clones += app.summary.clones_created;
+                if self.opts.crash_after_commit == Some(new_commits) {
+                    // Deterministic SIGKILL stand-in for the kill-and-resume
+                    // machinery: die without unwinding, right after the
+                    // journal append became durable.
+                    std::process::abort();
+                }
+                report = report2;
+                trace = trace2;
+            } else {
+                let rollback_started = std::time::Instant::now();
+                let _rb_span = obs.span("tx.rollback");
+                snapshot.restore(m);
+                obs.add("tx.rolled_back", 1);
+                obs.gauge_add(
+                    "tx.rollback_ms",
+                    rollback_started.elapsed().as_secs_f64() * 1e3,
+                );
+                let reason = if veto {
+                    format!(
+                        "commit vetoed by fault injection after {} retry(ies)",
+                        self.opts.source_retries
+                    )
+                } else if new_bugs > 0 {
+                    format!(
+                        "re-verification found {new_bugs} new or worsened bug site(s) — the round did harm"
+                    )
+                } else {
+                    "re-verification did not reduce bug severity or unfixed call paths".to_string()
+                };
+                note(
+                    &mut diagnostics,
+                    format!(
+                        "round rolled back ({reason}); {} fix(es) quarantined",
+                        app.summary.fixes.len()
+                    ),
+                );
+                let (bugs_before, bugs_after) =
+                    (report.deduped_bugs().len(), report2.deduped_bugs().len());
+                for (fix, targets) in app.summary.fixes.into_iter().zip(app.fix_targets) {
+                    for k in &targets {
+                        quarantine_keys.insert(k.clone());
+                    }
+                    obs.add("tx.quarantined", 1);
+                    quarantined.push(QuarantinedFix {
+                        fix,
+                        targets,
+                        reason: reason.clone(),
+                        bugs_before,
+                        bugs_after,
+                        new_bugs,
+                    });
+                }
+                // `report`/`trace` stay the pre-round pair: the module is
+                // byte-identical to what produced them.
+            }
         }
-        Err(RepairError::IterationBudget {
-            max: self.opts.max_iterations,
-        })
+    }
+}
+
+/// Surfaces every fault the engine-level injector recorded into the
+/// diagnostics (outcome- and error-path alike).
+fn drain_injected(injector: &Option<pmfault::Injector>, diagnostics: &mut Vec<String>) {
+    if let Some(inj) = injector {
+        for f in inj.injected() {
+            note(diagnostics, format!("injected: {f}"));
+        }
     }
 }
 
@@ -1338,5 +1884,219 @@ mod tests {
         assert!(outcome.clean, "{}", outcome.final_report.render());
         let run = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
         assert_eq!(run.stats.pm_stores, 2);
+    }
+
+    #[test]
+    fn zero_max_iterations_is_rejected_up_front() {
+        let mut m =
+            pmlang::compile_one("t.pmc", "fn main() { var p: ptr = pmem_map(0, 4096); }").unwrap();
+        let err = Hippocrates::new(RepairOptions {
+            max_iterations: 0,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap_err();
+        match &err {
+            RepairError::BadOptions { reason } => {
+                assert!(reason.contains("max_iterations"), "{reason}")
+            }
+            other => panic!("expected BadOptions, got {other:?}"),
+        }
+        assert!(err.to_string().contains("invalid repair options"), "{err}");
+    }
+
+    #[test]
+    fn commit_veto_retries_and_converges() {
+        // A transient commit veto (Nth(0)) models one failed journal append:
+        // the engine retries the commit and the campaign still converges to
+        // the exact module a fault-free run produces.
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut vetoed = pmlang::compile_one("t.pmc", src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::TxCommit,
+                Trigger::Nth(0),
+                FaultKind::CommitVeto,
+            )),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut vetoed, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        assert!(outcome.quarantined.is_empty(), "{:?}", outcome.quarantined);
+        assert_eq!(outcome.committed_rounds, 1);
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("vetoed attempt")),
+            "{:?}",
+            outcome.diagnostics
+        );
+
+        let mut clean = pmlang::compile_one("t.pmc", src).unwrap();
+        Hippocrates::new(RepairOptions::default())
+            .repair_until_clean(&mut clean, "main")
+            .unwrap();
+        assert_eq!(
+            pmir::display::print_module(&vetoed),
+            pmir::display::print_module(&clean),
+            "a vetoed-then-retried commit repairs identically"
+        );
+    }
+
+    #[test]
+    fn permanent_commit_veto_quarantines_and_rolls_back_byte_identically() {
+        // Every commit vetoed: the round's fixes are quarantined, the module
+        // rolls back byte-identically, and the next round (all planned fixes
+        // quarantined) stalls with NoProgress carrying the partial outcome.
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let text_before = pmir::display::print_module(&m);
+        let err = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::TxCommit,
+                Trigger::Always,
+                FaultKind::CommitVeto,
+            )),
+            source_retries: 1,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap_err();
+        assert_eq!(
+            pmir::display::print_module(&m),
+            text_before,
+            "rollback must be byte-identical"
+        );
+        match &err {
+            RepairError::NoProgress { remaining, partial } => {
+                assert_eq!(*remaining, 1);
+                assert!(!partial.clean);
+                assert_eq!(partial.committed_rounds, 0);
+                assert_eq!(partial.quarantined.len(), 1);
+                assert!(partial.fixes.is_empty(), "{:?}", partial.fixes);
+                let q = &partial.quarantined[0];
+                assert!(q.reason.contains("vetoed"), "{}", q.reason);
+                assert!(!q.targets.is_empty());
+                assert!(
+                    partial
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.contains("quarantined")),
+                    "{:?}",
+                    partial.diagnostics
+                );
+            }
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+        assert!(err.to_string().contains("quarantined"), "{err}");
+    }
+
+    #[test]
+    fn journal_commits_rounds_and_resume_replays_them() {
+        let dir = std::env::temp_dir().join(format!("hippo-engine-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.journal");
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                crashpoint();
+                store8(p, 8, 2);
+            }
+        "#;
+        let opts = || RepairOptions {
+            journal_path: Some(path.clone()),
+            ..RepairOptions::default()
+        };
+
+        let mut m1 = pmlang::compile_one("t.pmc", src).unwrap();
+        let first = Hippocrates::new(opts())
+            .repair_until_clean(&mut m1, "main")
+            .unwrap();
+        assert!(first.clean);
+        assert!(first.committed_rounds >= 1);
+        assert_eq!(first.replayed_rounds, 0);
+        let healed = pmir::display::print_module(&m1);
+
+        // Resume on a fresh copy of the input replays every committed round
+        // and converges to the byte-identical module.
+        let mut m2 = pmlang::compile_one("t.pmc", src).unwrap();
+        let second = Hippocrates::new(RepairOptions {
+            resume: true,
+            ..opts()
+        })
+        .repair_until_clean(&mut m2, "main")
+        .unwrap();
+        assert!(second.clean);
+        assert_eq!(second.replayed_rounds, first.committed_rounds);
+        assert_eq!(second.committed_rounds, first.committed_rounds);
+        assert_eq!(second.fixes.len(), first.fixes.len());
+        assert_eq!(pmir::display::print_module(&m2), healed);
+        assert!(
+            second
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("resumed from journal")),
+            "{:?}",
+            second.diagnostics
+        );
+
+        // A different input module refuses to resume with a clear state
+        // mismatch instead of replaying foreign fixes.
+        let mut other = pmlang::compile_one(
+            "t.pmc",
+            "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 64, 3); }",
+        )
+        .unwrap();
+        let err = Hippocrates::new(RepairOptions {
+            resume: true,
+            ..opts()
+        })
+        .repair_until_clean(&mut other, "main")
+        .unwrap_err();
+        match &err {
+            RepairError::Journal(pmtx::JournalError::StateMismatch { what, .. }) => {
+                assert_eq!(*what, "module")
+            }
+            other => panic!("expected StateMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("refusing to resume"), "{err}");
+    }
+
+    #[test]
+    fn step_quota_returns_partial_outcome_instead_of_hanging() {
+        // Quota of 1: the initial detection spends it, the first round's
+        // re-verification trips it, the permanently-vetoed round rolls back,
+        // and the loop stops with a partial outcome instead of iterating.
+        use pmfault::{FaultKind, FaultPlan, FaultSite, Trigger};
+        let src = "fn main() { var p: ptr = pmem_map(0, 4096); store8(p, 0, 1); }";
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let text_before = pmir::display::print_module(&m);
+        let err = Hippocrates::new(RepairOptions {
+            fault: Some(FaultPlan::single(
+                FaultSite::TxCommit,
+                Trigger::Always,
+                FaultKind::CommitVeto,
+            )),
+            source_retries: 0,
+            step_quota: Some(1),
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap_err();
+        match &err {
+            RepairError::BudgetExceeded { exceeded, partial } => {
+                assert_eq!(*exceeded, pmtx::BudgetExceeded::Steps { quota: 1 });
+                assert_eq!(partial.quarantined.len(), 1);
+                assert_eq!(partial.committed_rounds, 0);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(pmir::display::print_module(&m), text_before);
+        assert!(err.to_string().contains("budget exhausted"), "{err}");
     }
 }

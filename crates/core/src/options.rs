@@ -96,6 +96,29 @@ pub struct RepairOptions {
     /// the checkers, exploration, and fault injection. The disabled default
     /// costs one branch per recording site.
     pub obs: pmobs::Obs,
+    /// Write-ahead repair journal (`hippo.journal.v1`). When set, every
+    /// committed round is made durable at this path before the loop moves
+    /// on, so a SIGKILLed run can be resumed.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// Replay committed rounds from an existing journal at
+    /// [`RepairOptions::journal_path`] before detecting. Refuses (with a
+    /// clear diagnostic) when the journal's module or options digest does
+    /// not match the current run. Without this flag an existing journal is
+    /// truncated and started fresh.
+    pub resume: bool,
+    /// Wall-clock deadline for the whole repair run, in milliseconds. The
+    /// cooperative [`pmtx::Budget`] built from this is threaded through the
+    /// detect/explore/static/repair stages; when it trips, the run returns a
+    /// partial-but-committed outcome instead of hanging.
+    pub deadline_ms: Option<u64>,
+    /// Step quota for the cooperative budget: each repair round (and each
+    /// detection attempt) costs one step. `None` is unlimited.
+    pub step_quota: Option<u64>,
+    /// Crash-injection hook for the kill-and-resume machinery: abort the
+    /// process (as a deterministic stand-in for SIGKILL) immediately after
+    /// the n-th round committed *in this process*. Only ever set by tests
+    /// and the CI kill-and-resume gate.
+    pub crash_after_commit: Option<u32>,
 }
 
 impl Default for RepairOptions {
@@ -119,6 +142,11 @@ impl Default for RepairOptions {
             retry_base_ms: 1,
             retry_cap_ms: 8,
             obs: pmobs::Obs::default(),
+            journal_path: None,
+            resume: false,
+            deadline_ms: None,
+            step_quota: None,
+            crash_after_commit: None,
         }
     }
 }
@@ -130,6 +158,69 @@ impl RepairOptions {
             hoisting: false,
             ..RepairOptions::default()
         }
+    }
+
+    /// Validates the configuration before the engine runs. Each rejected
+    /// combination comes with an actionable message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable reason the options are unusable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_iterations == 0 {
+            return Err(
+                "max_iterations is 0: the repair loop would never detect or fix anything; \
+                 set it to at least 1 (the default is 8)"
+                    .to_string(),
+            );
+        }
+        if self.resume && self.journal_path.is_none() {
+            return Err(
+                "resume is set but no journal path is configured: resuming replays committed \
+                 rounds from a journal, so pass one (e.g. `--journal repair.journal --resume`)"
+                    .to_string(),
+            );
+        }
+        if self.deadline_ms == Some(0) {
+            return Err(
+                "deadline_ms is 0: the budget would trip before the first detection; \
+                 use a positive deadline or leave it unset"
+                    .to_string(),
+            );
+        }
+        if self.step_quota == Some(0) {
+            return Err(
+                "step_quota is 0: the budget would trip before the first detection; \
+                 use a positive quota or leave it unset"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Digest (16 hex digits) of the options that shape fix planning and
+    /// detection — the `options_digest` recorded in journal headers. Two
+    /// runs with equal digests plan identical fixes for identical modules;
+    /// presentation-only knobs (observability, retries, deadlines, the
+    /// journal itself) are deliberately excluded so they never block a
+    /// resume.
+    pub fn digest_hex(&self) -> String {
+        let canon = format!(
+            "hoisting={} marking={:?} flush={:?} fence={:?} reuse={} portable={} \
+             source={:?} max_steps={} explore_budget={} explore_seed={} fault={:?}",
+            self.hoisting,
+            self.marking,
+            self.flush_kind,
+            self.fence_kind,
+            self.reuse_subprograms,
+            self.portable_fixes,
+            self.bug_source,
+            self.max_steps,
+            self.explore_budget,
+            self.explore_seed,
+            self.fault,
+        );
+        format!("{:016x}", pmir::snapshot::fnv1a(canon.as_bytes()))
     }
 }
 
@@ -145,5 +236,66 @@ mod tests {
         assert_eq!(o.marking, MarkingMode::FullAa);
         assert_eq!(o.flush_kind, FlushKind::Clwb);
         assert!(!RepairOptions::intraprocedural_only().hoisting);
+        assert!(o.journal_path.is_none() && !o.resume);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_iteration_budget_is_rejected_with_actionable_message() {
+        let o = RepairOptions {
+            max_iterations: 0,
+            ..RepairOptions::default()
+        };
+        let msg = o.validate().unwrap_err();
+        assert!(msg.contains("max_iterations"), "{msg}");
+        assert!(msg.contains("at least 1"), "{msg}");
+    }
+
+    #[test]
+    fn resume_without_journal_is_rejected() {
+        let o = RepairOptions {
+            resume: true,
+            ..RepairOptions::default()
+        };
+        let msg = o.validate().unwrap_err();
+        assert!(msg.contains("--journal"), "{msg}");
+    }
+
+    #[test]
+    fn zero_budgets_are_rejected() {
+        for o in [
+            RepairOptions {
+                deadline_ms: Some(0),
+                ..RepairOptions::default()
+            },
+            RepairOptions {
+                step_quota: Some(0),
+                ..RepairOptions::default()
+            },
+        ] {
+            assert!(o.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn options_digest_tracks_planning_knobs_only() {
+        let base = RepairOptions::default();
+        let planning = RepairOptions {
+            hoisting: false,
+            ..RepairOptions::default()
+        };
+        assert_ne!(base.digest_hex(), planning.digest_hex());
+        let presentation = RepairOptions {
+            source_retries: 9,
+            deadline_ms: Some(1234),
+            journal_path: Some("x.journal".into()),
+            resume: true,
+            ..RepairOptions::default()
+        };
+        assert_eq!(
+            base.digest_hex(),
+            presentation.digest_hex(),
+            "presentation knobs never block a resume"
+        );
     }
 }

@@ -115,9 +115,42 @@ impl fmt::Display for Degradation {
     }
 }
 
+/// A fix that was applied inside a round, failed the round's commit
+/// criterion, and was rolled back — the quarantine ledger's unit. The round
+/// is the blame granularity: every fix of a failing round is quarantined
+/// together (the engine does not bisect), and quarantined target sites are
+/// excluded from planning in later rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedFix {
+    /// The fix as it was applied (and then rolled back).
+    pub fix: AppliedFix,
+    /// The target instruction, as `function#inst` site keys — the planning
+    /// exclusion keys for later rounds.
+    pub targets: Vec<String>,
+    /// Why the round was rejected.
+    pub reason: String,
+    /// Deduped bug count before the round.
+    pub bugs_before: usize,
+    /// Deduped bug count at the failed re-verification.
+    pub bugs_after: usize,
+    /// Bugs present after the round that were absent before — the "harm"
+    /// the rollback undid.
+    pub new_bugs: usize,
+}
+
+impl fmt::Display for QuarantinedFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} — quarantined: {} (bugs {} -> {}, {} new)",
+            self.fix, self.reason, self.bugs_before, self.bugs_after, self.new_bugs
+        )
+    }
+}
+
 /// The result of the full detect→fix→verify loop
 /// ([`crate::Hippocrates::repair_until_clean`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RepairOutcome {
     /// Whether the final verification pass was clean.
     pub clean: bool,
@@ -136,6 +169,15 @@ pub struct RepairOutcome {
     /// observed by the simulator, faulted exploration candidates, retries
     /// that eventually succeeded. Empty on a healthy run.
     pub diagnostics: Vec<String>,
+    /// The quarantine ledger: fixes applied in rounds that failed the
+    /// commit criterion and were rolled back byte-identically. None of
+    /// these appear in the committed module.
+    pub quarantined: Vec<QuarantinedFix>,
+    /// Rounds committed across the run, including replayed ones.
+    pub committed_rounds: u32,
+    /// Rounds replayed idempotently from the write-ahead journal (always
+    /// `<= committed_rounds`; 0 unless `--resume` found committed work).
+    pub replayed_rounds: u32,
 }
 
 impl RepairOutcome {
@@ -203,9 +245,33 @@ mod tests {
             clones_created: 2,
             degraded: vec![],
             diagnostics: vec![],
+            quarantined: vec![],
+            committed_rounds: 1,
+            replayed_rounds: 0,
         };
         assert_eq!(outcome.hoist_level_histogram().get(&2), Some(&1));
         assert!(!outcome.is_degraded());
+    }
+
+    #[test]
+    fn quarantine_display_names_reason_and_delta() {
+        let q = QuarantinedFix {
+            fix: AppliedFix {
+                kind: FixKind::IntraFlush,
+                store_function: "update".into(),
+                store_loc: None,
+                bug_kinds: vec!["missing-flush".into()],
+            },
+            targets: vec!["update#3".into()],
+            reason: "re-verification reported a new bug".into(),
+            bugs_before: 2,
+            bugs_after: 3,
+            new_bugs: 1,
+        };
+        let text = q.to_string();
+        assert!(text.contains("quarantined"), "{text}");
+        assert!(text.contains("2 -> 3"), "{text}");
+        assert!(text.contains("1 new"), "{text}");
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct ExploreOptions {
     /// `explore.*` spans (run, frontiers, sample, per-worker) and counters
     /// (candidates, distinct states, dedup hits, per-worker utilization).
     pub obs: pmobs::Obs,
+    /// Cooperative cancellation ([`pmtx::Budget`]): workers stop taking new
+    /// candidate chunks once the budget is exhausted, and the report notes
+    /// the partial coverage. The unlimited default never cancels. (Named
+    /// `cancel` because `budget` is the crash-state cap above.)
+    pub cancel: pmtx::Budget,
 }
 
 impl Default for ExploreOptions {
@@ -72,6 +77,7 @@ impl Default for ExploreOptions {
             fault: None,
             recovery_watchdog_ms: None,
             obs: pmobs::Obs::default(),
+            cancel: pmtx::Budget::default(),
         }
     }
 }
@@ -287,6 +293,9 @@ pub fn explore(
     let queue = StealQueue::new(jobs, candidates.len(), CHUNK);
     let memo: Mutex<HashMap<u64, Verdict>> = Mutex::new(HashMap::new());
     let found: Mutex<Vec<(usize, Finding)>> = Mutex::new(vec![]);
+    // Candidates actually evaluated, for the partial-coverage diagnostic
+    // when the caller's cancellation budget trips mid-run.
+    let evaluated = std::sync::atomic::AtomicUsize::new(0);
     // Faulted candidates: (idx, one-line diagnostic, was_worker_panic).
     let faulted: Mutex<Vec<(usize, String, bool)>> = Mutex::new(vec![]);
     // Explore-level faults are keyed by the *candidate index* via the
@@ -299,7 +308,7 @@ pub fn explore(
 
     std::thread::scope(|s| {
         for w in 0..jobs {
-            let (queue, memo, found, faulted, candidates, fronts, oracle, injector) = (
+            let (queue, memo, found, faulted, candidates, fronts, oracle, injector, evaluated) = (
                 &queue,
                 &memo,
                 &found,
@@ -308,6 +317,7 @@ pub fn explore(
                 &fronts,
                 &oracle,
                 &injector,
+                &evaluated,
             );
             let obs = opts.obs.clone();
             s.spawn(move || {
@@ -316,8 +326,16 @@ pub fn explore(
                 let mut replayer: Option<Replayer<'_>> = None;
                 let mut at_seq = 0u64;
                 while let Some(range) = queue.pop(w) {
+                    // Cooperative cancellation: stop taking chunks once the
+                    // caller's budget is exhausted. Already-popped candidates
+                    // in this chunk are abandoned too — partial coverage is
+                    // reported below, never silently.
+                    if opts.cancel.is_exhausted() {
+                        break;
+                    }
                     for idx in range {
                         processed += 1;
+                        evaluated.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         // Worker-panic isolation: a panic anywhere in one
                         // candidate's processing (injected or real) skips
                         // that candidate only. The loop — and the steal
@@ -488,11 +506,24 @@ pub fn explore(
         obs.add("explore.worker_panics", stats.worker_panics as u64);
     }
     drop(run_span);
+    let mut diagnostics: Vec<String> = fault_log.into_iter().map(|(_, d, _)| d).collect();
+    let done = evaluated.load(std::sync::atomic::Ordering::Relaxed);
+    if opts.cancel.is_exhausted() && done < stats.candidates {
+        diagnostics.push(format!(
+            "exploration cancelled by budget: {done} of {} candidate(s) evaluated; \
+             findings cover the evaluated prefix only",
+            stats.candidates
+        ));
+        opts.obs.add(
+            "explore.cancelled_candidates",
+            (stats.candidates - done) as u64,
+        );
+    }
     ExploreReport {
         findings,
         stats,
         oracle: Some(oracle),
-        diagnostics: fault_log.into_iter().map(|(_, d, _)| d).collect(),
+        diagnostics,
     }
 }
 

@@ -31,9 +31,12 @@ pub enum FaultSite {
     ExploreWorker,
     /// `pmexplore`: the recovery oracle panics (keyed by candidate index).
     ExploreOracle,
+    /// `core::engine`: the commit step of a repair transaction is vetoed —
+    /// the round rolls back as if re-verification had failed.
+    TxCommit,
 }
 
-pub(crate) const N_SITES: usize = 9;
+pub(crate) const N_SITES: usize = 10;
 
 impl FaultSite {
     pub(crate) fn index(self) -> usize {
@@ -47,6 +50,7 @@ impl FaultSite {
             FaultSite::VmDiverge => 6,
             FaultSite::ExploreWorker => 7,
             FaultSite::ExploreOracle => 8,
+            FaultSite::TxCommit => 9,
         }
     }
 }
@@ -63,6 +67,7 @@ impl fmt::Display for FaultSite {
             FaultSite::VmDiverge => "vm.diverge",
             FaultSite::ExploreWorker => "explore.worker",
             FaultSite::ExploreOracle => "explore.oracle",
+            FaultSite::TxCommit => "tx.commit",
         };
         f.write_str(s)
     }
@@ -121,6 +126,9 @@ pub enum FaultKind {
     WorkerPanic,
     /// The recovery oracle panics on the triggering candidate.
     OraclePanic,
+    /// The repair transaction's commit is vetoed: the round rolls back and
+    /// the engine retries (exercising the rollback/retry machinery).
+    CommitVeto,
 }
 
 impl FaultKind {
@@ -138,6 +146,7 @@ impl FaultKind {
             FaultKind::StuckLoop => "stuck-loop",
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::OraclePanic => "oracle-panic",
+            FaultKind::CommitVeto => "commit-veto",
         }
     }
 }
@@ -157,6 +166,7 @@ impl fmt::Display for FaultKind {
             FaultKind::StuckLoop => f.write_str("diverging interpreter loop"),
             FaultKind::WorkerPanic => f.write_str("worker panic"),
             FaultKind::OraclePanic => f.write_str("oracle panic"),
+            FaultKind::CommitVeto => f.write_str("vetoed transaction commit"),
         }
     }
 }
@@ -189,7 +199,7 @@ pub struct FaultPlan {
 }
 
 /// Number of distinct archetypes [`FaultPlan::from_seed`] cycles through.
-pub const N_ARCHETYPES: u64 = 10;
+pub const N_ARCHETYPES: u64 = 11;
 
 impl FaultPlan {
     /// A plan with a single fault (mostly for tests).
@@ -210,7 +220,7 @@ impl FaultPlan {
     /// pick the trigger offset. Archetypes, in order: torn store, dropped
     /// flush, media read error, trace truncation, trace bit-flip, duplicated
     /// trace record, fuel exhaustion, diverging oracle (stuck loop), worker
-    /// panic, oracle panic.
+    /// panic, oracle panic, vetoed transaction commit.
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed ^ 0xF4_11_7F_11;
         let r = splitmix64(&mut s);
@@ -243,7 +253,10 @@ impl FaultPlan {
             ),
             7 => (FaultSite::VmDiverge, nth(8), FaultKind::StuckLoop),
             8 => (FaultSite::ExploreWorker, nth(8), FaultKind::WorkerPanic),
-            _ => (FaultSite::ExploreOracle, nth(8), FaultKind::OraclePanic),
+            9 => (FaultSite::ExploreOracle, nth(8), FaultKind::OraclePanic),
+            // The first commit attempt is vetoed (a fixed Nth(0) trigger):
+            // the engine must roll back, retry the round, and still converge.
+            _ => (FaultSite::TxCommit, Trigger::Nth(0), FaultKind::CommitVeto),
         };
         FaultPlan {
             seed,

@@ -46,6 +46,7 @@ pub mod module;
 pub mod ops;
 pub mod parse;
 pub mod rewrite;
+pub mod snapshot;
 pub mod srcloc;
 pub mod types;
 pub mod verify;
@@ -56,5 +57,6 @@ pub use inst::{Inst, Op, Operand};
 pub use metrics::ModuleMetrics;
 pub use module::{FuncId, Global, GlobalId, Module};
 pub use ops::{AccessWidth, BinOp, CmpPred, FenceKind, FlushKind};
+pub use snapshot::{ModuleDiff, ModulePatch, ModuleSnapshot, PatchError};
 pub use srcloc::{FileId, SrcLoc};
 pub use types::Type;

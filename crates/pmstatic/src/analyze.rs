@@ -800,10 +800,34 @@ pub fn check_module_obs(
     entry: &str,
     obs: &pmobs::Obs,
 ) -> Result<CheckReport, StaticError> {
+    check_module_budgeted(m, entry, obs, &pmtx::Budget::unlimited())
+}
+
+/// [`check_module_obs`] under a cooperative [`pmtx::Budget`]: the budget is
+/// checked at the stage boundaries (before the alias/summary fixpoint and
+/// before report emission), so an exhausted budget stops the checker between
+/// stages rather than mid-fixpoint.
+///
+/// # Errors
+///
+/// Fails when `entry` names no function or the budget is exhausted (the
+/// error message then starts with `cancelled:`, letting callers degrade the
+/// static source instead of treating it as a checker defect).
+pub fn check_module_budgeted(
+    m: &Module,
+    entry: &str,
+    obs: &pmobs::Obs,
+    budget: &pmtx::Budget,
+) -> Result<CheckReport, StaticError> {
     let _span = obs.span("static.check");
+    let cancelled = |e: pmtx::BudgetExceeded| StaticError {
+        message: format!("cancelled: {e}"),
+    };
+    budget.check().map_err(cancelled)?;
     let checker = StaticChecker::new(m);
     obs.add("static.fixpoint_iterations", checker.fixpoint_rounds());
     obs.add("static.summaries_computed", checker.summaries_computed());
+    budget.check().map_err(cancelled)?;
     let report = checker.check(entry)?;
     obs.add("static.functions_checked", m.func_ids().count() as u64);
     obs.add("static.bugs", report.bugs.len() as u64);

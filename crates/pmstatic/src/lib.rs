@@ -58,7 +58,9 @@ pub mod fact;
 pub mod loc;
 pub mod summary;
 
-pub use analyze::{check_module, check_module_obs, StaticChecker, StaticError};
+pub use analyze::{
+    check_module, check_module_budgeted, check_module_obs, StaticChecker, StaticError,
+};
 pub use fact::{Fact, FactKey, PState, State};
 pub use loc::{Base, Loc, Resolver};
 pub use summary::{Extent, FlushEff, FnSummary, ResidualFact};

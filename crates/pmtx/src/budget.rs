@@ -1,0 +1,204 @@
+//! Cooperative deadline/cancellation budgets.
+//!
+//! A [`Budget`] is checked, never enforced: long-running stages call
+//! [`Budget::check`] (or [`Budget::charge`]) at their natural boundaries and
+//! unwind with [`BudgetExceeded`] when the wall-clock deadline has passed or
+//! the step quota is spent. The default budget is unlimited and costs one
+//! `Option` branch per check, so unbudgeted callers pay nothing.
+//!
+//! Exhaustion is *sticky*: once a budget trips, every later check fails too,
+//! even if it tripped on the step quota while wall-clock time remains. That
+//! keeps a multi-stage pipeline's answer consistent — a stage that saw
+//! "exhausted" can trust that no later stage will quietly keep working.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budget check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The step quota was spent.
+    Steps {
+        /// The configured quota.
+        quota: u64,
+    },
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Deadline { limit_ms } => {
+                write!(f, "deadline of {limit_ms}ms exceeded")
+            }
+            BudgetExceeded::Steps { quota } => write!(f, "step quota of {quota} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    deadline_ms: Option<u64>,
+    step_quota: Option<u64>,
+    steps: AtomicU64,
+    tripped: AtomicBool,
+}
+
+/// A shared, cooperative execution budget.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share the same accounting, so
+/// a budget handed to parallel exploration workers is spent once, not once
+/// per worker. [`Budget::default`] (and [`Budget::unlimited`]) never trips.
+#[derive(Debug, Clone, Default)]
+pub struct Budget(Option<Arc<Inner>>);
+
+impl Budget {
+    /// A budget that never trips (the default).
+    pub fn unlimited() -> Budget {
+        Budget(None)
+    }
+
+    /// A budget with the given wall-clock deadline and/or step quota,
+    /// counted from now. `None` for either means that axis is unlimited;
+    /// both `None` is equivalent to [`Budget::unlimited`].
+    pub fn new(deadline_ms: Option<u64>, step_quota: Option<u64>) -> Budget {
+        if deadline_ms.is_none() && step_quota.is_none() {
+            return Budget(None);
+        }
+        Budget(Some(Arc::new(Inner {
+            started: Instant::now(),
+            deadline_ms,
+            step_quota,
+            steps: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        })))
+    }
+
+    /// Whether this budget can ever trip.
+    pub fn is_limited(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Checks the budget without consuming steps.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        self.charge(0)
+    }
+
+    /// Consumes `n` steps, then checks both axes.
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        let Some(inner) = &self.0 else {
+            return Ok(());
+        };
+        let spent = inner.steps.fetch_add(n, Ordering::Relaxed) + n;
+        if inner.tripped.load(Ordering::Relaxed) {
+            return Err(self.exceeded_reason(inner, spent));
+        }
+        if let Some(quota) = inner.step_quota {
+            if spent > quota {
+                inner.tripped.store(true, Ordering::Relaxed);
+                return Err(BudgetExceeded::Steps { quota });
+            }
+        }
+        if let Some(limit_ms) = inner.deadline_ms {
+            if inner.started.elapsed() >= Duration::from_millis(limit_ms) {
+                inner.tripped.store(true, Ordering::Relaxed);
+                return Err(BudgetExceeded::Deadline { limit_ms });
+            }
+        }
+        Ok(())
+    }
+
+    fn exceeded_reason(&self, inner: &Inner, spent: u64) -> BudgetExceeded {
+        match (inner.step_quota, inner.deadline_ms) {
+            (Some(quota), _) if spent > quota => BudgetExceeded::Steps { quota },
+            (_, Some(limit_ms)) => BudgetExceeded::Deadline { limit_ms },
+            (Some(quota), None) => BudgetExceeded::Steps { quota },
+            (None, None) => unreachable!("tripped budget has at least one limit"),
+        }
+    }
+
+    /// Whether the budget has already tripped (sticky).
+    pub fn is_exhausted(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => inner.tripped.load(Ordering::Relaxed) || self.check().is_err(),
+        }
+    }
+
+    /// Wall-clock milliseconds remaining before the deadline, if one is set.
+    /// Returns `Some(0)` once the deadline has passed.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        let inner = self.0.as_ref()?;
+        let limit_ms = inner.deadline_ms?;
+        let elapsed = inner.started.elapsed().as_millis() as u64;
+        Some(limit_ms.saturating_sub(elapsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.charge(u64::MAX / 2).is_ok());
+        assert!(!b.is_exhausted());
+        assert_eq!(b.remaining_ms(), None);
+        assert!(!Budget::new(None, None).is_limited());
+    }
+
+    #[test]
+    fn step_quota_trips_and_sticks() {
+        let b = Budget::new(None, Some(10));
+        assert!(b.charge(10).is_ok());
+        assert_eq!(b.charge(1), Err(BudgetExceeded::Steps { quota: 10 }));
+        // Sticky: a zero-cost check after tripping still fails.
+        assert!(b.check().is_err());
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let b = Budget::new(None, Some(4));
+        let c = b.clone();
+        assert!(b.charge(3).is_ok());
+        assert!(c.charge(2).is_err(), "clone sees the shared spend");
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_trips_after_elapse() {
+        let b = Budget::new(Some(0), None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.check(), Err(BudgetExceeded::Deadline { limit_ms: 0 }));
+        assert_eq!(b.remaining_ms(), Some(0));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn remaining_ms_counts_down() {
+        let b = Budget::new(Some(60_000), None);
+        let r = b.remaining_ms().unwrap();
+        assert!(r <= 60_000 && r > 50_000, "{r}");
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn exceeded_messages_are_actionable() {
+        let d = BudgetExceeded::Deadline { limit_ms: 500 }.to_string();
+        assert!(d.contains("500ms"), "{d}");
+        let s = BudgetExceeded::Steps { quota: 9 }.to_string();
+        assert!(s.contains('9'), "{s}");
+    }
+}

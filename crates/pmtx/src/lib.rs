@@ -1,0 +1,25 @@
+//! `pmtx` — the repair-transaction layer.
+//!
+//! Hippocrates repairs crash-consistency bugs, so its own repair pipeline is
+//! held to the same standard the paper holds its target programs to: every
+//! mutation is transactional. This crate provides the two primitives the
+//! engine builds rounds out of:
+//!
+//! - [`Budget`] — a cooperative wall-clock deadline plus step quota threaded
+//!   through the detect/explore/static/repair stages, so a run degrades to a
+//!   partial-but-committed outcome instead of hanging.
+//! - [`Journal`] — the append-only, checksummed, versioned
+//!   (`hippo.journal.v1`) write-ahead repair journal. Committed rounds are
+//!   durable before the engine moves on; after a SIGKILL, `--resume` replays
+//!   them idempotently and continues where the run left off.
+//!
+//! The crate is deliberately ignorant of `pmir` and the engine's fix types:
+//! journal records carry opaque pre-serialized payloads (module text,
+//! fix JSON) so that the dependency arrow points from the engine *down* into
+//! `pmtx`, never back up.
+
+pub mod budget;
+pub mod journal;
+
+pub use budget::{Budget, BudgetExceeded};
+pub use journal::{Journal, JournalError, JournalHeader, Resumed, RoundRecord, JOURNAL_SCHEMA};

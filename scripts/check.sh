@@ -51,8 +51,43 @@ target/release/hippoctl fix examples/ordering_demo.pmc --bug-source exploration 
 target/release/hippoctl explore "$healed" --budget 64 --seed 0
 rm -rf "$(dirname "$healed")"
 
-echo "==> hippoctl faultcampaign --seeds 8 (every fault archetype survived)"
-target/release/hippoctl faultcampaign --seeds 8
+echo "==> hippoctl faultcampaign --seeds 11 (every fault archetype survived)"
+target/release/hippoctl faultcampaign --seeds 11
+
+echo "==> kill-and-resume gate (crash after first commit, resume, byte-identical)"
+txdir="$(mktemp -d)"
+cat > "$txdir/buggy.pmc" <<'EOF'
+fn main() {
+    var p: ptr = pmem_map(0, 4096);
+    store8(p, 0, 1);
+    crashpoint();
+    store8(p, 8, 2);
+}
+EOF
+target/release/hippoctl fix "$txdir/buggy.pmc" \
+    --journal "$txdir/ref.journal" -o "$txdir/ref.ir"
+if target/release/hippoctl fix "$txdir/buggy.pmc" \
+    --journal "$txdir/kr.journal" --crash-after-commit 1 -o "$txdir/never.ir"; then
+    echo "check.sh: --crash-after-commit did NOT kill the run" >&2
+    exit 1
+fi
+target/release/hippoctl fix "$txdir/buggy.pmc" \
+    --journal "$txdir/kr.journal" --resume -o "$txdir/resumed.ir" 2> "$txdir/resume.log"
+grep -q "resumed from journal" "$txdir/resume.log"
+cmp "$txdir/ref.ir" "$txdir/resumed.ir"
+echo "killed run resumed to the byte-identical module, as expected"
+
+echo "==> corrupted-journal gate (resume must refuse, inverted self-test)"
+# Flip a byte in the journal header: interior corruption, never a torn tail.
+printf 'X' | dd of="$txdir/kr.journal" bs=1 seek=10 conv=notrunc status=none
+if target/release/hippoctl fix "$txdir/buggy.pmc" \
+    --journal "$txdir/kr.journal" --resume -o "$txdir/bad.ir" 2> "$txdir/corrupt.log"; then
+    echo "check.sh: resume did NOT refuse the corrupted journal" >&2
+    exit 1
+fi
+grep -q "refusing to resume" "$txdir/corrupt.log"
+echo "corrupted journal refused with a clear diagnostic, as expected"
+rm -rf "$txdir"
 
 echo "==> explore_bench smoke (writes BENCH_explore.json)"
 target/release/explore_bench
@@ -61,6 +96,10 @@ test -s BENCH_explore.json
 echo "==> fault_bench smoke (writes BENCH_fault.json)"
 target/release/fault_bench
 test -s BENCH_fault.json
+
+echo "==> tx_bench smoke (writes BENCH_tx.json)"
+target/release/tx_bench
+test -s BENCH_tx.json
 
 echo "==> bench-regression gate (+ inverted self-test)"
 scripts/bench_gate.sh
