@@ -4,7 +4,8 @@
 //! `fault_bench`) against the checked-in baselines under
 //! `crates/bench/baselines/`, applying the rules in [`bench::gate`]:
 //! `bench.*_ms` gauges may not regress more than 25 %, and
-//! `bench.*pass_rate` / `bench.*healed_clean` gauges may not drop at all.
+//! `bench.*pass_rate` / `bench.*healed_clean` / `bench.*_floor` gauges may
+//! not drop at all.
 //!
 //! ```text
 //! bench_gate                  # gate fresh artifacts against the baselines

@@ -1,0 +1,175 @@
+//! The "inverse Hippocrates" benchmark: proves that repairing the
+//! flush-free Redis and then running the `pmredund` optimizer strictly
+//! beats the naively-repaired server on every YCSB phase, and locks the
+//! win in as `BENCH_opt.json` — a `hippo.metrics.v1` snapshot the CI
+//! bench-regression gate (`bench_gate`) compares against its checked-in
+//! baseline.
+//!
+//! The mechanism: the repair engine only ever *inserts* flushes and
+//! fences, so the healed server carries barriers the developer's original
+//! fences already cover — back-to-back fences and re-flushes of durable
+//! lines. The optimizer removes exactly the ones it can prove (and
+//! dynamically re-verify) harmless.
+//!
+//! Gated gauges (all deterministic on the simulated clock, so the floors
+//! are machine-independent):
+//!
+//! * `bench.opt.{workload}.speedup_floor` — end-to-end session speedup of
+//!   repaired-then-optimized over naively-repaired, per YCSB phase
+//!   (Load + A–F). Must never drop below baseline; the bench itself
+//!   asserts it stays strictly above 1.0.
+//! * `bench.opt.healed_clean` — 1.0 iff the repair converged clean and
+//!   the optimized module still verifies clean on the calibration
+//!   workload.
+//!
+//! Usage: `opt_bench [records] [ops]` (defaults 300 300 — the gate
+//! baseline is generated with the defaults; pass larger numbers for a
+//! full-scale run, but don't gate those).
+
+use bench::redisx::{calibration_ops, to_redis_ops};
+use bench::{build_redis_variants, measure_workload, throughput, Table};
+use pmapps::redis::attach_workload;
+use ycsb::{Generator, Workload};
+
+const VALUE_LEN: i64 = 256;
+
+/// Rounds a floor gauge down to 3 decimals: the JSON round-trip through
+/// the baseline file must never push a deterministic value above the
+/// fresh run by a rounding hair.
+fn quantize_floor(x: f64) -> f64 {
+    (x * 1000.0).floor() / 1000.0
+}
+
+fn main() {
+    let obs = pmobs::Obs::enabled();
+    let run_span = obs.span("bench.opt");
+    let t_all = std::time::Instant::now();
+    let args: Vec<u64> = bench::positional_args()
+        .into_iter()
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let records = args.first().copied().unwrap_or(300);
+    let ops = args.get(1).copied().unwrap_or(300);
+    obs.add("bench.opt.records", records);
+    obs.add("bench.opt.ops", ops);
+
+    println!(
+        "Inverse-Hippocrates benchmark — repaired vs. repaired-then-optimized Redis \
+         ({records} records, {ops} ops, {VALUE_LEN}-byte values)\n"
+    );
+    eprintln!("building variants and repairing the flush-free Redis…");
+    let v = build_redis_variants();
+    assert!(v.hfull_outcome.clean, "repair must converge clean");
+    let naive = v.hfull;
+
+    // Repaired-then-optimized: same healed module, then the pmredund pass
+    // verified against the calibration workload (the same harness the
+    // repair itself was verified against).
+    let mut opt = naive.clone();
+    let cal = attach_workload(&mut opt, "opt_cal", &calibration_ops());
+    let opts = pmredund::OptimizeOptions {
+        entry: cal.clone(),
+        obs: obs.clone(),
+        ..pmredund::OptimizeOptions::default()
+    };
+    eprintln!("optimizing the repaired module…");
+    let out = pmredund::optimize_module(&mut opt, &opts).expect("optimizer runs");
+    println!("optimizer: {out}");
+    assert!(
+        out.flushes_removed() + out.fences_sunk() > 0,
+        "the healed Redis must carry at least one provably redundant barrier"
+    );
+    for a in &out.applied {
+        assert!(
+            !a.finding.witness.claim.is_empty(),
+            "applied optimization without a witness: {}",
+            a.finding
+        );
+    }
+    obs.add("bench.opt.flushes_removed", out.flushes_removed() as u64);
+    obs.add("bench.opt.fences_sunk", out.fences_sunk() as u64);
+    obs.add("bench.opt.quarantined", out.quarantined.len() as u64);
+    obs.gauge("bench.opt.est_cycles_saved", out.est_cycles_saved as f64);
+
+    // The optimized module must still verify clean on the calibration
+    // workload (the optimizer guarantees this round by round; re-prove it
+    // end to end here).
+    let checked = pmcheck::run_and_check(&opt, &cal, pmvm::VmOptions::default())
+        .expect("optimized module runs");
+    let healed_clean: f64 = if checked.report.is_clean() { 1.0 } else { 0.0 };
+
+    let mut naive = naive;
+    let labels: Vec<String> = std::iter::once("Load".to_string())
+        .chain(Workload::ALL.iter().map(|w| w.label().to_string()))
+        .collect();
+    let g = Generator::new(records, ops, VALUE_LEN as u64, 42);
+    let load = to_redis_ops(&g.load_ops(), VALUE_LEN);
+
+    let mut t = Table::new([
+        "Workload",
+        "repaired (ops/s)",
+        "repaired+opt (ops/s)",
+        "speedup",
+    ]);
+    let mut min_speedup = f64::INFINITY;
+    for (wi, label) in labels.iter().enumerate() {
+        let run = if wi == 0 {
+            vec![]
+        } else {
+            to_redis_ops(&g.run_ops(Workload::ALL[wi - 1]), VALUE_LEN)
+        };
+        let rn = measure_workload(&mut naive, &format!("n_{label}"), &load, &run);
+        let ro = measure_workload(&mut opt, &format!("o_{label}"), &load, &run);
+        assert_eq!(
+            rn.output, ro.output,
+            "optimized output diverged on {label} (do-no-harm violation)"
+        );
+        // End-to-end session cost: load alone for the Load phase, load+run
+        // for the YCSB workloads (so even the read-only workload C pays —
+        // and recoups — the persistence cost of populating the store).
+        let (count, cn, co) = if wi == 0 {
+            (records, rn.load_cycles, ro.load_cycles)
+        } else {
+            (
+                records + ops,
+                rn.load_cycles + rn.run_cycles,
+                ro.load_cycles + ro.run_cycles,
+            )
+        };
+        assert!(
+            co < cn,
+            "{label}: optimized module must be strictly cheaper ({co} vs {cn} cycles)"
+        );
+        let (tn, to) = (throughput(count, cn), throughput(count, co));
+        let speedup = cn as f64 / co as f64;
+        min_speedup = min_speedup.min(speedup);
+        obs.gauge(&format!("bench.opt.{label}.naive.ops_per_sec"), tn);
+        obs.gauge(&format!("bench.opt.{label}.opt.ops_per_sec"), to);
+        obs.gauge(
+            &format!("bench.opt.{label}.speedup_floor"),
+            quantize_floor(speedup),
+        );
+        t.row([
+            label.clone(),
+            format!("{tn:.0}"),
+            format!("{to:.0}"),
+            format!("{speedup:.3}x"),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{t}");
+    println!(
+        "repaired-then-optimized beats naively-repaired on every phase \
+         (min speedup {min_speedup:.3}x), output byte-identical throughout"
+    );
+
+    assert!(
+        (healed_clean - 1.0).abs() < f64::EPSILON,
+        "the optimized module must verify clean on the calibration workload"
+    );
+    obs.gauge("bench.opt.healed_clean", healed_clean);
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    drop(run_span);
+    bench::write_metrics("BENCH_opt.json", &obs);
+}

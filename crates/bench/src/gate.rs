@@ -8,8 +8,10 @@
 //!   [`WALL_TOLERANCE`] of the baseline: a >25 % wall-time regression
 //!   fails the gate. Baselines are written with [`REBASE_HEADROOM`] so a
 //!   modestly slower CI machine does not trip it.
-//! * **floor metrics** — names ending in `pass_rate` or `healed_clean`.
-//!   Any drop below the baseline fails: correctness rates never regress.
+//! * **floor metrics** — names ending in `pass_rate`, `healed_clean`, or
+//!   the explicit `_floor` suffix (used for deterministic simulated-clock
+//!   ratios like the optimizer's per-workload speedups). Any drop below
+//!   the baseline fails: correctness rates and proven wins never regress.
 //!
 //! [`doctor`] corrupts a baseline so the gate is *guaranteed* to fail on
 //! any real run — the inverted self-test `scripts/bench_gate.sh` uses to
@@ -19,7 +21,12 @@ use pmobs::Snapshot;
 use std::collections::BTreeMap;
 
 /// The artifacts with checked-in baselines.
-pub const GATED_FILES: &[&str] = &["BENCH_explore.json", "BENCH_fault.json", "BENCH_tx.json"];
+pub const GATED_FILES: &[&str] = &[
+    "BENCH_explore.json",
+    "BENCH_fault.json",
+    "BENCH_tx.json",
+    "BENCH_opt.json",
+];
 
 /// Fresh wall metrics may exceed the baseline by at most this factor.
 pub const WALL_TOLERANCE: f64 = 1.25;
@@ -41,9 +48,14 @@ pub fn is_wall_metric(name: &str) -> bool {
     name.starts_with("bench.") && name.ends_with("_ms")
 }
 
-/// Whether `name` is a gated no-drop gauge (same namespace rule).
+/// Whether `name` is a gated no-drop gauge (same namespace rule). The
+/// explicit `_floor` suffix opts a gauge in by name; `pass_rate` and
+/// `healed_clean` are grandfathered from before the suffix existed.
 pub fn is_floor_metric(name: &str) -> bool {
-    name.starts_with("bench.") && (name.ends_with("pass_rate") || name.ends_with("healed_clean"))
+    name.starts_with("bench.")
+        && (name.ends_with("pass_rate")
+            || name.ends_with("healed_clean")
+            || name.ends_with("_floor"))
 }
 
 /// The outcome of gating one artifact.
@@ -162,7 +174,9 @@ mod tests {
         assert!(!is_wall_metric("bench.fault.pass_rate"));
         assert!(is_floor_metric("bench.fault.pass_rate"));
         assert!(is_floor_metric("bench.explore.healed_clean"));
+        assert!(is_floor_metric("bench.opt.Load.speedup_floor"));
         assert!(!is_floor_metric("bench.wall_ms"));
+        assert!(!is_floor_metric("bench.opt.Load.naive.ops_per_sec"));
         // Pipeline-internal gauges outside `bench.` are never gated.
         assert!(!is_wall_metric("repair.reverify_ms"));
         assert!(!is_floor_metric("check.pass_rate"));

@@ -14,6 +14,8 @@
 //! | `ablation_cost_model` | DESIGN.md — fence/flush latency sensitivity of Fig. 4 |
 //! | `explore_bench`     | `BENCH_explore.json` — exploration states/sec + coverage vs. crashpoint sampling |
 //! | `fault_bench`       | `BENCH_fault.json` — fault-archetype pass rate + injection-layer overhead |
+//! | `tx_bench`          | `BENCH_tx.json` — repair-transaction journal/replay/rollback cost |
+//! | `opt_bench`         | `BENCH_opt.json` — repaired-then-optimized Redis beats naively-repaired on YCSB |
 //! | `bench_gate`        | CI regression gate over the checked-in `crates/bench/baselines/` |
 //!
 //! Every binary emits its headline numbers as a `hippo.metrics.v1`

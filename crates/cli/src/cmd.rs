@@ -39,6 +39,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             "lint" => lint_cmd(rest, &obs),
             "explore" => explore_cmd(rest, &obs),
             "fix" => fix_cmd(rest, &obs),
+            "optimize" => optimize_cmd(rest, &obs),
             "faultcampaign" => faultcampaign_cmd(rest, &obs),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
@@ -66,6 +67,8 @@ fn usage() -> String {
         "hippoctl check   <src>... [--entry NAME]         durability-bug report",
         "hippoctl lint    <src|dir>... [--entry NAME]     static persistency check",
         "                 [--deny warnings]                (no execution; dirs lint each .pmc)",
+        "                 [--redundant] [--deny redundant]  also lint provably-redundant",
+        "                                                    flushes/fences (pmredund)",
         "hippoctl explore <src>... [--entry NAME]         crash-state exploration: boot the",
         "                 [--jobs N] [--budget K]           recovery oracle on sampled crash",
         "                 [--seed S] [--recover FN]         states; report inconsistencies",
@@ -78,6 +81,11 @@ fn usage() -> String {
         "                 [--deadline-ms N] [--step-quota N] cooperative budget: partial-",
         "                                                    but-committed, never a hang",
         "                 [--show-quarantine]                print the quarantine ledger",
+        "                 [--optimize]                       after a clean repair, strip",
+        "                                                    redundant flushes/fences",
+        "hippoctl optimize <src>... [--entry NAME] [-o F] strip provably-redundant flushes",
+        "                 [--jobs N] [--budget K] [--seed S]  and sinkable fences; each removal",
+        "                                                     is re-verified or rolled back",
         "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
         "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
         "                                                   degrades, never panics or hangs",
@@ -100,6 +108,9 @@ struct Opts {
     trace_aa: bool,
     portable: bool,
     deny_warnings: bool,
+    deny_redundant: bool,
+    lint_redundant: bool,
+    optimize: bool,
     bug_source: BugSource,
     jobs: usize,
     budget: usize,
@@ -124,6 +135,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         trace_aa: false,
         portable: false,
         deny_warnings: false,
+        deny_redundant: false,
+        lint_redundant: false,
+        optimize: false,
         bug_source: BugSource::Dynamic,
         jobs: 1,
         budget: 256,
@@ -149,10 +163,15 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             }
             "--deny" => {
                 let what = it.next().ok_or("--deny needs a value")?;
-                if what != "warnings" {
-                    return Err(format!("--deny supports only `warnings`, got `{what}`"));
+                match what.as_str() {
+                    "warnings" => o.deny_warnings = true,
+                    "redundant" => o.deny_redundant = true,
+                    _ => {
+                        return Err(format!(
+                            "--deny supports `warnings` or `redundant`, got `{what}`"
+                        ));
+                    }
                 }
-                o.deny_warnings = true;
             }
             "--bug-source" => {
                 let v = it.next().ok_or("--bug-source needs a value")?;
@@ -222,6 +241,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     format!("--crash-after-commit needs an unsigned integer, got `{v}`")
                 })?);
             }
+            "--redundant" => o.lint_redundant = true,
+            "--optimize" => o.optimize = true,
             "--intra-only" => o.intra_only = true,
             "--trace-aa" => o.trace_aa = true,
             "--portable" => o.portable = true,
@@ -352,25 +373,43 @@ fn lint_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
         groups.insert(0, explicit);
     }
     let mut warnings = 0usize;
+    let mut redundant = 0usize;
+    let want_redundant = o.lint_redundant || o.deny_redundant;
     for g in &groups {
-        warnings += lint_group(g, &o.entry, obs)?;
+        let (w, r) = lint_group(g, &o.entry, want_redundant, obs)?;
+        warnings += w;
+        redundant += r;
     }
     obs.add("cli.lint.modules", groups.len() as u64);
     obs.add("cli.lint.warnings", warnings as u64);
-    if warnings == 0 {
-        eprintln!("lint: clean ({} module(s))", groups.len());
-        Ok(())
-    } else if o.deny_warnings {
-        Err(format!("{warnings} warning(s) denied by --deny warnings"))
-    } else {
-        eprintln!("lint: {warnings} warning(s)");
-        Ok(())
+    if want_redundant {
+        obs.add("cli.lint.redundant", redundant as u64);
     }
+    if o.deny_warnings && warnings > 0 {
+        return Err(format!("{warnings} warning(s) denied by --deny warnings"));
+    }
+    if o.deny_redundant && redundant > 0 {
+        return Err(format!(
+            "{redundant} redundant flush/fence finding(s) denied by --deny redundant"
+        ));
+    }
+    match (warnings, redundant) {
+        (0, 0) => eprintln!("lint: clean ({} module(s))", groups.len()),
+        (w, 0) => eprintln!("lint: {w} warning(s)"),
+        (0, r) => eprintln!("lint: {r} redundant flush/fence finding(s)"),
+        (w, r) => eprintln!("lint: {w} warning(s), {r} redundant flush/fence finding(s)"),
+    }
+    Ok(())
 }
 
 /// Lints one module (one or more linked sources); returns the number of
 /// warnings emitted.
-fn lint_group(sources: &[String], entry: &str, obs: &pmobs::Obs) -> Result<usize, String> {
+fn lint_group(
+    sources: &[String],
+    entry: &str,
+    want_redundant: bool,
+    obs: &pmobs::Obs,
+) -> Result<(usize, usize), String> {
     let mut texts = std::collections::HashMap::new();
     for s in sources {
         if let Ok(text) = std::fs::read_to_string(s) {
@@ -399,7 +438,66 @@ fn lint_group(sources: &[String], entry: &str, obs: &pmobs::Obs) -> Result<usize
         }
     }
     print!("{}", render_lint(&report, &texts));
-    Ok(report.deduped_bugs().len() + report.redundant_flushes.len())
+    let mut redundant = 0usize;
+    if want_redundant {
+        let findings = pmredund::analyze_module(&m, entry).map_err(|e| e.to_string())?;
+        for f in &findings {
+            if let Some(loc) = &f.loc {
+                if !texts.contains_key(&loc.file) && !loc.file.starts_with('<') {
+                    if let Ok(t) = std::fs::read_to_string(&loc.file) {
+                        texts.insert(loc.file.clone(), t);
+                    }
+                }
+            }
+        }
+        redundant = findings.len();
+        print!("{}", render_redundancy(&findings, &texts));
+    }
+    Ok((
+        report.deduped_bugs().len() + report.redundant_flushes.len(),
+        redundant,
+    ))
+}
+
+/// Renders `pmredund` findings as rustc-style diagnostics, each with its
+/// happens-before witness as notes.
+fn render_redundancy(
+    findings: &[pmredund::Finding],
+    texts: &std::collections::HashMap<String, String>,
+) -> String {
+    let mut s = String::new();
+    for f in findings {
+        let what = match f.kind {
+            pmredund::FindingKind::RedundantFlush => {
+                "flush of a line already durable on every incoming path"
+            }
+            pmredund::FindingKind::CoalescableFlush => {
+                "flush coalesces with another flush of the same line"
+            }
+            pmredund::FindingKind::SinkableFence => {
+                "fence orders no persistent work on any incoming path"
+            }
+        };
+        let _ = writeln!(s, "warning: {}: {what}", f.kind);
+        excerpt(
+            &mut s,
+            f.loc.as_ref(),
+            texts,
+            &format!(
+                "in `{}`, ~{} cycles per pass",
+                f.function, f.est_cycles_saved
+            ),
+        );
+        let _ = writeln!(s, "   = note: {}", f.witness.claim);
+        for ev in &f.witness.events {
+            let _ = writeln!(s, "   = note: witness: {ev}");
+        }
+        let _ = writeln!(
+            s,
+            "   = note: `hippoctl optimize` removes this with dynamic re-verification"
+        );
+    }
+    s
 }
 
 /// Renders a static report as rustc-style diagnostics with source excerpts.
@@ -536,6 +634,7 @@ fn fix_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
         deadline_ms: o.deadline_ms,
         step_quota: o.step_quota,
         crash_after_commit: o.crash_after_commit,
+        optimize_after: o.optimize,
         obs: obs.clone(),
         ..RepairOptions::default()
     };
@@ -574,6 +673,9 @@ fn report_fix_outcome(outcome: &hippocrates::RepairOutcome, o: &Opts, clean: boo
             eprintln!("quarantined: {q}");
         }
     }
+    if let Some(stats) = &outcome.optimized {
+        eprintln!("optimized: {stats}");
+    }
     let journal_note = if outcome.replayed_rounds > 0 {
         format!(" ({} replayed from journal)", outcome.replayed_rounds)
     } else {
@@ -589,6 +691,40 @@ fn report_fix_outcome(outcome: &hippocrates::RepairOutcome, o: &Opts, clean: boo
         outcome.quarantined.len(),
         if clean { "clean" } else { "NOT clean" }
     );
+}
+
+/// `hippoctl optimize`: the inverse pass, standalone. Analyzes the module
+/// for provably-redundant flushes, coalescable flushes, and sinkable
+/// fences, then removes them in transactional rounds — each re-verified
+/// with the dynamic checker and the crash-state explorer (byte-identical
+/// output, no new or worsened bug site) and rolled back byte-identically
+/// into quarantine otherwise. Prints every committed removal with its
+/// happens-before witness.
+fn optimize_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
+    let o = parse(args)?;
+    let mut m = load_obs(&o.sources, obs)?;
+    let opts = pmredund::OptimizeOptions {
+        entry: o.entry.clone(),
+        explore_budget: o.budget,
+        explore_seed: o.seed,
+        explore_jobs: o.jobs,
+        obs: obs.clone(),
+        ..pmredund::OptimizeOptions::default()
+    };
+    let out = pmredund::optimize_module(&mut m, &opts).map_err(|e| e.to_string())?;
+    for a in &out.applied {
+        eprintln!("removed: {}", a.finding);
+        eprintln!("   = witness: {}", a.finding.witness.claim);
+        for ev in &a.finding.witness.events {
+            eprintln!("   = via: {ev}");
+        }
+    }
+    for q in &out.quarantined {
+        eprintln!("quarantined: {} — {}", q.finding, q.reason);
+    }
+    eprintln!("-- {out}");
+    let text = pmir::display::print_module(&m);
+    emit(&o.out, &text)
 }
 
 /// The built-in fault-campaign workload: enough PM stores, flushes, and
@@ -827,6 +963,76 @@ mod tests {
     }
 
     #[test]
+    fn parse_optimize_and_redundant_flags() {
+        let args: Vec<String> = ["a.pmc", "--deny", "redundant", "--redundant", "--optimize"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse(&args).unwrap();
+        assert!(o.deny_redundant);
+        assert!(o.lint_redundant);
+        assert!(o.optimize);
+        assert!(!o.deny_warnings);
+    }
+
+    #[test]
+    fn optimize_cmd_strips_redundancy_and_stays_clean() {
+        let dir = scratch_dir("optimize_cmd");
+        let src_path = dir.join("dup.pmc");
+        std::fs::write(
+            &src_path,
+            "fn main() {\n    var p: ptr = pmem_map(2, 4096);\n    store8(p, 0, 1);\n    clwb(p);\n    sfence();\n    clwb(p);\n    sfence();\n    print(load8(p, 0));\n}\n",
+        )
+        .unwrap();
+        let out_ir = dir.join("opt.ir");
+        optimize_cmd(
+            &[
+                src_path.to_string_lossy().to_string(),
+                "--budget".into(),
+                "16".into(),
+                "-o".into(),
+                out_ir.to_string_lossy().to_string(),
+            ],
+            &pmobs::Obs::default(),
+        )
+        .unwrap();
+        let m = pmir::parse::parse_module(&std::fs::read_to_string(&out_ir).unwrap()).unwrap();
+        let checked = run_and_check(&m, "main", VmOptions::default()).unwrap();
+        assert!(checked.report.is_clean());
+        assert_eq!(checked.run.output, vec![1]);
+        assert!(checked.run.stats.pm_flushes < 2 || checked.run.stats.fences < 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_deny_redundant_fails_on_redundant_module() {
+        let dir = scratch_dir("lint_redundant");
+        let src_path = dir.join("dup.pmc");
+        std::fs::write(
+            &src_path,
+            "fn main() {\n    var p: ptr = pmem_map(2, 4096);\n    store8(p, 0, 1);\n    clwb(p);\n    sfence();\n    clwb(p);\n    sfence();\n}\n",
+        )
+        .unwrap();
+        let err = lint_cmd(
+            &[
+                src_path.to_string_lossy().to_string(),
+                "--deny".into(),
+                "redundant".into(),
+            ],
+            &pmobs::Obs::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("redundant"), "{err}");
+        // Without --deny, the same module lints successfully (warnings only).
+        lint_cmd(
+            &[src_path.to_string_lossy().to_string(), "--redundant".into()],
+            &pmobs::Obs::default(),
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn parse_bug_source() {
         let args: Vec<String> = ["a.pmc", "--bug-source", "static"]
             .iter()
@@ -1002,6 +1208,10 @@ mod tests {
             ("lint", vec![src.clone()]),
             ("explore", vec![src.clone(), "--budget".into(), "16".into()]),
             ("fix", vec![src.clone(), "-o".into(), out_ir]),
+            (
+                "optimize",
+                vec![src.clone(), "--budget".into(), "16".into()],
+            ),
             ("faultcampaign", vec!["--seeds".into(), "1".into()]),
             ("help", vec![]),
         ];

@@ -674,6 +674,45 @@ impl Hippocrates {
         }
     }
 
+    /// The inverse pass: after a clean repair, strip provably-redundant
+    /// flushes and sinkable fences with the `pmredund` optimizer. Every
+    /// transactional round is re-verified (dynamic checker + crash-state
+    /// exploration, byte-identical output) and rolls back byte-identically
+    /// on any regression, so this can never undo the repair. An optimizer
+    /// failure is a diagnostic, never a repair failure — the healed module
+    /// is already correct.
+    fn optimize_after_clean(
+        &self,
+        m: &mut Module,
+        entry: &str,
+        diagnostics: &mut Vec<String>,
+    ) -> Option<crate::summary::OptimizeStats> {
+        if !self.opts.optimize_after {
+            return None;
+        }
+        let _span = self.opts.obs.span("repair.optimize");
+        let o = pmredund::OptimizeOptions {
+            entry: entry.to_string(),
+            explore_budget: self.opts.explore_budget,
+            explore_seed: self.opts.explore_seed,
+            explore_jobs: self.opts.explore_jobs,
+            obs: self.opts.obs.clone(),
+            ..pmredund::OptimizeOptions::default()
+        };
+        match pmredund::optimize_module(m, &o) {
+            Ok(out) => {
+                if !out.applied.is_empty() || !out.quarantined.is_empty() {
+                    note(diagnostics, format!("optimizer: {out}"));
+                }
+                Some(crate::summary::OptimizeStats::from_outcome(&out))
+            }
+            Err(e) => {
+                note(diagnostics, format!("optimizer skipped: {e}"));
+                None
+            }
+        }
+    }
+
     /// The full loop: run the bug finder, repair, and re-verify until the
     /// report is clean (paper Fig. 2 plus the §6.1 validation step). With
     /// [`BugSource::Static`] the loop converges against the static verdict
@@ -808,6 +847,7 @@ impl Hippocrates {
                     quarantined,
                     committed_rounds,
                     replayed_rounds,
+                    optimized: None,
                 }),
             });
         }
@@ -844,6 +884,7 @@ impl Hippocrates {
                                 quarantined,
                                 committed_rounds,
                                 replayed_rounds,
+                                optimized: None,
                             }),
                         }
                     }
@@ -861,6 +902,7 @@ impl Hippocrates {
                     let _ = pmtrace::log::from_log_obs(&pmtrace::log::to_log(&trace), &obs);
                 }
                 drain_injected(&injector, &mut diagnostics);
+                let optimized = self.optimize_after_clean(m, entry, &mut diagnostics);
                 return Ok(RepairOutcome {
                     clean: true,
                     fixes,
@@ -872,6 +914,7 @@ impl Hippocrates {
                     quarantined,
                     committed_rounds,
                     replayed_rounds,
+                    optimized,
                 });
             }
             if let Err(exceeded) = budget.check() {
@@ -889,6 +932,7 @@ impl Hippocrates {
                         quarantined,
                         committed_rounds,
                         replayed_rounds,
+                        optimized: None,
                     }),
                 });
             }
@@ -907,6 +951,7 @@ impl Hippocrates {
                         quarantined,
                         committed_rounds,
                         replayed_rounds,
+                        optimized: None,
                     }),
                 });
             }
@@ -948,6 +993,7 @@ impl Hippocrates {
                         quarantined,
                         committed_rounds,
                         replayed_rounds,
+                        optimized: None,
                     }),
                 });
             }
@@ -997,6 +1043,7 @@ impl Hippocrates {
                                     quarantined,
                                     committed_rounds,
                                     replayed_rounds,
+                                    optimized: None,
                                 }),
                             }
                         }
@@ -1433,6 +1480,45 @@ mod tests {
         assert!(outcome.fixes.is_empty());
         assert_eq!(outcome.iterations, 0);
         assert_eq!(pmir::display::print_module(&m), text_before);
+    }
+
+    #[test]
+    fn optimize_after_strips_redundant_barriers_and_keeps_behavior() {
+        // Already-clean module with a duplicated flush+fence pair: the
+        // repair loop has nothing to do, then the inverse pass strips the
+        // redundancy without changing observable behavior.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                clwb(p);
+                sfence();
+                print(load8(p, 0));
+            }
+        "#;
+        let mut m = pmlang::compile_one("t.pmc", src).unwrap();
+        let before = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            optimize_after: true,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        assert!(outcome.clean);
+        let stats = outcome
+            .optimized
+            .expect("optimizer ran on the clean module");
+        assert!(stats.flushes_removed >= 1, "{stats}");
+        assert!(stats.fences_sunk >= 1, "{stats}");
+        let after = pmvm::Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        assert_eq!(before.output, after.output, "behavior preserved");
+        assert!(
+            after.stats.pm_flushes < before.stats.pm_flushes
+                && after.stats.fences < before.stats.fences,
+            "fewer barriers execute after optimization"
+        );
     }
 
     #[test]

@@ -49,4 +49,6 @@ pub mod summary;
 
 pub use engine::{provide_durability, Hippocrates, RepairError};
 pub use options::{BugSource, MarkingMode, RepairOptions};
-pub use summary::{AppliedFix, Degradation, FixKind, QuarantinedFix, RepairOutcome, RepairSummary};
+pub use summary::{
+    AppliedFix, Degradation, FixKind, OptimizeStats, QuarantinedFix, RepairOutcome, RepairSummary,
+};

@@ -114,6 +114,12 @@ pub struct RepairOptions {
     /// Step quota for the cooperative budget: each repair round (and each
     /// detection attempt) costs one step. `None` is unlimited.
     pub step_quota: Option<u64>,
+    /// After the loop converges clean, run the `pmredund` optimizer: strip
+    /// provably-redundant flushes and sinkable fences in transactional
+    /// rounds, each re-verified (dynamic checker + crash-state exploration,
+    /// byte-identical output) and rolled back on any regression. The
+    /// inverse pass can therefore never undo the repair. Off by default.
+    pub optimize_after: bool,
     /// Crash-injection hook for the kill-and-resume machinery: abort the
     /// process (as a deterministic stand-in for SIGKILL) immediately after
     /// the n-th round committed *in this process*. Only ever set by tests
@@ -147,6 +153,7 @@ impl Default for RepairOptions {
             deadline_ms: None,
             step_quota: None,
             crash_after_commit: None,
+            optimize_after: false,
         }
     }
 }
@@ -203,7 +210,8 @@ impl RepairOptions {
     /// runs with equal digests plan identical fixes for identical modules;
     /// presentation-only knobs (observability, retries, deadlines, the
     /// journal itself) are deliberately excluded so they never block a
-    /// resume.
+    /// resume. `optimize_after` is excluded too: it runs only after the
+    /// loop converges, so journaled repair rounds replay unchanged.
     pub fn digest_hex(&self) -> String {
         let canon = format!(
             "hoisting={} marking={:?} flush={:?} fence={:?} reuse={} portable={} \
@@ -237,6 +245,7 @@ mod tests {
         assert_eq!(o.flush_kind, FlushKind::Clwb);
         assert!(!RepairOptions::intraprocedural_only().hoisting);
         assert!(o.journal_path.is_none() && !o.resume);
+        assert!(!o.optimize_after);
         assert!(o.validate().is_ok());
     }
 

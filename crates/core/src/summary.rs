@@ -148,6 +148,56 @@ impl fmt::Display for QuarantinedFix {
     }
 }
 
+/// What the post-repair optimizer pass did, when
+/// [`crate::RepairOptions::optimize_after`] is set: committed removals and
+/// the rounds it rolled back. The full per-finding detail (witnesses,
+/// patches) lives in `pmredund::OptimizeOutcome`; this is the summary the
+/// repair outcome carries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Redundant/coalescable flushes removed.
+    pub flushes_removed: u64,
+    /// Sinkable fences removed.
+    pub fences_sunk: u64,
+    /// Transactional optimizer rounds committed.
+    pub rounds_committed: u64,
+    /// Rounds rolled back byte-identically (including bisection steps).
+    pub rounds_rolled_back: u64,
+    /// Findings that failed re-verification and were quarantined.
+    pub quarantined: u64,
+    /// Estimated cycles saved per pass, under the calibrated cost model.
+    pub est_cycles_saved: u64,
+}
+
+impl OptimizeStats {
+    /// Summarizes a full optimizer outcome.
+    pub fn from_outcome(out: &pmredund::OptimizeOutcome) -> Self {
+        OptimizeStats {
+            flushes_removed: out.flushes_removed(),
+            fences_sunk: out.fences_sunk(),
+            rounds_committed: out.rounds_committed,
+            rounds_rolled_back: out.rounds_rolled_back,
+            quarantined: out.quarantined.len() as u64,
+            est_cycles_saved: out.est_cycles_saved,
+        }
+    }
+}
+
+impl fmt::Display for OptimizeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "removed {} flush(es), sank {} fence(s), ~{} cycles/pass saved              ({} round(s) committed, {} rolled back, {} quarantined)",
+            self.flushes_removed,
+            self.fences_sunk,
+            self.est_cycles_saved,
+            self.rounds_committed,
+            self.rounds_rolled_back,
+            self.quarantined
+        )
+    }
+}
+
 /// The result of the full detect→fix→verify loop
 /// ([`crate::Hippocrates::repair_until_clean`]).
 #[derive(Debug, Clone)]
@@ -178,6 +228,9 @@ pub struct RepairOutcome {
     /// Rounds replayed idempotently from the write-ahead journal (always
     /// `<= committed_rounds`; 0 unless `--resume` found committed work).
     pub replayed_rounds: u32,
+    /// What the post-repair optimizer did (`None` unless
+    /// [`crate::RepairOptions::optimize_after`] ran).
+    pub optimized: Option<OptimizeStats>,
 }
 
 impl RepairOutcome {
@@ -248,6 +301,7 @@ mod tests {
             quarantined: vec![],
             committed_rounds: 1,
             replayed_rounds: 0,
+            optimized: None,
         };
         assert_eq!(outcome.hoist_level_histogram().get(&2), Some(&1));
         assert!(!outcome.is_degraded());

@@ -1,0 +1,153 @@
+//! Proof-carrying optimization findings.
+//!
+//! Every finding names one removable instruction and carries the
+//! happens-before *witness* that justifies the removal: the chain of
+//! store/flush/fence events (with source locations) that already made the
+//! affected cache line durable — or, for a fence, the preceding fence since
+//! which no persistent-memory work happened. The witness is what a reviewer
+//! (or the lint renderer) reads; the transactional optimizer additionally
+//! re-verifies every applied round with the dynamic checker and the
+//! crash-state explorer, so a wrong witness can never ship.
+
+use pmir::{FuncId, InstId};
+use pmstatic::Loc;
+use pmtrace::TraceLoc;
+
+/// What kind of removable instruction a finding names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// A flush of a cache line that is already durable on every incoming
+    /// path: removing it changes no crash state.
+    RedundantFlush,
+    /// A weakly-ordered flush that coalesces with another flush of the
+    /// same line: either the line is already flushed (but not yet fenced)
+    /// on every incoming path with no intervening store, or it is provably
+    /// flushed *again* before the next fence on every outgoing path — a
+    /// weak flush only matters at the next fence, and there the other
+    /// flush covers the line.
+    CoalescableFlush,
+    /// A fence with no preceding unflushed persistent-memory work on any
+    /// path since the last fence: it orders nothing and sinks into its
+    /// predecessor.
+    SinkableFence,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FindingKind::RedundantFlush => "redundant flush",
+            FindingKind::CoalescableFlush => "coalescable flush",
+            FindingKind::SinkableFence => "sinkable fence",
+        })
+    }
+}
+
+/// The role one event plays in a happens-before witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WitnessRole {
+    /// The store whose line the witness argues about.
+    Store,
+    /// A flush that already covered the line.
+    Flush,
+    /// A fence that ordered an earlier flush (made the line durable).
+    Fence,
+    /// A callee's summarized flush/fence effect, attributed to the call.
+    CalleeEffect,
+}
+
+impl std::fmt::Display for WitnessRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WitnessRole::Store => "store",
+            WitnessRole::Flush => "flush",
+            WitnessRole::Fence => "fence",
+            WitnessRole::CalleeEffect => "callee effect",
+        })
+    }
+}
+
+/// One event in a happens-before witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessEvent {
+    /// What the event did.
+    pub role: WitnessRole,
+    /// Function containing the event instruction.
+    pub function: String,
+    /// The event instruction (id within its function).
+    pub inst: u32,
+    /// Source location, when the front end attached one.
+    pub loc: Option<TraceLoc>,
+}
+
+impl WitnessEvent {
+    /// Deterministic ordering key (source locations excluded: they mirror
+    /// the instruction identity).
+    pub fn sort_key(&self) -> (&str, u32, WitnessRole) {
+        (&self.function, self.inst, self.role)
+    }
+}
+
+impl std::fmt::Display for WitnessEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}#%{}", self.role, self.function, self.inst)?;
+        if let Some(l) = &self.loc {
+            write!(f, " ({}:{}:{})", l.file, l.line, l.col)?;
+        }
+        Ok(())
+    }
+}
+
+/// The happens-before argument attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Witness {
+    /// One-line statement of what the events prove.
+    pub claim: String,
+    /// The events, in happens-before order where meaningful (joins merge
+    /// per-path chains, so the order is best-effort across branches).
+    pub events: Vec<WitnessEvent>,
+}
+
+/// One removable instruction, with its proof and its estimated payoff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// What can be removed and why.
+    pub kind: FindingKind,
+    /// Name of the containing function.
+    pub function: String,
+    /// The containing function.
+    pub func: FuncId,
+    /// The removable flush/fence instruction.
+    pub inst: InstId,
+    /// Source location of that instruction, when known.
+    pub loc: Option<TraceLoc>,
+    /// The structural cache line the finding argues about (`None` for
+    /// fences).
+    pub line: Option<Loc>,
+    /// The happens-before witness justifying the removal.
+    pub witness: Witness,
+    /// Estimated cycles saved per execution of the instruction, under the
+    /// calibrated cost model.
+    pub est_cycles_saved: u64,
+    /// The pmalias marking score of the flushed pointer (0 for fences):
+    /// higher means the analysis is more confident the pointer is the
+    /// persistent object it looks like.
+    pub score: i64,
+}
+
+impl Finding {
+    /// Stable identity of the targeted instruction (`function#inst`), the
+    /// key quarantine entries are tracked under.
+    pub fn site_key(&self) -> String {
+        format!("{}#{}", self.function, self.inst.0)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in `{}` (%{})", self.kind, self.function, self.inst.0)?;
+        if let Some(l) = &self.loc {
+            write!(f, " at {}:{}:{}", l.file, l.line, l.col)?;
+        }
+        write!(f, ", ~{} cycles", self.est_cycles_saved)
+    }
+}

@@ -1,0 +1,450 @@
+//! `pmredund` — proof-carrying redundant-flush/fence analysis and the
+//! "inverse Hippocrates" optimizer.
+//!
+//! Hippocrates only ever *inserts* flushes and fences, so a healed module
+//! is correct but often slower than it needs to be. This crate is the
+//! dual: a flow-sensitive **must**-durability analysis over [`pmir`] CFGs
+//! that computes, per program point, the set of cache lines already
+//! durable on every incoming path (structural addresses from
+//! [`pmstatic`], may/must aliasing from [`pmalias`], interprocedural
+//! precision from the converged bottom-up function summaries), and emits
+//! proof-carrying findings:
+//!
+//! - [`FindingKind::RedundantFlush`] — the flushed line is durable on all
+//!   paths; the flush changes no crash state.
+//! - [`FindingKind::CoalescableFlush`] — the line is already flushed (not
+//!   yet fenced) with no intervening store, or — the backward direction —
+//!   provably flushed again before the next fence on every path; the two
+//!   flushes coalesce.
+//! - [`FindingKind::SinkableFence`] — no persistent store or flush since
+//!   the previous fence on any path; the fence orders nothing.
+//!
+//! Every finding carries the happens-before [`Witness`] that justifies it
+//! and an estimated cycle payoff under the calibrated cost model. The
+//! [`optimize_module`] pass applies findings as [`pmir::ModulePatch`]
+//! transactional rounds — commit only when re-verification with
+//! [`pmcheck`] and [`pmexplore`] shows zero new bugs and byte-identical
+//! output, byte-identical rollback plus quarantine otherwise — so an
+//! unsound optimization can never ship, mirroring the repair engine's
+//! do-no-harm contract in the opposite direction.
+//!
+//! # Example
+//!
+//! ```
+//! use pmredund::{analyze_module, FindingKind};
+//!
+//! // The second clwb hits a line the first clwb + sfence already made
+//! // durable; the analysis proves it and says why.
+//! let m = pmlang::compile_one(
+//!     "demo.pmc",
+//!     r#"
+//!     fn main() {
+//!         var p: ptr = pmem_map(0, 4096);
+//!         store8(p, 0, 1);
+//!         clwb(p);
+//!         sfence();
+//!         clwb(p);
+//!         sfence();
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let findings = analyze_module(&m, "main").unwrap();
+//! assert!(findings
+//!     .iter()
+//!     .any(|f| f.kind == FindingKind::RedundantFlush));
+//! assert!(findings
+//!     .iter()
+//!     .all(|f| !f.witness.events.is_empty() || !f.witness.claim.is_empty()));
+//! ```
+
+pub mod analyze;
+pub mod finding;
+pub mod optimize;
+
+pub use analyze::{analyze_module, RedundAnalysis, RedundError};
+pub use finding::{Finding, FindingKind, Witness, WitnessEvent, WitnessRole};
+pub use optimize::{
+    apply_findings, optimize_module, AppliedOpt, OptimizeError, OptimizeOptions, OptimizeOutcome,
+    QuarantinedOpt,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> pmir::Module {
+        pmlang::compile_one("t.pmc", src).unwrap()
+    }
+
+    fn kinds(src: &str) -> Vec<FindingKind> {
+        let m = compile(src);
+        analyze_module(&m, "main")
+            .unwrap()
+            .into_iter()
+            .map(|f| f.kind)
+            .collect()
+    }
+
+    #[test]
+    fn duplicate_flush_after_fence_is_redundant() {
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.contains(&FindingKind::RedundantFlush), "{ks:?}");
+    }
+
+    #[test]
+    fn double_flush_without_fence_coalesces() {
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.contains(&FindingKind::CoalescableFlush), "{ks:?}");
+    }
+
+    #[test]
+    fn back_to_back_fence_is_sinkable() {
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                sfence();
+            }
+            "#,
+        );
+        assert_eq!(
+            ks.iter()
+                .filter(|k| **k == FindingKind::SinkableFence)
+                .count(),
+            1,
+            "exactly the second fence sinks: {ks:?}"
+        );
+    }
+
+    #[test]
+    fn same_line_flush_train_coalesces_backward() {
+        // One flush per store of the same line (exactly the shape the
+        // repair engine emits): the first clwb is dead — the line is
+        // flushed again before the fence, and the later clwb persists
+        // both stores.
+        let m = compile(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                store8(p, 8, 2);
+                clwb(p + 8);
+                sfence();
+            }
+            "#,
+        );
+        let fs = analyze_module(&m, "main").unwrap();
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, FindingKind::CoalescableFlush);
+        assert!(
+            fs[0]
+                .witness
+                .events
+                .iter()
+                .any(|e| e.role == WitnessRole::Flush),
+            "witness must name the covering later flush: {:?}",
+            fs[0].witness
+        );
+    }
+
+    #[test]
+    fn runtime_base_flush_train_coalesces_but_distinct_runtime_bases_do_not() {
+        // `e = p + k` with a runtime k: the +0/+8 train on `e` coalesces
+        // (same symbolic hop), but a flush through a *different* runtime
+        // offset never covers it.
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var k: int = load8(p, 1024);
+                var e: ptr = p + k;
+                store8(e, 0, 1);
+                clwb(e);
+                store8(e, 8, 2);
+                clwb(e + 8);
+                sfence();
+            }
+            "#,
+        );
+        assert_eq!(ks, vec![FindingKind::CoalescableFlush], "{ks:?}");
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var k: int = load8(p, 1024);
+                var j: int = load8(p, 1032);
+                store8(p + k, 0, 1);
+                clwb(p + k);
+                store8(p + j, 0, 2);
+                clwb(p + j);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.is_empty(), "distinct runtime hops never alias: {ks:?}");
+    }
+
+    #[test]
+    fn intervening_store_blocks_everything() {
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                store8(p, 8, 2);
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.is_empty(), "the second store dirties the line: {ks:?}");
+    }
+
+    #[test]
+    fn store_to_provably_disjoint_line_keeps_durability() {
+        // The second store hits line 1 (offset 64); line 0 stays durable,
+        // so the re-flush of line 0 is still redundant.
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                store8(p, 64, 2);
+                clwb(p);
+                clwb(p + 64);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.contains(&FindingKind::RedundantFlush), "{ks:?}");
+    }
+
+    #[test]
+    fn conditional_path_without_flush_blocks_the_finding() {
+        // On the else path the line is never flushed: the join drops it,
+        // and the final clwb is load-bearing.
+        let ks = kinds(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                var c: int = load8(p, 512);
+                store8(p, 0, 1);
+                if (c) { clwb(p); sfence(); }
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(
+            !ks.contains(&FindingKind::RedundantFlush)
+                && !ks.contains(&FindingKind::CoalescableFlush),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn callee_fence_promotes_pending_lines() {
+        // persist() fences on all paths: the line flushed before the call
+        // is durable after it, so the re-flush is redundant.
+        let ks = kinds(
+            r#"
+            fn persist(q: ptr) { clwb(q); sfence(); }
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                persist(p + 128);
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.contains(&FindingKind::RedundantFlush), "{ks:?}");
+    }
+
+    #[test]
+    fn callee_must_flush_effect_reaches_the_caller() {
+        // persist(p) flushes and fences p's line; the caller's own clwb(p)
+        // afterwards is provably redundant, interprocedurally.
+        let ks = kinds(
+            r#"
+            fn persist(q: ptr) { clwb(q); sfence(); }
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                persist(p);
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(ks.contains(&FindingKind::RedundantFlush), "{ks:?}");
+    }
+
+    #[test]
+    fn calls_that_may_store_kill_tracked_lines() {
+        let ks = kinds(
+            r#"
+            fn scribble(q: ptr) { store8(q, 0, 9); }
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                scribble(p);
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        assert!(
+            !ks.contains(&FindingKind::RedundantFlush),
+            "the callee stores to the same object: {ks:?}"
+        );
+    }
+
+    #[test]
+    fn findings_carry_witnesses_and_estimates() {
+        let m = compile(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                clwb(p);
+                sfence();
+            }
+            "#,
+        );
+        let fs = analyze_module(&m, "main").unwrap();
+        let rf = fs
+            .iter()
+            .find(|f| f.kind == FindingKind::RedundantFlush)
+            .expect("redundant flush finding");
+        assert!(!rf.witness.claim.is_empty());
+        assert!(
+            rf.witness
+                .events
+                .iter()
+                .any(|e| e.role == WitnessRole::Flush),
+            "witness must name the covering flush: {:?}",
+            rf.witness
+        );
+        assert!(
+            rf.witness
+                .events
+                .iter()
+                .any(|e| e.role == WitnessRole::Fence),
+            "witness must name the ordering fence: {:?}",
+            rf.witness
+        );
+        assert!(rf.est_cycles_saved > 0);
+    }
+
+    #[test]
+    fn optimize_removes_and_verifies() {
+        let mut m = compile(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                clwb(p);
+                sfence();
+                print(load8(p, 0));
+            }
+            "#,
+        );
+        let before = pmir::snapshot::digest_hex(&m);
+        let out = optimize_module(&mut m, &OptimizeOptions::default()).unwrap();
+        assert!(out.flushes_removed() >= 1, "{out}");
+        assert!(out.fences_sunk() >= 1, "{out}");
+        assert!(out.quarantined.is_empty(), "{out}");
+        assert_ne!(pmir::snapshot::digest_hex(&m), before);
+        // The optimized module is still clean and behaves identically.
+        let checked = pmcheck::run_and_check(&m, "main", pmvm::VmOptions::default()).unwrap();
+        assert!(checked.report.is_clean());
+        assert_eq!(checked.run.output, vec![1]);
+        // And every committed removal carries a witness.
+        assert!(out
+            .applied
+            .iter()
+            .all(|a| !a.finding.witness.claim.is_empty()));
+    }
+
+    #[test]
+    fn unsound_forced_removal_rolls_back_and_quarantines() {
+        // Hand the applier the *load-bearing* flush: re-verification must
+        // reject it, restore the module byte-identically, and quarantine.
+        let mut m = compile(
+            r#"
+            fn main() {
+                var p: ptr = pmem_map(0, 4096);
+                store8(p, 0, 1);
+                clwb(p);
+                sfence();
+                crashpoint();
+                print(load8(p, 0));
+            }
+            "#,
+        );
+        let f = m.function_by_name("main").unwrap();
+        let func = m.function(f);
+        let flush = func
+            .linked_insts()
+            .find_map(|(_, i)| match func.inst(i).op {
+                pmir::Op::Flush { .. } => Some(i),
+                _ => None,
+            })
+            .expect("the load-bearing flush");
+        let forced = Finding {
+            kind: FindingKind::RedundantFlush,
+            function: "main".to_string(),
+            func: f,
+            inst: flush,
+            loc: None,
+            line: None,
+            witness: Witness::default(),
+            est_cycles_saved: 6,
+            score: 0,
+        };
+        let before = pmir::snapshot::ModuleSnapshot::capture(&m);
+        let out = apply_findings(&mut m, vec![forced], &OptimizeOptions::default()).unwrap();
+        assert!(before.matches(&m), "rollback must be byte-identical");
+        assert_eq!(out.applied.len(), 0);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.rounds_rolled_back, 1);
+    }
+}

@@ -33,6 +33,7 @@ pub struct StaticChecker<'m> {
     summaries: HashMap<FuncId, FnSummary>,
     fixpoint_rounds: u64,
     summaries_computed: u64,
+    sccs_widened: u64,
 }
 
 /// A failure to run the static checker (currently: unknown entry).
@@ -68,7 +69,12 @@ struct EffTable {
 
 impl<'m> StaticChecker<'m> {
     /// Analyzes the module: points-to facts, then function summaries to a
-    /// fixpoint (bottom-up over the call graph; cyclic groups iterate).
+    /// fixpoint, bottom-up over the strongly connected components of the
+    /// call graph. Acyclic components need exactly one pass; (mutually)
+    /// recursive groups iterate to a local fixpoint, and a group that fails
+    /// to converge within the cap is *widened* to a sound pessimistic
+    /// summary (no guaranteed flushes, no guaranteed fence, every residual
+    /// store kept) instead of silently keeping an optimistic iterate.
     pub fn new(m: &'m Module) -> Self {
         let alias = AliasAnalysis::analyze(m);
         let mut checker = StaticChecker {
@@ -77,27 +83,102 @@ impl<'m> StaticChecker<'m> {
             summaries: m.func_ids().map(|f| (f, FnSummary::default())).collect(),
             fixpoint_rounds: 0,
             summaries_computed: 0,
+            sccs_widened: 0,
         };
-        let order = checker.callee_first_order();
-        // Iterate to a fixpoint: one pass suffices for call DAGs (the
-        // common case); recursion converges over further rounds. The cap
-        // bounds pathological oscillation from the optimistic cover rules.
-        for _ in 0..8 {
-            checker.fixpoint_rounds += 1;
-            let mut changed = false;
-            for &f in &order {
+        // Rounds a cyclic group may iterate before being widened. Recursive
+        // groups whose rebased addresses drift each round (a helper that
+        // recurses on `p + stride`) never syntactically converge; widening
+        // cuts them off soundly.
+        const SCC_ROUNDS_CAP: usize = 12;
+        for scc in checker.call_sccs() {
+            let cyclic = scc.len() > 1 || scc.iter().any(|&f| checker.callees(f).contains(&f));
+            if !cyclic {
+                let f = scc[0];
+                checker.fixpoint_rounds += 1;
                 let s = checker.summarize(f);
                 checker.summaries_computed += 1;
-                if checker.summaries[&f] != s {
-                    checker.summaries.insert(f, s);
+                checker.summaries.insert(f, s);
+                continue;
+            }
+            if !checker.iterate_scc(&scc, SCC_ROUNDS_CAP, false) {
+                // Did not converge: widen every member to the pessimistic
+                // form and re-iterate so residual facts settle against the
+                // widened (flush-free) summaries. The widened form collapses
+                // per-round address drift (locs drop to `None`), so this
+                // inner fixpoint converges in a couple of passes.
+                checker.sccs_widened += 1;
+                for &f in &scc {
+                    let widened = Self::widen(&checker.summaries[&f]);
+                    checker.summaries.insert(f, widened);
+                }
+                checker.iterate_scc(&scc, SCC_ROUNDS_CAP, true);
+            }
+        }
+        checker
+    }
+
+    /// Iterates one cyclic call-graph component to a local fixpoint.
+    /// Returns whether it converged within `cap` rounds. With `widen` set,
+    /// every computed summary is pessimized through [`Self::widen`] before
+    /// being compared and stored.
+    fn iterate_scc(&mut self, scc: &[FuncId], cap: usize, widen: bool) -> bool {
+        for _ in 0..cap {
+            self.fixpoint_rounds += 1;
+            let mut changed = false;
+            for &f in scc {
+                let mut s = self.summarize(f);
+                self.summaries_computed += 1;
+                if widen {
+                    s = Self::widen(&s);
+                }
+                if self.summaries[&f] != s {
+                    self.summaries.insert(f, s);
                     changed = true;
                 }
             }
             if !changed {
-                break;
+                return true;
             }
         }
-        checker
+        false
+    }
+
+    /// The sound pessimistic form of a summary: callers may not rely on any
+    /// flush or fence the group performs, and every residual store is kept
+    /// with its per-origin facts collapsed (addresses and lengths dropped,
+    /// states joined), so re-summarizing against widened callees cannot
+    /// oscillate on rebased offsets.
+    fn widen(s: &FnSummary) -> FnSummary {
+        let mut by_origin: std::collections::BTreeMap<(FuncId, InstId), ResidualFact> =
+            Default::default();
+        for r in &s.residual {
+            match by_origin.get_mut(&r.origin) {
+                Some(w) => {
+                    w.pts.extend(r.pts.iter().copied());
+                    w.state = w.state.join(r.state);
+                    w.fence_seen &= r.fence_seen;
+                }
+                None => {
+                    by_origin.insert(
+                        r.origin,
+                        ResidualFact {
+                            origin: r.origin,
+                            loc: None,
+                            pts: r.pts.clone(),
+                            len: None,
+                            state: r.state,
+                            fence_seen: r.fence_seen,
+                        },
+                    );
+                }
+            }
+        }
+        FnSummary {
+            flushes: vec![],
+            fences_all_paths: false,
+            has_checkpoint: s.has_checkpoint,
+            residual: by_origin.into_values().collect(),
+        }
     }
 
     /// How many rounds the bottom-up summary fixpoint ran before converging.
@@ -108,6 +189,13 @@ impl<'m> StaticChecker<'m> {
     /// How many per-function summaries were (re)computed across all rounds.
     pub fn summaries_computed(&self) -> u64 {
         self.summaries_computed
+    }
+
+    /// How many recursive call-graph components failed to converge within
+    /// the round cap and were widened to the sound pessimistic summary.
+    /// Zero means every summary is a true fixpoint.
+    pub fn sccs_widened(&self) -> u64 {
+        self.sccs_widened
     }
 
     /// The converged summary of a function.
@@ -173,25 +261,68 @@ impl<'m> StaticChecker<'m> {
             .collect()
     }
 
-    /// DFS postorder over the call graph from every function: callees come
-    /// before their callers (cycles in arbitrary relative order).
-    fn callee_first_order(&self) -> Vec<FuncId> {
-        let mut order = vec![];
-        let mut seen = HashSet::new();
+    /// Strongly connected components of the call graph, in callee-first
+    /// order: every component is emitted after all components it calls
+    /// into (Tarjan emits sinks of the condensation first).
+    fn call_sccs(&self) -> Vec<Vec<FuncId>> {
+        struct Tarjan<'c, 'm> {
+            checker: &'c StaticChecker<'m>,
+            index: HashMap<FuncId, u32>,
+            low: HashMap<FuncId, u32>,
+            on_stack: HashSet<FuncId>,
+            stack: Vec<FuncId>,
+            next: u32,
+            sccs: Vec<Vec<FuncId>>,
+        }
+        impl Tarjan<'_, '_> {
+            fn visit(&mut self, f: FuncId) {
+                self.index.insert(f, self.next);
+                self.low.insert(f, self.next);
+                self.next += 1;
+                self.stack.push(f);
+                self.on_stack.insert(f);
+                for c in self.checker.callees(f) {
+                    if !self.index.contains_key(&c) {
+                        self.visit(c);
+                        let cl = self.low[&c];
+                        let fl = self.low.get_mut(&f).expect("visited");
+                        *fl = (*fl).min(cl);
+                    } else if self.on_stack.contains(&c) {
+                        let ci = self.index[&c];
+                        let fl = self.low.get_mut(&f).expect("visited");
+                        *fl = (*fl).min(ci);
+                    }
+                }
+                if self.low[&f] == self.index[&f] {
+                    let mut scc = vec![];
+                    loop {
+                        let v = self.stack.pop().expect("root still on stack");
+                        self.on_stack.remove(&v);
+                        scc.push(v);
+                        if v == f {
+                            break;
+                        }
+                    }
+                    scc.sort();
+                    self.sccs.push(scc);
+                }
+            }
+        }
+        let mut t = Tarjan {
+            checker: self,
+            index: HashMap::new(),
+            low: HashMap::new(),
+            on_stack: HashSet::new(),
+            stack: vec![],
+            next: 0,
+            sccs: vec![],
+        };
         for root in self.m.func_ids() {
-            self.postorder(root, &mut seen, &mut order);
+            if !t.index.contains_key(&root) {
+                t.visit(root);
+            }
         }
-        order
-    }
-
-    fn postorder(&self, f: FuncId, seen: &mut HashSet<FuncId>, order: &mut Vec<FuncId>) {
-        if !seen.insert(f) {
-            return;
-        }
-        for c in self.callees(f) {
-            self.postorder(c, seen, order);
-        }
-        order.push(f);
+        t.sccs
     }
 
     fn reachable_from(&self, entry: FuncId) -> Vec<FuncId> {
@@ -550,18 +681,24 @@ impl<'m> StaticChecker<'m> {
                 Some(a) => a.intersection(&s.applied).copied().collect(),
             });
         }
-        let flushes = applied
+        // Sort and deduplicate: a recursive callee's effects re-imported
+        // each round would otherwise accumulate syntactic duplicates
+        // (`[e]` vs `[e, e]`) and keep the fixpoint from ever comparing
+        // equal.
+        let mut flushes: Vec<FlushEff> = applied
             .unwrap_or_default()
             .into_iter()
             .map(|k| export_eff(&effs.effs[k], func))
             .collect();
+        flushes.sort();
+        flushes.dedup();
 
         // Residual: the join of all return states, minus durable facts.
         let mut joined = State::default();
         for s in &ret_states {
             joined.join(s);
         }
-        let residual = joined
+        let mut residual: Vec<ResidualFact> = joined
             .facts
             .into_iter()
             .filter(|(_, fact)| !fact.state.is_durable())
@@ -574,6 +711,8 @@ impl<'m> StaticChecker<'m> {
                 fence_seen: fact.fence_seen,
             })
             .collect();
+        residual.sort();
+        residual.dedup();
 
         FnSummary {
             flushes,
@@ -827,6 +966,7 @@ pub fn check_module_budgeted(
     let checker = StaticChecker::new(m);
     obs.add("static.fixpoint_iterations", checker.fixpoint_rounds());
     obs.add("static.summaries_computed", checker.summaries_computed());
+    obs.add("static.sccs_widened", checker.sccs_widened());
     budget.check().map_err(cancelled)?;
     let report = checker.check(entry)?;
     obs.add("static.functions_checked", m.func_ids().count() as u64);

@@ -252,4 +252,130 @@ mod tests {
         let err = check_module(&m, "nope").unwrap_err();
         assert!(err.to_string().contains("nope"));
     }
+
+    #[test]
+    fn recursive_unflushed_store_is_found() {
+        // A self-recursive helper that never flushes: the summary fixpoint
+        // must not bottom out optimistically and hide the store from the
+        // caller's audit.
+        let r = check(
+            r#"
+            fn fill(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                store8(p, 0, n);
+                fill(p + 64, n - 1);
+            }
+            fn main() {
+                var pool: ptr = pmem_map(0, 4096);
+                fill(pool, 3);
+            }
+            "#,
+        );
+        assert!(!r.is_clean(), "recursive dirty store must be reported");
+        assert!(r.bugs.iter().any(|b| b.kind == BugKind::MissingFlushFence));
+    }
+
+    #[test]
+    fn recursive_persist_helper_converges_clean() {
+        // The recursive dual of the counter.pmc idiom: every frame stores,
+        // flushes, and fences its own line. The sorted/deduplicated summary
+        // export lets the cyclic group reach a true fixpoint instead of
+        // accumulating duplicated effects until the round cap.
+        let m = pmlang::compile_one(
+            "t.pmc",
+            r#"
+            fn persist(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                store8(p, 0, n);
+                clwb(p);
+                sfence();
+                persist(p + 64, n - 1);
+            }
+            fn main() {
+                var pool: ptr = pmem_map(0, 4096);
+                persist(pool, 3);
+            }
+            "#,
+        )
+        .unwrap();
+        let checker = StaticChecker::new(&m);
+        let r = checker.check("main").unwrap();
+        assert!(r.is_clean(), "{:?}", r.bugs);
+    }
+
+    #[test]
+    fn mutual_recursion_reaches_a_sound_fixpoint() {
+        // `even`/`odd` hand the pointer back and forth; only `odd` stores,
+        // and nothing flushes. Both orders of the pair within the SCC must
+        // converge (or widen) to a summary that surfaces the dirty store.
+        let m = pmlang::compile_one(
+            "t.pmc",
+            r#"
+            fn even(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                odd(p, n - 1);
+            }
+            fn odd(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                store8(p, 8, n);
+                even(p + 64, n - 1);
+            }
+            fn main() {
+                var pool: ptr = pmem_map(0, 4096);
+                even(pool, 4);
+            }
+            "#,
+        )
+        .unwrap();
+        let checker = StaticChecker::new(&m);
+        let r = checker.check("main").unwrap();
+        assert!(
+            r.bugs.iter().any(|b| b.kind == BugKind::MissingFlushFence),
+            "mutually-recursive dirty store must be reported: {:?}",
+            r.bugs
+        );
+    }
+
+    #[test]
+    fn widened_groups_are_counted_not_silent() {
+        // `persist` recurses on `p + 64`, so its exported flush effects
+        // drift one line per round and the group can never syntactically
+        // converge: the cap fires and the group is widened (counted), yet
+        // the result stays sound — and clean, because every frame fences
+        // its own store before recursing.
+        let m = pmlang::compile_one(
+            "t.pmc",
+            r#"
+            fn persist(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                store8(p, 0, n);
+                clwb(p);
+                sfence();
+                persist(p + 64, n - 1);
+            }
+            fn main() { var pool: ptr = pmem_map(0, 4096); persist(pool, 2); }
+            "#,
+        )
+        .unwrap();
+        let checker = StaticChecker::new(&m);
+        assert_eq!(checker.sccs_widened(), 1, "drifting group must widen");
+
+        // A recursive group without flush drift converges to a true
+        // fixpoint: the keyed residual joins collapse the rebased
+        // addresses, and no widening is needed.
+        let m2 = pmlang::compile_one(
+            "t.pmc",
+            r#"
+            fn fill(p: ptr, n: int) {
+                if (n <= 0) { return; }
+                store8(p, 0, n);
+                fill(p + 64, n - 1);
+            }
+            fn main() { var pool: ptr = pmem_map(0, 4096); fill(pool, 3); }
+            "#,
+        )
+        .unwrap();
+        let checker2 = StaticChecker::new(&m2);
+        assert_eq!(checker2.sccs_widened(), 0, "non-drifting group converges");
+    }
 }

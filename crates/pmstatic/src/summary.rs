@@ -24,7 +24,7 @@ pub enum Extent {
 
 /// One flush the function performs (directly or via callees), expressed in
 /// the function's own address space.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct FlushEff {
     /// Structural start address, when resolvable. `None` falls back to
     /// points-to matching.
@@ -40,7 +40,7 @@ pub struct FlushEff {
 
 /// A store the function leaves non-durable on some return path, to be
 /// inherited (and structurally rebased) by callers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ResidualFact {
     /// The original store instruction (possibly in a transitive callee).
     pub origin: (FuncId, InstId),

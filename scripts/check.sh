@@ -37,6 +37,16 @@ if target/release/hippoctl lint --deny warnings crates/pmapps/pmc/lint_demo.pmc;
 fi
 echo "lint gate fires on the known-buggy demo, as expected"
 
+echo "==> hippoctl lint --deny redundant crates/pmapps/pmc/redundant_demo.pmc (must fail)"
+if target/release/hippoctl lint --deny redundant crates/pmapps/pmc/redundant_demo.pmc; then
+    echo "check.sh: redundancy gate did NOT fire on the over-persisted demo" >&2
+    exit 1
+fi
+echo "redundancy gate fires on the over-persisted demo, as expected"
+
+echo "==> hippoctl lint --deny warnings crates/pmapps/pmc/recursion_demo.pmc (recursive summaries converge)"
+target/release/hippoctl lint --deny warnings crates/pmapps/pmc/recursion_demo.pmc
+
 echo "==> hippoctl explore examples/ordering_demo.pmc (must find the reordering)"
 if target/release/hippoctl explore examples/ordering_demo.pmc --budget 64 --seed 0; then
     echo "check.sh: exploration did NOT find the known reordering bug" >&2
@@ -49,6 +59,11 @@ healed="$(mktemp -d)/healed.ir"
 target/release/hippoctl fix examples/ordering_demo.pmc --bug-source exploration \
     --budget 64 --seed 0 -o "$healed"
 target/release/hippoctl explore "$healed" --budget 64 --seed 0
+
+echo "==> hippoctl optimize on the healed module + re-explore (still clean)"
+optimized="$(dirname "$healed")/healed_opt.ir"
+target/release/hippoctl optimize "$healed" --budget 64 --seed 0 -o "$optimized"
+target/release/hippoctl explore "$optimized" --budget 64 --seed 0
 rm -rf "$(dirname "$healed")"
 
 echo "==> hippoctl faultcampaign --seeds 11 (every fault archetype survived)"
@@ -100,6 +115,10 @@ test -s BENCH_fault.json
 echo "==> tx_bench smoke (writes BENCH_tx.json)"
 target/release/tx_bench
 test -s BENCH_tx.json
+
+echo "==> opt_bench smoke (writes BENCH_opt.json)"
+target/release/opt_bench
+test -s BENCH_opt.json
 
 echo "==> bench-regression gate (+ inverted self-test)"
 scripts/bench_gate.sh

@@ -1,0 +1,264 @@
+//! Property-based do-no-harm for the "inverse Hippocrates" optimizer: over
+//! a seeded corpus of publish-pattern programs with randomly injected
+//! *redundant* barriers, `optimize_module` never changes observable output
+//! and never introduces a bug visible to the dynamic checker or the
+//! crash-state explorer. A deliberately-unsound forced removal either
+//! commits harmlessly (the oracle genuinely tolerates it) or rolls back
+//! byte-identically into quarantine — there is no third outcome.
+
+use hippocrates::{BugSource, Hippocrates, RepairOptions};
+use pmexplore::{run_and_explore, ExploreOptions};
+use pmredund::{apply_findings, optimize_module, Finding, FindingKind, OptimizeOptions, Witness};
+use pmvm::{Vm, VmOptions};
+use proptest::prelude::*;
+
+/// A *correctly persisted* publish family with `mask`-controlled redundant
+/// barriers: per record, bit 0 duplicates the data flush (coalescable),
+/// bit 1 doubles the trailing fence (sinkable), bit 2 re-flushes the
+/// already-durable data line (redundant). Returns the source and how many
+/// extra barriers were injected.
+fn over_persisted(n_keys: u8, mask: u8) -> (String, usize) {
+    let mut body = String::new();
+    let mut extras = 0;
+    for k in 0..n_keys {
+        let data = u32::from(k) * 128;
+        let flag = data + 64;
+        let val = u32::from(k) * 3 + 1;
+        let b = mask.rotate_right(u32::from(k));
+        body.push_str(&format!("    store8(p, {data}, {val});\n"));
+        body.push_str(&format!("    clwb(p + {data});\n"));
+        if b & 1 != 0 {
+            body.push_str(&format!("    clwb(p + {data});\n"));
+            extras += 1;
+        }
+        body.push_str("    sfence();\n");
+        body.push_str(&format!("    store8(p, {flag}, 1);\n"));
+        body.push_str(&format!("    clwb(p + {flag});\n    sfence();\n"));
+        if b & 2 != 0 {
+            body.push_str("    sfence();\n");
+            extras += 1;
+        }
+        if b & 4 != 0 {
+            body.push_str(&format!("    clwb(p + {data});\n"));
+            extras += 1;
+        }
+    }
+    let mut checks = String::new();
+    for k in 0..n_keys {
+        let data = u32::from(k) * 128;
+        let flag = data + 64;
+        let val = u32::from(k) * 3 + 1;
+        checks.push_str(&format!(
+            "    if (load8(p, {flag}) == 1) {{\n        if (load8(p, {data}) != {val}) {{ return 1; }}\n    }}\n"
+        ));
+    }
+    let src = format!(
+        "fn main() {{\n    var p: ptr = pmem_map(0, 8192);\n{body}    print(load8(p, 0));\n}}\n\
+         fn recover() -> int {{\n    var p: ptr = pmem_map(0, 8192);\n{checks}    return 0;\n}}\n"
+    );
+    (src, extras)
+}
+
+/// The *buggy* publish family from the repair tests: `mask` bit pairs decide
+/// which persists exist at all.
+fn under_persisted(n_keys: u8, mask: u8) -> String {
+    let mut body = String::new();
+    for k in 0..n_keys {
+        let data = u32::from(k) * 128;
+        let flag = data + 64;
+        let val = u32::from(k) * 3 + 1;
+        body.push_str(&format!("    store8(p, {data}, {val});\n"));
+        if (mask >> (2 * (k % 4))) & 1 == 1 {
+            body.push_str(&format!("    clwb(p + {data});\n    sfence();\n"));
+        }
+        body.push_str(&format!("    store8(p, {flag}, 1);\n"));
+        if (mask >> (2 * (k % 4) + 1)) & 1 == 1 {
+            body.push_str(&format!("    clwb(p + {flag});\n    sfence();\n"));
+        }
+    }
+    let mut checks = String::new();
+    for k in 0..n_keys {
+        let data = u32::from(k) * 128;
+        let flag = data + 64;
+        let val = u32::from(k) * 3 + 1;
+        checks.push_str(&format!(
+            "    if (load8(p, {flag}) == 1) {{\n        if (load8(p, {data}) != {val}) {{ return 1; }}\n    }}\n"
+        ));
+    }
+    format!(
+        "fn main() {{\n    var p: ptr = pmem_map(0, 8192);\n{body}    print(load8(p, 0));\n}}\n\
+         fn recover() -> int {{\n    var p: ptr = pmem_map(0, 8192);\n{checks}    return 0;\n}}\n"
+    )
+}
+
+fn opt_opts() -> OptimizeOptions {
+    OptimizeOptions {
+        explore_budget: 64,
+        ..OptimizeOptions::default()
+    }
+}
+
+fn explore_opts() -> ExploreOptions {
+    ExploreOptions {
+        budget: 64,
+        ..ExploreOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// THE property: on a correctly persisted program, optimization removes
+    /// the injected redundancy (and only then), keeps the observable output
+    /// byte-identical, and the optimized module still survives both the
+    /// dynamic checker and crash-state exploration clean.
+    #[test]
+    fn optimize_preserves_output_and_crash_consistency(
+        n_keys in 1u8..4,
+        mask in 0u8..=255,
+    ) {
+        let (src, extras) = over_persisted(n_keys, mask);
+        let mut m = pmlang::compile_one("opt_prop.pmc", &src).unwrap();
+        let before = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+
+        let out = optimize_module(&mut m, &opt_opts()).unwrap();
+        if extras == 0 {
+            prop_assert!(out.applied.is_empty(), "nothing to remove in the tight program");
+        } else {
+            prop_assert!(!out.applied.is_empty(), "{extras} injected barriers, none removed");
+            prop_assert!(out.applied.iter().all(|a| !a.finding.witness.events.is_empty()));
+        }
+
+        let after = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        prop_assert_eq!(before.output, after.output);
+        let checked = pmcheck::run_and_check(&m, "main", VmOptions::default()).unwrap();
+        prop_assert!(checked.report.is_clean(), "{}", checked.report.render());
+        let x = run_and_explore(&m, "main", &explore_opts()).unwrap();
+        prop_assert!(x.report.is_clean(), "{}", x.report.render());
+    }
+
+    /// The full pipeline: repair a buggy program until clean, then optimize
+    /// the healed module — exploration stays clean and the healed output is
+    /// untouched. This is exactly the `fix --optimize` path.
+    #[test]
+    fn repair_then_optimize_stays_clean(n_keys in 1u8..3, mask in 0u8..=255) {
+        let src = under_persisted(n_keys, mask);
+        let mut m = pmlang::compile_one("opt_prop.pmc", &src).unwrap();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Exploration,
+            explore_budget: 64,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, "main")
+        .unwrap();
+        prop_assert!(outcome.clean);
+        let healed = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+
+        optimize_module(&mut m, &opt_opts()).unwrap();
+
+        let x = run_and_explore(&m, "main", &explore_opts()).unwrap();
+        prop_assert!(x.report.is_clean(), "{}", x.report.render());
+        let after = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+        prop_assert_eq!(healed.output, after.output);
+    }
+
+    /// Forced-unsound removal: hand the applier an arbitrary flush dressed
+    /// up as a "redundant" finding. Either the removal genuinely does no
+    /// harm (and must re-verify clean with unchanged output), or it is
+    /// rolled back *byte-identically* and quarantined. Never both, never
+    /// neither.
+    #[test]
+    fn forced_removal_commits_harmlessly_or_rolls_back(
+        n_keys in 1u8..4,
+        pick in 0u8..=255,
+    ) {
+        let (src, _) = over_persisted(n_keys, 0);
+        let mut m = pmlang::compile_one("opt_prop.pmc", &src).unwrap();
+        let f = m.function_by_name("main").unwrap();
+        let func = m.function(f);
+        let flushes: Vec<pmir::InstId> = func
+            .linked_insts()
+            .filter_map(|(_, i)| match func.inst(i).op {
+                pmir::Op::Flush { .. } => Some(i),
+                _ => None,
+            })
+            .collect();
+        let target = flushes[usize::from(pick) % flushes.len()];
+        let forced = Finding {
+            kind: FindingKind::RedundantFlush,
+            function: "main".to_string(),
+            func: f,
+            inst: target,
+            loc: None,
+            line: None,
+            witness: Witness::default(),
+            est_cycles_saved: 6,
+            score: 0,
+        };
+        let snapshot = pmir::snapshot::ModuleSnapshot::capture(&m);
+        let before = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+
+        let out = apply_findings(&mut m, vec![forced], &opt_opts()).unwrap();
+        prop_assert_eq!(out.applied.len() + out.quarantined.len(), 1);
+        if out.quarantined.len() == 1 {
+            prop_assert!(snapshot.matches(&m), "rollback must be byte-identical");
+            prop_assert_eq!(out.rounds_rolled_back, 1);
+        } else {
+            // The oracle tolerated it: that tolerance must be real.
+            let after = Vm::new(VmOptions::default()).run(&m, "main").unwrap();
+            prop_assert_eq!(before.output, after.output);
+            let x = run_and_explore(&m, "main", &explore_opts()).unwrap();
+            prop_assert!(x.report.is_clean(), "{}", x.report.render());
+        }
+    }
+}
+
+/// The redundancy the properties rely on is real: a fully decorated program
+/// yields findings of more than one kind (the corpus is not vacuous).
+#[test]
+fn corpus_contains_every_redundancy_shape() {
+    let (src, extras) = over_persisted(3, 0b111);
+    assert!(extras >= 3);
+    let m = pmlang::compile_one("opt_prop.pmc", &src).unwrap();
+    let findings = pmredund::analyze_module(&m, "main").unwrap();
+    assert!(
+        findings.len() >= 3,
+        "expected the injected redundancy, got {findings:?}"
+    );
+    let kinds: std::collections::BTreeSet<_> = findings.iter().map(|f| f.kind).collect();
+    assert!(
+        kinds.len() >= 2,
+        "expected multiple finding kinds, got {kinds:?}"
+    );
+}
+
+/// Removing the *data* flush from a tight program is unsound — exploration
+/// must catch it (the forced-removal property is not vacuous either).
+#[test]
+fn forced_corpus_contains_real_harm() {
+    let (src, _) = over_persisted(1, 0);
+    let mut m = pmlang::compile_one("opt_prop.pmc", &src).unwrap();
+    let f = m.function_by_name("main").unwrap();
+    let func = m.function(f);
+    let first_flush = func
+        .linked_insts()
+        .find_map(|(_, i)| match func.inst(i).op {
+            pmir::Op::Flush { .. } => Some(i),
+            _ => None,
+        })
+        .expect("the data flush");
+    let forced = Finding {
+        kind: FindingKind::RedundantFlush,
+        function: "main".to_string(),
+        func: f,
+        inst: first_flush,
+        loc: None,
+        line: None,
+        witness: Witness::default(),
+        est_cycles_saved: 6,
+        score: 0,
+    };
+    let out = apply_findings(&mut m, vec![forced], &opt_opts()).unwrap();
+    assert_eq!(out.quarantined.len(), 1, "the data flush is load-bearing");
+    assert!(!out.quarantined[0].reason.is_empty());
+}
