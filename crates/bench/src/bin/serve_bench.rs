@@ -1,0 +1,208 @@
+//! Repair-as-a-service benchmark: campaign throughput and warm-cache
+//! speedup through the `hippod` daemon, emitted as `BENCH_serve.json` — a
+//! `hippo.metrics.v1` snapshot the CI bench-regression gate (`bench_gate`)
+//! compares against its checked-in baseline.
+//!
+//! The daemon runs in-process on a real Unix socket; every campaign goes
+//! through the full wire protocol (submit → poll → result frame), exactly
+//! what a CLI client pays. Two walls and two floors:
+//!
+//! * `bench.serve.cold_ms` — N concurrent fix campaigns on distinct apps,
+//!   every cache cold: the full repair pipeline per job.
+//! * `bench.serve.warm_ms` — the same N campaigns resubmitted verbatim:
+//!   each hits the job-result cache and the daemon answers without
+//!   re-running the pipeline.
+//! * `bench.serve.pass_rate` (floor) — fraction of campaigns where the
+//!   daemon's artifact is byte-identical to a standalone (cacheless) run,
+//!   the warm artifact is byte-identical to the cold one, cold results are
+//!   genuinely uncached, warm results are genuinely cached, and the
+//!   daemon's health and drain report agree with the job count.
+//! * `bench.serve.warm_speedup_floor` (floor) — `cold_ms / warm_ms`
+//!   clamped to a conservative 2.0: the gate locks in "warm is at least
+//!   twice as fast", while the unclamped `bench.serve.warm_speedup` gauge
+//!   records the real (machine-dependent, usually much larger) ratio.
+//!
+//! `bench.serve.jobs_per_sec` (informational) is the cold-round campaign
+//! throughput.
+
+use hippocrates::WarmCache;
+use hippod::{serve, Client, JobKind, JobSpec, JobView, ServerConfig};
+use pmobs::Obs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Concurrent campaigns per round.
+const CAMPAIGNS: usize = 6;
+/// PM-touching loop iterations per app: sizes the trace each repair
+/// iteration must re-verify, so a cold fix costs real work.
+const LOOP_ITERS: usize = 4096;
+/// Distinct unflushed straight-line publish sites per app: each one is a
+/// separate repair iteration (find → fix → re-verify).
+const SITES: usize = 12;
+
+/// Distinct buggy apps: a long PM-writing loop (one unflushed in-loop
+/// site) followed by [`SITES`] straight-line unflushed publishes, all on
+/// per-campaign pools so no two campaigns share a module digest.
+fn app(i: usize) -> (String, String) {
+    let mut src = String::new();
+    src.push_str("fn main() {\n");
+    src.push_str(&format!("    var p: ptr = pmem_map({i}, 65536);\n"));
+    src.push_str("    var k: int = 0;\n");
+    src.push_str(&format!("    while (k < {LOOP_ITERS}) {{\n"));
+    src.push_str("        store8(p + k * 8, 0, k);\n");
+    src.push_str("        k = k + 1;\n");
+    src.push_str("    }\n");
+    for j in 0..SITES {
+        src.push_str(&format!(
+            "    store8(p, {}, {});\n",
+            16384 + j * 64,
+            i * 100 + j + 1
+        ));
+    }
+    src.push_str("    print(load8(p, 0));\n}\n");
+    (format!("serve_bench{i}.pmc"), src)
+}
+
+fn specs() -> Vec<JobSpec> {
+    (0..CAMPAIGNS)
+        .map(|i| JobSpec::new(JobKind::Fix, vec![app(i)]))
+        .collect()
+}
+
+/// Submits every spec concurrently (one client per campaign, like real CLI
+/// callers) and waits for all of them. Returns the round wall time and the
+/// settled views in submission order.
+fn round(socket: &Path, specs: &[JobSpec]) -> (f64, Vec<JobView>) {
+    let t0 = Instant::now();
+    let views = std::thread::scope(|s| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let spec = spec.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(socket).expect("daemon answers");
+                    let id = c
+                        .submit_retry(spec, Duration::from_secs(30))
+                        .expect("campaign accepted");
+                    c.wait(&id, Duration::from_secs(300))
+                        .expect("campaign settles")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign thread"))
+            .collect::<Vec<JobView>>()
+    });
+    (t0.elapsed().as_secs_f64() * 1e3, views)
+}
+
+fn main() {
+    let obs = Obs::enabled();
+    let t_all = Instant::now();
+    println!("Serve benchmark — campaign throughput and warm-cache speedup\n");
+
+    let dir = std::env::temp_dir().join(format!("hippo-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+
+    // Standalone references: what every daemon artifact must match, byte
+    // for byte. Cacheless and on a separate Obs, so the artifact's
+    // daemon-side counters stay undiluted.
+    let specs = specs();
+    let references: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            hippod::execute(spec, &WarmCache::disabled(), &Obs::disabled())
+                .expect("standalone fix converges")
+                .output
+        })
+        .collect();
+
+    let cfg = ServerConfig {
+        socket: socket.clone(),
+        journal: Some(journal),
+        workers: 4,
+        queue_capacity: 64,
+        fault: None,
+        obs: obs.clone(),
+    };
+    let server = std::thread::spawn(move || serve(cfg));
+    let mut ctl = Client::connect_retry(&socket, Duration::from_secs(10)).expect("daemon up");
+
+    let mut pass = true;
+
+    // Cold round: every cache empty, full pipeline per campaign.
+    let (cold_ms, cold) = round(&socket, &specs);
+    for (i, (view, reference)) in cold.iter().zip(&references).enumerate() {
+        let Some(r) = view.result.as_ref() else {
+            println!("  campaign {i}: cold job carried no result: {view:?}");
+            pass = false;
+            continue;
+        };
+        if r.cached || !r.clean || r.output != *reference {
+            println!(
+                "  campaign {i}: cold mismatch (cached={}, clean={}, identical={})",
+                r.cached,
+                r.clean,
+                r.output == *reference
+            );
+            pass = false;
+        }
+    }
+
+    // Warm round: identical specs — every campaign is a result-cache hit.
+    let (warm_ms, warm) = round(&socket, &specs);
+    for (i, (view, reference)) in warm.iter().zip(&references).enumerate() {
+        let Some(r) = view.result.as_ref() else {
+            println!("  campaign {i}: warm job carried no result: {view:?}");
+            pass = false;
+            continue;
+        };
+        if !r.cached || r.output != *reference {
+            println!(
+                "  campaign {i}: warm mismatch (cached={}, identical={})",
+                r.cached,
+                r.output == *reference
+            );
+            pass = false;
+        }
+    }
+
+    let health = ctl.health().expect("health answers");
+    pass &= health.ok && health.done == 2 * CAMPAIGNS as u64 && health.failed == 0;
+
+    ctl.shutdown().expect("graceful shutdown");
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("daemon drains cleanly");
+    pass &= report.done == 2 * CAMPAIGNS as u64 && report.failed == 0 && report.resumed == 0;
+
+    let jobs_per_sec = CAMPAIGNS as f64 / (cold_ms / 1e3);
+    let speedup = cold_ms / warm_ms.max(f64::EPSILON);
+    println!(
+        "  cold  {cold_ms:>8.2} ms  ({jobs_per_sec:.1} campaigns/sec)\n  \
+         warm  {warm_ms:>8.2} ms  ({speedup:.1}x speedup)\n  \
+         pass {}",
+        if pass { "1.00" } else { "0.00" }
+    );
+
+    obs.gauge("bench.serve.cold_ms", cold_ms);
+    obs.gauge("bench.serve.warm_ms", warm_ms);
+    obs.gauge("bench.serve.jobs_per_sec", jobs_per_sec);
+    obs.gauge("bench.serve.warm_speedup", speedup);
+    obs.gauge("bench.serve.warm_speedup_floor", speedup.min(2.0));
+    obs.gauge("bench.serve.pass_rate", if pass { 1.0 } else { 0.0 });
+    obs.add("bench.serve.campaigns", 2 * CAMPAIGNS as u64);
+    obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
+    assert!(
+        pass,
+        "every campaign must be byte-identical to its standalone run, \
+         cold uncached and warm cached"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    bench::write_metrics("BENCH_serve.json", &obs);
+}

@@ -26,6 +26,7 @@ pub const GATED_FILES: &[&str] = &[
     "BENCH_fault.json",
     "BENCH_tx.json",
     "BENCH_opt.json",
+    "BENCH_serve.json",
 ];
 
 /// Fresh wall metrics may exceed the baseline by at most this factor.

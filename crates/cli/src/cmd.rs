@@ -41,6 +41,12 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             "fix" => fix_cmd(rest, &obs),
             "optimize" => optimize_cmd(rest, &obs),
             "faultcampaign" => faultcampaign_cmd(rest, &obs),
+            "serve" => crate::serve::serve_cmd(rest, &obs),
+            "submit" => crate::serve::submit_cmd(rest),
+            "status" => crate::serve::status_cmd(rest),
+            "cancel" => crate::serve::cancel_cmd(rest),
+            "health" => crate::serve::health_cmd(rest),
+            "shutdown" => crate::serve::shutdown_cmd(rest),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(())
@@ -89,6 +95,17 @@ fn usage() -> String {
         "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
         "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
         "                                                   degrades, never panics or hangs",
+        "hippoctl serve   --socket S [--journal F]        repair-as-a-service daemon",
+        "                 [--workers N] [--queue N]          (hippo.jobs.v1 over a Unix socket;",
+        "                 [--fault-worker I]                  journaled jobs resume after kill -9)",
+        "hippoctl submit  --socket S <src>... [--kind K]  enqueue a lint|explore|fix|optimize",
+        "                 [--entry NAME] [--wait] [-o F]     job; --wait polls and emits the",
+        "                 [--budget K] [--seed S] [--jobs N]  artifact (byte-identical to a",
+        "                 [--bug-source ...] [--deadline-ms N] standalone run)",
+        "hippoctl status  --socket S <job-id>             one job's state and summary",
+        "hippoctl cancel  --socket S <job-id>             cancel a queued job",
+        "hippoctl health  --socket S                      daemon liveness report (JSON)",
+        "hippoctl shutdown --socket S                     graceful drain and exit",
         "",
         "every subcommand also accepts:",
         "  --metrics <path.json>   write pipeline telemetry (hippo.metrics.v1)",

@@ -1,0 +1,281 @@
+//! The daemon-facing subcommands: `serve`, `submit`, `status`, `cancel`,
+//! `health`, `shutdown`.
+//!
+//! `submit` reads the source files locally and ships them inline with
+//! their original path names, so daemon-produced artifacts are
+//! byte-identical to a standalone `hippoctl fix`/`lint`/`explore`/
+//! `optimize` run over the same files.
+
+use hippod::{Client, JobKind, JobSpec, JobState, ServerConfig};
+use std::time::Duration;
+
+/// How long `submit --wait` polls before giving up.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+/// How long `submit` honors `Busy` backpressure before giving up.
+const SUBMIT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// `hippoctl serve`: run the repair-as-a-service daemon until a graceful
+/// `shutdown` request drains it.
+pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.clone()),
+            "--journal" => {
+                config.journal = Some(it.next().ok_or("--journal needs a value")?.into());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                config.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got `{v}`"))?;
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a value")?;
+                config.queue_capacity = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--queue needs a positive integer, got `{v}`"))?;
+            }
+            "--fault-worker" => {
+                // The CI daemon gate arms a deterministic panic at the
+                // queue/worker boundary: the n-th job (by submission
+                // index) fails alone, the daemon must survive.
+                let v = it.next().ok_or("--fault-worker needs a value")?;
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fault-worker needs a job index, got `{v}`"))?;
+                config.fault = Some(pmfault::FaultPlan::single(
+                    pmfault::FaultSite::DaemonWorker,
+                    pmfault::Trigger::Nth(n),
+                    pmfault::FaultKind::WorkerPanic,
+                ));
+            }
+            "--metrics" => {
+                it.next().ok_or("--metrics needs a value")?;
+            }
+            "--timings" => {}
+            flag => return Err(format!("unknown flag `{flag}`")),
+        }
+    }
+    config.socket = socket.ok_or("serve needs --socket <path>")?.into();
+    // The live Metrics endpoint should answer even without --metrics on
+    // the serve command line.
+    config.obs = if obs.is_enabled() {
+        obs.clone()
+    } else {
+        pmobs::Obs::enabled()
+    };
+    eprintln!(
+        "hippod: serving on {} ({} worker(s), queue {}{})",
+        config.socket.display(),
+        config.workers,
+        config.queue_capacity,
+        config
+            .journal
+            .as_ref()
+            .map(|j| format!(", journal {}", j.display()))
+            .unwrap_or_default()
+    );
+    let report = hippod::serve(config)?;
+    eprintln!(
+        "hippod: drained — {} resumed, {} done, {} failed, {} canceled",
+        report.resumed, report.done, report.failed, report.canceled
+    );
+    Ok(())
+}
+
+/// Flags shared by the client-side subcommands.
+struct ClientOpts {
+    socket: String,
+    rest: Vec<String>,
+}
+
+fn parse_client(args: &[String]) -> Result<ClientOpts, String> {
+    let mut socket = None;
+    let mut rest = vec![];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.clone()),
+            "--metrics" => {
+                it.next().ok_or("--metrics needs a value")?;
+            }
+            "--timings" => {}
+            other => rest.push(other.to_string()),
+        }
+    }
+    Ok(ClientOpts {
+        socket: socket.ok_or("this subcommand needs --socket <path>")?,
+        rest,
+    })
+}
+
+/// `hippoctl submit`: ship a job to a serving daemon.
+pub fn submit_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    let mut spec = JobSpec::new(JobKind::Fix, vec![]);
+    let mut wait = false;
+    let mut out: Option<String> = None;
+    let mut sources: Vec<String> = vec![];
+    let mut it = c.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--kind" => {
+                spec.kind = JobKind::parse(it.next().ok_or("--kind needs a value")?)?;
+            }
+            "--entry" => spec.entry = it.next().ok_or("--entry needs a value")?.clone(),
+            "--bug-source" => {
+                spec.bug_source = it.next().ok_or("--bug-source needs a value")?.clone();
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                spec.budget = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--budget needs a positive integer, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                spec.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                spec.jobs = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                spec.deadline_ms =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--deadline-ms needs a positive integer, got `{v}`")
+                    })?);
+            }
+            "--wait" => wait = true,
+            "-o" | "--out" => out = Some(it.next().ok_or("-o needs a value")?.clone()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            src => sources.push(src.to_string()),
+        }
+    }
+    if sources.is_empty() {
+        return Err("no source files given".to_string());
+    }
+    if out.is_some() && !wait {
+        return Err("-o needs --wait (the artifact exists only once the job is done)".to_string());
+    }
+    for s in &sources {
+        let text = std::fs::read_to_string(s).map_err(|e| format!("{s}: {e}"))?;
+        spec.sources.push((s.clone(), text));
+    }
+    let mut client = Client::connect(&c.socket)?;
+    let id = client.submit_retry(spec, SUBMIT_TIMEOUT)?;
+    if !wait {
+        println!("{id}");
+        return Ok(());
+    }
+    let view = client.wait(&id, WAIT_TIMEOUT)?;
+    match view.state {
+        JobState::Done => {
+            let result = view.result.ok_or("done job lost its result")?;
+            eprintln!(
+                "{id}: {}{}{}",
+                result.summary,
+                if result.cached { " (warm cache)" } else { "" },
+                format_args!(", {}ms", result.duration_ms),
+            );
+            match &out {
+                Some(path) => {
+                    std::fs::write(path, &result.output).map_err(|e| format!("{path}: {e}"))?;
+                }
+                None => print!("{}", result.output),
+            }
+            if result.clean {
+                Ok(())
+            } else {
+                Err(format!("{id}: finished but not clean"))
+            }
+        }
+        state => Err(format!(
+            "{id}: {state}{}",
+            view.error.map(|e| format!(" — {e}")).unwrap_or_default()
+        )),
+    }
+}
+
+fn render_view(view: &hippod::JobView) -> String {
+    let mut s = format!("{} {} {}", view.id, view.kind, view.state);
+    if let Some(e) = &view.error {
+        s.push_str(&format!(" — {e}"));
+    }
+    if let Some(r) = &view.result {
+        s.push_str(&format!(
+            " — {}{}, {}ms",
+            r.summary,
+            if r.cached { " (warm cache)" } else { "" },
+            r.duration_ms
+        ));
+    }
+    s
+}
+
+/// `hippoctl status`: one job's state and (when done) summary.
+pub fn status_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    let [id] = c.rest.as_slice() else {
+        return Err("status needs exactly one job id".to_string());
+    };
+    let view = Client::connect(&c.socket)?.status(id)?;
+    println!("{}", render_view(&view));
+    Ok(())
+}
+
+/// `hippoctl cancel`: cancel a queued job.
+pub fn cancel_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    let [id] = c.rest.as_slice() else {
+        return Err("cancel needs exactly one job id".to_string());
+    };
+    let view = Client::connect(&c.socket)?.cancel(id)?;
+    println!("{}", render_view(&view));
+    Ok(())
+}
+
+/// `hippoctl health`: the daemon's liveness report as JSON.
+pub fn health_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    if !c.rest.is_empty() {
+        return Err(format!(
+            "health takes no positional arguments: {:?}",
+            c.rest
+        ));
+    }
+    let health = Client::connect(&c.socket)?.health()?;
+    let json = serde_json::to_string(&health).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+/// `hippoctl shutdown`: graceful drain.
+pub fn shutdown_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    if !c.rest.is_empty() {
+        return Err(format!(
+            "shutdown takes no positional arguments: {:?}",
+            c.rest
+        ));
+    }
+    Client::connect(&c.socket)?.shutdown()?;
+    eprintln!("hippod: draining");
+    Ok(())
+}

@@ -1,0 +1,333 @@
+//! System tests for the repair-as-a-service daemon, driven through the
+//! real `hippoctl` binary and a real Unix socket:
+//!
+//! - N concurrent fix campaigns on distinct apps produce artifacts
+//!   byte-identical to standalone `hippoctl fix` runs over the same files;
+//! - `kill -9` on the daemon mid-campaign, then a restart on the same
+//!   journal, resumes every in-flight job to the same committed result;
+//! - a concurrent `hippoctl fix --journal` against a daemon-held journal
+//!   refuses with the holder's pid.
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const CAMPAIGNS: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hippoctl_daemon_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Distinct buggy apps: different pools, offsets, and values, each with
+/// one unflushed store for the repair loop to fix.
+fn write_app(dir: &Path, i: usize) -> String {
+    let path = dir.join(format!("app{i}.pmc"));
+    std::fs::write(
+        &path,
+        format!(
+            "fn main() {{\n    var p: ptr = pmem_map({i}, 4096);\n    store8(p, 0, {});\n    clwb(p);\n    sfence();\n    store8(p, {}, {});\n    print(load8(p, 0));\n}}\n",
+            i + 1,
+            64 * (i + 1),
+            i + 10,
+        ),
+    )
+    .unwrap();
+    path.to_string_lossy().to_string()
+}
+
+fn hippoctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hippoctl"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Standalone references: what the daemon's artifacts must match, byte
+/// for byte.
+fn reference_fixes(dir: &Path, apps: &[String]) -> Vec<String> {
+    apps.iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let out_ir = dir.join(format!("ref{i}.ir"));
+            let out = hippoctl(&["fix", app, "-o", &out_ir.to_string_lossy()]);
+            assert!(out.status.success(), "{}", stderr_of(&out));
+            std::fs::read_to_string(&out_ir).unwrap()
+        })
+        .collect()
+}
+
+fn spawn_daemon(socket: &Path, journal: &Path, extra: &[&str]) -> Child {
+    let mut args = vec![
+        "serve".to_string(),
+        "--socket".to_string(),
+        socket.to_string_lossy().to_string(),
+        "--journal".to_string(),
+        journal.to_string_lossy().to_string(),
+        "--workers".to_string(),
+        "2".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let child = Command::new(env!("CARGO_BIN_EXE_hippoctl"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait for the socket to answer.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while UnixStream::connect(socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+fn shutdown_daemon(socket: &Path, mut child: Child) {
+    let out = hippoctl(&["shutdown", "--socket", &socket.to_string_lossy()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon never drained");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn concurrent_campaigns_are_byte_identical_to_standalone_runs() {
+    let dir = scratch("concurrent");
+    let apps: Vec<String> = (0..CAMPAIGNS).map(|i| write_app(&dir, i)).collect();
+    let references = reference_fixes(&dir, &apps);
+
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let daemon = spawn_daemon(&socket, &journal, &[]);
+
+    // All campaigns in flight at once, each through its own client.
+    std::thread::scope(|s| {
+        for (i, app) in apps.iter().enumerate() {
+            let socket = socket.clone();
+            let out_ir = dir.join(format!("daemon{i}.ir"));
+            s.spawn(move || {
+                let out = hippoctl(&[
+                    "submit",
+                    "--socket",
+                    &socket.to_string_lossy(),
+                    app,
+                    "--kind",
+                    "fix",
+                    "--wait",
+                    "-o",
+                    &out_ir.to_string_lossy(),
+                ]);
+                assert!(out.status.success(), "{}", stderr_of(&out));
+            });
+        }
+    });
+    for (i, reference) in references.iter().enumerate() {
+        let daemon_ir = std::fs::read_to_string(dir.join(format!("daemon{i}.ir"))).unwrap();
+        assert_eq!(
+            &daemon_ir, reference,
+            "campaign {i}: daemon artifact differs from the standalone run"
+        );
+    }
+
+    // Resubmitting an identical campaign is served warm — and still
+    // byte-identical.
+    let warm_ir = dir.join("warm0.ir");
+    let warm = hippoctl(&[
+        "submit",
+        "--socket",
+        &socket.to_string_lossy(),
+        &apps[0],
+        "--kind",
+        "fix",
+        "--wait",
+        "-o",
+        &warm_ir.to_string_lossy(),
+    ]);
+    assert!(warm.status.success(), "{}", stderr_of(&warm));
+    assert!(
+        stderr_of(&warm).contains("warm cache"),
+        "identical resubmission must hit the result cache: {}",
+        stderr_of(&warm)
+    );
+    assert_eq!(std::fs::read_to_string(&warm_ir).unwrap(), references[0]);
+
+    // Health reflects the finished campaigns.
+    let health = hippoctl(&["health", "--socket", &socket.to_string_lossy()]);
+    assert!(health.status.success(), "{}", stderr_of(&health));
+    let health_json = String::from_utf8_lossy(&health.stdout).into_owned();
+    assert!(health_json.contains("\"ok\":true"), "{health_json}");
+
+    shutdown_daemon(&socket, daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_campaign_then_restart_resumes_every_job() {
+    let dir = scratch("sigkill");
+    let apps: Vec<String> = (0..CAMPAIGNS).map(|i| write_app(&dir, i)).collect();
+    let references = reference_fixes(&dir, &apps);
+
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let mut daemon = spawn_daemon(&socket, &journal, &[]);
+
+    // Submit every campaign without waiting, then SIGKILL the daemon while
+    // they are in flight. The race is deliberate: any mix of finished and
+    // in-flight jobs is a state resume must absorb.
+    let mut ids = vec![];
+    for app in &apps {
+        let out = hippoctl(&[
+            "submit",
+            "--socket",
+            &socket.to_string_lossy(),
+            app,
+            "--kind",
+            "fix",
+        ]);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        ids.push(String::from_utf8_lossy(&out.stdout).trim().to_string());
+    }
+    daemon.kill().unwrap(); // SIGKILL on unix
+    daemon.wait().unwrap();
+
+    // Restart on the same journal (the dead daemon's stale socket file and
+    // journal lock must not get in the way).
+    let daemon = spawn_daemon(&socket, &journal, &[]);
+
+    // Every acknowledged job reaches `done` — resumed ones re-run, already
+    // finished ones replay their journaled result.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for id in &ids {
+        loop {
+            let out = hippoctl(&["status", "--socket", &socket.to_string_lossy(), id]);
+            assert!(out.status.success(), "{}", stderr_of(&out));
+            let line = String::from_utf8_lossy(&out.stdout).into_owned();
+            if line.contains(" done ")
+                || line.trim_end().ends_with(" done")
+                || line.contains("done —")
+            {
+                break;
+            }
+            assert!(
+                !line.contains("failed"),
+                "job {id} failed after resume: {line}"
+            );
+            assert!(
+                Instant::now() < deadline,
+                "job {id} never settled after resume: {line}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // The committed results are the standalone ones: resubmitting each
+    // campaign (same spec → same digest) emits byte-identical artifacts,
+    // served from the journal-reseeded warm cache.
+    for (i, app) in apps.iter().enumerate() {
+        let out_ir = dir.join(format!("resumed{i}.ir"));
+        let out = hippoctl(&[
+            "submit",
+            "--socket",
+            &socket.to_string_lossy(),
+            app,
+            "--kind",
+            "fix",
+            "--wait",
+            "-o",
+            &out_ir.to_string_lossy(),
+        ]);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        assert_eq!(
+            std::fs::read_to_string(&out_ir).unwrap(),
+            references[i],
+            "campaign {i}: resumed artifact differs from the standalone run"
+        );
+    }
+
+    shutdown_daemon(&socket, daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_held_journal_refuses_a_concurrent_fix_with_the_holder_pid() {
+    let dir = scratch("lock");
+    let app = write_app(&dir, 0);
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let daemon = spawn_daemon(&socket, &journal, &[]);
+
+    // A standalone journaled fix against the daemon's journal must refuse
+    // loudly instead of interleaving appends.
+    let out = hippoctl(&["fix", &app, "--journal", &journal.to_string_lossy()]);
+    let err = stderr_of(&out);
+    assert!(!out.status.success(), "the held journal must refuse");
+    assert!(err.contains("held by pid"), "{err}");
+
+    // And a second daemon on the same journal refuses the same way.
+    let second = hippoctl(&[
+        "serve",
+        "--socket",
+        &dir.join("other.sock").to_string_lossy(),
+        "--journal",
+        &journal.to_string_lossy(),
+    ]);
+    let err2 = stderr_of(&second);
+    assert!(!second.status.success());
+    assert!(err2.contains("held by pid"), "{err2}");
+
+    shutdown_daemon(&socket, daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_worker_fault_fails_one_campaign_and_spares_the_rest() {
+    let dir = scratch("fault");
+    let apps: Vec<String> = (0..3).map(|i| write_app(&dir, i)).collect();
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let daemon = spawn_daemon(&socket, &journal, &["--fault-worker", "0"]);
+
+    let mut results = vec![];
+    for app in &apps {
+        let out = hippoctl(&[
+            "submit",
+            "--socket",
+            &socket.to_string_lossy(),
+            app,
+            "--kind",
+            "fix",
+            "--wait",
+        ]);
+        results.push((out.status.success(), stderr_of(&out)));
+    }
+    let failures: Vec<_> = results.iter().filter(|(ok, _)| !ok).collect();
+    assert_eq!(
+        failures.len(),
+        1,
+        "exactly the injected job fails: {results:?}"
+    );
+    assert!(
+        failures[0].1.contains("injected"),
+        "the failure must be attributed to the injection: {}",
+        failures[0].1
+    );
+
+    // The daemon survived and still answers.
+    let health = hippoctl(&["health", "--socket", &socket.to_string_lossy()]);
+    assert!(health.status.success(), "{}", stderr_of(&health));
+    shutdown_daemon(&socket, daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,311 @@
+//! Shared warm caches keyed by module snapshot digest.
+//!
+//! A long-running server (`hippod`) sees the same modules over and over:
+//! repeat submissions of an unchanged app, and — inside a single repair —
+//! detection rounds that revisit a module state the previous iteration
+//! already analyzed. The cold work worth skipping is exactly the pure
+//! functions of the module text:
+//!
+//! - **compiled modules** — pmlang/pmir decoding, keyed by a digest of the
+//!   submitted source set ([`WarmCache::module`]);
+//! - **alias analysis** — [`pmalias::AliasAnalysis::analyze`] fixpoints,
+//!   keyed by [`pmir::snapshot::digest`] ([`WarmCache::alias`]);
+//! - **static function-summary reports** — `pmstatic` whole-module checks,
+//!   keyed by module digest plus entry ([`WarmCache::static_report`]).
+//!
+//! All three are deterministic in their key, so a hit is *exactly* the
+//! result the cold path would produce — warm jobs stay byte-identical to
+//! cold ones. The handle follows the [`pmobs::Obs`] idiom: the default is
+//! disabled and costs one `Option` branch per call site (the closure runs
+//! directly, nothing is keyed or stored); [`WarmCache::enabled`] carries a
+//! shared, thread-safe store that clones into every worker for free.
+
+use pmalias::AliasAnalysis;
+use pmcheck::CheckReport;
+use pmir::Module;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    modules: Mutex<HashMap<u64, Arc<Module>>>,
+    alias: Mutex<HashMap<u64, Arc<AliasAnalysis>>>,
+    statics: Mutex<HashMap<(u64, String), Arc<CheckReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shared warm cache. Cloning is an `Arc` bump; clones share one store.
+/// `WarmCache::default()` is the disabled handle: every lookup computes
+/// directly and stores nothing.
+#[derive(Debug, Clone, Default)]
+pub struct WarmCache(Option<Arc<Inner>>);
+
+impl WarmCache {
+    /// A handle backed by a fresh shared store.
+    pub fn enabled() -> WarmCache {
+        WarmCache(Some(Arc::new(Inner::default())))
+    }
+
+    /// The explicit spelling of `WarmCache::default()`.
+    pub fn disabled() -> WarmCache {
+        WarmCache(None)
+    }
+
+    /// Whether this handle stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Digest for a submitted source set — the module-cache key. Order
+    /// matters (sources link in order), so it is part of the key.
+    pub fn source_key(sources: &[(String, String)]) -> u64 {
+        let mut text = String::new();
+        for (name, body) in sources {
+            text.push_str(name);
+            text.push('\0');
+            text.push_str(body);
+            text.push('\0');
+        }
+        pmir::snapshot::fnv1a(text.as_bytes())
+    }
+
+    /// The decoded module for `key`, compiling on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compile`'s error; failures are never cached (the next
+    /// submission with the same sources retries the compile).
+    pub fn module(
+        &self,
+        key: u64,
+        obs: &pmobs::Obs,
+        compile: impl FnOnce() -> Result<Module, String>,
+    ) -> Result<Arc<Module>, String> {
+        let Some(inner) = &self.0 else {
+            return compile().map(Arc::new);
+        };
+        if let Some(m) = inner
+            .modules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            obs.add("cache.module.hit", 1);
+            return Ok(m.clone());
+        }
+        inner.misses.fetch_add(1, Ordering::Relaxed);
+        obs.add("cache.module.miss", 1);
+        let m = Arc::new(compile()?);
+        inner
+            .modules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, m.clone());
+        Ok(m)
+    }
+
+    /// The alias analysis of `m`, keyed by its snapshot digest.
+    pub fn alias(&self, m: &Module, obs: &pmobs::Obs) -> Arc<AliasAnalysis> {
+        let Some(inner) = &self.0 else {
+            return Arc::new(AliasAnalysis::analyze(m));
+        };
+        let key = pmir::snapshot::digest(m);
+        if let Some(aa) = inner
+            .alias
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            obs.add("cache.alias.hit", 1);
+            return aa.clone();
+        }
+        inner.misses.fetch_add(1, Ordering::Relaxed);
+        obs.add("cache.alias.miss", 1);
+        let aa = Arc::new(AliasAnalysis::analyze(m));
+        inner
+            .alias
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, aa.clone());
+        aa
+    }
+
+    /// The static persistency report for `(m, entry)`, keyed by the module
+    /// snapshot digest. Only successful checks are cached: a budget-tripped
+    /// or faulted attempt must not poison later runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error unchanged.
+    pub fn static_report<E>(
+        &self,
+        m: &Module,
+        entry: &str,
+        obs: &pmobs::Obs,
+        compute: impl FnOnce() -> Result<CheckReport, E>,
+    ) -> Result<CheckReport, E> {
+        let Some(inner) = &self.0 else {
+            return compute();
+        };
+        let key = (pmir::snapshot::digest(m), entry.to_string());
+        if let Some(r) = inner
+            .statics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            obs.add("cache.static.hit", 1);
+            return Ok(CheckReport::clone(r));
+        }
+        inner.misses.fetch_add(1, Ordering::Relaxed);
+        obs.add("cache.static.miss", 1);
+        let r = compute()?;
+        inner
+            .statics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::new(r.clone()));
+        Ok(r)
+    }
+
+    /// Lifetime `(hits, misses)` across all three caches. `(0, 0)` when
+    /// disabled.
+    pub fn stats(&self) -> (u64, u64) {
+        match &self.0 {
+            None => (0, 0),
+            Some(inner) => (
+                inner.hits.load(Ordering::Relaxed),
+                inner.misses.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "fn main() {\n    var p: ptr = pmem_map(0, 4096);\n    store8(p, 0, 7);\n    clwb(p);\n    sfence();\n}\n";
+
+    fn module() -> Module {
+        pmlang::compile_one("cache_test.pmc", SRC).unwrap()
+    }
+
+    #[test]
+    fn disabled_cache_computes_every_time() {
+        let cache = WarmCache::default();
+        assert!(!cache.is_enabled());
+        let obs = pmobs::Obs::default();
+        let m = module();
+        let mut calls = 0;
+        for _ in 0..2 {
+            cache
+                .static_report(&m, "main", &obs, || {
+                    calls += 1;
+                    Ok::<_, String>(CheckReport::default())
+                })
+                .unwrap();
+        }
+        assert_eq!(calls, 2);
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn alias_is_cached_by_module_digest() {
+        let cache = WarmCache::enabled();
+        let obs = pmobs::Obs::enabled();
+        let m = module();
+        let a = cache.alias(&m, &obs);
+        let b = cache.alias(&m, &obs);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["cache.alias.hit"], 1);
+        assert_eq!(snap.counters["cache.alias.miss"], 1);
+        // A different module state is a different key.
+        let other = pmlang::compile_one(
+            "cache_test.pmc",
+            "fn main() {\n    var p: ptr = pmem_map(1, 4096);\n    store8(p, 0, 9);\n}\n",
+        )
+        .unwrap();
+        let c = cache.alias(&other, &obs);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn static_reports_hit_per_entry_and_skip_recompute() {
+        let cache = WarmCache::enabled();
+        let obs = pmobs::Obs::default();
+        let m = module();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = cache
+                .static_report(&m, "main", &obs, || {
+                    calls += 1;
+                    pmstatic::check_module(&m, "main").map_err(|e| e.to_string())
+                })
+                .unwrap();
+            assert!(r.is_clean());
+        }
+        assert_eq!(calls, 1, "two of three lookups must hit");
+        // A different entry point is a different key.
+        cache
+            .static_report(&m, "other", &obs, || {
+                calls += 1;
+                Ok::<_, String>(CheckReport::default())
+            })
+            .unwrap();
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn failed_computations_are_not_cached() {
+        let cache = WarmCache::enabled();
+        let obs = pmobs::Obs::default();
+        let m = module();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let _ = cache.static_report(&m, "main", &obs, || {
+                calls += 1;
+                Err::<CheckReport, _>("budget tripped".to_string())
+            });
+        }
+        assert_eq!(calls, 2, "errors must never be cached");
+    }
+
+    #[test]
+    fn module_cache_hits_on_identical_source_sets() {
+        let cache = WarmCache::enabled();
+        let obs = pmobs::Obs::default();
+        let sources = vec![("a.pmc".to_string(), SRC.to_string())];
+        let key = WarmCache::source_key(&sources);
+        let mut compiles = 0;
+        for _ in 0..2 {
+            cache
+                .module(key, &obs, || {
+                    compiles += 1;
+                    pmlang::compile_one("a.pmc", SRC).map_err(|e| e.to_string())
+                })
+                .unwrap();
+        }
+        assert_eq!(compiles, 1);
+        // Source order is part of the key.
+        let swapped = vec![
+            ("b.pmc".to_string(), "x".to_string()),
+            ("a.pmc".to_string(), "y".to_string()),
+        ];
+        let forward = vec![
+            ("a.pmc".to_string(), "y".to_string()),
+            ("b.pmc".to_string(), "x".to_string()),
+        ];
+        assert_ne!(
+            WarmCache::source_key(&swapped),
+            WarmCache::source_key(&forward)
+        );
+    }
+}

@@ -8,7 +8,7 @@ use crate::plan::{apply_intra_fix, plan_intra_fixes, pm_store_refs};
 use crate::summary::{
     AppliedFix, Degradation, FixKind, QuarantinedFix, RepairOutcome, RepairSummary,
 };
-use pmalias::{AliasAnalysis, PmMarking};
+use pmalias::PmMarking;
 use pmcheck::{run_and_check, Bug, CheckReport, CheckedRun, Checkpoint};
 use pmir::snapshot::ModuleSnapshot;
 use pmir::Module;
@@ -227,7 +227,7 @@ impl Hippocrates {
 
         // Phase 3: hoisting decisions (only for flush-bearing fixes).
         let analysis = self.opts.hoisting.then(|| {
-            let aa = AliasAnalysis::analyze(m);
+            let aa = self.opts.cache.alias(m, &self.opts.obs);
             let marking = match self.opts.marking {
                 MarkingMode::FullAa => PmMarking::full(&aa),
                 MarkingMode::TraceAa => PmMarking::from_trace(m, &aa, trace),
@@ -445,8 +445,13 @@ impl Hippocrates {
         diagnostics: &mut Vec<String>,
     ) -> Result<CheckReport, Degradation> {
         let (report, retries) = self.with_retries("static", || {
-            pmstatic::check_module_budgeted(m, entry, &self.opts.obs, budget)
-                .map_err(|e| format!("static check failed: {e}"))
+            // Cache hits reproduce the budgeted check's success result
+            // exactly; failures (budget trips, faults) are never cached, so
+            // retries always reach the real checker.
+            self.opts.cache.static_report(m, entry, &self.opts.obs, || {
+                pmstatic::check_module_budgeted(m, entry, &self.opts.obs, budget)
+                    .map_err(|e| format!("static check failed: {e}"))
+            })
         })?;
         if retries > 0 {
             note(

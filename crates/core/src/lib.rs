@@ -39,6 +39,7 @@
 //! assert_eq!(outcome.fixes.len(), 1);
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod heuristic;
 pub mod locate;
@@ -47,6 +48,7 @@ pub mod perf;
 pub mod plan;
 pub mod summary;
 
+pub use cache::WarmCache;
 pub use engine::{provide_durability, Hippocrates, RepairError};
 pub use options::{BugSource, MarkingMode, RepairOptions};
 pub use summary::{

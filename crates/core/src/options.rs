@@ -120,6 +120,13 @@ pub struct RepairOptions {
     /// byte-identical output) and rolled back on any regression. The
     /// inverse pass can therefore never undo the repair. Off by default.
     pub optimize_after: bool,
+    /// Shared warm cache ([`crate::WarmCache`]) for the pure per-module
+    /// work: alias-analysis fixpoints and static check reports keyed by
+    /// module snapshot digest. The disabled default computes everything
+    /// directly; a long-running server attaches one shared cache across
+    /// jobs. Hits reproduce the cold path's results exactly, so this is a
+    /// presentation knob (excluded from [`RepairOptions::digest_hex`]).
+    pub cache: crate::WarmCache,
     /// Crash-injection hook for the kill-and-resume machinery: abort the
     /// process (as a deterministic stand-in for SIGKILL) immediately after
     /// the n-th round committed *in this process*. Only ever set by tests
@@ -152,6 +159,7 @@ impl Default for RepairOptions {
             resume: false,
             deadline_ms: None,
             step_quota: None,
+            cache: crate::WarmCache::default(),
             crash_after_commit: None,
             optimize_after: false,
         }
@@ -299,6 +307,7 @@ mod tests {
             deadline_ms: Some(1234),
             journal_path: Some("x.journal".into()),
             resume: true,
+            cache: crate::WarmCache::enabled(),
             ..RepairOptions::default()
         };
         assert_eq!(

@@ -1,0 +1,221 @@
+//! The blocking `hippo.jobs.v1` client used by `hippoctl` subcommands and
+//! the system tests.
+
+use crate::jobs::{JobSpec, JobView};
+use crate::proto::{
+    read_frame, write_frame, Health, Request, RequestFrame, Response, ResponseFrame,
+};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// What a submission came back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// Journaled and queued under this id.
+    Accepted(String),
+    /// Backpressure: the queue is full, retry after this many ms.
+    Busy(u64),
+}
+
+/// A connected client. One request/response exchange at a time.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a serving daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing listens on `socket`.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, String> {
+        let socket = socket.as_ref();
+        let stream = UnixStream::connect(socket).map_err(|e| {
+            format!(
+                "{}: connect: {e} (is the daemon serving?)",
+                socket.display()
+            )
+        })?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until the daemon answers or `timeout` elapses —
+    /// for scripts that just started the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the daemon does not come up in time.
+    pub fn connect_retry(socket: impl AsRef<Path>, timeout: Duration) -> Result<Client, String> {
+        let socket = socket.as_ref();
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(format!("daemon did not come up within {timeout:?}: {e}"));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// One request → one response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a hung-up daemon, and protocol-level
+    /// `Error` responses surfaced by the typed helpers (not here).
+    pub fn request(&mut self, request: Request) -> Result<Response, String> {
+        write_frame(&mut self.stream, &RequestFrame::new(request))?;
+        let frame: Option<ResponseFrame> = read_frame(&mut self.stream)?;
+        frame
+            .map(|f| f.response)
+            .ok_or_else(|| "daemon hung up mid-request".to_string())
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors and daemon-side rejections (invalid spec,
+    /// draining daemon).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<Submitted, String> {
+        match self.request(Request::Submit { spec })? {
+            Response::Accepted { id } => Ok(Submitted::Accepted(id)),
+            Response::Busy { retry_after_ms } => Ok(Submitted::Busy(retry_after_ms)),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Submit: {other:?}")),
+        }
+    }
+
+    /// Submits, honoring `Busy` backpressure by sleeping the hinted
+    /// backoff, until accepted or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on rejections and when the queue never frees up in time.
+    pub fn submit_retry(&mut self, spec: JobSpec, timeout: Duration) -> Result<String, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.submit(spec.clone())? {
+                Submitted::Accepted(id) => return Ok(id),
+                Submitted::Busy(ms) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "queue stayed full for {timeout:?}; last retry hint was {ms}ms"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(ms.min(250)));
+                }
+            }
+        }
+    }
+
+    /// A job's current view.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors and unknown ids.
+    pub fn status(&mut self, id: &str) -> Result<JobView, String> {
+        match self.request(Request::Status { id: id.to_string() })? {
+            Response::Job { view } => Ok(view),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Status: {other:?}")),
+        }
+    }
+
+    /// Polls until the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors and when `timeout` elapses first.
+    pub fn wait(&mut self, id: &str, timeout: Duration) -> Result<JobView, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.status(id)?;
+            if view.state.is_terminal() {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job `{id}` still {} after {timeout:?}", view.state));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Cancels a queued job; returns its (terminal) view.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, unknown ids, and running jobs.
+    pub fn cancel(&mut self, id: &str) -> Result<JobView, String> {
+        match self.request(Request::Cancel { id: id.to_string() })? {
+            Response::Job { view } => Ok(view),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Cancel: {other:?}")),
+        }
+    }
+
+    /// The daemon's health report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn health(&mut self) -> Result<Health, String> {
+        match self.request(Request::Health)? {
+            Response::Health { health } => Ok(health),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Health: {other:?}")),
+        }
+    }
+
+    /// The live `hippo.metrics.v1` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        match self.request(Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Metrics: {other:?}")),
+        }
+    }
+
+    /// Requests a graceful shutdown (drain, journal, exit).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Shutdown: {other:?}")),
+        }
+    }
+
+    /// Waits for every non-terminal job to settle — used before asserting
+    /// on a drained daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors and when `timeout` elapses first.
+    pub fn wait_idle(&mut self, timeout: Duration) -> Result<Health, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let h = self.health()?;
+            if h.queued == 0 && h.running == 0 {
+                return Ok(h);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "daemon still busy after {timeout:?}: {} queued, {} running",
+                    h.queued, h.running
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

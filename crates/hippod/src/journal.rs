@@ -1,0 +1,295 @@
+//! The daemon's write-ahead job journal.
+//!
+//! Same discipline (and same on-disk framing) as the `pmtx` repair
+//! journal: line-oriented, every line checksummed, appends synced before
+//! the daemon acknowledges. Two event kinds cover the whole job
+//! lifecycle:
+//!
+//! - `Submitted { id, spec }` — written *before* the client sees
+//!   `Accepted`. An acknowledged job is therefore always durable.
+//! - `Finished { view }` — written when the job reaches a terminal state
+//!   (`Done`/`Failed`/`Canceled`), carrying the full result.
+//!
+//! **Resume rule:** on restart, every `Submitted` without a matching
+//! `Finished` re-enters the queue in submission order; every `Finished`
+//! job serves its journaled result directly. Job execution is
+//! deterministic in the spec, so a re-run of an interrupted job commits
+//! the same result the killed run would have.
+//!
+//! A torn final line (the daemon was SIGKILLed mid-append) is dropped and
+//! truncated away; corruption anywhere *else* is refused loudly.
+//! Exclusive advisory locking ([`pmtx::FileLock`]) makes a second daemon
+//! on the same journal refuse with the holder's pid instead of
+//! interleaving appends.
+
+use crate::jobs::{JobSpec, JobView};
+use pmtx::framing::{decode_line, encode_line, split_lines};
+use pmtx::FileLock;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// The journal's schema tag, checked on resume.
+pub const JOBS_JOURNAL_SCHEMA: &str = "hippo.jobs.v1";
+
+/// The first journal line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobJournalHeader {
+    pub schema: String,
+}
+
+/// One journaled lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    Submitted { id: String, spec: JobSpec },
+    Finished { view: JobView },
+}
+
+/// An open, exclusively locked job journal.
+#[derive(Debug)]
+pub struct JobJournal {
+    file: File,
+    path: PathBuf,
+    _lock: FileLock,
+}
+
+impl JobJournal {
+    /// Opens (creating if absent) the journal, replaying every committed
+    /// event. A torn final line is truncated away; the replayed events are
+    /// returned in append order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when another process holds the journal (the message names the
+    /// holder's pid), on interior corruption, on a schema mismatch, and on
+    /// I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<(JobJournal, Vec<JobEvent>), String> {
+        let path = path.as_ref().to_path_buf();
+        let lock = FileLock::acquire(&path).map_err(|e| e.to_string())?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+
+        let mut journal = JobJournal {
+            file,
+            path,
+            _lock: lock,
+        };
+        if text.is_empty() {
+            journal.append_line(&JobJournalHeader {
+                schema: JOBS_JOURNAL_SCHEMA.to_string(),
+            })?;
+            return Ok((journal, vec![]));
+        }
+
+        let lines = split_lines(&text);
+        let mut events = vec![];
+        let mut truncate_at: Option<usize> = None;
+        for (i, line) in lines.iter().enumerate() {
+            let last = i + 1 == lines.len();
+            let payload = match decode_line(line.body) {
+                Ok(p) if line.terminated => p,
+                // A torn tail — unterminated or checksum-failed final
+                // line — is the one legal form of damage: the process died
+                // mid-append, the event was never acknowledged. Drop it.
+                _ if last => {
+                    truncate_at = Some(line.offset);
+                    break;
+                }
+                Ok(_) | Err(_) => {
+                    return Err(format!(
+                        "{}: corrupted journal line {} (not at the tail); refusing to resume \
+                         from a damaged journal",
+                        journal.path.display(),
+                        i + 1
+                    ));
+                }
+            };
+            if i == 0 {
+                let header: JobJournalHeader = serde_json::from_str(payload)
+                    .map_err(|e| format!("{}: bad journal header: {e}", journal.path.display()))?;
+                if header.schema != JOBS_JOURNAL_SCHEMA {
+                    return Err(format!(
+                        "{}: journal schema is `{}`, this daemon speaks `{JOBS_JOURNAL_SCHEMA}`",
+                        journal.path.display(),
+                        header.schema
+                    ));
+                }
+                continue;
+            }
+            match serde_json::from_str::<JobEvent>(payload) {
+                Ok(ev) => events.push(ev),
+                Err(e) if last => {
+                    // Structurally torn JSON with an accidentally valid
+                    // checksum cannot happen (the checksum covers the whole
+                    // payload), but a half-written *terminated* line at the
+                    // tail is still unacknowledged work: drop it too.
+                    let _ = e;
+                    truncate_at = Some(line.offset);
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "{}: journal line {} does not parse: {e}",
+                        journal.path.display(),
+                        i + 1
+                    ));
+                }
+            }
+        }
+        if let Some(offset) = truncate_at {
+            journal
+                .file
+                .set_len(offset as u64)
+                .map_err(|e| format!("{}: truncate: {e}", journal.path.display()))?;
+            journal
+                .file
+                .seek(std::io::SeekFrom::End(0))
+                .map_err(|e| format!("{}: {e}", journal.path.display()))?;
+        }
+        if events.is_empty() && truncate_at == Some(0) {
+            // Even the header was torn; start fresh.
+            journal.append_line(&JobJournalHeader {
+                schema: JOBS_JOURNAL_SCHEMA.to_string(),
+            })?;
+        }
+        Ok((journal, events))
+    }
+
+    fn append_line<T: Serialize>(&mut self, value: &T) -> Result<(), String> {
+        let payload =
+            serde_json::to_string(value).map_err(|e| format!("encode journal record: {e}"))?;
+        let line = encode_line(&payload);
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("{}: append: {e}", self.path.display()))?;
+        self.file
+            .sync_data()
+            .map_err(|e| format!("{}: sync: {e}", self.path.display()))?;
+        Ok(())
+    }
+
+    /// Appends one event, durable (synced) before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn append(&mut self, event: &JobEvent) -> Result<(), String> {
+        self.append_line(event)
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{JobKind, JobState};
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            JobKind::Lint,
+            vec![("a.pmc".to_string(), "fn main() {}".to_string())],
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hippod-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("jobs.journal")
+    }
+
+    fn submitted(id: &str) -> JobEvent {
+        JobEvent::Submitted {
+            id: id.to_string(),
+            spec: spec(),
+        }
+    }
+
+    fn finished(id: &str) -> JobEvent {
+        JobEvent::Finished {
+            view: JobView {
+                id: id.to_string(),
+                kind: JobKind::Lint,
+                state: JobState::Done,
+                error: None,
+                result: None,
+            },
+        }
+    }
+
+    #[test]
+    fn events_replay_in_append_order() {
+        let path = tmp("replay");
+        {
+            let (mut j, replayed) = JobJournal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            j.append(&submitted("job-1")).unwrap();
+            j.append(&submitted("job-2")).unwrap();
+            j.append(&finished("job-1")).unwrap();
+        }
+        let (_j, replayed) = JobJournal::open(&path).unwrap();
+        assert_eq!(
+            replayed,
+            vec![submitted("job-1"), submitted("job-2"), finished("job-1")]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let path = tmp("torn");
+        {
+            let (mut j, _) = JobJournal::open(&path).unwrap();
+            j.append(&submitted("job-1")).unwrap();
+        }
+        // Simulate a SIGKILL mid-append: half a line, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"Finished\":{\"view\":{\"id\":\"job")
+            .unwrap();
+        drop(f);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (_j, replayed) = JobJournal::open(&path).unwrap();
+        assert_eq!(replayed, vec![submitted("job-1")]);
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < before,
+            "the torn tail must be truncated away"
+        );
+    }
+
+    #[test]
+    fn interior_corruption_is_refused() {
+        let path = tmp("interior");
+        {
+            let (mut j, _) = JobJournal::open(&path).unwrap();
+            j.append(&submitted("job-1")).unwrap();
+            j.append(&finished("job-1")).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let flipped = text.replacen("job-1", "job-X", 1);
+        std::fs::write(&path, flipped).unwrap();
+        let err = JobJournal::open(&path).unwrap_err();
+        assert!(err.contains("corrupted journal line"), "{err}");
+    }
+
+    #[test]
+    fn second_open_is_refused_with_holder_pid() {
+        let path = tmp("locked");
+        let (_j, _) = JobJournal::open(&path).unwrap();
+        let err = JobJournal::open(&path).unwrap_err();
+        assert!(err.contains("held by pid"), "{err}");
+        assert!(
+            err.contains(&std::process::id().to_string()),
+            "the message must name the holder: {err}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `hippod` — repair-as-a-service.
+//!
+//! The Hippocrates pipeline, served: a long-running daemon accepts
+//! lint/explore/fix/optimize jobs for many modules concurrently over a
+//! Unix domain socket, speaking the versioned, length-prefixed JSON
+//! protocol `hippo.jobs.v1` ([`proto`]).
+//!
+//! The pieces, and the guarantee each one carries:
+//!
+//! - [`queue`] — a bounded job queue with *explicit* backpressure: a full
+//!   queue answers `Busy { retry_after_ms }`, it never blocks a client.
+//! - [`journal`] — pmtx-style write-ahead job state. `Accepted` implies
+//!   journaled-and-synced; `kill -9` mid-campaign resumes every in-flight
+//!   job on restart and serves finished ones from their journaled result.
+//!   The journal is exclusively locked — a second daemon refuses with the
+//!   holder's pid.
+//! - [`jobs`] — the worker body. Sources travel inline with their original
+//!   names and run through the same deterministic entry points as the
+//!   `hippoctl` CLI, so daemon artifacts are **byte-identical** to
+//!   standalone runs.
+//! - Warm caches ([`hippocrates::WarmCache`] + a whole-result cache keyed
+//!   by [`jobs::job_digest`]) make repeat submissions of an unchanged
+//!   module skip cold work without changing a byte of output.
+//! - [`server`] — the accept loop and worker pool. A failed or panicking
+//!   job (including one injected at the
+//!   [`pmfault::FaultSite::DaemonWorker`] boundary) fails *alone*; graceful
+//!   shutdown drains the queue and journals every outcome; health and live
+//!   `hippo.metrics.v1` endpoints answer throughout.
+//! - [`client`] — the blocking client the CLI and tests drive.
+
+pub mod client;
+pub mod jobs;
+pub mod journal;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, Submitted};
+pub use jobs::{execute, job_digest, JobKind, JobResult, JobSpec, JobState, JobView};
+pub use journal::{JobEvent, JobJournal, JOBS_JOURNAL_SCHEMA};
+pub use proto::{Health, Request, Response, JOBS_SCHEMA, MAX_FRAME};
+pub use queue::JobQueue;
+pub use server::{serve, ServeReport, ServerConfig};

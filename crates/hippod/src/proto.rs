@@ -1,0 +1,264 @@
+//! The `hippo.jobs.v1` wire protocol: length-prefixed JSON frames over a
+//! Unix domain socket.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! [ 4-byte big-endian payload length ][ payload: UTF-8 JSON ]
+//! ```
+//!
+//! The JSON payload is an envelope carrying the schema tag, so a peer
+//! speaking a future `hippo.jobs.v2` is refused with a structured error
+//! instead of a parse failure:
+//!
+//! ```json
+//! {"schema":"hippo.jobs.v1","request":{"Health":[]}}
+//! {"schema":"hippo.jobs.v1","response":{"Health":{"health":{...}}}}
+//! ```
+//!
+//! Frames larger than [`MAX_FRAME`] are refused before allocation — a
+//! corrupt length prefix must not OOM the daemon. A clean EOF *between*
+//! frames ends the connection; EOF *inside* a frame is an error.
+//!
+//! # Conversation
+//!
+//! A connection carries any number of request→response exchanges in
+//! lockstep (no pipelining). Backpressure is explicit: a `Submit` against a
+//! full queue gets [`Response::Busy`] with a `retry_after_ms` hint, never a
+//! blocked socket.
+
+use crate::jobs::{JobSpec, JobView};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// The protocol schema tag carried by every envelope.
+pub const JOBS_SCHEMA: &str = "hippo.jobs.v1";
+
+/// Hard ceiling on a single frame's payload (16 MiB) — submissions carry
+/// source text inline, so the limit is generous; a garbage length prefix is
+/// not.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Enqueue a job. Answered with `Accepted`, `Busy`, or `Error`.
+    Submit { spec: JobSpec },
+    /// Report a job's current state (and result, once terminal).
+    Status { id: String },
+    /// Cancel a queued job. Running jobs are not interrupted.
+    Cancel { id: String },
+    /// Liveness + queue/cache counters.
+    Health,
+    /// The live `hippo.metrics.v1` snapshot of the daemon's registry.
+    Metrics,
+    /// Graceful shutdown: stop accepting submissions, drain the queue,
+    /// journal every outcome, then exit.
+    Shutdown,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The job is journaled and queued.
+    Accepted { id: String },
+    /// The queue is full; retry after the hinted backoff.
+    Busy { retry_after_ms: u64 },
+    /// A job's current view (`Status`, `Cancel`).
+    Job { view: JobView },
+    /// Liveness report.
+    Health { health: Health },
+    /// `hippo.metrics.v1` JSON, rendered outside the registry lock.
+    Metrics { json: String },
+    /// Shutdown acknowledged; the daemon is draining.
+    ShuttingDown,
+    /// The request could not be served (unknown id, draining daemon,
+    /// schema mismatch, invalid spec).
+    Error { message: String },
+}
+
+/// The request envelope: schema tag + body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    pub schema: String,
+    pub request: Request,
+}
+
+/// The response envelope: schema tag + body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    pub schema: String,
+    pub response: Response,
+}
+
+/// The `Health` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Health {
+    /// Always true when the daemon answers at all.
+    pub ok: bool,
+    /// True once a graceful shutdown started: submissions are refused,
+    /// queued and running jobs drain to completion.
+    pub draining: bool,
+    pub queued: u64,
+    pub running: u64,
+    pub done: u64,
+    pub failed: u64,
+    pub canceled: u64,
+    pub queue_capacity: u64,
+    pub workers: u64,
+    /// Warm-cache hits and misses (modules + alias + static + job results).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Jobs re-queued from the journal at startup.
+    pub resumed: u64,
+}
+
+impl RequestFrame {
+    pub fn new(request: Request) -> RequestFrame {
+        RequestFrame {
+            schema: JOBS_SCHEMA.to_string(),
+            request,
+        }
+    }
+}
+
+impl ResponseFrame {
+    pub fn new(response: Response) -> ResponseFrame {
+        ResponseFrame {
+            schema: JOBS_SCHEMA.to_string(),
+            response,
+        }
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates serialization and socket write failures as readable strings.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), String> {
+    let payload = serde_json::to_string(value).map_err(|e| format!("encode frame: {e}"))?;
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > u64::from(MAX_FRAME) {
+        return Err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte protocol limit",
+            bytes.len()
+        ));
+    }
+    let len = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&len).map_err(|e| format!("write frame: {e}"))?;
+    w.write_all(bytes)
+        .map_err(|e| format!("write frame: {e}"))?;
+    w.flush().map_err(|e| format!("write frame: {e}"))?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF between frames (peer hung
+/// up); EOF inside a frame is an error.
+///
+/// # Errors
+///
+/// Fails on oversized length prefixes, truncated payloads, socket errors,
+/// and payloads that are not valid JSON for `T`.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, String> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) if n < 4 => {
+            r.read_exact(&mut len[n..])
+                .map_err(|e| format!("read frame length: {e}"))?;
+        }
+        Ok(_) => {}
+        Err(e) => return Err(format!("read frame length: {e}")),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte protocol limit (corrupt prefix?)"
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("read frame payload ({len} bytes): {e}"))?;
+    let text = String::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| format!("decode frame: {e}: {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobKind;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let req = RequestFrame::new(Request::Submit {
+            spec: JobSpec {
+                kind: JobKind::Fix,
+                entry: "main".to_string(),
+                sources: vec![("a.pmc".to_string(), "fn main() {}".to_string())],
+                bug_source: "dynamic".to_string(),
+                budget: 256,
+                seed: 0,
+                jobs: 1,
+                deadline_ms: None,
+            },
+        });
+        let mut buf: Vec<u8> = vec![];
+        write_frame(&mut buf, &req).unwrap();
+        write_frame(&mut buf, &RequestFrame::new(Request::Health)).unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        let back: RequestFrame = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.schema, JOBS_SCHEMA);
+        let second: RequestFrame = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(second.request, Request::Health);
+        // Clean EOF between frames.
+        let eof: Option<RequestFrame> = read_frame(&mut cur).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_an_eof() {
+        let mut buf: Vec<u8> = vec![];
+        write_frame(&mut buf, &RequestFrame::new(Request::Health)).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = std::io::Cursor::new(buf);
+        let err = read_frame::<_, RequestFrame>(&mut cur).unwrap_err();
+        assert!(err.contains("payload"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"{}");
+        let mut cur = std::io::Cursor::new(buf);
+        let err = read_frame::<_, RequestFrame>(&mut cur).unwrap_err();
+        assert!(err.contains("protocol limit"), "{err}");
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Accepted {
+                id: "job-1".to_string(),
+            },
+            Response::Busy {
+                retry_after_ms: 100,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "nope".to_string(),
+            },
+        ] {
+            let frame = ResponseFrame::new(resp.clone());
+            let mut buf: Vec<u8> = vec![];
+            write_frame(&mut buf, &frame).unwrap();
+            let back: ResponseFrame = read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+            assert_eq!(back.response, resp);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The bounded job queue with explicit backpressure.
+//!
+//! Capacity is enforced at submission time: a push against a full queue
+//! fails immediately with a retry-after hint the protocol layer forwards as
+//! [`crate::proto::Response::Busy`]. Nothing ever blocks a client socket on
+//! queue space — backpressure is a structured answer, not a stalled write.
+//!
+//! Workers block on [`JobQueue::pop`]; closing the queue wakes them all,
+//! lets them drain what is already queued, and then returns `None` so the
+//! pool can exit. This is the graceful-shutdown drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Base of the retry-after hint; the hint grows with queue depth so a
+/// storm of rejected clients naturally spreads out.
+const RETRY_AFTER_BASE_MS: u64 = 25;
+
+struct Inner {
+    items: VecDeque<String>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of job ids.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` queued (not yet running) jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a job id.
+    ///
+    /// # Errors
+    ///
+    /// When the queue is full (or closed), returns the backpressure hint in
+    /// milliseconds after which the client should retry.
+    pub fn push(&self, id: String) -> Result<(), u64> {
+        let mut g = self.lock();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(RETRY_AFTER_BASE_MS * (g.items.len().max(1) as u64));
+        }
+        g.items.push_back(id);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once the queue is closed
+    /// *and* drained — the worker-pool exit signal.
+    pub fn pop(&self) -> Option<String> {
+        let mut g = self.lock();
+        loop {
+            if let Some(id) = g.items.pop_front() {
+                return Some(id);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting pushes; blocked and future pops drain the remaining
+    /// items, then return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued (not yet popped by a worker).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_with_growing_retry_hint() {
+        let q = JobQueue::new(2);
+        q.push("a".to_string()).unwrap();
+        q.push("b".to_string()).unwrap();
+        let hint = q.push("c".to_string()).unwrap_err();
+        assert_eq!(hint, RETRY_AFTER_BASE_MS * 2);
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot; the push now succeeds.
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        q.push("c".to_string()).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(JobQueue::new(8));
+        q.push("a".to_string()).unwrap();
+        q.push("b".to_string()).unwrap();
+        q.close();
+        // Queued work survives the close (drain) ...
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop().as_deref(), Some("b"));
+        // ... then pops return None instead of blocking.
+        assert_eq!(q.pop(), None);
+        // And new pushes are refused.
+        assert!(q.push("c".to_string()).is_err());
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::new(8));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper time to block, then feed it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push("x".to_string()).unwrap();
+        assert_eq!(popper.join().unwrap().as_deref(), Some("x"));
+        let exiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(exiter.join().unwrap(), None);
+    }
+}

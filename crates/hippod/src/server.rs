@@ -1,0 +1,557 @@
+//! The daemon: accept loop, worker pool, job registry, and graceful
+//! shutdown.
+//!
+//! # Operational posture
+//!
+//! - **A failed job never takes down the daemon or its siblings.** The
+//!   worker body runs under `catch_unwind`; a panic (including one injected
+//!   at the [`pmfault::FaultSite::DaemonWorker`] boundary) marks *that* job
+//!   `Failed` with a structured error and the worker moves on.
+//! - **Acknowledged means durable.** `Submitted` is journaled and synced
+//!   before the client sees `Accepted`; terminal states are journaled with
+//!   their full result. `kill -9` at any point loses at most unacknowledged
+//!   work; a restart re-queues every in-flight job and serves every
+//!   finished one from the journal.
+//! - **Backpressure is explicit.** A full queue answers `Busy` with a
+//!   retry-after hint; nothing blocks.
+//! - **Graceful shutdown drains.** `Shutdown` stops new submissions,
+//!   queued and running jobs run to their journaled conclusion, then the
+//!   daemon removes its socket and exits.
+
+use crate::jobs::{execute, job_digest, JobResult, JobSpec, JobState, JobView};
+use crate::journal::{JobEvent, JobJournal};
+use crate::proto::{
+    read_frame, write_frame, Health, Request, RequestFrame, Response, ResponseFrame, JOBS_SCHEMA,
+};
+use crate::queue::JobQueue;
+use hippocrates::WarmCache;
+use pmfault::{FaultKind, FaultSite, Injector};
+use std::collections::{BTreeMap, HashMap};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+pub struct ServerConfig {
+    /// The Unix domain socket to listen on.
+    pub socket: PathBuf,
+    /// Write-ahead job journal; `None` runs without crash resumability.
+    pub journal: Option<PathBuf>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Fault plan armed at the queue/worker boundary
+    /// ([`FaultSite::DaemonWorker`], keyed by submission index).
+    pub fault: Option<pmfault::FaultPlan>,
+    /// Observability; `serve.*` counters and per-job spans record here.
+    pub obs: pmobs::Obs,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            socket: PathBuf::from("hippod.sock"),
+            journal: None,
+            workers: 4,
+            queue_capacity: 64,
+            fault: None,
+            obs: pmobs::Obs::default(),
+        }
+    }
+}
+
+/// What `serve` reports once the daemon exits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Jobs re-queued from the journal at startup.
+    pub resumed: u64,
+    /// Terminal jobs at exit, by state.
+    pub done: u64,
+    pub failed: u64,
+    pub canceled: u64,
+}
+
+struct State {
+    jobs: Mutex<BTreeMap<String, JobView>>,
+    specs: Mutex<HashMap<String, JobSpec>>,
+    queue: JobQueue,
+    journal: Option<Mutex<JobJournal>>,
+    cache: WarmCache,
+    results: Mutex<HashMap<u64, JobResult>>,
+    /// Serializes the check-capacity → journal → enqueue sequence so the
+    /// bounded queue can never overfill between check and push.
+    submit_gate: Mutex<()>,
+    next_id: AtomicU64,
+    submit_index: AtomicU64,
+    draining: AtomicBool,
+    resumed: u64,
+    workers: usize,
+    queue_capacity: usize,
+    fault: Option<Injector>,
+    obs: pmobs::Obs,
+}
+
+impl State {
+    fn journal_event(&self, ev: &JobEvent) -> Result<(), String> {
+        match &self.journal {
+            None => Ok(()),
+            Some(j) => j.lock().unwrap_or_else(|e| e.into_inner()).append(ev),
+        }
+    }
+
+    fn view(&self, id: &str) -> Option<JobView> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    fn set_state(
+        &self,
+        id: &str,
+        state: JobState,
+        error: Option<String>,
+        result: Option<JobResult>,
+    ) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = jobs.get_mut(id) {
+            v.state = state;
+            v.error = error;
+            v.result = result;
+        }
+    }
+
+    /// Journals a terminal transition with its full view.
+    fn finish(&self, id: &str, state: JobState, error: Option<String>, result: Option<JobResult>) {
+        self.set_state(id, state, error.clone(), result.clone());
+        if let Some(view) = self.view(id) {
+            if let Err(e) = self.journal_event(&JobEvent::Finished { view }) {
+                eprintln!("hippod: journal append failed for {id}: {e}");
+            }
+        }
+        self.obs.add(&format!("serve.jobs.{state}"), 1);
+    }
+
+    fn counts(&self) -> (u64, u64, u64, u64, u64) {
+        let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut c = (0, 0, 0, 0, 0);
+        for v in jobs.values() {
+            match v.state {
+                JobState::Queued => c.0 += 1,
+                JobState::Running => c.1 += 1,
+                JobState::Done => c.2 += 1,
+                JobState::Failed => c.3 += 1,
+                JobState::Canceled => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    fn health(&self) -> Health {
+        let (queued, running, done, failed, canceled) = self.counts();
+        let (cache_hits, cache_misses) = self.cache.stats();
+        let result_hits = self
+            .obs
+            .snapshot()
+            .counters
+            .get("serve.results.hit")
+            .copied()
+            .unwrap_or(0);
+        Health {
+            ok: true,
+            draining: self.draining.load(Ordering::SeqCst),
+            queued,
+            running,
+            done,
+            failed,
+            canceled,
+            queue_capacity: self.queue_capacity as u64,
+            workers: self.workers as u64,
+            cache_hits: cache_hits + result_hits,
+            cache_misses,
+            resumed: self.resumed,
+        }
+    }
+}
+
+/// Runs the daemon until a graceful `Shutdown` request completes its
+/// drain. Binding replaces a *stale* socket file (left by a killed
+/// daemon) but refuses a *live* one.
+///
+/// # Errors
+///
+/// Fails on a held journal lock (naming the holder's pid), a live socket,
+/// and bind errors.
+pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
+    let obs = config.obs.clone();
+    let _span = obs.span("serve.lifetime");
+
+    // Open + replay the journal first: a held lock must refuse the daemon
+    // before it touches the socket.
+    let mut jobs: BTreeMap<String, JobView> = BTreeMap::new();
+    let mut specs: HashMap<String, JobSpec> = HashMap::new();
+    let mut pending: Vec<String> = vec![];
+    let mut max_id = 0u64;
+    let journal = match &config.journal {
+        None => None,
+        Some(path) => {
+            let (journal, events) = JobJournal::open(path)?;
+            for ev in events {
+                match ev {
+                    JobEvent::Submitted { id, spec } => {
+                        if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse().ok()) {
+                            max_id = max_id.max(n);
+                        }
+                        jobs.insert(
+                            id.clone(),
+                            JobView {
+                                id: id.clone(),
+                                kind: spec.kind,
+                                state: JobState::Queued,
+                                error: None,
+                                result: None,
+                            },
+                        );
+                        specs.insert(id.clone(), spec);
+                        pending.push(id);
+                    }
+                    JobEvent::Finished { view } => {
+                        pending.retain(|p| p != &view.id);
+                        jobs.insert(view.id.clone(), view);
+                    }
+                }
+            }
+            Some(Mutex::new(journal))
+        }
+    };
+    let resumed = pending.len() as u64;
+    obs.add("serve.jobs.resumed", resumed);
+
+    // Journaled results re-seed the whole-result cache: a finished
+    // campaign stays warm across daemon restarts.
+    let mut results: HashMap<u64, JobResult> = HashMap::new();
+    for view in jobs.values() {
+        if let (JobState::Done, Some(result), Some(spec)) =
+            (view.state, view.result.as_ref(), specs.get(&view.id))
+        {
+            results.insert(job_digest(spec), result.clone());
+        }
+    }
+
+    let listener = bind(&config.socket)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("socket: {e}"))?;
+
+    let state = Arc::new(State {
+        jobs: Mutex::new(jobs),
+        specs: Mutex::new(specs),
+        queue: JobQueue::new(config.queue_capacity),
+        journal,
+        cache: WarmCache::enabled(),
+        results: Mutex::new(results),
+        submit_gate: Mutex::new(()),
+        next_id: AtomicU64::new(max_id + 1),
+        submit_index: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        resumed,
+        workers: config.workers.max(1),
+        queue_capacity: config.queue_capacity,
+        fault: config.fault.map(|p| Injector::with_obs(p, obs.clone())),
+        obs: obs.clone(),
+    });
+
+    // In-flight jobs resume before any new submission: re-queue them in
+    // submission order. The queue is empty, so pushes cannot fail.
+    for id in pending {
+        state
+            .queue
+            .push(id)
+            .map_err(|_| "resume overflowed the job queue; raise --queue".to_string())?;
+    }
+
+    let workers: Vec<_> = (0..state.workers)
+        .map(|_| {
+            let state = state.clone();
+            std::thread::spawn(move || worker_loop(&state))
+        })
+        .collect();
+
+    // Accept loop. Nonblocking + sleep keeps it responsive to the drain
+    // flag without platform-specific polling.
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = state.clone();
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.draining.load(Ordering::SeqCst) {
+                    let (queued, running, ..) = state.counts();
+                    if queued == 0 && running == 0 && state.queue.is_empty() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                // A transient accept failure must not kill the daemon.
+                state.obs.add("serve.accept.errors", 1);
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    state.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    let (_, _, done, failed, canceled) = state.counts();
+    Ok(ServeReport {
+        resumed,
+        done,
+        failed,
+        canceled,
+    })
+}
+
+/// Binds the socket, replacing a stale file but refusing a live daemon.
+fn bind(path: &std::path::Path) -> Result<UnixListener, String> {
+    if path.exists() {
+        if UnixStream::connect(path).is_ok() {
+            return Err(format!(
+                "{}: a daemon is already serving on this socket",
+                path.display()
+            ));
+        }
+        std::fs::remove_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    UnixListener::bind(path).map_err(|e| format!("{}: bind: {e}", path.display()))
+}
+
+fn worker_loop(state: &State) {
+    while let Some(id) = state.queue.pop() {
+        // A canceled job was already journaled terminal; skip it.
+        match state.view(&id).map(|v| v.state) {
+            Some(JobState::Queued) => {}
+            _ => continue,
+        }
+        state.set_state(&id, JobState::Running, None, None);
+        let spec = state
+            .specs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned();
+        let Some(spec) = spec else {
+            state.finish(&id, JobState::Failed, Some("spec lost".to_string()), None);
+            continue;
+        };
+
+        // The queue/worker boundary is an injection site: occurrence index
+        // is the stable submission counter, so firing is deterministic
+        // regardless of worker scheduling.
+        let index = state.submit_index.fetch_add(1, Ordering::SeqCst);
+        if let Some(inj) = &state.fault {
+            if let Some(kind) = inj.fires_at(FaultSite::DaemonWorker, index) {
+                let injected = matches!(kind, FaultKind::WorkerPanic)
+                    .then(|| "injected worker panic".to_string())
+                    .unwrap_or_else(|| format!("injected fault: {}", kind.slug()));
+                state.finish(&id, JobState::Failed, Some(injected), None);
+                continue;
+            }
+        }
+
+        let digest = job_digest(&spec);
+        let hit = state
+            .results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&digest)
+            .cloned();
+        let outcome = match hit {
+            Some(mut r) => {
+                state.obs.add("serve.results.hit", 1);
+                r.cached = true;
+                Ok(r)
+            }
+            None => {
+                state.obs.add("serve.results.miss", 1);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&spec, &state.cache, &state.obs)
+                }));
+                match run {
+                    Ok(Ok(r)) => {
+                        state
+                            .results
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(digest, r.clone());
+                        Ok(r)
+                    }
+                    Ok(Err(e)) => Err(e),
+                    Err(_) => Err("job panicked; the daemon and its siblings carry on".to_string()),
+                }
+            }
+        };
+        match outcome {
+            Ok(r) => state.finish(&id, JobState::Done, None, Some(r)),
+            Err(e) => state.finish(&id, JobState::Failed, Some(e), None),
+        }
+    }
+}
+
+fn handle_connection(stream: UnixStream, state: &State) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame: Option<RequestFrame> = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &ResponseFrame::new(Response::Error { message: e }),
+                );
+                return;
+            }
+        };
+        let Some(frame) = frame else {
+            return; // clean EOF
+        };
+        let response = if frame.schema == JOBS_SCHEMA {
+            respond(frame.request, state)
+        } else {
+            Response::Error {
+                message: format!(
+                    "unsupported schema `{}`; this daemon speaks `{JOBS_SCHEMA}`",
+                    frame.schema
+                ),
+            }
+        };
+        if write_frame(&mut writer, &ResponseFrame::new(response)).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(request: Request, state: &State) -> Response {
+    match request {
+        Request::Submit { spec } => submit(spec, state),
+        Request::Status { id } => match state.view(&id) {
+            Some(view) => Response::Job { view },
+            None => Response::Error {
+                message: format!("unknown job `{id}`"),
+            },
+        },
+        Request::Cancel { id } => cancel(&id, state),
+        Request::Health => Response::Health {
+            health: state.health(),
+        },
+        Request::Metrics => Response::Metrics {
+            json: state
+                .obs
+                .registry()
+                .map(pmobs::Registry::snapshot_json)
+                .unwrap_or_else(|| state.obs.snapshot().to_json()),
+        },
+        Request::Shutdown => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.queue.close();
+            state.obs.add("serve.shutdowns", 1);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn submit(spec: JobSpec, state: &State) -> Response {
+    if state.draining.load(Ordering::SeqCst) {
+        return Response::Error {
+            message: "daemon is draining (shutdown in progress); submission refused".to_string(),
+        };
+    }
+    if let Err(e) = spec.validate() {
+        return Response::Error { message: e };
+    }
+    let _gate = state.submit_gate.lock().unwrap_or_else(|e| e.into_inner());
+    if state.queue.len() >= state.queue_capacity {
+        state.obs.add("serve.jobs.rejected", 1);
+        return Response::Busy {
+            retry_after_ms: 25 * (state.queue.len().max(1) as u64),
+        };
+    }
+    let id = format!("job-{}", state.next_id.fetch_add(1, Ordering::SeqCst));
+    // Write-ahead: the journal entry lands (synced) before the client ever
+    // sees the id. A crash after this point re-runs the job on resume; a
+    // crash before it means the client was never told `Accepted`.
+    if let Err(e) = state.journal_event(&JobEvent::Submitted {
+        id: id.clone(),
+        spec: spec.clone(),
+    }) {
+        return Response::Error {
+            message: format!("journal append failed: {e}"),
+        };
+    }
+    state.jobs.lock().unwrap_or_else(|e| e.into_inner()).insert(
+        id.clone(),
+        JobView {
+            id: id.clone(),
+            kind: spec.kind,
+            state: JobState::Queued,
+            error: None,
+            result: None,
+        },
+    );
+    state
+        .specs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id.clone(), spec);
+    match state.queue.push(id.clone()) {
+        Ok(()) => {
+            state.obs.add("serve.jobs.submitted", 1);
+            Response::Accepted { id }
+        }
+        Err(retry_after_ms) => {
+            // The gate makes this unreachable, but degrade structurally
+            // (the journaled entry becomes a canceled job) if it ever
+            // happens.
+            state.finish(
+                &id,
+                JobState::Canceled,
+                Some("queue full".to_string()),
+                None,
+            );
+            Response::Busy { retry_after_ms }
+        }
+    }
+}
+
+fn cancel(id: &str, state: &State) -> Response {
+    let Some(view) = state.view(id) else {
+        return Response::Error {
+            message: format!("unknown job `{id}`"),
+        };
+    };
+    match view.state {
+        JobState::Queued => {
+            state.finish(id, JobState::Canceled, None, None);
+            state.obs.add("serve.jobs.cancel_requests", 1);
+            Response::Job {
+                view: state.view(id).unwrap_or(view),
+            }
+        }
+        JobState::Running => Response::Error {
+            message: format!("job `{id}` is already running; running jobs are not interrupted"),
+        },
+        _ => Response::Job { view },
+    }
+}

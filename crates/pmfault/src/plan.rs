@@ -34,9 +34,16 @@ pub enum FaultSite {
     /// `core::engine`: the commit step of a repair transaction is vetoed —
     /// the round rolls back as if re-verification had failed.
     TxCommit,
+    /// `hippod`: the daemon's queue→worker boundary — the worker picked a
+    /// job off the queue and is about to run it. The degradation contract:
+    /// the job is marked failed with a structured diagnostic; the daemon
+    /// and every sibling job are untouched. Deliberately *not* part of the
+    /// seeded [`FaultPlan::from_seed`] catalogue, so existing campaign
+    /// seeds keep their archetypes; the daemon gate arms it explicitly.
+    DaemonWorker,
 }
 
-pub(crate) const N_SITES: usize = 10;
+pub(crate) const N_SITES: usize = 11;
 
 impl FaultSite {
     pub(crate) fn index(self) -> usize {
@@ -51,6 +58,7 @@ impl FaultSite {
             FaultSite::ExploreWorker => 7,
             FaultSite::ExploreOracle => 8,
             FaultSite::TxCommit => 9,
+            FaultSite::DaemonWorker => 10,
         }
     }
 }
@@ -68,6 +76,7 @@ impl fmt::Display for FaultSite {
             FaultSite::ExploreWorker => "explore.worker",
             FaultSite::ExploreOracle => "explore.oracle",
             FaultSite::TxCommit => "tx.commit",
+            FaultSite::DaemonWorker => "daemon.worker",
         };
         f.write_str(s)
     }

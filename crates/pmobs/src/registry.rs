@@ -116,14 +116,35 @@ impl Registry {
 
     /// A point-in-time copy of everything recorded so far. Open spans
     /// appear with `dur_us: 0`.
+    ///
+    /// The registry mutex is held only while the raw collections are
+    /// cloned; assembling (and, in callers, serializing or rendering) the
+    /// snapshot happens outside the lock. A slow consumer — the daemon's
+    /// live `hippo.metrics.v1` endpoint polling mid-campaign — can
+    /// therefore never stall pipeline workers on a recording site.
     pub fn snapshot(&self) -> Snapshot {
-        let g = self.lock();
+        let (spans, counters, gauges, histograms) = {
+            let g = self.lock();
+            (
+                g.spans.clone(),
+                g.counters.clone(),
+                g.gauges.clone(),
+                g.histograms.clone(),
+            )
+        };
         Snapshot {
-            spans: g.spans.clone(),
-            counters: g.counters.clone(),
-            gauges: g.gauges.clone(),
-            histograms: g.histograms.clone(),
+            spans,
+            counters,
+            gauges,
+            histograms,
         }
+    }
+
+    /// The snapshot serialized as `hippo.metrics.v1` JSON. The lock
+    /// discipline of [`Registry::snapshot`] applies: serialization runs
+    /// strictly after the registry mutex is released.
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot().to_json()
     }
 }
 
@@ -300,6 +321,42 @@ mod tests {
         assert_eq!(snap.gauges["acc"], 3.0, "accumulating gauge sums");
         assert_eq!(snap.histograms["h"].count, 2);
         assert_eq!(snap.histograms["h"].sum, 8.0);
+    }
+
+    #[test]
+    fn serializing_a_snapshot_never_stalls_recording_threads() {
+        // Seed the registry with enough spans that serialization takes
+        // real work, then hammer it from recorder threads while a consumer
+        // thread serializes in a loop. With serialization inside the lock
+        // this test livelocks recorders behind multi-millisecond JSON
+        // rendering; with the short-lock discipline both sides make
+        // progress and every recorded count lands.
+        let reg = Registry::new();
+        let obs = Obs::attached(&reg);
+        for i in 0..2000 {
+            let _s = obs.span(&format!("seed.{i}"));
+        }
+        const RECORDERS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|s| {
+            for _ in 0..RECORDERS {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        let _sp = obs.span("hot");
+                        obs.add("hot.count", 1);
+                    }
+                });
+            }
+            let reg = reg.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let json = reg.snapshot_json();
+                    assert!(json.contains("seed.0"));
+                }
+            });
+        });
+        assert_eq!(reg.snapshot().counters["hot.count"], RECORDERS * PER_THREAD);
     }
 
     #[test]

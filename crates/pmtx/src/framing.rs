@@ -1,0 +1,139 @@
+//! The checksummed line framing shared by every `hippo.*` journal.
+//!
+//! A journal line is
+//!
+//! ```text
+//! <payload>#<checksum>\n
+//! ```
+//!
+//! where `<payload>` is a single-line JSON document and `<checksum>` is the
+//! FNV-1a 64 hash of the payload bytes as 16 lowercase hex digits. The
+//! repair journal (`hippo.journal.v1`) and the daemon's job-state journal
+//! (`hippo.jobs-journal.v1`) both build on this framing, so a torn tail is
+//! recognized — and interior corruption refused — the same way everywhere.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over arbitrary bytes — the journal checksum primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Frames `payload` as one durable journal line (checksum + newline).
+pub fn encode_line(payload: &str) -> String {
+    format!("{payload}#{:016x}\n", fnv1a(payload.as_bytes()))
+}
+
+/// Splits a raw line (newline already stripped) into its payload, verifying
+/// the trailing checksum.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the checksum field is missing,
+/// malformed, or does not match the payload.
+pub fn decode_line(raw: &str) -> Result<&str, String> {
+    let Some((payload, sum)) = raw.rsplit_once('#') else {
+        return Err("missing checksum field".to_string());
+    };
+    if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err("malformed checksum field".to_string());
+    }
+    let expect = format!("{:016x}", fnv1a(payload.as_bytes()));
+    if sum != expect {
+        return Err(format!("checksum mismatch (line hashes to {expect})"));
+    }
+    Ok(payload)
+}
+
+/// One physical line of a journal file: its byte offset, body (newline
+/// stripped), and whether the newline was present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawLine<'a> {
+    /// Byte offset of the line's first character in the file.
+    pub offset: usize,
+    /// The line body, without its terminating newline.
+    pub body: &'a str,
+    /// Whether the terminating newline was present (`false` only for a
+    /// torn final line).
+    pub terminated: bool,
+}
+
+/// Splits journal text into physical lines, keeping byte offsets so a torn
+/// tail can be truncated away before anything is appended after it.
+pub fn split_lines(text: &str) -> Vec<RawLine<'_>> {
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    while start < text.len() {
+        match text[start..].find('\n') {
+            Some(rel) => {
+                lines.push(RawLine {
+                    offset: start,
+                    body: &text[start..start + rel],
+                    terminated: true,
+                });
+                start += rel + 1;
+            }
+            None => {
+                lines.push(RawLine {
+                    offset: start,
+                    body: &text[start..],
+                    terminated: false,
+                });
+                break;
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let line = encode_line(r#"{"a":1}"#);
+        assert!(line.ends_with('\n'));
+        let payload = decode_line(line.trim_end_matches('\n')).unwrap();
+        assert_eq!(payload, r#"{"a":1}"#);
+    }
+
+    #[test]
+    fn payloads_containing_hashes_still_decode() {
+        // rsplit_once means only the *last* `#` is the checksum separator.
+        let line = encode_line(r##"{"s":"a#b#c"}"##);
+        assert_eq!(
+            decode_line(line.trim_end_matches('\n')).unwrap(),
+            r##"{"s":"a#b#c"}"##
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let line = encode_line("payload");
+        let mut bytes = line.trim_end_matches('\n').to_string();
+        bytes.replace_range(0..1, "X");
+        assert!(decode_line(&bytes).unwrap_err().contains("checksum"));
+        assert!(decode_line("no-checksum-here").is_err());
+        assert!(decode_line("short#abc").is_err());
+    }
+
+    #[test]
+    fn split_lines_tracks_offsets_and_torn_tails() {
+        let text = "one\ntwo\ntorn";
+        let lines = split_lines(text);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].body, "one");
+        assert!(lines[0].terminated);
+        assert_eq!(lines[1].offset, 4);
+        assert_eq!(lines[2].body, "torn");
+        assert!(!lines[2].terminated);
+        assert!(split_lines("").is_empty());
+    }
+}

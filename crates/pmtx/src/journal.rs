@@ -33,7 +33,17 @@
 //! journal's recorded module or options digest differs from the current
 //! run's: replaying fixes computed for a different input would be exactly
 //! the kind of harm Hippocrates exists to prevent.
+//!
+//! # Locking
+//!
+//! Every open journal holds an exclusive advisory lock (see
+//! [`crate::lock`]) on a `<journal>.lock` sidecar. A second daemon — or a
+//! concurrent `hippoctl fix --journal` — on the same journal is refused
+//! with a "held by pid N" diagnostic instead of interleaving appends. The
+//! lock dies with the holding process, so `kill -9` never wedges a resume.
 
+use crate::framing::{decode_line, encode_line, split_lines};
+use crate::lock::{FileLock, LockError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -42,18 +52,6 @@ use std::path::{Path, PathBuf};
 
 /// The schema identifier written into (and required of) every journal.
 pub const JOURNAL_SCHEMA: &str = "hippo.journal.v1";
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
 
 /// First line of every journal: what run this journal belongs to.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +127,8 @@ pub enum JournalError {
         /// Digest of the current run (hex).
         current: String,
     },
+    /// Another live process holds the journal's advisory lock.
+    Locked(LockError),
 }
 
 impl fmt::Display for JournalError {
@@ -156,6 +156,7 @@ impl fmt::Display for JournalError {
                  {what} digest is {current}; refusing to resume (re-run without \
                  --resume to start a fresh journal)"
             ),
+            JournalError::Locked(e) => e.fmt(f),
         }
     }
 }
@@ -169,6 +170,8 @@ pub struct Journal {
     file: File,
     header: JournalHeader,
     rounds: Vec<RoundRecord>,
+    /// Exclusive advisory lock; held for the journal's whole lifetime.
+    _lock: FileLock,
 }
 
 /// The result of resuming an existing journal.
@@ -180,30 +183,21 @@ pub struct Resumed {
     pub diagnostics: Vec<String>,
 }
 
-fn encode_line(payload: &str) -> String {
-    format!("{payload}#{:016x}\n", fnv1a(payload.as_bytes()))
-}
-
-/// Splits a raw line (newline already stripped) into its payload, verifying
-/// the trailing checksum.
-fn decode_line(raw: &str) -> Result<&str, String> {
-    let Some((payload, sum)) = raw.rsplit_once('#') else {
-        return Err("missing checksum field".to_string());
-    };
-    if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
-        return Err("malformed checksum field".to_string());
-    }
-    let expect = format!("{:016x}", fnv1a(payload.as_bytes()));
-    if sum != expect {
-        return Err(format!("checksum mismatch (line hashes to {expect})"));
-    }
-    Ok(payload)
-}
-
 impl Journal {
     /// Creates (or truncates) a fresh journal for `header` and makes the
     /// header durable.
     pub fn create(path: impl AsRef<Path>, header: JournalHeader) -> Result<Journal, JournalError> {
+        let lock = FileLock::acquire(path.as_ref()).map_err(JournalError::Locked)?;
+        Journal::create_locked(path, header, lock)
+    }
+
+    /// [`Journal::create`] with an already-acquired lock (the resume path
+    /// holds the lock before it knows whether the file is fresh).
+    fn create_locked(
+        path: impl AsRef<Path>,
+        header: JournalHeader,
+        lock: FileLock,
+    ) -> Result<Journal, JournalError> {
         let path = path.as_ref().to_path_buf();
         let io = |error| JournalError::Io {
             path: path.clone(),
@@ -227,6 +221,7 @@ impl Journal {
             file,
             header,
             rounds: Vec::new(),
+            _lock: lock,
         })
     }
 
@@ -239,6 +234,7 @@ impl Journal {
         path: impl AsRef<Path>,
         expected: &JournalHeader,
     ) -> Result<Resumed, JournalError> {
+        let lock = FileLock::acquire(path.as_ref()).map_err(JournalError::Locked)?;
         let path = path.as_ref().to_path_buf();
         let io = |error| JournalError::Io {
             path: path.clone(),
@@ -253,30 +249,17 @@ impl Journal {
 
         // Split into physical lines, keeping byte offsets so a torn tail can
         // be truncated away before we append anything after it.
-        let mut lines: Vec<(usize, &str, bool)> = Vec::new(); // (start, body, had_newline)
-        let mut start = 0usize;
-        while start < text.len() {
-            match text[start..].find('\n') {
-                Some(rel) => {
-                    lines.push((start, &text[start..start + rel], true));
-                    start += rel + 1;
-                }
-                None => {
-                    lines.push((start, &text[start..], false));
-                    break;
-                }
-            }
-        }
+        let lines = split_lines(&text);
 
         // Decode every line; a bad line is tolerable only as the very last.
         let mut good_end = text.len();
         let mut payloads: Vec<(usize, String)> = Vec::new();
-        for (idx, (off, body, terminated)) in lines.iter().enumerate() {
+        for (idx, line) in lines.iter().enumerate() {
             let last = idx + 1 == lines.len();
-            let verdict = if !terminated {
+            let verdict = if !line.terminated {
                 Err("unterminated line".to_string())
             } else {
-                decode_line(body).map(str::to_string)
+                decode_line(line.body).map(str::to_string)
             };
             match verdict {
                 Ok(payload) => payloads.push((idx + 1, payload)),
@@ -286,7 +269,7 @@ impl Journal {
                          in-flight round never committed",
                         idx + 1
                     ));
-                    good_end = *off;
+                    good_end = line.offset;
                 }
                 Err(reason) => {
                     return Err(JournalError::Corrupted {
@@ -310,7 +293,7 @@ impl Journal {
                 // header sync): start the journal fresh.
                 diagnostics
                     .push("journal file held no committed state; starting fresh".to_string());
-                let journal = Journal::create(&path, expected.clone())?;
+                let journal = Journal::create_locked(&path, expected.clone(), lock)?;
                 return Ok(Resumed {
                     journal,
                     diagnostics,
@@ -367,6 +350,7 @@ impl Journal {
             file,
             header,
             rounds,
+            _lock: lock,
         };
         // Position at the (possibly truncated) end for future appends.
         use std::io::Seek;
@@ -600,6 +584,26 @@ mod tests {
             "{:?}",
             resumed.diagnostics
         );
+    }
+
+    #[test]
+    fn concurrent_open_is_refused_with_holder_pid() {
+        let path = tmpdir("flock").join("j.journal");
+        let header = JournalHeader::new("aa", "bb");
+        let held = Journal::create(&path, header.clone()).unwrap();
+        // A second open — create or resume — must refuse while the first
+        // handle lives; this is the "second daemon on one journal" case.
+        match Journal::resume(&path, &header) {
+            Err(JournalError::Locked(_)) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        let msg = Journal::create(&path, header.clone())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("held by pid"), "{msg}");
+        assert!(msg.contains(&std::process::id().to_string()), "{msg}");
+        drop(held);
+        Journal::resume(&path, &header).unwrap();
     }
 
     #[test]

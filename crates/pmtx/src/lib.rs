@@ -19,7 +19,10 @@
 //! `pmtx`, never back up.
 
 pub mod budget;
+pub mod framing;
 pub mod journal;
+pub mod lock;
 
 pub use budget::{Budget, BudgetExceeded};
 pub use journal::{Journal, JournalError, JournalHeader, Resumed, RoundRecord, JOURNAL_SCHEMA};
+pub use lock::{FileLock, LockError};

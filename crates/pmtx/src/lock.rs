@@ -1,0 +1,214 @@
+//! Advisory exclusive locking for journal files.
+//!
+//! Two writers interleaving appends into one journal would corrupt it in a
+//! way the checksum framing cannot always catch (each line individually
+//! valid, the sequence nonsensical). So every open journal holds a
+//! `flock`-style exclusive advisory lock on a `<journal>.lock` sidecar for
+//! as long as the [`FileLock`] (and the journal that owns it) lives. A
+//! second opener — another daemon on the same job journal, or a concurrent
+//! `hippoctl fix --journal` — is refused immediately with the holder's pid
+//! instead of silently interleaving writes.
+//!
+//! The lock is tied to the open file description, so it vanishes the moment
+//! the holding process exits — including `kill -9`. A crashed daemon never
+//! wedges its journal; the restart acquires the lock and resumes.
+//!
+//! The sidecar file is never unlinked: removing it would let a third opener
+//! lock a *fresh* inode while the second still holds the old one, splitting
+//! the lock. A stale sidecar with no live lock costs one inode and nothing
+//! else.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+#[cfg(unix)]
+mod sys {
+    use std::os::unix::io::AsRawFd;
+
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Tries to take the exclusive advisory lock without blocking.
+    /// `Ok(false)` means another open file description holds it.
+    pub fn try_lock_exclusive(file: &std::fs::File) -> std::io::Result<bool> {
+        // SAFETY: `flock` is a plain syscall wrapper over a valid, open fd
+        // (borrowed from `file`, so it outlives the call) and touches no
+        // memory.
+        let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
+        if rc == 0 {
+            return Ok(true);
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() == std::io::ErrorKind::WouldBlock {
+            Ok(false)
+        } else {
+            Err(err)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// Advisory locking is a no-op off unix; the daemon is unix-only anyway
+    /// (it serves over a unix domain socket).
+    pub fn try_lock_exclusive(_file: &std::fs::File) -> std::io::Result<bool> {
+        Ok(true)
+    }
+}
+
+/// Why a lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another process (or another handle in this one) holds the lock.
+    Held {
+        /// The journal path the lock guards.
+        path: PathBuf,
+        /// The holder's pid as recorded in the sidecar, or `"unknown"`.
+        pid: String,
+    },
+    /// Filesystem failure while opening or writing the sidecar.
+    Io {
+        /// The sidecar path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { path, pid } => write!(
+                f,
+                "journal {} is held by pid {pid}; refusing to open it concurrently \
+                 (a second writer would interleave appends)",
+                path.display()
+            ),
+            LockError::Io { path, error } => {
+                write!(f, "journal lock {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// An exclusive advisory lock on a journal, held until dropped (or until
+/// the owning process dies, whichever comes first).
+#[derive(Debug)]
+pub struct FileLock {
+    // Held only for its open file description — the lock dies with it.
+    _file: File,
+    sidecar: PathBuf,
+}
+
+/// The sidecar path guarding `journal_path`.
+fn sidecar_path(journal_path: &Path) -> PathBuf {
+    let mut name = journal_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("journal"));
+    name.push(".lock");
+    journal_path.with_file_name(name)
+}
+
+impl FileLock {
+    /// Acquires the exclusive lock guarding `journal_path`, recording this
+    /// process's pid in the sidecar for the next contender's diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Held`] (with the holder's pid) when another open handle
+    /// holds the lock; [`LockError::Io`] on filesystem failure.
+    pub fn acquire(journal_path: impl AsRef<Path>) -> Result<FileLock, LockError> {
+        let sidecar = sidecar_path(journal_path.as_ref());
+        let io = |error| LockError::Io {
+            path: sidecar.clone(),
+            error,
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&sidecar)
+            .map_err(io)?;
+        match sys::try_lock_exclusive(&file) {
+            Ok(true) => {}
+            Ok(false) => {
+                let mut pid = String::new();
+                file.read_to_string(&mut pid).ok();
+                let pid = pid.trim();
+                return Err(LockError::Held {
+                    path: journal_path.as_ref().to_path_buf(),
+                    pid: if pid.is_empty() {
+                        "unknown".to_string()
+                    } else {
+                        pid.to_string()
+                    },
+                });
+            }
+            Err(error) => return Err(io(error)),
+        }
+        // We own the lock: stamp our pid over whatever a dead holder left.
+        file.set_len(0).map_err(io)?;
+        file.seek(std::io::SeekFrom::Start(0)).map_err(io)?;
+        file.write_all(std::process::id().to_string().as_bytes())
+            .map_err(io)?;
+        file.sync_data().map_err(io)?;
+        Ok(FileLock {
+            _file: file,
+            sidecar,
+        })
+    }
+
+    /// The sidecar file actually holding the lock.
+    pub fn sidecar(&self) -> &Path {
+        &self.sidecar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pmtx-lock-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("j.journal")
+    }
+
+    #[test]
+    fn second_acquisition_is_refused_with_the_holder_pid() {
+        let path = tmp("contend");
+        let held = FileLock::acquire(&path).unwrap();
+        // flock conflicts between two open file descriptions even within
+        // one process, so this models a second daemon exactly.
+        match FileLock::acquire(&path) {
+            Err(LockError::Held { pid, .. }) => {
+                assert_eq!(pid, std::process::id().to_string());
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let msg = FileLock::acquire(&path).unwrap_err().to_string();
+        assert!(msg.contains("held by pid"), "{msg}");
+        drop(held);
+        FileLock::acquire(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_released_on_drop_and_sidecar_survives() {
+        let path = tmp("release");
+        let sidecar = {
+            let l = FileLock::acquire(&path).unwrap();
+            l.sidecar().to_path_buf()
+        };
+        assert!(sidecar.exists(), "sidecar is never unlinked");
+        FileLock::acquire(&path).unwrap();
+    }
+}

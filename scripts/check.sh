@@ -104,6 +104,82 @@ grep -q "refusing to resume" "$txdir/corrupt.log"
 echo "corrupted journal refused with a clear diagnostic, as expected"
 rm -rf "$txdir"
 
+echo "==> repair-as-a-service gate (serve, submit, poll, drain, resume after kill -9)"
+ddir="$(mktemp -d)"
+dsock="$ddir/hippod.sock"
+djournal="$ddir/jobs.journal"
+target/release/hippoctl serve --socket "$dsock" --journal "$djournal" --workers 2 \
+    > "$ddir/serve.log" 2>&1 &
+dpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --socket "$dsock" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+target/release/hippoctl health --socket "$dsock" | grep -q '"ok":true'
+# A fix campaign over the socket, then its healed artifact back through the
+# daemon as explore and lint jobs (the .ir round-trips the wire).
+target/release/hippoctl submit --socket "$dsock" examples/ordering_demo.pmc \
+    --kind fix --bug-source exploration --budget 64 --seed 0 --wait -o "$ddir/healed.ir"
+target/release/hippoctl submit --socket "$dsock" "$ddir/healed.ir" \
+    --kind explore --budget 64 --seed 0 --wait
+lint_id="$(target/release/hippoctl submit --socket "$dsock" "$ddir/healed.ir" --kind lint)"
+for _ in $(seq 1 100); do
+    line="$(target/release/hippoctl status --socket "$dsock" "$lint_id")"
+    case "$line" in
+        *failed*) echo "check.sh: daemon lint job failed: $line" >&2; exit 1 ;;
+        *done*) break ;;
+    esac
+    sleep 0.1
+done
+case "$line" in *done*) ;; *) echo "check.sh: daemon lint job never settled" >&2; exit 1 ;; esac
+# Graceful shutdown drains and removes the socket.
+target/release/hippoctl shutdown --socket "$dsock"
+wait "$dpid"
+test ! -e "$dsock"
+echo "daemon served fix/explore/lint jobs and drained cleanly, as expected"
+
+echo "==> repair-as-a-service gate (kill -9 mid-campaign, restart resumes)"
+cat > "$ddir/crashy.pmc" <<'EOF'
+fn main() {
+    var p: ptr = pmem_map(1, 4096);
+    store8(p, 0, 1);
+    store8(p, 64, 2);
+    print(load8(p, 0));
+}
+EOF
+target/release/hippoctl serve --socket "$dsock" --journal "$djournal" --workers 2 \
+    > "$ddir/serve2.log" 2>&1 &
+dpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --socket "$dsock" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+job_id="$(target/release/hippoctl submit --socket "$dsock" "$ddir/crashy.pmc" --kind fix)"
+kill -9 "$dpid"
+wait "$dpid" 2>/dev/null || true
+# Restart on the same journal: the stale socket and dead holder's lock must
+# not get in the way, and the acknowledged job must reach `done`.
+target/release/hippoctl serve --socket "$dsock" --journal "$djournal" --workers 2 \
+    > "$ddir/serve3.log" 2>&1 &
+dpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --socket "$dsock" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+for _ in $(seq 1 200); do
+    line="$(target/release/hippoctl status --socket "$dsock" "$job_id")"
+    case "$line" in
+        *failed*) echo "check.sh: resumed job failed: $line" >&2; exit 1 ;;
+        *done*) break ;;
+    esac
+    sleep 0.1
+done
+case "$line" in *done*) ;; *) echo "check.sh: job never settled after resume" >&2; exit 1 ;; esac
+target/release/hippoctl shutdown --socket "$dsock"
+wait "$dpid"
+rm -rf "$ddir"
+echo "killed daemon restarted on its journal and finished the campaign, as expected"
+
 echo "==> explore_bench smoke (writes BENCH_explore.json)"
 target/release/explore_bench
 test -s BENCH_explore.json
@@ -119,6 +195,10 @@ test -s BENCH_tx.json
 echo "==> opt_bench smoke (writes BENCH_opt.json)"
 target/release/opt_bench
 test -s BENCH_opt.json
+
+echo "==> serve_bench smoke (writes BENCH_serve.json)"
+target/release/serve_bench
+test -s BENCH_serve.json
 
 echo "==> bench-regression gate (+ inverted self-test)"
 scripts/bench_gate.sh
