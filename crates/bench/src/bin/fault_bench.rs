@@ -75,6 +75,30 @@ struct CampaignRow {
 fn campaign_row(obs: &Obs, seed: u64) -> CampaignRow {
     let plan = FaultPlan::from_seed(seed);
     let describe = plan.describe();
+    // Transport faults fire at the daemon's connection boundary, not inside
+    // the repair pipeline: run those seeds through the shared in-process
+    // daemon campaign (same contract as `hippoctl faultcampaign`).
+    if plan.targets_net() {
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            hippod::netfault::campaign_seed(seed, "campaign.pmc", WORKLOAD_SRC, obs)
+        }));
+        let millis = t0.elapsed().as_secs_f64() * 1e3;
+        let (passed, note) = match outcome {
+            Ok(Ok(line)) => (true, line),
+            Ok(Err(why)) => (false, why),
+            Err(_) => (false, "net campaign panicked".to_string()),
+        };
+        return CampaignRow {
+            plan: describe,
+            passed,
+            fixes: 0,
+            degradations: 0,
+            diagnostics: 0,
+            millis,
+            note,
+        };
+    }
     let bug_source =
         if plan.targets(FaultSite::ExploreWorker) || plan.targets(FaultSite::ExploreOracle) {
             BugSource::Exploration

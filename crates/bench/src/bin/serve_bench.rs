@@ -3,32 +3,35 @@
 //! `hippo.metrics.v1` snapshot the CI bench-regression gate (`bench_gate`)
 //! compares against its checked-in baseline.
 //!
-//! The daemon runs in-process on a real Unix socket; every campaign goes
-//! through the full wire protocol (submit → poll → result frame), exactly
-//! what a CLI client pays. Two walls and two floors:
+//! Three daemons run in turn, each paying the full wire protocol
+//! (submit → poll → result frame), exactly what a CLI client pays:
 //!
-//! * `bench.serve.cold_ms` — N concurrent fix campaigns on distinct apps,
-//!   every cache cold: the full repair pipeline per job.
-//! * `bench.serve.warm_ms` — the same N campaigns resubmitted verbatim:
-//!   each hits the job-result cache and the daemon answers without
-//!   re-running the pipeline.
-//! * `bench.serve.pass_rate` (floor) — fraction of campaigns where the
-//!   daemon's artifact is byte-identical to a standalone (cacheless) run,
-//!   the warm artifact is byte-identical to the cold one, cold results are
-//!   genuinely uncached, warm results are genuinely cached, and the
-//!   daemon's health and drain report agree with the job count.
-//! * `bench.serve.warm_speedup_floor` (floor) — `cold_ms / warm_ms`
-//!   clamped to a conservative 2.0: the gate locks in "warm is at least
-//!   twice as fast", while the unclamped `bench.serve.warm_speedup` gauge
-//!   records the real (machine-dependent, usually much larger) ratio.
+//! * **Unix socket, unbounded cache** — the original pair of walls:
+//!   `bench.serve.cold_ms` (N concurrent fix campaigns on distinct apps,
+//!   every cache cold) and `bench.serve.warm_ms` (the same campaigns
+//!   resubmitted verbatim, each a result-cache hit).
+//! * **TCP** (`bench.serve.tcp_cold_ms` / `bench.serve.tcp_warm_ms`) —
+//!   the same rounds over a real `127.0.0.1` ephemeral-port listener:
+//!   what the hardened `hippo.jobs.v2` transport costs off-box.
+//! * **Capped cache** (`bench.serve.capped_cold_ms` /
+//!   `bench.serve.capped_warm_ms`) — a byte-budgeted LRU warm cache
+//!   (`cache_budget`): the warm round must still be served from cache
+//!   while the daemon's accounted `cache_bytes` stays under the budget.
 //!
-//! `bench.serve.jobs_per_sec` (informational) is the cold-round campaign
-//! throughput.
+//! Floors (`bench.serve.pass_rate`, `bench.serve.warm_speedup_floor`,
+//! `bench.serve.tcp_warm_speedup_floor`,
+//! `bench.serve.capped_warm_speedup_floor`) lock in: every artifact
+//! byte-identical to a standalone (cacheless) run, cold genuinely
+//! uncached, warm genuinely cached, health/drain reports agreeing with the
+//! job count, the capped daemon's `cache_bytes` within budget, and "warm
+//! is at least twice as fast" on every transport. The unclamped
+//! `*_speedup` gauges record the real (machine-dependent, usually much
+//! larger) ratios; `bench.serve.jobs_per_sec` is the cold-round campaign
+//! throughput on the Unix path.
 
 use hippocrates::WarmCache;
-use hippod::{serve, Client, JobKind, JobSpec, JobView, ServerConfig};
+use hippod::{serve, Client, Health, JobKind, JobSpec, JobView, ServerConfig};
 use pmobs::Obs;
-use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Concurrent campaigns per round.
@@ -39,6 +42,10 @@ const LOOP_ITERS: usize = 4096;
 /// Distinct unflushed straight-line publish sites per app: each one is a
 /// separate repair iteration (find → fix → re-verify).
 const SITES: usize = 12;
+/// Byte budget for the capped-cache daemon: small enough to be a real
+/// constraint, large enough to hold the round's working set so the warm
+/// round still hits.
+const CACHE_BUDGET: u64 = 8 * 1024 * 1024;
 
 /// Distinct buggy apps: a long PM-writing loop (one unflushed in-loop
 /// site) followed by [`SITES`] straight-line unflushed publishes, all on
@@ -70,9 +77,10 @@ fn specs() -> Vec<JobSpec> {
 }
 
 /// Submits every spec concurrently (one client per campaign, like real CLI
-/// callers) and waits for all of them. Returns the round wall time and the
-/// settled views in submission order.
-fn round(socket: &Path, specs: &[JobSpec]) -> (f64, Vec<JobView>) {
+/// callers) and waits for all of them. `dial` is a connect spec — a Unix
+/// socket path or `host:port`. Returns the round wall time and the settled
+/// views in submission order.
+fn round(dial: &str, specs: &[JobSpec]) -> (f64, Vec<JobView>) {
     let t0 = Instant::now();
     let views = std::thread::scope(|s| {
         let handles: Vec<_> = specs
@@ -80,7 +88,7 @@ fn round(socket: &Path, specs: &[JobSpec]) -> (f64, Vec<JobView>) {
             .map(|spec| {
                 let spec = spec.clone();
                 s.spawn(move || {
-                    let mut c = Client::connect(socket).expect("daemon answers");
+                    let mut c = Client::dial(dial).expect("daemon answers");
                     let id = c
                         .submit_retry(spec, Duration::from_secs(30))
                         .expect("campaign accepted");
@@ -97,6 +105,69 @@ fn round(socket: &Path, specs: &[JobSpec]) -> (f64, Vec<JobView>) {
     (t0.elapsed().as_secs_f64() * 1e3, views)
 }
 
+/// A cold round then a verbatim warm round against the daemon at `dial`,
+/// verifying every artifact against its standalone reference, then health,
+/// graceful shutdown, and the drain report. Returns
+/// `(cold_ms, warm_ms, health)`.
+fn rounds(
+    dial: &str,
+    label: &str,
+    specs: &[JobSpec],
+    references: &[String],
+    server: std::thread::JoinHandle<Result<hippod::ServeReport, String>>,
+    pass: &mut bool,
+) -> (f64, f64, Health) {
+    let mut ctl = Client::dial_retry(dial, Duration::from_secs(10)).expect("daemon up");
+
+    // Cold round: every cache empty, full pipeline per campaign.
+    let (cold_ms, cold) = round(dial, specs);
+    for (i, (view, reference)) in cold.iter().zip(references).enumerate() {
+        let Some(r) = view.result.as_ref() else {
+            println!("  {label} campaign {i}: cold job carried no result: {view:?}");
+            *pass = false;
+            continue;
+        };
+        if r.cached || !r.clean || r.output != *reference {
+            println!(
+                "  {label} campaign {i}: cold mismatch (cached={}, clean={}, identical={})",
+                r.cached,
+                r.clean,
+                r.output == *reference
+            );
+            *pass = false;
+        }
+    }
+
+    // Warm round: identical specs — every campaign is a result-cache hit.
+    let (warm_ms, warm) = round(dial, specs);
+    for (i, (view, reference)) in warm.iter().zip(references).enumerate() {
+        let Some(r) = view.result.as_ref() else {
+            println!("  {label} campaign {i}: warm job carried no result: {view:?}");
+            *pass = false;
+            continue;
+        };
+        if !r.cached || r.output != *reference {
+            println!(
+                "  {label} campaign {i}: warm mismatch (cached={}, identical={})",
+                r.cached,
+                r.output == *reference
+            );
+            *pass = false;
+        }
+    }
+
+    let health = ctl.health().expect("health answers");
+    *pass &= health.ok && health.done == 2 * CAMPAIGNS as u64 && health.failed == 0;
+
+    ctl.shutdown().expect("graceful shutdown");
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("daemon drains cleanly");
+    *pass &= report.done == 2 * CAMPAIGNS as u64 && report.failed == 0 && report.resumed == 0;
+    (cold_ms, warm_ms, health)
+}
+
 fn main() {
     let obs = Obs::enabled();
     let t_all = Instant::now();
@@ -106,7 +177,6 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     let socket = dir.join("hippod.sock");
-    let journal = dir.join("jobs.journal");
 
     // Standalone references: what every daemon artifact must match, byte
     // for byte. Cacheless and on a separate Obs, so the artifact's
@@ -121,87 +191,107 @@ fn main() {
         })
         .collect();
 
-    let cfg = ServerConfig {
-        socket: socket.clone(),
-        journal: Some(journal),
-        workers: 4,
-        queue_capacity: 64,
-        fault: None,
-        obs: obs.clone(),
-    };
-    let server = std::thread::spawn(move || serve(cfg));
-    let mut ctl = Client::connect_retry(&socket, Duration::from_secs(10)).expect("daemon up");
-
     let mut pass = true;
 
-    // Cold round: every cache empty, full pipeline per campaign.
-    let (cold_ms, cold) = round(&socket, &specs);
-    for (i, (view, reference)) in cold.iter().zip(&references).enumerate() {
-        let Some(r) = view.result.as_ref() else {
-            println!("  campaign {i}: cold job carried no result: {view:?}");
-            pass = false;
-            continue;
+    // Unix socket, unbounded cache.
+    let server = {
+        let cfg = ServerConfig {
+            socket: socket.clone(),
+            journal: Some(dir.join("jobs.journal")),
+            workers: 4,
+            obs: obs.clone(),
+            ..ServerConfig::default()
         };
-        if r.cached || !r.clean || r.output != *reference {
-            println!(
-                "  campaign {i}: cold mismatch (cached={}, clean={}, identical={})",
-                r.cached,
-                r.clean,
-                r.output == *reference
-            );
-            pass = false;
-        }
-    }
+        std::thread::spawn(move || serve(cfg))
+    };
+    let dial = socket.to_string_lossy().to_string();
+    let (cold_ms, warm_ms, _) = rounds(&dial, "unix", &specs, &references, server, &mut pass);
 
-    // Warm round: identical specs — every campaign is a result-cache hit.
-    let (warm_ms, warm) = round(&socket, &specs);
-    for (i, (view, reference)) in warm.iter().zip(&references).enumerate() {
-        let Some(r) = view.result.as_ref() else {
-            println!("  campaign {i}: warm job carried no result: {view:?}");
-            pass = false;
-            continue;
+    // TCP: the same campaigns over a real ephemeral-port listener.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let server = {
+        let cfg = ServerConfig {
+            socket: dir.join("unused.sock"),
+            listen: Some("127.0.0.1:0".to_string()),
+            journal: Some(dir.join("jobs_tcp.journal")),
+            workers: 4,
+            obs: obs.clone(),
+            ready: Some(tx),
+            ..ServerConfig::default()
         };
-        if !r.cached || r.output != *reference {
-            println!(
-                "  campaign {i}: warm mismatch (cached={}, identical={})",
-                r.cached,
-                r.output == *reference
-            );
-            pass = false;
-        }
+        std::thread::spawn(move || serve(cfg))
+    };
+    let addr = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("tcp daemon reports its port");
+    let (tcp_cold_ms, tcp_warm_ms, _) =
+        rounds(&addr, "tcp", &specs, &references, server, &mut pass);
+
+    // Capped cache: a byte-budgeted LRU must stay under budget while the
+    // warm round is still served from cache.
+    let capped_socket = dir.join("hippod_capped.sock");
+    let server = {
+        let cfg = ServerConfig {
+            socket: capped_socket.clone(),
+            journal: Some(dir.join("jobs_capped.journal")),
+            workers: 4,
+            cache_budget: Some(CACHE_BUDGET),
+            obs: obs.clone(),
+            ..ServerConfig::default()
+        };
+        std::thread::spawn(move || serve(cfg))
+    };
+    let dial = capped_socket.to_string_lossy().to_string();
+    let (capped_cold_ms, capped_warm_ms, capped_health) =
+        rounds(&dial, "capped", &specs, &references, server, &mut pass);
+    if capped_health.cache_bytes == 0 || capped_health.cache_bytes > CACHE_BUDGET {
+        println!(
+            "  capped daemon accounted {} cache bytes against a {CACHE_BUDGET}-byte budget",
+            capped_health.cache_bytes
+        );
+        pass = false;
     }
-
-    let health = ctl.health().expect("health answers");
-    pass &= health.ok && health.done == 2 * CAMPAIGNS as u64 && health.failed == 0;
-
-    ctl.shutdown().expect("graceful shutdown");
-    let report = server
-        .join()
-        .expect("server thread")
-        .expect("daemon drains cleanly");
-    pass &= report.done == 2 * CAMPAIGNS as u64 && report.failed == 0 && report.resumed == 0;
 
     let jobs_per_sec = CAMPAIGNS as f64 / (cold_ms / 1e3);
     let speedup = cold_ms / warm_ms.max(f64::EPSILON);
+    let tcp_speedup = tcp_cold_ms / tcp_warm_ms.max(f64::EPSILON);
+    let capped_speedup = capped_cold_ms / capped_warm_ms.max(f64::EPSILON);
     println!(
-        "  cold  {cold_ms:>8.2} ms  ({jobs_per_sec:.1} campaigns/sec)\n  \
-         warm  {warm_ms:>8.2} ms  ({speedup:.1}x speedup)\n  \
+        "  unix   cold {cold_ms:>8.2} ms  warm {warm_ms:>8.2} ms  ({speedup:.1}x, {jobs_per_sec:.1} campaigns/sec)\n  \
+         tcp    cold {tcp_cold_ms:>8.2} ms  warm {tcp_warm_ms:>8.2} ms  ({tcp_speedup:.1}x)\n  \
+         capped cold {capped_cold_ms:>8.2} ms  warm {capped_warm_ms:>8.2} ms  ({capped_speedup:.1}x, {} cache bytes)\n  \
          pass {}",
+        capped_health.cache_bytes,
         if pass { "1.00" } else { "0.00" }
     );
 
     obs.gauge("bench.serve.cold_ms", cold_ms);
     obs.gauge("bench.serve.warm_ms", warm_ms);
+    obs.gauge("bench.serve.tcp_cold_ms", tcp_cold_ms);
+    obs.gauge("bench.serve.tcp_warm_ms", tcp_warm_ms);
+    obs.gauge("bench.serve.capped_cold_ms", capped_cold_ms);
+    obs.gauge("bench.serve.capped_warm_ms", capped_warm_ms);
     obs.gauge("bench.serve.jobs_per_sec", jobs_per_sec);
     obs.gauge("bench.serve.warm_speedup", speedup);
     obs.gauge("bench.serve.warm_speedup_floor", speedup.min(2.0));
+    obs.gauge("bench.serve.tcp_warm_speedup", tcp_speedup);
+    obs.gauge("bench.serve.tcp_warm_speedup_floor", tcp_speedup.min(2.0));
+    obs.gauge("bench.serve.capped_warm_speedup", capped_speedup);
+    obs.gauge(
+        "bench.serve.capped_warm_speedup_floor",
+        capped_speedup.min(2.0),
+    );
+    obs.gauge(
+        "bench.serve.capped_cache_bytes",
+        capped_health.cache_bytes as f64,
+    );
     obs.gauge("bench.serve.pass_rate", if pass { 1.0 } else { 0.0 });
-    obs.add("bench.serve.campaigns", 2 * CAMPAIGNS as u64);
+    obs.add("bench.serve.campaigns", 6 * CAMPAIGNS as u64);
     obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
     assert!(
         pass,
         "every campaign must be byte-identical to its standalone run, \
-         cold uncached and warm cached"
+         cold uncached and warm cached, on every transport and cache budget"
     );
     std::fs::remove_dir_all(&dir).ok();
     bench::write_metrics("BENCH_serve.json", &obs);

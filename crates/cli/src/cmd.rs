@@ -47,6 +47,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             "cancel" => crate::serve::cancel_cmd(rest),
             "health" => crate::serve::health_cmd(rest),
             "shutdown" => crate::serve::shutdown_cmd(rest),
+            "ping" => crate::serve::ping_cmd(rest),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(())
@@ -95,17 +96,25 @@ fn usage() -> String {
         "hippoctl faultcampaign [<src>...] [--seeds N]    run the full pipeline under N",
         "                 [--entry NAME] [--jobs J]         seeded fault plans; assert it",
         "                                                   degrades, never panics or hangs",
-        "hippoctl serve   --socket S [--journal F]        repair-as-a-service daemon",
-        "                 [--workers N] [--queue N]          (hippo.jobs.v1 over a Unix socket;",
-        "                 [--fault-worker I]                  journaled jobs resume after kill -9)",
-        "hippoctl submit  --socket S <src>... [--kind K]  enqueue a lint|explore|fix|optimize",
+        "hippoctl serve   --socket S | --listen H:P       repair-as-a-service daemon",
+        "                 [--journal F] [--standby]          (hippo.jobs.v2 over Unix socket or",
+        "                 [--workers N] [--queue N]           TCP; journaled jobs resume after",
+        "                 [--cache-budget-mb N]               kill -9, a --standby takes over",
+        "                 [--upload-budget-mb N]              the journal the moment the",
+        "                 [--max-conns N]                     primary dies; warm caches evict",
+        "                 [--io-timeout-ms N]                 LRU under the cache budget)",
+        "                 [--idle-timeout-ms N]",
+        "                 [--fault-worker I] [--fault-net S]",
+        "hippoctl submit  --connect E <src>... [--kind K] enqueue a lint|explore|fix|optimize",
         "                 [--entry NAME] [--wait] [-o F]     job; --wait polls and emits the",
         "                 [--budget K] [--seed S] [--jobs N]  artifact (byte-identical to a",
-        "                 [--bug-source ...] [--deadline-ms N] standalone run)",
-        "hippoctl status  --socket S <job-id>             one job's state and summary",
-        "hippoctl cancel  --socket S <job-id>             cancel a queued job",
-        "hippoctl health  --socket S                      daemon liveness report (JSON)",
-        "hippoctl shutdown --socket S                     graceful drain and exit",
+        "                 [--bug-source ...] [--deadline-ms N] standalone run); oversized",
+        "                                                    sources stream as chunks",
+        "hippoctl status  --connect E <job-id>            one job's state and summary",
+        "hippoctl cancel  --connect E <job-id>            cancel a queued job",
+        "hippoctl health  --connect E                     daemon liveness report (JSON)",
+        "hippoctl ping    --connect E                     heartbeat (works on a standby too)",
+        "hippoctl shutdown --connect E                    graceful drain and exit",
         "",
         "every subcommand also accepts:",
         "  --metrics <path.json>   write pipeline telemetry (hippo.metrics.v1)",
@@ -825,7 +834,14 @@ fn faultcampaign_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     for seed in 0..seeds {
         let plan = pmfault::FaultPlan::from_seed(seed);
         let _span = obs.span("cli.campaign_seed");
-        match campaign_seed(&make_module, &entry, seed, jobs, obs) {
+        // Transport faults fire at the daemon's connection boundary, not
+        // inside the repair pipeline, so those seeds run a daemon campaign.
+        let outcome = if plan.targets_net() {
+            hippod::netfault::campaign_seed(seed, "campaign.pmc", CAMPAIGN_SRC, obs)
+        } else {
+            campaign_seed(&make_module, &entry, seed, jobs, obs)
+        };
+        match outcome {
             Ok(line) => {
                 obs.add("cli.campaign.passed", 1);
                 eprintln!("seed {seed}: [{}] → ok: {line}", plan.describe());

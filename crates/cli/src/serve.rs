@@ -23,8 +23,63 @@ pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.clone()),
+            "--listen" => {
+                config.listen = Some(it.next().ok_or("--listen needs host:port")?.clone());
+            }
+            "--standby" => config.standby = true,
             "--journal" => {
                 config.journal = Some(it.next().ok_or("--journal needs a value")?.into());
+            }
+            "--cache-budget-mb" => {
+                let v = it.next().ok_or("--cache-budget-mb needs a value")?;
+                let mb = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--cache-budget-mb needs a positive integer, got `{v}`")
+                })?;
+                config.cache_budget = Some(mb * 1024 * 1024);
+            }
+            "--upload-budget-mb" => {
+                let v = it.next().ok_or("--upload-budget-mb needs a value")?;
+                let mb = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--upload-budget-mb needs a positive integer, got `{v}`")
+                })?;
+                config.upload_budget = mb * 1024 * 1024;
+            }
+            "--max-conns" => {
+                let v = it.next().ok_or("--max-conns needs a value")?;
+                config.max_conns =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--max-conns needs a positive integer, got `{v}`")
+                    })?;
+            }
+            "--io-timeout-ms" => {
+                let v = it.next().ok_or("--io-timeout-ms needs a value")?;
+                let ms = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--io-timeout-ms needs a positive integer, got `{v}`")
+                })?;
+                config.io_timeout = Duration::from_millis(ms);
+            }
+            "--idle-timeout-ms" => {
+                let v = it.next().ok_or("--idle-timeout-ms needs a value")?;
+                let ms = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--idle-timeout-ms needs a positive integer, got `{v}`")
+                })?;
+                config.idle_timeout = Duration::from_millis(ms);
+            }
+            "--fault-net" => {
+                // The CI net gates arm a deterministic network fault at
+                // the connection boundary, by pmfault archetype seed.
+                let v = it.next().ok_or("--fault-net needs a value")?;
+                let seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fault-net needs an archetype seed, got `{v}`"))?;
+                let plan = pmfault::FaultPlan::from_seed(seed);
+                if !plan.targets_net() {
+                    return Err(format!(
+                        "--fault-net seed {seed} maps to `{}`, not a net.* archetype",
+                        plan.describe()
+                    ));
+                }
+                config.fault = Some(plan);
             }
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
@@ -63,7 +118,14 @@ pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
             flag => return Err(format!("unknown flag `{flag}`")),
         }
     }
-    config.socket = socket.ok_or("serve needs --socket <path>")?.into();
+    match socket {
+        Some(path) => config.socket = path.into(),
+        None if config.listen.is_some() => {}
+        None => return Err("serve needs --socket <path> or --listen <host:port>".to_string()),
+    }
+    if config.standby && config.journal.is_none() {
+        return Err("--standby requires --journal (it watches the journal lock)".to_string());
+    }
     // The live Metrics endpoint should answer even without --metrics on
     // the serve command line.
     config.obs = if obs.is_enabled() {
@@ -72,14 +134,26 @@ pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
         pmobs::Obs::enabled()
     };
     eprintln!(
-        "hippod: serving on {} ({} worker(s), queue {}{})",
-        config.socket.display(),
+        "hippod: {} on {} ({} worker(s), queue {}{}{})",
+        if config.standby {
+            "standing by"
+        } else {
+            "serving"
+        },
+        config
+            .listen
+            .clone()
+            .unwrap_or_else(|| config.socket.display().to_string()),
         config.workers,
         config.queue_capacity,
         config
             .journal
             .as_ref()
             .map(|j| format!(", journal {}", j.display()))
+            .unwrap_or_default(),
+        config
+            .cache_budget
+            .map(|b| format!(", cache budget {} MiB", b / (1024 * 1024)))
             .unwrap_or_default()
     );
     let report = hippod::serve(config)?;
@@ -90,7 +164,9 @@ pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     Ok(())
 }
 
-/// Flags shared by the client-side subcommands.
+/// Flags shared by the client-side subcommands. `--connect` takes either
+/// carrier (`host:port` is TCP, anything else a socket path); `--socket`
+/// is the PR 7 spelling, retained.
 struct ClientOpts {
     socket: String,
     rest: Vec<String>,
@@ -102,7 +178,9 @@ fn parse_client(args: &[String]) -> Result<ClientOpts, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.clone()),
+            "--socket" | "--connect" => {
+                socket = Some(it.next().ok_or("--connect needs a value")?.clone());
+            }
             "--metrics" => {
                 it.next().ok_or("--metrics needs a value")?;
             }
@@ -111,7 +189,7 @@ fn parse_client(args: &[String]) -> Result<ClientOpts, String> {
         }
     }
     Ok(ClientOpts {
-        socket: socket.ok_or("this subcommand needs --socket <path>")?,
+        socket: socket.ok_or("this subcommand needs --connect <endpoint> (or --socket <path>)")?,
         rest,
     })
 }
@@ -178,7 +256,7 @@ pub fn submit_cmd(args: &[String]) -> Result<(), String> {
         let text = std::fs::read_to_string(s).map_err(|e| format!("{s}: {e}"))?;
         spec.sources.push((s.clone(), text));
     }
-    let mut client = Client::connect(&c.socket)?;
+    let mut client = Client::dial(&c.socket)?;
     let id = client.submit_retry(spec, SUBMIT_TIMEOUT)?;
     if !wait {
         println!("{id}");
@@ -235,7 +313,7 @@ pub fn status_cmd(args: &[String]) -> Result<(), String> {
     let [id] = c.rest.as_slice() else {
         return Err("status needs exactly one job id".to_string());
     };
-    let view = Client::connect(&c.socket)?.status(id)?;
+    let view = Client::dial(&c.socket)?.status(id)?;
     println!("{}", render_view(&view));
     Ok(())
 }
@@ -246,7 +324,7 @@ pub fn cancel_cmd(args: &[String]) -> Result<(), String> {
     let [id] = c.rest.as_slice() else {
         return Err("cancel needs exactly one job id".to_string());
     };
-    let view = Client::connect(&c.socket)?.cancel(id)?;
+    let view = Client::dial(&c.socket)?.cancel(id)?;
     println!("{}", render_view(&view));
     Ok(())
 }
@@ -260,9 +338,23 @@ pub fn health_cmd(args: &[String]) -> Result<(), String> {
             c.rest
         ));
     }
-    let health = Client::connect(&c.socket)?.health()?;
+    let health = Client::dial(&c.socket)?.health()?;
     let json = serde_json::to_string(&health).map_err(|e| e.to_string())?;
     println!("{json}");
+    Ok(())
+}
+
+/// `hippoctl ping`: one heartbeat round trip — liveness without touching
+/// job state (answers on draining and standby daemons too).
+pub fn ping_cmd(args: &[String]) -> Result<(), String> {
+    let c = parse_client(args)?;
+    if !c.rest.is_empty() {
+        return Err(format!("ping takes no positional arguments: {:?}", c.rest));
+    }
+    let mut client = Client::dial(&c.socket)?;
+    client.set_io_timeout(Some(Duration::from_secs(10)))?;
+    client.ping()?;
+    println!("pong");
     Ok(())
 }
 
@@ -275,7 +367,7 @@ pub fn shutdown_cmd(args: &[String]) -> Result<(), String> {
             c.rest
         ));
     }
-    Client::connect(&c.socket)?.shutdown()?;
+    Client::dial(&c.socket)?.shutdown()?;
     eprintln!("hippod: draining");
     Ok(())
 }

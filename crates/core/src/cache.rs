@@ -1,4 +1,5 @@
-//! Shared warm caches keyed by module snapshot digest.
+//! Shared warm caches keyed by module snapshot digest, with an optional
+//! byte-accounted LRU budget.
 //!
 //! A long-running server (`hippod`) sees the same modules over and over:
 //! repeat submissions of an unchanged app, and — inside a single repair —
@@ -11,14 +12,29 @@
 //! - **alias analysis** — [`pmalias::AliasAnalysis::analyze`] fixpoints,
 //!   keyed by [`pmir::snapshot::digest`] ([`WarmCache::alias`]);
 //! - **static function-summary reports** — `pmstatic` whole-module checks,
-//!   keyed by module digest plus entry ([`WarmCache::static_report`]).
+//!   keyed by module digest plus entry ([`WarmCache::static_report`]);
+//! - **opaque result blobs** — serialized whole-job results a daemon wants
+//!   bounded alongside everything else ([`WarmCache::blob`]).
 //!
-//! All three are deterministic in their key, so a hit is *exactly* the
+//! All four are deterministic in their key, so a hit is *exactly* the
 //! result the cold path would produce — warm jobs stay byte-identical to
 //! cold ones. The handle follows the [`pmobs::Obs`] idiom: the default is
 //! disabled and costs one `Option` branch per call site (the closure runs
 //! directly, nothing is keyed or stored); [`WarmCache::enabled`] carries a
 //! shared, thread-safe store that clones into every worker for free.
+//!
+//! # The byte budget
+//!
+//! [`WarmCache::with_budget`] caps the store. Every entry is charged an
+//! estimated footprint at insert (rendered-text length for modules and
+//! reports, an object-count model for alias fixpoints, byte length for
+//! blobs). Inserts go through a budget gate that evicts least-recently-used
+//! entries — globally, across all four maps — until the newcomer fits, so
+//! the accounted total **never** exceeds the budget, even transiently. An
+//! entry that alone exceeds the whole budget is computed, returned, and not
+//! stored. Evictions only ever forget — the next miss recomputes the same
+//! bytes — so the do-no-harm story is untouched. `cache.bytes` (gauge) and
+//! `cache.evictions` (counter) record the churn.
 
 use pmalias::AliasAnalysis;
 use pmcheck::CheckReport;
@@ -27,13 +43,168 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// A stored value plus its accounting: estimated footprint and the global
+/// LRU tick of its last touch.
+#[derive(Debug)]
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Which map holds the current LRU victim.
+enum Victim {
+    Module(u64),
+    Alias(u64),
+    Static(u64, String),
+    Blob(u64),
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    modules: Mutex<HashMap<u64, Arc<Module>>>,
-    alias: Mutex<HashMap<u64, Arc<AliasAnalysis>>>,
-    statics: Mutex<HashMap<(u64, String), Arc<CheckReport>>>,
+    modules: Mutex<HashMap<u64, Entry<Module>>>,
+    alias: Mutex<HashMap<u64, Entry<AliasAnalysis>>>,
+    statics: Mutex<HashMap<(u64, String), Entry<CheckReport>>>,
+    blobs: Mutex<HashMap<u64, Entry<String>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Accounted bytes across all maps. Only moves under `budget_gate`
+    /// when a budget is set, so it can never overshoot the budget.
+    bytes: AtomicU64,
+    evictions: AtomicU64,
+    /// Global LRU clock; every hit and insert takes a fresh tick.
+    clock: AtomicU64,
+    /// Serializes evict-then-insert so concurrent inserts cannot race the
+    /// accounting past the budget.
+    budget_gate: Mutex<()>,
+    budget: Option<u64>,
+}
+
+impl Inner {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn hit(&self, obs: &pmobs::Obs, counter: &str) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        obs.add(counter, 1);
+    }
+
+    fn miss(&self, obs: &pmobs::Obs, counter: &str) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs.add(counter, 1);
+    }
+
+    /// The least-recently-touched entry across every map, if any.
+    fn lru_victim(&self) -> Option<(Victim, u64, u64)> {
+        let mut best: Option<(Victim, u64, u64)> = None;
+        let mut consider = |victim: Victim, tick: u64, bytes: u64| match &best {
+            Some((_, t, _)) if *t <= tick => {}
+            _ => best = Some((victim, tick, bytes)),
+        };
+        for (k, e) in self
+            .modules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            consider(Victim::Module(*k), e.tick, e.bytes);
+        }
+        for (k, e) in self.alias.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            consider(Victim::Alias(*k), e.tick, e.bytes);
+        }
+        for (k, e) in self
+            .statics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            consider(Victim::Static(k.0, k.1.clone()), e.tick, e.bytes);
+        }
+        for (k, e) in self.blobs.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            consider(Victim::Blob(*k), e.tick, e.bytes);
+        }
+        best
+    }
+
+    fn evict(&self, victim: Victim) -> u64 {
+        let freed = match victim {
+            Victim::Module(k) => self
+                .modules
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&k)
+                .map(|e| e.bytes),
+            Victim::Alias(k) => self
+                .alias
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&k)
+                .map(|e| e.bytes),
+            Victim::Static(k, entry) => self
+                .statics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&(k, entry))
+                .map(|e| e.bytes),
+            Victim::Blob(k) => self
+                .blobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&k)
+                .map(|e| e.bytes),
+        };
+        freed.unwrap_or(0)
+    }
+
+    /// Charges `cost` bytes, evicting LRU entries first so the accounted
+    /// total stays within budget. Returns false when the entry must not be
+    /// stored (it alone exceeds the whole budget).
+    fn admit(&self, cost: u64, obs: &pmobs::Obs) -> bool {
+        let Some(budget) = self.budget else {
+            self.bytes.fetch_add(cost, Ordering::Relaxed);
+            obs.gauge("cache.bytes", self.bytes.load(Ordering::Relaxed) as f64);
+            return true;
+        };
+        if cost > budget {
+            // Oversized loner: computing it was the point; caching it
+            // would immediately evict everything else for nothing.
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs.add("cache.evictions", 1);
+            obs.add("cache.refused", 1);
+            return false;
+        }
+        let _gate = self.budget_gate.lock().unwrap_or_else(|e| e.into_inner());
+        while self.bytes.load(Ordering::Relaxed) + cost > budget {
+            let Some((victim, _, _)) = self.lru_victim() else {
+                break;
+            };
+            let freed = self.evict(victim);
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs.add("cache.evictions", 1);
+        }
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        obs.gauge("cache.bytes", self.bytes.load(Ordering::Relaxed) as f64);
+        true
+    }
+}
+
+/// Estimated footprint of a cached module: its rendered text plus map
+/// overhead.
+fn module_cost(m: &Module) -> u64 {
+    pmir::display::print_module(m).len() as u64 + 64
+}
+
+/// Estimated footprint of an alias fixpoint. The fields are private to
+/// pmalias, so the model is per-object: each abstract object carries a
+/// points-to row, an index slot, and a signature share.
+fn alias_cost(aa: &AliasAnalysis) -> u64 {
+    96 * aa.object_count() as u64 + 256
+}
+
+fn report_cost(r: &CheckReport) -> u64 {
+    r.render().len() as u64 + 64
 }
 
 /// A shared warm cache. Cloning is an `Arc` bump; clones share one store.
@@ -43,9 +214,18 @@ struct Inner {
 pub struct WarmCache(Option<Arc<Inner>>);
 
 impl WarmCache {
-    /// A handle backed by a fresh shared store.
+    /// A handle backed by a fresh shared store with no byte budget.
     pub fn enabled() -> WarmCache {
         WarmCache(Some(Arc::new(Inner::default())))
+    }
+
+    /// A handle backed by a fresh shared store that evicts least-recently
+    /// used entries to keep its accounted bytes at or below `max_bytes`.
+    pub fn with_budget(max_bytes: u64) -> WarmCache {
+        WarmCache(Some(Arc::new(Inner {
+            budget: Some(max_bytes),
+            ..Inner::default()
+        })))
     }
 
     /// The explicit spelling of `WarmCache::default()`.
@@ -56,6 +236,26 @@ impl WarmCache {
     /// Whether this handle stores anything.
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.0.as_ref().and_then(|i| i.budget)
+    }
+
+    /// Currently accounted bytes across all maps. `0` when disabled.
+    pub fn bytes(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.bytes.load(Ordering::Relaxed))
+    }
+
+    /// Lifetime evictions (including oversized refusals). `0` when
+    /// disabled or unbounded.
+    pub fn evictions(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.evictions.load(Ordering::Relaxed))
     }
 
     /// Digest for a submitted source set — the module-cache key. Order
@@ -86,24 +286,32 @@ impl WarmCache {
         let Some(inner) = &self.0 else {
             return compile().map(Arc::new);
         };
-        if let Some(m) = inner
+        if let Some(e) = inner
             .modules
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
+            .get_mut(&key)
         {
-            inner.hits.fetch_add(1, Ordering::Relaxed);
-            obs.add("cache.module.hit", 1);
-            return Ok(m.clone());
+            e.tick = inner.tick();
+            inner.hit(obs, "cache.module.hit");
+            return Ok(e.value.clone());
         }
-        inner.misses.fetch_add(1, Ordering::Relaxed);
-        obs.add("cache.module.miss", 1);
+        inner.miss(obs, "cache.module.miss");
         let m = Arc::new(compile()?);
-        inner
-            .modules
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, m.clone());
+        if inner.admit(module_cost(&m), obs) {
+            inner
+                .modules
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    key,
+                    Entry {
+                        value: m.clone(),
+                        bytes: module_cost(&m),
+                        tick: inner.tick(),
+                    },
+                );
+        }
         Ok(m)
     }
 
@@ -113,24 +321,32 @@ impl WarmCache {
             return Arc::new(AliasAnalysis::analyze(m));
         };
         let key = pmir::snapshot::digest(m);
-        if let Some(aa) = inner
+        if let Some(e) = inner
             .alias
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
+            .get_mut(&key)
         {
-            inner.hits.fetch_add(1, Ordering::Relaxed);
-            obs.add("cache.alias.hit", 1);
-            return aa.clone();
+            e.tick = inner.tick();
+            inner.hit(obs, "cache.alias.hit");
+            return e.value.clone();
         }
-        inner.misses.fetch_add(1, Ordering::Relaxed);
-        obs.add("cache.alias.miss", 1);
+        inner.miss(obs, "cache.alias.miss");
         let aa = Arc::new(AliasAnalysis::analyze(m));
-        inner
-            .alias
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, aa.clone());
+        if inner.admit(alias_cost(&aa), obs) {
+            inner
+                .alias
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    key,
+                    Entry {
+                        value: aa.clone(),
+                        bytes: alias_cost(&aa),
+                        tick: inner.tick(),
+                    },
+                );
+        }
         aa
     }
 
@@ -152,28 +368,68 @@ impl WarmCache {
             return compute();
         };
         let key = (pmir::snapshot::digest(m), entry.to_string());
-        if let Some(r) = inner
+        if let Some(e) = inner
             .statics
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
+            .get_mut(&key)
         {
-            inner.hits.fetch_add(1, Ordering::Relaxed);
-            obs.add("cache.static.hit", 1);
-            return Ok(CheckReport::clone(r));
+            e.tick = inner.tick();
+            inner.hit(obs, "cache.static.hit");
+            return Ok(CheckReport::clone(&e.value));
         }
-        inner.misses.fetch_add(1, Ordering::Relaxed);
-        obs.add("cache.static.miss", 1);
+        inner.miss(obs, "cache.static.miss");
         let r = compute()?;
-        inner
-            .statics
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, Arc::new(r.clone()));
+        if inner.admit(report_cost(&r), obs) {
+            inner
+                .statics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    key,
+                    Entry {
+                        bytes: report_cost(&r),
+                        value: Arc::new(r.clone()),
+                        tick: inner.tick(),
+                    },
+                );
+        }
         Ok(r)
     }
 
-    /// Lifetime `(hits, misses)` across all three caches. `(0, 0)` when
+    /// A cached opaque blob (e.g. a serialized whole-job result), touching
+    /// its LRU tick. Does **not** count toward `stats()` hits — callers
+    /// account blob hits under their own counters.
+    pub fn blob(&self, key: u64) -> Option<Arc<String>> {
+        let inner = self.0.as_ref()?;
+        let mut blobs = inner.blobs.lock().unwrap_or_else(|e| e.into_inner());
+        let e = blobs.get_mut(&key)?;
+        e.tick = inner.tick();
+        Some(e.value.clone())
+    }
+
+    /// Stores an opaque blob under the shared byte budget. A no-op when
+    /// disabled; an oversized blob is silently not stored.
+    pub fn store_blob(&self, key: u64, value: String, obs: &pmobs::Obs) {
+        let Some(inner) = &self.0 else { return };
+        let cost = value.len() as u64 + 64;
+        if inner.admit(cost, obs) {
+            inner
+                .blobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    key,
+                    Entry {
+                        value: Arc::new(value),
+                        bytes: cost,
+                        tick: inner.tick(),
+                    },
+                );
+        }
+    }
+
+    /// Lifetime `(hits, misses)` across the keyed caches. `(0, 0)` when
     /// disabled.
     pub fn stats(&self) -> (u64, u64) {
         match &self.0 {
@@ -213,6 +469,7 @@ mod tests {
         }
         assert_eq!(calls, 2);
         assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.bytes(), 0);
     }
 
     #[test]
@@ -307,5 +564,71 @@ mod tests {
             WarmCache::source_key(&swapped),
             WarmCache::source_key(&forward)
         );
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_never_overshoots() {
+        let obs = pmobs::Obs::enabled();
+        let cache = WarmCache::with_budget(400);
+        assert_eq!(cache.budget(), Some(400));
+        // Three ~164-byte blobs against a 400-byte budget: the third
+        // insert must evict the least recently used.
+        cache.store_blob(1, "a".repeat(100), &obs);
+        cache.store_blob(2, "b".repeat(100), &obs);
+        assert!(cache.blob(1).is_some(), "touch 1 so 2 is the LRU");
+        cache.store_blob(3, "c".repeat(100), &obs);
+        assert!(cache.bytes() <= 400, "accounted {} bytes", cache.bytes());
+        assert!(cache.blob(2).is_none(), "LRU entry 2 was evicted");
+        assert!(cache.blob(1).is_some() && cache.blob(3).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(obs.snapshot().counters["cache.evictions"], 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_returned_but_not_stored() {
+        let obs = pmobs::Obs::enabled();
+        let cache = WarmCache::with_budget(64);
+        cache.store_blob(7, "x".repeat(1000), &obs);
+        assert!(cache.blob(7).is_none(), "an oversized blob is not cached");
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.evictions() >= 1);
+        assert_eq!(obs.snapshot().counters["cache.refused"], 1);
+    }
+
+    #[test]
+    fn eviction_crosses_cache_kinds_globally() {
+        let obs = pmobs::Obs::enabled();
+        let m = module();
+        let m_cost = super::module_cost(&m);
+        // Budget holds the module plus one small blob, not two.
+        let cache = WarmCache::with_budget(m_cost + 200);
+        let key = WarmCache::source_key(&[("a.pmc".to_string(), SRC.to_string())]);
+        cache
+            .module(key, &obs, || Ok(pmlang::compile_one("a.pmc", SRC).unwrap()))
+            .unwrap();
+        cache.store_blob(1, "y".repeat(100), &obs);
+        // Touch the blob so the *module* is the global LRU victim.
+        assert!(cache.blob(1).is_some());
+        cache.store_blob(2, "z".repeat(100), &obs);
+        assert!(cache.bytes() <= m_cost + 200);
+        let mut compiles = 0;
+        cache
+            .module(key, &obs, || {
+                compiles += 1;
+                Ok(pmlang::compile_one("a.pmc", SRC).unwrap())
+            })
+            .unwrap();
+        assert_eq!(compiles, 1, "the module was evicted to admit the blob");
+    }
+
+    #[test]
+    fn unbudgeted_cache_accounts_bytes_without_evicting() {
+        let obs = pmobs::Obs::default();
+        let cache = WarmCache::enabled();
+        cache.store_blob(1, "a".repeat(10_000), &obs);
+        cache.store_blob(2, "b".repeat(10_000), &obs);
+        assert!(cache.bytes() >= 20_000);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.blob(1).is_some() && cache.blob(2).is_some());
     }
 }

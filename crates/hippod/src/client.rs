@@ -1,13 +1,30 @@
-//! The blocking `hippo.jobs.v1` client used by `hippoctl` subcommands and
+//! The blocking `hippo.jobs.v2` client used by `hippoctl` subcommands and
 //! the system tests.
+//!
+//! Dials either carrier ([`Client::dial`] parses `host:port` vs. socket
+//! path), heartbeats with [`Client::ping`], and streams oversized source
+//! sets transparently: a `submit` whose sources exceed the chunk threshold
+//! ships them as checksummed [`Request::SourceChunk`] frames first, then
+//! sends a `Submit` that adopts them server-side — the job digest (and so
+//! the artifact, and the warm-cache hit) is byte-identical to an inline
+//! submission of the same sources.
 
 use crate::jobs::{JobSpec, JobView};
 use crate::proto::{
     read_frame, write_frame, Health, Request, RequestFrame, Response, ResponseFrame,
 };
-use std::os::unix::net::UnixStream;
+use crate::transport::{Conn, Endpoint};
 use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// Sources above this total stream as chunks instead of riding inline in
+/// the `Submit` frame — comfortably under [`crate::proto::MAX_FRAME`]
+/// even after JSON escaping.
+pub const CHUNK_THRESHOLD: usize = 4 * 1024 * 1024;
+
+/// Bytes of source text per `SourceChunk` frame. Worst-case JSON escaping
+/// (6 bytes per byte) keeps the frame under `MAX_FRAME`.
+pub const CHUNK_BYTES: usize = 2 * 1024 * 1024;
 
 /// What a submission came back with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,24 +37,41 @@ pub enum Submitted {
 
 /// A connected client. One request/response exchange at a time.
 pub struct Client {
-    stream: UnixStream,
+    stream: Conn,
+    chunk_threshold: usize,
 }
 
 impl Client {
-    /// Connects to a serving daemon.
+    /// Connects to a daemon on a Unix socket path — the PR 7 spelling,
+    /// retained for callers that hold a path.
     ///
     /// # Errors
     ///
     /// Fails when nothing listens on `socket`.
     pub fn connect(socket: impl AsRef<Path>) -> Result<Client, String> {
-        let socket = socket.as_ref();
-        let stream = UnixStream::connect(socket).map_err(|e| {
-            format!(
-                "{}: connect: {e} (is the daemon serving?)",
-                socket.display()
-            )
-        })?;
-        Ok(Client { stream })
+        Client::dial_endpoint(&Endpoint::Unix(socket.as_ref().to_path_buf()))
+    }
+
+    /// Connects to either carrier: `host:port` is TCP, anything else a
+    /// Unix socket path.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing listens there.
+    pub fn dial(spec: &str) -> Result<Client, String> {
+        Client::dial_endpoint(&Endpoint::parse(spec))
+    }
+
+    /// Connects to a parsed endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing listens there.
+    pub fn dial_endpoint(endpoint: &Endpoint) -> Result<Client, String> {
+        Ok(Client {
+            stream: Conn::dial(endpoint)?,
+            chunk_threshold: CHUNK_THRESHOLD,
+        })
     }
 
     /// Connects, retrying until the daemon answers or `timeout` elapses —
@@ -47,10 +81,21 @@ impl Client {
     ///
     /// Fails when the daemon does not come up in time.
     pub fn connect_retry(socket: impl AsRef<Path>, timeout: Duration) -> Result<Client, String> {
-        let socket = socket.as_ref();
+        let spec = socket.as_ref().display().to_string();
+        Client::dial_retry(&spec, timeout)
+    }
+
+    /// [`Client::dial`], retried until the daemon answers or `timeout`
+    /// elapses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the daemon does not come up in time.
+    pub fn dial_retry(spec: &str, timeout: Duration) -> Result<Client, String> {
+        let endpoint = Endpoint::parse(spec);
         let deadline = Instant::now() + timeout;
         loop {
-            match Client::connect(socket) {
+            match Client::dial_endpoint(&endpoint) {
                 Ok(c) => return Ok(c),
                 Err(e) if Instant::now() >= deadline => {
                     return Err(format!("daemon did not come up within {timeout:?}: {e}"));
@@ -58,6 +103,26 @@ impl Client {
                 Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+    }
+
+    /// Applies read/write deadlines to this connection, so a dead daemon
+    /// turns into an error instead of a hung client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.stream
+            .set_read_timeout(timeout)
+            .and_then(|()| self.stream.set_write_timeout(timeout))
+            .map_err(|e| format!("set timeout: {e}"))
+    }
+
+    /// Lowers (or raises) the total-source-bytes threshold above which
+    /// `submit` streams sources as chunks. Tests use a tiny threshold to
+    /// exercise chunking without megabyte fixtures.
+    pub fn set_chunk_threshold(&mut self, bytes: usize) {
+        self.chunk_threshold = bytes;
     }
 
     /// One request → one response.
@@ -74,13 +139,78 @@ impl Client {
             .ok_or_else(|| "daemon hung up mid-request".to_string())
     }
 
-    /// Submits a job.
+    /// Heartbeat: `Ping` → `Pong`. Answers even on a draining or standby
+    /// daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to Ping: {other:?}")),
+        }
+    }
+
+    /// Streams `spec`'s sources as checksummed chunks when they exceed the
+    /// chunk threshold, returning the spec with its sources moved
+    /// server-side. A spec under the threshold is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, chunk rejections, and a reassembled
+    /// digest that does not match the sender's.
+    fn stage_if_large(&mut self, mut spec: JobSpec) -> Result<JobSpec, String> {
+        let total: usize = spec.sources.iter().map(|(n, b)| n.len() + b.len()).sum();
+        if total <= self.chunk_threshold {
+            return Ok(spec);
+        }
+        // All sources stream, in order, so the server-side merge rebuilds
+        // the source list exactly as an inline submission would carry it.
+        for (name, body) in std::mem::take(&mut spec.sources) {
+            let sent_digest = pmir::snapshot::fnv1a(body.as_bytes());
+            // Pieces shrink with the threshold so a lowered test threshold
+            // exercises real multi-chunk reassembly on small sources.
+            let pieces = split_utf8(&body, CHUNK_BYTES.min(self.chunk_threshold.max(1)));
+            let n = pieces.len();
+            for (seq, piece) in pieces.into_iter().enumerate() {
+                let last = seq + 1 == n;
+                let response = self.request(Request::SourceChunk {
+                    name: name.clone(),
+                    seq: seq as u64,
+                    checksum: pmir::snapshot::fnv1a(piece.as_bytes()),
+                    data: piece.to_string(),
+                    last,
+                })?;
+                match response {
+                    Response::ChunkAccepted { digest, .. } => {
+                        if last && digest != Some(sent_digest) {
+                            return Err(format!(
+                                "`{name}`: reassembled digest {digest:?} does not match sent {sent_digest}"
+                            ));
+                        }
+                    }
+                    Response::Error { message } => return Err(message),
+                    other => return Err(format!("unexpected response to SourceChunk: {other:?}")),
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Submits a job, streaming oversized source sets as chunks.
     ///
     /// # Errors
     ///
     /// Fails on transport errors and daemon-side rejections (invalid spec,
-    /// draining daemon).
+    /// draining or standby daemon, rejected chunk).
     pub fn submit(&mut self, spec: JobSpec) -> Result<Submitted, String> {
+        let spec = self.stage_if_large(spec)?;
+        self.submit_inline(spec)
+    }
+
+    fn submit_inline(&mut self, spec: JobSpec) -> Result<Submitted, String> {
         match self.request(Request::Submit { spec })? {
             Response::Accepted { id } => Ok(Submitted::Accepted(id)),
             Response::Busy { retry_after_ms } => Ok(Submitted::Busy(retry_after_ms)),
@@ -90,15 +220,17 @@ impl Client {
     }
 
     /// Submits, honoring `Busy` backpressure by sleeping the hinted
-    /// backoff, until accepted or `timeout` elapses.
+    /// backoff, until accepted or `timeout` elapses. Oversized sources
+    /// stream once; only the cheap adopting `Submit` retries.
     ///
     /// # Errors
     ///
     /// Fails on rejections and when the queue never frees up in time.
     pub fn submit_retry(&mut self, spec: JobSpec, timeout: Duration) -> Result<String, String> {
+        let spec = self.stage_if_large(spec)?;
         let deadline = Instant::now() + timeout;
         loop {
-            match self.submit(spec.clone())? {
+            match self.submit_inline(spec.clone())? {
                 Submitted::Accepted(id) => return Ok(id),
                 Submitted::Busy(ms) => {
                     if Instant::now() >= deadline {
@@ -217,5 +349,41 @@ impl Client {
             }
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+}
+
+/// Splits `s` into pieces of at most `max` bytes, never inside a UTF-8
+/// code point.
+fn split_utf8(s: &str, max: usize) -> Vec<&str> {
+    let max = max.max(4);
+    let mut pieces = vec![];
+    let mut rest = s;
+    while rest.len() > max {
+        let mut end = max;
+        while !rest.is_char_boundary(end) {
+            end -= 1;
+        }
+        let (head, tail) = rest.split_at(end);
+        pieces.push(head);
+        rest = tail;
+    }
+    pieces.push(rest);
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_utf8_respects_char_boundaries_and_reassembles() {
+        let s = "héllo wörld ✓".repeat(10);
+        for max in [4, 5, 7, 64] {
+            let pieces = split_utf8(&s, max);
+            assert!(pieces.iter().all(|p| p.len() <= max.max(4)));
+            assert_eq!(pieces.concat(), s);
+        }
+        // An empty source still yields one (empty) chunk, so `last` fires.
+        assert_eq!(split_utf8("", 8), vec![""]);
     }
 }

@@ -31,13 +31,16 @@
 pub mod client;
 pub mod jobs;
 pub mod journal;
+pub mod netfault;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod transport;
 
-pub use client::{Client, Submitted};
+pub use client::{Client, Submitted, CHUNK_BYTES, CHUNK_THRESHOLD};
 pub use jobs::{execute, job_digest, JobKind, JobResult, JobSpec, JobState, JobView};
 pub use journal::{JobEvent, JobJournal, JOBS_JOURNAL_SCHEMA};
-pub use proto::{Health, Request, Response, JOBS_SCHEMA, MAX_FRAME};
+pub use proto::{Health, Request, Response, JOBS_SCHEMA, JOBS_SCHEMA_V1, MAX_FRAME};
 pub use queue::JobQueue;
 pub use server::{serve, ServeReport, ServerConfig};
+pub use transport::{Conn, Endpoint, Listener};

@@ -1,0 +1,130 @@
+//! Net-archetype fault campaign: one seed, one in-process daemon.
+//!
+//! The transport faults (`net.torn_frame`, `net.slow_client`,
+//! `net.conn_drop`) land at the daemon's connection boundary — keyed by
+//! accept index — not inside the repair pipeline, so exercising them
+//! means standing up a daemon with the plan armed and driving enough
+//! connections for the seeded `Nth(n < 3)` trigger to fire. Both
+//! `hippoctl faultcampaign` and `fault_bench` run net seeds through this
+//! helper so the CLI gate and the benchmark enforce the same contract:
+//! the hostile connection degrades *alone* with a structured client-side
+//! error (never a daemon panic or hang), sibling connections are served,
+//! and a fresh connection afterwards gets an artifact byte-identical to
+//! a standalone run.
+
+use crate::{Client, JobKind, JobSpec, JobState, ServerConfig};
+use std::time::Duration;
+
+/// Runs one net-archetype seed end to end. `source` is the workload the
+/// campaign submits (compiled server-side); the caller picks it so the
+/// CLI and the bench share one do-no-harm reference shape.
+pub fn campaign_seed(
+    seed: u64,
+    source_name: &str,
+    source: &str,
+    obs: &pmobs::Obs,
+) -> Result<String, String> {
+    let plan = pmfault::FaultPlan::from_seed(seed);
+    let dir = std::env::temp_dir().join(format!("hippo-netfault-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let socket = dir.join("hippod.sock");
+    let spec = JobSpec::new(
+        JobKind::Fix,
+        vec![(source_name.to_string(), source.to_string())],
+    );
+    // The do-no-harm reference: the same spec executed standalone.
+    let reference = crate::execute(
+        &spec,
+        &hippocrates::WarmCache::enabled(),
+        &pmobs::Obs::default(),
+    )?;
+    let server = {
+        let config = ServerConfig {
+            socket: socket.clone(),
+            workers: 2,
+            io_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(10),
+            fault: Some(plan.clone()),
+            obs: obs.clone(),
+            ..ServerConfig::default()
+        };
+        std::thread::spawn(move || crate::serve(config))
+    };
+    // Connections 0..=3 cover every trigger offset the seed can pick, so
+    // exactly one of them meets the armed fault. Each submits the same
+    // spec; a shaped connection must fail with a structured error (torn
+    // frame, dropped connection) or simply run slow (dribbled writes) —
+    // never wedge. The client-side deadline converts a hang into an error.
+    let mut degraded: Vec<String> = vec![];
+    for conn in 0..4u64 {
+        let attempt = (|| -> Result<(), String> {
+            let mut c = Client::connect_retry(&socket, Duration::from_secs(5))?;
+            c.set_io_timeout(Some(Duration::from_secs(10)))?;
+            c.submit_retry(spec.clone(), Duration::from_secs(5))?;
+            Ok(())
+        })();
+        if let Err(why) = attempt {
+            if why.is_empty() {
+                return Err(format!("connection {conn} failed without a reason"));
+            }
+            degraded.push(format!("conn {conn}: {why}"));
+        }
+    }
+    let expects_errors = plan.targets(pmfault::FaultSite::NetTornFrame)
+        || plan.targets(pmfault::FaultSite::NetConnDrop);
+    if expects_errors && degraded.len() != 1 {
+        return Err(format!(
+            "torn/drop plan must degrade exactly the triggered connection, saw {}: {degraded:?}",
+            degraded.len()
+        ));
+    }
+    if !expects_errors && !degraded.is_empty() {
+        return Err(format!(
+            "slow-client shaping must slow, not break: {degraded:?}"
+        ));
+    }
+    // A fresh connection (past every trigger offset) sees a healthy daemon
+    // and an artifact byte-identical to the standalone reference.
+    let fresh = (|| -> Result<(), String> {
+        let mut c = Client::connect_retry(&socket, Duration::from_secs(5))?;
+        c.set_io_timeout(Some(Duration::from_secs(10)))?;
+        let h = c.health()?;
+        if !h.ok {
+            return Err("daemon unhealthy after hostile connections".to_string());
+        }
+        let id = c.submit_retry(spec.clone(), Duration::from_secs(5))?;
+        let view = c.wait(&id, Duration::from_secs(60))?;
+        if view.state != JobState::Done {
+            return Err(format!("fresh job ended {:?}", view.state));
+        }
+        let result = view.result.ok_or("done job carried no result")?;
+        if result.output != reference.output || result.clean != reference.clean {
+            return Err("daemon artifact diverged from the standalone run".to_string());
+        }
+        c.shutdown()?;
+        Ok(())
+    })();
+    fresh?;
+    // Bounded join: a daemon that fails to drain is a hang, the exact
+    // failure mode this gate exists to catch.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(server.join());
+    });
+    let report = match rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(Ok(Ok(report))) => report,
+        Ok(Ok(Err(e))) => return Err(format!("daemon exited with error: {e}")),
+        Ok(Err(_)) => return Err("daemon thread panicked".to_string()),
+        Err(_) => return Err("daemon failed to drain within 30s — that is a hang".to_string()),
+    };
+    if report.done == 0 {
+        return Err("daemon drained without finishing any job".to_string());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(format!(
+        "{} hostile conn(s) degraded alone, daemon served {} job(s), fresh artifact byte-identical",
+        degraded.len(),
+        report.done
+    ))
+}

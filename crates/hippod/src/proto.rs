@@ -1,5 +1,5 @@
-//! The `hippo.jobs.v1` wire protocol: length-prefixed JSON frames over a
-//! Unix domain socket.
+//! The `hippo.jobs.v2` wire protocol: length-prefixed JSON frames over a
+//! Unix domain socket or TCP.
 //!
 //! # Framing
 //!
@@ -9,36 +9,55 @@
 //! [ 4-byte big-endian payload length ][ payload: UTF-8 JSON ]
 //! ```
 //!
-//! The JSON payload is an envelope carrying the schema tag, so a peer
-//! speaking a future `hippo.jobs.v2` is refused with a structured error
-//! instead of a parse failure:
+//! The JSON payload is an envelope carrying the schema tag. The daemon
+//! accepts both `hippo.jobs.v2` and the PR 7 `hippo.jobs.v1` envelope (v1
+//! requests are a strict subset of v2), and echoes the requester's tag; an
+//! unknown schema is refused with a structured error instead of a parse
+//! failure:
 //!
 //! ```json
-//! {"schema":"hippo.jobs.v1","request":{"Health":[]}}
-//! {"schema":"hippo.jobs.v1","response":{"Health":{"health":{...}}}}
+//! {"schema":"hippo.jobs.v2","request":{"Health":[]}}
+//! {"schema":"hippo.jobs.v2","response":{"Health":{"health":{...}}}}
 //! ```
 //!
 //! Frames larger than [`MAX_FRAME`] are refused before allocation — a
 //! corrupt length prefix must not OOM the daemon. A clean EOF *between*
 //! frames ends the connection; EOF *inside* a frame is an error.
 //!
+//! # v2 over v1
+//!
+//! - **Heartbeat** — [`Request::Ping`] → [`Response::Pong`], so clients
+//!   and load balancers can probe liveness without touching job state.
+//! - **Chunked source streaming** — [`Request::SourceChunk`] carries one
+//!   in-order piece of one named source, FNV-checksummed per chunk, so a
+//!   source set far beyond [`MAX_FRAME`] streams in bounded frames; the
+//!   closing `Submit` adopts the staged files (see the server).
+//! - **Deadline semantics** — servers read with a timeout; a peer that
+//!   goes quiet *between* frames is idle (closed after the idle timeout),
+//!   one that stalls *inside* a frame is torn (answered with an error and
+//!   closed). [`read_frame_idle`] surfaces the distinction.
+//!
 //! # Conversation
 //!
 //! A connection carries any number of request→response exchanges in
 //! lockstep (no pipelining). Backpressure is explicit: a `Submit` against a
-//! full queue gets [`Response::Busy`] with a `retry_after_ms` hint, never a
-//! blocked socket.
+//! full queue — or a connection against a full daemon — gets
+//! [`Response::Busy`] with a `retry_after_ms` hint, never a blocked socket.
 
 use crate::jobs::{JobSpec, JobView};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// The protocol schema tag carried by every envelope.
-pub const JOBS_SCHEMA: &str = "hippo.jobs.v1";
+pub const JOBS_SCHEMA: &str = "hippo.jobs.v2";
+
+/// The PR 7 schema tag, still accepted on the wire: every v1 request is a
+/// valid v2 request.
+pub const JOBS_SCHEMA_V1: &str = "hippo.jobs.v1";
 
 /// Hard ceiling on a single frame's payload (16 MiB) — submissions carry
 /// source text inline, so the limit is generous; a garbage length prefix is
-/// not.
+/// not. Larger source sets stream via [`Request::SourceChunk`].
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
 /// A client request.
@@ -54,6 +73,18 @@ pub enum Request {
     Health,
     /// The live `hippo.metrics.v1` snapshot of the daemon's registry.
     Metrics,
+    /// Heartbeat; answered with `Pong` even while draining or standing by.
+    Ping,
+    /// One in-order piece of one named source, staged on this connection
+    /// until a `Submit` adopts the completed files. `checksum` is the
+    /// FNV-1a digest of `data`'s bytes; `last` closes the file.
+    SourceChunk {
+        name: String,
+        seq: u64,
+        data: String,
+        checksum: u64,
+        last: bool,
+    },
     /// Graceful shutdown: stop accepting submissions, drain the queue,
     /// journal every outcome, then exit.
     Shutdown,
@@ -64,7 +95,8 @@ pub enum Request {
 pub enum Response {
     /// The job is journaled and queued.
     Accepted { id: String },
-    /// The queue is full; retry after the hinted backoff.
+    /// The queue (or the connection table) is full; retry after the
+    /// hinted backoff.
     Busy { retry_after_ms: u64 },
     /// A job's current view (`Status`, `Cancel`).
     Job { view: JobView },
@@ -72,10 +104,20 @@ pub enum Response {
     Health { health: Health },
     /// `hippo.metrics.v1` JSON, rendered outside the registry lock.
     Metrics { json: String },
+    /// Heartbeat reply.
+    Pong,
+    /// The chunk was verified and staged. On the file's last chunk,
+    /// `digest` is the FNV-1a digest of the whole reassembled source, so
+    /// the sender can prove the round trip byte-identical.
+    ChunkAccepted {
+        name: String,
+        seq: u64,
+        digest: Option<u64>,
+    },
     /// Shutdown acknowledged; the daemon is draining.
     ShuttingDown,
     /// The request could not be served (unknown id, draining daemon,
-    /// schema mismatch, invalid spec).
+    /// standby daemon, schema mismatch, invalid spec, bad chunk).
     Error { message: String },
 }
 
@@ -111,8 +153,17 @@ pub struct Health {
     /// Warm-cache hits and misses (modules + alias + static + job results).
     pub cache_hits: u64,
     pub cache_misses: u64,
-    /// Jobs re-queued from the journal at startup.
+    /// Jobs re-queued from the journal at startup (or takeover).
     pub resumed: u64,
+    /// Live client connections right now.
+    pub connections: u64,
+    /// Accounted warm-cache bytes (see `hippocrates::WarmCache`).
+    pub cache_bytes: u64,
+    /// Lifetime LRU evictions under `--cache-budget-mb`.
+    pub cache_evictions: u64,
+    /// True while this daemon waits for the journal lock; a standby
+    /// refuses job traffic until it takes over.
+    pub standby: bool,
 }
 
 impl RequestFrame {
@@ -131,6 +182,18 @@ impl ResponseFrame {
             response,
         }
     }
+}
+
+/// What one read attempt produced.
+pub enum FrameIn<T> {
+    /// A whole, valid frame.
+    Frame(T),
+    /// Clean EOF between frames: the peer hung up.
+    Eof,
+    /// The read deadline expired before the *first* byte of a frame — the
+    /// peer is idle, not torn. Only possible when the stream carries a
+    /// read timeout.
+    Idle,
 }
 
 /// Writes one frame.
@@ -155,22 +218,31 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), S
     Ok(())
 }
 
-/// Reads one frame. `Ok(None)` is a clean EOF between frames (peer hung
-/// up); EOF inside a frame is an error.
+/// Reads one frame, distinguishing an idle peer from a torn one: a
+/// timeout before the first byte is [`FrameIn::Idle`]; a timeout (or EOF)
+/// *inside* a frame is an error.
 ///
 /// # Errors
 ///
-/// Fails on oversized length prefixes, truncated payloads, socket errors,
-/// and payloads that are not valid JSON for `T`.
-pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, String> {
+/// Fails on oversized length prefixes, truncated payloads, mid-frame
+/// timeouts, socket errors, and payloads that are not valid JSON for `T`.
+pub fn read_frame_idle<R: Read, T: Deserialize>(r: &mut R) -> Result<FrameIn<T>, String> {
     let mut len = [0u8; 4];
     match r.read(&mut len) {
-        Ok(0) => return Ok(None),
+        Ok(0) => return Ok(FrameIn::Eof),
         Ok(n) if n < 4 => {
             r.read_exact(&mut len[n..])
                 .map_err(|e| format!("read frame length: {e}"))?;
         }
         Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(FrameIn::Idle);
+        }
         Err(e) => return Err(format!("read frame length: {e}")),
     }
     let len = u32::from_be_bytes(len);
@@ -184,8 +256,24 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, Strin
         .map_err(|e| format!("read frame payload ({len} bytes): {e}"))?;
     let text = String::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
     serde_json::from_str(&text)
-        .map(Some)
+        .map(FrameIn::Frame)
         .map_err(|e| format!("decode frame: {e}: {text}"))
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF between frames (peer hung
+/// up); EOF inside a frame is an error, and so is a read timeout (callers
+/// that need to treat idleness gracefully use [`read_frame_idle`]).
+///
+/// # Errors
+///
+/// Fails on oversized length prefixes, truncated payloads, socket errors,
+/// and payloads that are not valid JSON for `T`.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, String> {
+    match read_frame_idle(r)? {
+        FrameIn::Frame(t) => Ok(Some(t)),
+        FrameIn::Eof => Ok(None),
+        FrameIn::Idle => Err("read frame length: timed out".to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +337,12 @@ mod tests {
             Response::Busy {
                 retry_after_ms: 100,
             },
+            Response::Pong,
+            Response::ChunkAccepted {
+                name: "a.pmc".to_string(),
+                seq: 3,
+                digest: Some(0xdead_beef),
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "nope".to_string(),
@@ -260,5 +354,22 @@ mod tests {
             let back: ResponseFrame = read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
             assert_eq!(back.response, resp);
         }
+    }
+
+    #[test]
+    fn chunk_requests_roundtrip_with_checksums() {
+        let data = "fn main() {}".to_string();
+        let checksum = pmir::snapshot::fnv1a(data.as_bytes());
+        let req = RequestFrame::new(Request::SourceChunk {
+            name: "big.pmc".to_string(),
+            seq: 0,
+            data,
+            checksum,
+            last: true,
+        });
+        let mut buf: Vec<u8> = vec![];
+        write_frame(&mut buf, &req).unwrap();
+        let back: RequestFrame = read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, req);
     }
 }

@@ -1,5 +1,5 @@
-//! The daemon: accept loop, worker pool, job registry, and graceful
-//! shutdown.
+//! The daemon: accept loop, worker pool, job registry, hostile-network
+//! posture, and graceful shutdown.
 //!
 //! # Operational posture
 //!
@@ -7,13 +7,23 @@
 //!   worker body runs under `catch_unwind`; a panic (including one injected
 //!   at the [`pmfault::FaultSite::DaemonWorker`] boundary) marks *that* job
 //!   `Failed` with a structured error and the worker moves on.
+//! - **A broken connection never takes down the daemon either.** Torn,
+//!   oversized, or garbage frames get a structured error and a close; a
+//!   peer idle past the idle timeout is closed quietly; a peer stalling
+//!   mid-frame trips the read deadline; a stalled *reader* trips the write
+//!   deadline. Each connection owns one handler thread, so none of this
+//!   blocks anyone else. Past `max_conns`, new connections are shed with
+//!   `Busy` instead of accepted.
 //! - **Acknowledged means durable.** `Submitted` is journaled and synced
 //!   before the client sees `Accepted`; terminal states are journaled with
 //!   their full result. `kill -9` at any point loses at most unacknowledged
-//!   work; a restart re-queues every in-flight job and serves every
-//!   finished one from the journal.
+//!   work; a restart — or a hot standby that wins the journal flock — re-
+//!   queues every in-flight job and serves every finished one from the
+//!   journal, byte-identically.
 //! - **Backpressure is explicit.** A full queue answers `Busy` with a
 //!   retry-after hint; nothing blocks.
+//! - **Memory is bounded.** Chunked uploads are capped by `upload_budget`;
+//!   warm caches evict LRU under `cache_budget`.
 //! - **Graceful shutdown drains.** `Shutdown` stops new submissions,
 //!   queued and running jobs run to their journaled conclusion, then the
 //!   daemon removes its socket and exits.
@@ -21,13 +31,15 @@
 use crate::jobs::{execute, job_digest, JobResult, JobSpec, JobState, JobView};
 use crate::journal::{JobEvent, JobJournal};
 use crate::proto::{
-    read_frame, write_frame, Health, Request, RequestFrame, Response, ResponseFrame, JOBS_SCHEMA,
+    read_frame_idle, write_frame, FrameIn, Health, Request, RequestFrame, Response, ResponseFrame,
+    JOBS_SCHEMA, JOBS_SCHEMA_V1,
 };
 use crate::queue::JobQueue;
+use crate::transport::{Conn, Endpoint, Listener};
 use hippocrates::WarmCache;
 use pmfault::{FaultKind, FaultSite, Injector};
 use std::collections::{BTreeMap, HashMap};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -35,30 +47,61 @@ use std::time::Duration;
 
 /// Daemon configuration.
 pub struct ServerConfig {
-    /// The Unix domain socket to listen on.
+    /// The Unix domain socket to listen on (when `listen` is unset).
     pub socket: PathBuf,
+    /// A TCP address (`host:port`) to listen on instead of the Unix
+    /// socket. `host:0` picks an ephemeral port, reported via `ready`.
+    pub listen: Option<String>,
     /// Write-ahead job journal; `None` runs without crash resumability.
     pub journal: Option<PathBuf>,
+    /// Start as a hot standby: bind the endpoint, answer health/ping, and
+    /// poll for the journal flock; take over (replay + re-queue) the
+    /// moment the primary dies. Requires `journal`.
+    pub standby: bool,
     /// Worker threads executing jobs.
     pub workers: usize,
     /// Bounded queue capacity (backpressure threshold).
     pub queue_capacity: usize,
+    /// Live-connection cap; connections past it are shed with `Busy`.
+    pub max_conns: usize,
+    /// Warm-cache byte budget; `None` is unbounded.
+    pub cache_budget: Option<u64>,
+    /// Ceiling on bytes staged by chunked uploads, per connection.
+    pub upload_budget: u64,
+    /// Per-read/per-write socket deadline: a peer stalling mid-frame (or
+    /// never draining its responses) errors out instead of wedging a
+    /// handler.
+    pub io_timeout: Duration,
+    /// A connection quiet for this long between frames is closed.
+    pub idle_timeout: Duration,
     /// Fault plan armed at the queue/worker boundary
-    /// ([`FaultSite::DaemonWorker`], keyed by submission index).
+    /// ([`FaultSite::DaemonWorker`], keyed by submission index) and at the
+    /// connection boundary (the `net.*` sites, keyed by accept index).
     pub fault: Option<pmfault::FaultPlan>,
     /// Observability; `serve.*` counters and per-job spans record here.
     pub obs: pmobs::Obs,
+    /// Reports the bound address once listening — how callers learn the
+    /// real port behind `--listen host:0`.
+    pub ready: Option<std::sync::mpsc::Sender<String>>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             socket: PathBuf::from("hippod.sock"),
+            listen: None,
             journal: None,
+            standby: false,
             workers: 4,
             queue_capacity: 64,
+            max_conns: 64,
+            cache_budget: None,
+            upload_budget: 256 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
             fault: None,
             obs: pmobs::Obs::default(),
+            ready: None,
         }
     }
 }
@@ -66,7 +109,7 @@ impl Default for ServerConfig {
 /// What `serve` reports once the daemon exits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeReport {
-    /// Jobs re-queued from the journal at startup.
+    /// Jobs re-queued from the journal at startup (or standby takeover).
     pub resumed: u64,
     /// Terminal jobs at exit, by state.
     pub done: u64,
@@ -78,27 +121,32 @@ struct State {
     jobs: Mutex<BTreeMap<String, JobView>>,
     specs: Mutex<HashMap<String, JobSpec>>,
     queue: JobQueue,
-    journal: Option<Mutex<JobJournal>>,
+    journal: Mutex<Option<JobJournal>>,
     cache: WarmCache,
-    results: Mutex<HashMap<u64, JobResult>>,
     /// Serializes the check-capacity → journal → enqueue sequence so the
     /// bounded queue can never overfill between check and push.
     submit_gate: Mutex<()>,
     next_id: AtomicU64,
     submit_index: AtomicU64,
     draining: AtomicBool,
-    resumed: u64,
+    standby: AtomicBool,
+    resumed: AtomicU64,
+    connections: AtomicU64,
     workers: usize,
     queue_capacity: usize,
+    max_conns: usize,
+    upload_budget: u64,
+    io_timeout: Duration,
+    idle_timeout: Duration,
     fault: Option<Injector>,
     obs: pmobs::Obs,
 }
 
 impl State {
     fn journal_event(&self, ev: &JobEvent) -> Result<(), String> {
-        match &self.journal {
+        match &mut *self.journal.lock().unwrap_or_else(|e| e.into_inner()) {
             None => Ok(()),
-            Some(j) => j.lock().unwrap_or_else(|e| e.into_inner()).append(ev),
+            Some(j) => j.append(ev),
         }
     }
 
@@ -173,97 +221,158 @@ impl State {
             workers: self.workers as u64,
             cache_hits: cache_hits + result_hits,
             cache_misses,
-            resumed: self.resumed,
+            resumed: self.resumed.load(Ordering::SeqCst),
+            connections: self.connections.load(Ordering::SeqCst),
+            cache_bytes: self.cache.bytes(),
+            cache_evictions: self.cache.evictions(),
+            standby: self.standby.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Looks up a finished result in the bounded blob cache.
+    fn cached_result(&self, digest: u64) -> Option<JobResult> {
+        self.cache
+            .blob(digest)
+            .and_then(|s| serde_json::from_str(&s).ok())
+    }
+
+    fn store_result(&self, digest: u64, result: &JobResult) {
+        if let Ok(s) = serde_json::to_string(result) {
+            self.cache.store_blob(digest, s, &self.obs);
+        }
+    }
+}
+
+/// What a journal replay reconstructs.
+#[derive(Default)]
+struct Replayed {
+    jobs: BTreeMap<String, JobView>,
+    specs: HashMap<String, JobSpec>,
+    pending: Vec<String>,
+    max_id: u64,
+}
+
+fn replay(events: Vec<JobEvent>) -> Replayed {
+    let mut r = Replayed::default();
+    for ev in events {
+        match ev {
+            JobEvent::Submitted { id, spec } => {
+                if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse().ok()) {
+                    r.max_id = r.max_id.max(n);
+                }
+                r.jobs.insert(
+                    id.clone(),
+                    JobView {
+                        id: id.clone(),
+                        kind: spec.kind,
+                        state: JobState::Queued,
+                        error: None,
+                        result: None,
+                    },
+                );
+                r.specs.insert(id.clone(), spec);
+                r.pending.push(id);
+            }
+            JobEvent::Finished { view } => {
+                r.pending.retain(|p| p != &view.id);
+                r.jobs.insert(view.id.clone(), view);
+            }
+        }
+    }
+    r
+}
+
+/// Seeds the whole-result blob cache from replayed terminal jobs: a
+/// finished campaign stays warm across daemon restarts and failovers.
+fn seed_results(state: &State, jobs: &BTreeMap<String, JobView>, specs: &HashMap<String, JobSpec>) {
+    for view in jobs.values() {
+        if let (JobState::Done, Some(result), Some(spec)) =
+            (view.state, view.result.as_ref(), specs.get(&view.id))
+        {
+            state.store_result(job_digest(spec), result);
         }
     }
 }
 
 /// Runs the daemon until a graceful `Shutdown` request completes its
-/// drain. Binding replaces a *stale* socket file (left by a killed
-/// daemon) but refuses a *live* one.
+/// drain.
 ///
 /// # Errors
 ///
-/// Fails on a held journal lock (naming the holder's pid), a live socket,
-/// and bind errors.
+/// Fails on a held journal lock (naming the holder's pid) unless
+/// `standby`, a live Unix socket, bind errors, and a standby without a
+/// journal.
 pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
     let obs = config.obs.clone();
     let _span = obs.span("serve.lifetime");
 
-    // Open + replay the journal first: a held lock must refuse the daemon
-    // before it touches the socket.
-    let mut jobs: BTreeMap<String, JobView> = BTreeMap::new();
-    let mut specs: HashMap<String, JobSpec> = HashMap::new();
-    let mut pending: Vec<String> = vec![];
-    let mut max_id = 0u64;
-    let journal = match &config.journal {
-        None => None,
-        Some(path) => {
-            let (journal, events) = JobJournal::open(path)?;
-            for ev in events {
-                match ev {
-                    JobEvent::Submitted { id, spec } => {
-                        if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse().ok()) {
-                            max_id = max_id.max(n);
-                        }
-                        jobs.insert(
-                            id.clone(),
-                            JobView {
-                                id: id.clone(),
-                                kind: spec.kind,
-                                state: JobState::Queued,
-                                error: None,
-                                result: None,
-                            },
-                        );
-                        specs.insert(id.clone(), spec);
-                        pending.push(id);
-                    }
-                    JobEvent::Finished { view } => {
-                        pending.retain(|p| p != &view.id);
-                        jobs.insert(view.id.clone(), view);
-                    }
-                }
+    let endpoint = match &config.listen {
+        Some(addr) => Endpoint::Tcp(addr.clone()),
+        None => Endpoint::Unix(config.socket.clone()),
+    };
+
+    // Open + replay the journal first: a held lock must refuse a primary
+    // before it touches the socket. A standby *expects* the lock to be
+    // held — it binds immediately and polls for the lock instead.
+    let mut replayed = Replayed::default();
+    let journal = if config.standby {
+        if config.journal.is_none() {
+            return Err("--standby requires a journal to watch".to_string());
+        }
+        None
+    } else {
+        match &config.journal {
+            None => None,
+            Some(path) => {
+                let (journal, events) = JobJournal::open(path)?;
+                replayed = replay(events);
+                Some(journal)
             }
-            Some(Mutex::new(journal))
         }
     };
-    let resumed = pending.len() as u64;
+    let resumed = replayed.pending.len() as u64;
     obs.add("serve.jobs.resumed", resumed);
 
-    // Journaled results re-seed the whole-result cache: a finished
-    // campaign stays warm across daemon restarts.
-    let mut results: HashMap<u64, JobResult> = HashMap::new();
-    for view in jobs.values() {
-        if let (JobState::Done, Some(result), Some(spec)) =
-            (view.state, view.result.as_ref(), specs.get(&view.id))
-        {
-            results.insert(job_digest(spec), result.clone());
-        }
-    }
-
-    let listener = bind(&config.socket)?;
+    let listener = Listener::bind(&endpoint)?;
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("socket: {e}"))?;
+    if let Some(ready) = &config.ready {
+        let _ = ready.send(listener.local_addr());
+    }
 
+    let cache = match config.cache_budget {
+        Some(budget) => WarmCache::with_budget(budget),
+        None => WarmCache::enabled(),
+    };
+    let pending = std::mem::take(&mut replayed.pending);
     let state = Arc::new(State {
-        jobs: Mutex::new(jobs),
-        specs: Mutex::new(specs),
+        jobs: Mutex::new(std::mem::take(&mut replayed.jobs)),
+        specs: Mutex::new(std::mem::take(&mut replayed.specs)),
         queue: JobQueue::new(config.queue_capacity),
-        journal,
-        cache: WarmCache::enabled(),
-        results: Mutex::new(results),
+        journal: Mutex::new(journal),
+        cache,
         submit_gate: Mutex::new(()),
-        next_id: AtomicU64::new(max_id + 1),
+        next_id: AtomicU64::new(replayed.max_id + 1),
         submit_index: AtomicU64::new(0),
         draining: AtomicBool::new(false),
-        resumed,
+        standby: AtomicBool::new(config.standby),
+        resumed: AtomicU64::new(resumed),
+        connections: AtomicU64::new(0),
         workers: config.workers.max(1),
         queue_capacity: config.queue_capacity,
+        max_conns: config.max_conns.max(1),
+        upload_budget: config.upload_budget,
+        io_timeout: config.io_timeout,
+        idle_timeout: config.idle_timeout,
         fault: config.fault.map(|p| Injector::with_obs(p, obs.clone())),
         obs: obs.clone(),
     });
+    {
+        let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let specs = state.specs.lock().unwrap_or_else(|e| e.into_inner());
+        seed_results(&state, &jobs, &specs);
+    }
 
     // In-flight jobs resume before any new submission: re-queue them in
     // submission order. The queue is empty, so pushes cannot fail.
@@ -281,13 +390,42 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         })
         .collect();
 
+    let takeover = config.standby.then(|| {
+        let state = state.clone();
+        let path = config.journal.clone().expect("checked above");
+        std::thread::spawn(move || takeover_loop(&state, &path))
+    });
+
     // Accept loop. Nonblocking + sleep keeps it responsive to the drain
     // flag without platform-specific polling.
+    let mut conn_index = 0u64;
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(conn) => {
+                let index = conn_index;
+                conn_index += 1;
+                let live = state.connections.fetch_add(1, Ordering::SeqCst) + 1;
+                state.obs.add("serve.conns.accepted", 1);
                 let state = state.clone();
-                std::thread::spawn(move || handle_connection(stream, &state));
+                std::thread::spawn(move || {
+                    let _guard = ConnGuard(state.clone());
+                    let _ = conn.set_read_timeout(Some(state.io_timeout));
+                    let _ = conn.set_write_timeout(Some(state.io_timeout));
+                    if live > state.max_conns as u64 {
+                        // Shed: the daemon is at its connection cap.
+                        state.obs.add("serve.conns.shed", 1);
+                        let mut conn = conn;
+                        let _ = write_frame(
+                            &mut conn,
+                            &ResponseFrame::new(Response::Busy {
+                                retry_after_ms: 100,
+                            }),
+                        );
+                        conn.shutdown();
+                        return;
+                    }
+                    handle_connection(conn, &state, index);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if state.draining.load(Ordering::SeqCst) {
@@ -311,28 +449,83 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
     for w in workers {
         let _ = w.join();
     }
-    let _ = std::fs::remove_file(&config.socket);
+    if let Some(t) = takeover {
+        let _ = t.join();
+    }
+    if let Endpoint::Unix(path) = &endpoint {
+        let _ = std::fs::remove_file(path);
+    }
     let (_, _, done, failed, canceled) = state.counts();
     Ok(ServeReport {
-        resumed,
+        resumed: state.resumed.load(Ordering::SeqCst),
         done,
         failed,
         canceled,
     })
 }
 
-/// Binds the socket, replacing a stale file but refusing a live daemon.
-fn bind(path: &std::path::Path) -> Result<UnixListener, String> {
-    if path.exists() {
-        if UnixStream::connect(path).is_ok() {
-            return Err(format!(
-                "{}: a daemon is already serving on this socket",
-                path.display()
-            ));
-        }
-        std::fs::remove_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+/// Decrements the live-connection gauge when a handler exits, however it
+/// exits.
+struct ConnGuard(Arc<State>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
     }
-    UnixListener::bind(path).map_err(|e| format!("{}: bind: {e}", path.display()))
+}
+
+/// The standby's watch: poll for the journal flock; the moment the
+/// primary dies (releasing it), replay, re-queue unfinished jobs, and
+/// start serving.
+fn takeover_loop(state: &State, path: &std::path::Path) {
+    loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match JobJournal::open(path) {
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            Ok((journal, events)) => {
+                let replayed = replay(events);
+                {
+                    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                    for (id, view) in &replayed.jobs {
+                        jobs.insert(id.clone(), view.clone());
+                    }
+                }
+                {
+                    let mut specs = state.specs.lock().unwrap_or_else(|e| e.into_inner());
+                    for (id, spec) in &replayed.specs {
+                        specs.insert(id.clone(), spec.clone());
+                    }
+                }
+                seed_results(state, &replayed.jobs, &replayed.specs);
+                state.next_id.store(replayed.max_id + 1, Ordering::SeqCst);
+                state
+                    .resumed
+                    .store(replayed.pending.len() as u64, Ordering::SeqCst);
+                *state.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(journal);
+                // Re-queue unfinished jobs, then open for business. The
+                // queue is empty (submissions were refused during
+                // standby), but retry anyway if the backlog exceeds its
+                // capacity.
+                for id in replayed.pending {
+                    loop {
+                        match state.queue.push(id.clone()) {
+                            Ok(()) => break,
+                            Err(_) if state.draining.load(Ordering::SeqCst) => return,
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                }
+                state.standby.store(false, Ordering::SeqCst);
+                state.obs.add("serve.standby.takeovers", 1);
+                state
+                    .obs
+                    .add("serve.jobs.resumed", state.resumed.load(Ordering::SeqCst));
+                return;
+            }
+        }
+    }
 }
 
 fn worker_loop(state: &State) {
@@ -369,13 +562,7 @@ fn worker_loop(state: &State) {
         }
 
         let digest = job_digest(&spec);
-        let hit = state
-            .results
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&digest)
-            .cloned();
-        let outcome = match hit {
+        let outcome = match state.cached_result(digest) {
             Some(mut r) => {
                 state.obs.add("serve.results.hit", 1);
                 r.cached = true;
@@ -388,11 +575,7 @@ fn worker_loop(state: &State) {
                 }));
                 match run {
                     Ok(Ok(r)) => {
-                        state
-                            .results
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .insert(digest, r.clone());
+                        state.store_result(digest, &r);
                         Ok(r)
                     }
                     Ok(Err(e)) => Err(e),
@@ -407,43 +590,270 @@ fn worker_loop(state: &State) {
     }
 }
 
-fn handle_connection(stream: UnixStream, state: &State) {
-    let mut reader = match stream.try_clone() {
+/// Per-connection fault shaping, decided once from the armed plan and the
+/// stable accept index.
+#[derive(Default, Clone, Copy)]
+struct Shaping {
+    /// Write half a response frame, then close: the peer sees a torn frame.
+    torn: bool,
+    /// Dribble responses `chunk` bytes at a time, `delay_ms` apart — the
+    /// slow-client archetype, exercised from the daemon side.
+    slow: Option<(u64, u64)>,
+    /// Close the connection instead of responding at all.
+    drop: bool,
+}
+
+impl Shaping {
+    fn at(inj: Option<&Injector>, index: u64) -> Shaping {
+        let Some(inj) = inj else {
+            return Shaping::default();
+        };
+        Shaping {
+            torn: inj.fires_at(FaultSite::NetTornFrame, index).is_some(),
+            slow: match inj.fires_at(FaultSite::NetSlowClient, index) {
+                Some(FaultKind::SlowWrites { chunk, delay_ms }) => Some((chunk, delay_ms)),
+                _ => None,
+            },
+            drop: inj.fires_at(FaultSite::NetConnDrop, index).is_some(),
+        }
+    }
+}
+
+/// Writes one response under the connection's shaping. An `Err` means the
+/// connection is done (injected teardown or a real write failure).
+fn send(conn: &mut Conn, frame: &ResponseFrame, shaping: Shaping) -> Result<(), String> {
+    if shaping.drop {
+        conn.shutdown();
+        return Err("injected connection drop".to_string());
+    }
+    let mut buf: Vec<u8> = vec![];
+    write_frame(&mut buf, frame)?;
+    if shaping.torn {
+        // Half a frame, then gone: the peer must surface a torn-frame
+        // error, never hang.
+        let half = (buf.len() / 2).max(1);
+        let _ = conn.write_all(&buf[..half]);
+        let _ = conn.flush();
+        conn.shutdown();
+        return Err("injected torn response frame".to_string());
+    }
+    if let Some((chunk, delay_ms)) = shaping.slow {
+        for piece in buf.chunks(chunk.max(1) as usize) {
+            conn.write_all(piece)
+                .map_err(|e| format!("write frame: {e}"))?;
+            conn.flush().map_err(|e| format!("write frame: {e}"))?;
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        return Ok(());
+    }
+    conn.write_all(&buf)
+        .map_err(|e| format!("write frame: {e}"))?;
+    conn.flush().map_err(|e| format!("write frame: {e}"))
+}
+
+/// Chunked-upload staging, per connection: one file reassembles at a
+/// time; completed files wait in arrival order for the adopting `Submit`.
+#[derive(Default)]
+struct Staging {
+    files: Vec<(String, String)>,
+    current: Option<(String, u64, String)>,
+    total: u64,
+}
+
+impl Staging {
+    /// Verifies and stages one chunk; answers `ChunkAccepted` or a fatal
+    /// `Error` (the caller closes the connection on `Err`).
+    fn chunk(
+        &mut self,
+        name: String,
+        seq: u64,
+        data: String,
+        checksum: u64,
+        last: bool,
+        budget: u64,
+    ) -> Result<Response, String> {
+        if pmir::snapshot::fnv1a(data.as_bytes()) != checksum {
+            return Err(format!("chunk {seq} of `{name}`: checksum mismatch"));
+        }
+        self.total = self.total.saturating_add(data.len() as u64);
+        if self.total > budget {
+            return Err(format!(
+                "upload exceeds the {budget}-byte budget; split the campaign or raise --upload-budget-mb"
+            ));
+        }
+        let (cur_name, expected, mut buf) = match self.current.take() {
+            None => {
+                if seq != 0 {
+                    return Err(format!("chunk {seq} of `{name}` arrived before chunk 0"));
+                }
+                (name.clone(), 0, String::new())
+            }
+            Some(cur) => cur,
+        };
+        if cur_name != name {
+            return Err(format!(
+                "chunk of `{name}` interleaved with unfinished `{cur_name}`"
+            ));
+        }
+        if seq != expected {
+            return Err(format!(
+                "chunk {seq} of `{name}` out of order (expected {expected})"
+            ));
+        }
+        buf.push_str(&data);
+        if last {
+            let digest = pmir::snapshot::fnv1a(buf.as_bytes());
+            self.files.push((name.clone(), buf));
+            Ok(Response::ChunkAccepted {
+                name,
+                seq,
+                digest: Some(digest),
+            })
+        } else {
+            self.current = Some((cur_name, seq + 1, buf));
+            Ok(Response::ChunkAccepted {
+                name,
+                seq,
+                digest: None,
+            })
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, state: &State, index: u64) {
+    let mut reader = match conn.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut writer = stream;
+    let mut writer = conn;
+    let shaping = Shaping::at(state.fault.as_ref(), index);
+    let mut staging = Staging::default();
+    let mut idle = Duration::ZERO;
     loop {
-        let frame: Option<RequestFrame> = match read_frame(&mut reader) {
-            Ok(f) => f,
+        let frame: RequestFrame = match read_frame_idle(&mut reader) {
+            Ok(FrameIn::Frame(f)) => {
+                idle = Duration::ZERO;
+                f
+            }
+            Ok(FrameIn::Eof) => return, // clean EOF
+            Ok(FrameIn::Idle) => {
+                idle += state.io_timeout;
+                if idle >= state.idle_timeout {
+                    state.obs.add("serve.conns.idle_closed", 1);
+                    writer.shutdown();
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
-                let _ = write_frame(
+                // Torn, oversized, or garbage frame: answer a structured
+                // error and close — never panic, never hang a worker.
+                state.obs.add("serve.conns.bad_frames", 1);
+                let _ = send(
                     &mut writer,
                     &ResponseFrame::new(Response::Error { message: e }),
+                    shaping,
                 );
+                writer.shutdown();
                 return;
             }
         };
-        let Some(frame) = frame else {
-            return; // clean EOF
-        };
-        let response = if frame.schema == JOBS_SCHEMA {
-            respond(frame.request, state)
+        let schema = frame.schema;
+        let response = if schema == JOBS_SCHEMA || schema == JOBS_SCHEMA_V1 {
+            match frame.request {
+                Request::SourceChunk {
+                    name,
+                    seq,
+                    data,
+                    checksum,
+                    last,
+                } => {
+                    if state.standby.load(Ordering::SeqCst) {
+                        Response::Error {
+                            message: "standby daemon: waiting for the journal lock; not accepting uploads".to_string(),
+                        }
+                    } else {
+                        match staging.chunk(name, seq, data, checksum, last, state.upload_budget) {
+                            Ok(r) => r,
+                            Err(message) => {
+                                // A bad chunk poisons the whole staged
+                                // upload: error and close.
+                                state.obs.add("serve.chunks.rejected", 1);
+                                let _ = send(
+                                    &mut writer,
+                                    &ResponseFrame {
+                                        schema,
+                                        response: Response::Error { message },
+                                    },
+                                    shaping,
+                                );
+                                writer.shutdown();
+                                return;
+                            }
+                        }
+                    }
+                }
+                Request::Submit { mut spec } => {
+                    if staging.files.is_empty() {
+                        respond(Request::Submit { spec }, state)
+                    } else {
+                        // The staged files come first, in arrival order,
+                        // exactly as an inline submission would carry
+                        // them — digests (and artifacts) match.
+                        let mut sources = staging.files.clone();
+                        sources.append(&mut spec.sources);
+                        spec.sources = sources;
+                        let response = respond(Request::Submit { spec }, state);
+                        if !matches!(response, Response::Busy { .. }) {
+                            // Adopted (or refused outright); a Busy keeps
+                            // the staged upload for the cheap retry.
+                            staging = Staging::default();
+                        }
+                        response
+                    }
+                }
+                other => respond(other, state),
+            }
         } else {
             Response::Error {
                 message: format!(
-                    "unsupported schema `{}`; this daemon speaks `{JOBS_SCHEMA}`",
-                    frame.schema
+                    "unsupported schema `{schema}`; this daemon speaks `{JOBS_SCHEMA}` (and `{JOBS_SCHEMA_V1}`)"
                 ),
             }
         };
-        if write_frame(&mut writer, &ResponseFrame::new(response)).is_err() {
+        let frame = ResponseFrame {
+            schema: if schema == JOBS_SCHEMA_V1 {
+                JOBS_SCHEMA_V1.to_string()
+            } else {
+                JOBS_SCHEMA.to_string()
+            },
+            response,
+        };
+        if send(&mut writer, &frame, shaping).is_err() {
             return;
         }
     }
 }
 
 fn respond(request: Request, state: &State) -> Response {
+    if state.standby.load(Ordering::SeqCst) {
+        match &request {
+            Request::Health => {
+                return Response::Health {
+                    health: state.health(),
+                }
+            }
+            Request::Ping => return Response::Pong,
+            Request::Metrics => {}
+            Request::Shutdown => {}
+            _ => {
+                return Response::Error {
+                    message: "standby daemon: waiting for the journal lock; not serving jobs yet"
+                        .to_string(),
+                }
+            }
+        }
+    }
     match request {
         Request::Submit { spec } => submit(spec, state),
         Request::Status { id } => match state.view(&id) {
@@ -456,12 +866,16 @@ fn respond(request: Request, state: &State) -> Response {
         Request::Health => Response::Health {
             health: state.health(),
         },
+        Request::Ping => Response::Pong,
         Request::Metrics => Response::Metrics {
             json: state
                 .obs
                 .registry()
                 .map(pmobs::Registry::snapshot_json)
                 .unwrap_or_else(|| state.obs.snapshot().to_json()),
+        },
+        Request::SourceChunk { .. } => Response::Error {
+            message: "SourceChunk is handled per-connection".to_string(),
         },
         Request::Shutdown => {
             state.draining.store(true, Ordering::SeqCst);

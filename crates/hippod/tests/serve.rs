@@ -1,8 +1,11 @@
 //! In-process end-to-end tests: a real daemon on a real socket.
 
-use hippod::{Client, JobKind, JobSpec, JobState, ServerConfig, Submitted};
+use hippod::proto::{read_frame, ResponseFrame};
+use hippod::{Client, JobKind, JobSpec, JobState, Response, ServerConfig, Submitted};
+use std::io::Read as _;
+use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BUGGY: &str = "fn main() {\n    var p: ptr = pmem_map(0, 4096);\n    store8(p, 0, 7);\n    print(load8(p, 0));\n}\n";
 
@@ -228,4 +231,202 @@ fn draining_daemon_refuses_new_submissions_but_finishes_queued_work() {
     let report = server.join().unwrap().unwrap();
     assert_eq!(report.done, 1);
     assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn tcp_endpoint_serves_jobs_end_to_end() {
+    let dir = tmp("tcp");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let server = start(ServerConfig {
+        socket: dir.join("unused.sock"),
+        listen: Some("127.0.0.1:0".to_string()),
+        journal: Some(dir.join("jobs.journal")),
+        workers: 2,
+        ready: Some(tx),
+        ..ServerConfig::default()
+    });
+    // `host:0` picks an ephemeral port; the ready channel reports it.
+    let addr = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let mut c = Client::dial_retry(&addr, Duration::from_secs(5)).unwrap();
+    c.set_io_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.ping().unwrap();
+    let id = c
+        .submit_retry(spec(JobKind::Fix), Duration::from_secs(5))
+        .unwrap();
+    let view = c.wait(&id, Duration::from_secs(30)).unwrap();
+    assert_eq!(view.state, JobState::Done);
+    assert!(view.result.unwrap().clean);
+    let h = c.health().unwrap();
+    assert!(h.ok && !h.standby);
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn connections_past_the_cap_are_shed_with_busy() {
+    let dir = tmp("shed");
+    let socket = dir.join("hippod.sock");
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: None,
+        max_conns: 1,
+        ..ServerConfig::default()
+    });
+    let mut keeper = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    keeper.ping().unwrap();
+    // The connection past the cap is told Busy and closed before it sends
+    // a single byte.
+    let mut raw = UnixStream::connect(&socket).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let frame: ResponseFrame = read_frame(&mut raw).unwrap().expect("shed sends a frame");
+    match frame.response {
+        Response::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let mut buf = [0u8; 16];
+    assert_eq!(raw.read(&mut buf).unwrap_or(0), 0, "shed then close");
+    drop(raw);
+    // The connection inside the cap is unaffected.
+    keeper.ping().unwrap();
+    keeper.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn idle_connections_are_closed_quietly() {
+    let dir = tmp("idle");
+    let socket = dir.join("hippod.sock");
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: None,
+        io_timeout: Duration::from_millis(100),
+        idle_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    c.ping().unwrap();
+    // A connection that never speaks is closed after the idle window —
+    // with silence, not an error frame.
+    let mut raw = UnixStream::connect(&socket).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 16];
+    let n = raw.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "an idle close carries no bytes");
+    assert!(
+        started.elapsed() >= Duration::from_millis(250),
+        "closed before the idle window elapsed"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle close took too long"
+    );
+    // `c` sat out the same window and was idle-closed too; a fresh
+    // connection shows the daemon is still serving.
+    let mut fresh = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    fresh.ping().unwrap();
+    fresh.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn standby_takes_over_and_serves_journaled_results_byte_identically() {
+    let dir = tmp("standby");
+    let journal = dir.join("jobs.journal");
+    let primary_sock = dir.join("primary.sock");
+    let standby_sock = dir.join("standby.sock");
+    let primary = start(ServerConfig {
+        socket: primary_sock.clone(),
+        journal: Some(journal.clone()),
+        workers: 2,
+        io_timeout: Duration::from_millis(200),
+        idle_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let standby = start(ServerConfig {
+        socket: standby_sock.clone(),
+        journal: Some(journal.clone()),
+        standby: true,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&primary_sock, Duration::from_secs(5)).unwrap();
+    let id = c
+        .submit_retry(spec(JobKind::Fix), Duration::from_secs(5))
+        .unwrap();
+    let reference = c
+        .wait(&id, Duration::from_secs(30))
+        .unwrap()
+        .result
+        .expect("primary finishes the job");
+
+    // While the primary holds the flock, the standby answers health but
+    // refuses job traffic.
+    let mut s = Client::connect_retry(&standby_sock, Duration::from_secs(5)).unwrap();
+    let h = s.health().unwrap();
+    assert!(h.ok && h.standby);
+    let err = s.submit(spec(JobKind::Fix)).unwrap_err();
+    assert!(err.contains("standby"), "{err}");
+
+    // The primary exits; the standby wins the flock, replays the journal,
+    // and starts serving.
+    c.shutdown().unwrap();
+    drop(c);
+    primary.join().unwrap().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let h = s.health().unwrap();
+        if !h.standby {
+            break;
+        }
+        assert!(Instant::now() < deadline, "standby never took over");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The journaled result is served warm and byte-identical.
+    let id2 = s
+        .submit_retry(spec(JobKind::Fix), Duration::from_secs(5))
+        .unwrap();
+    let view = s.wait(&id2, Duration::from_secs(30)).unwrap();
+    assert_eq!(view.state, JobState::Done);
+    let result = view.result.unwrap();
+    assert!(result.cached, "takeover must seed the result cache");
+    assert_eq!(result.output, reference.output);
+    s.shutdown().unwrap();
+    standby.join().unwrap().unwrap();
+}
+
+#[test]
+fn cache_budget_bounds_warm_memory_and_reports_evictions() {
+    let dir = tmp("budget");
+    let socket = dir.join("hippod.sock");
+    let budget = 4 * 1024u64;
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: None,
+        workers: 1,
+        cache_budget: Some(budget),
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    for i in 0..12 {
+        let mut s = spec(JobKind::Fix);
+        s.seed = i; // distinct digests: every job caches a fresh result
+        let id = c.submit_retry(s, Duration::from_secs(5)).unwrap();
+        c.wait(&id, Duration::from_secs(30)).unwrap();
+        let h = c.health().unwrap();
+        assert!(
+            h.cache_bytes <= budget,
+            "accounted bytes {} exceed the {budget}-byte budget",
+            h.cache_bytes
+        );
+    }
+    let h = c.health().unwrap();
+    assert!(
+        h.cache_evictions > 0,
+        "12 distinct results must overflow a 4 KiB budget"
+    );
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
 }

@@ -41,9 +41,27 @@ pub enum FaultSite {
     /// seeded [`FaultPlan::from_seed`] catalogue, so existing campaign
     /// seeds keep their archetypes; the daemon gate arms it explicitly.
     DaemonWorker,
+    /// `hippod`: the transport's response path — the daemon tears the
+    /// response frame in half (writes part of it, then severs the
+    /// connection). Keyed by the stable connection index, so firing is
+    /// deterministic regardless of accept-loop scheduling. The contract:
+    /// the *client* sees a transport error, the daemon and its jobs are
+    /// untouched, and a fresh connection serves the same artifact.
+    NetTornFrame,
+    /// `hippod`: the transport's response path degrades to a dribble —
+    /// bytes written a few at a time with delays, simulating a slow or
+    /// stalled peer. Keyed by connection index. The contract: the slow
+    /// connection never blocks a sibling client or a worker.
+    NetSlowClient,
+    /// `hippod`: the connection is dropped before the response frame is
+    /// written. Keyed by connection index. The contract: the client sees a
+    /// clean hangup-as-error, the daemon's job state is unaffected
+    /// (submission acknowledgement is journaled write-ahead, so a dropped
+    /// `Accepted` is at worst a re-submission).
+    NetConnDrop,
 }
 
-pub(crate) const N_SITES: usize = 11;
+pub(crate) const N_SITES: usize = 14;
 
 impl FaultSite {
     pub(crate) fn index(self) -> usize {
@@ -59,7 +77,21 @@ impl FaultSite {
             FaultSite::ExploreOracle => 8,
             FaultSite::TxCommit => 9,
             FaultSite::DaemonWorker => 10,
+            FaultSite::NetTornFrame => 11,
+            FaultSite::NetSlowClient => 12,
+            FaultSite::NetConnDrop => 13,
         }
+    }
+}
+
+impl FaultSite {
+    /// Whether this site lives in the daemon's transport layer (the
+    /// `net.*` family, keyed by stable connection index).
+    pub fn is_net(self) -> bool {
+        matches!(
+            self,
+            FaultSite::NetTornFrame | FaultSite::NetSlowClient | FaultSite::NetConnDrop
+        )
     }
 }
 
@@ -77,6 +109,9 @@ impl fmt::Display for FaultSite {
             FaultSite::ExploreOracle => "explore.oracle",
             FaultSite::TxCommit => "tx.commit",
             FaultSite::DaemonWorker => "daemon.worker",
+            FaultSite::NetTornFrame => "net.torn_frame",
+            FaultSite::NetSlowClient => "net.slow_client",
+            FaultSite::NetConnDrop => "net.conn_drop",
         };
         f.write_str(s)
     }
@@ -138,6 +173,14 @@ pub enum FaultKind {
     /// The repair transaction's commit is vetoed: the round rolls back and
     /// the engine retries (exercising the rollback/retry machinery).
     CommitVeto,
+    /// The daemon writes only part of the response frame, then severs the
+    /// connection — a torn frame on the wire.
+    TornFrame,
+    /// The daemon's response path degrades to `chunk`-byte writes with
+    /// `delay_ms` pauses between them — a slow peer in miniature.
+    SlowWrites { chunk: u64, delay_ms: u64 },
+    /// The connection is dropped before any response is written.
+    ConnDrop,
 }
 
 impl FaultKind {
@@ -156,6 +199,9 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::OraclePanic => "oracle-panic",
             FaultKind::CommitVeto => "commit-veto",
+            FaultKind::TornFrame => "torn-frame",
+            FaultKind::SlowWrites { .. } => "slow-writes",
+            FaultKind::ConnDrop => "conn-drop",
         }
     }
 }
@@ -176,6 +222,11 @@ impl fmt::Display for FaultKind {
             FaultKind::WorkerPanic => f.write_str("worker panic"),
             FaultKind::OraclePanic => f.write_str("oracle panic"),
             FaultKind::CommitVeto => f.write_str("vetoed transaction commit"),
+            FaultKind::TornFrame => f.write_str("torn response frame"),
+            FaultKind::SlowWrites { chunk, delay_ms } => {
+                write!(f, "slow client ({chunk}-byte writes, {delay_ms}ms apart)")
+            }
+            FaultKind::ConnDrop => f.write_str("dropped connection"),
         }
     }
 }
@@ -208,7 +259,7 @@ pub struct FaultPlan {
 }
 
 /// Number of distinct archetypes [`FaultPlan::from_seed`] cycles through.
-pub const N_ARCHETYPES: u64 = 11;
+pub const N_ARCHETYPES: u64 = 14;
 
 impl FaultPlan {
     /// A plan with a single fault (mostly for tests).
@@ -229,7 +280,9 @@ impl FaultPlan {
     /// pick the trigger offset. Archetypes, in order: torn store, dropped
     /// flush, media read error, trace truncation, trace bit-flip, duplicated
     /// trace record, fuel exhaustion, diverging oracle (stuck loop), worker
-    /// panic, oracle panic, vetoed transaction commit.
+    /// panic, oracle panic, vetoed transaction commit, torn response frame,
+    /// slow client writes, dropped connection (the `net.*` transport family,
+    /// keyed by stable connection index).
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed ^ 0xF4_11_7F_11;
         let r = splitmix64(&mut s);
@@ -265,7 +318,20 @@ impl FaultPlan {
             9 => (FaultSite::ExploreOracle, nth(8), FaultKind::OraclePanic),
             // The first commit attempt is vetoed (a fixed Nth(0) trigger):
             // the engine must roll back, retry the round, and still converge.
-            _ => (FaultSite::TxCommit, Trigger::Nth(0), FaultKind::CommitVeto),
+            10 => (FaultSite::TxCommit, Trigger::Nth(0), FaultKind::CommitVeto),
+            // The transport family: keyed by stable connection index. The
+            // daemon campaign drives a small fixed number of connections, so
+            // the trigger stays inside that range.
+            11 => (FaultSite::NetTornFrame, nth(3), FaultKind::TornFrame),
+            12 => (
+                FaultSite::NetSlowClient,
+                nth(3),
+                FaultKind::SlowWrites {
+                    chunk: 1 + r % 7,
+                    delay_ms: 1,
+                },
+            ),
+            _ => (FaultSite::NetConnDrop, nth(3), FaultKind::ConnDrop),
         };
         FaultPlan {
             seed,
@@ -280,6 +346,11 @@ impl FaultPlan {
     /// Does the plan contain any fault at `site`?
     pub fn targets(&self, site: FaultSite) -> bool {
         self.faults.iter().any(|f| f.site == site)
+    }
+
+    /// Does the plan contain any transport-layer (`net.*`) fault?
+    pub fn targets_net(&self) -> bool {
+        self.faults.iter().any(|f| f.site.is_net())
     }
 
     /// One-line human summary, e.g. for campaign output.
@@ -320,5 +391,26 @@ mod tests {
         let d = FaultPlan::from_seed(7).describe();
         assert!(d.contains("vm.diverge"), "{d}");
         assert!(d.contains("diverging"), "{d}");
+    }
+
+    #[test]
+    fn net_archetypes_are_seeded_and_classified() {
+        let torn = FaultPlan::from_seed(11);
+        let slow = FaultPlan::from_seed(12);
+        let drop = FaultPlan::from_seed(13);
+        assert!(torn.targets(FaultSite::NetTornFrame) && torn.targets_net());
+        assert!(slow.targets(FaultSite::NetSlowClient) && slow.targets_net());
+        assert!(drop.targets(FaultSite::NetConnDrop) && drop.targets_net());
+        assert!(!FaultPlan::from_seed(0).targets_net());
+        // The trigger stays inside the daemon campaign's connection range.
+        for plan in [torn, slow, drop] {
+            match plan.faults[0].trigger {
+                Trigger::Nth(n) => assert!(n < 3, "trigger {n} outside the campaign range"),
+                Trigger::Always => panic!("net archetypes are keyed by connection index"),
+            }
+        }
+        assert!(FaultPlan::from_seed(12)
+            .describe()
+            .contains("net.slow_client"));
     }
 }

@@ -66,8 +66,8 @@ target/release/hippoctl optimize "$healed" --budget 64 --seed 0 -o "$optimized"
 target/release/hippoctl explore "$optimized" --budget 64 --seed 0
 rm -rf "$(dirname "$healed")"
 
-echo "==> hippoctl faultcampaign --seeds 11 (every fault archetype survived)"
-target/release/hippoctl faultcampaign --seeds 11
+echo "==> hippoctl faultcampaign --seeds 14 (every fault archetype survived, incl. net.*)"
+target/release/hippoctl faultcampaign --seeds 14
 
 echo "==> kill-and-resume gate (crash after first commit, resume, byte-identical)"
 txdir="$(mktemp -d)"
@@ -179,6 +179,76 @@ target/release/hippoctl shutdown --socket "$dsock"
 wait "$dpid"
 rm -rf "$ddir"
 echo "killed daemon restarted on its journal and finished the campaign, as expected"
+
+echo "==> hot-standby failover gate (TCP campaign, kill -9 primary, standby finishes byte-identical)"
+fdir="$(mktemp -d)"
+fjournal="$fdir/jobs.journal"
+pport=$((20000 + RANDOM % 20000))
+sport=$((pport + 1))
+# The do-no-harm reference: the same fix standalone.
+target/release/hippoctl fix examples/ordering_demo.pmc --bug-source exploration \
+    --budget 64 --seed 0 -o "$fdir/ref.ir"
+target/release/hippoctl serve --listen "127.0.0.1:$pport" --journal "$fjournal" --workers 2 \
+    > "$fdir/primary.log" 2>&1 &
+ppid=$!
+target/release/hippoctl serve --listen "127.0.0.1:$sport" --journal "$fjournal" --standby --workers 2 \
+    > "$fdir/standby.log" 2>&1 &
+spid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --connect "127.0.0.1:$pport" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+target/release/hippoctl health --connect "127.0.0.1:$pport" | grep -q '"standby":false'
+target/release/hippoctl health --connect "127.0.0.1:$sport" | grep -q '"standby":true'
+job_id="$(target/release/hippoctl submit --connect "127.0.0.1:$pport" examples/ordering_demo.pmc \
+    --kind fix --bug-source exploration --budget 64 --seed 0)"
+kill -9 "$ppid"
+wait "$ppid" 2>/dev/null || true
+# The standby wins the journal flock, replays, and re-queues the campaign.
+took_over=0
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --connect "127.0.0.1:$sport" 2>/dev/null \
+        | grep -q '"standby":false'; then took_over=1; break; fi
+    sleep 0.1
+done
+test "$took_over" = 1 || { echo "check.sh: standby never took over" >&2; exit 1; }
+for _ in $(seq 1 200); do
+    line="$(target/release/hippoctl status --connect "127.0.0.1:$sport" "$job_id")"
+    case "$line" in
+        *failed*) echo "check.sh: failover job failed: $line" >&2; exit 1 ;;
+        *done*) break ;;
+    esac
+    sleep 0.1
+done
+case "$line" in *done*) ;; *) echo "check.sh: job never settled after failover" >&2; exit 1 ;; esac
+# The journaled artifact is served warm — and byte-identical to standalone.
+target/release/hippoctl submit --connect "127.0.0.1:$sport" examples/ordering_demo.pmc \
+    --kind fix --bug-source exploration --budget 64 --seed 0 --wait -o "$fdir/standby.ir"
+cmp "$fdir/ref.ir" "$fdir/standby.ir"
+target/release/hippoctl shutdown --connect "127.0.0.1:$sport"
+wait "$spid"
+echo "standby took over the killed primary and served the byte-identical artifact, as expected"
+
+echo "==> slow-client gate (a stalled mid-frame peer never blocks the daemon)"
+lport=$((sport + 1))
+target/release/hippoctl serve --listen "127.0.0.1:$lport" --workers 2 \
+    > "$fdir/slow.log" 2>&1 &
+lpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --connect "127.0.0.1:$lport" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+# A hostile peer: declares a 256-byte frame, sends 8 bytes of it, stalls.
+exec 3<>"/dev/tcp/127.0.0.1/$lport"
+printf '\x00\x00\x01\x00abcd' >&3
+# While that connection dangles mid-frame, the daemon still answers.
+target/release/hippoctl health --connect "127.0.0.1:$lport" | grep -q '"ok":true'
+target/release/hippoctl ping --connect "127.0.0.1:$lport" | grep -q pong
+exec 3>&-
+target/release/hippoctl shutdown --connect "127.0.0.1:$lport"
+wait "$lpid"
+rm -rf "$fdir"
+echo "stalled mid-frame peer left the daemon fully responsive, as expected"
 
 echo "==> explore_bench smoke (writes BENCH_explore.json)"
 target/release/explore_bench
