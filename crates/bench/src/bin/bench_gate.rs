@@ -12,11 +12,15 @@
 //! bench_gate --rebase         # rewrite the baselines from fresh artifacts
 //! bench_gate --doctor         # self-test: corrupt baselines in memory so
 //!                             # the gate MUST fail (exit 1 expected)
+//! bench_gate --report-only    # print the full comparison but always exit
+//!                             # 0 (the scheduled drift job: visible, not
+//!                             # blocking)
 //! bench_gate --fresh <dir>    # where the fresh artifacts live
 //! bench_gate --baselines <dir>
 //! ```
 //!
-//! Exit status: 0 when every gated metric is within tolerance, 1 otherwise.
+//! Exit status: 0 when every gated metric is within tolerance (or
+//! `--report-only` was given), 1 otherwise.
 
 use bench::gate::{self, GATED_FILES};
 use pmobs::Snapshot;
@@ -34,6 +38,7 @@ fn main() -> ExitCode {
     let mut base_dir = bench::workspace_root().join("crates/bench/baselines");
     let mut doctor = false;
     let mut rebase = false;
+    let mut report_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
             }
             "--doctor" => doctor = true,
             "--rebase" => rebase = true,
+            "--report-only" => report_only = true,
             a => {
                 eprintln!("bench_gate: unknown argument `{a}`");
                 return ExitCode::FAILURE;
@@ -123,6 +129,9 @@ fn main() -> ExitCode {
     }
     if ok {
         println!("bench_gate: all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    } else if report_only {
+        eprintln!("bench_gate: drift detected (report-only mode, not failing)");
         ExitCode::SUCCESS
     } else {
         eprintln!("bench_gate: regression gate FAILED");

@@ -34,7 +34,9 @@ fn opts(obs: &Obs, jobs: usize) -> ExploreOptions {
     }
 }
 
-fn throughput_row(obs: &Obs, name: &str, m: &pmir::Module, entry: &str, jobs: usize) {
+/// Runs one throughput measurement and returns the wall seconds, so callers
+/// can derive cross-row ratios (the `j4_over_j1` parallel-speedup gauge).
+fn throughput_row(obs: &Obs, name: &str, m: &pmir::Module, entry: &str, jobs: usize) -> f64 {
     let _span = obs.span(&format!("bench.throughput.{name}.j{jobs}"));
     let t0 = Instant::now();
     let x = run_and_explore(m, entry, &opts(obs, jobs)).expect("exploration runs");
@@ -60,6 +62,20 @@ fn throughput_row(obs: &Obs, name: &str, m: &pmir::Module, entry: &str, jobs: us
         x.report.stats.distinct_states,
         x.report.findings.len(),
     );
+    secs
+}
+
+/// Emits the gated parallel-speedup gauge: wall-time ratio j1/j4, so 1.0
+/// means "4 workers bought nothing" and below 1.0 means parallel explore is
+/// an outright pessimization — the regression `bench_gate` exists to catch.
+fn speedup_gauge(obs: &Obs, name: &str, j1_secs: f64, j4_secs: f64) {
+    let ratio = if j4_secs > 0.0 {
+        j1_secs / j4_secs
+    } else {
+        0.0
+    };
+    obs.gauge(&format!("bench.explore.{name}.j4_over_j1"), ratio);
+    println!("  {name:<16} j4 speedup over j1: {ratio:.2}x");
 }
 
 fn main() {
@@ -125,10 +141,12 @@ fn main() {
     println!("throughput (budget {BUDGET}, seed {SEED}):");
     let pclht = pmapps::pclht::build_correct().expect("pclht builds");
     let demo_clean = demo; // the healed demo: every candidate boots recovery
-    throughput_row(&obs, "ordering_demo", &demo_clean, "main", 1);
-    throughput_row(&obs, "ordering_demo", &demo_clean, "main", 4);
-    throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 1);
-    throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 4);
+    let demo_j1 = throughput_row(&obs, "ordering_demo", &demo_clean, "main", 1);
+    let demo_j4 = throughput_row(&obs, "ordering_demo", &demo_clean, "main", 4);
+    let pclht_j1 = throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 1);
+    let pclht_j4 = throughput_row(&obs, "pclht", &pclht, pmapps::pclht::ENTRY, 4);
+    speedup_gauge(&obs, "ordering_demo", demo_j1, demo_j4);
+    speedup_gauge(&obs, "pclht", pclht_j1, pclht_j4);
 
     obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
     println!();

@@ -2,7 +2,7 @@
 //! (`hippo.metrics.v1` snapshots) against checked-in baselines under
 //! `crates/bench/baselines/`.
 //!
-//! Two classes of gauge are gated; everything else is informational:
+//! Three classes of gauge are gated; everything else is informational:
 //!
 //! * **wall metrics** — names ending in `_ms`. Fresh must stay within
 //!   [`WALL_TOLERANCE`] of the baseline: a >25 % wall-time regression
@@ -12,6 +12,11 @@
 //!   the explicit `_floor` suffix (used for deterministic simulated-clock
 //!   ratios like the optimizer's per-workload speedups). Any drop below
 //!   the baseline fails: correctness rates and proven wins never regress.
+//! * **throughput metrics** — names ending in `.states_per_sec` or
+//!   `.j4_over_j1`. Floor semantics (fresh must not drop below the
+//!   baseline), but baselines are written at the measured rate divided by
+//!   [`THROUGHPUT_REBASE_HEADROOM`], so the fast-tier explore win survives
+//!   machine variance while a real regression fails.
 //!
 //! [`doctor`] corrupts a baseline so the gate is *guaranteed* to fail on
 //! any real run — the inverted self-test `scripts/bench_gate.sh` uses to
@@ -41,6 +46,12 @@ pub const WALL_SLACK_MS: f64 = 250.0;
 /// Headroom applied to wall metrics when (re)writing baselines.
 pub const REBASE_HEADROOM: f64 = 1.6;
 
+/// Headroom applied to throughput metrics when (re)writing baselines: the
+/// checked-in floor is the measured rate divided by this, so a CI machine
+/// half as fast as the rebase machine still passes while a real tier
+/// regression (the 10x explore win quietly rotting away) fails.
+pub const THROUGHPUT_REBASE_HEADROOM: f64 = 2.0;
+
 /// Whether `name` is a gated wall-time gauge. Only the `bench.` namespace
 /// is gated: pipeline-internal gauges (e.g. `repair.reverify_ms`) ride
 /// along in the artifact for humans but are sub-millisecond noise no
@@ -57,6 +68,16 @@ pub fn is_floor_metric(name: &str) -> bool {
         && (name.ends_with("pass_rate")
             || name.ends_with("healed_clean")
             || name.ends_with("_floor"))
+}
+
+/// Whether `name` is a gated throughput gauge (same namespace rule):
+/// states/sec rates and the `j4_over_j1` parallel-speedup ratio. Like floor
+/// metrics the fresh value must not drop below the baseline, but baselines
+/// are written with [`THROUGHPUT_REBASE_HEADROOM`] (divide, not multiply —
+/// higher is better) instead of being pinned exactly.
+pub fn is_throughput_metric(name: &str) -> bool {
+    name.starts_with("bench.")
+        && (name.ends_with(".states_per_sec") || name.ends_with(".j4_over_j1"))
 }
 
 /// The outcome of gating one artifact.
@@ -79,7 +100,7 @@ impl GateReport {
 pub fn compare(file: &str, base: &Snapshot, fresh: &Snapshot) -> GateReport {
     let mut r = GateReport::default();
     for (name, &b) in &base.gauges {
-        let gated = is_wall_metric(name) || is_floor_metric(name);
+        let gated = is_wall_metric(name) || is_floor_metric(name) || is_throughput_metric(name);
         let Some(&f) = fresh.gauges.get(name) else {
             if gated {
                 r.failures.push(format!(
@@ -108,6 +129,17 @@ pub fn compare(file: &str, base: &Snapshot, fresh: &Snapshot) -> GateReport {
             } else {
                 r.infos.push(format!("{file}: `{name}` {f} (floor {b}) ok"));
             }
+        } else if is_throughput_metric(name) {
+            if f + 1e-9 < b {
+                r.failures.push(format!(
+                    "{file}: `{name}` below throughput floor: {f:.1} vs {b:.1} \
+                     (-{:.0}%)",
+                    (1.0 - f / b) * 100.0
+                ));
+            } else {
+                r.infos
+                    .push(format!("{file}: `{name}` {f:.1} (floor {b:.1}) ok"));
+            }
         }
     }
     // Counter drift never fails the gate, but a changed headline count is
@@ -134,6 +166,9 @@ pub fn doctor(base: &mut Snapshot) {
             *v /= 1000.0;
         } else if is_floor_metric(name) {
             *v = v.mul_add(2.0, 1.0);
+        } else if is_throughput_metric(name) {
+            // No machine is 1000x faster than the rebase machine.
+            *v *= 1000.0;
         }
     }
 }
@@ -151,6 +186,8 @@ pub fn rebase(fresh: &Snapshot) -> Snapshot {
     for (name, v) in base.gauges.iter_mut() {
         if is_wall_metric(name) {
             *v *= REBASE_HEADROOM;
+        } else if is_throughput_metric(name) {
+            *v /= THROUGHPUT_REBASE_HEADROOM;
         }
     }
     base
@@ -178,9 +215,16 @@ mod tests {
         assert!(is_floor_metric("bench.opt.Load.speedup_floor"));
         assert!(!is_floor_metric("bench.wall_ms"));
         assert!(!is_floor_metric("bench.opt.Load.naive.ops_per_sec"));
+        assert!(is_throughput_metric(
+            "bench.explore.pclht.j1.states_per_sec"
+        ));
+        assert!(is_throughput_metric("bench.explore.pclht.j4_over_j1"));
+        // `ops_per_sec` predates the class and stays informational.
+        assert!(!is_throughput_metric("bench.opt.Load.naive.ops_per_sec"));
         // Pipeline-internal gauges outside `bench.` are never gated.
         assert!(!is_wall_metric("repair.reverify_ms"));
         assert!(!is_floor_metric("check.pass_rate"));
+        assert!(!is_throughput_metric("explore.states_per_sec"));
     }
 
     #[test]
@@ -218,11 +262,11 @@ mod tests {
     #[test]
     fn counters_and_ungated_gauges_are_informational() {
         let base = snap(
-            &[("bench.states_per_sec", 5000.0)],
+            &[("bench.opt.Load.naive.ops_per_sec", 5000.0)],
             &[("bench.candidates", 128)],
         );
         let fresh = snap(
-            &[("bench.states_per_sec", 1.0)],
+            &[("bench.opt.Load.naive.ops_per_sec", 1.0)],
             &[("bench.candidates", 64)],
         );
         let r = compare("f", &base, &fresh);
@@ -231,9 +275,60 @@ mod tests {
     }
 
     #[test]
+    fn throughput_floor_gates_rates_and_speedups() {
+        let base = snap(
+            &[
+                ("bench.explore.pclht.j1.states_per_sec", 10_000.0),
+                ("bench.explore.pclht.j4_over_j1", 1.5),
+            ],
+            &[],
+        );
+        // At or above the floor passes.
+        let ok = snap(
+            &[
+                ("bench.explore.pclht.j1.states_per_sec", 10_000.0),
+                ("bench.explore.pclht.j4_over_j1", 2.0),
+            ],
+            &[],
+        );
+        assert!(compare("f", &base, &ok).passed());
+        // A rate below the floor fails — the explore win cannot rot away.
+        let slow = snap(
+            &[
+                ("bench.explore.pclht.j1.states_per_sec", 9_000.0),
+                ("bench.explore.pclht.j4_over_j1", 1.5),
+            ],
+            &[],
+        );
+        let r = compare("f", &base, &slow);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("throughput floor"),
+            "{:?}",
+            r.failures
+        );
+        // A parallel regression (j4 no faster than j1) fails the same way.
+        let serial = snap(
+            &[
+                ("bench.explore.pclht.j1.states_per_sec", 10_000.0),
+                ("bench.explore.pclht.j4_over_j1", 0.9),
+            ],
+            &[],
+        );
+        assert!(!compare("f", &base, &serial).passed());
+        // A missing throughput gauge is a hard failure, not silence.
+        let r = compare("f", &base, &snap(&[], &[]));
+        assert_eq!(r.failures.len(), 2, "{:?}", r.failures);
+    }
+
+    #[test]
     fn doctored_baseline_rejects_the_run_that_produced_it() {
         let fresh = snap(
-            &[("bench.wall_ms", 800.0), ("bench.fault.pass_rate", 1.0)],
+            &[
+                ("bench.wall_ms", 800.0),
+                ("bench.fault.pass_rate", 1.0),
+                ("bench.explore.pclht.j1.states_per_sec", 20_000.0),
+            ],
             &[],
         );
         let mut base = rebase(&fresh);
@@ -241,14 +336,18 @@ mod tests {
         assert!(compare("f", &base, &fresh).passed());
         doctor(&mut base);
         let r = compare("f", &base, &fresh);
-        // Both the wall metric and the floor metric must now fail.
-        assert_eq!(r.failures.len(), 2, "{:?}", r.failures);
+        // The wall, floor, and throughput metrics must all now fail.
+        assert_eq!(r.failures.len(), 3, "{:?}", r.failures);
     }
 
     #[test]
     fn rebase_strips_noise_and_adds_headroom() {
         let mut fresh = snap(
-            &[("bench.wall_ms", 100.0), ("bench.fault.pass_rate", 1.0)],
+            &[
+                ("bench.wall_ms", 100.0),
+                ("bench.fault.pass_rate", 1.0),
+                ("bench.explore.pclht.j1.states_per_sec", 20_000.0),
+            ],
             &[("bench.candidates", 128)],
         );
         fresh.histograms.insert("h".into(), pmobs::Hist::default());
@@ -263,6 +362,11 @@ mod tests {
         assert!(base.spans.is_empty() && base.histograms.is_empty());
         assert_eq!(base.gauges["bench.wall_ms"], 160.0);
         assert_eq!(base.gauges["bench.fault.pass_rate"], 1.0);
+        // Throughput floors get headroom by division: half the measured rate.
+        assert_eq!(
+            base.gauges["bench.explore.pclht.j1.states_per_sec"],
+            10_000.0
+        );
         assert_eq!(base.counters["bench.candidates"], 128);
     }
 }

@@ -359,6 +359,7 @@ impl Hippocrates {
             watchdog_ms: self.effective_watchdog(budget),
             fault: self.opts.fault.clone(),
             obs: self.opts.obs.clone(),
+            tier: self.opts.tier,
             ..VmOptions::default()
         }
     }
@@ -560,6 +561,7 @@ impl Hippocrates {
             recovery_watchdog_ms: self.effective_watchdog(budget),
             obs: self.opts.obs.clone(),
             cancel: budget.clone(),
+            tier: self.opts.tier,
             ..pmexplore::ExploreOptions::default()
         };
         let (x, retries) = self.with_retries("exploration", || {
@@ -702,6 +704,7 @@ impl Hippocrates {
             explore_seed: self.opts.explore_seed,
             explore_jobs: self.opts.explore_jobs,
             obs: self.opts.obs.clone(),
+            tier: self.opts.tier,
             ..pmredund::OptimizeOptions::default()
         };
         match pmredund::optimize_module(m, &o) {

@@ -132,6 +132,13 @@ pub struct RepairOptions {
     /// the n-th round committed *in this process*. Only ever set by tests
     /// and the CI kill-and-resume gate.
     pub crash_after_commit: Option<u32>,
+    /// Execution tier for every VM run the engine performs (detection
+    /// replays, exploration recovery boots, verification). Tiers are
+    /// result-identical by construction — the differential tier gate holds
+    /// them to byte-equal traces, findings, and fixes — so this is an
+    /// execution-speed knob like [`RepairOptions::cache`], excluded from
+    /// [`RepairOptions::digest_hex`] and never able to block a resume.
+    pub tier: pmvm::ExecTier,
 }
 
 impl Default for RepairOptions {
@@ -162,6 +169,7 @@ impl Default for RepairOptions {
             cache: crate::WarmCache::default(),
             crash_after_commit: None,
             optimize_after: false,
+            tier: pmvm::ExecTier::default(),
         }
     }
 }
@@ -308,6 +316,7 @@ mod tests {
             journal_path: Some("x.journal".into()),
             resume: true,
             cache: crate::WarmCache::enabled(),
+            tier: pmvm::ExecTier::Interp,
             ..RepairOptions::default()
         };
         assert_eq!(

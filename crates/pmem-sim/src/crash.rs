@@ -83,13 +83,13 @@ impl CrashImage {
         None
     }
 
-    /// Converts the image back into a medium for recovery runs.
+    /// Converts the image back into a medium for recovery runs. Reuses the
+    /// image's byte buffers — no pool contents are copied or re-zeroed
+    /// (recovery boots are the explorer's hot path).
     pub fn into_media(self) -> PmMedia {
         let mut media = PmMedia::new();
         for (hint, bytes) in self.pools {
-            let base = self.bases[&hint];
-            media.insert(hint, base, bytes.len() as u64);
-            media.pool_mut(hint).expect("just inserted").bytes = bytes;
+            media.insert_with_bytes(hint, self.bases[&hint], bytes);
         }
         media
     }

@@ -39,6 +39,7 @@ pub mod cost;
 pub mod crash;
 pub mod error;
 pub mod layout;
+pub mod lineset;
 pub mod machine;
 pub mod media;
 pub mod stats;
@@ -47,6 +48,7 @@ pub use cost::CostModel;
 pub use crash::CrashImage;
 pub use error::MemError;
 pub use layout::{Region, CACHE_LINE};
+pub use lineset::LineSet;
 pub use machine::Machine;
 pub use media::PmMedia;
 pub use stats::MachineStats;

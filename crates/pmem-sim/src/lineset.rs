@@ -1,0 +1,377 @@
+//! Const-generic cache-line bookkeeping.
+//!
+//! [`LineSet`] tracks the set of cache-line base addresses the machine
+//! considers dirty or pending. It replaces the `BTreeSet<u64>` the machine
+//! used to carry: membership tests and inserts sit on the PM-store hot path
+//! of every execution tier, and a B-tree pays pointer chases and ordering
+//! work the simulator only needs when *reporting* lines (which is cold and
+//! sorts on demand).
+//!
+//! The structure is an open-addressed hash set, const-generic over the
+//! cache-line size and the probe-group width — the same shape as a
+//! `WAYS`-associative cache directory:
+//!
+//! * `LINE_SIZE` fixes the line geometry. Keys are line base addresses
+//!   (multiples of `LINE_SIZE`); hashing spreads `addr / LINE_SIZE` so the
+//!   zeroed low bits never collapse buckets.
+//! * `WAYS` bounds the probe sequence: a key lives within `WAYS` slots of
+//!   its home bucket, exactly like a set-associative cache way. When a
+//!   probe group fills up, the table doubles and rehashes — correctness
+//!   never depends on capacity (a line set must *never* drop a line), only
+//!   the constant factor does.
+//!
+//! Invariants (the differential tier gate and the replayer lean on these):
+//!
+//! * `EMPTY` (0) and `TOMB` (`u64::MAX`) are reserved sentinels. Real line
+//!   addresses are region-tagged (`layout`: every region base is at least
+//!   `0x1000_0000_0000` and below `u64::MAX`), so neither occurs as a key.
+//! * Probes stop at `EMPTY` and step over `TOMB`, so removal is O(1)
+//!   without back-shifting.
+//! * [`LineSet::sorted`] reports lines in ascending address order — the
+//!   order the `BTreeSet` used to iterate in, which exploration sampling
+//!   and the crash-image builders rely on for determinism.
+
+/// Empty-slot sentinel (never a valid line address: region bases are
+/// non-zero).
+const EMPTY: u64 = 0;
+/// Tombstone sentinel (never a valid line address).
+const TOMB: u64 = u64::MAX;
+/// Initial slot count: fixed capacity covering typical dirty-line working
+/// sets (dozens of lines) without a resize. Must be a power of two.
+const INIT_SLOTS: usize = 64;
+
+/// A set of cache-line base addresses, const-generic over line size and
+/// probe-group associativity. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct LineSet<const LINE_SIZE: u64 = 64, const WAYS: usize = 8> {
+    slots: Box<[u64]>,
+    live: usize,
+    dead: usize,
+    /// Bumped on every mutation that changes membership. Lets callers that
+    /// repeatedly snapshot the set (the frontier builder) skip re-sorting
+    /// when nothing changed between snapshots.
+    generation: u64,
+}
+
+impl<const LINE_SIZE: u64, const WAYS: usize> Default for LineSet<LINE_SIZE, WAYS> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const LINE_SIZE: u64, const WAYS: usize> LineSet<LINE_SIZE, WAYS> {
+    /// An empty set at the fixed initial capacity.
+    pub fn new() -> Self {
+        assert!(
+            LINE_SIZE.is_power_of_two(),
+            "LINE_SIZE must be a power of two"
+        );
+        assert!(WAYS > 0, "WAYS must be at least 1");
+        LineSet {
+            slots: vec![EMPTY; INIT_SLOTS].into_boxed_slice(),
+            live: 0,
+            dead: 0,
+            generation: 0,
+        }
+    }
+
+    /// The base address of the line containing `addr` under this geometry.
+    pub fn line_of(addr: u64) -> u64 {
+        addr & !(LINE_SIZE - 1)
+    }
+
+    /// Number of lines in the set.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// A counter that advances exactly when membership changes. Two calls
+    /// returning the same value bracket a window in which [`LineSet::sorted`]
+    /// would have produced identical output — snapshot consumers use this
+    /// to reuse the previous snapshot instead of rescanning.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn home(&self, line: u64) -> usize {
+        // Fibonacci hashing over the line *index*: the low log2(LINE_SIZE)
+        // bits of a line address are always zero and must not feed the
+        // bucket choice.
+        let mixed = (line / LINE_SIZE).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// Inserts a line. Returns `true` if it was not already present.
+    pub fn insert(&mut self, line: u64) -> bool {
+        debug_assert!(
+            line != EMPTY && line != TOMB,
+            "line addresses are region-tagged and never collide with sentinels"
+        );
+        debug_assert!(
+            line.is_multiple_of(LINE_SIZE),
+            "keys must be line base addresses"
+        );
+        loop {
+            let mask = self.slots.len() - 1;
+            let home = self.home(line);
+            let mut free: Option<usize> = None;
+            for i in 0..WAYS {
+                let at = (home + i) & mask;
+                match self.slots[at] {
+                    v if v == line => return false,
+                    EMPTY => {
+                        let at = free.unwrap_or(at);
+                        if self.slots[at] == TOMB {
+                            self.dead -= 1;
+                        }
+                        self.slots[at] = line;
+                        self.live += 1;
+                        self.generation += 1;
+                        self.maybe_grow();
+                        return true;
+                    }
+                    TOMB if free.is_none() => free = Some(at),
+                    _ => {}
+                }
+            }
+            if let Some(at) = free {
+                self.slots[at] = line;
+                self.dead -= 1;
+                self.live += 1;
+                self.generation += 1;
+                self.maybe_grow();
+                return true;
+            }
+            // The whole probe group is occupied by other lines: rehash at
+            // double the capacity and retry. Growth preserves every line —
+            // the set is bookkeeping, not a cache; it must never evict.
+            self.grow();
+        }
+    }
+
+    /// Removes a line. Returns `true` if it was present.
+    pub fn remove(&mut self, line: u64) -> bool {
+        let mask = self.slots.len() - 1;
+        let home = self.home(line);
+        for i in 0..WAYS {
+            let at = (home + i) & mask;
+            match self.slots[at] {
+                v if v == line => {
+                    self.slots[at] = TOMB;
+                    self.live -= 1;
+                    self.dead += 1;
+                    self.generation += 1;
+                    return true;
+                }
+                EMPTY => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, line: u64) -> bool {
+        let mask = self.slots.len() - 1;
+        let home = self.home(line);
+        for i in 0..WAYS {
+            let at = (home + i) & mask;
+            match self.slots[at] {
+                v if v == line => return true,
+                EMPTY => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Removes every line.
+    pub fn clear(&mut self) {
+        if self.live == 0 && self.dead == 0 {
+            return;
+        }
+        if self.live > 0 {
+            self.generation += 1;
+        }
+        self.slots.fill(EMPTY);
+        self.live = 0;
+        self.dead = 0;
+    }
+
+    /// The lines in ascending address order (the reporting order the
+    /// machine's public API promises).
+    pub fn sorted(&self) -> Vec<u64> {
+        if self.live == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<u64> = Vec::with_capacity(self.live);
+        out.extend(
+            self.slots
+                .iter()
+                .copied()
+                .filter(|&v| v != EMPTY && v != TOMB),
+        );
+        out.sort_unstable();
+        out
+    }
+
+    /// Empties the set, returning the lines in ascending order.
+    pub fn take_sorted(&mut self) -> Vec<u64> {
+        let out = self.sorted();
+        self.clear();
+        out
+    }
+
+    /// Inserts every line the byte range `[addr, addr + len)` touches.
+    /// `len = 0` inserts nothing.
+    pub fn insert_range(&mut self, addr: u64, len: u64) {
+        let mut line = Self::line_of(addr);
+        while line < addr + len {
+            self.insert(line);
+            line += LINE_SIZE;
+        }
+    }
+
+    fn maybe_grow(&mut self) {
+        // Tombstones count toward load: a long-lived set that churns
+        // (fence drains) must not degrade into full-group scans.
+        if (self.live + self.dead) * 2 > self.slots.len() {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let gen = self.generation;
+        let lines = self.sorted();
+        let cap = (self.slots.len() * 2).max(INIT_SLOTS);
+        self.slots = vec![EMPTY; cap].into_boxed_slice();
+        self.live = 0;
+        self.dead = 0;
+        for line in lines {
+            // Re-insert without recursing into grow: capacity doubled, so
+            // probe groups are at most half full again.
+            self.insert(line);
+        }
+        // A rehash changes capacity, not membership.
+        self.generation = gen;
+    }
+}
+
+impl<const LINE_SIZE: u64, const WAYS: usize> FromIterator<u64> for LineSet<LINE_SIZE, WAYS> {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for line in iter {
+            s.insert(line);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PM: u64 = 0x3000_0000_0000;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s: LineSet = LineSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(PM));
+        assert!(!s.insert(PM), "double insert is a no-op");
+        assert!(s.contains(PM));
+        assert!(!s.contains(PM + 64));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(PM));
+        assert!(!s.remove(PM));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sorted_reports_ascending() {
+        let mut s: LineSet = LineSet::new();
+        for i in [9u64, 3, 7, 1, 4] {
+            s.insert(PM + i * 64);
+        }
+        let got = s.sorted();
+        let want: Vec<u64> = [1u64, 3, 4, 7, 9].iter().map(|i| PM + i * 64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn take_sorted_drains() {
+        let mut s: LineSet = LineSet::new();
+        s.insert(PM + 128);
+        s.insert(PM);
+        assert_eq!(s.take_sorted(), vec![PM, PM + 128]);
+        assert!(s.is_empty());
+        assert!(!s.contains(PM));
+    }
+
+    #[test]
+    fn survives_growth_well_past_fixed_capacity() {
+        let mut s: LineSet = LineSet::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            assert!(s.insert(PM + i * 64));
+        }
+        assert_eq!(s.len(), n as usize);
+        for i in 0..n {
+            assert!(s.contains(PM + i * 64), "line {i} lost in growth");
+        }
+        // Remove every other line; the rest must survive the tombstones.
+        for i in (0..n).step_by(2) {
+            assert!(s.remove(PM + i * 64));
+        }
+        assert_eq!(s.len(), (n / 2) as usize);
+        for i in 0..n {
+            assert_eq!(s.contains(PM + i * 64), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn churn_with_tombstones_stays_correct() {
+        // Insert/remove cycles (a fence-heavy workload) must not let
+        // tombstones break probing.
+        let mut s: LineSet = LineSet::new();
+        for round in 0..200u64 {
+            for i in 0..24u64 {
+                s.insert(PM + i * 64);
+            }
+            for line in s.take_sorted() {
+                assert!(!s.contains(line));
+            }
+            assert!(s.is_empty(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn insert_range_covers_straddling_lines() {
+        let mut s: LineSet = LineSet::new();
+        s.insert_range(PM + 60, 10); // straddles two 64-byte lines
+        assert_eq!(s.sorted(), vec![PM, PM + 64]);
+        let mut s: LineSet = LineSet::new();
+        s.insert_range(PM, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn other_geometries_compile_and_behave() {
+        // The const-generic parameters really parameterize the geometry:
+        // 128-byte lines, 2-way probe groups.
+        let mut s: LineSet<128, 2> = LineSet::new();
+        assert_eq!(LineSet::<128, 2>::line_of(PM + 129), PM + 128);
+        s.insert_range(PM + 120, 16); // straddles two 128-byte lines
+        assert_eq!(s.sorted(), vec![PM, PM + 128]);
+        // A 2-way group overflows quickly; growth must absorb it.
+        for i in 0..1000u64 {
+            s.insert(PM + i * 128);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -7,10 +7,11 @@ use crate::error::MemError;
 use crate::layout::{
     line_of, Region, CACHE_LINE, GLOBAL_BASE, HEAP_BASE, PM_BASE, REGION_SPAN, STACK_BASE,
 };
+use crate::lineset::LineSet;
 use crate::media::PmMedia;
 use crate::stats::MachineStats;
 use crate::{FenceKind, FlushKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A heap allocation record.
 #[derive(Debug, Clone, Copy)]
@@ -46,9 +47,9 @@ pub struct Machine {
     // Persistent region.
     media: PmMedia,
     pools: Vec<PoolCache>, // sorted by base
-    dirty_lines: BTreeSet<u64>,
-    pending_pm_lines: BTreeSet<u64>,
-    pending_volatile_lines: BTreeSet<u64>,
+    dirty_lines: LineSet,
+    pending_pm_lines: LineSet,
+    pending_volatile_lines: LineSet,
 
     // Fault injection (None in production: one branch per PM access).
     injector: Option<pmfault::Injector>,
@@ -81,9 +82,9 @@ impl Machine {
             globals_top: 0,
             media,
             pools: vec![],
-            dirty_lines: BTreeSet::new(),
-            pending_pm_lines: BTreeSet::new(),
-            pending_volatile_lines: BTreeSet::new(),
+            dirty_lines: LineSet::new(),
+            pending_pm_lines: LineSet::new(),
+            pending_volatile_lines: LineSet::new(),
             injector: None,
         }
     }
@@ -379,6 +380,21 @@ impl Machine {
     /// Returns a [`MemError`] on an invalid access.
     pub fn store(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         let len = bytes.len() as u64;
+        // Fast path: an access wholly inside the live stack segment — the
+        // overwhelmingly common case (locals, spills) — needs no region
+        // dispatch, no pool search, and no injector consult. Accounting is
+        // identical to the general volatile path below.
+        if addr >= STACK_BASE && len > 0 {
+            if let Some(end) = addr.checked_add(len) {
+                if end <= STACK_BASE + self.stack_top {
+                    let off = (addr - STACK_BASE) as usize;
+                    self.stack[off..off + len as usize].copy_from_slice(bytes);
+                    self.stats.volatile_stores += 1;
+                    self.stats.cycles += self.cost.dram_access;
+                    return Ok(());
+                }
+            }
+        }
         let region = self.check_range(addr, len)?;
         let mut write_len = len;
         if region.is_pm() {
@@ -402,11 +418,7 @@ impl Machine {
         if region.is_pm() {
             self.stats.pm_stores += 1;
             self.stats.cycles += self.cost.pm_store;
-            let mut line = line_of(addr);
-            while line < addr + len {
-                self.dirty_lines.insert(line);
-                line += CACHE_LINE;
-            }
+            self.dirty_lines.insert_range(addr, len);
         } else {
             self.stats.volatile_stores += 1;
             self.stats.cycles += self.cost.dram_access;
@@ -421,6 +433,18 @@ impl Machine {
     /// Returns a [`MemError`] on an invalid access.
     pub fn load(&mut self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
         let len = out.len() as u64;
+        // Fast path: see `store` — same conditions, same accounting.
+        if addr >= STACK_BASE && len > 0 {
+            if let Some(end) = addr.checked_add(len) {
+                if end <= STACK_BASE + self.stack_top {
+                    let off = (addr - STACK_BASE) as usize;
+                    out.copy_from_slice(&self.stack[off..off + len as usize]);
+                    self.stats.volatile_loads += 1;
+                    self.stats.cycles += self.cost.dram_access;
+                    return Ok(());
+                }
+            }
+        }
         let region = self.check_range(addr, len)?;
         if region.is_pm() {
             if let Some(inj) = self.injector.as_mut() {
@@ -512,11 +536,7 @@ impl Machine {
         if region.is_pm() {
             self.stats.pm_stores += words;
             self.stats.cycles += self.cost.pm_store * words;
-            let mut line = line_of(dst);
-            while line < dst + len {
-                self.dirty_lines.insert(line);
-                line += CACHE_LINE;
-            }
+            self.dirty_lines.insert_range(dst, len);
         } else {
             self.stats.volatile_stores += words;
             self.stats.cycles += self.cost.dram_access * words;
@@ -551,7 +571,7 @@ impl Machine {
                     return Ok(());
                 }
             }
-            if !self.dirty_lines.contains(&line) {
+            if !self.dirty_lines.contains(line) {
                 self.stats.redundant_flushes += 1;
                 return Ok(());
             }
@@ -581,10 +601,7 @@ impl Machine {
             FenceKind::Sfence => self.cost.sfence_base,
             FenceKind::Mfence => self.cost.mfence_base,
         };
-        let pm: Vec<u64> = std::mem::take(&mut self.pending_pm_lines)
-            .into_iter()
-            .collect();
-        for line in pm {
+        for line in self.pending_pm_lines.take_sorted() {
             self.write_back_line(line);
             self.stats.pm_lines_drained += 1;
             self.stats.cycles += self.cost.pm_writeback;
@@ -600,9 +617,9 @@ impl Machine {
     /// Lemma 2).
     pub fn evict(&mut self, addr: u64) {
         let line = line_of(addr);
-        if self.dirty_lines.contains(&line) {
+        if self.dirty_lines.contains(line) {
             self.write_back_line(line);
-            self.pending_pm_lines.remove(&line);
+            self.pending_pm_lines.remove(line);
         }
     }
 
@@ -617,7 +634,7 @@ impl Machine {
         let hint = p.hint;
         let pm = self.media.pool_mut(hint).expect("mapped pool has media");
         pm.bytes[off..end].copy_from_slice(&bytes);
-        self.dirty_lines.remove(&line);
+        self.dirty_lines.remove(line);
     }
 
     // ----- crash simulation -----------------------------------------------------
@@ -634,7 +651,7 @@ impl Machine {
     pub fn crash_image_flushing(&self, completed: &[u64]) -> CrashImage {
         let mut media = self.media.clone();
         for &line in completed {
-            if !self.pending_pm_lines.contains(&line) {
+            if !self.pending_pm_lines.contains(line) {
                 continue;
             }
             if let Some(i) = self.pool_index_of(line) {
@@ -657,7 +674,7 @@ impl Machine {
     pub fn crash_image_with_lines(&self, persisted: &[u64]) -> CrashImage {
         let mut media = self.media.clone();
         for &line in persisted {
-            if !self.dirty_lines.contains(&line) {
+            if !self.dirty_lines.contains(line) {
                 continue;
             }
             if let Some(i) = self.pool_index_of(line) {
@@ -673,17 +690,17 @@ impl Machine {
 
     /// Lines with a scheduled-but-undrained write-back, in address order.
     pub fn pending_pm_lines(&self) -> Vec<u64> {
-        self.pending_pm_lines.iter().copied().collect()
+        self.pending_pm_lines.sorted()
     }
 
     /// Dirty (unflushed or undrained) PM lines, in address order.
     pub fn dirty_pm_lines(&self) -> Vec<u64> {
-        self.dirty_lines.iter().copied().collect()
+        self.dirty_lines.sorted()
     }
 
     /// Whether the PM line containing `addr` is dirty.
     pub fn is_line_dirty(&self, addr: u64) -> bool {
-        self.dirty_lines.contains(&line_of(addr))
+        self.dirty_lines.contains(line_of(addr))
     }
 
     /// Consumes the machine, returning the durable medium (for restart

@@ -60,13 +60,12 @@ impl PmMedia {
 
     /// Registers a new pool.
     pub(crate) fn insert(&mut self, hint: u64, base: u64, size: u64) {
-        self.pools.insert(
-            hint,
-            PoolMedia {
-                base,
-                bytes: vec![0; size as usize],
-            },
-        );
+        self.insert_with_bytes(hint, base, vec![0; size as usize]);
+    }
+
+    /// Registers a pool that adopts `bytes` as its durable contents.
+    pub(crate) fn insert_with_bytes(&mut self, hint: u64, base: u64, bytes: Vec<u8>) {
+        self.pools.insert(hint, PoolMedia { base, bytes });
     }
 
     /// Iterates over `(hint, pool)` pairs in hint order.

@@ -2,10 +2,11 @@
 //!
 //! Pipeline: derive frontiers → sample candidates under the budget →
 //! fan candidate chunks out over a work-stealing queue → each worker
-//! replays to the candidate's position, materializes the crash image,
-//! dedups by content hash, and boots the recovery oracle on states not
-//! seen before → inconsistencies are blamed back onto the stores whose
-//! lost lines broke recovery and exported as a `pmcheck`-shaped report.
+//! replays to the candidate's position, dedups by the replayer's rolling
+//! content hash (no image bytes are copied for states seen before), and
+//! boots the recovery oracle on memo misses → inconsistencies are blamed
+//! back onto the stores whose lost lines broke recovery and exported as a
+//! `pmcheck`-shaped report.
 //!
 //! Results are deterministic in `(trace, seed, budget)`: the candidate
 //! list is generated up front, a verdict is a pure function of the image
@@ -18,7 +19,7 @@ use crate::replay::Replayer;
 use crate::sample::{sample, Candidate};
 use crate::steal::StealQueue;
 use pmcheck::{Bug, BugKind, CheckReport, Checkpoint, Provenance};
-use pmem_sim::{CrashImage, PmMedia};
+use pmem_sim::PmMedia;
 use pmir::Module;
 use pmtrace::{DataLog, EventKind, Trace};
 use pmvm::{Vm, VmError, VmOptions};
@@ -63,6 +64,10 @@ pub struct ExploreOptions {
     /// the partial coverage. The unlimited default never cancels. (Named
     /// `cancel` because `budget` is the crash-state cap above.)
     pub cancel: pmtx::Budget,
+    /// Execution tier for the traced run and every recovery boot.
+    /// [`pmvm::ExecTier::Fast`] by default; results are tier-independent
+    /// (the differential tier gate holds the tiers byte-identical).
+    pub tier: pmvm::ExecTier,
 }
 
 impl Default for ExploreOptions {
@@ -78,6 +83,7 @@ impl Default for ExploreOptions {
             recovery_watchdog_ms: None,
             obs: pmobs::Obs::default(),
             cancel: pmtx::Budget::default(),
+            tier: pmvm::ExecTier::default(),
         }
     }
 }
@@ -244,25 +250,6 @@ impl ExploreReport {
     }
 }
 
-/// FNV-1a over every pool's identity and durable bytes.
-fn image_hash(img: &CrashImage) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-        }
-    };
-    for (hint, base, bytes) in img.iter() {
-        eat(&hint.to_le_bytes());
-        eat(&base.to_le_bytes());
-        eat(&(bytes.len() as u64).to_le_bytes());
-        eat(bytes);
-    }
-    h
-}
-
 /// Explores the crash states of one traced execution of `module`.
 /// `entry` is only used to derive the fallback oracle; the trace and data
 /// log drive everything else.
@@ -306,6 +293,9 @@ pub fn explore(
         .clone()
         .map(|p| Injector::with_obs(p, opts.obs.clone()));
 
+    // One decode of the program under test, shared by every worker's
+    // recovery boots (the fast tier would otherwise re-decode per boot).
+    let decoded = (opts.tier == pmvm::ExecTier::Fast).then(|| pmvm::DecodedModule::decode(module));
     std::thread::scope(|s| {
         for w in 0..jobs {
             let (queue, memo, found, faulted, candidates, fronts, oracle, injector, evaluated) = (
@@ -319,6 +309,7 @@ pub fn explore(
                 &injector,
                 &evaluated,
             );
+            let decoded = decoded.as_ref();
             let obs = opts.obs.clone();
             s.spawn(move || {
                 let _worker_span = obs.span("explore.worker");
@@ -359,8 +350,12 @@ pub fn explore(
                             let r = replayer.as_mut().expect("created above");
                             r.advance_to(c.after_seq);
                             at_seq = c.after_seq;
-                            let img = r.image_with(&c.lines);
-                            let h = image_hash(&img);
+                            // Hash the candidate from the rolling replayer
+                            // hash — O(persisted lines). The full image (a
+                            // copy of every pool's bytes) is materialized
+                            // only when the memo misses and a recovery boot
+                            // actually needs it.
+                            let h = r.hash_with(&c.lines);
 
                             let oracle_panic = injector.as_ref().is_some_and(|i| {
                                 matches!(
@@ -387,6 +382,7 @@ pub fn explore(
                             let verdict = match known {
                                 Some(v) => v,
                                 None => {
+                                    let img = r.image_with(&c.lines);
                                     let watchdog = if diverge {
                                         Some(opts.recovery_watchdog_ms.unwrap_or(250))
                                     } else {
@@ -414,6 +410,8 @@ pub fn explore(
                                             opts.max_recovery_steps,
                                             watchdog,
                                             fault,
+                                            opts.tier,
+                                            decoded,
                                         )
                                     }))
                                     .unwrap_or_else(|p| Verdict::OracleCrash {
@@ -646,6 +644,7 @@ pub fn run_and_explore(
         capture_pm_data: true,
         media: opts.initial_media.clone(),
         obs: opts.obs.clone(),
+        tier: opts.tier,
         ..VmOptions::default()
     };
     let res = {

@@ -34,8 +34,14 @@ impl Frontier {
 /// crash point, and the program end. Pool registrations change no durable
 /// state and get no frontier.
 pub fn frontiers(trace: &Trace, data: &DataLog, initial: Option<&PmMedia>) -> Vec<Frontier> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(trace.events.len());
     let mut r = Replayer::new(trace, data, initial);
+    // Consecutive frontiers usually share line sets (a store leaves the
+    // pending set alone; a flush leaves the dirty set alone). The replayer's
+    // generation counters say when a set last changed, so unchanged sets are
+    // cloned from the previous frontier instead of re-scanned and re-sorted.
+    let (mut dirty_gen, mut pending_gen) = (u64::MAX, u64::MAX);
+    let (mut last_dirty, mut last_pending): (Vec<u64>, Vec<u64>) = (vec![], vec![]);
     for e in &trace.events {
         r.advance_to(e.seq);
         match e.kind {
@@ -43,11 +49,21 @@ pub fn frontiers(trace: &Trace, data: &DataLog, initial: Option<&PmMedia>) -> Ve
             | EventKind::Flush { .. }
             | EventKind::Fence { .. }
             | EventKind::CrashPoint
-            | EventKind::ProgramEnd => out.push(Frontier {
-                after_seq: e.seq,
-                dirty: r.dirty_lines(),
-                pending: r.pending_lines(),
-            }),
+            | EventKind::ProgramEnd => {
+                if r.dirty_generation() != dirty_gen {
+                    dirty_gen = r.dirty_generation();
+                    last_dirty = r.dirty_lines();
+                }
+                if r.pending_generation() != pending_gen {
+                    pending_gen = r.pending_generation();
+                    last_pending = r.pending_lines();
+                }
+                out.push(Frontier {
+                    after_seq: e.seq,
+                    dirty: last_dirty.clone(),
+                    pending: last_pending.clone(),
+                });
+            }
             EventKind::RegisterPool { .. } => {}
         }
     }

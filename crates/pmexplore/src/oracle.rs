@@ -9,7 +9,7 @@
 
 use pmem_sim::CrashImage;
 use pmir::Module;
-use pmvm::{Ended, Vm, VmError, VmOptions};
+use pmvm::{Ended, ExecTier, Vm, VmError, VmOptions};
 use serde::{Deserialize, Serialize};
 
 /// What a recovery run must do for the crash state to count as consistent.
@@ -53,15 +53,29 @@ impl Oracle {
         }
     }
 
-    /// Boots `image` and judges the recovery run.
+    /// Boots `image` and judges the recovery run (default execution tier).
     pub fn check(&self, module: &Module, image: CrashImage, max_steps: u64) -> Verdict {
-        self.check_opts(module, image, max_steps, None, None)
+        self.check_opts(
+            module,
+            image,
+            max_steps,
+            None,
+            None,
+            ExecTier::default(),
+            None,
+        )
     }
 
-    /// [`Oracle::check`] with a wall-clock watchdog and/or a fault plan
-    /// armed on the recovery run. A watchdog firing (a diverging oracle) or
-    /// an invalid configuration is an [`Verdict::OracleCrash`] — the oracle
-    /// failed, which says nothing about the crash state's consistency.
+    /// [`Oracle::check`] with a wall-clock watchdog, a fault plan, and/or
+    /// an execution tier for the recovery run. A watchdog firing (a
+    /// diverging oracle) or an invalid configuration is an
+    /// [`Verdict::OracleCrash`] — the oracle failed, which says nothing
+    /// about the crash state's consistency.
+    ///
+    /// `decoded` optionally reuses a pre-decoded `module` across boots
+    /// (see [`Vm::run_prepared`]); exploration checks thousands of crash
+    /// states against one program, so decoding per boot is pure waste.
+    #[allow(clippy::too_many_arguments)]
     pub fn check_opts(
         &self,
         module: &Module,
@@ -69,16 +83,19 @@ impl Oracle {
         max_steps: u64,
         watchdog_ms: Option<u64>,
         fault: Option<pmfault::FaultPlan>,
+        tier: ExecTier,
+        decoded: Option<&pmvm::DecodedModule>,
     ) -> Verdict {
         let opts = VmOptions {
             trace: false,
             max_steps,
             watchdog_ms,
             fault,
+            tier,
             ..VmOptions::default()
         }
         .with_media(image.into_media());
-        match Vm::new(opts).run(module, &self.entry) {
+        match Vm::new(opts).run_prepared(module, &self.entry, decoded) {
             Err(VmError::Watchdog { limit_ms }) => Verdict::OracleCrash {
                 what: format!("recovery watchdog fired after {limit_ms}ms (diverging oracle)"),
             },
@@ -224,6 +241,8 @@ mod tests {
                 Trigger::Nth(0),
                 FaultKind::StuckLoop,
             )),
+            ExecTier::default(),
+            None,
         );
         match v {
             Verdict::OracleCrash { what } => assert!(what.contains("watchdog"), "{what}"),

@@ -10,9 +10,51 @@
 //! lines)` is then a copy of the durable bytes with the chosen dirty lines
 //! overlaid from the cache.
 
-use pmem_sim::{layout::line_of, CrashImage, PmMedia, CACHE_LINE};
+use pmem_sim::{layout::line_of, CrashImage, LineSet, PmMedia, CACHE_LINE};
 use pmtrace::{DataLog, Event, EventKind, Trace};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+
+/// `splitmix64` finalizer: a cheap full-avalanche bijection.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The hash term of one pool's identity (hint, base, byte length).
+#[inline]
+fn header_term(hint: u64, base: u64, len: u64) -> u64 {
+    mix64(mix64(hint ^ 0xa076_1d64_78bd_642f) ^ mix64(base).wrapping_add(mix64(len)))
+}
+
+/// The hash term of one cache line's content at `(hint, off)`.
+///
+/// Terms are XOR-combined into a commutative image hash, so each term must
+/// entangle position and content non-linearly: the content words are folded
+/// *multiplicatively* into a position-seeded state (FNV-style chaining).
+/// A plain `seed ^ content_hash` split would make swapping two lines'
+/// contents a guaranteed hash collision.
+#[inline]
+fn line_term(hint: u64, off: u64, bytes: &[u8]) -> u64 {
+    let mut h =
+        0x243f_6a88_85a3_08d3u64 ^ mix64(hint) ^ mix64(off.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rest.len()].copy_from_slice(rest);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
 
 /// One pool's replayed state.
 #[derive(Debug, Clone)]
@@ -32,8 +74,14 @@ pub struct Replayer<'t> {
     pools: BTreeMap<u64, PoolState>,
     /// Pool bases for address→pool lookup (base → hint).
     bases: BTreeMap<u64, u64>,
-    dirty: BTreeSet<u64>,
-    pending: BTreeSet<u64>,
+    dirty: LineSet,
+    pending: LineSet,
+    /// Rolling commutative hash of the *durable* image: the XOR of one
+    /// [`header_term`] per pool and one [`line_term`] per durable cache
+    /// line. Maintained incrementally at pool registration and line
+    /// write-back, so [`Replayer::hash_with`] prices a crash candidate in
+    /// O(|persisted|) line terms instead of re-hashing every pool byte.
+    acc: u64,
 }
 
 impl<'t> Replayer<'t> {
@@ -46,8 +94,9 @@ impl<'t> Replayer<'t> {
             pos: 0,
             pools: BTreeMap::new(),
             bases: BTreeMap::new(),
-            dirty: BTreeSet::new(),
-            pending: BTreeSet::new(),
+            dirty: LineSet::new(),
+            pending: LineSet::new(),
+            acc: 0,
         };
         if let Some(media) = initial {
             for (hint, p) in media.iter() {
@@ -58,6 +107,10 @@ impl<'t> Replayer<'t> {
     }
 
     fn insert_pool(&mut self, hint: u64, base: u64, durable: Vec<u8>) {
+        self.acc ^= header_term(hint, base, durable.len() as u64);
+        for (i, line) in durable.chunks(CACHE_LINE as usize).enumerate() {
+            self.acc ^= line_term(hint, (i * CACHE_LINE as usize) as u64, line);
+        }
         let cache = durable.clone();
         self.bases.insert(base, hint);
         self.pools.insert(
@@ -89,9 +142,11 @@ impl<'t> Replayer<'t> {
             let p = self.pools.get_mut(&hint).expect("located");
             let end = (off + CACHE_LINE as usize).min(p.cache.len());
             let (durable, cache) = (&mut p.durable, &p.cache);
+            self.acc ^= line_term(hint, off as u64, &durable[off..end]);
             durable[off..end].copy_from_slice(&cache[off..end]);
+            self.acc ^= line_term(hint, off as u64, &durable[off..end]);
         }
-        self.dirty.remove(&line);
+        self.dirty.remove(line);
     }
 
     fn apply(&mut self, i: usize) {
@@ -116,7 +171,7 @@ impl<'t> Replayer<'t> {
             }
             EventKind::Flush { kind, addr } => {
                 let line = line_of(*addr);
-                if !self.dirty.contains(&line) {
+                if !self.dirty.contains(line) {
                     return;
                 }
                 if kind.is_weakly_ordered() {
@@ -126,7 +181,7 @@ impl<'t> Replayer<'t> {
                 }
             }
             EventKind::Fence { .. } => {
-                for line in std::mem::take(&mut self.pending) {
+                for line in self.pending.take_sorted() {
                     self.write_back_line(line);
                 }
             }
@@ -135,11 +190,7 @@ impl<'t> Replayer<'t> {
     }
 
     fn mark_dirty(&mut self, addr: u64, len: u64) {
-        let mut line = line_of(addr);
-        while line < addr + len.max(1) {
-            self.dirty.insert(line);
-            line += CACHE_LINE;
-        }
+        self.dirty.insert_range(addr, len.max(1));
     }
 
     fn write_cache(&mut self, addr: u64, bytes: &[u8]) {
@@ -165,17 +216,56 @@ impl<'t> Replayer<'t> {
 
     /// Dirty (not-yet-durable) PM lines at the current position, ascending.
     pub fn dirty_lines(&self) -> Vec<u64> {
-        self.dirty.iter().copied().collect()
+        self.dirty.sorted()
     }
 
     /// Pending (flushed-but-unfenced) PM lines at the current position.
     pub fn pending_lines(&self) -> Vec<u64> {
-        self.pending.iter().copied().collect()
+        self.pending.sorted()
+    }
+
+    /// Generation counter of the dirty set — advances exactly when
+    /// [`Replayer::dirty_lines`] would change. See [`LineSet::generation`].
+    pub fn dirty_generation(&self) -> u64 {
+        self.dirty.generation()
+    }
+
+    /// Generation counter of the pending set.
+    pub fn pending_generation(&self) -> u64 {
+        self.pending.generation()
     }
 
     /// Whether `line` is pending at the current position.
     pub fn is_pending(&self, line: u64) -> bool {
-        self.pending.contains(&line)
+        self.pending.contains(line)
+    }
+
+    /// The content hash of the crash image [`Replayer::image_with`] would
+    /// build for `persisted` — computed in O(|persisted|) line terms from
+    /// the rolling durable hash, **without materializing the image**. Equal
+    /// images always hash equal, so this is a sound memoization/dedup key;
+    /// exploration only pays for the byte copy on a memo miss. `persisted`
+    /// must be ascending (candidate line lists are); duplicates are
+    /// ignored, as are non-dirty and unmapped entries, mirroring
+    /// [`Replayer::image_with`].
+    pub fn hash_with(&self, persisted: &[u64]) -> u64 {
+        let mut h = self.acc;
+        let mut prev = None;
+        for &line in persisted {
+            if prev == Some(line) || !self.dirty.contains(line) {
+                continue;
+            }
+            prev = Some(line);
+            if let Some((hint, off)) = self.locate(line) {
+                let p = &self.pools[&hint];
+                let end = (off + CACHE_LINE as usize).min(p.cache.len());
+                // Persisting the line replaces its durable bytes with the
+                // cache bytes: swap the line's term in the XOR accumulator.
+                h ^= line_term(hint, off as u64, &p.durable[off..end]);
+                h ^= line_term(hint, off as u64, &p.cache[off..end]);
+            }
+        }
+        h
     }
 
     /// Materializes the crash image for "the machine died here and exactly
@@ -188,7 +278,7 @@ impl<'t> Replayer<'t> {
             .map(|(&hint, p)| (hint, (p.base, p.durable.clone())))
             .collect();
         for &line in persisted {
-            if !self.dirty.contains(&line) {
+            if !self.dirty.contains(line) {
                 continue;
             }
             if let Some((hint, off)) = self.locate(line) {
@@ -272,6 +362,78 @@ mod tests {
                 e.seq
             );
         }
+    }
+
+    #[test]
+    fn hash_with_agrees_with_materialized_images() {
+        // The rolling hash must be a pure function of image content: at
+        // every position and for every tried subset, equal materialized
+        // images hash equal — and (for this data) distinct images hash
+        // distinct, so dedup neither merges real states nor splits one.
+        let src = r#"
+            fn main() {
+                var p: ptr = pmem_map(5, 4096);
+                var q: ptr = pmem_map(9, 4096);
+                store8(p, 0, 17);
+                clwb(p);
+                store8(q, 64, 29);
+                sfence();
+                store8(p, 128, 43);
+                clflush(p + 128);
+                store8(q, 192, 51);
+            }
+        "#;
+        let (_, res) = run(src);
+        let trace = res.trace.as_ref().unwrap();
+        let data = res.pm_data.as_ref().unwrap();
+        let mut seen: Vec<(CrashImage, u64)> = vec![];
+        let mut r = Replayer::new(trace, data, None);
+        for e in &trace.events {
+            r.advance_to(e.seq);
+            let dirty = r.dirty_lines();
+            let mut subsets: Vec<Vec<u64>> = vec![vec![], dirty.clone()];
+            subsets.extend(dirty.iter().map(|&l| vec![l]));
+            for sub in subsets {
+                let img = r.image_with(&sub);
+                let h = r.hash_with(&sub);
+                for (other, oh) in &seen {
+                    assert_eq!(
+                        *other == img,
+                        *oh == h,
+                        "hash/image disagreement after event {} with {sub:?}",
+                        e.seq
+                    );
+                }
+                seen.push((img, h));
+            }
+        }
+        assert!(seen.len() > 20, "the sweep must actually cover states");
+    }
+
+    #[test]
+    fn swapped_line_contents_hash_differently() {
+        // Commutative XOR accumulation must not cancel when two lines trade
+        // contents — the classic weakness of position⊕content term splits.
+        let img_for = |a: i64, b: i64| {
+            let src = format!(
+                "fn main() {{
+                    var p: ptr = pmem_map(3, 4096);
+                    store8(p, 0, {a});
+                    store8(p, 64, {b});
+                }}"
+            );
+            let (_, res) = run(&src);
+            let trace = res.trace.as_ref().unwrap();
+            let data = res.pm_data.as_ref().unwrap();
+            let mut r = Replayer::new(trace, data, None);
+            r.advance_to(u64::MAX);
+            let all = r.dirty_lines();
+            (r.image_with(&all), r.hash_with(&all))
+        };
+        let (i1, h1) = img_for(7, 11);
+        let (i2, h2) = img_for(11, 7);
+        assert_ne!(i1, i2);
+        assert_ne!(h1, h2, "swapped line contents must not collide");
     }
 
     #[test]

@@ -58,30 +58,20 @@ pub fn sample(frontiers: &[Frontier], budget: usize, seed: u64) -> Vec<Candidate
     let mut all: Vec<Candidate> = Vec::new();
     for (fi, f) in frontiers.iter().enumerate() {
         let n = f.dirty.len();
-        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
-        let mut push = |lines: Vec<u64>, all: &mut Vec<Candidate>| {
-            let priority = if lines.is_empty() {
-                Priority::Adversarial
-            } else if lines.len() == n {
-                Priority::Full
-            } else {
-                Priority::Partial
-            };
-            if seen.insert(lines.clone()) {
-                all.push(Candidate {
-                    frontier: fi,
-                    after_seq: f.after_seq,
-                    lines,
-                    priority,
-                });
-            }
+        let mk = |lines: Vec<u64>, priority: Priority| Candidate {
+            frontier: fi,
+            after_seq: f.after_seq,
+            lines,
+            priority,
         };
-        push(vec![], &mut all);
+        all.push(mk(vec![], Priority::Adversarial));
         if n == 0 {
             continue;
         }
-        push(f.dirty.clone(), &mut all);
+        all.push(mk(f.dirty.clone(), Priority::Full));
         if n <= EXHAUSTIVE_LINES {
+            // ∅, the full set, and the proper-subset masks below are
+            // pairwise distinct by construction — no dedup bookkeeping.
             for mask in 1..(1u64 << n) - 1 {
                 let lines: Vec<u64> = f
                     .dirty
@@ -90,14 +80,22 @@ pub fn sample(frontiers: &[Frontier], budget: usize, seed: u64) -> Vec<Candidate
                     .filter(|(i, _)| mask & (1 << i) != 0)
                     .map(|(_, &l)| l)
                     .collect();
-                push(lines, &mut all);
+                all.push(mk(lines, Priority::Partial));
             }
         } else {
+            // Only random extras can collide (with ∅/full/singletons/
+            // co-singletons or each other), so the dedup set is seeded
+            // with everything pushed so far and consulted from here on.
+            let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+            seen.insert(vec![]);
+            seen.insert(f.dirty.clone());
             for i in 0..n {
-                push(vec![f.dirty[i]], &mut all);
+                all.push(mk(vec![f.dirty[i]], Priority::Partial));
+                seen.insert(vec![f.dirty[i]]);
                 let mut co: Vec<u64> = f.dirty.clone();
                 co.remove(i);
-                push(co, &mut all);
+                seen.insert(co.clone());
+                all.push(mk(co, Priority::Partial));
             }
             for _ in 0..RANDOM_EXTRAS {
                 let lines: Vec<u64> = f
@@ -106,7 +104,16 @@ pub fn sample(frontiers: &[Frontier], budget: usize, seed: u64) -> Vec<Candidate
                     .copied()
                     .filter(|_| rng.random::<u64>() & 1 == 1)
                     .collect();
-                push(lines, &mut all);
+                if seen.insert(lines.clone()) {
+                    let priority = if lines.is_empty() {
+                        Priority::Adversarial
+                    } else if lines.len() == n {
+                        Priority::Full
+                    } else {
+                        Priority::Partial
+                    };
+                    all.push(mk(lines, priority));
+                }
             }
         }
     }

@@ -36,6 +36,9 @@ pub struct OptimizeOptions {
     pub max_rounds: usize,
     /// Observability handle for `opt.*` counters and spans.
     pub obs: pmobs::Obs,
+    /// Execution tier for re-verification runs (tiers are
+    /// result-identical; this only changes how fast verification goes).
+    pub tier: pmvm::ExecTier,
 }
 
 impl Default for OptimizeOptions {
@@ -47,6 +50,7 @@ impl Default for OptimizeOptions {
             explore_jobs: 1,
             max_rounds: 4,
             obs: pmobs::Obs::default(),
+            tier: pmvm::ExecTier::default(),
         }
     }
 }
@@ -187,13 +191,18 @@ fn observe(
     m: &Module,
     opts: &OptimizeOptions,
 ) -> Result<(Vec<i64>, BTreeMap<String, u32>), String> {
-    let checked = pmcheck::run_and_check(m, &opts.entry, VmOptions::default())
-        .map_err(|e| format!("run failed: {e}"))?;
+    let vm_opts = VmOptions {
+        tier: opts.tier,
+        ..VmOptions::default()
+    };
+    let checked =
+        pmcheck::run_and_check(m, &opts.entry, vm_opts).map_err(|e| format!("run failed: {e}"))?;
     let x_opts = pmexplore::ExploreOptions {
         budget: opts.explore_budget,
         seed: opts.explore_seed,
         jobs: opts.explore_jobs,
         obs: opts.obs.clone(),
+        tier: opts.tier,
         ..Default::default()
     };
     let x = pmexplore::run_and_explore(m, &opts.entry, &x_opts)

@@ -1,0 +1,831 @@
+//! The fast execution tier: direct-threaded dispatch over a
+//! [`DecodedModule`].
+//!
+//! Semantics are **identical** to the reference interpreter
+//! ([`crate::interp`]) — same traces, same machine state, same errors and
+//! stats — but the per-step work is a pc-indexed fetch from a flat op array
+//! with pre-resolved operands: no block/inst arena walks, no operand
+//! `match` on IR enums, no `HashMap` probes, and no allocation on the
+//! untraced path.
+//!
+//! Tracing is abstracted behind [`EventSink`], a compile-time switch: the
+//! run loop is monomorphized once over [`TraceSink`] (tracing on) and once
+//! over [`NullSink`]. With the null sink, event emission — including the
+//! stack capture and its per-event allocations — compiles away entirely,
+//! which is what makes recovery-oracle boots during crash-state exploration
+//! nearly free.
+
+use crate::decode::{DecOp, DecodedFunc, DecodedModule, OpMeta, Src, NO_DST};
+use crate::options::VmOptions;
+use crate::result::{Ended, RunResult, VmError};
+use pmem_sim::{layout, Machine};
+use pmir::{FuncId, Module};
+use pmtrace::{DataLog, Event, EventKind, IrRef, Trace, TraceLoc};
+
+/// Compile-time tracing switch for the fast tier's run loop.
+pub(crate) trait EventSink {
+    /// Whether events are recorded at all. `false` makes every emission
+    /// site compile away.
+    const ENABLED: bool;
+    fn push(&mut self, ev: Event);
+    fn into_trace(self) -> Option<Trace>;
+}
+
+/// Tracing disabled: all event work is dead code.
+pub(crate) struct NullSink;
+
+impl EventSink for NullSink {
+    const ENABLED: bool = false;
+    fn push(&mut self, _ev: Event) {}
+    fn into_trace(self) -> Option<Trace> {
+        None
+    }
+}
+
+/// Tracing enabled: events accumulate into a [`Trace`].
+pub(crate) struct TraceSink(Trace);
+
+impl EventSink for TraceSink {
+    const ENABLED: bool = true;
+    fn push(&mut self, ev: Event) {
+        self.0.push(ev);
+    }
+    fn into_trace(self) -> Option<Trace> {
+        Some(self.0)
+    }
+}
+
+/// Runs `entry` on the fast tier. Called by [`crate::Vm::run`] after option
+/// validation and machine/injector setup (shared with the interpreter).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    module: &Module,
+    entry: FuncId,
+    opts: &VmOptions,
+    machine: Machine,
+    injector: Option<pmfault::Injector>,
+    fuel: u64,
+    deadline: Option<std::time::Instant>,
+    decoded: Option<&DecodedModule>,
+) -> Result<RunResult, VmError> {
+    let owned;
+    let decoded = match decoded {
+        Some(d) => d,
+        None => {
+            owned = DecodedModule::decode(module);
+            &owned
+        }
+    };
+    if opts.trace {
+        // Traces run to thousands of events; growing from empty pays a
+        // dozen reallocations that each memmove the whole log.
+        let mut t = Trace::new();
+        t.events.reserve(1024);
+        go(
+            module,
+            decoded,
+            entry,
+            opts,
+            machine,
+            injector,
+            fuel,
+            deadline,
+            TraceSink(t),
+        )
+    } else {
+        go(
+            module, decoded, entry, opts, machine, injector, fuel, deadline, NullSink,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn go<S: EventSink>(
+    module: &Module,
+    decoded: &DecodedModule,
+    entry: FuncId,
+    opts: &VmOptions,
+    machine: Machine,
+    injector: Option<pmfault::Injector>,
+    fuel: u64,
+    deadline: Option<std::time::Instant>,
+    sink: S,
+) -> Result<RunResult, VmError> {
+    let mut exec = FastExec {
+        module,
+        decoded,
+        machine,
+        frames: Vec::with_capacity(16),
+        vals: Vec::with_capacity(256),
+        globals: Vec::new(),
+        output: vec![],
+        sink,
+        pm_data: opts.capture_pm_data.then(|| {
+            let mut d = DataLog::new();
+            d.records.reserve(256);
+            d
+        }),
+        steps: 0,
+        seq: 0,
+        crash_points: 0,
+        pm_stores_seen: 0,
+        fuel,
+        deadline,
+        injector,
+        opts,
+    };
+    exec.install_globals()?;
+    exec.push_call(entry.0);
+    let (ended, return_value) = exec.run_loop()?;
+    if ended == Ended::Returned {
+        exec.emit(EventKind::ProgramEnd, None);
+    }
+    crate::interp::record_run_obs(
+        opts,
+        exec.steps,
+        exec.machine.stats(),
+        exec.fuel,
+        &exec.injector,
+    );
+    Ok(RunResult {
+        output: exec.output,
+        return_value,
+        ended,
+        stats: *exec.machine.stats(),
+        trace: exec.sink.into_trace(),
+        pm_data: exec.pm_data,
+        machine: exec.machine,
+        steps: exec.steps,
+    })
+}
+
+/// One activation record: the function, its pc, and the base of its value
+/// window in the shared slot stack.
+struct FastFrame {
+    func: u32,
+    pc: u32,
+    base: u32,
+}
+
+struct FastExec<'m, 'o, S: EventSink> {
+    module: &'m Module,
+    decoded: &'m DecodedModule,
+    machine: Machine,
+    frames: Vec<FastFrame>,
+    /// Value slots for every live frame, contiguously — a call extends it,
+    /// a return truncates it. No per-call allocation once warm.
+    vals: Vec<Option<i64>>,
+    /// Dense global address table, indexed by `GlobalId.0`.
+    globals: Vec<u64>,
+    output: Vec<i64>,
+    sink: S,
+    pm_data: Option<DataLog>,
+    steps: u64,
+    seq: u64,
+    crash_points: u64,
+    pm_stores_seen: u64,
+    fuel: u64,
+    deadline: Option<std::time::Instant>,
+    injector: Option<pmfault::Injector>,
+    opts: &'o VmOptions,
+}
+
+impl<S: EventSink> FastExec<'_, '_, S> {
+    fn install_globals(&mut self) -> Result<(), VmError> {
+        for (_, g) in self.module.globals() {
+            let addr = self.machine.add_global(g.size, &g.init)?;
+            self.globals.push(addr);
+        }
+        Ok(())
+    }
+
+    fn push_call(&mut self, func: u32) {
+        let df = &self.decoded.funcs[func as usize];
+        let base = self.vals.len() as u32;
+        self.vals
+            .resize(self.vals.len() + df.n_values as usize, None);
+        for slot in &mut self.vals[base as usize..(base + df.n_params) as usize] {
+            *slot = Some(0);
+        }
+        self.machine.push_frame();
+        self.frames.push(FastFrame {
+            func,
+            pc: df.entry_pc,
+            base,
+        });
+    }
+
+    fn cur_func_name(&self) -> String {
+        self.frames
+            .last()
+            .map(|f| self.decoded.funcs[f.func as usize].name.clone())
+            .unwrap_or_default()
+    }
+
+    #[inline(always)]
+    fn read(&self, base: u32, s: Src) -> Result<i64, VmError> {
+        match s {
+            Src::Const(c) => Ok(c),
+            Src::Slot(n) => self.vals[(base + n) as usize].ok_or_else(|| VmError::UndefinedValue {
+                function: self.cur_func_name(),
+            }),
+        }
+    }
+
+    #[inline(always)]
+    fn write(&mut self, base: u32, dst: u32, v: i64) {
+        if dst != NO_DST {
+            self.vals[(base + dst) as usize] = Some(v);
+        }
+    }
+
+    fn trace_loc(&self, loc: Option<pmir::SrcLoc>) -> Option<TraceLoc> {
+        loc.map(|l| TraceLoc {
+            file: self.module.file_name(l.file).to_string(),
+            line: l.line,
+            col: l.col,
+        })
+    }
+
+    /// Captures the current call stack, innermost first (cold: only called
+    /// from emission sites, which the null sink compiles away).
+    fn capture_stack(&self) -> Vec<pmtrace::Frame> {
+        let mut out = Vec::with_capacity(self.frames.len());
+        for (depth, fr) in self.frames.iter().enumerate().rev() {
+            let df = &self.decoded.funcs[fr.func as usize];
+            let innermost = depth == self.frames.len() - 1;
+            let (call_inst, loc) = if innermost {
+                (None, None)
+            } else {
+                // This frame is suspended at its call op.
+                let m = &df.meta[fr.pc as usize];
+                (Some(m.inst), self.trace_loc(m.loc))
+            };
+            out.push(pmtrace::Frame {
+                function: df.name.clone(),
+                call_inst,
+                loc,
+            });
+        }
+        out
+    }
+
+    fn emit(&mut self, kind: EventKind, at: Option<&OpMeta>) -> Option<u64> {
+        if !S::ENABLED {
+            return None;
+        }
+        let stack = self.capture_stack();
+        let (at, loc) = match at {
+            Some(m) => (
+                Some(IrRef {
+                    function: self.cur_func_name(),
+                    inst: m.inst,
+                }),
+                self.trace_loc(m.loc),
+            ),
+            None => (None, None),
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.sink.push(Event {
+            seq,
+            kind,
+            at,
+            loc,
+            stack,
+        });
+        Some(seq)
+    }
+
+    /// Records the post-store cache bytes of a PM write into the data log.
+    fn capture_pm_write(&mut self, seq: Option<u64>, addr: u64, len: u64) {
+        if !S::ENABLED {
+            return;
+        }
+        let (Some(seq), Some(_)) = (seq, self.pm_data.as_ref()) else {
+            return;
+        };
+        let bytes = self.machine.peek(addr, len).unwrap_or_default();
+        self.pm_data
+            .as_mut()
+            .expect("checked")
+            .push(seq, addr, bytes);
+    }
+
+    fn after_pm_store(&mut self, addr: u64) {
+        self.pm_stores_seen += 1;
+        if let Some(k) = self.opts.evict_period {
+            if k > 0 && self.pm_stores_seen.is_multiple_of(k) {
+                self.machine.evict(addr);
+            }
+        }
+    }
+
+    fn check_watchdog(&self) -> Result<(), VmError> {
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(VmError::Watchdog {
+                    limit_ms: self.opts.watchdog_ms.unwrap_or(0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// An injected divergence: spin until the watchdog fires (validated
+    /// armed whenever a stuck-loop fault is planned).
+    fn stuck_loop(&self) -> Result<(Ended, Option<i64>), VmError> {
+        loop {
+            self.check_watchdog()?;
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<(Ended, Option<i64>), VmError> {
+        let mut last_ret: Option<i64> = None;
+        while let Some(frame) = self.frames.last() {
+            // `stop_at_event`: the previous op emitted event `n` and
+            // completed; crash here, before the next op runs.
+            if let Some(n) = self.opts.stop_at_event {
+                if self.seq > n {
+                    return Ok((Ended::AtEvent(n), None));
+                }
+            }
+            self.steps += 1;
+            if self.steps > self.fuel {
+                return Err(VmError::FuelExhausted { limit: self.fuel });
+            }
+            // Wall-clock watchdog on a coarse stride: no syscalls in the
+            // hot loop.
+            if self.steps & 0x3FF == 0 {
+                self.check_watchdog()?;
+            }
+            if self.injector.is_some() {
+                if let Some(pmfault::FaultKind::StuckLoop) = self
+                    .injector
+                    .as_mut()
+                    .and_then(|i| i.fire(pmfault::FaultSite::VmDiverge))
+                {
+                    return self.stuck_loop();
+                }
+            }
+            let func = frame.func;
+            let pc = frame.pc;
+            let base = frame.base;
+            // Copy the decoded-module reference out of `self` so the op
+            // borrow is tied to 'm rather than to `self` — the dispatch
+            // below calls &mut self methods while holding `op`.
+            let decoded = self.decoded;
+            let df: &DecodedFunc = &decoded.funcs[func as usize];
+            self.machine.charge_inst();
+
+            let op: &DecOp = &df.ops[pc as usize];
+            match op {
+                DecOp::Bin { op, a, b, dst } => {
+                    let (a, b) = (self.read(base, *a)?, self.read(base, *b)?);
+                    let r = op.eval(a, b).ok_or_else(|| VmError::DivisionByZero {
+                        function: self.cur_func_name(),
+                    })?;
+                    self.write(base, *dst, r);
+                    self.advance();
+                }
+                DecOp::Cmp { pred, a, b, dst } => {
+                    let r = pred.eval(self.read(base, *a)?, self.read(base, *b)?);
+                    self.write(base, *dst, r);
+                    self.advance();
+                }
+                DecOp::Alloca { size, dst } => {
+                    let addr = self.machine.stack_alloc(*size)?;
+                    self.write(base, *dst, addr as i64);
+                    self.advance();
+                }
+                DecOp::HeapAlloc { size, dst } => {
+                    let size = self.read(base, *size)? as u64;
+                    let addr = self.machine.heap_alloc(size)?;
+                    self.write(base, *dst, addr as i64);
+                    self.advance();
+                }
+                DecOp::HeapFree { ptr } => {
+                    let addr = self.read(base, *ptr)? as u64;
+                    self.machine.heap_free(addr)?;
+                    self.advance();
+                }
+                DecOp::PmemMap {
+                    size,
+                    pool_hint,
+                    dst,
+                } => {
+                    let pool_hint = *pool_hint;
+                    let dst = *dst;
+                    let size = self.read(base, *size)? as u64;
+                    let pm_base = self.machine.map_pool(pool_hint, size)?;
+                    self.write(base, dst, pm_base as i64);
+                    let meta = &df.meta[pc as usize];
+                    self.emit(
+                        EventKind::RegisterPool {
+                            hint: pool_hint,
+                            base: pm_base,
+                            size,
+                        },
+                        Some(meta),
+                    );
+                    self.advance();
+                }
+                DecOp::Gep {
+                    base: b0,
+                    offset,
+                    dst,
+                } => {
+                    let r = (self.read(base, *b0)? as u64)
+                        .wrapping_add(self.read(base, *offset)? as u64);
+                    self.write(base, *dst, r as i64);
+                    self.advance();
+                }
+                DecOp::Load { width, addr, dst } => {
+                    let a = self.read(base, *addr)? as u64;
+                    let v = self.machine.load_int(a, *width)?;
+                    self.write(base, *dst, v);
+                    self.advance();
+                }
+                DecOp::Store { width, addr, value } => {
+                    let width = *width;
+                    let a = self.read(base, *addr)? as u64;
+                    let v = self.read(base, *value)?;
+                    self.machine.store_int(a, width, v)?;
+                    if layout::is_pm_addr(a) {
+                        let seq = self.emit(
+                            EventKind::Store {
+                                addr: a,
+                                len: width as u64,
+                            },
+                            Some(&df.meta[pc as usize]),
+                        );
+                        self.capture_pm_write(seq, a, width as u64);
+                        self.after_pm_store(a);
+                    }
+                    self.advance();
+                }
+                DecOp::Memcpy { dst_addr, src, len } => {
+                    let d = self.read(base, *dst_addr)? as u64;
+                    let s = self.read(base, *src)? as u64;
+                    let n = self.read(base, *len)? as u64;
+                    self.machine.memcpy(d, s, n)?;
+                    if n > 0 && layout::is_pm_addr(d) {
+                        let seq = self.emit(
+                            EventKind::Store { addr: d, len: n },
+                            Some(&df.meta[pc as usize]),
+                        );
+                        self.capture_pm_write(seq, d, n);
+                        self.after_pm_store(d);
+                    }
+                    self.advance();
+                }
+                DecOp::Memset { dst_addr, val, len } => {
+                    let d = self.read(base, *dst_addr)? as u64;
+                    let v = self.read(base, *val)? as u8;
+                    let n = self.read(base, *len)? as u64;
+                    self.machine.memset(d, v, n)?;
+                    if n > 0 && layout::is_pm_addr(d) {
+                        let seq = self.emit(
+                            EventKind::Store { addr: d, len: n },
+                            Some(&df.meta[pc as usize]),
+                        );
+                        self.capture_pm_write(seq, d, n);
+                        self.after_pm_store(d);
+                    }
+                    self.advance();
+                }
+                DecOp::Flush { sim, trace, addr } => {
+                    let (sim, trace) = (*sim, *trace);
+                    let a = self.read(base, *addr)? as u64;
+                    self.machine.flush(sim, a)?;
+                    if layout::is_pm_addr(a) {
+                        self.emit(
+                            EventKind::Flush {
+                                kind: trace,
+                                addr: a,
+                            },
+                            Some(&df.meta[pc as usize]),
+                        );
+                    }
+                    self.advance();
+                }
+                DecOp::Fence { sim, trace } => {
+                    let (sim, trace) = (*sim, *trace);
+                    self.machine.fence(sim);
+                    self.emit(
+                        EventKind::Fence { kind: trace },
+                        Some(&df.meta[pc as usize]),
+                    );
+                    self.advance();
+                }
+                DecOp::Call {
+                    callee,
+                    args,
+                    dst: _,
+                } => {
+                    let callee = *callee;
+                    // Arguments are read from the caller's window *before*
+                    // the callee's window is pushed (the push may
+                    // reallocate `vals`).
+                    let argc = args.len();
+                    let mut argv = [0i64; 8];
+                    let mut spill: Vec<i64> = Vec::new();
+                    if argc <= 8 {
+                        for (i, &a) in args.iter().enumerate() {
+                            argv[i] = self.read(base, a)?;
+                        }
+                    } else {
+                        spill.reserve(argc);
+                        for &a in args.iter() {
+                            spill.push(self.read(base, a)?);
+                        }
+                    }
+                    self.machine.charge_call();
+                    self.push_call(callee);
+                    let nb = self.frames.last().expect("just pushed").base as usize;
+                    let src: &[i64] = if argc <= 8 { &argv[..argc] } else { &spill };
+                    for (i, &v) in src.iter().enumerate() {
+                        self.vals[nb + i] = Some(v);
+                    }
+                }
+                DecOp::Ret { value } => {
+                    let v = match value {
+                        Some(v) => Some(self.read(base, *v)?),
+                        None => None,
+                    };
+                    self.machine.pop_frame();
+                    let done = self.frames.pop().expect("active frame");
+                    self.vals.truncate(done.base as usize);
+                    last_ret = v;
+                    if let Some(caller) = self.frames.last() {
+                        let (cf, cpc, cb) = (caller.func, caller.pc, caller.base);
+                        let cdf = &decoded.funcs[cf as usize];
+                        if let DecOp::Call { dst, .. } = &cdf.ops[cpc as usize] {
+                            if let Some(v) = v {
+                                self.write(cb, *dst, v);
+                            }
+                        }
+                        self.advance();
+                    }
+                }
+                DecOp::Br { target } => {
+                    let target = *target;
+                    self.frames.last_mut().expect("active").pc = target;
+                }
+                DecOp::CondBr {
+                    cond,
+                    then_pc,
+                    else_pc,
+                } => {
+                    let (then_pc, else_pc) = (*then_pc, *else_pc);
+                    let c = self.read(base, *cond)?;
+                    self.frames.last_mut().expect("active").pc =
+                        if c != 0 { then_pc } else { else_pc };
+                }
+                DecOp::GlobalAddr { global, dst } => {
+                    let addr = self.globals[*global as usize];
+                    self.write(base, *dst, addr as i64);
+                    self.advance();
+                }
+                DecOp::Print { value } => {
+                    let v = self.read(base, *value)?;
+                    self.output.push(v);
+                    self.advance();
+                }
+                DecOp::CrashPoint => {
+                    self.crash_points += 1;
+                    self.emit(EventKind::CrashPoint, Some(&df.meta[pc as usize]));
+                    if self.opts.stop_at_crash_point == Some(self.crash_points) {
+                        return Ok((Ended::CrashPoint(self.crash_points), None));
+                    }
+                    self.advance();
+                }
+                DecOp::Abort { code } => {
+                    return Ok((Ended::Aborted(*code), None));
+                }
+                DecOp::TrapFallthrough => {
+                    // Matches the interpreter's behavior on malformed IR: it
+                    // panics indexing past the block's instruction list.
+                    panic!(
+                        "control fell off the end of a block in `{}` (malformed IR)",
+                        df.name
+                    );
+                }
+            }
+        }
+        Ok((Ended::Returned, last_ret))
+    }
+
+    #[inline(always)]
+    fn advance(&mut self) {
+        self.frames.last_mut().expect("active frame").pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::options::ExecTier;
+    use crate::{Vm, VmOptions};
+    use pmir::{BinOp, CmpPred, FenceKind, FlushKind, FunctionBuilder, Module, Operand, Type};
+
+    /// A module exercising every op family: arithmetic, control flow,
+    /// calls/recursion, globals, heap, PM stores/memops/flushes/fences,
+    /// crash points, and source locations.
+    fn kitchen_sink() -> Module {
+        let mut m = Module::new();
+        let file = m.intern_file("sink.pmc");
+        let g = m.add_global("seed", 16, b"abcdefgh".to_vec());
+        let fib = m.declare_function("fib", vec![Type::int(8)], Type::int(8));
+        {
+            let mut b = FunctionBuilder::new(&mut m, fib);
+            let e = b.entry_block();
+            let rec = b.new_block("rec");
+            let base = b.new_block("base");
+            b.switch_to(e);
+            let n = b.arg(0);
+            let c = b.cmp(CmpPred::SLt, n, 2i64);
+            b.cond_br(c, base, rec);
+            b.switch_to(base);
+            b.ret(Some(Operand::Value(n)));
+            b.switch_to(rec);
+            let n1 = b.bin(BinOp::Sub, n, 1i64);
+            let n2 = b.bin(BinOp::Sub, n, 2i64);
+            let a = b.call(fib, vec![Operand::Value(n1)]).unwrap();
+            let bb = b.call(fib, vec![Operand::Value(n2)]).unwrap();
+            let s = b.bin(BinOp::Add, a, bb);
+            b.ret(Some(Operand::Value(s)));
+            b.finish();
+        }
+        let touch = m.declare_function("touch", vec![Type::Ptr], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, touch);
+            let e = b.entry_block();
+            b.switch_to(e);
+            b.set_loc(pmir::SrcLoc::line(file, 7));
+            let p = b.arg(0);
+            b.store(Type::int(8), p, 0x1122334455667788i64);
+            b.flush(FlushKind::Clwb, p);
+            b.fence(FenceKind::Sfence);
+            b.ret(None);
+            b.finish();
+        }
+        let f = m.declare_function("main", vec![], Type::int(8));
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        b.set_loc(pmir::SrcLoc::line(file, 30));
+        let pool = b.pmem_map(4096i64, 0);
+        let ga = b.global_addr(g);
+        b.memcpy(pool, ga, 8i64);
+        let off = b.gep(pool, 64i64);
+        b.call(touch, vec![Operand::Value(off)]);
+        b.memset(pool, 0x5ai64, 4i64);
+        b.flush(FlushKind::Clflush, pool);
+        b.crash_point();
+        let h = b.heap_alloc(64i64);
+        b.store(Type::int(8), h, 7i64);
+        let hv = b.load(Type::int(8), h);
+        b.heap_free(h);
+        let slot = b.alloca(8);
+        b.store(Type::int(8), slot, 0i64);
+        let fv = b.call(fib, vec![Operand::Const(9)]).unwrap();
+        b.print(fv);
+        b.print(hv);
+        let r = b.bin(BinOp::Add, fv, hv);
+        b.fence(FenceKind::Mfence);
+        b.ret(Some(Operand::Value(r)));
+        b.finish();
+        m
+    }
+
+    fn run_tier(m: &Module, opts: VmOptions, tier: ExecTier) -> crate::RunResult {
+        Vm::new(opts.with_tier(tier)).run(m, "main").unwrap()
+    }
+
+    /// The strictest comparison: both tiers must agree on every observable.
+    fn assert_identical(m: &Module, opts: VmOptions) {
+        let a = run_tier(m, opts.clone(), ExecTier::Interp);
+        let b = run_tier(m, opts, ExecTier::Fast);
+        assert_eq!(a.output, b.output, "output");
+        assert_eq!(a.return_value, b.return_value, "return value");
+        assert_eq!(a.ended, b.ended, "ended");
+        assert_eq!(a.steps, b.steps, "steps");
+        assert_eq!(a.stats, b.stats, "machine stats");
+        assert_eq!(a.trace, b.trace, "trace");
+        assert_eq!(a.pm_data, b.pm_data, "pm data");
+        assert_eq!(
+            a.machine.crash_image(),
+            b.machine.crash_image(),
+            "crash image"
+        );
+        assert_eq!(
+            a.machine.dirty_pm_lines(),
+            b.machine.dirty_pm_lines(),
+            "dirty lines"
+        );
+        assert_eq!(
+            a.machine.pending_pm_lines(),
+            b.machine.pending_pm_lines(),
+            "pending lines"
+        );
+    }
+
+    #[test]
+    fn tiers_agree_on_kitchen_sink() {
+        assert_identical(&kitchen_sink(), VmOptions::default().capture_pm_data());
+    }
+
+    #[test]
+    fn tiers_agree_untraced() {
+        assert_identical(&kitchen_sink(), VmOptions::bench());
+    }
+
+    #[test]
+    fn tiers_agree_at_crash_point_stop() {
+        assert_identical(&kitchen_sink(), VmOptions::default().stop_at(1));
+    }
+
+    #[test]
+    fn tiers_agree_at_every_event_stop() {
+        let m = kitchen_sink();
+        let full = run_tier(&m, VmOptions::default(), ExecTier::Interp);
+        let n_events = full.trace.as_ref().unwrap().len() as u64;
+        assert!(n_events > 5, "sink module must emit a real trace");
+        for seq in 0..n_events {
+            assert_identical(&m, VmOptions::default().stop_at_event(seq));
+        }
+    }
+
+    #[test]
+    fn tiers_agree_with_eviction_pressure() {
+        let opts = VmOptions {
+            evict_period: Some(2),
+            ..VmOptions::default()
+        };
+        assert_identical(&kitchen_sink(), opts);
+    }
+
+    #[test]
+    fn tiers_agree_on_errors() {
+        // Division by zero carries the trapping function's name.
+        let mut m = Module::new();
+        let f = m.declare_function("main", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.entry_block();
+        b.switch_to(e);
+        let v = b.bin(BinOp::SDiv, 1i64, 0i64);
+        b.print(v);
+        b.ret(None);
+        b.finish();
+        let ea = Vm::new(VmOptions::default().with_tier(ExecTier::Interp))
+            .run(&m, "main")
+            .unwrap_err();
+        let eb = Vm::new(VmOptions::default().with_tier(ExecTier::Fast))
+            .run(&m, "main")
+            .unwrap_err();
+        assert_eq!(format!("{ea}"), format!("{eb}"));
+
+        // Fuel exhaustion reports the same limit.
+        let spin = {
+            let mut m = Module::new();
+            let f = m.declare_function("main", vec![], Type::Void);
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let e = b.entry_block();
+            let s = b.new_block("s");
+            b.switch_to(e);
+            b.br(s);
+            b.switch_to(s);
+            b.br(s);
+            b.finish();
+            m
+        };
+        let opts = VmOptions {
+            max_steps: 100,
+            ..VmOptions::default()
+        };
+        let ea = Vm::new(opts.clone().with_tier(ExecTier::Interp))
+            .run(&spin, "main")
+            .unwrap_err();
+        let eb = Vm::new(opts.with_tier(ExecTier::Fast))
+            .run(&spin, "main")
+            .unwrap_err();
+        assert_eq!(format!("{ea}"), format!("{eb}"));
+    }
+
+    #[test]
+    fn tiers_agree_on_abort_and_restart() {
+        // Run to a crash, reboot each tier on its own medium, and compare
+        // the recovery run too.
+        let m = kitchen_sink();
+        let a = run_tier(&m, VmOptions::default().stop_at(1), ExecTier::Interp);
+        let b = run_tier(&m, VmOptions::default().stop_at(1), ExecTier::Fast);
+        let ma = a.machine.into_media();
+        let mb = b.machine.into_media();
+        let ra = run_tier(&m, VmOptions::default().with_media(ma), ExecTier::Interp);
+        let rb = run_tier(&m, VmOptions::default().with_media(mb), ExecTier::Fast);
+        assert_eq!(ra.output, rb.output);
+        assert_eq!(ra.trace, rb.trace);
+        assert_eq!(ra.machine.crash_image(), rb.machine.crash_image());
+    }
+}

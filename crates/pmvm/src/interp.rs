@@ -1,6 +1,8 @@
-//! The interpreter loop.
+//! The reference interpreter loop (the `ExecTier::Interp` tier), plus the
+//! shared [`Vm`] entry point that validates options and dispatches to the
+//! selected tier.
 
-use crate::options::VmOptions;
+use crate::options::{ExecTier, VmOptions};
 use crate::result::{Ended, RunResult, VmError};
 use pmem_sim::{layout, Machine};
 use pmir::{BlockId, FenceKind, FlushKind, FuncId, GlobalId, InstId, Module, Op, Operand};
@@ -23,11 +25,31 @@ impl Vm {
 
     /// Runs `entry` (a zero-parameter function) in `module`.
     ///
+    /// Takes `&mut self` so a boot medium in the options is *moved* into
+    /// the machine, not copied — recovery boots are the explorer's hot
+    /// path, and pool buffers are hundreds of kilobytes. A second `run` on
+    /// the same `Vm` therefore boots factory-fresh; every call site
+    /// constructs `Vm::new(opts).run(..)` per run.
+    ///
     /// # Errors
     ///
     /// Returns a [`VmError`] if the program traps (memory fault, division by
     /// zero, step limit) or the entry point is unsuitable.
-    pub fn run(&self, module: &Module, entry: &str) -> Result<RunResult, VmError> {
+    pub fn run(&mut self, module: &Module, entry: &str) -> Result<RunResult, VmError> {
+        self.run_prepared(module, entry, None)
+    }
+
+    /// [`Vm::run`], reusing a pre-decoded program. `decoded` must be
+    /// `DecodedModule::decode(module)` for this exact `module` — callers
+    /// that boot the same program many times (the exploration oracle) pay
+    /// the decode once. Ignored by the reference tier. `None` decodes on
+    /// demand, which is what [`Vm::run`] does.
+    pub fn run_prepared(
+        &mut self,
+        module: &Module,
+        entry: &str,
+        decoded: Option<&crate::DecodedModule>,
+    ) -> Result<RunResult, VmError> {
         let _span = self.opts.obs.span("vm.run");
         if self.opts.stop_at_crash_point == Some(0) {
             return Err(VmError::BadOptions {
@@ -76,7 +98,7 @@ impl Vm {
                 name: entry.to_string(),
             });
         }
-        let mut machine = match self.opts.media.clone() {
+        let mut machine = match self.opts.media.take() {
             Some(media) => Machine::with_media(media, self.opts.cost),
             None => Machine::new(self.opts.cost),
         };
@@ -98,6 +120,11 @@ impl Vm {
             .opts
             .watchdog_ms
             .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        if self.opts.tier == ExecTier::Fast {
+            return crate::fastvm::run(
+                module, entry_id, &self.opts, machine, injector, fuel, deadline, decoded,
+            );
+        }
         let mut exec = Exec {
             module,
             machine,
@@ -121,20 +148,13 @@ impl Vm {
         if ended == Ended::Returned {
             exec.emit(EventKind::ProgramEnd, None);
         }
-        if self.opts.obs.is_enabled() {
-            let stats = exec.machine.stats();
-            self.opts.obs.add("vm.instructions", exec.steps);
-            self.opts.obs.add("vm.pm_stores", stats.pm_stores);
-            self.opts.obs.add("vm.flushes", stats.total_flushes());
-            self.opts.obs.add("vm.fences", stats.fences);
-            self.opts.obs.add("vm.cycles", stats.cycles);
-            self.opts.obs.add("vm.fuel_left", exec.fuel);
-            if let Some(inj) = &exec.injector {
-                self.opts
-                    .obs
-                    .add("vm.injected_faults", inj.injected().len() as u64);
-            }
-        }
+        record_run_obs(
+            &self.opts,
+            exec.steps,
+            exec.machine.stats(),
+            exec.fuel,
+            &exec.injector,
+        );
         Ok(RunResult {
             output: exec.output,
             return_value,
@@ -573,7 +593,31 @@ impl Exec<'_, '_> {
     }
 }
 
-fn to_sim_flush(k: FlushKind) -> pmem_sim::FlushKind {
+/// Records the per-run `vm.*` observability counters (shared by both
+/// execution tiers, so the tiers stay metric-identical).
+pub(crate) fn record_run_obs(
+    opts: &VmOptions,
+    steps: u64,
+    stats: &pmem_sim::MachineStats,
+    fuel: u64,
+    injector: &Option<pmfault::Injector>,
+) {
+    if !opts.obs.is_enabled() {
+        return;
+    }
+    opts.obs.add("vm.instructions", steps);
+    opts.obs.add("vm.pm_stores", stats.pm_stores);
+    opts.obs.add("vm.flushes", stats.total_flushes());
+    opts.obs.add("vm.fences", stats.fences);
+    opts.obs.add("vm.cycles", stats.cycles);
+    opts.obs.add("vm.fuel_left", fuel);
+    if let Some(inj) = injector {
+        opts.obs
+            .add("vm.injected_faults", inj.injected().len() as u64);
+    }
+}
+
+pub(crate) fn to_sim_flush(k: FlushKind) -> pmem_sim::FlushKind {
     match k {
         FlushKind::Clwb => pmem_sim::FlushKind::Clwb,
         FlushKind::ClflushOpt => pmem_sim::FlushKind::ClflushOpt,
@@ -581,7 +625,7 @@ fn to_sim_flush(k: FlushKind) -> pmem_sim::FlushKind {
     }
 }
 
-fn to_trace_flush(k: FlushKind) -> pmtrace::FlushKind {
+pub(crate) fn to_trace_flush(k: FlushKind) -> pmtrace::FlushKind {
     match k {
         FlushKind::Clwb => pmtrace::FlushKind::Clwb,
         FlushKind::ClflushOpt => pmtrace::FlushKind::ClflushOpt,
@@ -589,14 +633,14 @@ fn to_trace_flush(k: FlushKind) -> pmtrace::FlushKind {
     }
 }
 
-fn to_sim_fence(k: FenceKind) -> pmem_sim::FenceKind {
+pub(crate) fn to_sim_fence(k: FenceKind) -> pmem_sim::FenceKind {
     match k {
         FenceKind::Sfence => pmem_sim::FenceKind::Sfence,
         FenceKind::Mfence => pmem_sim::FenceKind::Mfence,
     }
 }
 
-fn to_trace_fence(k: FenceKind) -> pmtrace::FenceKind {
+pub(crate) fn to_trace_fence(k: FenceKind) -> pmtrace::FenceKind {
     match k {
         FenceKind::Sfence => pmtrace::FenceKind::Sfence,
         FenceKind::Mfence => pmtrace::FenceKind::Mfence,

@@ -32,10 +32,13 @@
 //!     |k| matches!(k, pmtrace::EventKind::Store { .. })), 1);
 //! ```
 
+pub mod decode;
+mod fastvm;
 pub mod interp;
 pub mod options;
 pub mod result;
 
+pub use decode::DecodedModule;
 pub use interp::Vm;
-pub use options::VmOptions;
+pub use options::{ExecTier, VmOptions};
 pub use result::{Ended, RunResult, VmError};

@@ -16,6 +16,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> differential tier gate (interp and fast must be observationally identical)"
+cargo test -q --release -p system-tests --test tier_differential
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

@@ -1,0 +1,64 @@
+//! MSRV drift gate: every workspace member must inherit (or pin) the
+//! workspace MSRV, so the pinned-toolchain CI leg actually covers the whole
+//! tree. A crate that drops its `rust-version` would silently float to
+//! "whatever the newest stable accepts" and break the MSRV leg weeks later;
+//! this test fails the build the moment the manifest drifts.
+
+use std::fs;
+use std::path::Path;
+
+/// The workspace MSRV; must match `[workspace.package] rust-version` and
+/// the toolchain pinned in `.github/workflows/ci.yml`'s MSRV matrix leg.
+const MSRV: &str = "1.87";
+
+fn workspace_root() -> &'static Path {
+    // system-tests lives at crates/system-tests; the workspace root is two up.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_pins_the_msrv() {
+    let root = fs::read_to_string(workspace_root().join("Cargo.toml")).unwrap();
+    assert!(
+        root.contains(&format!("rust-version = \"{MSRV}\"")),
+        "[workspace.package] rust-version is not pinned to {MSRV}; \
+         update MSRV here and the ci.yml matrix leg together"
+    );
+}
+
+#[test]
+fn every_member_inherits_the_msrv() {
+    let root = workspace_root();
+    let mut missing = Vec::new();
+    for dir in ["crates", "vendor"] {
+        for entry in fs::read_dir(root.join(dir)).unwrap() {
+            let manifest = entry.unwrap().path().join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let text = fs::read_to_string(&manifest).unwrap();
+            // Workspace crates inherit; vendored stand-ins (which do not use
+            // workspace inheritance) pin the same version literally.
+            let ok = text.contains("rust-version.workspace = true")
+                || text.contains(&format!("rust-version = \"{MSRV}\""));
+            if !ok {
+                missing.push(manifest.display().to_string());
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "workspace members without the {MSRV} MSRV declaration:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn ci_matrix_leg_matches_the_msrv() {
+    let ci = fs::read_to_string(workspace_root().join(".github/workflows/ci.yml")).unwrap();
+    assert!(
+        ci.contains(&format!("{MSRV}.0")) || ci.contains(&format!("\"{MSRV}\"")),
+        "ci.yml has no matrix leg pinning toolchain {MSRV}; \
+         the MSRV declaration would be untested"
+    );
+}

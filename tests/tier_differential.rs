@@ -1,0 +1,187 @@
+//! Differential tier gate: the fast execution tier must be observationally
+//! identical to the reference interpreter, end to end.
+//!
+//! The contract (locked in CI — `scripts/check.sh` runs this file on every
+//! change): for any program, `ExecTier::Interp` and `ExecTier::Fast`
+//! produce
+//!
+//! 1. byte-identical traces and PM data logs (every event, every stack,
+//!    every captured store byte),
+//! 2. identical dynamic-checker bug sets,
+//! 3. identical exploration reports — including the crash-image content
+//!    digests (`Finding::image_hash`) and every counter,
+//! 4. identical repair outcomes: the same fixes, and the same fixed module
+//!    bit-for-bit (snapshot digest).
+//!
+//! Anything the fast tier gets wrong that the VM-level differential tests
+//! in `pmvm` miss (decode bugs that only bite under exploration workloads,
+//! tier-dependent iteration order leaking into findings) fails here on the
+//! real app corpus and on a randomized publish-pattern family.
+
+use hippocrates::{BugSource, Hippocrates, RepairOptions};
+use pmexplore::{run_and_explore, ExploreOptions};
+use pmvm::{ExecTier, VmOptions};
+use proptest::prelude::*;
+
+fn explore_opts(tier: ExecTier) -> ExploreOptions {
+    ExploreOptions {
+        budget: 96,
+        seed: 0,
+        jobs: 1,
+        tier,
+        ..ExploreOptions::default()
+    }
+}
+
+/// Asserts contracts (1)–(3) for one module: both tiers run the checker
+/// and the explorer; every observable must match.
+fn assert_tiers_agree(tag: &str, m: &pmir::Module, entry: &str) {
+    let checked = |tier| {
+        let opts = VmOptions {
+            tier,
+            ..VmOptions::default()
+        };
+        pmcheck::run_and_check(m, entry, opts)
+            .unwrap_or_else(|e| panic!("{tag}: {tier:?} checker run failed: {e}"))
+    };
+    let (ci, cf) = (checked(ExecTier::Interp), checked(ExecTier::Fast));
+    assert_eq!(ci.report, cf.report, "{tag}: dynamic bug sets diverge");
+    assert_eq!(
+        ci.run.output, cf.run.output,
+        "{tag}: observable output diverges"
+    );
+    assert_eq!(
+        ci.run.return_value, cf.run.return_value,
+        "{tag}: return values diverge"
+    );
+    assert_eq!(ci.run.ended, cf.run.ended, "{tag}: end states diverge");
+    assert_eq!(ci.run.stats, cf.run.stats, "{tag}: machine stats diverge");
+    assert_eq!(
+        ci.trace.events, cf.trace.events,
+        "{tag}: checker traces diverge"
+    );
+
+    let explored = |tier| {
+        run_and_explore(m, entry, &explore_opts(tier))
+            .unwrap_or_else(|e| panic!("{tag}: {tier:?} exploration failed: {e}"))
+    };
+    let (xi, xf) = (explored(ExecTier::Interp), explored(ExecTier::Fast));
+    assert_eq!(
+        xi.trace.events, xf.trace.events,
+        "{tag}: traces diverge between tiers"
+    );
+    assert_eq!(xi.data, xf.data, "{tag}: PM data logs diverge");
+    // Report equality covers findings (with their crash-image content
+    // digests), all counters, and diagnostics.
+    assert_eq!(xi.report, xf.report, "{tag}: exploration reports diverge");
+}
+
+/// Asserts contract (4): repair under either tier applies the same fixes
+/// and produces a bit-identical fixed module.
+fn assert_repair_agrees(tag: &str, m: &pmir::Module, entry: &str) {
+    let repaired = |tier| {
+        let mut m = m.clone();
+        let outcome = Hippocrates::new(RepairOptions {
+            bug_source: BugSource::Exploration,
+            explore_budget: 96,
+            explore_jobs: 1,
+            tier,
+            ..RepairOptions::default()
+        })
+        .repair_until_clean(&mut m, entry)
+        .unwrap_or_else(|e| panic!("{tag}: {tier:?} repair failed: {e}"));
+        (pmir::snapshot::digest_hex(&m), outcome)
+    };
+    let ((di, oi), (df, of)) = (repaired(ExecTier::Interp), repaired(ExecTier::Fast));
+    assert_eq!(di, df, "{tag}: fixed modules diverge between tiers");
+    assert_eq!(oi.clean, of.clean, "{tag}: repair convergence diverges");
+    assert_eq!(
+        oi.fixes.len(),
+        of.fixes.len(),
+        "{tag}: applied fix counts diverge"
+    );
+    assert_eq!(
+        oi.iterations, of.iterations,
+        "{tag}: iteration counts diverge"
+    );
+}
+
+#[test]
+fn pclht_tiers_identical() {
+    let m = pmapps::pclht::build_correct().expect("pclht builds");
+    assert_tiers_agree("pclht-correct", &m, pmapps::pclht::ENTRY);
+    for id in pmapps::pclht::BUG_IDS {
+        let m = pmapps::pclht::build_buggy(id).expect("buggy pclht builds");
+        assert_tiers_agree(&format!("pclht-{id}"), &m, pmapps::pclht::ENTRY);
+    }
+}
+
+#[test]
+fn pclht_repair_identical_across_tiers() {
+    for id in pmapps::pclht::BUG_IDS {
+        let m = pmapps::pclht::build_buggy(id).expect("buggy pclht builds");
+        assert_repair_agrees(&format!("pclht-{id}"), &m, pmapps::pclht::ENTRY);
+    }
+}
+
+#[test]
+fn memcached_tiers_identical() {
+    let m = pmapps::memcached::build_correct().expect("memcached builds");
+    assert_tiers_agree("memcached-correct", &m, pmapps::memcached::ENTRY);
+    // Two representative injected bugs; the full ten run in corpus tests.
+    for id in &pmapps::memcached::BUG_IDS[..2] {
+        let m = pmapps::memcached::build_buggy(id).expect("buggy memcached builds");
+        assert_tiers_agree(&format!("memcached-{id}"), &m, pmapps::memcached::ENTRY);
+    }
+}
+
+/// The `explore_do_no_harm` publish-pattern family, reused as a randomized
+/// tier-differential corpus: every generated program must explore and
+/// repair identically under both tiers.
+fn program(n_keys: u8, mask: u8) -> String {
+    let mut body = String::new();
+    for k in 0..n_keys {
+        let data_off = u32::from(k) * 128;
+        let flag_off = u32::from(k) * 128 + 64;
+        let val = u32::from(k) * 3 + 1;
+        body.push_str(&format!("    store8(p, {data_off}, {val});\n"));
+        if (mask >> (2 * (k % 4))) & 1 == 1 {
+            body.push_str(&format!("    clwb(p + {data_off});\n    sfence();\n"));
+        }
+        body.push_str(&format!("    store8(p, {flag_off}, 1);\n"));
+        if (mask >> (2 * (k % 4) + 1)) & 1 == 1 {
+            body.push_str(&format!("    clwb(p + {flag_off});\n    sfence();\n"));
+        }
+    }
+    let mut checks = String::new();
+    for k in 0..n_keys {
+        let data_off = u32::from(k) * 128;
+        let flag_off = u32::from(k) * 128 + 64;
+        let val = u32::from(k) * 3 + 1;
+        checks.push_str(&format!(
+            "    if (load8(p, {flag_off}) == 1) {{\n        if (load8(p, {data_off}) != {val}) {{ return 1; }}\n    }}\n"
+        ));
+    }
+    format!(
+        "fn main() {{\n    var p: ptr = pmem_map(0, 8192);\n{body}    print(load8(p, 0));\n}}\n\
+         fn recover() -> int {{\n    var p: ptr = pmem_map(0, 8192);\n{checks}    return 0;\n}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_publish_programs_are_tier_identical(n_keys in 1u8..5, mask in 0u8..=255) {
+        let src = program(n_keys, mask);
+        let m = pmlang::compile_one("t.pmc", &src).expect("family compiles");
+        assert_tiers_agree(&format!("publish-{n_keys}-{mask:#x}"), &m, "main");
+    }
+
+    #[test]
+    fn random_publish_repairs_are_tier_identical(n_keys in 1u8..4, mask in 0u8..=255) {
+        let src = program(n_keys, mask);
+        let m = pmlang::compile_one("t.pmc", &src).expect("family compiles");
+        assert_repair_agrees(&format!("publish-{n_keys}-{mask:#x}"), &m, "main");
+    }
+}
