@@ -75,19 +75,24 @@ struct CampaignRow {
 fn campaign_row(obs: &Obs, seed: u64) -> CampaignRow {
     let plan = FaultPlan::from_seed(seed);
     let describe = plan.describe();
-    // Transport faults fire at the daemon's connection boundary, not inside
-    // the repair pipeline: run those seeds through the shared in-process
-    // daemon campaign (same contract as `hippoctl faultcampaign`).
-    if plan.targets_net() {
+    // Transport and shard faults fire inside the daemon (connection
+    // boundary / campaign scheduler), not inside the repair pipeline: run
+    // those seeds through the shared in-process daemon campaigns (same
+    // contract as `hippoctl faultcampaign`).
+    if plan.targets_net() || plan.targets_shard() {
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            hippod::netfault::campaign_seed(seed, "campaign.pmc", WORKLOAD_SRC, obs)
+            if plan.targets_net() {
+                hippod::netfault::campaign_seed(seed, "campaign.pmc", WORKLOAD_SRC, obs)
+            } else {
+                hippod::chaos::campaign_seed(seed, "campaign.pmc", WORKLOAD_SRC, obs)
+            }
         }));
         let millis = t0.elapsed().as_secs_f64() * 1e3;
         let (passed, note) = match outcome {
             Ok(Ok(line)) => (true, line),
             Ok(Err(why)) => (false, why),
-            Err(_) => (false, "net campaign panicked".to_string()),
+            Err(_) => (false, "daemon campaign panicked".to_string()),
         };
         return CampaignRow {
             plan: describe,

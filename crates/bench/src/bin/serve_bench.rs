@@ -17,6 +17,11 @@
 //!   `bench.serve.capped_warm_ms`) — a byte-budgeted LRU warm cache
 //!   (`cache_budget`): the warm round must still be served from cache
 //!   while the daemon's accounted `cache_bytes` stays under the budget.
+//! * **Degraded** (`bench.serve.recovery_wall_ms`) — a 4-shard campaign on
+//!   a 4-worker daemon with one worker killed mid-shard: the lease reaper
+//!   reclaims and re-runs the orphaned shard, and the gauge is the full
+//!   heal wall (submit → settled, fault included). The merged artifact
+//!   must stay byte-identical to a sequential fault-free run.
 //!
 //! Floors (`bench.serve.pass_rate`, `bench.serve.warm_speedup_floor`,
 //! `bench.serve.tcp_warm_speedup_floor`,
@@ -252,14 +257,92 @@ fn main() {
         pass = false;
     }
 
+    // Degraded round: a 4-shard campaign on a 4-worker daemon where one
+    // worker is killed mid-shard. The reaper reclaims the orphaned lease
+    // and re-runs the shard; the recovery wall is the full heal time —
+    // submit to settled, fault included — and the merged artifact must
+    // still be byte-identical to a sequential fault-free run.
+    let shard_spec = {
+        let mut s = JobSpec::new(
+            JobKind::Explore,
+            vec![(
+                "degraded.pmc".to_string(),
+                "fn main() {\n    var p: ptr = pmem_map(7, 4096);\n    store8(p, 0, 1);\n    clwb(p);\n    sfence();\n    store8(p, 64, 2);\n    clwb(p + 64);\n    sfence();\n    store8(p, 128, 3);\n    print(load8(p, 0) + load8(p, 64) + load8(p, 128));\n}\n"
+                    .to_string(),
+            )],
+        );
+        s.shards = 4;
+        s
+    };
+    let shard_reference =
+        hippod::shard::run_local(&shard_spec, &WarmCache::enabled(), &Obs::disabled())
+            .expect("sequential reference run converges");
+    let degraded_socket = dir.join("hippod_degraded.sock");
+    let server = {
+        let cfg = ServerConfig {
+            socket: degraded_socket.clone(),
+            journal: Some(dir.join("jobs_degraded.journal")),
+            workers: 4,
+            lease_ttl_ms: 100,
+            fault: Some(pmfault::FaultPlan::single(
+                pmfault::FaultSite::ShardWorker,
+                pmfault::Trigger::Nth(0), // shard 0, attempt 0
+                pmfault::FaultKind::WorkerKill,
+            )),
+            obs: obs.clone(),
+            ..ServerConfig::default()
+        };
+        std::thread::spawn(move || serve(cfg))
+    };
+    let dial = degraded_socket.to_string_lossy().to_string();
+    let mut c = Client::dial_retry(&dial, Duration::from_secs(10)).expect("degraded daemon up");
+    let t_heal = Instant::now();
+    let id = c
+        .submit_retry(shard_spec, Duration::from_secs(30))
+        .expect("degraded campaign accepted");
+    let view = c
+        .wait(&id, Duration::from_secs(300))
+        .expect("degraded campaign settles");
+    let recovery_wall_ms = t_heal.elapsed().as_secs_f64() * 1e3;
+    match view.result.as_ref() {
+        Some(r) if r.output == shard_reference.output && r.clean == shard_reference.clean => {}
+        other => {
+            println!("  degraded campaign did not heal byte-identically: {other:?}");
+            pass = false;
+        }
+    }
+    c.shutdown().expect("degraded shutdown");
+    server
+        .join()
+        .expect("degraded server thread")
+        .expect("degraded daemon drains cleanly");
+    let snap = obs.snapshot();
+    let killed = snap
+        .counters
+        .get("serve.shards.killed")
+        .copied()
+        .unwrap_or(0);
+    let reclaimed = snap
+        .counters
+        .get("serve.shards.reclaimed")
+        .copied()
+        .unwrap_or(0);
+    if killed < 1 || reclaimed < 1 {
+        println!(
+            "  degraded round never exercised the fault path (killed={killed}, reclaimed={reclaimed})"
+        );
+        pass = false;
+    }
+
     let jobs_per_sec = CAMPAIGNS as f64 / (cold_ms / 1e3);
     let speedup = cold_ms / warm_ms.max(f64::EPSILON);
     let tcp_speedup = tcp_cold_ms / tcp_warm_ms.max(f64::EPSILON);
     let capped_speedup = capped_cold_ms / capped_warm_ms.max(f64::EPSILON);
     println!(
-        "  unix   cold {cold_ms:>8.2} ms  warm {warm_ms:>8.2} ms  ({speedup:.1}x, {jobs_per_sec:.1} campaigns/sec)\n  \
-         tcp    cold {tcp_cold_ms:>8.2} ms  warm {tcp_warm_ms:>8.2} ms  ({tcp_speedup:.1}x)\n  \
-         capped cold {capped_cold_ms:>8.2} ms  warm {capped_warm_ms:>8.2} ms  ({capped_speedup:.1}x, {} cache bytes)\n  \
+        "  unix     cold {cold_ms:>8.2} ms  warm {warm_ms:>8.2} ms  ({speedup:.1}x, {jobs_per_sec:.1} campaigns/sec)\n  \
+         tcp      cold {tcp_cold_ms:>8.2} ms  warm {tcp_warm_ms:>8.2} ms  ({tcp_speedup:.1}x)\n  \
+         capped   cold {capped_cold_ms:>8.2} ms  warm {capped_warm_ms:>8.2} ms  ({capped_speedup:.1}x, {} cache bytes)\n  \
+         degraded heal {recovery_wall_ms:>8.2} ms  ({killed} worker kill(s), {reclaimed} lease reclaim(s))\n  \
          pass {}",
         capped_health.cache_bytes,
         if pass { "1.00" } else { "0.00" }
@@ -285,8 +368,9 @@ fn main() {
         "bench.serve.capped_cache_bytes",
         capped_health.cache_bytes as f64,
     );
+    obs.gauge("bench.serve.recovery_wall_ms", recovery_wall_ms);
     obs.gauge("bench.serve.pass_rate", if pass { 1.0 } else { 0.0 });
-    obs.add("bench.serve.campaigns", 6 * CAMPAIGNS as u64);
+    obs.add("bench.serve.campaigns", 6 * CAMPAIGNS as u64 + 1);
     obs.gauge("bench.wall_ms", t_all.elapsed().as_secs_f64() * 1e3);
     assert!(
         pass,

@@ -108,12 +108,17 @@ fn usage() -> String {
         "                 [--max-conns N]                     primary dies; warm caches evict",
         "                 [--io-timeout-ms N]                 LRU under the cache budget)",
         "                 [--idle-timeout-ms N]",
+        "                 [--lease-ttl-ms N] [--lease-retries N] campaign shard leases: TTL,",
+        "                 [--compact-threshold N]             retry budget; journal compaction",
         "                 [--fault-worker I] [--fault-net S]",
+        "                 [--fault-shard S]                   arm a shard.* chaos archetype",
         "hippoctl submit  --connect E <src>... [--kind K] enqueue a lint|explore|fix|optimize",
         "                 [--entry NAME] [--wait] [-o F]     job; --wait polls and emits the",
         "                 [--budget K] [--seed S] [--jobs N]  artifact (byte-identical to a",
         "                 [--bug-source ...] [--deadline-ms N] standalone run); oversized",
-        "                                                    sources stream as chunks",
+        "                 [--shards N]                        sources stream as chunks; --shards",
+        "                                                    fans an explore job into leased",
+        "                                                    campaign shards",
         "hippoctl status  --connect E <job-id>            one job's state and summary",
         "hippoctl cancel  --connect E <job-id>            cancel a queued job",
         "hippoctl health  --connect E                     daemon liveness report (JSON)",
@@ -848,10 +853,13 @@ fn faultcampaign_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
     for seed in 0..seeds {
         let plan = pmfault::FaultPlan::from_seed(seed);
         let _span = obs.span("cli.campaign_seed");
-        // Transport faults fire at the daemon's connection boundary, not
-        // inside the repair pipeline, so those seeds run a daemon campaign.
+        // Transport faults fire at the daemon's connection boundary and
+        // shard faults inside its campaign scheduler, not in the repair
+        // pipeline — those seed families each run their daemon campaign.
         let outcome = if plan.targets_net() {
             hippod::netfault::campaign_seed(seed, "campaign.pmc", CAMPAIGN_SRC, obs)
+        } else if plan.targets_shard() {
+            hippod::chaos::campaign_seed(seed, "campaign.pmc", CAMPAIGN_SRC, obs)
         } else {
             campaign_seed(&make_module, &entry, seed, jobs, obs)
         };

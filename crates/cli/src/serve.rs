@@ -97,6 +97,43 @@ pub fn serve_cmd(args: &[String], obs: &pmobs::Obs) -> Result<(), String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--queue needs a positive integer, got `{v}`"))?;
             }
+            "--fault-shard" => {
+                // The chaos gates arm a deterministic campaign-scheduler
+                // fault (worker kill, lease storm, epoch contest, commit
+                // race), by pmfault archetype seed.
+                let v = it.next().ok_or("--fault-shard needs a value")?;
+                let seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fault-shard needs an archetype seed, got `{v}`"))?;
+                let plan = pmfault::FaultPlan::from_seed(seed);
+                if !plan.targets_shard() {
+                    return Err(format!(
+                        "--fault-shard seed {seed} maps to `{}`, not a shard.* archetype",
+                        plan.describe()
+                    ));
+                }
+                config.fault = Some(plan);
+            }
+            "--lease-ttl-ms" => {
+                let v = it.next().ok_or("--lease-ttl-ms needs a value")?;
+                config.lease_ttl_ms =
+                    v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--lease-ttl-ms needs a positive integer, got `{v}`")
+                    })?;
+            }
+            "--lease-retries" => {
+                let v = it.next().ok_or("--lease-retries needs a value")?;
+                config.lease_retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--lease-retries needs an unsigned integer, got `{v}`"))?;
+            }
+            "--compact-threshold" => {
+                let v = it.next().ok_or("--compact-threshold needs a value")?;
+                config.compact_threshold =
+                    v.parse::<usize>().ok().filter(|&n| n >= 2).ok_or_else(|| {
+                        format!("--compact-threshold needs an integer >= 2, got `{v}`")
+                    })?;
+            }
             "--fault-worker" => {
                 // The CI daemon gate arms a deterministic panic at the
                 // queue/worker boundary: the n-th job (by submission
@@ -239,6 +276,14 @@ pub fn submit_cmd(args: &[String]) -> Result<(), String> {
                     Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                         format!("--deadline-ms needs a positive integer, got `{v}`")
                     })?);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                spec.shards = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards needs a positive integer, got `{v}`"))?;
             }
             "--wait" => wait = true,
             "-o" | "--out" => out = Some(it.next().ok_or("-o needs a value")?.clone()),

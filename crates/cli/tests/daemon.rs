@@ -292,6 +292,225 @@ fn daemon_held_journal_refuses_a_concurrent_fix_with_the_holder_pid() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A multi-persist explore workload: four shards each get real frontiers.
+fn write_explore_app(dir: &Path) -> String {
+    let path = dir.join("explore.pmc");
+    std::fs::write(
+        &path,
+        "fn main() {\n    var p: ptr = pmem_map(9, 4096);\n    store8(p, 0, 1);\n    clwb(p);\n    sfence();\n    store8(p, 64, 2);\n    clwb(p + 64);\n    sfence();\n    store8(p, 128, 3);\n    print(load8(p, 0) + load8(p, 64) + load8(p, 128));\n}\n",
+    )
+    .unwrap();
+    path.to_string_lossy().to_string()
+}
+
+fn health_of(socket: &Path) -> Option<String> {
+    let out = hippoctl(&["health", "--socket", &socket.to_string_lossy()]);
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn epoch_in(health: &str) -> u64 {
+    let tail = &health[health.find("\"epoch\":").expect("health reports an epoch") + 8..];
+    tail.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Polls the given sockets until exactly one answers as a non-standby
+/// primary, returning its index and election epoch.
+fn find_primary(sockets: &[PathBuf]) -> (usize, u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        for (i, socket) in sockets.iter().enumerate() {
+            if let Some(h) = health_of(socket) {
+                if h.contains("\"standby\":false") {
+                    return (i, epoch_in(&h));
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "no primary emerged");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn triple_standby_election_survives_five_primary_kills() {
+    let dir = scratch("election");
+    let journal = dir.join("jobs.journal");
+    let apps: Vec<String> = (0..5).map(|i| write_app(&dir, i)).collect();
+    let references = reference_fixes(&dir, &apps);
+
+    // One primary, three standbys, all contending for the same journal.
+    let mut sockets: Vec<PathBuf> = vec![dir.join("d0.sock")];
+    let mut daemons = vec![spawn_daemon(&sockets[0], &journal, &[])];
+    for i in 1..4 {
+        let socket = dir.join(format!("d{i}.sock"));
+        daemons.push(spawn_daemon(&socket, &journal, &["--standby"]));
+        sockets.push(socket);
+    }
+
+    let mut last_epoch = 0u64;
+    for round in 0..5 {
+        // Whoever holds the primaryship serves a real campaign,
+        // byte-identical to the standalone run...
+        let (leader, epoch) = find_primary(&sockets);
+        assert!(
+            epoch > last_epoch,
+            "round {round}: epoch {epoch} did not grow past {last_epoch}"
+        );
+        last_epoch = epoch;
+        let out_ir = dir.join(format!("round{round}.ir"));
+        let out = hippoctl(&[
+            "submit",
+            "--socket",
+            &sockets[leader].to_string_lossy(),
+            &apps[round],
+            "--kind",
+            "fix",
+            "--wait",
+            "-o",
+            &out_ir.to_string_lossy(),
+        ]);
+        assert!(out.status.success(), "round {round}: {}", stderr_of(&out));
+        assert_eq!(
+            std::fs::read_to_string(&out_ir).unwrap(),
+            references[round],
+            "round {round}: artifact differs from the standalone run"
+        );
+
+        // ...then dies without warning. A fresh standby joins the pool so
+        // the election always has three contenders.
+        let mut dead = daemons.remove(leader);
+        sockets.remove(leader);
+        dead.kill().unwrap(); // SIGKILL
+        dead.wait().unwrap();
+        let socket = dir.join(format!("r{round}.sock"));
+        daemons.push(spawn_daemon(&socket, &journal, &["--standby"]));
+        sockets.push(socket);
+    }
+
+    // Five murders later the pool still elects a primary and still serves.
+    let (leader, epoch) = find_primary(&sockets);
+    assert!(epoch > last_epoch);
+    let health = health_of(&sockets[leader]).unwrap();
+    assert!(health.contains("\"ok\":true"), "{health}");
+
+    // Standbys first, so nobody takes over mid-teardown.
+    for i in (0..daemons.len()).rev() {
+        if i != leader {
+            shutdown_daemon(&sockets[i], daemons.remove(i));
+            sockets.remove(i);
+        }
+    }
+    shutdown_daemon(&sockets[0], daemons.remove(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_sharded_campaign_resumes_byte_identically() {
+    let dir = scratch("shardkill");
+    let app = write_explore_app(&dir);
+
+    // Reference: the same 4-shard campaign on an undisturbed daemon.
+    let ref_socket = dir.join("ref.sock");
+    let ref_daemon = spawn_daemon(&ref_socket, &dir.join("ref.journal"), &[]);
+    let ref_ir = dir.join("ref.out");
+    let out = hippoctl(&[
+        "submit",
+        "--socket",
+        &ref_socket.to_string_lossy(),
+        &app,
+        "--kind",
+        "explore",
+        "--shards",
+        "4",
+        "--wait",
+        "-o",
+        &ref_ir.to_string_lossy(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let reference = std::fs::read_to_string(&ref_ir).unwrap();
+    assert!(reference.contains("== shard 0/4 =="), "{reference}");
+    shutdown_daemon(&ref_socket, ref_daemon);
+
+    // The real run: SIGKILL the daemon while shards are in flight.
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let mut daemon = spawn_daemon(&socket, &journal, &[]);
+    let out = hippoctl(&[
+        "submit",
+        "--socket",
+        &socket.to_string_lossy(),
+        &app,
+        "--kind",
+        "explore",
+        "--shards",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let id = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    std::thread::sleep(Duration::from_millis(150)); // let some shards commit
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // The successor replays the journal, re-leases the unfinished shards,
+    // and settles the campaign.
+    let daemon = spawn_daemon(&socket, &journal, &[]);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let out = hippoctl(&["status", "--socket", &socket.to_string_lossy(), &id]);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        let line = String::from_utf8_lossy(&out.stdout).into_owned();
+        if line.contains(" done ") || line.trim_end().ends_with(" done") || line.contains("done —")
+        {
+            break;
+        }
+        assert!(
+            !line.contains("failed"),
+            "campaign failed after resume: {line}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "campaign never settled after resume: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The merged artifact is byte-identical to the undisturbed run.
+    let resumed_ir = dir.join("resumed.out");
+    let out = hippoctl(&[
+        "submit",
+        "--socket",
+        &socket.to_string_lossy(),
+        &app,
+        "--kind",
+        "explore",
+        "--shards",
+        "4",
+        "--wait",
+        "-o",
+        &resumed_ir.to_string_lossy(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert_eq!(
+        std::fs::read_to_string(&resumed_ir).unwrap(),
+        reference,
+        "a SIGKILLed campaign must heal to the undisturbed bytes"
+    );
+
+    // Both elections (original and successor) are on the journal record.
+    let raw = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        raw.matches("Epoch").count() >= 2,
+        "both elections journaled"
+    );
+    shutdown_daemon(&socket, daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn injected_worker_fault_fails_one_campaign_and_spares_the_rest() {
     let dir = scratch("fault");

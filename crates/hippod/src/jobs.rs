@@ -112,7 +112,22 @@ pub struct JobSpec {
     /// Per-job wall-clock budget (pmtx cooperative deadline). `None` is
     /// unlimited.
     pub deadline_ms: Option<u64>,
+    /// Campaign fan-out: split an `explore` job into this many shard units
+    /// scheduled independently across the worker pool (lease-based, see
+    /// the `shard` module). `1` (the default, and the wire default for old
+    /// clients) runs the job whole. The merged artifact is byte-identical
+    /// for every value.
+    #[serde(default = "default_shards")]
+    pub shards: u64,
 }
+
+fn default_shards() -> u64 {
+    1
+}
+
+/// The most shards one campaign may fan into — enough to saturate any
+/// realistic worker pool while bounding journal and scheduler state.
+pub const MAX_SHARDS: u64 = 64;
 
 impl JobSpec {
     /// A spec with the same defaults as the `hippoctl` command line, so a
@@ -127,6 +142,7 @@ impl JobSpec {
             seed: 0,
             jobs: 1,
             deadline_ms: None,
+            shards: 1,
         }
     }
 
@@ -151,6 +167,18 @@ impl JobSpec {
         if self.deadline_ms == Some(0) {
             return Err("deadline_ms must be positive (or omitted)".to_string());
         }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".to_string());
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(format!("shards must be at most {MAX_SHARDS}"));
+        }
+        if self.shards > 1 && self.kind != JobKind::Explore {
+            return Err(format!(
+                "only explore jobs shard (got shards={} for a {} job)",
+                self.shards, self.kind
+            ));
+        }
         parse_bug_source(&self.bug_source).map(|_| ())
     }
 }
@@ -173,8 +201,8 @@ fn parse_bug_source(s: &str) -> Result<BugSource, String> {
 pub fn job_digest(spec: &JobSpec) -> u64 {
     let sources = WarmCache::source_key(&spec.sources);
     let canon = format!(
-        "kind={} entry={} sources={sources:016x} bug_source={} budget={} seed={} jobs={} deadline={:?}",
-        spec.kind, spec.entry, spec.bug_source, spec.budget, spec.seed, spec.jobs, spec.deadline_ms,
+        "kind={} entry={} sources={sources:016x} bug_source={} budget={} seed={} jobs={} deadline={:?} shards={}",
+        spec.kind, spec.entry, spec.bug_source, spec.budget, spec.seed, spec.jobs, spec.deadline_ms, spec.shards,
     );
     pmir::snapshot::fnv1a(canon.as_bytes())
 }
@@ -192,6 +220,21 @@ pub struct JobResult {
     /// Served from the whole-result warm cache (no recomputation).
     pub cached: bool,
     pub duration_ms: u64,
+}
+
+/// One committed shard result — the unit the campaign scheduler journals
+/// (`ShardFinished`) and the merge step concatenates. Deterministic in
+/// `(spec, shard_index)`: any worker, on any attempt, commits these exact
+/// bytes, which is what makes the merged campaign artifact byte-identical
+/// no matter how many workers died along the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardDone {
+    /// The shard's rendered exploration report.
+    pub output: String,
+    /// One human-readable summary line.
+    pub summary: String,
+    /// Whether this shard's frontier slice came back clean.
+    pub clean: bool,
 }
 
 /// The client-visible view of a job.
@@ -252,6 +295,63 @@ pub fn execute(spec: &JobSpec, cache: &WarmCache, obs: &pmobs::Obs) -> Result<Jo
         clean,
         cached: false,
         duration_ms: started.elapsed().as_millis() as u64,
+    })
+}
+
+/// Runs one shard of a sharded explore campaign: the same deterministic
+/// pipeline as [`execute`], restricted to the shard's slice of the
+/// frontier set. This is the campaign worker body — pure in
+/// `(spec, shard)`, so retries after worker deaths recompute identical
+/// bytes.
+///
+/// # Errors
+///
+/// Returns the failure message (compile errors, traps, tripped budgets);
+/// the scheduler counts it against the shard's retry budget.
+pub fn execute_shard(
+    spec: &JobSpec,
+    shard: u64,
+    cache: &WarmCache,
+    obs: &pmobs::Obs,
+) -> Result<ShardDone, String> {
+    spec.validate()?;
+    if spec.kind != JobKind::Explore {
+        return Err(format!("only explore jobs shard, not {}", spec.kind));
+    }
+    if shard >= spec.shards {
+        return Err(format!(
+            "shard {shard} out of range for a {}-shard campaign",
+            spec.shards
+        ));
+    }
+    let _span = obs.span("serve.job.explore.shard");
+    let m = compile(spec, cache, obs)?;
+    let opts = pmexplore::ExploreOptions {
+        budget: spec.budget as usize,
+        seed: spec.seed,
+        jobs: spec.jobs as usize,
+        obs: obs.clone(),
+        shard: Some((shard, spec.shards)),
+        ..pmexplore::ExploreOptions::default()
+    };
+    let x = pmexplore::run_and_explore(&m, &spec.entry, &opts).map_err(|e| e.to_string())?;
+    let clean = x.report.is_clean();
+    let summary = if clean {
+        format!(
+            "shard {shard}/{}: {} candidate state(s) consistent",
+            spec.shards, x.report.stats.candidates
+        )
+    } else {
+        format!(
+            "shard {shard}/{}: {} inconsistent crash state(s)",
+            spec.shards,
+            x.report.findings.len()
+        )
+    };
+    Ok(ShardDone {
+        output: x.report.render(),
+        summary,
+        clean,
     })
 }
 

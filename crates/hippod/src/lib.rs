@@ -28,6 +28,7 @@
 //!   `hippo.metrics.v1` endpoints answer throughout.
 //! - [`client`] — the blocking client the CLI and tests drive.
 
+pub mod chaos;
 pub mod client;
 pub mod jobs;
 pub mod journal;
@@ -35,6 +36,7 @@ pub mod netfault;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod transport;
 
 pub use client::{Client, Submitted, CHUNK_BYTES, CHUNK_THRESHOLD};

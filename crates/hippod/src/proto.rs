@@ -164,6 +164,11 @@ pub struct Health {
     /// True while this daemon waits for the journal lock; a standby
     /// refuses job traffic until it takes over.
     pub standby: bool,
+    /// The election epoch this daemon serves at (0 when it runs without a
+    /// journal, or while standing by). Wire-defaulted so old daemons'
+    /// health payloads still parse.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 impl RequestFrame {
@@ -293,6 +298,7 @@ mod tests {
                 seed: 0,
                 jobs: 1,
                 deadline_ms: None,
+                shards: 1,
             },
         });
         let mut buf: Vec<u8> = vec![];

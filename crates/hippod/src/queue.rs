@@ -62,6 +62,26 @@ impl JobQueue {
         Ok(())
     }
 
+    /// Enqueues a scheduler-internal work unit (campaign shard fan-out,
+    /// reaper requeues), bypassing the client-facing capacity check: the
+    /// capacity bound meters *submissions*, and a campaign's shards must
+    /// never be lost to transient fullness once the job was accepted.
+    /// Only a closed queue refuses.
+    ///
+    /// # Errors
+    ///
+    /// When the queue is closed (the daemon is past its drain point).
+    pub fn push_internal(&self, id: String) -> Result<(), u64> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(RETRY_AFTER_BASE_MS);
+        }
+        g.items.push_back(id);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Blocks until a job is available; `None` once the queue is closed
     /// *and* drained — the worker-pool exit signal.
     pub fn pop(&self) -> Option<String> {

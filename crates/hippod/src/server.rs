@@ -28,13 +28,16 @@
 //!   queued and running jobs run to their journaled conclusion, then the
 //!   daemon removes its socket and exits.
 
-use crate::jobs::{execute, job_digest, JobResult, JobSpec, JobState, JobView};
-use crate::journal::{JobEvent, JobJournal};
+use crate::jobs::{
+    execute, execute_shard, job_digest, JobResult, JobSpec, JobState, JobView, ShardDone,
+};
+use crate::journal::{is_fenced, JobEvent, JobJournal};
 use crate::proto::{
     read_frame_idle, write_frame, FrameIn, Health, Request, RequestFrame, Response, ResponseFrame,
     JOBS_SCHEMA, JOBS_SCHEMA_V1,
 };
 use crate::queue::JobQueue;
+use crate::shard::{self, Campaign, Degradation};
 use crate::transport::{Conn, Endpoint, Listener};
 use hippocrates::WarmCache;
 use pmfault::{FaultKind, FaultSite, Injector};
@@ -83,6 +86,18 @@ pub struct ServerConfig {
     /// Reports the bound address once listening — how callers learn the
     /// real port behind `--listen host:0`.
     pub ready: Option<std::sync::mpsc::Sender<String>>,
+    /// Campaign shard lease TTL: a worker that stops heartbeating for this
+    /// long loses its shard to the reaper.
+    pub lease_ttl_ms: u64,
+    /// Per-shard wall-clock watchdog: a shard still executing past this is
+    /// abandoned (its lease expires; the reaper reassigns it).
+    pub shard_watchdog_ms: u64,
+    /// Reassignments per shard after the first attempt; past the budget
+    /// the shard is quarantined (poison-shard detection).
+    pub lease_retries: u32,
+    /// Journal event count above which startup (and takeover) compacts the
+    /// journal before replaying onward.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +117,10 @@ impl Default for ServerConfig {
             fault: None,
             obs: pmobs::Obs::default(),
             ready: None,
+            lease_ttl_ms: 2_000,
+            shard_watchdog_ms: 30_000,
+            lease_retries: 3,
+            compact_threshold: 4_096,
         }
     }
 }
@@ -120,6 +139,9 @@ pub struct ServeReport {
 struct State {
     jobs: Mutex<BTreeMap<String, JobView>>,
     specs: Mutex<HashMap<String, JobSpec>>,
+    /// In-flight sharded campaigns, keyed by job id. Lock order: campaigns
+    /// before journal, never the reverse.
+    campaigns: Mutex<HashMap<String, Campaign>>,
     queue: JobQueue,
     journal: Mutex<Option<JobJournal>>,
     cache: WarmCache,
@@ -130,24 +152,68 @@ struct State {
     submit_index: AtomicU64,
     draining: AtomicBool,
     standby: AtomicBool,
+    /// Set once the accept loop exits: background threads (reaper,
+    /// election) wind down.
+    stopping: AtomicBool,
+    /// The election epoch this daemon serves at (0 journal-less).
+    epoch: AtomicU64,
     resumed: AtomicU64,
     connections: AtomicU64,
+    /// One-shot latch for the injected rival-primary fault
+    /// ([`FaultSite::ShardElection`]): `fires_at` is stateless, and a
+    /// deposed primary that later re-wins the election would otherwise
+    /// re-inject the same rival forever.
+    election_fault_fired: AtomicBool,
+    /// The scheduler's monotonic clock origin; `now_ms` is elapsed since.
+    started: std::time::Instant,
     workers: usize,
     queue_capacity: usize,
     max_conns: usize,
     upload_budget: u64,
     io_timeout: Duration,
     idle_timeout: Duration,
+    lease_ttl_ms: u64,
+    shard_watchdog_ms: u64,
+    lease_retries: u32,
     fault: Option<Injector>,
     obs: pmobs::Obs,
 }
 
 impl State {
+    /// Milliseconds on the scheduler's monotonic clock — the `now_ms` every
+    /// lease-table call uses.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     fn journal_event(&self, ev: &JobEvent) -> Result<(), String> {
-        match &mut *self.journal.lock().unwrap_or_else(|e| e.into_inner()) {
+        let result = match &mut *self.journal.lock().unwrap_or_else(|e| e.into_inner()) {
             None => Ok(()),
             Some(j) => j.append(ev),
+        };
+        if let Err(e) = &result {
+            if is_fenced(e) {
+                self.demote(e);
+            }
         }
+        result
+    }
+
+    /// A fenced append means a rival primary holds the journal: stop
+    /// serving, release the flock, drop in-flight campaign state (the
+    /// successor re-runs it from the journal), and go contend in the
+    /// election loop like any other standby.
+    fn demote(&self, why: &str) {
+        if self.standby.swap(true, Ordering::SeqCst) {
+            return; // already demoted
+        }
+        *self.journal.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        self.campaigns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.obs.add("serve.demotions", 1);
+        eprintln!("hippod: deposed primary demoting to standby: {why}");
     }
 
     fn view(&self, id: &str) -> Option<JobView> {
@@ -226,6 +292,7 @@ impl State {
             cache_bytes: self.cache.bytes(),
             cache_evictions: self.cache.evictions(),
             standby: self.standby.load(Ordering::SeqCst),
+            epoch: self.epoch.load(Ordering::SeqCst),
         }
     }
 
@@ -250,6 +317,12 @@ struct Replayed {
     specs: HashMap<String, JobSpec>,
     pending: Vec<String>,
     max_id: u64,
+    /// Committed shard results of still-pending campaigns (first commit
+    /// per shard wins), to pre-seed their lease tables on resume.
+    shard_results: HashMap<String, BTreeMap<u64, ShardDone>>,
+    /// Quarantined shards of still-pending campaigns: shard →
+    /// (attempts, reason).
+    shard_quarantined: HashMap<String, BTreeMap<u64, (u32, String)>>,
 }
 
 fn replay(events: Vec<JobEvent>) -> Replayed {
@@ -275,8 +348,36 @@ fn replay(events: Vec<JobEvent>) -> Replayed {
             }
             JobEvent::Finished { view } => {
                 r.pending.retain(|p| p != &view.id);
+                r.shard_results.remove(&view.id);
+                r.shard_quarantined.remove(&view.id);
                 r.jobs.insert(view.id.clone(), view);
             }
+            JobEvent::ShardFinished { job, shard, result } => {
+                r.shard_results
+                    .entry(job)
+                    .or_default()
+                    .entry(shard)
+                    .or_insert(result);
+            }
+            JobEvent::ShardQuarantined {
+                job,
+                shard,
+                attempts,
+                reason,
+            } => {
+                r.shard_quarantined
+                    .entry(job)
+                    .or_default()
+                    .insert(shard, (attempts, reason));
+            }
+            // The epoch is tracked by the journal handle itself; lease
+            // grant/renew/reclaim history and compaction checkpoints do
+            // not affect the resume state.
+            JobEvent::Epoch { .. }
+            | JobEvent::LeaseAcquired { .. }
+            | JobEvent::LeaseRenewed { .. }
+            | JobEvent::LeaseReclaimed { .. }
+            | JobEvent::Compacted { .. } => {}
         }
     }
     r
@@ -313,8 +414,10 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
 
     // Open + replay the journal first: a held lock must refuse a primary
     // before it touches the socket. A standby *expects* the lock to be
-    // held — it binds immediately and polls for the lock instead.
+    // held — it binds immediately and contends in the election loop
+    // instead.
     let mut replayed = Replayed::default();
+    let mut initial_epoch = 0u64;
     let journal = if config.standby {
         if config.journal.is_none() {
             return Err("--standby requires a journal to watch".to_string());
@@ -324,7 +427,15 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         match &config.journal {
             None => None,
             Some(path) => {
-                let (journal, events) = JobJournal::open(path)?;
+                let (mut journal, events) = JobJournal::open(path)?;
+                if events.len() >= config.compact_threshold {
+                    let dropped = journal.compact(&events)?;
+                    obs.add("serve.journal.compacted", dropped);
+                }
+                // Claim the primaryship: the epoch record fences any
+                // deposed predecessor that still believes it holds the
+                // journal.
+                initial_epoch = journal.elect()?;
                 replayed = replay(events);
                 Some(journal)
             }
@@ -345,10 +456,10 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         Some(budget) => WarmCache::with_budget(budget),
         None => WarmCache::enabled(),
     };
-    let pending = std::mem::take(&mut replayed.pending);
     let state = Arc::new(State {
         jobs: Mutex::new(std::mem::take(&mut replayed.jobs)),
         specs: Mutex::new(std::mem::take(&mut replayed.specs)),
+        campaigns: Mutex::new(HashMap::new()),
         queue: JobQueue::new(config.queue_capacity),
         journal: Mutex::new(journal),
         cache,
@@ -357,14 +468,21 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         submit_index: AtomicU64::new(0),
         draining: AtomicBool::new(false),
         standby: AtomicBool::new(config.standby),
+        stopping: AtomicBool::new(false),
+        epoch: AtomicU64::new(initial_epoch),
         resumed: AtomicU64::new(resumed),
         connections: AtomicU64::new(0),
+        election_fault_fired: AtomicBool::new(false),
+        started: std::time::Instant::now(),
         workers: config.workers.max(1),
         queue_capacity: config.queue_capacity,
         max_conns: config.max_conns.max(1),
         upload_budget: config.upload_budget,
         io_timeout: config.io_timeout,
         idle_timeout: config.idle_timeout,
+        lease_ttl_ms: config.lease_ttl_ms.max(1),
+        shard_watchdog_ms: config.shard_watchdog_ms.max(1),
+        lease_retries: config.lease_retries,
         fault: config.fault.map(|p| Injector::with_obs(p, obs.clone())),
         obs: obs.clone(),
     });
@@ -374,26 +492,31 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         seed_results(&state, &jobs, &specs);
     }
 
-    // In-flight jobs resume before any new submission: re-queue them in
-    // submission order. The queue is empty, so pushes cannot fail.
-    for id in pending {
-        state
-            .queue
-            .push(id)
-            .map_err(|_| "resume overflowed the job queue; raise --queue".to_string())?;
-    }
+    // In-flight jobs resume before any new submission, in submission
+    // order; sharded campaigns resume with their journaled shard results
+    // pre-seeded.
+    resume_pending(&state, &mut replayed);
 
     let workers: Vec<_> = (0..state.workers)
-        .map(|_| {
+        .map(|w| {
             let state = state.clone();
-            std::thread::spawn(move || worker_loop(&state))
+            std::thread::spawn(move || worker_loop(&state, w))
         })
         .collect();
 
-    let takeover = config.standby.then(|| {
+    let reaper = {
         let state = state.clone();
-        let path = config.journal.clone().expect("checked above");
-        std::thread::spawn(move || takeover_loop(&state, &path))
+        std::thread::spawn(move || reaper_loop(&state))
+    };
+
+    // The election loop runs for the daemon's whole life whenever a
+    // journal is configured: a standby contends for the primaryship, and
+    // a deposed primary (epoch-fenced by a rival) re-enters standby and
+    // contends again.
+    let election = config.journal.clone().map(|path| {
+        let state = state.clone();
+        let threshold = config.compact_threshold;
+        std::thread::spawn(move || election_loop(&state, &path, threshold))
     });
 
     // Accept loop. Nonblocking + sleep keeps it responsive to the drain
@@ -429,6 +552,12 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if state.draining.load(Ordering::SeqCst) {
+                    // A standby (including a deposed primary) has nothing
+                    // to drain — its journaled pending work belongs to
+                    // whoever holds the journal now.
+                    if state.standby.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let (queued, running, ..) = state.counts();
                     if queued == 0 && running == 0 && state.queue.is_empty() {
                         break;
@@ -445,13 +574,25 @@ pub fn serve(config: ServerConfig) -> Result<ServeReport, String> {
         }
     }
 
+    state.stopping.store(true, Ordering::SeqCst);
     state.queue.close();
     for w in workers {
         let _ = w.join();
     }
-    if let Some(t) = takeover {
+    let _ = reaper.join();
+    if let Some(t) = election {
         let _ = t.join();
     }
+    // Release the journal (and its flock) before returning: detached
+    // connection handlers may keep the state alive past this point, and a
+    // successor must not lose the election to a ghost of this daemon.
+    drop(
+        state
+            .journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take(),
+    );
     if let Endpoint::Unix(path) = &endpoint {
         let _ = std::fs::remove_file(path);
     }
@@ -474,18 +615,38 @@ impl Drop for ConnGuard {
     }
 }
 
-/// The standby's watch: poll for the journal flock; the moment the
-/// primary dies (releasing it), replay, re-queue unfinished jobs, and
-/// start serving.
-fn takeover_loop(state: &State, path: &std::path::Path) {
+/// The election: any number of standbys (and deposed primaries) poll for
+/// the journal flock. The flock acquisition *is* the election primitive —
+/// exactly one contender's `JobJournal::open` succeeds — and the appended
+/// `Epoch` record makes the win durable and fences the loser's stale
+/// writes. Winners replay, re-queue unfinished jobs (campaigns resume
+/// with journaled shard results pre-seeded), and start serving; losers
+/// keep polling. The loop never exits on a win: if this primary is later
+/// deposed, it demotes and contends again.
+fn election_loop(state: &State, path: &std::path::Path, compact_threshold: usize) {
     loop {
-        if state.draining.load(Ordering::SeqCst) {
+        if state.stopping.load(Ordering::SeqCst) || state.draining.load(Ordering::SeqCst) {
             return;
         }
+        if !state.standby.load(Ordering::SeqCst) {
+            // Currently the primary; nothing to contend for.
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
         match JobJournal::open(path) {
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
-            Ok((journal, events)) => {
-                let replayed = replay(events);
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            Ok((mut journal, events)) => {
+                if events.len() >= compact_threshold {
+                    if let Ok(dropped) = journal.compact(&events) {
+                        state.obs.add("serve.journal.compacted", dropped);
+                    }
+                }
+                let Ok(epoch) = journal.elect() else {
+                    // Fenced in the open→elect window; drop the handle and
+                    // re-poll.
+                    continue;
+                };
+                let mut replayed = replay(events);
                 {
                     let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
                     for (id, view) in &replayed.jobs {
@@ -499,37 +660,481 @@ fn takeover_loop(state: &State, path: &std::path::Path) {
                     }
                 }
                 seed_results(state, &replayed.jobs, &replayed.specs);
-                state.next_id.store(replayed.max_id + 1, Ordering::SeqCst);
+                let floor = state.next_id.load(Ordering::SeqCst);
+                state
+                    .next_id
+                    .store((replayed.max_id + 1).max(floor), Ordering::SeqCst);
                 state
                     .resumed
                     .store(replayed.pending.len() as u64, Ordering::SeqCst);
+                state.epoch.store(epoch, Ordering::SeqCst);
                 *state.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(journal);
-                // Re-queue unfinished jobs, then open for business. The
-                // queue is empty (submissions were refused during
-                // standby), but retry anyway if the backlog exceeds its
-                // capacity.
-                for id in replayed.pending {
-                    loop {
-                        match state.queue.push(id.clone()) {
-                            Ok(()) => break,
-                            Err(_) if state.draining.load(Ordering::SeqCst) => return,
-                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                        }
-                    }
-                }
+                // Open for business *before* re-queueing, so the worker
+                // pool picks the resumed work up instead of skipping it.
                 state.standby.store(false, Ordering::SeqCst);
+                resume_pending(state, &mut replayed);
                 state.obs.add("serve.standby.takeovers", 1);
+                state.obs.add("serve.elections.won", 1);
                 state
                     .obs
                     .add("serve.jobs.resumed", state.resumed.load(Ordering::SeqCst));
-                return;
             }
         }
     }
 }
 
-fn worker_loop(state: &State) {
+/// Re-enters every pending job from a replay: whole jobs go back on the
+/// queue; sharded campaigns are reconstructed around their journaled
+/// shard results and fan their remaining shards out.
+fn resume_pending(state: &State, replayed: &mut Replayed) {
+    let pending = std::mem::take(&mut replayed.pending);
+    for id in pending {
+        let spec = state
+            .specs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned();
+        let Some(spec) = spec else {
+            state.finish(&id, JobState::Failed, Some("spec lost".to_string()), None);
+            continue;
+        };
+        if spec.shards > 1 {
+            let results = replayed.shard_results.remove(&id).unwrap_or_default();
+            let quarantined = replayed.shard_quarantined.remove(&id).unwrap_or_default();
+            start_campaign(state, &id, &spec, results, quarantined);
+        } else if state.queue.push_internal(id.clone()).is_err() {
+            // The queue is closed: the daemon is exiting. The job stays
+            // journaled pending for the next primary.
+            return;
+        }
+    }
+}
+
+/// Fans a campaign out: builds the lease table (pre-seeded with any
+/// journaled shard results/quarantines), registers it, and queues the
+/// outstanding shard units. A campaign whose digest is already in the
+/// whole-result cache — or whose replayed shards already settle it —
+/// finishes immediately.
+fn start_campaign(
+    state: &State,
+    id: &str,
+    spec: &JobSpec,
+    results: BTreeMap<u64, ShardDone>,
+    quarantined: BTreeMap<u64, (u32, String)>,
+) {
+    if results.is_empty() && quarantined.is_empty() {
+        if let Some(mut r) = state.cached_result(job_digest(spec)) {
+            state.obs.add("serve.results.hit", 1);
+            r.cached = true;
+            state.finish(id, JobState::Done, None, Some(r));
+            return;
+        }
+        state.obs.add("serve.results.miss", 1);
+    }
+    let epoch = state.epoch.load(Ordering::SeqCst);
+    let mut c = Campaign::new(spec.clone(), epoch, state.lease_ttl_ms, state.lease_retries);
+    for (s, r) in results {
+        c.seed_result(s, r);
+    }
+    for (s, (attempts, reason)) in quarantined {
+        c.seed_quarantine(s, attempts, reason);
+    }
+    state.set_state(id, JobState::Running, None, None);
+    if c.is_settled() {
+        finalize_campaign(state, id, c);
+        return;
+    }
+    let todo = c.unassigned(state.now_ms());
+    state
+        .campaigns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id.to_string(), c);
+    for s in todo {
+        let _ = state.queue.push_internal(shard::shard_work_id(id, s));
+    }
+    state.obs.add("serve.campaigns.started", 1);
+}
+
+/// Merges and journals a settled campaign. The merged artifact is cached
+/// only when undegraded — a quarantined shard's placeholder is not the
+/// canonical bytes for this digest.
+fn finalize_campaign(state: &State, id: &str, c: Campaign) {
+    let degraded = !c.quarantined.is_empty();
+    let r = c.merged_result();
+    if degraded {
+        state.obs.add("serve.campaigns.degraded", 1);
+    } else {
+        state.store_result(job_digest(&c.spec), &r);
+    }
+    state.obs.add("serve.campaigns.finished", 1);
+    state.finish(id, JobState::Done, None, Some(r));
+}
+
+/// Finalizes the campaign iff it just settled (all shards committed or
+/// quarantined).
+fn try_finalize(state: &State, job: &str) {
+    let settled = {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+        match campaigns.get(job) {
+            Some(c) if c.is_settled() => campaigns.remove(job),
+            _ => None,
+        }
+    };
+    if let Some(c) = settled {
+        finalize_campaign(state, job, c);
+    }
+}
+
+/// The reaper: harvests expired leases (dead or hung workers), journals
+/// the reclaim, schedules the retry behind a seeded backoff (or
+/// quarantines the shard past its budget), and requeues shards whose
+/// backoff elapsed.
+fn reaper_loop(state: &State) {
+    let tick = Duration::from_millis((state.lease_ttl_ms / 4).clamp(5, 250));
+    while !state.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        reaper_pass(state);
+    }
+}
+
+fn reaper_pass(state: &State) {
+    let now = state.now_ms();
+    let mut events: Vec<JobEvent> = vec![];
+    let mut requeue: Vec<String> = vec![];
+    let mut settled: Vec<String> = vec![];
+    {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+        for (job, c) in campaigns.iter_mut() {
+            for r in c.table.reclaim_expired(now) {
+                let reason = "lease expired (holder died or hung)".to_string();
+                c.trail.push(Degradation {
+                    shard: r.shard,
+                    attempt: r.attempt,
+                    reason: reason.clone(),
+                    quarantined: r.quarantined,
+                });
+                events.push(JobEvent::LeaseReclaimed {
+                    job: job.clone(),
+                    shard: r.shard,
+                    epoch: r.epoch,
+                    owner: r.owner.clone(),
+                    attempt: r.attempt,
+                    reason: reason.clone(),
+                });
+                if r.quarantined {
+                    c.quarantined.insert(r.shard, reason.clone());
+                    events.push(JobEvent::ShardQuarantined {
+                        job: job.clone(),
+                        shard: r.shard,
+                        attempts: r.attempt + 1,
+                        reason,
+                    });
+                    state.obs.add("serve.shards.quarantined", 1);
+                } else {
+                    let backoff = pmfault::backoff_ms(c.spec.seed ^ r.shard, r.attempt, 10, 200);
+                    c.ready_at.insert(r.shard, now + backoff);
+                    state.obs.add("serve.shards.reclaimed", 1);
+                }
+            }
+            let due: Vec<u64> = c
+                .ready_at
+                .iter()
+                .filter(|&(_, &t)| t <= now)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in due {
+                c.ready_at.remove(&s);
+                requeue.push(shard::shard_work_id(job, s));
+            }
+            if c.is_settled() {
+                settled.push(job.clone());
+            }
+        }
+    }
+    for ev in &events {
+        if state.journal_event(ev).is_err() {
+            return; // fenced → demoted; campaign state is gone
+        }
+    }
+    for id in requeue {
+        let _ = state.queue.push_internal(id);
+    }
+    for job in settled {
+        try_finalize(state, &job);
+    }
+}
+
+/// Runs one leased shard unit: acquire → heartbeat while a helper thread
+/// executes → commit (first-commit-wins). Injected chaos hits every edge
+/// of this path; see the `FaultSite::Shard*` contracts.
+fn run_shard(state: &State, job: &str, shard_idx: u64, owner: &str) {
+    let (spec, lease) = {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(c) = campaigns.get_mut(job) else {
+            return; // campaign finalized, canceled, or demoted away
+        };
+        match c.table.acquire(shard_idx, owner, state.now_ms()) {
+            Ok(l) => (c.spec.clone(), l),
+            Err(_) => return, // done, quarantined, or raced a live holder
+        }
+    };
+    if state
+        .journal_event(&JobEvent::LeaseAcquired {
+            job: job.to_string(),
+            shard: shard_idx,
+            epoch: lease.epoch,
+            owner: owner.to_string(),
+            attempt: lease.attempt,
+        })
+        .is_err()
+    {
+        return;
+    }
+
+    let occurrence = pmfault::shard_occurrence(shard_idx, lease.attempt);
+    if let Some(inj) = &state.fault {
+        // Chaos: the worker dies right after taking the lease. It simply
+        // stops heartbeating; the reaper reclaims and reassigns.
+        if inj.fires_at(FaultSite::ShardWorker, occurrence).is_some() {
+            state.obs.add("serve.shards.killed", 1);
+            return;
+        }
+    }
+    // Chaos: the lease-expiry storm — this attempt never heartbeats, and
+    // parks past the TTL so expiry is guaranteed before its commit.
+    let storm = state.fault.as_ref().is_some_and(|inj| {
+        inj.fires_at(FaultSite::ShardRenew, u64::from(lease.attempt))
+            .is_some()
+    });
+    if storm {
+        state.obs.add("serve.shards.storm_stalled", 1);
+        std::thread::sleep(Duration::from_millis(
+            state.lease_ttl_ms + state.lease_ttl_ms / 2,
+        ));
+    }
+
+    // The shard body runs on a helper thread so this worker can heartbeat
+    // the lease during execution — and abandon a hung shard to the reaper
+    // instead of wedging.
+    let (tx, rx) = std::sync::mpsc::channel();
+    {
+        let spec = spec.clone();
+        let cache = state.cache.clone();
+        let obs = state.obs.clone();
+        std::thread::spawn(move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_shard(&spec, shard_idx, &cache, &obs)
+            }));
+            let _ = tx.send(match out {
+                Ok(r) => r,
+                Err(_) => Err("shard panicked".to_string()),
+            });
+        });
+    }
+    let renew_every = Duration::from_millis((state.lease_ttl_ms / 4).max(1));
+    let deadline = state.now_ms() + state.shard_watchdog_ms;
+    let mut journaled_renewal = false;
+    loop {
+        match rx.recv_timeout(renew_every) {
+            Ok(outcome) => {
+                commit_shard(state, job, shard_idx, owner, &lease, outcome);
+                return;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if state.now_ms() >= deadline {
+                    // Hung shard: abandon it. Renewals stop, the lease
+                    // expires, the reaper reassigns; the helper's eventual
+                    // late commit is fenced off by the lease table.
+                    state.obs.add("serve.shards.abandoned", 1);
+                    return;
+                }
+                if storm {
+                    continue; // suppressed heartbeat
+                }
+                let renewed = {
+                    let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+                    match campaigns.get_mut(job) {
+                        None => return, // campaign finalized or demoted away
+                        Some(c) => c
+                            .table
+                            .renew(shard_idx, owner, lease.epoch, state.now_ms())
+                            .is_ok(),
+                    }
+                };
+                if !renewed {
+                    return; // reclaimed out from under us; retry recomputes
+                }
+                if !journaled_renewal {
+                    journaled_renewal = true;
+                    let _ = state.journal_event(&JobEvent::LeaseRenewed {
+                        job: job.to_string(),
+                        shard: shard_idx,
+                        epoch: lease.epoch,
+                        owner: owner.to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Commits (or fails) one executed shard under first-commit-wins.
+fn commit_shard(
+    state: &State,
+    job: &str,
+    shard_idx: u64,
+    owner: &str,
+    lease: &pmtx::Lease,
+    outcome: Result<ShardDone, String>,
+) {
+    let result = match outcome {
+        Ok(r) => r,
+        Err(reason) => {
+            fail_shard(
+                state,
+                job,
+                shard_idx,
+                owner,
+                &format!("shard failed: {reason}"),
+            );
+            return;
+        }
+    };
+    let occurrence = pmfault::shard_occurrence(shard_idx, lease.attempt);
+    if let Some(inj) = &state.fault {
+        // Chaos: the reaper-vs-finisher race — the lease is revoked (as an
+        // expiry would) at the worst moment, right before the commit. The
+        // computed result is discarded; the retry recomputes it.
+        if inj.fires_at(FaultSite::ShardCommit, occurrence).is_some() {
+            fail_shard(
+                state,
+                job,
+                shard_idx,
+                owner,
+                "injected reaper-vs-finisher commit race",
+            );
+            return;
+        }
+        // Chaos: a rival primary claims the journal between compute and
+        // commit; our ShardFinished append below fences, and we demote.
+        if inj.fires_at(FaultSite::ShardElection, occurrence).is_some()
+            && !state.election_fault_fired.swap(true, Ordering::SeqCst)
+        {
+            let path = state
+                .journal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .map(|j| j.path().to_path_buf());
+            if let Some(path) = path {
+                let _ = crate::journal::append_rival_epoch(
+                    &path,
+                    state.epoch.load(Ordering::SeqCst) + 1,
+                );
+            }
+        }
+    }
+    let committed = {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(c) = campaigns.get_mut(job) else {
+            return;
+        };
+        match c.table.complete(shard_idx, owner, lease.epoch) {
+            Ok(()) => {
+                c.results.insert(shard_idx, result.clone());
+                true
+            }
+            Err(_) => false, // reclaimed, fenced, or already committed
+        }
+    };
+    if !committed {
+        state.obs.add("serve.shards.discarded", 1);
+        return;
+    }
+    if state
+        .journal_event(&JobEvent::ShardFinished {
+            job: job.to_string(),
+            shard: shard_idx,
+            result,
+        })
+        .is_err()
+    {
+        return; // fenced → demoted; the successor re-runs this shard
+    }
+    state.obs.add("serve.shards.done", 1);
+    try_finalize(state, job);
+}
+
+/// Books a failed attempt: revoke the lease, journal the reclaim, and
+/// either schedule the retry behind a seeded backoff or quarantine the
+/// shard past its budget.
+fn fail_shard(state: &State, job: &str, shard_idx: u64, owner: &str, reason: &str) {
+    let reclaimed = {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(c) = campaigns.get_mut(job) else {
+            return;
+        };
+        match c.table.revoke(shard_idx, owner) {
+            Err(_) => None, // already reclaimed by the reaper
+            Ok(r) => {
+                c.trail.push(Degradation {
+                    shard: shard_idx,
+                    attempt: r.attempt,
+                    reason: reason.to_string(),
+                    quarantined: r.quarantined,
+                });
+                if r.quarantined {
+                    c.quarantined.insert(shard_idx, reason.to_string());
+                } else {
+                    let backoff = pmfault::backoff_ms(c.spec.seed ^ shard_idx, r.attempt, 10, 200);
+                    c.ready_at.insert(shard_idx, state.now_ms() + backoff);
+                }
+                Some(r)
+            }
+        }
+    };
+    let Some(r) = reclaimed else { return };
+    let _ = state.journal_event(&JobEvent::LeaseReclaimed {
+        job: job.to_string(),
+        shard: shard_idx,
+        epoch: r.epoch,
+        owner: owner.to_string(),
+        attempt: r.attempt,
+        reason: reason.to_string(),
+    });
+    if r.quarantined {
+        let _ = state.journal_event(&JobEvent::ShardQuarantined {
+            job: job.to_string(),
+            shard: shard_idx,
+            attempts: r.attempt + 1,
+            reason: reason.to_string(),
+        });
+        state.obs.add("serve.shards.quarantined", 1);
+        try_finalize(state, job);
+    } else {
+        state.obs.add("serve.shards.reclaimed", 1);
+    }
+}
+
+fn worker_loop(state: &State, worker: usize) {
+    let owner = format!("{}:w{worker}", std::process::id());
     while let Some(id) = state.queue.pop() {
+        // Shard units dispatch through the lease scheduler; the campaign
+        // map is authoritative (a cleared campaign makes the unit a
+        // no-op), so these never consult the standby flag.
+        if let Some((job, shard_idx)) = shard::parse_work_id(&id) {
+            let job = job.to_string();
+            run_shard(state, &job, shard_idx, &owner);
+            continue;
+        }
+        // Whole jobs: a standby (deposed primary) drops them — they are
+        // journaled pending, and the journal holder re-runs them.
+        if state.standby.load(Ordering::SeqCst) {
+            continue;
+        }
         // A canceled job was already journaled terminal; skip it.
         match state.view(&id).map(|v| v.state) {
             Some(JobState::Queued) => {}
@@ -878,8 +1483,11 @@ fn respond(request: Request, state: &State) -> Response {
             message: "SourceChunk is handled per-connection".to_string(),
         },
         Request::Shutdown => {
+            // Only raise the drain flag — the queue must stay open so
+            // campaign shard units (and reaper requeues) already in flight
+            // can finish. `serve` closes the queue after the accept loop
+            // observes quiescence.
             state.draining.store(true, Ordering::SeqCst);
-            state.queue.close();
             state.obs.add("serve.shutdowns", 1);
             Response::ShuttingDown
         }
@@ -910,6 +1518,14 @@ fn submit(spec: JobSpec, state: &State) -> Response {
         id: id.clone(),
         spec: spec.clone(),
     }) {
+        // A fenced append means this primary was deposed mid-submit. The
+        // job was NOT durably accepted — answer retryable `Busy` (never a
+        // silent drop): the client's retry lands on whoever won.
+        if is_fenced(&e) {
+            return Response::Busy {
+                retry_after_ms: 100,
+            };
+        }
         return Response::Error {
             message: format!("journal append failed: {e}"),
         };
@@ -928,7 +1544,14 @@ fn submit(spec: JobSpec, state: &State) -> Response {
         .specs
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .insert(id.clone(), spec);
+        .insert(id.clone(), spec.clone());
+    if spec.shards > 1 {
+        // Sharded campaign: fan the shard units out under the lease
+        // scheduler instead of queueing the job whole.
+        start_campaign(state, &id, &spec, BTreeMap::new(), BTreeMap::new());
+        state.obs.add("serve.jobs.submitted", 1);
+        return Response::Accepted { id };
+    }
     match state.queue.push(id.clone()) {
         Ok(()) => {
             state.obs.add("serve.jobs.submitted", 1);

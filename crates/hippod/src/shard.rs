@@ -1,0 +1,276 @@
+//! Campaign sharding: deterministic shard units, the per-campaign
+//! scheduler state, and the merge that makes a faulted multi-worker
+//! campaign byte-identical to a single-worker run.
+//!
+//! A sharded explore job splits its frontier set into `spec.shards`
+//! deterministic slices (frontier index modulo shard count — see
+//! [`pmexplore::ExploreOptions::shard`]). Each slice is one **shard
+//! unit**: an independently schedulable, independently retryable piece of
+//! work whose result is pure in `(spec, shard_index)`. The scheduler in
+//! `server.rs` hands shard units to the worker pool under
+//! [`pmtx::LeaseTable`] leases; this module owns everything that is *not*
+//! scheduling policy — the work-unit id encoding, the campaign
+//! bookkeeping, the degradation trail, and the order-deterministic merge.
+//!
+//! **The byte-identity invariant.** [`merge`] concatenates committed
+//! shard reports in shard-index order with fixed headers. Nothing about
+//! worker deaths, lease reclaims, retries, or which worker won a commit
+//! race appears in the artifact — that history lives in the journal and
+//! the [`Degradation`] trail instead. Hence a campaign that lost two
+//! workers and survived a lease-expiry storm merges the exact bytes of an
+//! undisturbed single-worker run ([`run_local`]), which is what the chaos
+//! gate asserts.
+
+use crate::jobs::{execute_shard, JobKind, JobResult, JobSpec, ShardDone};
+use hippocrates::WarmCache;
+use pmtx::LeaseTable;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Separator between a job id and its shard index in queue work units.
+const SHARD_SEP: &str = "#shard-";
+
+/// Encodes the queue work unit for one shard of a campaign job. Client
+/// visible ids stay `job-N`; only the internal queue carries these.
+pub fn shard_work_id(job: &str, shard: u64) -> String {
+    format!("{job}{SHARD_SEP}{shard}")
+}
+
+/// Decodes a queue work unit: `Some((job, shard))` for shard units,
+/// `None` for whole jobs.
+pub fn parse_work_id(id: &str) -> Option<(&str, u64)> {
+    let (job, rest) = id.split_once(SHARD_SEP)?;
+    rest.parse().ok().map(|shard| (job, shard))
+}
+
+/// One entry in a campaign's structured degradation trail: something went
+/// wrong, the scheduler absorbed it, and the campaign carried on. The
+/// trail is diagnostic metadata — it never leaks into the merged artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    pub shard: u64,
+    /// The attempt that failed (0-based).
+    pub attempt: u32,
+    pub reason: String,
+    /// True when this failure exhausted the shard's retry budget.
+    pub quarantined: bool,
+}
+
+/// One in-flight sharded campaign: the lease table plus committed
+/// results, quarantine reasons, backoff schedule, and degradation trail.
+/// Scheduling decisions (when to reap, what to requeue) live in
+/// `server.rs`; this is the bookkeeping they share.
+pub struct Campaign {
+    pub spec: JobSpec,
+    pub table: LeaseTable,
+    /// Committed shard results, first-commit-wins, keyed by shard index.
+    pub results: BTreeMap<u64, ShardDone>,
+    /// Quarantined shards and why.
+    pub quarantined: BTreeMap<u64, String>,
+    /// Reclaimed shards sit out a seeded backoff: shard → not-before, on
+    /// the scheduler's clock.
+    pub ready_at: BTreeMap<u64, u64>,
+    pub trail: Vec<Degradation>,
+    pub started: std::time::Instant,
+}
+
+impl Campaign {
+    /// A fresh campaign for `spec` under election `epoch`.
+    pub fn new(spec: JobSpec, epoch: u64, ttl_ms: u64, retries: u32) -> Campaign {
+        let total = spec.shards;
+        Campaign {
+            spec,
+            table: LeaseTable::new(epoch, total, ttl_ms, retries),
+            results: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            ready_at: BTreeMap::new(),
+            trail: Vec::new(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Pre-seeds a journaled shard result (resume / takeover replay).
+    pub fn seed_result(&mut self, shard: u64, result: ShardDone) {
+        self.table.seed_done(shard);
+        self.results.insert(shard, result);
+    }
+
+    /// Pre-seeds a journaled quarantine (resume / takeover replay).
+    pub fn seed_quarantine(&mut self, shard: u64, attempts: u32, reason: String) {
+        self.table.seed_quarantined(shard, attempts);
+        self.trail.push(Degradation {
+            shard,
+            attempt: attempts.saturating_sub(1),
+            reason: reason.clone(),
+            quarantined: true,
+        });
+        self.quarantined.insert(shard, reason);
+    }
+
+    /// Shards that still need their first (or next) grant — what to queue.
+    pub fn unassigned(&self, now_ms: u64) -> Vec<u64> {
+        self.table
+            .assignable(now_ms)
+            .into_iter()
+            .filter(|s| !self.ready_at.contains_key(s))
+            .collect()
+    }
+
+    /// Whether every shard committed or quarantined.
+    pub fn is_settled(&self) -> bool {
+        self.table.is_settled()
+    }
+
+    /// The merged campaign artifact (see [`merge`]), stamped with this
+    /// campaign's wall-clock duration.
+    pub fn merged_result(&self) -> JobResult {
+        let (output, summary, clean) = merge(self.spec.shards, &self.results, &self.quarantined);
+        JobResult {
+            output,
+            summary,
+            clean,
+            cached: false,
+            duration_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// Merges committed shard reports into the final campaign artifact:
+/// shard-index order, fixed headers, nothing schedule-dependent. A
+/// quarantined shard contributes a deterministic placeholder (and marks
+/// the artifact dirty); a fault-free campaign has none, so its merge is
+/// byte-identical to [`run_local`]'s.
+pub fn merge(
+    total: u64,
+    results: &BTreeMap<u64, ShardDone>,
+    quarantined: &BTreeMap<u64, String>,
+) -> (String, String, bool) {
+    let mut output = String::new();
+    let mut dirty = 0u64;
+    for shard in 0..total {
+        if let Some(r) = results.get(&shard) {
+            output.push_str(&format!("== shard {shard}/{total} ==\n"));
+            output.push_str(&r.output);
+            if !r.output.ends_with('\n') {
+                output.push('\n');
+            }
+            if !r.clean {
+                dirty += 1;
+            }
+        } else if quarantined.contains_key(&shard) {
+            output.push_str(&format!("== shard {shard}/{total} quarantined ==\n"));
+        }
+    }
+    let q = quarantined.len();
+    let clean = q == 0 && dirty == 0;
+    let summary = if q == 0 {
+        format!("campaign: {total} shard(s) merged, {dirty} dirty")
+    } else {
+        format!(
+            "campaign: {} shard(s) merged, {dirty} dirty, {q} quarantined (degraded)",
+            total - q as u64
+        )
+    };
+    (output, summary, clean)
+}
+
+/// Runs a sharded campaign locally: every shard in order, one worker, no
+/// daemon, no faults. This is the chaos gate's baseline — the bytes any
+/// faulted multi-worker run of the same spec must reproduce exactly.
+///
+/// # Errors
+///
+/// Returns the first shard's failure message (local runs have no retry
+/// budget; they are the reference, not the survivor).
+pub fn run_local(spec: &JobSpec, cache: &WarmCache, obs: &pmobs::Obs) -> Result<JobResult, String> {
+    spec.validate()?;
+    if spec.kind != JobKind::Explore || spec.shards < 2 {
+        return Err("run_local takes a sharded explore campaign".to_string());
+    }
+    let started = std::time::Instant::now();
+    let mut results = BTreeMap::new();
+    for shard in 0..spec.shards {
+        results.insert(shard, execute_shard(spec, shard, cache, obs)?);
+    }
+    let (output, summary, clean) = merge(spec.shards, &results, &BTreeMap::new());
+    Ok(JobResult {
+        output,
+        summary,
+        clean,
+        cached: false,
+        duration_ms: started.elapsed().as_millis() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_ids_roundtrip_and_reject_whole_jobs() {
+        let id = shard_work_id("job-7", 3);
+        assert_eq!(id, "job-7#shard-3");
+        assert_eq!(parse_work_id(&id), Some(("job-7", 3)));
+        assert_eq!(parse_work_id("job-7"), None);
+        assert_eq!(parse_work_id("job-7#shard-x"), None);
+    }
+
+    fn done(shard: u64, clean: bool) -> ShardDone {
+        ShardDone {
+            output: format!("report {shard}\n"),
+            summary: format!("shard {shard}/3: x"),
+            clean,
+        }
+    }
+
+    #[test]
+    fn merge_is_ordered_and_schedule_independent() {
+        // Commit order 2, 0, 1 — merge order must still be 0, 1, 2.
+        let mut results = BTreeMap::new();
+        results.insert(2, done(2, true));
+        results.insert(0, done(0, true));
+        results.insert(1, done(1, false));
+        let (out, summary, clean) = merge(3, &results, &BTreeMap::new());
+        assert_eq!(
+            out,
+            "== shard 0/3 ==\nreport 0\n== shard 1/3 ==\nreport 1\n== shard 2/3 ==\nreport 2\n"
+        );
+        assert!(!clean, "one dirty shard dirties the campaign");
+        assert_eq!(summary, "campaign: 3 shard(s) merged, 1 dirty");
+    }
+
+    #[test]
+    fn quarantined_shards_leave_a_deterministic_placeholder() {
+        let mut results = BTreeMap::new();
+        results.insert(0, done(0, true));
+        results.insert(2, done(2, true));
+        let mut quarantined = BTreeMap::new();
+        quarantined.insert(1u64, "injected worker kill".to_string());
+        let (out, summary, clean) = merge(3, &results, &quarantined);
+        assert!(out.contains("== shard 1/3 quarantined ==\n"), "{out}");
+        assert!(!clean);
+        assert!(summary.contains("1 quarantined (degraded)"), "{summary}");
+    }
+
+    #[test]
+    fn campaign_bookkeeping_settles_and_merges() {
+        let spec = {
+            let mut s = JobSpec::new(
+                JobKind::Explore,
+                vec![("a.pmc".to_string(), "fn main() {}".to_string())],
+            );
+            s.shards = 2;
+            s
+        };
+        let mut c = Campaign::new(spec, 1, 100, 2);
+        assert_eq!(c.unassigned(0), vec![0, 1]);
+        assert!(!c.is_settled());
+        c.seed_result(0, done(0, true));
+        c.seed_quarantine(1, 3, "poison".to_string());
+        assert!(c.is_settled());
+        let r = c.merged_result();
+        assert!(!r.clean);
+        assert_eq!(c.trail.len(), 1);
+        assert!(c.trail[0].quarantined);
+    }
+}

@@ -155,6 +155,102 @@ proptest! {
     }
 }
 
+/// One well-formed `SourceChunk` frame, checksummed the way an honest
+/// client would.
+fn chunk_frame(name: &str, seq: u64, data: &str, last: bool) -> Vec<u8> {
+    let mut frame = vec![];
+    write_frame(
+        &mut frame,
+        &RequestFrame::new(Request::SourceChunk {
+            name: name.to_string(),
+            seq,
+            data: data.to_string(),
+            checksum: pmir::snapshot::fnv1a(data.as_bytes()),
+            last,
+        }),
+    )
+    .unwrap();
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A peer that starts an honest chunked upload and dies mid-stream —
+    /// after any number of staged chunks, optionally mid-frame — leaks
+    /// neither its connection slot nor its staged upload budget: the
+    /// daemon still serves a polite chunked upload afterwards.
+    fn mid_chunk_connection_drops_leak_no_budget_or_slots(
+        staged in 1u64..6,
+        torn_tail in proptest::option::of(1usize..32),
+    ) {
+        {
+            let mut s = UnixStream::connect(daemon()).unwrap();
+            s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+            for seq in 0..staged {
+                // Never `last`: the file stays staged, charged against the
+                // connection's upload budget, when the peer dies.
+                let _ = s.write_all(&chunk_frame("doomed.pmc", seq, "store8(p, 0, 7);\n", false));
+            }
+            if let Some(cut) = torn_tail {
+                // Die mid-frame: a declared length with `cut` bytes missing.
+                let frame = chunk_frame("doomed.pmc", staged, "store8(p, 8, 9);\n", false);
+                let _ = s.write_all(&frame[..frame.len().saturating_sub(cut)]);
+            }
+            // Dropped without Submit: the daemon must discard the staging.
+        }
+
+        // The staged-but-abandoned bytes are freed with the connection: a
+        // fresh chunked submission still fits the budget and completes.
+        let timeout = Duration::from_secs(30);
+        let mut c = Client::connect_retry(daemon(), Duration::from_secs(5)).unwrap();
+        c.set_io_timeout(Some(timeout)).unwrap();
+        c.set_chunk_threshold(16);
+        let spec = JobSpec::new(
+            JobKind::Lint,
+            vec![("fine.pmc".to_string(), padded_source("after a mid-chunk death"))],
+        );
+        let id = c.submit_retry(spec, timeout).unwrap();
+        let view = c.wait(&id, timeout).unwrap();
+        prop_assert_eq!(view.state, JobState::Done, "daemon degraded after a mid-chunk drop");
+        prop_assert!(c.health().unwrap().ok);
+    }
+}
+
+/// Heartbeat loss: connections that go silent mid-frame are reaped by the
+/// I/O deadline and give their slots back — the live-connection gauge
+/// returns to its baseline instead of ratcheting up.
+#[test]
+fn silent_connections_are_reaped_and_free_their_slots() {
+    let mut c = Client::connect_retry(daemon(), Duration::from_secs(5)).unwrap();
+    c.set_io_timeout(Some(Duration::from_secs(10))).unwrap();
+    let baseline = c.health().unwrap().connections;
+
+    let silent: Vec<UnixStream> = (0..8)
+        .map(|_| {
+            let mut s = UnixStream::connect(daemon()).unwrap();
+            // Half a length prefix, then silence: the handler is stuck
+            // mid-read until its I/O deadline fires.
+            s.write_all(&[0x00, 0x00]).unwrap();
+            s
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let live = c.health().unwrap().connections;
+        if live <= baseline {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "silent connections still hold {live} slot(s) (baseline {baseline})"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    drop(silent);
+    c.ping().unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

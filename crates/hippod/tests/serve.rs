@@ -360,11 +360,18 @@ fn standby_takes_over_and_serves_journaled_results_byte_identically() {
         .result
         .expect("primary finishes the job");
 
+    assert_eq!(
+        c.health().unwrap().epoch,
+        1,
+        "the first primary serves at election epoch 1"
+    );
+
     // While the primary holds the flock, the standby answers health but
     // refuses job traffic.
     let mut s = Client::connect_retry(&standby_sock, Duration::from_secs(5)).unwrap();
     let h = s.health().unwrap();
     assert!(h.ok && h.standby);
+    assert_eq!(h.epoch, 0, "a standby has won no election yet");
     let err = s.submit(spec(JobKind::Fix)).unwrap_err();
     assert!(err.contains("standby"), "{err}");
 
@@ -377,6 +384,7 @@ fn standby_takes_over_and_serves_journaled_results_byte_identically() {
     loop {
         let h = s.health().unwrap();
         if !h.standby {
+            assert_eq!(h.epoch, 2, "the takeover wins the next monotonic epoch");
             break;
         }
         assert!(Instant::now() < deadline, "standby never took over");

@@ -1,0 +1,341 @@
+//! Campaign-scheduler end-to-end tests: lease-based shard execution on a
+//! real daemon, chaos archetypes, poison-shard quarantine, journal
+//! compaction, and the fenced-submit backpressure contract.
+
+use hippod::journal::{append_rival_epoch, read_events, JobEvent};
+use hippod::proto::{Request, Response};
+use hippod::{Client, JobKind, JobSpec, JobState, ServerConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// An explore workload with several independent persist points, so a
+/// 4-shard campaign gives every shard real frontiers to check.
+const MULTI: &str = r#"
+    fn main() {
+        var p: ptr = pmem_map(9, 4096);
+        store8(p, 0, 1);
+        clwb(p + 0);
+        sfence();
+        store8(p, 64, 2);
+        clwb(p + 64);
+        sfence();
+        store8(p, 128, 3);
+        clwb(p + 128);
+        store8(p, 192, 4);
+        print(load8(p, 0) + load8(p, 64));
+        print(load8(p, 128) + load8(p, 192));
+    }
+"#;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hippod-shard-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sharded_spec(shards: u64) -> JobSpec {
+    let mut s = JobSpec::new(
+        JobKind::Explore,
+        vec![("multi.pmc".to_string(), MULTI.to_string())],
+    );
+    s.shards = shards;
+    s
+}
+
+fn start(config: ServerConfig) -> std::thread::JoinHandle<Result<hippod::ServeReport, String>> {
+    std::thread::spawn(move || hippod::serve(config))
+}
+
+fn run_local_reference(shards: u64) -> hippod::JobResult {
+    hippod::shard::run_local(
+        &sharded_spec(shards),
+        &hippocrates::WarmCache::enabled(),
+        &pmobs::Obs::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn fault_free_campaign_is_byte_identical_to_sequential_run() {
+    let reference = run_local_reference(4);
+    assert!(
+        reference.output.contains("== shard 0/4 =="),
+        "{}",
+        reference.output
+    );
+    let dir = tmp("faultfree");
+    let socket = dir.join("hippod.sock");
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: Some(dir.join("jobs.journal")),
+        workers: 3,
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    let id = c
+        .submit_retry(sharded_spec(4), Duration::from_secs(5))
+        .unwrap();
+    let view = c.wait(&id, Duration::from_secs(60)).unwrap();
+    assert_eq!(view.state, JobState::Done);
+    let result = view.result.unwrap();
+    assert_eq!(
+        result.output, reference.output,
+        "a 3-worker campaign must merge the exact bytes of the sequential run"
+    );
+    assert_eq!(result.clean, reference.clean);
+    assert!(result.summary.starts_with("campaign: 4 shard(s) merged"));
+
+    // An identical resubmission hits the whole-result cache.
+    let again = c
+        .submit_retry(sharded_spec(4), Duration::from_secs(5))
+        .unwrap();
+    let again = c.wait(&again, Duration::from_secs(60)).unwrap();
+    let again = again.result.unwrap();
+    assert!(again.cached, "settled campaigns are cached by digest");
+    assert_eq!(again.output, reference.output);
+
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+// The four chaos archetypes, driven through the same runner the CLI
+// chaos gate uses: worker kills mid-shard (two of them), the
+// lease-expiry storm, the double-primary epoch contest, and the
+// reaper-vs-finisher commit race. Each must heal to byte identity with
+// a journaled degradation trail.
+
+#[test]
+fn chaos_double_worker_kill_heals_byte_identically() {
+    let line = hippod::chaos::campaign_seed(14, "multi.pmc", MULTI, &pmobs::Obs::enabled())
+        .expect("worker-kill archetype must heal");
+    assert!(line.contains("byte-identical"), "{line}");
+}
+
+#[test]
+fn chaos_lease_expiry_storm_heals_byte_identically() {
+    let line = hippod::chaos::campaign_seed(15, "multi.pmc", MULTI, &pmobs::Obs::enabled())
+        .expect("lease-storm archetype must heal");
+    assert!(line.contains("byte-identical"), "{line}");
+}
+
+#[test]
+fn chaos_epoch_contest_fails_over_byte_identically() {
+    let line = hippod::chaos::campaign_seed(16, "multi.pmc", MULTI, &pmobs::Obs::enabled())
+        .expect("epoch-contest archetype must heal");
+    assert!(line.contains("byte-identical"), "{line}");
+}
+
+#[test]
+fn chaos_commit_race_heals_byte_identically() {
+    let line = hippod::chaos::campaign_seed(17, "multi.pmc", MULTI, &pmobs::Obs::enabled())
+        .expect("commit-race archetype must heal");
+    assert!(line.contains("byte-identical"), "{line}");
+}
+
+#[test]
+fn poison_shard_is_quarantined_with_a_structured_trail() {
+    let dir = tmp("poison");
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    // Every attempt of every shard dies right after taking its lease: the
+    // retry budget runs dry and the scheduler must quarantine, finish the
+    // campaign degraded, and leave the whole story in the journal.
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: Some(journal.clone()),
+        workers: 2,
+        lease_ttl_ms: 50,
+        lease_retries: 1,
+        fault: Some(pmfault::FaultPlan::single(
+            pmfault::FaultSite::ShardWorker,
+            pmfault::Trigger::Always,
+            pmfault::FaultKind::WorkerKill,
+        )),
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    let id = c
+        .submit_retry(sharded_spec(2), Duration::from_secs(5))
+        .unwrap();
+    let view = c.wait(&id, Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        view.state,
+        JobState::Done,
+        "a fully poisoned campaign still settles (degraded), it does not hang: {:?}",
+        view.error
+    );
+    let result = view.result.unwrap();
+    assert!(!result.clean, "quarantine dirties the campaign");
+    assert_eq!(
+        result.output, "== shard 0/2 quarantined ==\n== shard 1/2 quarantined ==\n",
+        "quarantined shards leave deterministic placeholders"
+    );
+    assert!(
+        result.summary.contains("2 quarantined (degraded)"),
+        "{}",
+        result.summary
+    );
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    // The journal carries the structured degradation trail: one reclaim
+    // per failed attempt (2 shards x 2 attempts), one quarantine per
+    // shard, and the terminal Finished record.
+    let events = read_events(&journal).unwrap();
+    let reclaims = events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::LeaseReclaimed { .. }))
+        .count();
+    let quarantines = events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::ShardQuarantined { .. }))
+        .count();
+    assert_eq!(reclaims, 4, "every failed attempt is journaled");
+    assert_eq!(quarantines, 2, "every exhausted shard is journaled");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, JobEvent::Finished { view } if view.id == id)));
+}
+
+#[test]
+fn startup_compaction_preserves_results_byte_identically() {
+    let dir = tmp("compact");
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+
+    // Round 1: run a campaign to completion and drain cleanly.
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: Some(journal.clone()),
+        workers: 3,
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    let id = c
+        .submit_retry(sharded_spec(4), Duration::from_secs(5))
+        .unwrap();
+    let first = c
+        .wait(&id, Duration::from_secs(60))
+        .unwrap()
+        .result
+        .unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let before = read_events(&journal).unwrap().len();
+    assert!(before > 3, "the campaign journaled its shard history");
+
+    // Round 2: a low compaction threshold forces startup compaction; the
+    // replayed daemon must serve the same job byte-identically.
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: Some(journal.clone()),
+        workers: 2,
+        compact_threshold: 2,
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = match Client::connect_retry(&socket, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => panic!("reconnect failed ({e}); serve said: {:?}", server.join()),
+    };
+    let view = c.status(&id).unwrap();
+    assert_eq!(view.state, JobState::Done);
+    assert_eq!(
+        view.result.unwrap().output,
+        first.output,
+        "compaction must not change a byte of any replayed result"
+    );
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    let events = read_events(&journal).unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, JobEvent::Compacted { .. })),
+        "the compaction checkpoint is journaled"
+    );
+    assert!(
+        events.iter().all(|e| !matches!(
+            e,
+            JobEvent::LeaseAcquired { .. } | JobEvent::LeaseRenewed { .. }
+        )),
+        "lease history does not survive compaction"
+    );
+}
+
+#[test]
+fn fenced_submit_answers_busy_then_reelection_completes_it() {
+    let dir = tmp("fenced-submit");
+    let socket = dir.join("hippod.sock");
+    let journal = dir.join("jobs.journal");
+    let server = start(ServerConfig {
+        socket: socket.clone(),
+        journal: Some(journal.clone()),
+        workers: 2,
+        obs: pmobs::Obs::enabled(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    assert_eq!(c.health().unwrap().epoch, 1, "first election is epoch 1");
+
+    // A rival primary claims the journal behind the daemon's back. The
+    // next submit's write-ahead append is fenced: the client must get a
+    // retryable Busy — never an Accepted that silently went nowhere.
+    append_rival_epoch(&journal, 99).unwrap();
+    let spec = JobSpec::new(
+        JobKind::Lint,
+        vec![("multi.pmc".to_string(), MULTI.to_string())],
+    );
+    match c.request(Request::Submit { spec: spec.clone() }).unwrap() {
+        Response::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("fenced submit must answer Busy, got {other:?}"),
+    }
+
+    // The deposed daemon demotes, re-contends, and (as the only
+    // contender) wins a fresh epoch above the rival's; a retried submit
+    // then completes normally.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let id = loop {
+        assert!(Instant::now() < deadline, "re-election never happened");
+        match c.request(Request::Submit { spec: spec.clone() }) {
+            Ok(Response::Accepted { id }) => break id,
+            // Busy (fenced window), standby refusal, or a dropped
+            // connection while demoting: reconnect and retry.
+            Ok(_) => {}
+            Err(_) => c = Client::connect_retry(&socket, Duration::from_secs(5)).unwrap(),
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let view = c.wait(&id, Duration::from_secs(60)).unwrap();
+    assert_eq!(view.state, JobState::Done);
+    assert!(
+        c.health().unwrap().epoch >= 100,
+        "the re-elected epoch fences the rival's 99"
+    );
+    c.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    // Audit: nothing was silently dropped — every journaled Submitted
+    // reached a terminal state, and the fenced submit journaled nothing.
+    let events = read_events(&journal).unwrap();
+    let submitted: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::Submitted { id, .. } => Some(id.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        submitted,
+        vec![id.clone()],
+        "only the accepted submit landed"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, JobEvent::Finished { view } if view.id == id)));
+}

@@ -68,6 +68,14 @@ pub struct ExploreOptions {
     /// [`pmvm::ExecTier::Fast`] by default; results are tier-independent
     /// (the differential tier gate holds the tiers byte-identical).
     pub tier: pmvm::ExecTier,
+    /// Restrict exploration to one shard of the frontier set:
+    /// `Some((i, n))` keeps only frontiers whose index `% n == i`. The
+    /// shard split is by deterministic frontier index — *before* sampling
+    /// — so the union of the `n` shard reports covers exactly the same
+    /// frontier set as an unsharded run, and each shard's report is
+    /// byte-stable regardless of which worker (or how many retries) ran
+    /// it. `None` (the default) explores everything.
+    pub shard: Option<(u64, u64)>,
 }
 
 impl Default for ExploreOptions {
@@ -84,6 +92,7 @@ impl Default for ExploreOptions {
             obs: pmobs::Obs::default(),
             cancel: pmtx::Budget::default(),
             tier: pmvm::ExecTier::default(),
+            shard: None,
         }
     }
 }
@@ -270,7 +279,16 @@ pub fn explore(
         .unwrap_or_else(|| Oracle::default_for(module, entry));
     let fronts = {
         let _span = opts.obs.span("explore.frontiers");
-        frontiers(trace, data, opts.initial_media.as_ref())
+        let all = frontiers(trace, data, opts.initial_media.as_ref());
+        match opts.shard {
+            Some((i, n)) if n > 1 => all
+                .into_iter()
+                .enumerate()
+                .filter(|(idx, _)| (*idx as u64) % n == i % n)
+                .map(|(_, f)| f)
+                .collect(),
+            _ => all,
+        }
     };
     let candidates = {
         let _span = opts.obs.span("explore.sample");

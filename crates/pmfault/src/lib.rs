@@ -25,7 +25,9 @@ mod plan;
 pub use backoff::backoff_ms;
 pub use corrupt::{bitflip_bytes, bitflip_text, duplicate_line, truncate_text};
 pub use inject::Injector;
-pub use plan::{FaultKind, FaultPlan, FaultSite, PlannedFault, Trigger, N_ARCHETYPES};
+pub use plan::{
+    shard_occurrence, FaultKind, FaultPlan, FaultSite, PlannedFault, Trigger, N_ARCHETYPES,
+};
 
 /// splitmix64: the seed-expansion PRNG used everywhere in this crate.
 ///

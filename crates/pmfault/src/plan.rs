@@ -59,9 +59,37 @@ pub enum FaultSite {
     /// (submission acknowledgement is journaled write-ahead, so a dropped
     /// `Accepted` is at worst a re-submission).
     NetConnDrop,
+    /// `hippod`: a campaign worker dies mid-shard — it acquired the lease
+    /// and then vanishes without committing or renewing. Keyed by
+    /// `shard * 8 + min(attempt, 7)`, so a plan can kill a specific
+    /// attempt of a specific shard (attempt 0 kills the first run; later
+    /// attempts recover). The contract: the lease expires, the reaper
+    /// reclaims and reassigns, and the campaign's merged artifact is
+    /// byte-identical to a fault-free single-worker run.
+    ShardWorker,
+    /// `hippod`: a shard lease's heartbeat renewals are suppressed even
+    /// though the worker is alive — the lease-expiry storm. Keyed by the
+    /// *attempt* number alone, so `Nth(0)` storms every shard's first
+    /// lease at once. The contract: every stormed lease is reclaimed, the
+    /// late finishers are fenced off (first-commit-wins), and the second
+    /// attempts complete byte-identically.
+    ShardRenew,
+    /// `hippod`: a rival primary appears mid-campaign — a higher election
+    /// epoch lands in the job journal just before this primary's next
+    /// append. Keyed by `shard * 8 + min(attempt, 7)` at the commit of the
+    /// matching shard. The contract: the deposed primary's append is
+    /// refused by epoch fencing, it demotes cleanly, and a standby elects
+    /// itself and finishes the campaign byte-identically.
+    ShardElection,
+    /// `hippod`: the reaper-vs-finisher race, forced — the matching
+    /// shard's lease is revoked at the instant its worker tries to commit.
+    /// Keyed by `shard * 8 + min(attempt, 7)`. The contract: the fenced
+    /// commit is discarded, the shard reruns, and first-commit-wins keeps
+    /// the artifact byte-identical.
+    ShardCommit,
 }
 
-pub(crate) const N_SITES: usize = 14;
+pub(crate) const N_SITES: usize = 18;
 
 impl FaultSite {
     pub(crate) fn index(self) -> usize {
@@ -80,8 +108,19 @@ impl FaultSite {
             FaultSite::NetTornFrame => 11,
             FaultSite::NetSlowClient => 12,
             FaultSite::NetConnDrop => 13,
+            FaultSite::ShardWorker => 14,
+            FaultSite::ShardRenew => 15,
+            FaultSite::ShardElection => 16,
+            FaultSite::ShardCommit => 17,
         }
     }
+}
+
+/// Occurrence-index encoding for the shard sites keyed by
+/// `(shard, attempt)`: `shard * 8 + min(attempt, 7)`. A `Trigger::Nth`
+/// built from this hits exactly one attempt of exactly one shard.
+pub fn shard_occurrence(shard: u64, attempt: u32) -> u64 {
+    shard * 8 + u64::from(attempt.min(7))
 }
 
 impl FaultSite {
@@ -91,6 +130,18 @@ impl FaultSite {
         matches!(
             self,
             FaultSite::NetTornFrame | FaultSite::NetSlowClient | FaultSite::NetConnDrop
+        )
+    }
+
+    /// Whether this site lives in the daemon's campaign scheduler (the
+    /// `shard.*` family — leases, election, commits).
+    pub fn is_shard(self) -> bool {
+        matches!(
+            self,
+            FaultSite::ShardWorker
+                | FaultSite::ShardRenew
+                | FaultSite::ShardElection
+                | FaultSite::ShardCommit
         )
     }
 }
@@ -112,6 +163,10 @@ impl fmt::Display for FaultSite {
             FaultSite::NetTornFrame => "net.torn_frame",
             FaultSite::NetSlowClient => "net.slow_client",
             FaultSite::NetConnDrop => "net.conn_drop",
+            FaultSite::ShardWorker => "shard.worker",
+            FaultSite::ShardRenew => "shard.renew",
+            FaultSite::ShardElection => "shard.election",
+            FaultSite::ShardCommit => "shard.commit",
         };
         f.write_str(s)
     }
@@ -181,6 +236,17 @@ pub enum FaultKind {
     SlowWrites { chunk: u64, delay_ms: u64 },
     /// The connection is dropped before any response is written.
     ConnDrop,
+    /// A campaign worker dies mid-shard: lease acquired, then silence.
+    WorkerKill,
+    /// Lease heartbeat renewals are suppressed — the lease expires under a
+    /// live worker (the lease-expiry storm when triggered on attempt 0).
+    LeaseExpire,
+    /// A rival primary's higher election epoch appears in the journal; the
+    /// current primary's next append must be fenced.
+    EpochContest,
+    /// The shard's lease is revoked at the instant of its commit — the
+    /// reaper-vs-finisher race, forced.
+    CommitRace,
 }
 
 impl FaultKind {
@@ -202,6 +268,10 @@ impl FaultKind {
             FaultKind::TornFrame => "torn-frame",
             FaultKind::SlowWrites { .. } => "slow-writes",
             FaultKind::ConnDrop => "conn-drop",
+            FaultKind::WorkerKill => "worker-kill",
+            FaultKind::LeaseExpire => "lease-expire",
+            FaultKind::EpochContest => "epoch-contest",
+            FaultKind::CommitRace => "commit-race",
         }
     }
 }
@@ -227,6 +297,10 @@ impl fmt::Display for FaultKind {
                 write!(f, "slow client ({chunk}-byte writes, {delay_ms}ms apart)")
             }
             FaultKind::ConnDrop => f.write_str("dropped connection"),
+            FaultKind::WorkerKill => f.write_str("killed shard worker"),
+            FaultKind::LeaseExpire => f.write_str("suppressed lease renewals"),
+            FaultKind::EpochContest => f.write_str("rival primary epoch"),
+            FaultKind::CommitRace => f.write_str("reaper-vs-finisher commit race"),
         }
     }
 }
@@ -259,7 +333,7 @@ pub struct FaultPlan {
 }
 
 /// Number of distinct archetypes [`FaultPlan::from_seed`] cycles through.
-pub const N_ARCHETYPES: u64 = 14;
+pub const N_ARCHETYPES: u64 = 18;
 
 impl FaultPlan {
     /// A plan with a single fault (mostly for tests).
@@ -282,11 +356,28 @@ impl FaultPlan {
     /// trace record, fuel exhaustion, diverging oracle (stuck loop), worker
     /// panic, oracle panic, vetoed transaction commit, torn response frame,
     /// slow client writes, dropped connection (the `net.*` transport family,
-    /// keyed by stable connection index).
+    /// keyed by stable connection index), worker kill mid-shard (two
+    /// shards), lease-expiry storm, double-primary epoch contest, and the
+    /// reaper-vs-finisher commit race (the `shard.*` campaign family, keyed
+    /// by [`shard_occurrence`]).
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed ^ 0xF4_11_7F_11;
         let r = splitmix64(&mut s);
         let nth = |m: u64| Trigger::Nth(r % m);
+        // Archetype 14 kills two distinct shard workers on their first
+        // attempt; the campaign's shard count (4) keeps both in range.
+        if seed % N_ARCHETYPES == 14 {
+            let (a, b) = (r % 2, 2 + r % 2);
+            let kill = |shard| PlannedFault {
+                site: FaultSite::ShardWorker,
+                trigger: Trigger::Nth(shard_occurrence(shard, 0)),
+                kind: FaultKind::WorkerKill,
+            };
+            return FaultPlan {
+                seed,
+                faults: vec![kill(a), kill(b)],
+            };
+        }
         let (site, trigger, kind) = match seed % N_ARCHETYPES {
             0 => (FaultSite::SimStore, nth(4), FaultKind::TornStore),
             1 => (FaultSite::SimFlush, nth(3), FaultKind::DroppedFlush),
@@ -331,7 +422,25 @@ impl FaultPlan {
                     delay_ms: 1,
                 },
             ),
-            _ => (FaultSite::NetConnDrop, nth(3), FaultKind::ConnDrop),
+            13 => (FaultSite::NetConnDrop, nth(3), FaultKind::ConnDrop),
+            // The campaign-scheduler family. 15 storms every shard's first
+            // lease (keyed by attempt alone); 16 contests the epoch at one
+            // shard's commit; 17 forces the reaper-vs-finisher race there.
+            15 => (
+                FaultSite::ShardRenew,
+                Trigger::Nth(0),
+                FaultKind::LeaseExpire,
+            ),
+            16 => (
+                FaultSite::ShardElection,
+                Trigger::Nth(shard_occurrence(r % 4, 0)),
+                FaultKind::EpochContest,
+            ),
+            _ => (
+                FaultSite::ShardCommit,
+                Trigger::Nth(shard_occurrence(r % 4, 0)),
+                FaultKind::CommitRace,
+            ),
         };
         FaultPlan {
             seed,
@@ -351,6 +460,11 @@ impl FaultPlan {
     /// Does the plan contain any transport-layer (`net.*`) fault?
     pub fn targets_net(&self) -> bool {
         self.faults.iter().any(|f| f.site.is_net())
+    }
+
+    /// Does the plan contain any campaign-scheduler (`shard.*`) fault?
+    pub fn targets_shard(&self) -> bool {
+        self.faults.iter().any(|f| f.site.is_shard())
     }
 
     /// One-line human summary, e.g. for campaign output.
@@ -412,5 +526,47 @@ mod tests {
         assert!(FaultPlan::from_seed(12)
             .describe()
             .contains("net.slow_client"));
+    }
+
+    #[test]
+    fn shard_archetypes_are_seeded_and_classified() {
+        let kill = FaultPlan::from_seed(14);
+        let storm = FaultPlan::from_seed(15);
+        let contest = FaultPlan::from_seed(16);
+        let race = FaultPlan::from_seed(17);
+        assert_eq!(kill.faults.len(), 2, "archetype 14 kills two workers");
+        assert!(kill.targets(FaultSite::ShardWorker) && kill.targets_shard());
+        assert!(storm.targets(FaultSite::ShardRenew) && storm.targets_shard());
+        assert!(contest.targets(FaultSite::ShardElection) && contest.targets_shard());
+        assert!(race.targets(FaultSite::ShardCommit) && race.targets_shard());
+        assert!(!kill.targets_net() && !FaultPlan::from_seed(0).targets_shard());
+        // The two killed shards are distinct and inside the campaign's
+        // 4-shard range, on attempt 0 (so the retries recover).
+        let shards: Vec<u64> = kill
+            .faults
+            .iter()
+            .map(|f| match f.trigger {
+                Trigger::Nth(n) => {
+                    assert_eq!(n % 8, 0, "attempt 0");
+                    n / 8
+                }
+                Trigger::Always => panic!("shard kills are Nth-keyed"),
+            })
+            .collect();
+        assert_ne!(shards[0], shards[1]);
+        assert!(shards.iter().all(|&s| s < 4), "{shards:?}");
+        // The storm keys by attempt alone: Nth(0) hits every first lease.
+        assert_eq!(storm.faults[0].trigger, Trigger::Nth(0));
+        assert!(FaultPlan::from_seed(16)
+            .describe()
+            .contains("shard.election"));
+    }
+
+    #[test]
+    fn shard_occurrence_encodes_shard_and_attempt() {
+        assert_eq!(shard_occurrence(0, 0), 0);
+        assert_eq!(shard_occurrence(3, 2), 26);
+        // Attempts clamp at 7 so the encoding stays collision-free.
+        assert_eq!(shard_occurrence(2, 99), 23);
     }
 }

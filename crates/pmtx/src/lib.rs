@@ -12,6 +12,10 @@
 //!   (`hippo.journal.v1`) write-ahead repair journal. Committed rounds are
 //!   durable before the engine moves on; after a SIGKILL, `--resume` replays
 //!   them idempotently and continues where the run left off.
+//! - [`LeaseTable`] — epoch-numbered, heartbeat-renewed shard leases with
+//!   expiry reclaim, bounded retries, poison-shard quarantine, and epoch
+//!   fencing; the pure state machine behind `hippod`'s self-healing
+//!   campaign scheduler and primary election.
 //!
 //! The crate is deliberately ignorant of `pmir` and the engine's fix types:
 //! journal records carry opaque pre-serialized payloads (module text,
@@ -21,8 +25,10 @@
 pub mod budget;
 pub mod framing;
 pub mod journal;
+pub mod lease;
 pub mod lock;
 
 pub use budget::{Budget, BudgetExceeded};
 pub use journal::{Journal, JournalError, JournalHeader, Resumed, RoundRecord, JOURNAL_SCHEMA};
+pub use lease::{Lease, LeaseError, LeaseTable, Reclaimed};
 pub use lock::{FileLock, LockError};

@@ -69,8 +69,8 @@ target/release/hippoctl optimize "$healed" --budget 64 --seed 0 -o "$optimized"
 target/release/hippoctl explore "$optimized" --budget 64 --seed 0
 rm -rf "$(dirname "$healed")"
 
-echo "==> hippoctl faultcampaign --seeds 14 (every fault archetype survived, incl. net.*)"
-target/release/hippoctl faultcampaign --seeds 14
+echo "==> hippoctl faultcampaign --seeds 18 (every fault archetype survived, incl. net.* and shard.*)"
+target/release/hippoctl faultcampaign --seeds 18
 
 echo "==> kill-and-resume gate (crash after first commit, resume, byte-identical)"
 txdir="$(mktemp -d)"
@@ -231,6 +231,109 @@ cmp "$fdir/ref.ir" "$fdir/standby.ir"
 target/release/hippoctl shutdown --connect "127.0.0.1:$sport"
 wait "$spid"
 echo "standby took over the killed primary and served the byte-identical artifact, as expected"
+
+echo "==> kill-worker-mid-campaign gate (shard chaos seed 14, heals byte-identical)"
+wdir="$(mktemp -d)"
+cat > "$wdir/campaign.pmc" <<'EOF'
+fn main() {
+    var p: ptr = pmem_map(9, 4096);
+    store8(p, 0, 1);
+    clwb(p);
+    sfence();
+    store8(p, 64, 2);
+    clwb(p + 64);
+    sfence();
+    store8(p, 128, 3);
+    print(load8(p, 0) + load8(p, 64) + load8(p, 128));
+}
+EOF
+wsock="$wdir/hippod.sock"
+# The do-no-harm reference: the same 4-shard campaign, no faults.
+target/release/hippoctl serve --socket "$wsock" --journal "$wdir/ref.journal" --workers 3 \
+    > "$wdir/ref.log" 2>&1 &
+wpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --socket "$wsock" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+target/release/hippoctl submit --socket "$wsock" "$wdir/campaign.pmc" \
+    --kind explore --shards 4 --wait -o "$wdir/ref.out"
+target/release/hippoctl shutdown --socket "$wsock"
+wait "$wpid"
+# Chaos run: archetype 14 kills two shard workers mid-lease; the reaper
+# must reclaim, re-run, and merge the exact reference bytes.
+target/release/hippoctl serve --socket "$wsock" --journal "$wdir/chaos.journal" --workers 3 \
+    --fault-shard 14 --lease-ttl-ms 100 > "$wdir/chaos.log" 2>&1 &
+wpid=$!
+for _ in $(seq 1 100); do
+    if target/release/hippoctl health --socket "$wsock" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+target/release/hippoctl submit --socket "$wsock" "$wdir/campaign.pmc" \
+    --kind explore --shards 4 --wait -o "$wdir/chaos.out"
+target/release/hippoctl shutdown --socket "$wsock"
+wait "$wpid"
+cmp "$wdir/ref.out" "$wdir/chaos.out"
+# The degradation trail is on the record, not just implied.
+grep -q "LeaseReclaimed" "$wdir/chaos.journal"
+rm -rf "$wdir"
+echo "killed shard workers were reaped and the campaign healed byte-identically, as expected"
+
+echo "==> triple-standby election gate (kill -9 two primaries in a row, epochs stay monotonic)"
+edir="$(mktemp -d)"
+ejournal="$edir/jobs.journal"
+cat > "$edir/app.pmc" <<'EOF'
+fn main() {
+    var p: ptr = pmem_map(3, 4096);
+    store8(p, 0, 5);
+    print(load8(p, 0));
+}
+EOF
+esocks=()
+epids=()
+for i in 0 1 2 3; do
+    eflags=""
+    if [ "$i" != 0 ]; then eflags="--standby"; fi
+    # shellcheck disable=SC2086
+    target/release/hippoctl serve --socket "$edir/d$i.sock" --journal "$ejournal" \
+        --workers 2 $eflags > "$edir/d$i.log" 2>&1 &
+    epids+=($!)
+    esocks+=("$edir/d$i.sock")
+done
+find_primary() {
+    for _ in $(seq 1 150); do
+        for idx in "${!esocks[@]}"; do
+            if [ -n "${epids[$idx]}" ] && target/release/hippoctl health --socket "${esocks[$idx]}" 2>/dev/null \
+                | grep -q '"standby":false'; then
+                echo "$idx"
+                return 0
+            fi
+        done
+        sleep 0.1
+    done
+    return 1
+}
+for round in 1 2; do
+    leader="$(find_primary)" || { echo "check.sh: no primary emerged (round $round)" >&2; exit 1; }
+    target/release/hippoctl health --socket "${esocks[$leader]}" | grep -q "\"epoch\":$round"
+    target/release/hippoctl submit --socket "${esocks[$leader]}" "$edir/app.pmc" \
+        --kind fix --wait >/dev/null
+    kill -9 "${epids[$leader]}"
+    wait "${epids[$leader]}" 2>/dev/null || true
+    epids[$leader]=""
+done
+leader="$(find_primary)" || { echo "check.sh: no successor emerged after two kills" >&2; exit 1; }
+target/release/hippoctl health --socket "${esocks[$leader]}" | grep -q '"epoch":3'
+target/release/hippoctl submit --socket "${esocks[$leader]}" "$edir/app.pmc" \
+    --kind fix --wait >/dev/null
+for idx in "${!epids[@]}"; do
+    if [ -n "${epids[$idx]}" ]; then
+        target/release/hippoctl shutdown --socket "${esocks[$idx]}"
+        wait "${epids[$idx]}"
+    fi
+done
+rm -rf "$edir"
+echo "three standbys elected successors across two murders with monotonic epochs, as expected"
 
 echo "==> slow-client gate (a stalled mid-frame peer never blocks the daemon)"
 lport=$((sport + 1))

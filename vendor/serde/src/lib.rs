@@ -64,6 +64,19 @@ impl Value {
             .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
     }
 
+    /// Looks up an *optional* struct field by name in a map value:
+    /// `Ok(None)` when the field is absent (the `#[serde(default)]` path),
+    /// `Err` only when the value is not a map at all.
+    pub fn field_opt(&self, name: &str) -> Result<Option<&Value>, DeError> {
+        let map = self
+            .as_map()
+            .ok_or_else(|| DeError::new(format!("expected map with field `{name}`")))?;
+        Ok(map
+            .iter()
+            .find(|(k, _)| k.as_str() == Some(name))
+            .map(|(_, v)| v))
+    }
+
     /// The `idx`-th element of a sequence value.
     pub fn elem(&self, idx: usize) -> Result<&Value, DeError> {
         self.as_seq()

@@ -5,15 +5,28 @@
 //! `proc_macro` token stream (no `syn`/`quote` available in the hermetic
 //! build), which is sufficient because the workspace only derives on
 //! non-generic named structs, newtype/tuple structs, and enums with unit,
-//! tuple, or struct variants — all without `#[serde(...)]` attributes.
+//! tuple, or struct variants. The only `#[serde(...)]` helper supported is
+//! the field-level `#[serde(default)]` / `#[serde(default = "path")]`,
+//! which is what wire-compatible schema evolution (old peers omitting a
+//! newly added field) needs; any other `serde` attribute is a compile
+//! error rather than a silent no-op.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    /// Missing-field policy: `None` = required; `Some(None)` =
+    /// `#[serde(default)]` (use `Default::default()`); `Some(Some(path))` =
+    /// `#[serde(default = "path")]` (call `path()`).
+    default: Option<Option<String>>,
+}
 
 #[derive(Debug, Clone)]
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -70,13 +83,60 @@ fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
     }
 }
 
-fn named_fields(tokens: Vec<TokenTree>) -> Vec<String> {
+/// Reads the field's `#[serde(...)]` attributes (if any) from the leading
+/// attribute tokens of a field chunk. Only `default` forms are supported.
+fn field_default(chunk: &[TokenTree]) -> Option<Option<String>> {
+    let mut found = None;
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(attr)) = chunk.get(i + 1) else {
+            break;
+        };
+        i += 2;
+        let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+        let is_serde =
+            matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments and other attributes
+        }
+        let Some(TokenTree::Group(args)) = toks.get(1) else {
+            panic!("serde_derive stub: malformed #[serde] attribute");
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        match (args.first(), args.get(1), args.get(2), args.len()) {
+            (Some(TokenTree::Ident(d)), None, None, _) if d.to_string() == "default" => {
+                found = Some(None);
+            }
+            (
+                Some(TokenTree::Ident(d)),
+                Some(TokenTree::Punct(eq)),
+                Some(TokenTree::Literal(path)),
+                3,
+            ) if d.to_string() == "default" && eq.as_char() == '=' => {
+                found = Some(Some(path.to_string().trim_matches('"').to_string()));
+            }
+            _ => panic!(
+                "serde_derive stub: only #[serde(default)] and #[serde(default = \"path\")] are supported"
+            ),
+        }
+    }
+    found
+}
+
+fn named_fields(tokens: Vec<TokenTree>) -> Vec<Field> {
     split_top_level(tokens)
         .into_iter()
         .filter_map(|chunk| {
+            let default = field_default(&chunk);
             let rest = skip_attrs_and_vis(&chunk);
             match rest.first() {
-                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: id.to_string(),
+                    default,
+                }),
                 _ => None,
             }
         })
@@ -186,21 +246,43 @@ fn str_value(s: &str) -> String {
     format!("::serde::Value::Str(::std::string::String::from(\"{s}\"))")
 }
 
-fn named_map_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+fn named_map_expr(fields: &[Field], access: impl Fn(&str) -> String) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
             format!(
                 "({}, ::serde::Serialize::to_value({})),",
-                str_value(wire(f)),
-                access(f)
+                str_value(wire(&f.name)),
+                access(&f.name)
             )
         })
         .collect();
     format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
 }
 
-#[proc_macro_derive(Serialize)]
+/// One named-field initializer for a generated `Deserialize` impl. A
+/// required field errors when absent; a defaulted field falls back.
+fn deser_field(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    let w = wire(name);
+    match &f.default {
+        None => format!("{name}: ::serde::Deserialize::from_value({src}.field(\"{w}\")?)?,"),
+        Some(default) => {
+            let fallback = match default {
+                None => "::std::default::Default::default()".to_string(),
+                Some(path) => format!("{path}()"),
+            };
+            format!(
+                "{name}: match {src}.field_opt(\"{w}\")? {{\
+                     ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\
+                     ::std::option::Option::None => {fallback},\
+                 }},"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
     let name = &p.name;
@@ -242,9 +324,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     }
                     Shape::Named(fields) => {
                         let payload = named_map_expr(fields, |f| f.to_string());
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         format!(
                             "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({}, {payload})]),",
-                            fields.join(","),
+                            binds.join(","),
                             str_value(vname)
                         )
                     }
@@ -263,7 +346,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive stub: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
     let name = &p.name;
@@ -281,15 +364,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 format!("::std::result::Result::Ok({name}({}))", elems.join(","))
             }
             Shape::Named(fields) => {
-                let inits: Vec<String> = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "{f}: ::serde::Deserialize::from_value(__v.field(\"{}\")?)?,",
-                            wire(f)
-                        )
-                    })
-                    .collect();
+                let inits: Vec<String> = fields.iter().map(|f| deser_field(f, "__v")).collect();
                 format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(""))
             }
         },
@@ -319,15 +394,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     Shape::Named(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(__payload.field(\"{}\")?)?,",
-                                    wire(f)
-                                )
-                            })
-                            .collect();
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| deser_field(f, "__payload")).collect();
                         payload_arms.push_str(&format!(
                             "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
                             inits.join("")
